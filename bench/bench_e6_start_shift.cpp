@@ -1,0 +1,39 @@
+// E6 — negative result: start-time perturbations do not close the gap.
+//
+// The profile M_{a,b}(n) is cyclically shifted by a uniformly random box
+// offset (equivalently, the algorithm starts at a random time in the
+// cyclic profile). The paper: with constant probability the run still
+// traverses a suffix holding a constant fraction of the worst-case
+// potential, so the expected ratio keeps growing with log n.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cadapt;
+  bench::print_header(
+      "E6 (negative: start-time perturbation)",
+      "Random cyclic shift of M_{8,4}(n): worst-case in expectation.");
+
+  const model::RegularParams params{8, 4, 1.0};
+  core::SweepOptions opts;
+  opts.kmin = 2;
+  opts.kmax = 7;
+  opts.trials = 32;
+
+  // Reference points: unshifted adversary (slope 1) and full reshuffle
+  // (slope ~ 0).
+  {
+    core::SweepOptions det = opts;
+    det.trials = 1;
+    bench::print_series(core::worst_case_gap_curve(params, det), 4);
+  }
+  bench::print_series(core::cyclic_shift_curve(params, opts), 4);
+  {
+    core::SweepOptions o2 = opts;
+    o2.semantics = engine::BoxSemantics::kBudgeted;
+    core::Series s = core::cyclic_shift_curve(params, o2);
+    s.name += " [budgeted semantics]";
+    bench::print_series(s, 4);
+  }
+  bench::print_series(core::shuffled_worst_case_curve(params, opts), 4);
+  return 0;
+}

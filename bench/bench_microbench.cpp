@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths:
+// box consumption in the symbolic engine, lazy worst-case profile
+// generation, LRU paging, and the analytic solver. These guard the
+// simulator's throughput — the experiment benches sweep tens of millions
+// of boxes.
+#include <benchmark/benchmark.h>
+
+#include "engine/analytic.hpp"
+#include "engine/exec.hpp"
+#include "paging/lru_cache.hpp"
+#include "profile/distributions.hpp"
+#include "profile/worst_case.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cadapt;
+
+void BM_EngineUnitBoxes(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    while (!exec.done()) exec.consume_box(1);
+    boxes += exec.boxes_consumed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineUnitBoxes)->Arg(3)->Arg(5)->Arg(6);
+
+void BM_EngineWorstCaseProfile(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    profile::WorstCaseSource source(8, 4, n);
+    while (!exec.done()) exec.consume_box(*source.next());
+    boxes += exec.boxes_consumed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineWorstCaseProfile)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_WorstCaseGeneration(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    profile::WorstCaseSource source(8, 4, n);
+    while (auto box = source.next()) benchmark::DoNotOptimize(*box);
+    boxes += profile::worst_case_box_count(8, 4, n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_WorstCaseGeneration)->Arg(5)->Arg(7);
+
+void BM_IidSampling(benchmark::State& state) {
+  profile::GeometricPowers dist(4, 8.0, 0, 8);
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(dist.sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IidSampling);
+
+void BM_LruAccess(benchmark::State& state) {
+  paging::LruCache cache(static_cast<std::uint64_t>(state.range(0)));
+  util::Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 12)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruAccess)->Arg(64)->Arg(1024);
+
+void BM_AnalyticSolve(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  profile::GeometricPowers dist(4, 8.0, 0, k);
+  engine::AnalyticSolver solver({8, 4, 1.0}, dist);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solver.solve(util::ipow(4, k)).back().f);
+}
+BENCHMARK(BM_AnalyticSolve)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Real matrices under a fluctuating cache.
+//
+// Multiplies two 64x64 matrices three ways — MM-Scan, MM-Inplace and the
+// naive triple loop — through the cache-adaptive paging machine
+// (LRU paging, square-profile cache sizes, cleared at box boundaries),
+// verifies all three against a reference product, and reports the I/O
+// traffic each incurred on (a) the MM-Scan adversarial profile and (b) a
+// benign random profile.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "algos/mm.hpp"
+#include "core/cadapt.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cadapt;
+
+constexpr std::size_t kN = 64;
+constexpr std::uint64_t kBlock = 8;
+
+std::vector<double> random_matrix(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> m(kN * kN);
+  for (auto& v : m) v = static_cast<double>(rng.below(10)) - 5.0;
+  return m;
+}
+
+std::unique_ptr<profile::BoxSource> make_profile(bool adversarial) {
+  if (adversarial) {
+    return std::make_unique<profile::CyclingSource>([] {
+      return std::make_unique<profile::WorstCaseSource>(8, 4, 256, 2);
+    });
+  }
+  // Benign: i.i.d. boxes, uniform over a wide range of cache sizes.
+  static profile::UniformRange dist(8, 512);
+  return std::make_unique<profile::DistributionSource>(dist, util::Rng(99));
+}
+
+struct Outcome {
+  std::uint64_t ios;
+  std::uint64_t boxes;
+  bool correct;
+};
+
+template <typename Fn>
+Outcome run(bool adversarial, Fn&& fn) {
+  paging::CaMachine machine(make_profile(adversarial), kBlock);
+  paging::AddressSpace space(kBlock);
+  algos::SimMatrix<double> a(machine, space, kN, kN), b(machine, space, kN, kN),
+      c(machine, space, kN, kN);
+  const auto av = random_matrix(1), bv = random_matrix(2);
+  for (std::size_t i = 0; i < kN; ++i)
+    for (std::size_t j = 0; j < kN; ++j) {
+      a.raw(i, j) = av[i * kN + j];
+      b.raw(i, j) = bv[i * kN + j];
+    }
+  algos::MmScratch scratch(machine, space);
+  fn(a, b, c, scratch);
+
+  const auto expected = algos::mm_reference(av, bv, kN);
+  bool correct = true;
+  for (std::size_t i = 0; i < kN * kN; ++i)
+    if (std::abs(c.raw(i / kN, i % kN) - expected[i]) > 1e-9) correct = false;
+  return {machine.misses(), machine.boxes_started(), correct};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "64x64 double matrices, B = " << kBlock
+            << " words/block, cache size driven by a square profile.\n";
+
+  for (const bool adversarial : {true, false}) {
+    std::cout << "\nProfile: "
+              << (adversarial ? "adversarial M_{8,4} (cycled, scaled x2)"
+                              : "benign i.i.d. U[8,512]")
+              << "\n";
+    util::Table table({"algorithm", "I/Os", "boxes", "correct"});
+
+    const Outcome scan = run(adversarial, [](auto& a, auto& b, auto& c,
+                                             auto& scratch) {
+      algos::mm_scan(algos::MatView<double>(c), algos::MatView<double>(a),
+                     algos::MatView<double>(b), scratch, 4);
+    });
+    table.row().cell(std::string("MM-Scan")).cell(scan.ios).cell(scan.boxes)
+        .cell(std::string(scan.correct ? "yes" : "NO"));
+
+    const Outcome inplace = run(adversarial, [](auto& a, auto& b, auto& c,
+                                                auto&) {
+      algos::mm_inplace(algos::MatView<double>(c), algos::MatView<double>(a),
+                        algos::MatView<double>(b), 4);
+    });
+    table.row().cell(std::string("MM-Inplace")).cell(inplace.ios)
+        .cell(inplace.boxes)
+        .cell(std::string(inplace.correct ? "yes" : "NO"));
+
+    const Outcome naive = run(adversarial, [](auto& a, auto& b, auto& c,
+                                              auto&) {
+      algos::mm_naive(algos::MatView<double>(c), algos::MatView<double>(a),
+                      algos::MatView<double>(b));
+    });
+    table.row().cell(std::string("naive loop")).cell(naive.ios)
+        .cell(naive.boxes)
+        .cell(std::string(naive.correct ? "yes" : "NO"));
+
+    table.print(std::cout);
+  }
+
+  std::cout << "\nAll three compute the same (verified) product; they "
+               "differ only in how\ngracefully their memory traffic adapts "
+               "to the fluctuating cache.\n";
+  return 0;
+}

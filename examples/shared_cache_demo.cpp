@@ -1,0 +1,83 @@
+// Shared-cache demo: where memory profiles come from.
+//
+// Two real algorithms — a cache-oblivious matrix multiply and a streaming
+// scan — share one cache under global LRU. The demo prints each
+// process's emergent memory profile (its slice of the cache over time),
+// its square-profile decomposition, and the verdict of the cadapt engine
+// on whether a gap-regime algorithm would suffer under such a profile.
+#include <algorithm>
+#include <iostream>
+
+#include "algos/mm.hpp"
+#include "core/cadapt.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cadapt;
+
+std::vector<paging::BlockId> record_mm(std::size_t n) {
+  paging::TraceRecorder rec(8);
+  paging::AddressSpace space(8);
+  algos::SimMatrix<double> a(rec, space, n, n), b(rec, space, n, n),
+      c(rec, space, n, n);
+  util::Rng rng(4);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a.raw(i, j) = static_cast<double>(rng.below(8));
+      b.raw(i, j) = static_cast<double>(rng.below(8));
+    }
+  algos::MmScratch scratch(rec, space);
+  algos::mm_scan(algos::MatView<double>(c), algos::MatView<double>(a),
+                 algos::MatView<double>(b), scratch, 4);
+  return rec.block_trace();
+}
+
+std::vector<paging::BlockId> streaming_scan(std::uint64_t blocks,
+                                            std::size_t passes) {
+  std::vector<paging::BlockId> t;
+  for (std::size_t p = 0; p < passes; ++p)
+    for (paging::BlockId b = 0; b < blocks; ++b) t.push_back(b);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  sched::SimOptions opts;
+  opts.total_cache_blocks = 48;
+  opts.policy = sched::Policy::kGlobalLru;
+
+  const sched::SimResult sim = sched::simulate_shared_cache(
+      {{"mm_scan 32x32", record_mm(32)},
+       {"streaming scan", streaming_scan(512, 6)}},
+      opts);
+
+  for (const auto& proc : sim.per_process) {
+    std::cout << "=== " << proc.name << " ===\n";
+    std::cout << "accesses " << proc.accesses << ", misses " << proc.misses
+              << ", finished at global I/O " << proc.completion_time << "\n\n";
+
+    std::cout << "Emergent memory profile (resident blocks over its I/Os):\n";
+    const auto boxes = profile::inner_square_profile(proc.occupancy_profile);
+    std::cout << profile::render_profile_ascii(boxes, 100, 10, false) << "\n";
+
+    profile::Empirical census(boxes);
+    engine::AnalyticSolver solver({8, 4, 1.0}, census);
+    const auto levels = solver.solve(util::ipow(4, 9));
+    const double r5 = levels[5].ratio;   // n = 4^5
+    const double r9 = levels[9].ratio;   // n = 4^9
+    std::cout << "If an (8,4,1)-regular algorithm saw boxes drawn from this "
+                 "profile, its\nexpected adaptivity ratio would be "
+              << util::format_double(r5, 2) << " at n = 4^5 and "
+              << util::format_double(r9, 2)
+              << " at n = 4^9\n(the adversarial profile reaches 6.00 and "
+                 "10.00 there: growth, not a constant).\n\n";
+  }
+
+  std::cout << "The matrix multiply holds a working-set-sized slice; the "
+               "streaming scan\nchurns the rest. Neither produces anything "
+               "like the adversarial profile —\nthe fluctuations real "
+               "workloads cause are the benign kind.\n";
+  return 0;
+}

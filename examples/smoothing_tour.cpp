@@ -1,0 +1,65 @@
+// Smoothing tour: the paper's four perturbations side by side.
+//
+// Starting from the adversarial profile M_{8,4}(n), apply:
+//   1. full i.i.d. reshuffle of box sizes  -> adaptive  (Theorem 1)
+//   2. per-box random size perturbation    -> still worst-case
+//   3. random cyclic start-time shift      -> still worst-case
+//   4. box-order perturbation              -> worst-case for the matched
+//                                             algorithm (w.p. 1)
+//
+// Prints one ratio-vs-n table per smoothing plus the fitted slope against
+// log_b n (slope 1 = the full gap, slope 0 = adaptive).
+#include <iostream>
+
+#include "core/cadapt.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cadapt;
+  const model::RegularParams mm_scan{8, 4, 1.0};
+
+  core::SweepOptions opts;
+  opts.kmin = 2;
+  opts.kmax = 6;
+  opts.trials = 24;
+
+  auto show = [&](const core::Series& series) {
+    std::cout << "\n" << series.name << "\n";
+    util::Table table({"n", "ratio", "ci95"});
+    for (const auto& p : series.points)
+      table.row().cell(p.n).cell(p.ratio_mean, 3).cell(p.ratio_ci95, 3);
+    table.print(std::cout);
+    std::cout << "slope vs log_4 n: "
+              << util::format_double(core::slope_vs_log_n(series, 4), 3)
+              << "\n";
+  };
+
+  std::cout << "Baseline: the unsmoothed adversary (slope 1).\n";
+  {
+    core::SweepOptions det = opts;
+    det.trials = 1;
+    show(core::worst_case_gap_curve(mm_scan, det));
+  }
+
+  std::cout << "\n[1] Full i.i.d. reshuffle — Theorem 1 (positive).\n";
+  show(core::shuffled_worst_case_curve(mm_scan, opts));
+
+  std::cout << "\n[2] Per-box size perturbation, X ~ U{1..4} (negative).\n";
+  show(core::size_perturb_curve(mm_scan, profile::uniform_int_perturb(4),
+                                opts));
+
+  std::cout << "\n[3] Random cyclic start-time shift (negative).\n";
+  show(core::cyclic_shift_curve(mm_scan, opts));
+
+  std::cout << "\n[4] Box-order perturbation, matched algorithm, budgeted "
+               "semantics (negative, w.p. 1).\n";
+  {
+    core::SweepOptions budgeted = opts;
+    budgeted.semantics = engine::BoxSemantics::kBudgeted;
+    show(core::order_perturb_curve(mm_scan, budgeted, /*matched=*/true));
+  }
+
+  std::cout << "\nOnly the full i.i.d. reshuffle closes the gap — exactly "
+               "the paper's message.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Triangle counting on an adaptive cache — a downstream application.
+//
+// The paper motivates its matrix-multiplication kernels by the algorithms
+// built on them (triangle counting, APSP, ...). This example counts the
+// triangles of a random graph as trace(A³)/6, computing A² with the
+// cache-oblivious MM-Scan through the cache-adaptive machine, and
+// verifies the count against a brute-force enumeration.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "algos/mm.hpp"
+#include "core/cadapt.hpp"
+
+namespace {
+
+using namespace cadapt;
+
+constexpr std::size_t kVertices = 64;
+constexpr std::uint64_t kBlock = 8;
+
+/// Random undirected simple graph as a 0/1 adjacency matrix.
+std::vector<double> random_graph(double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> adj(kVertices * kVertices, 0.0);
+  for (std::size_t i = 0; i < kVertices; ++i)
+    for (std::size_t j = i + 1; j < kVertices; ++j)
+      if (rng.uniform01() < density) {
+        adj[i * kVertices + j] = 1.0;
+        adj[j * kVertices + i] = 1.0;
+      }
+  return adj;
+}
+
+std::uint64_t brute_force_triangles(const std::vector<double>& adj) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < kVertices; ++i)
+    for (std::size_t j = i + 1; j < kVertices; ++j) {
+      if (adj[i * kVertices + j] == 0.0) continue;
+      for (std::size_t k = j + 1; k < kVertices; ++k)
+        if (adj[i * kVertices + k] != 0.0 && adj[j * kVertices + k] != 0.0)
+          ++count;
+    }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  const auto adj = random_graph(0.15, 2024);
+  const std::uint64_t expected = brute_force_triangles(adj);
+
+  // A fluctuating cache: i.i.d. boxes between 8 and 256 blocks.
+  profile::UniformRange dist(8, 256);
+  auto source =
+      std::make_unique<profile::DistributionSource>(dist, util::Rng(5));
+  paging::CaMachine machine(std::move(source), kBlock, /*record_boxes=*/true);
+  paging::AddressSpace space(kBlock);
+
+  algos::SimMatrix<double> a(machine, space, kVertices, kVertices);
+  algos::SimMatrix<double> a2(machine, space, kVertices, kVertices);
+  for (std::size_t i = 0; i < kVertices; ++i)
+    for (std::size_t j = 0; j < kVertices; ++j)
+      a.raw(i, j) = adj[i * kVertices + j];
+
+  // A² via MM-Scan (the (8,4,1)-regular kernel the paper dissects)...
+  algos::MmScratch scratch(machine, space);
+  algos::mm_scan(algos::MatView<double>(a2), algos::MatView<double>(a),
+                 algos::MatView<double>(a), scratch, 4);
+
+  // ...then trace(A² · A) with a streaming dot product per vertex.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < kVertices; ++i)
+    for (std::size_t k = 0; k < kVertices; ++k)
+      trace += a2.get(i, k) * a.get(k, i);
+  const auto triangles = static_cast<std::uint64_t>(trace / 6.0 + 0.5);
+
+  std::cout << "graph: " << kVertices << " vertices, density 0.15\n"
+            << "triangles via trace(A^3)/6 on the CA machine: " << triangles
+            << "\n"
+            << "triangles via brute force:                    " << expected
+            << "  -> " << (triangles == expected ? "MATCH" : "MISMATCH")
+            << "\n\n"
+            << "machine: " << machine.accesses() << " accesses, "
+            << machine.misses() << " I/Os across " << machine.boxes_started()
+            << " boxes (cache fluctuated between 8 and 256 blocks)\n";
+  return triangles == expected ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+#include "algos/adaptive_sort.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+/// Merge runs [boundaries[first], ...) .. [.., boundaries[last]) from
+/// `in` into `out` at the same offsets, k-way with an (untracked)
+/// tournament heap; every element is read and written once through the
+/// machine.
+void merge_group(SimVector<std::int64_t>& in, SimVector<std::int64_t>& out,
+                 const std::vector<std::size_t>& boundaries,
+                 std::size_t first, std::size_t last) {
+  struct Head {
+    std::int64_t value;
+    std::size_t run;
+  };
+  struct Compare {
+    bool operator()(const Head& a, const Head& b) const {
+      return a.value > b.value;  // min-heap
+    }
+  };
+
+  std::vector<std::size_t> cursor(last - first);
+  std::priority_queue<Head, std::vector<Head>, Compare> heap;
+  for (std::size_t r = first; r < last; ++r) {
+    cursor[r - first] = boundaries[r];
+    if (boundaries[r] < boundaries[r + 1])
+      heap.push({in.get(boundaries[r]), r});
+  }
+
+  std::size_t opos = boundaries[first];
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    out.set(opos++, head.value);
+    std::size_t& cur = cursor[head.run - first];
+    ++cur;
+    if (cur < boundaries[head.run + 1]) heap.push({in.get(cur), head.run});
+  }
+  CADAPT_CHECK(opos == boundaries[last]);
+}
+
+}  // namespace
+
+void adaptive_merge_sort(paging::Machine& machine,
+                         paging::AddressSpace& space,
+                         SimVector<std::int64_t>& data,
+                         const MemoryHint& memory_blocks) {
+  CADAPT_CHECK(memory_blocks != nullptr);
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  const std::uint64_t block_words = machine.block_size();
+
+  // --- Phase 1: run formation. Each run is sized to the memory available
+  // at its start (at least one block's worth of items).
+  std::vector<std::size_t> boundaries{0};
+  {
+    std::size_t pos = 0;
+    std::vector<std::int64_t> local;
+    while (pos < n) {
+      const std::uint64_t mem = std::max<std::uint64_t>(1, memory_blocks());
+      const std::size_t run_len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(n - pos, mem * block_words));
+      local.clear();
+      local.reserve(run_len);
+      for (std::size_t i = 0; i < run_len; ++i)
+        local.push_back(data.get(pos + i));
+      std::sort(local.begin(), local.end());
+      for (std::size_t i = 0; i < run_len; ++i) data.set(pos + i, local[i]);
+      pos += run_len;
+      boundaries.push_back(pos);
+    }
+  }
+
+  // --- Phase 2: adaptive multi-way merge passes, ping-ponging between
+  // data and a scratch buffer. The fan-in of each merge group is chosen
+  // from the memory available when the group starts (one block per input
+  // run plus one for output).
+  SimVector<std::int64_t> scratch(machine, space, n);
+  SimVector<std::int64_t>* src = &data;
+  SimVector<std::int64_t>* dst = &scratch;
+
+  while (boundaries.size() > 2) {
+    std::vector<std::size_t> next_boundaries{0};
+    std::size_t r = 0;
+    while (r + 1 < boundaries.size()) {
+      const std::uint64_t mem = std::max<std::uint64_t>(3, memory_blocks());
+      const std::size_t fan_in = static_cast<std::size_t>(
+          std::min<std::uint64_t>(boundaries.size() - 1 - r, mem - 1));
+      merge_group(*src, *dst, boundaries, r, r + fan_in);
+      r += fan_in;
+      next_boundaries.push_back(boundaries[r]);
+    }
+    boundaries = std::move(next_boundaries);
+    std::swap(src, dst);
+  }
+
+  // Ensure the sorted result ends up in `data`.
+  if (src != &data) {
+    for (std::size_t i = 0; i < n; ++i) data.set(i, src->get(i));
+  }
+}
+
+}  // namespace cadapt::algos

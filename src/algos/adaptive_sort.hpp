@@ -1,0 +1,35 @@
+// Explicitly memory-adaptive external merge sort, in the spirit of
+// Barve & Vitter [2, 3] and the memory-adaptive sorting literature the
+// paper surveys ([47, 64, 65]).
+//
+// Unlike the cache-oblivious merge sort (algos/sort.hpp), this algorithm
+// *queries* the current memory size and adapts: run formation sizes each
+// run to the memory available at its start, and each merge step picks its
+// fan-in from the memory available then. It is the "explicit adaptivity"
+// baseline the paper contrasts with cache-obliviousness: more machinery,
+// better constants when the hint is honest, no protection when memory
+// shifts right after the query.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// Returns the algorithm's current memory allotment in blocks. For a
+/// paging::CaMachine pass [&m]{ return m.current_box_size(); }; for a
+/// FluidCaMachine, current_capacity().
+using MemoryHint = std::function<std::uint64_t()>;
+
+/// Memory-adaptive external merge sort over tracked memory. Uses a
+/// tracked scratch buffer of equal length (ping-pong merging).
+void adaptive_merge_sort(paging::Machine& machine,
+                         paging::AddressSpace& space,
+                         SimVector<std::int64_t>& data,
+                         const MemoryHint& memory_blocks);
+
+}  // namespace cadapt::algos

@@ -1,0 +1,50 @@
+#include "algos/edit_distance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "algos/grid_dp.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+/// Levenshtein grid: D[0][j] = j, D[i][0] = i,
+/// D[i][j] = min(diag + (x!=y), up + 1, left + 1).
+struct EditPolicy {
+  using Value = int;
+  static Value top_boundary(std::size_t j) { return static_cast<Value>(j); }
+  static Value left_boundary(std::size_t i) { return static_cast<Value>(i); }
+  static Value cell(Value diag, Value up, Value left, bool match) {
+    return std::min({diag + (match ? 0 : 1), up + 1, left + 1});
+  }
+};
+
+}  // namespace
+
+std::size_t edit_distance_recursive(paging::Machine& machine,
+                                    paging::AddressSpace& space,
+                                    const SimVector<char>& x,
+                                    const SimVector<char>& y,
+                                    std::size_t base) {
+  GridDp<EditPolicy> dp(machine, space, x, y, base);
+  return static_cast<std::size_t>(dp.solve());
+}
+
+std::size_t edit_distance_reference(const std::string& x,
+                                    const std::string& y) {
+  const std::size_t m = x.size(), n = y.size();
+  std::vector<std::size_t> prev(n + 1), cur(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t sub = prev[j - 1] + (x[i - 1] == y[j - 1] ? 0 : 1);
+      cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace cadapt::algos

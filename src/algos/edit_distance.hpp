@@ -1,0 +1,28 @@
+// Cache-oblivious Levenshtein edit distance via recursive boundary DP —
+// a second instantiation of algos::GridDp, covering the paper's "Edit
+// Distance" entry in the (a,b,1)-regular family ((4,2,1) measured by
+// grid side).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// Levenshtein distance (unit insert/delete/substitute costs) of two
+/// tracked strings of equal length n (n = base * 2^k).
+std::size_t edit_distance_recursive(paging::Machine& machine,
+                                    paging::AddressSpace& space,
+                                    const SimVector<char>& x,
+                                    const SimVector<char>& y,
+                                    std::size_t base = 16);
+
+/// Untracked reference for verification (handles unequal lengths too).
+std::size_t edit_distance_reference(const std::string& x,
+                                    const std::string& y);
+
+}  // namespace cadapt::algos

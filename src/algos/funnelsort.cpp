@@ -1,0 +1,182 @@
+#include "algos/funnelsort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+constexpr std::size_t kBaseSize = 16;
+
+/// A lazy k-funnel over sorted runs of `src`. Leaves stream their run;
+/// each internal node owns a tracked ring buffer of capacity ≈ L^{3/2}
+/// (L = leaves beneath) that fill() replenishes wholesale.
+class Funnel {
+ public:
+  Funnel(paging::Machine& machine, paging::AddressSpace& space,
+         SimVector<std::int64_t>& src,
+         const std::vector<std::pair<std::size_t, std::size_t>>& runs)
+      : machine_(&machine), space_(&space), src_(&src) {
+    CADAPT_CHECK(!runs.empty());
+    root_ = build(runs, 0, runs.size());
+  }
+
+  /// True while elements remain.
+  bool has_next() { return peek(root_).has_value(); }
+
+  /// Pop the global minimum.
+  std::int64_t next() {
+    const auto value = peek(root_);
+    CADAPT_CHECK(value.has_value());
+    pop(root_);
+    return *value;
+  }
+
+ private:
+  struct Node {
+    // Leaf: cursor over src[run_begin, run_end).
+    std::size_t run_begin = 0, run_end = 0;
+    // Internal: children + ring buffer.
+    std::size_t left = kNone, right = kNone;
+    std::unique_ptr<SimVector<std::int64_t>> buffer;
+    std::size_t head = 0;   // index of the front element
+    std::size_t count = 0;  // elements currently buffered
+
+    bool is_leaf() const { return left == kNone; }
+  };
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::size_t build(
+      const std::vector<std::pair<std::size_t, std::size_t>>& runs,
+      std::size_t first, std::size_t last) {
+    const std::size_t index = nodes_.size();
+    nodes_.emplace_back();
+    if (last - first == 1) {
+      nodes_[index].run_begin = runs[first].first;
+      nodes_[index].run_end = runs[first].second;
+      return index;
+    }
+    const std::size_t mid = first + (last - first) / 2;
+    const std::size_t left = build(runs, first, mid);
+    const std::size_t right = build(runs, mid, last);
+    // nodes_ may have reallocated during the recursive builds; write
+    // through the index only now.
+    Node& node = nodes_[index];
+    node.left = left;
+    node.right = right;
+    const double leaves = static_cast<double>(last - first);
+    const std::size_t capacity = std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::ceil(std::pow(leaves, 1.5))));
+    node.buffer =
+        std::make_unique<SimVector<std::int64_t>>(*machine_, *space_, capacity);
+    return index;
+  }
+
+  /// Front element of node v, or nullopt when v is exhausted.
+  std::optional<std::int64_t> peek(std::size_t v) {
+    Node& node = nodes_[v];
+    if (node.is_leaf()) {
+      if (node.run_begin == node.run_end) return std::nullopt;
+      return src_->get(node.run_begin);
+    }
+    if (node.count == 0) fill(v);
+    if (node.count == 0) return std::nullopt;
+    return node.buffer->get(node.head);
+  }
+
+  void pop(std::size_t v) {
+    Node& node = nodes_[v];
+    if (node.is_leaf()) {
+      CADAPT_CHECK(node.run_begin < node.run_end);
+      ++node.run_begin;
+      return;
+    }
+    CADAPT_CHECK(node.count > 0);
+    node.head = (node.head + 1) % node.buffer->size();
+    --node.count;
+  }
+
+  /// Wholesale refill: merge from the children until the buffer is full
+  /// or both children are exhausted. This is the step that touches a
+  /// whole subtree at once and gives the funnel its locality.
+  void fill(std::size_t v) {
+    Node& node = nodes_[v];
+    const std::size_t capacity = node.buffer->size();
+    while (node.count < capacity) {
+      const auto l = peek(node.left);
+      const auto r = peek(node.right);
+      std::size_t take;
+      if (l && (!r || *l <= *r)) {
+        take = node.left;
+      } else if (r) {
+        take = node.right;
+      } else {
+        break;  // both exhausted
+      }
+      const auto value = peek(take);
+      pop(take);
+      const std::size_t slot = (node.head + node.count) % capacity;
+      node.buffer->set(slot, *value);
+      ++node.count;
+    }
+  }
+
+  paging::Machine* machine_;
+  paging::AddressSpace* space_;
+  SimVector<std::int64_t>* src_;
+  std::vector<Node> nodes_;
+  std::size_t root_ = 0;
+};
+
+void sort_range(paging::Machine& machine, paging::AddressSpace& space,
+                SimVector<std::int64_t>& data, std::size_t lo, std::size_t hi,
+                SimVector<std::int64_t>& scratch) {
+  const std::size_t n = hi - lo;
+  if (n <= 1) return;
+  if (n <= kBaseSize) {
+    // Base case: load, sort locally, store (tracked reads and writes).
+    std::vector<std::int64_t> local;
+    local.reserve(n);
+    for (std::size_t i = lo; i < hi; ++i) local.push_back(data.get(i));
+    std::sort(local.begin(), local.end());
+    for (std::size_t i = lo; i < hi; ++i) data.set(i, local[i - lo]);
+    return;
+  }
+
+  // k = ceil(n^{1/3}) segments of roughly equal size n^{2/3}.
+  const auto k = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::ceil(std::cbrt(static_cast<double>(n)))));
+  const std::size_t seg = (n + k - 1) / k;
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  for (std::size_t start = lo; start < hi; start += seg) {
+    const std::size_t end = std::min(hi, start + seg);
+    sort_range(machine, space, data, start, end, scratch);
+    runs.emplace_back(start, end);
+  }
+
+  // Merge through the lazy funnel into scratch, then copy back.
+  Funnel funnel(machine, space, data, runs);
+  std::size_t out = lo;
+  while (funnel.has_next()) scratch.set(out++, funnel.next());
+  CADAPT_CHECK(out == hi);
+  for (std::size_t i = lo; i < hi; ++i) data.set(i, scratch.get(i));
+}
+
+}  // namespace
+
+void funnelsort(paging::Machine& machine, paging::AddressSpace& space,
+                SimVector<std::int64_t>& data) {
+  if (data.size() <= 1) return;
+  SimVector<std::int64_t> scratch(machine, space, data.size());
+  sort_range(machine, space, data, 0, data.size(), scratch);
+}
+
+}  // namespace cadapt::algos

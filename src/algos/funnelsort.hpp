@@ -1,0 +1,31 @@
+// Lazy funnelsort (Frigo–Leiserson–Prokop–Ramachandran [28], engineered
+// in Brodal–Fagerberg–Vinther [12]) — the cache-oblivious I/O-optimal
+// sorting algorithm, achieving Θ((n/B) log_{M/B}(n/B)) without knowing M.
+//
+// Structure: split into k = ⌈n^{1/3}⌉ segments of ≈ n^{2/3}, sort them
+// recursively, and merge with a lazy k-funnel: a balanced binary merge
+// tree whose node v, spanning L_v input runs, owns a buffer of ≈ L_v^{3/2}
+// elements that is refilled wholesale. The wholesale refills give each
+// subtree cache-sized working sets at every scale — the same
+// "right-sized recursive working sets" mechanism the paper's
+// (a,b,c)-regular framework isolates.
+//
+// Completes the sorting triptych next to algos::merge_sort (the
+// a = b = 2 case with its Θ(log M/B) penalty) and
+// algos::adaptive_merge_sort (explicitly memory-adaptive): funnelsort is
+// the oblivious algorithm that matches the adaptive one's bound.
+#pragma once
+
+#include <cstdint>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// Sort tracked data in place (uses tracked scratch internally).
+void funnelsort(paging::Machine& machine, paging::AddressSpace& space,
+                SimVector<std::int64_t>& data);
+
+}  // namespace cadapt::algos

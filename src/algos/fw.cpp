@@ -1,0 +1,98 @@
+#include "algos/fw.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+void minplus_direct(MatView<double> x, MatView<double> u, MatView<double> v) {
+  const std::size_t n = x.n();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = x.get(i, j);
+      for (std::size_t k = 0; k < n; ++k)
+        best = std::min(best, u.get(i, k) + v.get(k, j));
+      x.set(i, j, best);
+    }
+  }
+}
+
+}  // namespace
+
+void minplus_inplace(MatView<double> x, MatView<double> u, MatView<double> v,
+                     std::size_t base) {
+  CADAPT_CHECK(x.n() == u.n() && u.n() == v.n());
+  CADAPT_CHECK(base >= 1);
+  if (x.n() <= base) {
+    minplus_direct(x, u, v);
+    return;
+  }
+  CADAPT_CHECK_MSG(x.n() % 2 == 0, "side must be base * 2^k");
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 2; ++k)
+        minplus_inplace(x.quad(i, j), u.quad(i, k), v.quad(k, j), base);
+}
+
+void fw_recursive(MatView<double> x, std::size_t base) {
+  CADAPT_CHECK(base >= 1);
+  if (x.n() <= base) {
+    fw_naive(x);
+    return;
+  }
+  CADAPT_CHECK_MSG(x.n() % 2 == 0, "side must be base * 2^k");
+  auto X11 = x.quad(0, 0), X12 = x.quad(0, 1), X21 = x.quad(1, 0),
+       X22 = x.quad(1, 1);
+  fw_recursive(X11, base);
+  minplus_inplace(X12, X11, X12, base);
+  minplus_inplace(X21, X21, X11, base);
+  minplus_inplace(X22, X21, X12, base);
+  fw_recursive(X22, base);
+  minplus_inplace(X21, X22, X21, base);
+  minplus_inplace(X12, X12, X22, base);
+  minplus_inplace(X11, X12, X21, base);
+}
+
+void fw_naive(MatView<double> x) {
+  const std::size_t n = x.n();
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = x.get(i, k);
+      if (dik >= kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double cand = dik + x.get(k, j);
+        if (cand < x.get(i, j)) x.set(i, j, cand);
+      }
+    }
+}
+
+void apsp_repeated_squaring(MatView<double> x, MatView<double> scratch,
+                            std::size_t base) {
+  CADAPT_CHECK(x.n() == scratch.n());
+  const std::size_t n = x.n();
+  // After k squarings, x holds shortest paths using up to 2^k hops;
+  // n - 1 hops suffice.
+  for (std::size_t hops = 1; hops < n; hops *= 2) {
+    // scratch <- x (the operand snapshot), then x <- min(x, scratch⊗scratch).
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) scratch.set(i, j, x.get(i, j));
+    minplus_inplace(x, scratch, scratch, base);
+  }
+}
+
+std::vector<double> fw_reference(std::vector<double> dist, std::size_t n) {
+  CADAPT_CHECK(dist.size() == n * n);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = dist[i * n + k];
+      if (dik >= kInf) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        dist[i * n + j] = std::min(dist[i * n + j], dik + dist[k * n + j]);
+    }
+  return dist;
+}
+
+}  // namespace cadapt::algos

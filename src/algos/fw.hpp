@@ -1,0 +1,48 @@
+// All-pairs shortest paths via the cache-oblivious recursive
+// Floyd–Warshall of the Gaussian Elimination Paradigm (Chowdhury &
+// Ramachandran [17, 18]).
+//
+// The driver recursion is
+//
+//   FW(X):  FW(X11);  X12 ⊕= X11·X12;  X21 ⊕= X21·X11;  X22 ⊕= X21·X12;
+//           FW(X22);  X21 ⊕= X22·X21;  X12 ⊕= X12·X22;  X11 ⊕= X12·X21;
+//
+// where ⊕= is the in-place min-plus matrix product update, itself an
+// (8,4,0)-regular recursion. Together with the naive triple-loop baseline
+// this gives a second real kernel in the paper's a > b family.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+
+namespace cadapt::algos {
+
+/// "Infinite" distance for min-plus arithmetic (safe to add twice without
+/// overflow).
+inline constexpr double kInf = std::numeric_limits<double>::max() / 4;
+
+/// X = min(X, U ⊗ V) (min-plus product), recursive in-place.
+void minplus_inplace(MatView<double> x, MatView<double> u, MatView<double> v,
+                     std::size_t base = 4);
+
+/// In-place recursive Floyd–Warshall on a distance matrix (kInf = no
+/// edge; diagonal should be 0). Side must be base * 2^k.
+void fw_recursive(MatView<double> x, std::size_t base = 4);
+
+/// Classic triple-loop Floyd–Warshall on tracked memory (baseline).
+void fw_naive(MatView<double> x);
+
+/// All-pairs shortest paths by repeated min-plus squaring: D <- D ⊗ D,
+/// ⌈log2 n⌉ times. This is the APSP-via-matrix-multiplication route the
+/// paper cites ([53, 54, 66]); each squaring is the (8,4,*)-regular
+/// min-plus kernel. Needs a scratch matrix of the same size.
+void apsp_repeated_squaring(MatView<double> x, MatView<double> scratch,
+                            std::size_t base = 4);
+
+/// Untracked reference for verification.
+std::vector<double> fw_reference(std::vector<double> dist, std::size_t n);
+
+}  // namespace cadapt::algos

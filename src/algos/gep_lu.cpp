@@ -1,0 +1,143 @@
+#include "algos/gep_lu.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+/// C -= A * B, recursive in place (the Schur-complement kernel).
+void mm_subtract(MatView<double> c, MatView<double> a, MatView<double> b,
+                 std::size_t base) {
+  if (c.n() <= base) {
+    const std::size_t n = c.n();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = c.get(i, j);
+        for (std::size_t k = 0; k < n; ++k) acc -= a.get(i, k) * b.get(k, j);
+        c.set(i, j, acc);
+      }
+    return;
+  }
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 2; ++k)
+        mm_subtract(c.quad(i, j), a.quad(i, k), b.quad(k, j), base);
+}
+
+/// B <- L^{-1} B for unit-lower-triangular L (packed, diagonal implicit).
+void trsm_lower(MatView<double> l, MatView<double> b, std::size_t base) {
+  if (l.n() <= base) {
+    const std::size_t n = l.n();
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double lik = l.get(i, k);
+        for (std::size_t j = 0; j < b.n(); ++j)
+          b.set(i, j, b.get(i, j) - lik * b.get(k, j));
+      }
+    return;
+  }
+  // L = [L11 0; L21 L22], B = [B1; B2]:
+  // B1 <- L11^{-1} B1; B2 -= L21 B1; B2 <- L22^{-1} B2.
+  trsm_lower(l.quad(0, 0), b.quad(0, 0), base);
+  trsm_lower(l.quad(0, 0), b.quad(0, 1), base);
+  mm_subtract(b.quad(1, 0), l.quad(1, 0), b.quad(0, 0), base);
+  mm_subtract(b.quad(1, 1), l.quad(1, 0), b.quad(0, 1), base);
+  trsm_lower(l.quad(1, 1), b.quad(1, 0), base);
+  trsm_lower(l.quad(1, 1), b.quad(1, 1), base);
+}
+
+/// B <- B U^{-1} for upper-triangular U (with diagonal).
+void trsm_upper(MatView<double> u, MatView<double> b, std::size_t base) {
+  if (u.n() <= base) {
+    const std::size_t n = u.n();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ukk = u.get(k, k);
+      CADAPT_CHECK_MSG(ukk != 0.0, "LU without pivoting hit a zero pivot");
+      for (std::size_t i = 0; i < b.n(); ++i) {
+        const double bik = b.get(i, k) / ukk;
+        b.set(i, k, bik);
+        for (std::size_t j = k + 1; j < n; ++j)
+          b.set(i, j, b.get(i, j) - bik * u.get(k, j));
+      }
+    }
+    return;
+  }
+  // U = [U11 U12; 0 U22], B = [B1 B2]:
+  // B1 <- B1 U11^{-1}; B2 -= B1 U12; B2 <- B2 U22^{-1}.
+  trsm_upper(u.quad(0, 0), b.quad(0, 0), base);
+  trsm_upper(u.quad(0, 0), b.quad(1, 0), base);
+  mm_subtract(b.quad(0, 1), b.quad(0, 0), u.quad(0, 1), base);
+  mm_subtract(b.quad(1, 1), b.quad(1, 0), u.quad(0, 1), base);
+  trsm_upper(u.quad(1, 1), b.quad(0, 1), base);
+  trsm_upper(u.quad(1, 1), b.quad(1, 1), base);
+}
+
+}  // namespace
+
+void lu_recursive(MatView<double> x, std::size_t base) {
+  CADAPT_CHECK(base >= 1);
+  if (x.n() <= base) {
+    lu_naive(x);
+    return;
+  }
+  CADAPT_CHECK_MSG(x.n() % 2 == 0, "side must be base * 2^k");
+  auto X11 = x.quad(0, 0), X12 = x.quad(0, 1), X21 = x.quad(1, 0),
+       X22 = x.quad(1, 1);
+  lu_recursive(X11, base);
+  trsm_lower(X11, X12, base);   // X12 = L11^{-1} X12
+  trsm_upper(X11, X21, base);   // X21 = X21 U11^{-1}
+  mm_subtract(X22, X21, X12, base);  // Schur complement
+  lu_recursive(X22, base);
+}
+
+void lu_naive(MatView<double> x) {
+  const std::size_t n = x.n();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = x.get(k, k);
+    CADAPT_CHECK_MSG(pivot != 0.0, "LU without pivoting hit a zero pivot");
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = x.get(i, k) / pivot;
+      x.set(i, k, lik);
+      for (std::size_t j = k + 1; j < n; ++j)
+        x.set(i, j, x.get(i, j) - lik * x.get(k, j));
+    }
+  }
+}
+
+std::vector<double> lu_reference(std::vector<double> a, std::size_t n) {
+  CADAPT_CHECK(a.size() == n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a[k * n + k];
+    CADAPT_CHECK_MSG(pivot != 0.0, "LU without pivoting hit a zero pivot");
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = a[i * n + k] / pivot;
+      a[i * n + k] = lik;
+      for (std::size_t j = k + 1; j < n; ++j)
+        a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+  return a;
+}
+
+std::vector<double> lu_multiply_back(const std::vector<double>& packed,
+                                     std::size_t n) {
+  CADAPT_CHECK(packed.size() == n * n);
+  std::vector<double> result(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      // (L U)[i][j] = Σ_k L[i][k] U[k][j], L unit-lower, U upper.
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        const double lik = k == i ? 1.0 : packed[i * n + k];
+        const double ukj = packed[k * n + j];
+        acc += lik * ukj;
+      }
+      result[i * n + j] = acc;
+    }
+  }
+  return result;
+}
+
+}  // namespace cadapt::algos

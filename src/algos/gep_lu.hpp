@@ -1,0 +1,41 @@
+// Cache-oblivious LU decomposition (no pivoting) via the Gaussian
+// Elimination Paradigm (Chowdhury & Ramachandran [18]) — the paper's
+// "Gaussian elimination" entry in the (a,b,1)-regular family.
+//
+// The recursion
+//
+//   LU(X):  LU(X11);  X12 <- L11^{-1} X12;  X21 <- X21 U11^{-1};
+//           X22 -= X21 X12;  LU(X22)
+//
+// has the Schur-complement update as its dominant (8,4,*)-style kernel;
+// measured in words the whole computation is T(N) = Θ-equivalent to the
+// GEP recurrence T(N) = 8T(N/4) + Θ(N/B), i.e. inside the paper's gap
+// regime.
+//
+// No pivoting: intended for diagonally dominant (or otherwise LU-stable)
+// inputs, which the tests and benches generate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+
+namespace cadapt::algos {
+
+/// In-place recursive LU: on return X holds U in its upper triangle
+/// (including diagonal) and the strict lower triangle of L (unit
+/// diagonal implicit). Side must be base * 2^k.
+void lu_recursive(MatView<double> x, std::size_t base = 4);
+
+/// Classic in-place right-looking LU on tracked memory (baseline).
+void lu_naive(MatView<double> x);
+
+/// Untracked reference (same algorithm, plain memory).
+std::vector<double> lu_reference(std::vector<double> a, std::size_t n);
+
+/// Reconstruct L * U from a packed in-place LU factor (for verification).
+std::vector<double> lu_multiply_back(const std::vector<double>& packed,
+                                     std::size_t n);
+
+}  // namespace cadapt::algos

@@ -1,0 +1,165 @@
+// Generic cache-oblivious boundary dynamic programming over an n x n
+// grid (Chowdhury–Ramachandran [16, 17]).
+//
+// The DP value L[i][j] depends on L[i-1][j-1], L[i-1][j], L[i][j-1] and
+// the input symbols x[i], y[j]. The grid is solved by quadrant recursion
+// in dependency order Q11, Q12, Q21, Q22; only Θ(side) boundary values
+// cross block edges, so with problem size measured by side length the
+// recursion is (4,2,1)-regular — a > b with c = 1, squarely inside the
+// paper's logarithmic gap. LCS and edit distance are instantiations
+// (algos/lcs.hpp, algos/edit_distance.hpp).
+//
+// All DP state (boundary buffers, base-case rolling rows) lives in
+// simulated memory so the paging machines see the true traffic.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+/// Policy requirements:
+///   using Value = <integral DP value>;
+///   static Value top_boundary(std::size_t j);    // L[0][j], j = 0..n
+///   static Value left_boundary(std::size_t i);   // L[i][0], i = 1..n
+///   static Value cell(Value diag, Value up, Value left, bool match);
+template <typename Policy>
+class GridDp {
+ public:
+  using Value = typename Policy::Value;
+
+  GridDp(paging::Machine& machine, paging::AddressSpace& space,
+         const SimVector<char>& x, const SimVector<char>& y, std::size_t base)
+      : machine_(&machine), space_(&space), x_(&x), y_(&y), base_(base) {
+    CADAPT_CHECK(x.size() == y.size());
+    CADAPT_CHECK(base >= 1);
+    std::size_t side = x.size();
+    while (side > base) {
+      CADAPT_CHECK_MSG(side % 2 == 0, "grid side must be m * 2^k, m <= base");
+      side /= 2;
+    }
+  }
+
+  /// Solve the whole grid; returns L[n][n].
+  Value solve() {
+    const std::size_t n = x_->size();
+    if (n == 0) return Policy::top_boundary(0);
+    SimVector<Value> top(*machine_, *space_, n + 1);
+    SimVector<Value> left(*machine_, *space_, n);
+    SimVector<Value> bottom(*machine_, *space_, n + 1);
+    SimVector<Value> right(*machine_, *space_, n);
+    for (std::size_t j = 0; j <= n; ++j) top.set(j, Policy::top_boundary(j));
+    for (std::size_t i = 1; i <= n; ++i)
+      left.set(i - 1, Policy::left_boundary(i));
+    block(1, n, 1, n, Buf{&top, 0, n + 1}, Buf{&left, 0, n},
+          Buf{&bottom, 0, n + 1}, Buf{&right, 0, n}, 0);
+    return bottom.get(n);
+  }
+
+ private:
+  /// A span into a tracked value vector — boundary rows/columns are
+  /// passed between recursion levels as views, never copied wholesale.
+  struct Buf {
+    SimVector<Value>* vec = nullptr;
+    std::size_t off = 0;
+    std::size_t len = 0;
+
+    Value get(std::size_t i) const {
+      CADAPT_CHECK(i < len);
+      return vec->get(off + i);
+    }
+    void set(std::size_t i, Value v) const {
+      CADAPT_CHECK(i < len);
+      vec->set(off + i, v);
+    }
+    Buf slice(std::size_t from, std::size_t count) const {
+      CADAPT_CHECK(from + count <= len);
+      return {vec, off + from, count};
+    }
+  };
+
+  Buf scratch(std::size_t depth, std::size_t slot, std::size_t len) {
+    if (arena_.size() <= depth) arena_.resize(depth + 1);
+    auto& entry = arena_[depth][slot];
+    if (!entry)
+      entry = std::make_unique<SimVector<Value>>(*machine_, *space_, len);
+    CADAPT_CHECK(entry->size() == len);
+    return {entry.get(), 0, len};
+  }
+
+  /// Solve DP cells rows [i0..i1], cols [j0..j1] (1-based, inclusive).
+  /// top:    L[i0-1][j] for j = j0-1..j1   (length j1-j0+2)
+  /// left:   L[i][j0-1] for i = i0..i1     (length i1-i0+1)
+  /// bottom: L[i1][j]  for j = j0-1..j1    (written)
+  /// right:  L[i][j1]  for i = i0..i1      (written)
+  void block(std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+             const Buf& top, const Buf& left, const Buf& bottom,
+             const Buf& right, std::size_t depth) {
+    const std::size_t height = i1 - i0 + 1;
+    const std::size_t width = j1 - j0 + 1;
+    CADAPT_CHECK(top.len == width + 1 && bottom.len == width + 1);
+    CADAPT_CHECK(left.len == height && right.len == height);
+
+    if (height <= base_) {
+      // Direct DP with a tracked rolling row.
+      Buf row = scratch(depth, 2, width + 1);
+      for (std::size_t t = 0; t <= width; ++t) row.set(t, top.get(t));
+      for (std::size_t i = i0; i <= i1; ++i) {
+        Value prev_diag = row.get(0);  // L[i-1][j0-1]
+        row.set(0, left.get(i - i0));
+        for (std::size_t j = j0; j <= j1; ++j) {
+          const std::size_t idx = j - j0 + 1;
+          const Value above = row.get(idx);  // L[i-1][j]
+          const bool match = x_->get(i - 1) == y_->get(j - 1);
+          const Value val =
+              Policy::cell(prev_diag, above, row.get(idx - 1), match);
+          prev_diag = above;
+          row.set(idx, val);
+        }
+        right.set(i - i0, row.get(width));
+      }
+      for (std::size_t t = 0; t <= width; ++t) bottom.set(t, row.get(t));
+      return;
+    }
+
+    CADAPT_CHECK(height % 2 == 0 && width % 2 == 0 && height == width);
+    const std::size_t h = height / 2;
+    const std::size_t im = i0 + h - 1;  // last row of the upper half
+    const std::size_t jm = j0 + h - 1;  // last column of the left half
+
+    // Internal boundaries: mid-row = L[im][j0-1..j1], mid-col = L[i][jm]
+    // for i = i0..i1. The slice plumbing is the Θ(side) per-level scan.
+    Buf midrow = scratch(depth, 0, width + 1);
+    Buf midcol = scratch(depth, 1, height);
+
+    // Q11: rows i0..im, cols j0..jm.
+    block(i0, im, j0, jm, top.slice(0, h + 1), left.slice(0, h),
+          midrow.slice(0, h + 1), midcol.slice(0, h), depth + 1);
+    // Q12: rows i0..im, cols jm+1..j1; left boundary = right of Q11.
+    block(i0, im, jm + 1, j1, top.slice(h, h + 1), midcol.slice(0, h),
+          midrow.slice(h, h + 1), right.slice(0, h), depth + 1);
+    // Q21: rows im+1..i1, cols j0..jm; top boundary = bottom of Q11.
+    block(im + 1, i1, j0, jm, midrow.slice(0, h + 1), left.slice(h, h),
+          bottom.slice(0, h + 1), midcol.slice(h, h), depth + 1);
+    // Q22: rows im+1..i1, cols jm+1..j1.
+    block(im + 1, i1, jm + 1, j1, midrow.slice(h, h + 1), midcol.slice(h, h),
+          bottom.slice(h, h + 1), right.slice(h, h), depth + 1);
+  }
+
+  paging::Machine* machine_;
+  paging::AddressSpace* space_;
+  const SimVector<char>* x_;
+  const SimVector<char>* y_;
+  std::size_t base_;
+  // Per-depth scratch: [0] = mid-row, [1] = mid-column, [2] = rolling row.
+  std::vector<std::array<std::unique_ptr<SimVector<Value>>, 3>> arena_;
+};
+
+}  // namespace cadapt::algos

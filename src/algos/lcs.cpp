@@ -1,0 +1,71 @@
+#include "algos/lcs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "algos/grid_dp.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+/// LCS grid: L[i][j] = L[i-1][j-1]+1 on a match, else
+/// max(L[i-1][j], L[i][j-1]); zero boundaries.
+struct LcsPolicy {
+  using Value = int;
+  static Value top_boundary(std::size_t) { return 0; }
+  static Value left_boundary(std::size_t) { return 0; }
+  static Value cell(Value diag, Value up, Value left, bool match) {
+    return match ? diag + 1 : std::max(up, left);
+  }
+};
+
+}  // namespace
+
+std::size_t lcs_recursive(paging::Machine& machine,
+                          paging::AddressSpace& space,
+                          const SimVector<char>& x, const SimVector<char>& y,
+                          std::size_t base) {
+  GridDp<LcsPolicy> dp(machine, space, x, y, base);
+  return static_cast<std::size_t>(dp.solve());
+}
+
+std::size_t lcs_full_table(paging::Machine& machine,
+                           paging::AddressSpace& space,
+                           const SimVector<char>& x, const SimVector<char>& y) {
+  const std::size_t n = x.size();
+  CADAPT_CHECK(y.size() == n);
+  if (n == 0) return 0;
+  SimMatrix<int> table(machine, space, n + 1, n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      int val;
+      if (x.get(i - 1) == y.get(j - 1)) {
+        val = table.get(i - 1, j - 1) + 1;
+      } else {
+        val = std::max(table.get(i - 1, j), table.get(i, j - 1));
+      }
+      table.set(i, j, val);
+    }
+  }
+  return static_cast<std::size_t>(table.get(n, n));
+}
+
+std::size_t lcs_reference(const std::string& x, const std::string& y) {
+  const std::size_t m = x.size(), n = y.size();
+  std::vector<std::size_t> prev(n + 1, 0), cur(n + 1, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (x[i - 1] == y[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace cadapt::algos

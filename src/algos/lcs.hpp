@@ -1,0 +1,37 @@
+// Cache-oblivious longest-common-subsequence length via recursive
+// boundary dynamic programming (Chowdhury–Ramachandran style [16, 17]).
+//
+// The n x n DP grid is split into quadrants solved in dependency order
+// Q11, Q12, Q21, Q22; only the Θ(side) boundary rows/columns cross block
+// edges. Measuring problem size by side length, the recurrence is
+// T(n) = 4 T(n/2) + Θ(n/B): a = 4 > b = 2 with c = 1 — one of the
+// dynamic-programming algorithms the paper places inside the logarithmic
+// gap.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// LCS length of two tracked strings of equal length n (n = base * 2^k).
+/// All DP state (boundary buffers, rolling rows) lives in simulated
+/// memory, so the machine sees the algorithm's true traffic.
+std::size_t lcs_recursive(paging::Machine& machine,
+                          paging::AddressSpace& space,
+                          const SimVector<char>& x, const SimVector<char>& y,
+                          std::size_t base = 16);
+
+/// Classic full-table DP on tracked memory (baseline; Θ(n^2) space).
+std::size_t lcs_full_table(paging::Machine& machine,
+                           paging::AddressSpace& space,
+                           const SimVector<char>& x, const SimVector<char>& y);
+
+/// Untracked reference for verification.
+std::size_t lcs_reference(const std::string& x, const std::string& y);
+
+}  // namespace cadapt::algos

@@ -1,0 +1,217 @@
+#include "algos/mm.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+SimMatrix<double>& MmScratch::temp(std::size_t depth, std::size_t slot,
+                                   std::size_t n) {
+  if (by_depth_.size() <= depth) by_depth_.resize(depth + 1);
+  auto& slots = by_depth_[depth];
+  if (slots.size() <= slot) slots.resize(slot + 1);
+  if (!slots[slot]) {
+    slots[slot] = std::make_unique<SimMatrix<double>>(*machine_, *space_, n, n);
+  }
+  CADAPT_CHECK_MSG(slots[slot]->rows() == n,
+                   "scratch shape mismatch at depth " << depth << ": have "
+                                                      << slots[slot]->rows()
+                                                      << ", want " << n);
+  return *slots[slot];
+}
+
+namespace {
+
+void check_same_size(const MatView<double>& c, const MatView<double>& a,
+                     const MatView<double>& b) {
+  CADAPT_CHECK(c.n() == a.n() && a.n() == b.n());
+  CADAPT_CHECK(c.n() >= 1);
+}
+
+/// C += A*B with the inner product accumulated in a register.
+void mm_accumulate_direct(MatView<double> c, MatView<double> a,
+                          MatView<double> b) {
+  const std::size_t n = c.n();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c.get(i, j);
+      for (std::size_t k = 0; k < n; ++k) acc += a.get(i, k) * b.get(k, j);
+      c.set(i, j, acc);
+    }
+  }
+}
+
+}  // namespace
+
+void mm_naive(MatView<double> c, MatView<double> a, MatView<double> b) {
+  check_same_size(c, a, b);
+  mm_accumulate_direct(c, a, b);
+}
+
+void mm_inplace(MatView<double> c, MatView<double> a, MatView<double> b,
+                std::size_t base) {
+  check_same_size(c, a, b);
+  CADAPT_CHECK(base >= 1);
+  if (c.n() <= base) {
+    mm_accumulate_direct(c, a, b);
+    return;
+  }
+  CADAPT_CHECK_MSG(c.n() % 2 == 0, "side must be base * 2^k");
+  // C_ij += A_i0 * B_0j, then C_ij += A_i1 * B_1j — eight recursive calls,
+  // no temporaries, no merge scan.
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 2; ++k)
+        mm_inplace(c.quad(i, j), a.quad(i, k), b.quad(k, j), base);
+}
+
+namespace {
+
+void mm_scan_rec(MatView<double> c, MatView<double> a, MatView<double> b,
+                 MmScratch& scratch, std::size_t base, std::size_t depth) {
+  if (c.n() <= base) {
+    // Base case overwrites C.
+    const std::size_t n = c.n();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += a.get(i, k) * b.get(k, j);
+        c.set(i, j, acc);
+      }
+    }
+    return;
+  }
+  CADAPT_CHECK_MSG(c.n() % 2 == 0, "side must be base * 2^k");
+  SimMatrix<double>& t = scratch.temp(depth, 0, c.n());
+  MatView<double> tv(t);
+  // First four products straight into C's quadrants, second four into the
+  // temporary's quadrants...
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      mm_scan_rec(c.quad(i, j), a.quad(i, 0), b.quad(0, j), scratch, base,
+                  depth + 1);
+      mm_scan_rec(tv.quad(i, j), a.quad(i, 1), b.quad(1, j), scratch, base,
+                  depth + 1);
+    }
+  // ...then merge with one trailing linear scan: C += T. This scan is the
+  // Θ(N/B) term that makes MM-Scan (8,4,1)-regular.
+  const std::size_t n = c.n();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      c.set(i, j, c.get(i, j) + tv.get(i, j));
+}
+
+}  // namespace
+
+void mm_scan(MatView<double> c, MatView<double> a, MatView<double> b,
+             MmScratch& scratch, std::size_t base) {
+  check_same_size(c, a, b);
+  CADAPT_CHECK(base >= 1);
+  mm_scan_rec(c, a, b, scratch, base, 0);
+}
+
+namespace {
+
+void add_into(MatView<double> dst, MatView<double> x, MatView<double> y) {
+  const std::size_t n = dst.n();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      dst.set(i, j, x.get(i, j) + y.get(i, j));
+}
+
+void sub_into(MatView<double> dst, MatView<double> x, MatView<double> y) {
+  const std::size_t n = dst.n();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      dst.set(i, j, x.get(i, j) - y.get(i, j));
+}
+
+void strassen_rec(MatView<double> c, MatView<double> a, MatView<double> b,
+                  MmScratch& scratch, std::size_t base, std::size_t depth) {
+  if (c.n() <= base) {
+    const std::size_t n = c.n();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += a.get(i, k) * b.get(k, j);
+        c.set(i, j, acc);
+      }
+    }
+    return;
+  }
+  CADAPT_CHECK_MSG(c.n() % 2 == 0, "side must be base * 2^k");
+  const std::size_t h = c.n() / 2;
+  auto A11 = a.quad(0, 0), A12 = a.quad(0, 1), A21 = a.quad(1, 0),
+       A22 = a.quad(1, 1);
+  auto B11 = b.quad(0, 0), B12 = b.quad(0, 1), B21 = b.quad(1, 0),
+       B22 = b.quad(1, 1);
+  // Scratch: two operand temporaries + seven products, all h x h.
+  MatView<double> ta(scratch.temp(depth, 0, h));
+  MatView<double> tb(scratch.temp(depth, 1, h));
+  MatView<double> m[7] = {
+      MatView<double>(scratch.temp(depth, 2, h)),
+      MatView<double>(scratch.temp(depth, 3, h)),
+      MatView<double>(scratch.temp(depth, 4, h)),
+      MatView<double>(scratch.temp(depth, 5, h)),
+      MatView<double>(scratch.temp(depth, 6, h)),
+      MatView<double>(scratch.temp(depth, 7, h)),
+      MatView<double>(scratch.temp(depth, 8, h)),
+  };
+
+  auto rec = [&](MatView<double> dst, MatView<double> x, MatView<double> y) {
+    strassen_rec(dst, x, y, scratch, base, depth + 1);
+  };
+
+  add_into(ta, A11, A22);
+  add_into(tb, B11, B22);
+  rec(m[0], ta, tb);  // M1 = (A11+A22)(B11+B22)
+  add_into(ta, A21, A22);
+  rec(m[1], ta, B11);  // M2 = (A21+A22)B11
+  sub_into(tb, B12, B22);
+  rec(m[2], A11, tb);  // M3 = A11(B12-B22)
+  sub_into(tb, B21, B11);
+  rec(m[3], A22, tb);  // M4 = A22(B21-B11)
+  add_into(ta, A11, A12);
+  rec(m[4], ta, B22);  // M5 = (A11+A12)B22
+  sub_into(ta, A21, A11);
+  add_into(tb, B11, B12);
+  rec(m[5], ta, tb);  // M6 = (A21-A11)(B11+B12)
+  sub_into(ta, A12, A22);
+  add_into(tb, B21, B22);
+  rec(m[6], ta, tb);  // M7 = (A12-A22)(B21+B22)
+
+  // Combination scans.
+  auto C11 = c.quad(0, 0), C12 = c.quad(0, 1), C21 = c.quad(1, 0),
+       C22 = c.quad(1, 1);
+  for (std::size_t i = 0; i < h; ++i)
+    for (std::size_t j = 0; j < h; ++j) {
+      C11.set(i, j, m[0].get(i, j) + m[3].get(i, j) - m[4].get(i, j) +
+                        m[6].get(i, j));
+      C12.set(i, j, m[2].get(i, j) + m[4].get(i, j));
+      C21.set(i, j, m[1].get(i, j) + m[3].get(i, j));
+      C22.set(i, j, m[0].get(i, j) - m[1].get(i, j) + m[2].get(i, j) +
+                        m[5].get(i, j));
+    }
+}
+
+}  // namespace
+
+void strassen(MatView<double> c, MatView<double> a, MatView<double> b,
+              MmScratch& scratch, std::size_t base) {
+  check_same_size(c, a, b);
+  CADAPT_CHECK(base >= 1);
+  strassen_rec(c, a, b, scratch, base, 0);
+}
+
+std::vector<double> mm_reference(const std::vector<double>& a,
+                                 const std::vector<double>& b, std::size_t n) {
+  CADAPT_CHECK(a.size() == n * n && b.size() == n * n);
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aik * b[k * n + j];
+    }
+  return c;
+}
+
+}  // namespace cadapt::algos

@@ -1,0 +1,67 @@
+// Matrix-multiplication kernels from Section 3 of the paper.
+//
+//  * mm_naive    — triple-loop baseline (cache-aware analysis only).
+//  * mm_inplace  — MM-Inplace: recursive 8-way multiply that accumulates
+//    elementary products directly into C. No merge scan, i.e.
+//    (8,4,0)-regular, and optimally cache-adaptive.
+//  * mm_scan     — MM-Scan: recursive 8-way multiply that computes the
+//    second half of each quadrant's products into a temporary and merges
+//    with a trailing linear scan: T(N) = 8T(N/4) + Θ(N/B), i.e.
+//    (8,4,1)-regular — the canonical non-adaptive algorithm.
+//
+// All variants compute bit-identical results for the same inputs
+// (verified in tests) — they differ only in memory traffic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// Per-depth scratch arena for mm_scan/strassen: sibling recursive calls
+/// at the same depth reuse the same temporaries, so total scratch is
+/// O(n^2) instead of O(n^3).
+class MmScratch {
+ public:
+  MmScratch(paging::Machine& machine, paging::AddressSpace& space)
+      : machine_(&machine), space_(&space) {}
+
+  /// The `slot`-th scratch matrix of size n at recursion depth `depth`.
+  SimMatrix<double>& temp(std::size_t depth, std::size_t slot, std::size_t n);
+
+ private:
+  paging::Machine* machine_;
+  paging::AddressSpace* space_;
+  // by_depth_[depth][slot]
+  std::vector<std::vector<std::unique_ptr<SimMatrix<double>>>> by_depth_;
+};
+
+/// C += A * B, naive triple loop. Views must have equal size.
+void mm_naive(MatView<double> c, MatView<double> a, MatView<double> b);
+
+/// C += A * B, recursive in-place (MM-Inplace, (8,4,0)-regular).
+/// base: side length at which to switch to the direct loop (>= 1).
+void mm_inplace(MatView<double> c, MatView<double> a, MatView<double> b,
+                std::size_t base = 4);
+
+/// C = A * B, recursive with trailing merge scans (MM-Scan,
+/// (8,4,1)-regular). Overwrites C.
+void mm_scan(MatView<double> c, MatView<double> a, MatView<double> b,
+             MmScratch& scratch, std::size_t base = 4);
+
+/// C = A * B via Strassen's algorithm ((7,4,1)-regular). Overwrites C.
+/// Side length must be base * 2^k.
+void strassen(MatView<double> c, MatView<double> a, MatView<double> b,
+              MmScratch& scratch, std::size_t base = 4);
+
+/// Untracked reference product for verification: returns row-major n*n
+/// result of a * b (raw data).
+std::vector<double> mm_reference(const std::vector<double>& a,
+                                 const std::vector<double>& b, std::size_t n);
+
+}  // namespace cadapt::algos

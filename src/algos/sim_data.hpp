@@ -1,0 +1,125 @@
+// Instrumented containers: real data whose every element access is
+// reported to a paging::Machine, so concrete algorithms can be run
+// through the DAM and cache-adaptive machines while still computing real
+// (verifiable) results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+/// A vector in simulated memory. get/set are tracked; raw() bypasses the
+/// machine (for verification and initialization).
+template <typename T>
+class SimVector {
+ public:
+  SimVector(paging::Machine& machine, paging::AddressSpace& space,
+            std::size_t n, const T& init = T{})
+      : machine_(&machine), base_(space.allocate(n)), data_(n, init) {}
+
+  std::size_t size() const { return data_.size(); }
+
+  T get(std::size_t i) const {
+    CADAPT_CHECK(i < data_.size());
+    machine_->access(base_ + i);
+    return data_[i];
+  }
+
+  void set(std::size_t i, const T& v) {
+    CADAPT_CHECK(i < data_.size());
+    machine_->access(base_ + i);
+    data_[i] = v;
+  }
+
+  T& raw(std::size_t i) { return data_[i]; }
+  const T& raw(std::size_t i) const { return data_[i]; }
+
+ private:
+  paging::Machine* machine_;
+  std::uint64_t base_;
+  std::vector<T> data_;
+};
+
+/// A row-major matrix in simulated memory.
+template <typename T>
+class SimMatrix {
+ public:
+  SimMatrix(paging::Machine& machine, paging::AddressSpace& space,
+            std::size_t rows, std::size_t cols, const T& init = T{})
+      : machine_(&machine), base_(space.allocate(rows * cols)), rows_(rows),
+        cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T get(std::size_t r, std::size_t c) const {
+    machine_->access(addr(r, c));
+    return data_[index(r, c)];
+  }
+
+  void set(std::size_t r, std::size_t c, const T& v) {
+    machine_->access(addr(r, c));
+    data_[index(r, c)] = v;
+  }
+
+  T& raw(std::size_t r, std::size_t c) { return data_[index(r, c)]; }
+  const T& raw(std::size_t r, std::size_t c) const {
+    return data_[index(r, c)];
+  }
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const {
+    CADAPT_CHECK(r < rows_ && c < cols_);
+    return r * cols_ + c;
+  }
+  std::uint64_t addr(std::size_t r, std::size_t c) const {
+    return base_ + index(r, c);
+  }
+
+  paging::Machine* machine_;
+  std::uint64_t base_;
+  std::size_t rows_, cols_;
+  std::vector<T> data_;
+};
+
+/// A square view into a SimMatrix — the unit the divide-and-conquer
+/// algorithms recurse on.
+template <typename T>
+class MatView {
+ public:
+  MatView(SimMatrix<T>& m, std::size_t r0, std::size_t c0, std::size_t n)
+      : m_(&m), r0_(r0), c0_(c0), n_(n) {
+    CADAPT_CHECK(r0 + n <= m.rows() && c0 + n <= m.cols());
+  }
+
+  /// Whole-matrix view (matrix must be square).
+  explicit MatView(SimMatrix<T>& m) : MatView(m, 0, 0, m.rows()) {
+    CADAPT_CHECK(m.rows() == m.cols());
+  }
+
+  std::size_t n() const { return n_; }
+
+  T get(std::size_t i, std::size_t j) const { return m_->get(r0_ + i, c0_ + j); }
+  void set(std::size_t i, std::size_t j, const T& v) {
+    m_->set(r0_ + i, c0_ + j, v);
+  }
+  T& raw(std::size_t i, std::size_t j) { return m_->raw(r0_ + i, c0_ + j); }
+
+  /// Quadrant (qi, qj) in {0,1}^2 of an even-sized view.
+  MatView quad(std::size_t qi, std::size_t qj) const {
+    CADAPT_CHECK(n_ % 2 == 0 && qi < 2 && qj < 2);
+    const std::size_t h = n_ / 2;
+    return MatView(*m_, r0_ + qi * h, c0_ + qj * h, h);
+  }
+
+ private:
+  SimMatrix<T>* m_;
+  std::size_t r0_, c0_, n_;
+};
+
+}  // namespace cadapt::algos

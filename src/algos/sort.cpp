@@ -1,0 +1,50 @@
+#include "algos/sort.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+void merge_ranges(SimVector<std::int64_t>& data, std::size_t lo,
+                  std::size_t mid, std::size_t hi,
+                  SimVector<std::int64_t>& out) {
+  CADAPT_CHECK(lo <= mid && mid <= hi && hi <= data.size());
+  CADAPT_CHECK(out.size() >= hi);
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    const std::int64_t x = data.get(i);
+    const std::int64_t y = data.get(j);
+    if (x <= y) {
+      out.set(k++, x);
+      ++i;
+    } else {
+      out.set(k++, y);
+      ++j;
+    }
+  }
+  while (i < mid) out.set(k++, data.get(i++));
+  while (j < hi) out.set(k++, data.get(j++));
+}
+
+namespace {
+
+void sort_rec(SimVector<std::int64_t>& data, std::size_t lo, std::size_t hi,
+              SimVector<std::int64_t>& scratch) {
+  if (hi - lo <= 1) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  sort_rec(data, lo, mid, scratch);
+  sort_rec(data, mid, hi, scratch);
+  // Merge into the scratch buffer, then copy back: the two scans that
+  // make merge sort (2,2,1)-regular.
+  merge_ranges(data, lo, mid, hi, scratch);
+  for (std::size_t t = lo; t < hi; ++t) data.set(t, scratch.get(t));
+}
+
+}  // namespace
+
+void merge_sort(paging::Machine& machine, paging::AddressSpace& space,
+                SimVector<std::int64_t>& data) {
+  SimVector<std::int64_t> scratch(machine, space, data.size());
+  sort_rec(data, 0, data.size(), scratch);
+}
+
+}  // namespace cadapt::algos

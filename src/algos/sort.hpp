@@ -1,0 +1,31 @@
+// Instrumented sorting kernels — the a = b corner of the (a,b,c) space.
+//
+// Two-way cache-oblivious merge sort is (2,2,1)-regular: T(n) =
+// 2 T(n/2) + Θ(n/B). The paper's footnote 3: when a = b and c = 1, no
+// algorithm can be optimally cache-adaptive because such algorithms are
+// already Θ(log (M/B)) from optimal in the DAM model — merge sort is the
+// canonical example, and the a = b case is explicitly left open by the
+// paper. These kernels power the beyond-the-paper a = b ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// In-place (logically) two-way merge sort over tracked memory; uses a
+/// tracked scratch buffer of equal length. (2,2,1)-regular.
+void merge_sort(paging::Machine& machine, paging::AddressSpace& space,
+                SimVector<std::int64_t>& data);
+
+/// Binary merge of two sorted tracked ranges [lo, mid) and [mid, hi) of
+/// `data` into `out[lo, hi)`. Exposed for tests.
+void merge_ranges(SimVector<std::int64_t>& data, std::size_t lo,
+                  std::size_t mid, std::size_t hi,
+                  SimVector<std::int64_t>& out);
+
+}  // namespace cadapt::algos

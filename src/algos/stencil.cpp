@@ -1,0 +1,102 @@
+#include "algos/stencil.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::algos {
+
+namespace {
+
+/// Two time-rows of the space-time grid, ping-ponged by parity.
+struct StencilGrid {
+  SimMatrix<double>* rows;  // 2 x n
+  std::size_t n;
+
+  /// u(t+1, x) from u(t, x-1..x+1); boundary cells copy themselves.
+  void update(std::int64_t t, std::int64_t x) {
+    const std::size_t src = static_cast<std::size_t>(t) % 2;
+    const std::size_t dst = 1 - src;
+    const auto xi = static_cast<std::size_t>(x);
+    double value;
+    if (x == 0 || xi == n - 1) {
+      value = rows->get(src, xi);  // Dirichlet: boundary stays fixed
+    } else {
+      value = (rows->get(src, xi - 1) + rows->get(src, xi) +
+               rows->get(src, xi + 1)) /
+              3.0;
+    }
+    rows->set(dst, xi, value);
+  }
+};
+
+/// Frigo–Strumpen trapezoid walk. The region covers, for each time step
+/// t in [t0, t1), the cells [x0 + xd0·(t-t0), x1 + xd1·(t-t0)); slopes
+/// are in {-1, 0, 1}.
+void walk(StencilGrid& grid, std::int64_t t0, std::int64_t t1, std::int64_t x0,
+          std::int64_t xd0, std::int64_t x1, std::int64_t xd1) {
+  const std::int64_t h = t1 - t0;
+  if (h <= 0 || x1 <= x0) return;
+  if (h == 1) {
+    for (std::int64_t x = x0; x < x1; ++x) grid.update(t0, x);
+    return;
+  }
+  if (2 * (x1 - x0) + (xd1 - xd0) * h >= 4 * h) {
+    // Wide: space cut along a slope −1 diagonal through the center.
+    const std::int64_t xm = (2 * (x0 + x1) + (2 + xd0 + xd1) * h) / 4;
+    walk(grid, t0, t1, x0, xd0, xm, -1);
+    walk(grid, t0, t1, xm, -1, x1, xd1);
+  } else {
+    // Tall: time cut.
+    const std::int64_t s = h / 2;
+    walk(grid, t0, t0 + s, x0, xd0, x1, xd1);
+    walk(grid, t0 + s, t1, x0 + xd0 * s, xd0, x1 + xd1 * s, xd1);
+  }
+}
+
+}  // namespace
+
+void stencil_trapezoid(paging::Machine& machine, paging::AddressSpace& space,
+                       SimVector<double>& u, std::size_t steps) {
+  const std::size_t n = u.size();
+  if (n == 0 || steps == 0) return;
+  SimMatrix<double> rows(machine, space, 2, n);
+  for (std::size_t x = 0; x < n; ++x) rows.set(0, x, u.get(x));
+  StencilGrid grid{&rows, n};
+  walk(grid, 0, static_cast<std::int64_t>(steps), 0, 0,
+       static_cast<std::int64_t>(n), 0);
+  const std::size_t final_row = steps % 2;
+  for (std::size_t x = 0; x < n; ++x) u.set(x, rows.get(final_row, x));
+}
+
+void stencil_naive(paging::Machine& machine, paging::AddressSpace& space,
+                   SimVector<double>& u, std::size_t steps) {
+  const std::size_t n = u.size();
+  if (n == 0 || steps == 0) return;
+  SimMatrix<double> rows(machine, space, 2, n);
+  for (std::size_t x = 0; x < n; ++x) rows.set(0, x, u.get(x));
+  StencilGrid grid{&rows, n};
+  for (std::size_t t = 0; t < steps; ++t)
+    for (std::size_t x = 0; x < n; ++x)
+      grid.update(static_cast<std::int64_t>(t), static_cast<std::int64_t>(x));
+  const std::size_t final_row = steps % 2;
+  for (std::size_t x = 0; x < n; ++x) u.set(x, rows.get(final_row, x));
+}
+
+std::vector<double> stencil_reference(std::vector<double> u,
+                                      std::size_t steps) {
+  const std::size_t n = u.size();
+  if (n == 0) return u;
+  std::vector<double> next(n);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (x == 0 || x == n - 1) {
+        next[x] = u[x];
+      } else {
+        next[x] = (u[x - 1] + u[x] + u[x + 1]) / 3.0;
+      }
+    }
+    std::swap(u, next);
+  }
+  return u;
+}
+
+}  // namespace cadapt::algos

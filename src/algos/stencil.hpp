@@ -1,0 +1,36 @@
+// Cache-oblivious 1-D stencil computation (Frigo & Strumpen [30], the
+// Pochoir family [56]) — another member of the recursive divide-and-
+// conquer family the paper analyzes.
+//
+// The space-time region is cut recursively into trapezoids: wide regions
+// get a space cut along a diagonal (the two halves are independent given
+// the cut's slope), short-wide ones a time cut. Working set per leaf is
+// O(width), so the computation is cache-oblivious with I/O
+// O(T·n / (B·M)) versus the naive row sweep's O(T·n / B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+#include "paging/address_space.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::algos {
+
+/// Advance a 3-point averaging stencil (Dirichlet boundaries: the first
+/// and last cells stay fixed) for `steps` time steps over tracked memory,
+/// using the cache-oblivious trapezoid decomposition.
+/// `u` holds the initial row; on return it holds the final row.
+void stencil_trapezoid(paging::Machine& machine, paging::AddressSpace& space,
+                       SimVector<double>& u, std::size_t steps);
+
+/// Naive row-by-row sweep on tracked memory (baseline).
+void stencil_naive(paging::Machine& machine, paging::AddressSpace& space,
+                   SimVector<double>& u, std::size_t steps);
+
+/// Untracked reference for verification.
+std::vector<double> stencil_reference(std::vector<double> u,
+                                      std::size_t steps);
+
+}  // namespace cadapt::algos

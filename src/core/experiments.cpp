@@ -1,0 +1,279 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+
+namespace cadapt::core {
+
+namespace {
+
+RatioPoint point_from_summary(std::uint64_t n, const engine::McSummary& s,
+                              bool unit_progress = false) {
+  const util::RunningStat& stat = unit_progress ? s.unit_ratio : s.ratio;
+  const std::vector<double>& samples =
+      unit_progress ? s.unit_ratio_samples : s.ratio_samples;
+  RatioPoint p;
+  p.n = n;
+  p.ratio_mean = stat.mean();
+  p.ratio_ci95 = stat.ci95();
+  p.ratio_p95 = samples.empty() ? 0.0 : util::quantile(samples, 0.95);
+  p.boxes_mean = s.boxes.mean();
+  p.trials = stat.count();
+  p.incomplete = s.incomplete;
+  return p;
+}
+
+/// Sweep n = b^k and build a Series from a per-n Monte-Carlo factory.
+template <typename MakeFactory>
+Series sweep(const std::string& name, const model::RegularParams& params,
+             const SweepOptions& options, MakeFactory&& make_factory) {
+  CADAPT_CHECK(options.kmin <= options.kmax);
+  Series series;
+  series.name = name;
+  for (unsigned k = options.kmin; k <= options.kmax; ++k) {
+    const std::uint64_t n = util::ipow(params.b, k);
+    engine::McOptions mc;
+    mc.trials = options.trials;
+    mc.seed = options.seed + k;  // decorrelate points
+    mc.placement = options.placement;
+    mc.semantics = options.semantics;
+    const engine::McSummary summary =
+        engine::run_monte_carlo(params, n, make_factory(n), mc);
+    series.points.push_back(
+        point_from_summary(n, summary, options.unit_progress));
+  }
+  return series;
+}
+
+}  // namespace
+
+double slope_vs_log_n(const Series& series, std::uint64_t b) {
+  CADAPT_CHECK(series.points.size() >= 2);
+  std::vector<double> xs, ys;
+  xs.reserve(series.points.size());
+  ys.reserve(series.points.size());
+  for (const auto& p : series.points) {
+    xs.push_back(static_cast<double>(util::ilog(p.n, b)));
+    ys.push_back(p.ratio_mean);
+  }
+  return util::fit_linear(xs, ys).slope;
+}
+
+Series worst_case_gap_curve(const model::RegularParams& params,
+                            const SweepOptions& options,
+                            std::uint64_t profile_a, std::uint64_t profile_b) {
+  const std::uint64_t pa = profile_a == 0 ? params.a : profile_a;
+  const std::uint64_t pb = profile_b == 0 ? params.b : profile_b;
+  std::ostringstream name;
+  name << params.name() << " on M_{" << pa << "," << pb << "}";
+  SweepOptions opts = options;
+  opts.trials = 1;  // deterministic
+  return sweep(name.str(), params, opts, [pa, pb](std::uint64_t n) {
+    return [pa, pb, n](util::Rng&) -> std::unique_ptr<profile::BoxSource> {
+      // Cycle so that a mismatched (algorithm, profile) pair still
+      // completes; the canonical pair finishes within one pass.
+      return std::make_unique<profile::CyclingSource>([pa, pb, n] {
+        return std::make_unique<profile::WorstCaseSource>(pa, pb, n);
+      });
+    };
+  });
+}
+
+Series iid_curve(const model::RegularParams& params,
+                 const profile::BoxDistribution& dist,
+                 const SweepOptions& options) {
+  return sweep(params.name() + " on iid " + dist.name(), params, options,
+               [&dist](std::uint64_t) {
+                 return [&dist](util::Rng& rng)
+                            -> std::unique_ptr<profile::BoxSource> {
+                   return std::make_unique<profile::DistributionSource>(
+                       dist, rng.split());
+                 };
+               });
+}
+
+Series shuffled_worst_case_curve(const model::RegularParams& params,
+                                 const SweepOptions& options) {
+  // The census of M_{a,b}(n) is geometric over powers of b with weight a;
+  // sampling i.i.d. from it is the random reshuffle of the adversarial
+  // profile. The distribution depends on n, so it is built per point and
+  // kept alive by the factory via shared_ptr.
+  return sweep(params.name() + " on shuffled M_{a,b}", params, options,
+               [&params](std::uint64_t n) {
+                 const unsigned K = util::ilog(n, params.b);
+                 auto dist = std::make_shared<profile::GeometricPowers>(
+                     params.b, static_cast<double>(params.a), 0, K);
+                 // GeometricPowers weights: Pr[b^k] ∝ a^{-k} matches the
+                 // census count a^{K-k} after normalization.
+                 return [dist](util::Rng& rng)
+                            -> std::unique_ptr<profile::BoxSource> {
+                   return std::make_unique<profile::DistributionSource>(
+                       *dist, rng.split());
+                 };
+               });
+}
+
+Series size_perturb_curve(const model::RegularParams& params,
+                          const profile::PerturbSampler& sampler,
+                          const SweepOptions& options) {
+  return sweep(
+      params.name() + " on size-perturbed M_{a,b}", params, options,
+      [&params, &sampler](std::uint64_t n) {
+        return [&params, &sampler,
+                n](util::Rng& rng) -> std::unique_ptr<profile::BoxSource> {
+          // Perturbation factors are drawn per box from `sampler`; the
+          // profile repeats cyclically (with fresh perturbations each
+          // cycle) so the execution always completes.
+          util::Rng perturb_rng = rng.split();
+          auto factory = [&params, &sampler, n, perturb_rng]() mutable
+              -> std::unique_ptr<profile::BoxSource> {
+            auto inner =
+                std::make_unique<profile::WorstCaseSource>(params.a, params.b, n);
+            return std::make_unique<profile::SizePerturbSource>(
+                std::move(inner), sampler, perturb_rng.split());
+          };
+          return std::make_unique<profile::CyclingSource>(std::move(factory));
+        };
+      });
+}
+
+Series cyclic_shift_curve(const model::RegularParams& params,
+                          const SweepOptions& options) {
+  return sweep(
+      params.name() + " on cyclic-shifted M_{a,b}", params, options,
+      [&params](std::uint64_t n) {
+        const std::uint64_t total =
+            profile::worst_case_box_count(params.a, params.b, n);
+        return [&params, n,
+                total](util::Rng& rng) -> std::unique_ptr<profile::BoxSource> {
+          const std::uint64_t offset = rng.below(total);
+          auto base_factory = [&params, n]() {
+            return std::make_unique<profile::WorstCaseSource>(params.a,
+                                                              params.b, n);
+          };
+          // One cyclic rotation, repeated forever.
+          auto shifted_factory = [base_factory, offset]()
+              -> std::unique_ptr<profile::BoxSource> {
+            return std::make_unique<profile::CyclicShiftSource>(base_factory,
+                                                                offset);
+          };
+          return std::make_unique<profile::CyclingSource>(shifted_factory);
+        };
+      });
+}
+
+Series order_perturb_curve(const model::RegularParams& params,
+                           const SweepOptions& options, bool matched) {
+  CADAPT_CHECK(options.kmin <= options.kmax);
+  Series series;
+  series.name = params.name() + " on order-perturbed M_{a,b}" +
+                (matched ? " (matched scans)" : " (canonical scans)");
+  for (unsigned k = options.kmin; k <= options.kmax; ++k) {
+    const std::uint64_t n = util::ipow(params.b, k);
+    const engine::McSummary summary = engine::run_monte_carlo_custom(
+        options.trials, options.seed + k, [&](std::uint64_t trial_seed) {
+          // The same perturbed profile repeats each cycle (the factory
+          // captures the trial seed by value), and — when matched — the
+          // execution places its scans with the same seed.
+          auto factory = [&params, n,
+                          trial_seed]() -> std::unique_ptr<profile::BoxSource> {
+            return std::make_unique<profile::OrderPerturbedWorstCaseSource>(
+                params.a, params.b, n, trial_seed);
+          };
+          profile::CyclingSource source(factory);
+          return engine::run_regular(
+              params, n, source,
+              matched ? engine::ScanPlacement::kAdversaryMatched
+                      : engine::ScanPlacement::kEnd,
+              UINT64_C(1) << 40, trial_seed, options.semantics);
+        });
+    series.points.push_back(
+        point_from_summary(n, summary, options.unit_progress));
+  }
+  return series;
+}
+
+Series scan_hiding_curve(const model::RegularParams& params,
+                         const SweepOptions& options) {
+  SweepOptions opts = options;
+  opts.placement = engine::ScanPlacement::kInterleaved;
+  Series series = worst_case_gap_curve(params, opts);
+  series.name += " (interleaved scans)";
+  return series;
+}
+
+std::uint64_t measure_box_potential(const model::RegularParams& params,
+                                    std::uint64_t n, std::uint64_t s,
+                                    std::uint64_t samples, std::uint64_t seed) {
+  CADAPT_CHECK(s >= 1);
+  std::uint64_t best = 0;
+  util::Rng rng(seed);
+  const std::uint64_t total_units = [&] {
+    engine::RegularExecution probe(params, n);
+    return probe.total_units();
+  }();
+  for (std::uint64_t trial = 0; trial <= samples; ++trial) {
+    engine::RegularExecution exec(params, n);
+    if (trial > 0) {
+      // Advance to a random position with a random mix of small boxes
+      // (each advances at least one unit, so every walk terminates).
+      const std::uint64_t skip = rng.below(total_units);
+      while (!exec.done() && exec.units_done() < skip)
+        exec.consume_box(1 + rng.below(1 + skip - exec.units_done()));
+    }
+    if (exec.done()) continue;
+    best = std::max(best, exec.consume_box(s).progress);
+  }
+  return best;
+}
+
+std::uint64_t count_completions(const model::RegularParams& params,
+                                std::uint64_t n, profile::BoxSource& source,
+                                std::uint64_t max_runs) {
+  std::uint64_t completed = 0;
+  while (completed < max_runs) {
+    engine::RegularExecution exec(params, n);
+    while (!exec.done()) {
+      const auto box = source.next();
+      if (!box) return completed;  // profile exhausted mid-run
+      exec.consume_box(*box);
+    }
+    ++completed;
+  }
+  return completed;
+}
+
+std::uint64_t no_catchup_violations(const model::RegularParams& params,
+                                    std::uint64_t n, std::uint64_t trials,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::uint64_t violations = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    engine::RegularExecution ahead(params, n);
+    engine::RegularExecution behind(params, n);
+    // Put `ahead` strictly in front by feeding it a random warm-up.
+    const std::uint64_t warmup = 1 + rng.below(8);
+    for (std::uint64_t i = 0; i < warmup && !ahead.done(); ++i)
+      ahead.consume_box(1 + rng.below(n));
+    // Now feed both the same random suffix; `behind` must never overtake.
+    for (std::uint64_t step = 0; step < 64; ++step) {
+      if (ahead.done() && behind.done()) break;
+      const std::uint64_t s = 1 + rng.below(n);
+      if (!ahead.done()) ahead.consume_box(s);
+      if (!behind.done()) behind.consume_box(s);
+      if (behind.units_done() > ahead.units_done()) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace cadapt::core

@@ -1,0 +1,23 @@
+// Rendering of experiment series — shared by the bench harness and the
+// cadapt CLI.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/experiments.hpp"
+
+namespace cadapt::core {
+
+struct ReportOptions {
+  /// Base b for the log_b n column and the slope fit.
+  std::uint64_t log_base = 4;
+  /// Additionally emit the series as a CSV block.
+  bool csv = false;
+};
+
+/// Print a ratio series as an aligned table plus the fitted slope of the
+/// ratio against log_b n.
+void print_series(std::ostream& os, const Series& series,
+                  const ReportOptions& options);
+
+}  // namespace cadapt::core

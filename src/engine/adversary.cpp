@@ -1,0 +1,61 @@
+#include "engine/adversary.hpp"
+
+#include <algorithm>
+
+#include "engine/reference.hpp"
+#include "model/potential.hpp"
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::engine {
+
+AdversaryResult solve_adversary(const model::RegularParams& params,
+                                std::uint64_t n, ScanPlacement placement,
+                                BoxSemantics semantics) {
+  params.validate();
+  ReferenceExecution flat(params, n, placement, 0, semantics);
+  const std::size_t units = flat.total_units();
+  CADAPT_CHECK_MSG(units * n <= (1ull << 32),
+                   "adversary DP too large: units=" << units << " n=" << n);
+  auto advance = [&](std::size_t pos, profile::BoxSize s) {
+    return semantics == BoxSemantics::kOptimistic
+               ? flat.advance_from(pos, s)
+               : flat.advance_from_budgeted(pos, s);
+  };
+
+  // W[pos] = max remaining potential from position pos; best_box[pos]
+  // records the maximizer for witness reconstruction.
+  std::vector<double> w(units + 1, 0.0);
+  std::vector<profile::BoxSize> best_box(units + 1, 1);
+
+  for (std::size_t pos = units; pos-- > 0;) {
+    double best = -1.0;
+    for (profile::BoxSize s = 1; s <= n; ++s) {
+      const std::size_t next = advance(pos, s);
+      const double value = model::bounded_rho(params, n, s) + w[next];
+      if (value > best) {
+        best = value;
+        best_box[pos] = s;
+      }
+    }
+    w[pos] = best;
+  }
+
+  AdversaryResult result;
+  result.optimal_potential = w[0];
+  result.optimal_ratio = w[0] / model::rho(params, n);
+  if (params.c == 1.0 && util::is_power_of(n, params.b)) {
+    result.construction_potential =
+        profile::worst_case_total_potential(params.a, params.b, n);
+  }
+  // Reconstruct one optimal profile.
+  std::size_t pos = 0;
+  while (pos < units) {
+    result.witness.push_back(best_box[pos]);
+    pos = advance(pos, best_box[pos]);
+  }
+  return result;
+}
+
+}  // namespace cadapt::engine

@@ -1,0 +1,76 @@
+#include "engine/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::engine {
+
+AnalyticSolver::AnalyticSolver(const model::RegularParams& params,
+                               const profile::BoxDistribution& dist)
+    : params_(params), dist_(&dist) {
+  params_.validate();
+}
+
+double AnalyticSolver::expected_scan_boxes(std::uint64_t length) const {
+  if (length == 0) return 0.0;
+  // Renewal DP over the remaining scan length r: one box advances
+  // min(s, r), so E[K(r)] = 1 + Σ_s Pr[s] · E[K(r - min(s, r))].
+  std::vector<double> k(length + 1, 0.0);
+  const auto& pmf = dist_->pmf();
+  for (std::uint64_t r = 1; r <= length; ++r) {
+    double acc = 1.0;
+    for (const auto& entry : pmf) {
+      const std::uint64_t advance = std::min<std::uint64_t>(entry.size, r);
+      acc += entry.prob * k[r - advance];
+    }
+    k[r] = acc;
+  }
+  return k[length];
+}
+
+std::vector<AnalyticLevel> AnalyticSolver::solve(std::uint64_t n_max) const {
+  CADAPT_CHECK(util::is_power_of(n_max, params_.b));
+  const double e = params_.exponent();
+
+  std::vector<AnalyticLevel> levels;
+  double f_prev = 1.0;  // f(1): any box (size >= 1) completes a base case
+
+  for (std::uint64_t n = 1; n <= n_max; n *= params_.b) {
+    AnalyticLevel lvl;
+    lvl.n = n;
+    lvl.m_n = dist_->mean_min_pow(n, e);
+    if (n == 1) {
+      lvl.f = lvl.f_prime = 1.0;
+      lvl.p = dist_->prob_ge(1);  // = 1: every box completes the base case
+      lvl.scan_boxes = 0.0;
+      lvl.correction = 1.0;
+    } else {
+      const double f_child = f_prev;
+      lvl.p = std::min(1.0, dist_->prob_ge(n) * f_child);
+      const double q = 1.0 - lvl.p;
+      // Σ_{i=1..a} q^{i-1} f(n/b), summed in closed form when p > 0.
+      double subproblem_boxes;
+      if (lvl.p > 0.0) {
+        subproblem_boxes =
+            f_child * (1.0 - std::pow(q, static_cast<double>(params_.a))) / lvl.p;
+      } else {
+        subproblem_boxes = f_child * static_cast<double>(params_.a);
+      }
+      lvl.f_prime = subproblem_boxes;
+      lvl.scan_boxes = expected_scan_boxes(params_.scan_size(n));
+      lvl.f = lvl.f_prime +
+              std::pow(q, static_cast<double>(params_.a)) * lvl.scan_boxes;
+      lvl.correction = lvl.f_prime > 0.0 ? lvl.f / lvl.f_prime : 1.0;
+    }
+    lvl.ratio = lvl.f * lvl.m_n / util::pow_log_ratio(n, params_.a, params_.b);
+    levels.push_back(lvl);
+    f_prev = lvl.f;
+    if (n > n_max / params_.b) break;  // avoid overflow on n *= b
+  }
+  return levels;
+}
+
+}  // namespace cadapt::engine

@@ -1,0 +1,60 @@
+// Exact evaluation of the Lemma 3 stopping-time recurrence.
+//
+// For box sizes drawn i.i.d. from a distribution Σ, Lemma 3 expresses the
+// expected number of boxes f(n) needed to complete a problem of size n in
+// terms of f(n/b):
+//
+//   p      = Pr[|□| >= n] · f(n/b)
+//   f'(n)  = Σ_{i=1..a} (1-p)^{i-1} · f(n/b)        (subproblems)
+//   f(n)   = f'(n) + (1-p)^a · K(n)                 (plus the final scan)
+//
+// where K(n), the expected number of boxes to complete the scan alone, is
+// evaluated exactly by a renewal dynamic program over the remaining scan
+// length (each box advances min(s, remaining)).
+//
+// By Wald's identity, cache-adaptivity in expectation (Definition 3) is
+// equivalent to f(n) · m_n <= O(n^{log_b a}) with
+// m_n = E[min(n,|□|)^{log_b a}] — Equation 3 of the paper. The solver
+// reports the ratio f(n)·m_n / n^{log_b a} per level, plus the Equation 8
+// correction factors f(b^k)/f'(b^k) whose product the paper bounds by a
+// constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/regular.hpp"
+#include "profile/distributions.hpp"
+
+namespace cadapt::engine {
+
+/// Per-level output of the recurrence, for n = b^k.
+struct AnalyticLevel {
+  std::uint64_t n = 0;
+  double f = 0;            ///< E[boxes to complete a problem of size n]
+  double f_prime = 0;      ///< same, excluding the final scan
+  double p = 0;            ///< Pr[a >= n box arrives during one subproblem]
+  double scan_boxes = 0;   ///< K(n): E[boxes for the scan alone]
+  double m_n = 0;          ///< E[min(n,|□|)^{log_b a}]
+  double ratio = 0;        ///< f(n)·m_n / n^{log_b a} (Theorem 1: O(1))
+  double correction = 1;   ///< f(n)/f'(n) (Equation 8 factor)
+};
+
+class AnalyticSolver {
+ public:
+  AnalyticSolver(const model::RegularParams& params,
+                 const profile::BoxDistribution& dist);
+
+  /// Evaluate the recurrence for n = 1, b, b^2, ..., up to n_max (a power
+  /// of b). Levels are returned smallest first.
+  std::vector<AnalyticLevel> solve(std::uint64_t n_max) const;
+
+  /// E[boxes] to complete a standalone linear scan of `length` blocks.
+  double expected_scan_boxes(std::uint64_t length) const;
+
+ private:
+  model::RegularParams params_;
+  const profile::BoxDistribution* dist_;
+};
+
+}  // namespace cadapt::engine

@@ -1,0 +1,250 @@
+#include "engine/exec.hpp"
+
+#include <algorithm>
+
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::engine {
+
+RegularExecution::RegularExecution(const model::RegularParams& params,
+                                   std::uint64_t n, ScanPlacement placement,
+                                   std::uint64_t adversary_seed,
+                                   BoxSemantics semantics)
+    : params_(params), n_(n), placement_(placement),
+      adversary_seed_(adversary_seed), semantics_(semantics) {
+  params_.validate();
+  CADAPT_CHECK_MSG(util::is_power_of(n, params_.b),
+                   "problem size must be a power of b; n=" << n);
+  total_leaves_ = params_.leaves(n);
+  // U(b^0) = 1; U(b^k) = a·U(b^{k-1}) + scan_size(b^k).
+  const unsigned levels = util::ilog(n, params_.b);
+  units_by_level_.resize(levels + 1);
+  units_by_level_[0] = 1;
+  std::uint64_t size = 1;
+  for (unsigned k = 1; k <= levels; ++k) {
+    size *= params_.b;
+    units_by_level_[k] =
+        params_.a * units_by_level_[k - 1] + params_.scan_size(size);
+  }
+  stack_.push_back(
+      {n, 0, 0, profile::OrderPerturbedWorstCaseSource::root_hash(adversary_seed_)});
+  normalize();
+  CADAPT_CHECK(!stack_.empty());  // a fresh problem always has work
+}
+
+std::uint64_t RegularExecution::units_done() const {
+  if (stack_.empty()) return total_units();
+  std::uint64_t total = 0;
+  for (const Frame& f : stack_) {
+    if (f.size == 1) break;  // pending base case contributes nothing
+    const unsigned child_level = util::ilog(f.size / params_.b, params_.b);
+    total += completed_children(f) * units_by_level_[child_level];
+    const std::uint64_t chunks_complete = f.phase / 2;
+    for (std::uint64_t j = 0; j < chunks_complete; ++j)
+      total += chunk_size(f, j);
+    if (f.phase % 2 == 1) total += f.scan_offset;
+  }
+  return total;
+}
+
+std::uint64_t RegularExecution::chunk_size(const Frame& f,
+                                           std::uint64_t chunk) const {
+  const std::uint64_t scan = params_.scan_size(f.size);
+  const std::uint64_t a = params_.a;
+  CADAPT_CHECK(chunk < a);
+  switch (placement_) {
+    case ScanPlacement::kEnd:
+      return chunk + 1 == a ? scan : 0;
+    case ScanPlacement::kAdversaryMatched: {
+      // The whole scan goes right after child own_after (1-based); chunk
+      // i follows child i+1, so the scan lands in chunk own_after - 1.
+      const std::uint64_t after = profile::OrderPerturbedWorstCaseSource::
+          own_after(f.node_hash, a);
+      return chunk + 1 == after ? scan : 0;
+    }
+    case ScanPlacement::kInterleaved:
+      break;
+  }
+  // kInterleaved: distribute as evenly as possible; earlier chunks take
+  // the remainder.
+  const std::uint64_t base = scan / a;
+  const std::uint64_t extra = chunk < scan % a ? 1 : 0;
+  return base + extra;
+}
+
+std::uint64_t RegularExecution::leaves_done_within(std::size_t idx) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = idx; i < stack_.size(); ++i) {
+    if (stack_[i].size == 1) break;  // a pending base case contributes 0
+    total += completed_children(stack_[i]) * params_.leaves(stack_[i].size / params_.b);
+  }
+  return total;
+}
+
+std::uint64_t RegularExecution::normalize() {
+  const std::uint64_t a = params_.a;
+  std::uint64_t largest_retired = 0;
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    if (f.size == 1) break;  // pending base case
+    if (f.phase % 2 == 0) {
+      // Descend into child phase/2.
+      const std::uint64_t child_index = f.phase / 2;
+      stack_.push_back({f.size / params_.b, 0, 0,
+                        util::hash_combine(f.node_hash, child_index)});
+      continue;
+    }
+    // Odd phase: scan chunk (phase - 1) / 2.
+    if (f.scan_offset < chunk_size(f, (f.phase - 1) / 2)) break;
+    f.phase += 1;
+    f.scan_offset = 0;
+    if (f.phase == 2 * a) {
+      largest_retired = std::max(largest_retired, f.size);
+      stack_.pop_back();
+      if (!stack_.empty()) {
+        // The parent's current (even) child phase just completed.
+        stack_.back().phase += 1;
+        stack_.back().scan_offset = 0;
+      }
+    }
+  }
+  return largest_retired;
+}
+
+BoxReport RegularExecution::consume_box(profile::BoxSize s) {
+  CADAPT_CHECK_MSG(s >= 1, "box size must be >= 1");
+  CADAPT_CHECK_MSG(!done(), "consume_box on a finished execution");
+  ++boxes_consumed_;
+  return semantics_ == BoxSemantics::kOptimistic ? consume_box_optimistic(s)
+                                                 : consume_box_budgeted(s);
+}
+
+BoxReport RegularExecution::consume_box_optimistic(profile::BoxSize s) {
+  BoxReport report;
+
+  // Frame sizes strictly decrease with depth, so the frames of size <= s
+  // form a suffix of the stack; find the topmost one.
+  std::size_t idx = stack_.size();
+  while (idx > 0 && stack_[idx - 1].size <= s) --idx;
+
+  if (idx < stack_.size()) {
+    // The box begins inside the problem stack_[idx] of size <= s: it
+    // completes that problem in full and goes no further (§4 semantics).
+    const std::uint64_t completed_size = stack_[idx].size;
+    const std::uint64_t remaining =
+        params_.leaves(completed_size) - leaves_done_within(idx);
+    leaves_done_ += remaining;
+    report.progress = remaining;
+    report.completed_problem = completed_size;
+    stack_.resize(idx);
+    if (!stack_.empty()) {
+      stack_.back().phase += 1;
+      stack_.back().scan_offset = 0;
+      // The jump may cascade: completing the last child of a problem with
+      // no (remaining) scan completes that problem too.
+      report.completed_problem =
+          std::max(report.completed_problem, normalize());
+    }
+    return report;
+  }
+
+  // Every enclosing problem is larger than s, so the current position is
+  // inside a scan (a pending base case has size 1 <= s and would have been
+  // caught above).
+  Frame& f = stack_.back();
+  CADAPT_CHECK(f.phase % 2 == 1);
+  const std::uint64_t chunk = chunk_size(f, (f.phase - 1) / 2);
+  CADAPT_CHECK(f.scan_offset < chunk);
+  const std::uint64_t advance = std::min<std::uint64_t>(s, chunk - f.scan_offset);
+  f.scan_offset += advance;
+  // Finishing the last scan chunk retires the problem (and possibly its
+  // ancestors); report the largest problem retired.
+  report.completed_problem = normalize();
+  return report;
+}
+
+BoxReport RegularExecution::consume_box_budgeted(profile::BoxSize s) {
+  BoxReport report;
+  std::uint64_t budget = s;
+  while (budget > 0 && !stack_.empty()) {
+    Frame& f = stack_.back();
+    if (f.phase % 2 == 1) {
+      // In a scan: each scan access loads one (fresh) block.
+      const std::uint64_t chunk = chunk_size(f, (f.phase - 1) / 2);
+      CADAPT_CHECK(f.scan_offset < chunk);
+      const std::uint64_t advance =
+          std::min<std::uint64_t>(budget, chunk - f.scan_offset);
+      f.scan_offset += advance;
+      budget -= advance;
+      report.completed_problem =
+          std::max(report.completed_problem, normalize());
+      continue;
+    }
+    // Pending base case. The position is at the *start* of every ancestor
+    // frame reachable upward through phase-0 frames; completing one of
+    // them wholesale costs its size in block loads. Take the largest that
+    // fits in the remaining budget.
+    CADAPT_CHECK(f.size == 1);
+    std::size_t idx = stack_.size() - 1;  // the leaf frame itself
+    while (idx > 0 && stack_[idx - 1].phase == 0 &&
+           stack_[idx - 1].scan_offset == 0 && stack_[idx - 1].size <= budget) {
+      --idx;
+    }
+    if (stack_[idx].size > budget) break;  // cannot even afford the leaf
+    const std::uint64_t completed_size = stack_[idx].size;
+    const std::uint64_t remaining =
+        params_.leaves(completed_size) - leaves_done_within(idx);
+    CADAPT_CHECK(remaining == params_.leaves(completed_size));  // at start
+    leaves_done_ += remaining;
+    report.progress += remaining;
+    report.completed_problem = std::max(report.completed_problem, completed_size);
+    budget -= completed_size;
+    stack_.resize(idx);
+    if (!stack_.empty()) {
+      stack_.back().phase += 1;
+      stack_.back().scan_offset = 0;
+      report.completed_problem =
+          std::max(report.completed_problem, normalize());
+    }
+  }
+  return report;
+}
+
+RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
+                            std::uint64_t max_boxes) {
+  model::AdaptivityAccumulator acc(exec.params(), exec.problem_size());
+  double sum_unit_potential = 0.0;
+  RunResult result;
+  while (!exec.done()) {
+    if (exec.boxes_consumed() >= max_boxes) break;
+    const auto box = source.next();
+    if (!box) break;  // finite profile exhausted before completion
+    acc.add_box(*box);
+    sum_unit_potential +=
+        model::bounded_rho_units(exec.params(), exec.problem_size(), *box);
+    exec.consume_box(*box);
+  }
+  result.completed = exec.done();
+  result.boxes = exec.boxes_consumed();
+  result.leaves = exec.leaves_done();
+  result.sum_bounded_potential = acc.sum_bounded_potential();
+  result.ratio = acc.ratio();
+  result.unit_ratio =
+      sum_unit_potential /
+      static_cast<double>(
+          model::problem_units(exec.params(), exec.problem_size()));
+  return result;
+}
+
+RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
+                      profile::BoxSource& source, ScanPlacement placement,
+                      std::uint64_t max_boxes, std::uint64_t adversary_seed,
+                      BoxSemantics semantics) {
+  RegularExecution exec(params, n, placement, adversary_seed, semantics);
+  return run_to_completion(exec, source, max_boxes);
+}
+
+}  // namespace cadapt::engine

@@ -1,0 +1,161 @@
+// Execution of an (a,b,c)-regular algorithm over a square profile, under
+// the simplified caching semantics of Section 4 of the paper (proved
+// there to be w.l.o.g. for cache-adaptive analysis):
+//
+//   * a box of size s that begins inside a problem of size <= s completes
+//     the largest enclosing problem of size <= s, and goes no further;
+//   * a box of size s that begins in the scan of a problem larger than s
+//     advances min(s, remaining scan) accesses of that scan.
+//
+// The execution is symbolic: no data is touched, only the position within
+// the recursion tree is tracked, so profiles with tens of millions of
+// boxes run in seconds. (The paging + algos modules provide the
+// complementary *concrete* machine that runs real algorithms.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/potential.hpp"
+#include "model/regular.hpp"
+#include "profile/box_source.hpp"
+
+namespace cadapt::engine {
+
+/// Where the linear scan of each problem is placed.
+///
+/// kEnd is the paper's canonical form (w.l.o.g. for its worst-case
+/// constructions): the whole scan follows the last recursive call.
+/// kInterleaved splits the scan into a equal chunks, one after each
+/// recursive call — a lightweight form of the scan-hiding idea of
+/// Lincoln et al. [40] that de-synchronizes the scan from profiles
+/// engineered against trailing scans.
+/// kAdversaryMatched places each problem's whole scan after child number
+/// profile::OrderPerturbedWorstCaseSource::own_after(node_hash, a): with
+/// the same seed it mirrors the order-perturbed worst-case profile — the
+/// witness algorithm for the paper's third negative result.
+enum class ScanPlacement { kEnd, kInterleaved, kAdversaryMatched };
+
+/// How much work one box can complete.
+///
+/// kOptimistic is the paper's §4 simplified model: a box of size s
+/// beginning inside a problem of size <= s completes the largest
+/// enclosing problem of size <= s, regardless of how much of that problem
+/// already ran. This is the semantics under which the paper proves its
+/// positive theorem (it only over-credits boxes, which is safe for an
+/// upper bound).
+///
+/// kBudgeted is a conservative model of the underlying machine when the
+/// algorithm's scans and sibling subproblems occupy disjoint blocks: the
+/// box has a budget of s block loads; completing a whole problem of size
+/// m (from its start) costs m, and each scan access costs 1. A box never
+/// jumps out of a scan it lands in — exactly the accounting behind the
+/// paper's worst-case profiles and its negative (robustness) results.
+enum class BoxSemantics { kOptimistic, kBudgeted };
+
+/// Result of consuming one box.
+struct BoxReport {
+  /// Base-case subproblems completed within this box (the paper's
+  /// "progress").
+  std::uint64_t progress = 0;
+  /// Size of the problem this box completed in full, or 0 if the box only
+  /// advanced a scan.
+  std::uint64_t completed_problem = 0;
+};
+
+/// State machine for one execution of an (a,b,c)-regular algorithm on a
+/// problem of n blocks (n a power of b).
+class RegularExecution {
+ public:
+  /// adversary_seed is only consulted for ScanPlacement::kAdversaryMatched;
+  /// pass the seed of the OrderPerturbedWorstCaseSource being matched.
+  RegularExecution(const model::RegularParams& params, std::uint64_t n,
+                   ScanPlacement placement = ScanPlacement::kEnd,
+                   std::uint64_t adversary_seed = 0,
+                   BoxSemantics semantics = BoxSemantics::kOptimistic);
+
+  /// Feed the next box of the profile to the algorithm. Must not be
+  /// called once done().
+  BoxReport consume_box(profile::BoxSize s);
+
+  bool done() const { return stack_.empty(); }
+  std::uint64_t problem_size() const { return n_; }
+  std::uint64_t boxes_consumed() const { return boxes_consumed_; }
+  /// Base cases completed so far; total_leaves() when done.
+  std::uint64_t leaves_done() const { return leaves_done_; }
+  std::uint64_t total_leaves() const { return total_leaves_; }
+  const model::RegularParams& params() const { return params_; }
+
+  /// Position in the flattened execution: unit accesses (base cases plus
+  /// individual scan blocks) completed so far. This is the reference
+  /// position r_i of the No-Catch-up Lemma (Lemma 2): a run that is ahead
+  /// in units can never fall behind one that is behind, given the same
+  /// remaining boxes.
+  std::uint64_t units_done() const;
+  /// Total unit accesses of the whole problem.
+  std::uint64_t total_units() const { return units_by_level_.back(); }
+
+ private:
+  struct Frame {
+    std::uint64_t size;         // problem size in blocks (power of b)
+    std::uint64_t phase;        // 0..2a-1: even 2i = in child i, odd 2i+1 = in scan chunk i
+    std::uint64_t scan_offset;  // progress within the current scan chunk
+    std::uint64_t node_hash;    // path hash (used by kAdversaryMatched)
+  };
+
+  /// Scan chunk i (0-based) of the problem in frame f.
+  std::uint64_t chunk_size(const Frame& f, std::uint64_t chunk) const;
+  /// Children of the frame that are fully complete: (phase + 1) / 2.
+  static std::uint64_t completed_children(const Frame& f) {
+    return (f.phase + 1) / 2;
+  }
+  /// Base cases already completed strictly within stack_[idx].
+  std::uint64_t leaves_done_within(std::size_t idx) const;
+  /// Restore the invariant: the deepest frame is a pending base case or a
+  /// scan chunk with work remaining; completed frames are retired.
+  /// Returns the size of the largest problem retired, or 0.
+  std::uint64_t normalize();
+
+  BoxReport consume_box_optimistic(profile::BoxSize s);
+  BoxReport consume_box_budgeted(profile::BoxSize s);
+
+  model::RegularParams params_;
+  std::uint64_t n_;
+  ScanPlacement placement_;
+  std::uint64_t adversary_seed_;
+  BoxSemantics semantics_;
+  std::uint64_t total_leaves_;
+  std::uint64_t leaves_done_ = 0;
+  std::uint64_t boxes_consumed_ = 0;
+  std::vector<Frame> stack_;
+  /// units_by_level_[k] = unit accesses of a problem of size b^k.
+  std::vector<std::uint64_t> units_by_level_;
+};
+
+/// Outcome of running an execution to completion over a box stream.
+struct RunResult {
+  bool completed = false;           ///< false: source exhausted / box cap hit
+  std::uint64_t boxes = 0;          ///< boxes consumed (the paper's S_n)
+  std::uint64_t leaves = 0;         ///< base cases completed
+  double sum_bounded_potential = 0; ///< Σ min(n,|□_i|)^{log_b a}
+  double ratio = 0;                 ///< sum_bounded_potential / n^{log_b a}
+  /// Same criterion under the operation-based progress function (paper
+  /// footnote 4): Σ ρ_U(min(n,|□_i|)) / U(n). Use for a <= b, where base
+  /// cases under-count the algorithm's work.
+  double unit_ratio = 0;
+};
+
+/// Drive an execution over a box stream until the algorithm finishes, the
+/// stream is exhausted, or max_boxes boxes have been consumed.
+RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
+                            std::uint64_t max_boxes = UINT64_C(1) << 40);
+
+/// Convenience: build the execution and run it.
+RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
+                      profile::BoxSource& source,
+                      ScanPlacement placement = ScanPlacement::kEnd,
+                      std::uint64_t max_boxes = UINT64_C(1) << 40,
+                      std::uint64_t adversary_seed = 0,
+                      BoxSemantics semantics = BoxSemantics::kOptimistic);
+
+}  // namespace cadapt::engine

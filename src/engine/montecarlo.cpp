@@ -1,0 +1,78 @@
+#include "engine/montecarlo.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "profile/distributions.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::engine {
+
+McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
+                                 const TrialRunner& runner,
+                                 util::ThreadPool* pool) {
+  CADAPT_CHECK(trials >= 1);
+  CADAPT_CHECK(runner != nullptr);
+  util::ThreadPool& the_pool = pool != nullptr ? *pool : util::default_pool();
+
+  struct Trial {
+    double ratio = 0;
+    double unit_ratio = 0;
+    double boxes = 0;
+    bool completed = false;
+  };
+  std::vector<Trial> results(trials);
+
+  util::parallel_for(the_pool, trials, [&](std::size_t i) {
+    // Per-trial seed depends only on (seed, i).
+    std::uint64_t mix = seed;
+    (void)util::splitmix64(mix);
+    mix ^= 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1);
+    const RunResult r = runner(mix);
+    results[i] = {r.ratio, r.unit_ratio, static_cast<double>(r.boxes),
+                  r.completed};
+  });
+
+  McSummary summary;
+  summary.ratio_samples.reserve(results.size());
+  summary.unit_ratio_samples.reserve(results.size());
+  for (const auto& t : results) {
+    summary.ratio.add(t.ratio);
+    summary.unit_ratio.add(t.unit_ratio);
+    summary.boxes.add(t.boxes);
+    summary.ratio_samples.push_back(t.ratio);
+    summary.unit_ratio_samples.push_back(t.unit_ratio);
+    if (!t.completed) ++summary.incomplete;
+  }
+  return summary;
+}
+
+McSummary run_monte_carlo(const model::RegularParams& params, std::uint64_t n,
+                          const TrialSourceFactory& make_source,
+                          const McOptions& options) {
+  return run_monte_carlo_custom(
+      options.trials, options.seed,
+      [&](std::uint64_t trial_seed) {
+        util::Rng rng(trial_seed);
+        auto source = make_source(rng);
+        CADAPT_CHECK(source != nullptr);
+        return run_regular(params, n, *source, options.placement,
+                           options.max_boxes, /*adversary_seed=*/0,
+                           options.semantics);
+      },
+      options.pool);
+}
+
+McSummary run_monte_carlo_iid(const model::RegularParams& params,
+                              std::uint64_t n,
+                              const profile::BoxDistribution& dist,
+                              const McOptions& options) {
+  return run_monte_carlo(
+      params, n,
+      [&dist](util::Rng& rng) {
+        return std::make_unique<profile::DistributionSource>(dist, rng.split());
+      },
+      options);
+}
+
+}  // namespace cadapt::engine

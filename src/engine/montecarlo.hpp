@@ -1,0 +1,70 @@
+// Parallel Monte-Carlo estimation of cache-adaptivity in expectation
+// (Definition 3): repeatedly run an (a,b,c)-regular execution on freshly
+// drawn random profiles and aggregate the adaptivity ratio
+// Σ min(n,|□_i|)^{log_b a} / n^{log_b a} and the stopping time S_n.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "engine/exec.hpp"
+#include "model/regular.hpp"
+#include "profile/box_source.hpp"
+#include "profile/distributions.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cadapt::engine {
+
+/// Builds a fresh profile stream for one trial from a trial-specific RNG.
+/// Determinism: the RNG depends only on (seed, trial index), never on
+/// scheduling, so results are reproducible across thread counts.
+using TrialSourceFactory =
+    std::function<std::unique_ptr<profile::BoxSource>(util::Rng&)>;
+
+struct McOptions {
+  std::uint64_t trials = 64;
+  std::uint64_t seed = 42;
+  ScanPlacement placement = ScanPlacement::kEnd;
+  BoxSemantics semantics = BoxSemantics::kOptimistic;
+  std::uint64_t max_boxes = UINT64_C(1) << 40;
+  util::ThreadPool* pool = nullptr;  ///< nullptr = util::default_pool()
+};
+
+struct McSummary {
+  util::RunningStat ratio;       ///< adaptivity ratio per trial
+  util::RunningStat unit_ratio;  ///< operation-based ratio per trial
+  util::RunningStat boxes;       ///< boxes to completion (S_n) per trial
+  std::uint64_t incomplete = 0;  ///< trials that hit the box cap / exhaustion
+  /// Raw per-trial samples, for tail statistics (beyond-expectation
+  /// analysis: Definition 3 only bounds the mean).
+  std::vector<double> ratio_samples;
+  std::vector<double> unit_ratio_samples;
+};
+
+/// Fully custom trial body for experiments that must couple the profile
+/// and the execution (e.g. the adversary-matched order perturbation):
+/// receives a per-trial seed and returns the finished RunResult.
+using TrialRunner = std::function<RunResult(std::uint64_t trial_seed)>;
+
+/// Run `trials` independent trials; trial i receives a seed derived only
+/// from (seed, i), so results are reproducible across thread counts.
+McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
+                                 const TrialRunner& runner,
+                                 util::ThreadPool* pool = nullptr);
+
+/// Run `options.trials` independent executions of the (params, n) algorithm
+/// on profiles produced by `make_source`.
+McSummary run_monte_carlo(const model::RegularParams& params, std::uint64_t n,
+                          const TrialSourceFactory& make_source,
+                          const McOptions& options = {});
+
+/// Convenience: i.i.d. profile from a distribution (Theorem 1's setting).
+McSummary run_monte_carlo_iid(const model::RegularParams& params,
+                              std::uint64_t n,
+                              const profile::BoxDistribution& dist,
+                              const McOptions& options = {});
+
+}  // namespace cadapt::engine

@@ -1,0 +1,196 @@
+#include "engine/reference.hpp"
+
+#include <algorithm>
+
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::engine {
+
+ReferenceExecution::ReferenceExecution(const model::RegularParams& params,
+                                       std::uint64_t n,
+                                       ScanPlacement placement,
+                                       std::uint64_t adversary_seed,
+                                       BoxSemantics semantics)
+    : params_(params), placement_(placement), semantics_(semantics) {
+  params_.validate();
+  CADAPT_CHECK(util::is_power_of(n, params_.b));
+  std::vector<std::pair<std::uint64_t, std::size_t>> chain;
+  build(n, chain,
+        profile::OrderPerturbedWorstCaseSource::root_hash(adversary_seed));
+  CADAPT_CHECK(chain.empty());
+}
+
+void ReferenceExecution::build(
+    std::uint64_t size,
+    std::vector<std::pair<std::uint64_t, std::size_t>>& chain,
+    std::uint64_t node_hash) {
+  // Reserve a slot in the chain for this problem; the end index is patched
+  // once the problem's units are all emitted.
+  chain.emplace_back(size, 0);
+  const std::size_t chain_idx = chain.size() - 1;
+  const std::size_t start_unit = units_.size();
+
+  auto emit_scan_chunk = [&](std::uint64_t len) {
+    const std::size_t start = units_.size();
+    for (std::uint64_t i = 0; i < len; ++i) {
+      Unit u;
+      u.is_leaf = false;
+      u.chunk_end = start + len;
+      u.enclosing = chain;
+      units_.push_back(std::move(u));
+    }
+  };
+
+  if (size == 1) {
+    Unit u;
+    u.is_leaf = true;
+    u.chunk_end = 0;
+    u.enclosing = chain;
+    units_.push_back(std::move(u));
+  } else {
+    const std::uint64_t scan = params_.scan_size(size);
+    const std::uint64_t a = params_.a;
+    for (std::uint64_t child = 0; child < a; ++child) {
+      build(size / params_.b, chain, util::hash_combine(node_hash, child));
+      std::uint64_t len = 0;
+      switch (placement_) {
+        case ScanPlacement::kEnd:
+          len = child + 1 == a ? scan : 0;
+          break;
+        case ScanPlacement::kAdversaryMatched:
+          len = child + 1 == profile::OrderPerturbedWorstCaseSource::own_after(
+                                 node_hash, a)
+                    ? scan
+                    : 0;
+          break;
+        case ScanPlacement::kInterleaved:
+          len = scan / a + (child < scan % a ? 1 : 0);
+          break;
+      }
+      emit_scan_chunk(len);
+    }
+  }
+
+  // Patch the exclusive end of this problem in every unit it contains.
+  const std::size_t end = units_.size();
+  for (std::size_t i = start_unit; i < end; ++i) {
+    Unit& u = units_[i];
+    CADAPT_CHECK(u.enclosing.size() > chain_idx);
+    CADAPT_CHECK(u.enclosing[chain_idx].first == size);
+    u.enclosing[chain_idx].second = end;
+  }
+  chain.pop_back();
+}
+
+std::uint64_t ReferenceExecution::units_of(std::uint64_t size) const {
+  std::uint64_t u = 1;
+  for (std::uint64_t m = params_.b; m <= size; m *= params_.b)
+    u = params_.a * u + params_.scan_size(m);
+  return u;
+}
+
+void ReferenceExecution::advance_to(std::size_t new_pos, BoxReport& report) {
+  CADAPT_CHECK(new_pos > pos_);
+  for (std::size_t i = pos_; i < new_pos; ++i) {
+    if (units_[i].is_leaf) {
+      ++leaves_done_;
+      ++report.progress;
+    }
+  }
+  for (const auto& enc : units_[new_pos - 1].enclosing) {
+    if (enc.second == new_pos) {
+      report.completed_problem = std::max(report.completed_problem, enc.first);
+      break;
+    }
+  }
+  pos_ = new_pos;
+}
+
+BoxReport ReferenceExecution::consume_box(profile::BoxSize s) {
+  CADAPT_CHECK(s >= 1);
+  CADAPT_CHECK(!done());
+  return semantics_ == BoxSemantics::kOptimistic ? consume_box_optimistic(s)
+                                                 : consume_box_budgeted(s);
+}
+
+BoxReport ReferenceExecution::consume_box_budgeted(profile::BoxSize s) {
+  BoxReport report;
+  std::uint64_t budget = s;
+  while (budget > 0 && !done()) {
+    const Unit& u = units_[pos_];
+    if (!u.is_leaf) {
+      // Scan unit: one block load per access.
+      const std::size_t advance = std::min<std::size_t>(
+          static_cast<std::size_t>(budget), u.chunk_end - pos_);
+      advance_to(pos_ + advance, report);
+      budget -= advance;
+      continue;
+    }
+    // Leaf: complete the largest enclosing problem that starts exactly
+    // here and fits in the budget (costs its size in block loads).
+    const std::pair<std::uint64_t, std::size_t>* target = nullptr;
+    for (const auto& enc : u.enclosing) {
+      if (enc.first <= budget && enc.second - units_of(enc.first) == pos_) {
+        target = &enc;
+        break;
+      }
+    }
+    CADAPT_CHECK(target != nullptr);  // the size-1 problem always qualifies
+    budget -= target->first;
+    advance_to(target->second, report);
+  }
+  return report;
+}
+
+std::size_t ReferenceExecution::advance_from_budgeted(
+    std::size_t pos, profile::BoxSize s) const {
+  CADAPT_CHECK(s >= 1);
+  CADAPT_CHECK(pos < units_.size());
+  std::uint64_t budget = s;
+  while (budget > 0 && pos < units_.size()) {
+    const Unit& u = units_[pos];
+    if (!u.is_leaf) {
+      const std::size_t advance = std::min<std::size_t>(
+          static_cast<std::size_t>(budget), u.chunk_end - pos);
+      pos += advance;
+      budget -= advance;
+      continue;
+    }
+    const std::pair<std::uint64_t, std::size_t>* target = nullptr;
+    for (const auto& enc : u.enclosing) {
+      if (enc.first <= budget && enc.second - units_of(enc.first) == pos) {
+        target = &enc;
+        break;
+      }
+    }
+    CADAPT_CHECK(target != nullptr);
+    budget -= target->first;
+    pos = target->second;
+  }
+  return pos;
+}
+
+std::size_t ReferenceExecution::advance_from(std::size_t pos,
+                                             profile::BoxSize s) const {
+  CADAPT_CHECK(s >= 1);
+  CADAPT_CHECK(pos < units_.size());
+  const Unit& u = units_[pos];
+  // Largest enclosing problem of size <= s (enclosing sizes decrease from
+  // outermost to innermost).
+  for (const auto& enc : u.enclosing) {
+    if (enc.first <= s) return enc.second;
+  }
+  CADAPT_CHECK(!u.is_leaf);  // a leaf is enclosed by its size-1 problem
+  return std::min<std::size_t>(pos + s, u.chunk_end);
+}
+
+BoxReport ReferenceExecution::consume_box_optimistic(profile::BoxSize s) {
+  BoxReport report;
+  advance_to(advance_from(pos_, s), report);
+  return report;
+}
+
+}  // namespace cadapt::engine

@@ -1,0 +1,74 @@
+// Brute-force reference implementation of the §4 simplified caching
+// semantics, used to differential-test engine::RegularExecution.
+//
+// The whole execution of the algorithm is flattened into a vector of unit
+// accesses (base cases and individual scan blocks) with, for every unit,
+// the chain of enclosing problems. Box consumption is then resolved by
+// direct lookup. Memory is Θ(total accesses · depth), so this is only for
+// small problems — which is exactly what a test oracle needs to be:
+// simple and obviously correct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/exec.hpp"
+#include "model/regular.hpp"
+#include "profile/box.hpp"
+
+namespace cadapt::engine {
+
+class ReferenceExecution {
+ public:
+  ReferenceExecution(const model::RegularParams& params, std::uint64_t n,
+                     ScanPlacement placement = ScanPlacement::kEnd,
+                     std::uint64_t adversary_seed = 0,
+                     BoxSemantics semantics = BoxSemantics::kOptimistic);
+
+  BoxReport consume_box(profile::BoxSize s);
+
+  /// Pure successor function under the optimistic semantics: the position
+  /// after a box of size s starting at `pos` (no state is mutated). Used
+  /// by the exhaustive adversary search (engine/adversary.hpp).
+  std::size_t advance_from(std::size_t pos, profile::BoxSize s) const;
+
+  /// Pure successor under the budgeted semantics (same contract).
+  std::size_t advance_from_budgeted(std::size_t pos,
+                                    profile::BoxSize s) const;
+
+  bool done() const { return pos_ == units_.size(); }
+  std::uint64_t leaves_done() const { return leaves_done_; }
+  std::uint64_t total_units() const { return units_.size(); }
+  /// Units consumed so far (comparable to RegularExecution::units_done()).
+  std::uint64_t units_done() const { return pos_; }
+
+ private:
+  struct Unit {
+    bool is_leaf;
+    /// Exclusive end (unit index) of the scan chunk this unit belongs to
+    /// (only for scan units).
+    std::size_t chunk_end;
+    /// Enclosing problems, outermost first: (size, exclusive end index).
+    std::vector<std::pair<std::uint64_t, std::size_t>> enclosing;
+  };
+
+  void build(std::uint64_t size,
+             std::vector<std::pair<std::uint64_t, std::size_t>>& chain,
+             std::uint64_t node_hash);
+  BoxReport consume_box_optimistic(profile::BoxSize s);
+  BoxReport consume_box_budgeted(profile::BoxSize s);
+  /// Advance pos_ to new_pos, counting leaves into the report, and record
+  /// the largest problem whose end coincides with new_pos.
+  void advance_to(std::size_t new_pos, BoxReport& report);
+  /// Total units of a problem of the given size (placement-independent).
+  std::uint64_t units_of(std::uint64_t size) const;
+
+  model::RegularParams params_;
+  ScanPlacement placement_;
+  BoxSemantics semantics_;
+  std::vector<Unit> units_;
+  std::size_t pos_ = 0;
+  std::uint64_t leaves_done_ = 0;
+};
+
+}  // namespace cadapt::engine

@@ -1,0 +1,79 @@
+// Potential and progress accounting (Lemma 1 and Inequality 2).
+//
+// The potential of a box is rho(|□|) = Θ(|□|^{log_b a}) — the maximum
+// progress (base cases) any box of that size could make anywhere in any
+// execution. An execution on boxes (□_1..□_j) is *efficiently
+// cache-adaptive* when Σ min(n,|□_i|)^{log_b a} <= O(n^{log_b a})
+// (Inequality 2; using min(n,·) means the final box need not be rounded
+// down). The *adaptivity ratio* below is that sum divided by
+// n^{log_b a}: Θ(1) for adaptive executions, Θ(log_b n) on the
+// worst-case profile.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "model/regular.hpp"
+#include "profile/box.hpp"
+
+namespace cadapt::model {
+
+/// rho(s) = s^{log_b a} (exact for s a power of b).
+inline double rho(const RegularParams& params, profile::BoxSize s) {
+  return util::pow_log_ratio(s, params.a, params.b);
+}
+
+/// min(n, s)^{log_b a} — the n-bounded potential of a box.
+inline double bounded_rho(const RegularParams& params, std::uint64_t n,
+                          profile::BoxSize s) {
+  return rho(params, std::min<std::uint64_t>(n, s));
+}
+
+/// Operation-based potential (the paper's footnote 4 alternative): the
+/// maximum number of unit accesses a box of size s can complete, measured
+/// as the units of the largest aligned problem fitting in s blocks. For
+/// a > b this is Θ(rho(s)); for a <= b (where base cases under-count the
+/// work) it is the right progress measure — e.g. a < b, c = 1 algorithms
+/// are linear-time and trivially adaptive under it.
+inline double rho_units(const RegularParams& params, profile::BoxSize s) {
+  CADAPT_CHECK(s >= 1);
+  return static_cast<double>(
+      problem_units(params, util::floor_pow(s, params.b)));
+}
+
+/// Units-based bounded potential: the cap is the whole problem's units.
+inline double bounded_rho_units(const RegularParams& params, std::uint64_t n,
+                                profile::BoxSize s) {
+  return rho_units(params, std::min<std::uint64_t>(n, s));
+}
+
+/// Accumulates the left-hand side of Inequality 2 over the boxes an
+/// execution consumes.
+class AdaptivityAccumulator {
+ public:
+  AdaptivityAccumulator(const RegularParams& params, std::uint64_t n)
+      : params_(params), n_(n) {
+    params_.validate();
+    CADAPT_CHECK(n >= 1);
+  }
+
+  void add_box(profile::BoxSize s) {
+    sum_bounded_potential_ += bounded_rho(params_, n_, s);
+    ++boxes_;
+  }
+
+  std::uint64_t boxes() const { return boxes_; }
+  double sum_bounded_potential() const { return sum_bounded_potential_; }
+
+  /// Σ min(n,|□_i|)^{log_b a} / n^{log_b a}. An algorithm is efficiently
+  /// cache-adaptive iff this stays O(1) over all profiles as n grows.
+  double ratio() const { return sum_bounded_potential_ / rho(params_, n_); }
+
+ private:
+  RegularParams params_;
+  std::uint64_t n_;
+  double sum_bounded_potential_ = 0.0;
+  std::uint64_t boxes_ = 0;
+};
+
+}  // namespace cadapt::model

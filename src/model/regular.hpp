@@ -1,0 +1,83 @@
+// Parameters of an (a,b,c)-regular algorithm (Definition 2 of the paper).
+//
+// An (a,b,c)-regular algorithm on a problem of n blocks recurses into
+// exactly a subproblems of size n/b until the base case n = 1 block, and
+// performs a linear scan of size n^c blocks per non-base problem (we fix
+// B = 1, the paper's §4 simplification, proved w.l.o.g. there).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::model {
+
+struct RegularParams {
+  std::uint64_t a = 8;  ///< subproblems per problem
+  std::uint64_t b = 4;  ///< problem-size shrink factor (b > 1)
+  double c = 1.0;       ///< scan exponent, in [0, 1]
+
+  void validate() const {
+    CADAPT_CHECK_MSG(a >= 1, "(a,b,c)-regular requires a >= 1");
+    CADAPT_CHECK_MSG(b >= 2, "(a,b,c)-regular requires b > 1");
+    CADAPT_CHECK_MSG(c >= 0.0 && c <= 1.0,
+                     "(a,b,c)-regular requires c in [0,1]");
+  }
+
+  /// The potential exponent log_b a.
+  double exponent() const { return util::log_ratio(a, b); }
+
+  /// Scan size (blocks) of a non-base problem of size n blocks: ceil(n^c);
+  /// c = 0 means no merge scan (in-place algorithms like MM-Inplace fold
+  /// their O(1) extra work into the recursion itself).
+  std::uint64_t scan_size(std::uint64_t n) const {
+    if (c == 0.0) return 0;
+    return util::ceil_pow_real(n, c);
+  }
+
+  /// Number of base-case leaves of a problem of size n = b^k: a^k.
+  std::uint64_t leaves(std::uint64_t n) const {
+    CADAPT_CHECK_MSG(util::is_power_of(n, b),
+                     "problem size must be a power of b; n=" << n);
+    return util::ipow(a, util::ilog(n, b));
+  }
+
+  /// Theorem 2 taxonomy: true iff the parameters are in the worst-case
+  /// log-gap regime (a > b and c = 1).
+  bool in_gap_regime() const { return a > b && c == 1.0; }
+
+  /// Theorem 2 taxonomy: true iff worst-case cache-adaptivity is
+  /// guaranteed (c < 1, or a < b).
+  bool worst_case_adaptive() const { return c < 1.0 || a < b; }
+
+  std::string name() const {
+    std::ostringstream os;
+    os << '(' << a << ',' << b << ',' << c << ")-regular";
+    return os.str();
+  }
+};
+
+/// Canonical parameter sets from the paper.
+inline RegularParams mm_scan_params() { return {8, 4, 1.0}; }     // MM-Scan
+inline RegularParams mm_inplace_params() { return {8, 4, 0.0}; }  // MM-Inplace
+inline RegularParams strassen_params() { return {7, 4, 1.0}; }    // Strassen
+
+/// Total unit accesses (base cases + scan blocks) of a problem of size n:
+/// U(1) = 1, U(m) = a·U(m/b) + scan_size(m). For a > b this is
+/// Θ(n^{log_b a}); for a < b, c = 1 it is Θ(n); for a = b, c = 1 it is
+/// Θ(n log n).
+inline std::uint64_t problem_units(const RegularParams& params,
+                                   std::uint64_t n) {
+  CADAPT_CHECK(util::is_power_of(n, params.b));
+  std::uint64_t u = 1;
+  for (std::uint64_t m = params.b; m <= n; m *= params.b) {
+    u = params.a * u + params.scan_size(m);
+    if (m > n / params.b) break;  // avoid overflow on m *= b
+  }
+  return u;
+}
+
+}  // namespace cadapt::model

@@ -1,0 +1,38 @@
+// Simple bump allocator for simulated memory regions.
+//
+// Instrumented data structures (algos::SimMatrix etc.) obtain disjoint
+// word-address ranges here; block alignment prevents two logically
+// distinct regions from sharing a cache block.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t block_size) : block_size_(block_size) {
+    CADAPT_CHECK(block_size >= 1);
+  }
+
+  /// Reserve `words` words, aligned up to a block boundary. Returns the
+  /// base address.
+  std::uint64_t allocate(std::uint64_t words) {
+    const std::uint64_t base = next_;
+    const std::uint64_t padded =
+        (words + block_size_ - 1) / block_size_ * block_size_;
+    next_ += padded;
+    return base;
+  }
+
+  std::uint64_t words_allocated() const { return next_; }
+  std::uint64_t block_size() const { return block_size_; }
+
+ private:
+  std::uint64_t block_size_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace cadapt::paging

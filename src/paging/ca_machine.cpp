@@ -1,0 +1,46 @@
+#include "paging/ca_machine.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+CaMachine::CaMachine(std::unique_ptr<profile::BoxSource> source,
+                     std::uint64_t block_size, bool record_boxes)
+    : source_(std::move(source)), cache_(0), block_size_(block_size),
+      record_boxes_(record_boxes) {
+  CADAPT_CHECK(source_ != nullptr);
+  CADAPT_CHECK(block_size >= 1);
+  start_next_box();
+}
+
+void CaMachine::start_next_box() {
+  const auto box = source_->next();
+  CADAPT_CHECK_MSG(box.has_value(),
+                   "profile exhausted after " << boxes_started_
+                                              << " boxes; wrap finite profiles "
+                                                 "in profile::CyclingSource");
+  box_size_ = *box;
+  CADAPT_CHECK(box_size_ >= 1);
+  misses_in_box_ = 0;
+  ++boxes_started_;
+  cache_.clear();
+  cache_.set_capacity(box_size_);
+  if (record_boxes_) box_log_.push_back(box_size_);
+}
+
+void CaMachine::access(WordAddr addr) {
+  ++accesses_;
+  const BlockId block = addr / block_size_;
+  if (cache_.access(block)) return;  // hit: free
+  // The access that fell out of the current box's capacity starts the
+  // next box; with the cleared cache it is necessarily a miss there.
+  if (misses_in_box_ == box_size_) {
+    start_next_box();
+    const bool hit = cache_.access(block);
+    CADAPT_CHECK(!hit);
+  }
+  ++misses_;
+  ++misses_in_box_;
+}
+
+}  // namespace cadapt::paging

@@ -1,0 +1,53 @@
+// The cache-adaptive machine (Definition 1 + paper conventions): the cache
+// size follows a square profile. A box of size x means the cache holds x
+// blocks for exactly x I/Os (misses); the cache is cleared at each box
+// boundary (w.l.o.g. per the paging results underlying cache-adaptivity).
+// Hits are free — only misses advance time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "paging/lru_cache.hpp"
+#include "paging/machine.hpp"
+#include "profile/box_source.hpp"
+
+namespace cadapt::paging {
+
+class CaMachine final : public Machine {
+ public:
+  /// Takes ownership of the box stream. The stream must supply a box
+  /// whenever one is needed (use profile::CyclingSource for finite
+  /// adversarial profiles); exhaustion mid-run is a checked error.
+  CaMachine(std::unique_ptr<profile::BoxSource> source,
+            std::uint64_t block_size, bool record_boxes = true);
+
+  void access(WordAddr addr) override;
+  std::uint64_t accesses() const override { return accesses_; }
+  std::uint64_t misses() const override { return misses_; }
+  std::uint64_t block_size() const override { return block_size_; }
+
+  /// Boxes started so far (the last one may be partially used).
+  std::uint64_t boxes_started() const { return boxes_started_; }
+  /// Misses served within the current box (< its size).
+  std::uint64_t misses_in_current_box() const { return misses_in_box_; }
+  std::uint64_t current_box_size() const { return box_size_; }
+  /// Sizes of all boxes started, if record_boxes was set.
+  const std::vector<profile::BoxSize>& box_log() const { return box_log_; }
+
+ private:
+  void start_next_box();
+
+  std::unique_ptr<profile::BoxSource> source_;
+  LruCache cache_;
+  std::uint64_t block_size_;
+  bool record_boxes_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t boxes_started_ = 0;
+  std::uint64_t box_size_ = 0;
+  std::uint64_t misses_in_box_ = 0;
+  std::vector<profile::BoxSize> box_log_;
+};
+
+}  // namespace cadapt::paging

@@ -1,0 +1,28 @@
+// The classical disk-access-machine (DAM) of Aggarwal–Vitter: a fixed
+// cache of M blocks with LRU replacement over blocks of B words.
+#pragma once
+
+#include "paging/lru_cache.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::paging {
+
+class DamMachine final : public Machine {
+ public:
+  /// cache_blocks = M (in blocks), block_size = B (in words).
+  DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size);
+
+  void access(WordAddr addr) override;
+  std::uint64_t accesses() const override { return accesses_; }
+  std::uint64_t misses() const override { return misses_; }
+  std::uint64_t block_size() const override { return block_size_; }
+  std::uint64_t cache_blocks() const { return cache_.capacity(); }
+
+ private:
+  LruCache cache_;
+  std::uint64_t block_size_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cadapt::paging

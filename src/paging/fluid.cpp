@@ -1,0 +1,39 @@
+#include "paging/fluid.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+FluidCaMachine::FluidCaMachine(MemoryProfileFn profile,
+                               std::uint64_t block_size)
+    : profile_(std::move(profile)), cache_(0), block_size_(block_size) {
+  CADAPT_CHECK(profile_ != nullptr);
+  CADAPT_CHECK(block_size >= 1);
+  const std::uint64_t initial = profile_(0);
+  CADAPT_CHECK_MSG(initial >= 1, "memory profile must stay >= 1 block");
+  cache_.set_capacity(initial);
+}
+
+FluidCaMachine::FluidCaMachine(std::vector<std::uint64_t> profile,
+                               std::uint64_t block_size)
+    : FluidCaMachine(
+          [p = std::move(profile)](std::uint64_t t) -> std::uint64_t {
+            // An empty profile yields 0, which the capacity check rejects
+            // with a clear message.
+            return p.empty() ? 0 : p[t % p.size()];
+          },
+          block_size) {}
+
+void FluidCaMachine::access(WordAddr addr) {
+  ++accesses_;
+  const BlockId block = addr / block_size_;
+  if (cache_.access(block)) return;
+  ++misses_;
+  const std::uint64_t capacity = profile_(misses_);
+  CADAPT_CHECK_MSG(capacity >= 1, "memory profile must stay >= 1 block");
+  cache_.set_capacity(capacity);
+}
+
+}  // namespace cadapt::paging

@@ -1,0 +1,47 @@
+// The "fluid" cache-adaptive machine: the raw model of Bender et al. [6]
+// before the square-profile reduction.
+//
+// The memory profile m(t) gives the cache capacity (in blocks) after the
+// t-th I/O; the cache is NOT cleared when the size changes — on a shrink,
+// LRU blocks are evicted until the new capacity is met. Comparing this
+// machine against paging::CaMachine driven by the inner square profile of
+// the same m(t) empirically validates the square-profile reduction the
+// whole analysis rests on (Definition 1 and the w.l.o.g. discussion
+// in §2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "paging/lru_cache.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::paging {
+
+/// Capacity after the t-th I/O (t counts misses, 0-based).
+using MemoryProfileFn = std::function<std::uint64_t(std::uint64_t)>;
+
+class FluidCaMachine final : public Machine {
+ public:
+  FluidCaMachine(MemoryProfileFn profile, std::uint64_t block_size);
+
+  /// Convenience: a materialized profile, repeated cyclically.
+  FluidCaMachine(std::vector<std::uint64_t> profile, std::uint64_t block_size);
+
+  void access(WordAddr addr) override;
+  std::uint64_t accesses() const override { return accesses_; }
+  std::uint64_t misses() const override { return misses_; }
+  std::uint64_t block_size() const override { return block_size_; }
+  std::uint64_t current_capacity() const { return cache_.capacity(); }
+
+ private:
+  MemoryProfileFn profile_;
+  LruCache cache_;
+  std::uint64_t block_size_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cadapt::paging

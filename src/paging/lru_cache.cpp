@@ -1,0 +1,48 @@
+#include "paging/lru_cache.hpp"
+
+namespace cadapt::paging {
+
+LruCache::LruCache(std::uint64_t capacity_blocks) : capacity_(capacity_blocks) {}
+
+bool LruCache::access(BlockId block) {
+  return access_tracking(block).hit;
+}
+
+LruCache::AccessResult LruCache::access_tracking(BlockId block) {
+  AccessResult result;
+  const auto it = map_.find(block);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    result.hit = true;
+    return result;
+  }
+  if (capacity_ == 0) return result;  // nothing can be retained
+  if (map_.size() == capacity_) {
+    result.evicted = true;
+    result.victim = order_.back();
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(block);
+  map_[block] = order_.begin();
+  return result;
+}
+
+void LruCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  evict_to(capacity_);
+}
+
+void LruCache::clear() {
+  order_.clear();
+  map_.clear();
+}
+
+void LruCache::evict_to(std::uint64_t limit) {
+  while (map_.size() > limit) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+}
+
+}  // namespace cadapt::paging

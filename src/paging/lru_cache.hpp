@@ -1,0 +1,51 @@
+// LRU block cache used by both the DAM and cache-adaptive machines.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace cadapt::paging {
+
+using BlockId = std::uint64_t;
+
+/// Fixed-capacity (but resizable) LRU set of block ids.
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_blocks);
+
+  /// Touch a block. Returns true on a hit; on a miss the block is loaded,
+  /// evicting the least recently used block if the cache is full.
+  bool access(BlockId block);
+
+  /// Outcome of access_tracking: hit flag plus the evicted block, if any.
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;
+    BlockId victim = 0;
+  };
+
+  /// Like access(), but reports the evicted block — used by the shared-
+  /// cache scheduler to maintain per-process occupancy counts.
+  AccessResult access_tracking(BlockId block);
+
+  /// Change capacity; evicts LRU blocks if shrinking. Capacity 0 is
+  /// allowed (every access misses and nothing is retained).
+  void set_capacity(std::uint64_t capacity_blocks);
+
+  /// Drop all cached blocks (the model's cache clear at box boundaries).
+  void clear();
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t size() const { return map_.size(); }
+  bool contains(BlockId block) const { return map_.count(block) != 0; }
+
+ private:
+  void evict_to(std::uint64_t limit);
+
+  std::uint64_t capacity_;
+  std::list<BlockId> order_;  // front = most recently used
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+};
+
+}  // namespace cadapt::paging

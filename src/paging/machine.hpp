@@ -1,0 +1,51 @@
+// Abstract two-level memory machine interface.
+//
+// Instrumented algorithms (src/algos) report every word they touch through
+// access(); concrete machines translate words to blocks and account I/Os.
+// Time in both the DAM and the cache-adaptive model is the number of
+// block transfers (misses).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace cadapt::paging {
+
+using WordAddr = std::uint64_t;
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  /// Touch one word of memory (read or write — the models do not
+  /// distinguish).
+  virtual void access(WordAddr addr) = 0;
+
+  virtual std::uint64_t accesses() const = 0;
+  /// Block transfers performed so far (= elapsed time in the model).
+  virtual std::uint64_t misses() const = 0;
+  virtual std::uint64_t block_size() const = 0;
+};
+
+/// A machine with an infinitely large cache: every block faults exactly
+/// once (cold misses only). The I/O lower-bound baseline.
+class IdealMachine final : public Machine {
+ public:
+  explicit IdealMachine(std::uint64_t block_size) : block_size_(block_size) {}
+
+  void access(WordAddr addr) override {
+    ++accesses_;
+    if (seen_.insert(addr / block_size_).second) ++misses_;
+  }
+  std::uint64_t accesses() const override { return accesses_; }
+  std::uint64_t misses() const override { return misses_; }
+  std::uint64_t block_size() const override { return block_size_; }
+
+ private:
+  std::uint64_t block_size_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace cadapt::paging

@@ -1,0 +1,75 @@
+#include "paging/trace.hpp"
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "paging/lru_cache.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+std::vector<BlockId> TraceRecorder::block_trace() const {
+  std::vector<BlockId> blocks;
+  blocks.reserve(trace_.size());
+  for (const WordAddr addr : trace_) blocks.push_back(addr / block_size_);
+  return blocks;
+}
+
+void replay(std::span<const WordAddr> trace, Machine& machine) {
+  for (const WordAddr addr : trace) machine.access(addr);
+}
+
+std::uint64_t lru_misses(std::span<const BlockId> blocks,
+                         std::uint64_t capacity) {
+  LruCache cache(capacity);
+  std::uint64_t misses = 0;
+  for (const BlockId b : blocks)
+    if (!cache.access(b)) ++misses;
+  return misses;
+}
+
+std::uint64_t opt_misses(std::span<const BlockId> blocks,
+                         std::uint64_t capacity) {
+  CADAPT_CHECK(capacity >= 1);
+  const std::size_t n = blocks.size();
+  constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+  // next_use[i]: index of the next access to blocks[i] after i, or kNever.
+  std::vector<std::size_t> next_use(n, kNever);
+  {
+    std::unordered_map<BlockId, std::size_t> last_seen;
+    for (std::size_t i = n; i-- > 0;) {
+      const auto it = last_seen.find(blocks[i]);
+      if (it != last_seen.end()) next_use[i] = it->second;
+      last_seen[blocks[i]] = i;
+    }
+  }
+
+  // Resident set ordered by next use, furthest first; Belady evicts the
+  // block whose next use is furthest in the future.
+  std::set<std::pair<std::size_t, BlockId>, std::greater<>> by_next_use;
+  std::unordered_map<BlockId, std::size_t> resident;  // block -> next use
+  std::uint64_t misses = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockId b = blocks[i];
+    const auto it = resident.find(b);
+    if (it != resident.end()) {
+      // Hit: refresh the block's next-use key.
+      by_next_use.erase({it->second, b});
+    } else {
+      ++misses;
+      if (resident.size() == capacity) {
+        const auto victim = *by_next_use.begin();
+        by_next_use.erase(by_next_use.begin());
+        resident.erase(victim.second);
+      }
+    }
+    resident[b] = next_use[i];
+    by_next_use.insert({next_use[i], b});
+  }
+  return misses;
+}
+
+}  // namespace cadapt::paging

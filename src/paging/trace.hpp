@@ -1,0 +1,54 @@
+// Trace recording and offline paging analysis.
+//
+// TraceRecorder captures the exact word-address stream of an instrumented
+// algorithm; the offline analyses (Belady's OPT, LRU replay) then evaluate
+// the same stream under different paging policies and cache sizes. This
+// is how the DAM-optimality premise of Theorem 2 ("suppose A is optimal
+// in the DAM model") is checked concretely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "paging/lru_cache.hpp"
+#include "paging/machine.hpp"
+
+namespace cadapt::paging {
+
+/// A Machine that records every access (no paging is simulated; misses()
+/// reports 0).
+class TraceRecorder final : public Machine {
+ public:
+  explicit TraceRecorder(std::uint64_t block_size) : block_size_(block_size) {}
+
+  void access(WordAddr addr) override {
+    trace_.push_back(addr);
+  }
+  std::uint64_t accesses() const override { return trace_.size(); }
+  std::uint64_t misses() const override { return 0; }
+  std::uint64_t block_size() const override { return block_size_; }
+
+  const std::vector<WordAddr>& trace() const { return trace_; }
+
+  /// The block-id stream of the recorded trace.
+  std::vector<BlockId> block_trace() const;
+
+ private:
+  std::uint64_t block_size_;
+  std::vector<WordAddr> trace_;
+};
+
+/// Replay a recorded word trace into another machine.
+void replay(std::span<const WordAddr> trace, Machine& machine);
+
+/// Misses of LRU with the given capacity on a block trace.
+std::uint64_t lru_misses(std::span<const BlockId> blocks,
+                         std::uint64_t capacity);
+
+/// Misses of Belady's offline-optimal replacement (OPT/MIN) with the
+/// given capacity on a block trace. Lower-bounds every online policy.
+std::uint64_t opt_misses(std::span<const BlockId> blocks,
+                         std::uint64_t capacity);
+
+}  // namespace cadapt::paging

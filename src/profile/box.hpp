@@ -1,0 +1,16 @@
+// Basic vocabulary types for square memory profiles.
+//
+// A *square profile* (Definition 1 of the paper) is a memory profile that
+// decomposes into boxes: a box of size x means the cache holds x blocks for
+// x time steps (I/Os). Following the paper we represent a square profile
+// simply as its sequence of box sizes, measured in blocks.
+#pragma once
+
+#include <cstdint>
+
+namespace cadapt::profile {
+
+/// Size of one box (side length of the square), in blocks.
+using BoxSize = std::uint64_t;
+
+}  // namespace cadapt::profile

@@ -1,0 +1,17 @@
+#include "profile/box_source.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+
+std::vector<BoxSize> materialize(BoxSource& source, std::size_t max_boxes) {
+  std::vector<BoxSize> boxes;
+  while (auto box = source.next()) {
+    CADAPT_CHECK_MSG(boxes.size() < max_boxes,
+                     "materialize: profile exceeds " << max_boxes << " boxes");
+    boxes.push_back(*box);
+  }
+  return boxes;
+}
+
+}  // namespace cadapt::profile

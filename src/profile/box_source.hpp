@@ -1,0 +1,117 @@
+// Lazy streams of boxes.
+//
+// Profiles can be enormous (the worst-case profile M_{a,b}(n) has
+// Θ(n^{log_b a}) boxes) or infinite (i.i.d. distributions, Definition 3),
+// so the execution engine consumes boxes through this single-pass stream
+// interface instead of materialized vectors.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "profile/box.hpp"
+
+namespace cadapt::profile {
+
+/// Single-pass stream of box sizes. next() returns std::nullopt when a
+/// finite profile is exhausted; infinite sources never return nullopt.
+class BoxSource {
+ public:
+  virtual ~BoxSource() = default;
+  virtual std::optional<BoxSize> next() = 0;
+};
+
+/// Factory producing a fresh, rewound instance of a profile stream.
+/// Experiment drivers use factories so that every Monte-Carlo trial and
+/// every restart (e.g. cyclic shifts) sees the profile from its start.
+using SourceFactory = std::function<std::unique_ptr<BoxSource>()>;
+
+/// Stream over a materialized vector of boxes; optionally cycles forever.
+class VectorSource final : public BoxSource {
+ public:
+  explicit VectorSource(std::vector<BoxSize> boxes, bool cycle = false)
+      : boxes_(std::move(boxes)), cycle_(cycle) {}
+
+  std::optional<BoxSize> next() override {
+    if (pos_ == boxes_.size()) {
+      if (!cycle_ || boxes_.empty()) return std::nullopt;
+      pos_ = 0;
+    }
+    return boxes_[pos_++];
+  }
+
+ private:
+  std::vector<BoxSize> boxes_;
+  bool cycle_;
+  std::size_t pos_ = 0;
+};
+
+/// Adapts any source into one that cycles: when the inner source is
+/// exhausted a fresh instance is created from the factory. Used to model
+/// periodic repetition of finite adversarial profiles.
+class CyclingSource final : public BoxSource {
+ public:
+  explicit CyclingSource(SourceFactory factory)
+      : factory_(std::move(factory)), inner_(factory_()) {}
+
+  std::optional<BoxSize> next() override {
+    auto box = inner_->next();
+    if (!box) {
+      inner_ = factory_();
+      box = inner_->next();
+      if (!box) return std::nullopt;  // inner profile is empty
+    }
+    return box;
+  }
+
+ private:
+  SourceFactory factory_;
+  std::unique_ptr<BoxSource> inner_;
+};
+
+/// Emits at most `limit` boxes of the inner source, then reports exhaustion.
+class TakeSource final : public BoxSource {
+ public:
+  TakeSource(std::unique_ptr<BoxSource> inner, std::uint64_t limit)
+      : inner_(std::move(inner)), remaining_(limit) {}
+
+  std::optional<BoxSize> next() override {
+    if (remaining_ == 0) return std::nullopt;
+    --remaining_;
+    return inner_->next();
+  }
+
+ private:
+  std::unique_ptr<BoxSource> inner_;
+  std::uint64_t remaining_;
+};
+
+/// Concatenates two sources.
+class ConcatSource final : public BoxSource {
+ public:
+  ConcatSource(std::unique_ptr<BoxSource> first,
+               std::unique_ptr<BoxSource> second)
+      : first_(std::move(first)), second_(std::move(second)) {}
+
+  std::optional<BoxSize> next() override {
+    if (first_) {
+      if (auto box = first_->next()) return box;
+      first_.reset();
+    }
+    return second_->next();
+  }
+
+ private:
+  std::unique_ptr<BoxSource> first_;
+  std::unique_ptr<BoxSource> second_;
+};
+
+/// Drains a source into a vector (up to max_boxes; CADAPT_CHECKs if the
+/// source is longer). Intended for tests and small profiles.
+std::vector<BoxSize> materialize(BoxSource& source,
+                                 std::size_t max_boxes = 1u << 24);
+
+}  // namespace cadapt::profile

@@ -1,0 +1,142 @@
+// Probability distributions over box sizes (the Σ of Theorem 1).
+//
+// Every distribution exposes its full probability mass function so the
+// analytic Lemma-3 solver can evaluate exact expectations; Monte-Carlo
+// sampling is implemented once in the base class via the stored CDF.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "profile/box.hpp"
+#include "profile/box_source.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::profile {
+
+/// An entry of a pmf: (box size, probability).
+struct PmfEntry {
+  BoxSize size;
+  double prob;
+};
+
+/// Finite-support distribution over box sizes.
+///
+/// Subclasses construct the pmf once (sorted by size, probabilities
+/// normalized); sampling and all moments are provided here.
+class BoxDistribution {
+ public:
+  virtual ~BoxDistribution() = default;
+
+  virtual std::string name() const = 0;
+
+  const std::vector<PmfEntry>& pmf() const { return pmf_; }
+
+  /// Draw one box size.
+  BoxSize sample(util::Rng& rng) const;
+
+  BoxSize min_size() const;
+  BoxSize max_size() const;
+
+  /// E[|□|].
+  double mean() const;
+  /// Pr[|□| >= s].
+  double prob_ge(BoxSize s) const;
+  /// E[min(|□|, n)].
+  double mean_min(BoxSize n) const;
+  /// E[min(|□|, n)^e] — the "average n-bounded potential" m_n when
+  /// e = log_b a (Equation 3 of the paper).
+  double mean_min_pow(BoxSize n, double e) const;
+
+ protected:
+  /// Install the pmf. Entries need not be sorted or normalized; zero-mass
+  /// entries are dropped. Must be called exactly once by the subclass
+  /// constructor.
+  void set_pmf(std::vector<PmfEntry> entries);
+
+ private:
+  std::vector<PmfEntry> pmf_;   // sorted by size, normalized
+  std::vector<double> cdf_;     // inclusive prefix sums of pmf_
+};
+
+/// All boxes have one fixed size.
+class PointMass final : public BoxDistribution {
+ public:
+  explicit PointMass(BoxSize size);
+  std::string name() const override;
+
+ private:
+  BoxSize size_;
+};
+
+/// Uniform over the powers {b^kmin, ..., b^kmax}.
+class UniformPowers final : public BoxDistribution {
+ public:
+  UniformPowers(std::uint64_t b, unsigned kmin, unsigned kmax);
+  std::string name() const override;
+
+ private:
+  std::uint64_t b_;
+  unsigned kmin_, kmax_;
+};
+
+/// Power-law over powers of b: Pr[b^k] proportional to weight^-(k - kmin)
+/// for k in [kmin, kmax]. With weight = a this is exactly the box-size
+/// census of the worst-case profile M_{a,b} — i.e. the "random reshuffle"
+/// of the adversarial profile that Theorem 1 smooths.
+class GeometricPowers final : public BoxDistribution {
+ public:
+  GeometricPowers(std::uint64_t b, double weight, unsigned kmin,
+                  unsigned kmax);
+  std::string name() const override;
+
+ private:
+  std::uint64_t b_;
+  double weight_;
+  unsigned kmin_, kmax_;
+};
+
+/// Two box sizes: `small` with probability 1-p_big, `big` with p_big.
+class Bimodal final : public BoxDistribution {
+ public:
+  Bimodal(BoxSize small, BoxSize big, double p_big);
+  std::string name() const override;
+};
+
+/// Uniform over all integers in [lo, hi]. The pmf is materialized, so the
+/// range is capped (checked) at 2^22 entries.
+class UniformRange final : public BoxDistribution {
+ public:
+  UniformRange(BoxSize lo, BoxSize hi);
+  std::string name() const override;
+
+ private:
+  BoxSize lo_, hi_;
+};
+
+/// Empirical distribution of an observed multiset of boxes (e.g. the boxes
+/// of a materialized adversarial profile). Sampling i.i.d. from this is the
+/// paper's "random shuffle of when significant events occur".
+class Empirical final : public BoxDistribution {
+ public:
+  explicit Empirical(const std::vector<BoxSize>& boxes);
+  std::string name() const override;
+};
+
+/// Infinite i.i.d. stream of boxes from a distribution (Definition 3's
+/// random profile). Keeps a reference: the distribution must outlive it.
+class DistributionSource final : public BoxSource {
+ public:
+  DistributionSource(const BoxDistribution& dist, util::Rng rng)
+      : dist_(&dist), rng_(rng) {}
+
+  std::optional<BoxSize> next() override { return dist_->sample(rng_); }
+
+ private:
+  const BoxDistribution* dist_;
+  util::Rng rng_;
+};
+
+}  // namespace cadapt::profile

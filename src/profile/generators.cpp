@@ -1,0 +1,88 @@
+#include "profile/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+
+std::vector<std::uint64_t> constant_profile(std::uint64_t size,
+                                            std::size_t length) {
+  CADAPT_CHECK(size >= 1);
+  return std::vector<std::uint64_t>(length, size);
+}
+
+std::vector<std::uint64_t> sawtooth_profile(std::uint64_t peak,
+                                            std::size_t cycles) {
+  CADAPT_CHECK(peak >= 1);
+  std::vector<std::uint64_t> m;
+  m.reserve(cycles * peak);
+  for (std::size_t c = 0; c < cycles; ++c)
+    for (std::uint64_t t = 1; t <= peak; ++t) m.push_back(t);
+  return m;
+}
+
+std::vector<std::uint64_t> random_walk_profile(const RandomWalkOptions& options,
+                                               std::uint64_t seed) {
+  CADAPT_CHECK(options.min_size >= 1);
+  CADAPT_CHECK(options.start >= options.min_size);
+  CADAPT_CHECK(options.crash_factor >= 1);
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> m;
+  m.reserve(options.length);
+  std::uint64_t cur = options.start;
+  for (std::size_t t = 0; t < options.length; ++t) {
+    if (rng.bernoulli(options.crash_prob)) {
+      cur = std::max(options.min_size, cur / options.crash_factor);
+    } else if (rng.bernoulli(options.up_prob)) {
+      cur += 1;  // CA model: at most one block of growth per I/O
+    } else if (cur > options.min_size) {
+      cur -= 1;
+    }
+    m.push_back(cur);
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> multiprogram_profile(
+    const MultiprogramOptions& options, std::uint64_t seed) {
+  CADAPT_CHECK(options.total_cache >= 1);
+  CADAPT_CHECK(options.arrival_prob >= 0.0 && options.arrival_prob <= 1.0);
+  CADAPT_CHECK(options.departure_prob >= 0.0 &&
+               options.departure_prob <= 1.0);
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> m;
+  m.reserve(options.length);
+  std::uint64_t corunners = 0;
+  for (std::size_t t = 0; t < options.length; ++t) {
+    if (corunners < options.max_corunners &&
+        rng.bernoulli(options.arrival_prob)) {
+      ++corunners;
+    } else if (corunners > 0 && rng.bernoulli(options.departure_prob)) {
+      --corunners;
+    }
+    m.push_back(std::max<std::uint64_t>(
+        1, options.total_cache / (1 + corunners)));
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> phased_profile(std::uint64_t high,
+                                          std::size_t high_len,
+                                          std::uint64_t low,
+                                          std::size_t low_len,
+                                          std::size_t length) {
+  CADAPT_CHECK(high >= 1 && low >= 1);
+  CADAPT_CHECK(high_len >= 1 && low_len >= 1);
+  std::vector<std::uint64_t> m;
+  m.reserve(length);
+  while (m.size() < length) {
+    for (std::size_t t = 0; t < high_len && m.size() < length; ++t)
+      m.push_back(high);
+    for (std::size_t t = 0; t < low_len && m.size() < length; ++t)
+      m.push_back(low);
+  }
+  return m;
+}
+
+}  // namespace cadapt::profile

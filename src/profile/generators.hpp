@@ -1,0 +1,68 @@
+// Synthetic raw memory profiles m(t) — the fluctuation patterns the
+// paper's introduction describes. These are *word-level* profiles
+// (capacity per I/O); reduce them with inner_square_profile() to obtain
+// boxes, or drive a paging::FluidCaMachine directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace cadapt::profile {
+
+/// Constant cache of `size` blocks for `length` I/Os.
+std::vector<std::uint64_t> constant_profile(std::uint64_t size,
+                                            std::size_t length);
+
+/// The winner-take-all + periodic-flush pattern ([25], [57] in the
+/// paper): capacity ramps 1..peak, then crashes, `cycles` times.
+std::vector<std::uint64_t> sawtooth_profile(std::uint64_t peak,
+                                            std::size_t cycles);
+
+/// Parameters of random_walk_profile.
+struct RandomWalkOptions {
+  std::uint64_t start = 64;
+  std::size_t length = 4096;
+  /// Probability of +1 at each step (CA model: growth is at most one
+  /// block per I/O); otherwise -1 (floored at min_size).
+  double up_prob = 0.6;
+  /// Probability of a crash (capacity divided by crash_factor) per step.
+  double crash_prob = 0.02;
+  std::uint64_t crash_factor = 4;
+  std::uint64_t min_size = 1;
+};
+
+/// Random walk with occasional crashes — a generic "noisy neighbour"
+/// pattern.
+std::vector<std::uint64_t> random_walk_profile(const RandomWalkOptions& options,
+                                               std::uint64_t seed);
+
+/// Alternating phases: `high` blocks for `high_len` steps, then `low`
+/// blocks for `low_len` steps, repeated to cover `length` steps — the
+/// coarse time-sharing pattern.
+std::vector<std::uint64_t> phased_profile(std::uint64_t high,
+                                          std::size_t high_len,
+                                          std::uint64_t low,
+                                          std::size_t low_len,
+                                          std::size_t length);
+
+/// Parameters of multiprogram_profile.
+struct MultiprogramOptions {
+  std::uint64_t total_cache = 256;  ///< shared cache size in blocks
+  std::size_t length = 4096;
+  /// Per-step probability that a co-runner arrives / that one departs
+  /// (a discrete M/M/∞-style birth–death process on the co-runner count).
+  double arrival_prob = 0.002;
+  double departure_prob = 0.004;
+  std::uint64_t max_corunners = 15;
+};
+
+/// Queueing-driven profile: our process's share of a cache divided
+/// equally among itself and a fluctuating number of co-runners —
+/// capacity(t) = total_cache / (1 + co_runners(t)). The closest synthetic
+/// stand-in for the memory pressure a real shared machine exerts.
+std::vector<std::uint64_t> multiprogram_profile(
+    const MultiprogramOptions& options, std::uint64_t seed);
+
+}  // namespace cadapt::profile

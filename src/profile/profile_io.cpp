@@ -1,0 +1,61 @@
+#include "profile/profile_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+
+void save_profile(std::ostream& os, const std::vector<BoxSize>& boxes,
+                  const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) os << "# " << line << '\n';
+  }
+  for (const BoxSize b : boxes) os << b << '\n';
+}
+
+std::vector<BoxSize> load_profile(std::istream& is) {
+  std::vector<BoxSize> boxes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Trim whitespace.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(first, last - first + 1);
+    if (token[0] == '#') continue;
+    BoxSize value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    CADAPT_CHECK_MSG(ec == std::errc{} && ptr == token.data() + token.size(),
+                     "profile line " << line_no << " is not an integer: '"
+                                     << token << "'");
+    CADAPT_CHECK_MSG(value >= 1, "profile line " << line_no
+                                                 << ": box size must be >= 1");
+    boxes.push_back(value);
+  }
+  return boxes;
+}
+
+void save_profile_file(const std::string& path,
+                       const std::vector<BoxSize>& boxes,
+                       const std::string& comment) {
+  std::ofstream os(path);
+  CADAPT_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  save_profile(os, boxes, comment);
+  CADAPT_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+std::vector<BoxSize> load_profile_file(const std::string& path) {
+  std::ifstream is(path);
+  CADAPT_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return load_profile(is);
+}
+
+}  // namespace cadapt::profile

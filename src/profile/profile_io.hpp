@@ -1,0 +1,28 @@
+// Save/load square profiles as plain text (one box size per line,
+// '#' comments) — lets users capture emergent or synthetic profiles and
+// replay them across runs or tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "profile/box.hpp"
+
+namespace cadapt::profile {
+
+/// Write one box size per line, preceded by an optional '#' comment.
+void save_profile(std::ostream& os, const std::vector<BoxSize>& boxes,
+                  const std::string& comment = "");
+
+/// Parse a profile: blank lines and lines starting with '#' are skipped;
+/// every other line must be a single positive integer (checked).
+std::vector<BoxSize> load_profile(std::istream& is);
+
+/// Convenience file variants (checked I/O errors).
+void save_profile_file(const std::string& path,
+                       const std::vector<BoxSize>& boxes,
+                       const std::string& comment = "");
+std::vector<BoxSize> load_profile_file(const std::string& path);
+
+}  // namespace cadapt::profile

@@ -1,0 +1,96 @@
+#include "profile/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::profile {
+
+std::string render_profile_ascii(std::span<const BoxSize> boxes,
+                                 std::size_t width, std::size_t height,
+                                 bool log_scale) {
+  CADAPT_CHECK(width >= 2 && height >= 2);
+  if (boxes.empty()) return "(empty profile)\n";
+
+  // Total time and per-column sampling of the box heights.
+  double total_time = 0.0;
+  BoxSize max_box = 1;
+  for (const BoxSize x : boxes) {
+    CADAPT_CHECK(x >= 1);
+    total_time += static_cast<double>(x);
+    max_box = std::max(max_box, x);
+  }
+
+  auto scale = [&](BoxSize x) {
+    const double raw = log_scale ? std::log2(static_cast<double>(x) + 1.0)
+                                 : static_cast<double>(x);
+    const double raw_max = log_scale
+                               ? std::log2(static_cast<double>(max_box) + 1.0)
+                               : static_cast<double>(max_box);
+    const double frac = raw_max == 0.0 ? 0.0 : raw / raw_max;
+    const auto level =
+        static_cast<std::size_t>(std::ceil(frac * static_cast<double>(height)));
+    return std::clamp<std::size_t>(level, 1, height);
+  };
+
+  std::vector<std::size_t> column_level(width, 0);
+  {
+    std::size_t box_idx = 0;
+    double consumed = 0.0;  // time consumed by boxes before boxes[box_idx]
+    for (std::size_t col = 0; col < width; ++col) {
+      const double t = (static_cast<double>(col) + 0.5) * total_time /
+                       static_cast<double>(width);
+      while (box_idx + 1 < boxes.size() &&
+             consumed + static_cast<double>(boxes[box_idx]) <= t) {
+        consumed += static_cast<double>(boxes[box_idx]);
+        ++box_idx;
+      }
+      column_level[col] = scale(boxes[box_idx]);
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t row = height; row >= 1; --row) {
+    os << (row == height ? "mem ^ " : "    | ");
+    for (std::size_t col = 0; col < width; ++col)
+      os << (column_level[col] >= row ? '#' : ' ');
+    os << '\n';
+  }
+  os << "    +-" << std::string(width, '-') << "> time ("
+     << (log_scale ? "log" : "linear") << " memory scale, "
+     << boxes.size() << " boxes, " << static_cast<std::uint64_t>(total_time)
+     << " I/Os)\n";
+  return os.str();
+}
+
+std::string describe_worst_case(std::uint64_t a, std::uint64_t b, BoxSize n) {
+  std::ostringstream os;
+  os << "Worst-case profile M_{" << a << "," << b << "}(" << n << ")\n";
+  os << "Recursive construction (Figure 1):\n";
+  for (BoxSize m = n; m > 1; m /= b) {
+    os << "  M(" << m << ") = " << a << " x M(" << (m / b) << ")  ++  [box "
+       << m << "]\n";
+  }
+  os << "  M(1) = [box 1]\n\nBox census:\n";
+  double total_potential = 0.0;
+  double total_time = 0.0;
+  for (const auto& e : worst_case_census(a, b, n)) {
+    const double pot =
+        util::pow_log_ratio(e.size, a, b) * static_cast<double>(e.count);
+    total_potential += pot;
+    total_time += static_cast<double>(e.size) * static_cast<double>(e.count);
+    os << "  size " << e.size << "  x " << e.count << "  (potential " << pot
+       << ")\n";
+  }
+  os << "Total: potential " << total_potential << " = n^{log_b a} * (log_b n + 1) = "
+     << util::pow_log_ratio(n, a, b) << " * " << (util::ilog(n, b) + 1)
+     << ", time " << total_time << " I/Os\n";
+  return os.str();
+}
+
+}  // namespace cadapt::profile

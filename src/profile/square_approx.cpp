@@ -1,0 +1,59 @@
+#include "profile/square_approx.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+
+std::vector<BoxSize> inner_square_profile(std::span<const std::uint64_t> m) {
+  for (const std::uint64_t v : m)
+    CADAPT_CHECK_MSG(v >= 1, "memory profile entries must be >= 1");
+  std::vector<BoxSize> boxes;
+  std::size_t t = 0;
+  while (t < m.size()) {
+    // Grow the box while the next time step still accommodates side x+1.
+    std::uint64_t running_min = m[t];
+    std::uint64_t x = 1;  // side 1 always fits (m[t] >= 1)
+    while (t + x < m.size()) {
+      const std::uint64_t candidate_min = std::min(running_min, m[t + x]);
+      if (candidate_min >= x + 1) {
+        running_min = candidate_min;
+        ++x;
+      } else {
+        break;
+      }
+    }
+    boxes.push_back(x);
+    t += x;
+  }
+  return boxes;
+}
+
+std::vector<std::uint64_t> expand_profile(std::span<const BoxSize> boxes) {
+  std::vector<std::uint64_t> m;
+  std::uint64_t total = 0;
+  for (const BoxSize x : boxes) {
+    CADAPT_CHECK(x >= 1);
+    total += x;
+  }
+  m.reserve(total);
+  for (const BoxSize x : boxes)
+    for (BoxSize i = 0; i < x; ++i) m.push_back(x);
+  return m;
+}
+
+bool is_square_profile(std::span<const std::uint64_t> m) {
+  std::size_t t = 0;
+  while (t < m.size()) {
+    const std::uint64_t x = m[t];
+    if (x == 0) return false;
+    if (t + x > m.size()) return false;
+    for (std::uint64_t i = 0; i < x; ++i)
+      if (m[t + i] != x) return false;
+    t += x;
+  }
+  return true;
+}
+
+}  // namespace cadapt::profile

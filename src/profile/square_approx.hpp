@@ -1,0 +1,33 @@
+// Square-profile approximation of arbitrary memory profiles.
+//
+// The paper (after [5, 6]) reduces cache-adaptive analysis to square
+// profiles: any memory profile m(t) can be approximated, up to constant
+// factors of resource augmentation, by a square profile that fits inside
+// it. This module implements the greedy *inner* square decomposition: at
+// each boundary, take the largest box that fits under the profile.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "profile/box.hpp"
+
+namespace cadapt::profile {
+
+/// Greedy inner square profile of the memory profile m (m[t] = cache size
+/// in blocks after the t-th I/O, every entry >= 1). At each boundary t the
+/// next box side is the largest x with t + x <= |m| and
+/// min(m[t..t+x)) >= x. A trailing stretch too short for even its own
+/// height still yields a final truncated box of side min(remaining length,
+/// min height) >= 1.
+std::vector<BoxSize> inner_square_profile(std::span<const std::uint64_t> m);
+
+/// Expand a square profile back into a flat memory profile: each box of
+/// size x contributes x time steps of cache size x.
+std::vector<std::uint64_t> expand_profile(std::span<const BoxSize> boxes);
+
+/// True iff m is already a square profile (expand(inner(m)) == m).
+bool is_square_profile(std::span<const std::uint64_t> m);
+
+}  // namespace cadapt::profile

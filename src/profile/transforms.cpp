@@ -1,0 +1,78 @@
+#include "profile/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+
+PerturbSampler uniform_real_perturb(double t) {
+  CADAPT_CHECK(t > 0.0);
+  return [t](util::Rng& rng) { return rng.uniform01() * t; };
+}
+
+PerturbSampler uniform_int_perturb(std::uint64_t t) {
+  CADAPT_CHECK(t >= 1);
+  return [t](util::Rng& rng) {
+    return static_cast<double>(rng.between(1, t));
+  };
+}
+
+PerturbSampler point_perturb(double t) {
+  CADAPT_CHECK(t > 0.0);
+  return [t](util::Rng&) { return t; };
+}
+
+SizePerturbSource::SizePerturbSource(std::unique_ptr<BoxSource> inner,
+                                     PerturbSampler sampler, util::Rng rng)
+    : inner_(std::move(inner)), sampler_(std::move(sampler)), rng_(rng) {
+  CADAPT_CHECK(inner_ != nullptr);
+  CADAPT_CHECK(sampler_ != nullptr);
+}
+
+std::optional<BoxSize> SizePerturbSource::next() {
+  const auto box = inner_->next();
+  if (!box) return std::nullopt;
+  const double factor = sampler_(rng_);
+  CADAPT_CHECK_MSG(factor >= 0.0, "perturbation factor must be >= 0");
+  const double scaled = std::floor(static_cast<double>(*box) * factor);
+  return static_cast<BoxSize>(std::max(1.0, scaled));
+}
+
+CyclicShiftSource::CyclicShiftSource(SourceFactory factory,
+                                     std::uint64_t offset)
+    : factory_(std::move(factory)), offset_(offset), inner_(factory_()),
+      tail_remaining_(offset) {
+  for (std::uint64_t i = 0; i < offset_; ++i) {
+    const auto box = inner_->next();
+    CADAPT_CHECK_MSG(box.has_value(),
+                     "cyclic shift offset " << offset_
+                                            << " exceeds profile length " << i);
+  }
+}
+
+std::optional<BoxSize> CyclicShiftSource::next() {
+  if (!wrapped_) {
+    if (auto box = inner_->next()) return box;
+    // Reached the end of the profile: wrap to its beginning.
+    wrapped_ = true;
+    inner_ = factory_();
+  }
+  if (tail_remaining_ == 0) return std::nullopt;
+  --tail_remaining_;
+  auto box = inner_->next();
+  CADAPT_CHECK_MSG(box.has_value(),
+                   "profile shrank between factory invocations");
+  return box;
+}
+
+void shuffle_boxes(std::vector<BoxSize>& boxes, util::Rng& rng) {
+  if (boxes.size() < 2) return;
+  for (std::size_t i = boxes.size() - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+    std::swap(boxes[i], boxes[j]);
+  }
+}
+
+}  // namespace cadapt::profile

@@ -1,0 +1,119 @@
+#include "profile/worst_case.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::profile {
+
+namespace {
+void validate_params(std::uint64_t a, std::uint64_t b, BoxSize n) {
+  CADAPT_CHECK_MSG(b >= 2, "worst-case profile requires b >= 2");
+  CADAPT_CHECK_MSG(a >= 1, "worst-case profile requires a >= 1");
+  CADAPT_CHECK_MSG(util::is_power_of(n, b),
+                   "worst-case profile requires n to be a power of b; n=" << n);
+}
+}  // namespace
+
+WorstCaseSource::WorstCaseSource(std::uint64_t a, std::uint64_t b, BoxSize n,
+                                 BoxSize scale)
+    : a_(a), b_(b), scale_(scale) {
+  validate_params(a, b, n);
+  CADAPT_CHECK(scale >= 1);
+  stack_.push_back({n, 0});
+}
+
+std::optional<BoxSize> WorstCaseSource::next() {
+  while (!stack_.empty()) {
+    const std::size_t top = stack_.size() - 1;
+    if (stack_[top].size == 1) {  // base case: a single box of size 1
+      const BoxSize s = stack_[top].size;
+      stack_.pop_back();
+      return s * scale_;
+    }
+    if (stack_[top].child < a_) {
+      ++stack_[top].child;
+      const BoxSize child_size = stack_[top].size / b_;
+      stack_.push_back({child_size, 0});
+      continue;
+    }
+    // All a recursive copies emitted; emit this node's own box and retire.
+    const BoxSize s = stack_[top].size;
+    stack_.pop_back();
+    return s * scale_;
+  }
+  return std::nullopt;
+}
+
+OrderPerturbedWorstCaseSource::OrderPerturbedWorstCaseSource(std::uint64_t a,
+                                                             std::uint64_t b,
+                                                             BoxSize n,
+                                                             std::uint64_t seed)
+    : a_(a), b_(b) {
+  validate_params(a, b, n);
+  stack_.push_back({n, 0, root_hash(seed), false});
+}
+
+std::optional<BoxSize> OrderPerturbedWorstCaseSource::next() {
+  while (!stack_.empty()) {
+    const std::size_t top = stack_.size() - 1;
+    if (stack_[top].size == 1) {
+      const BoxSize s = stack_[top].size;
+      stack_.pop_back();
+      return s;
+    }
+    // Emit this node's own box as soon as `own_after` children are done.
+    if (!stack_[top].own_emitted &&
+        stack_[top].child >= own_after(stack_[top].hash, a_)) {
+      stack_[top].own_emitted = true;
+      return stack_[top].size;
+    }
+    if (stack_[top].child < a_) {
+      const std::uint64_t child_index = stack_[top].child;
+      ++stack_[top].child;
+      const BoxSize child_size = stack_[top].size / b_;
+      stack_.push_back({child_size, 0,
+                        util::hash_combine(stack_[top].hash, child_index),
+                        false});
+      continue;
+    }
+    // All children done and own box already emitted (own_after <= a).
+    CADAPT_CHECK(stack_[top].own_emitted);
+    stack_.pop_back();
+  }
+  return std::nullopt;
+}
+
+std::vector<CensusEntry> worst_case_census(std::uint64_t a, std::uint64_t b,
+                                           BoxSize n) {
+  validate_params(a, b, n);
+  const unsigned K = util::ilog(n, b);
+  std::vector<CensusEntry> census;
+  census.reserve(K + 1);
+  for (unsigned k = 0; k <= K; ++k) {
+    census.push_back({util::ipow(b, k), util::ipow(a, K - k)});
+  }
+  return census;
+}
+
+std::uint64_t worst_case_box_count(std::uint64_t a, std::uint64_t b,
+                                   BoxSize n) {
+  std::uint64_t total = 0;
+  for (const auto& e : worst_case_census(a, b, n)) total += e.count;
+  return total;
+}
+
+double worst_case_total_time(std::uint64_t a, std::uint64_t b, BoxSize n) {
+  double total = 0.0;
+  for (const auto& e : worst_case_census(a, b, n))
+    total += static_cast<double>(e.size) * static_cast<double>(e.count);
+  return total;
+}
+
+double worst_case_total_potential(std::uint64_t a, std::uint64_t b, BoxSize n) {
+  double total = 0.0;
+  for (const auto& e : worst_case_census(a, b, n))
+    total += util::pow_log_ratio(e.size, a, b) * static_cast<double>(e.count);
+  return total;
+}
+
+}  // namespace cadapt::profile

@@ -1,0 +1,120 @@
+#include "sched/shared_cache.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace cadapt::sched {
+
+namespace {
+
+/// Tag a process-local block id with its owner so traces can share one
+/// global cache without collisions.
+paging::BlockId tag(std::size_t pid, paging::BlockId block) {
+  CADAPT_CHECK_MSG(block < (UINT64_C(1) << 48), "block id too large to tag");
+  return (static_cast<paging::BlockId>(pid) << 48) | block;
+}
+
+std::size_t owner_of(paging::BlockId tagged) {
+  return static_cast<std::size_t>(tagged >> 48);
+}
+
+}  // namespace
+
+SimResult simulate_shared_cache(const std::vector<Process>& processes,
+                                const SimOptions& options) {
+  CADAPT_CHECK(!processes.empty());
+  CADAPT_CHECK(options.total_cache_blocks >= processes.size());
+
+  const std::size_t k = processes.size();
+  SimResult result;
+  result.per_process.resize(k);
+
+  std::vector<std::size_t> cursor(k, 0);
+  std::vector<std::uint64_t> occupancy(k, 0);
+  std::size_t unfinished = 0;
+  for (std::size_t p = 0; p < k; ++p) {
+    result.per_process[p].name = processes[p].name;
+    if (!processes[p].blocks.empty()) ++unfinished;
+  }
+
+  // Caches: one global (kGlobalLru / kPeriodicFlush) or one per process
+  // (kStaticEqual).
+  std::unique_ptr<paging::LruCache> global;
+  std::vector<std::unique_ptr<paging::LruCache>> partitions;
+  if (options.policy == Policy::kStaticEqual) {
+    const std::uint64_t share = options.total_cache_blocks / k;
+    CADAPT_CHECK(share >= 1);
+    for (std::size_t p = 0; p < k; ++p)
+      partitions.push_back(std::make_unique<paging::LruCache>(share));
+  } else {
+    global = std::make_unique<paging::LruCache>(options.total_cache_blocks);
+  }
+  const std::uint64_t flush_period =
+      options.flush_period == 0 ? options.total_cache_blocks
+                                : options.flush_period;
+  std::uint64_t misses_since_flush = 0;
+
+  // Round-robin at miss granularity.
+  std::size_t turn = 0;
+  while (unfinished > 0) {
+    const std::size_t p = turn % k;
+    ++turn;
+    auto& proc = processes[p];
+    auto& stats = result.per_process[p];
+    if (cursor[p] >= proc.blocks.size()) continue;
+
+    // Run until this process faults once; hits are free.
+    while (cursor[p] < proc.blocks.size()) {
+      const paging::BlockId block = proc.blocks[cursor[p]];
+      ++cursor[p];
+      ++stats.accesses;
+
+      bool hit;
+      if (options.policy == Policy::kStaticEqual) {
+        const auto r = partitions[p]->access_tracking(block);
+        hit = r.hit;
+        if (!hit) {
+          // Within a private partition the occupancy is just the cache
+          // fill level.
+          occupancy[p] = partitions[p]->size();
+        }
+      } else {
+        const auto r = global->access_tracking(tag(p, block));
+        hit = r.hit;
+        if (!hit) {
+          ++occupancy[p];
+          if (r.evicted) {
+            const std::size_t victim_owner = owner_of(r.victim);
+            CADAPT_CHECK(occupancy[victim_owner] >= 1);
+            --occupancy[victim_owner];
+          }
+        }
+      }
+
+      if (!hit) {
+        ++result.total_ios;
+        ++stats.misses;
+        stats.occupancy_profile.push_back(
+            occupancy[p] > 0 ? occupancy[p] : 1);
+        if (options.policy == Policy::kPeriodicFlush) {
+          ++misses_since_flush;
+          if (misses_since_flush >= flush_period) {
+            misses_since_flush = 0;
+            global->clear();
+            for (auto& occ : occupancy) occ = 0;
+          }
+        }
+        break;  // yield after one fault
+      }
+    }
+
+    if (cursor[p] >= proc.blocks.size()) {
+      stats.completion_time = result.total_ios;
+      --unfinished;
+    }
+  }
+  return result;
+}
+
+}  // namespace cadapt::sched

@@ -1,0 +1,73 @@
+// Multiprogrammed shared-cache simulator.
+//
+// The paper's motivation — and its concluding open question ("which
+// patterns of memory fluctuations occur in the real world?") — is that
+// co-scheduled processes carve a shared cache into time-varying slices.
+// This substrate simulates K processes (recorded block traces) sharing a
+// cache of M blocks under several allocation policies, and exposes each
+// process's *emergent memory profile*: its resident-block count after
+// each of its I/Os. Feeding that profile back into the square-profile
+// machinery (profile::inner_square_profile -> profile::Empirical ->
+// engine) lets the library answer the open question empirically: do
+// emergent profiles behave like the benign i.i.d. profiles of Theorem 1
+// or like the adversarial constructions of Theorem 2?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paging/lru_cache.hpp"
+
+namespace cadapt::sched {
+
+/// One co-scheduled process: a block-id trace (e.g. from
+/// paging::TraceRecorder::block_trace()). Block ids are namespaced per
+/// process internally, so traces from independent recorders can be mixed.
+struct Process {
+  std::string name;
+  std::vector<paging::BlockId> blocks;
+};
+
+enum class Policy {
+  /// Static partition: each process gets floor(M/K) blocks, LRU within.
+  kStaticEqual,
+  /// One global LRU over all processes: partition sizes emerge from the
+  /// access interleaving (the winner-take-all dynamics of [25]).
+  kGlobalLru,
+  /// Global LRU plus a full flush every flush_period global misses (the
+  /// periodic-flush countermeasure of [57]): every process's allocation
+  /// repeatedly ramps up and crashes to zero.
+  kPeriodicFlush,
+};
+
+struct SimOptions {
+  std::uint64_t total_cache_blocks = 64;
+  Policy policy = Policy::kGlobalLru;
+  /// kPeriodicFlush only; 0 means "equal to total_cache_blocks".
+  std::uint64_t flush_period = 0;
+};
+
+struct ProcessStats {
+  std::string name;
+  std::uint64_t misses = 0;
+  std::uint64_t accesses = 0;
+  /// Global I/O count when this process finished.
+  std::uint64_t completion_time = 0;
+  /// Emergent memory profile: this process's resident block count after
+  /// each of its misses (>= 1 entries unless the trace was empty).
+  std::vector<std::uint64_t> occupancy_profile;
+};
+
+struct SimResult {
+  std::vector<ProcessStats> per_process;
+  std::uint64_t total_ios = 0;
+};
+
+/// Run the traces to completion under the given policy. Scheduling is
+/// round-robin at miss granularity: a process runs (hits are free) until
+/// it faults once, then yields. Deterministic.
+SimResult simulate_shared_cache(const std::vector<Process>& processes,
+                                const SimOptions& options);
+
+}  // namespace cadapt::sched

@@ -1,0 +1,83 @@
+#include "util/args.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace cadapt::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+ArgParser::ArgParser(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void ArgParser::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string name = tok.substr(2);
+      CADAPT_CHECK_MSG(!name.empty(), "empty flag name");
+      if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+        flags_[name] = tokens[i + 1];
+        ++i;
+      } else {
+        flags_[name] = "";
+      }
+    } else {
+      positionals_.push_back(tok);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  queried_[flag] = true;
+  return flags_.count(flag) != 0;
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& flag,
+                                 std::uint64_t fallback) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      it->second.data(), it->second.data() + it->second.size(), value);
+  CADAPT_CHECK_MSG(ec == std::errc{} && ptr == it->second.data() + it->second.size(),
+                   "--" << flag << " expects an unsigned integer, got '"
+                        << it->second << "'");
+  return value;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  CADAPT_CHECK_MSG(end == it->second.c_str() + it->second.size(),
+                   "--" << flag << " expects a number, got '" << it->second
+                        << "'");
+  return value;
+}
+
+std::vector<std::string> ArgParser::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (queried_.count(name) == 0) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace cadapt::util

@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the cadapt CLI.
+//
+// Grammar: [subcommand] (--flag value | --flag)*. A token starting with
+// "--" is a flag; if the following token exists and does not start with
+// "--", it is that flag's value, otherwise the flag is boolean.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cadapt::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+  /// Construct from tokens (for tests): argv[1..] equivalents.
+  explicit ArgParser(const std::vector<std::string>& tokens);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  bool has(const std::string& flag) const;
+
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& flag, std::uint64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+
+  /// Flags that were provided but never queried — for typo detection.
+  std::vector<std::string> unknown_flags() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;  // name (no --) -> value
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace cadapt::util

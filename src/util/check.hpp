@@ -1,0 +1,45 @@
+// Checked assertions for the cadapt library.
+//
+// CADAPT_CHECK is always on (also in release builds): the library is an
+// analysis instrument, so silent corruption of a simulation is worse than
+// the branch cost. Failures throw cadapt::util::CheckError so tests can
+// assert on them and long Monte-Carlo runs can report the failing trial.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cadapt::util {
+
+/// Error thrown when a CADAPT_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CADAPT_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace cadapt::util
+
+#define CADAPT_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::cadapt::util::check_failed(#cond, __FILE__, __LINE__, std::string{}); \
+  } while (0)
+
+#define CADAPT_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream cadapt_check_os_;                                \
+      cadapt_check_os_ << msg;                                            \
+      ::cadapt::util::check_failed(#cond, __FILE__, __LINE__,             \
+                                   cadapt_check_os_.str());               \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,91 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace cadapt::util {
+
+std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  std::uint64_t b = base;
+  while (exp != 0) {
+    if (exp & 1u) {
+      CADAPT_CHECK_MSG(b == 0 || result <= std::numeric_limits<std::uint64_t>::max() / b,
+                       "ipow overflow: base=" << base << " exp=" << exp);
+      result *= b;
+    }
+    exp >>= 1u;
+    if (exp != 0) {
+      CADAPT_CHECK_MSG(b <= std::numeric_limits<std::uint32_t>::max(),
+                       "ipow overflow (square): base=" << base);
+      b *= b;
+    }
+  }
+  return result;
+}
+
+bool is_power_of(std::uint64_t x, std::uint64_t base) {
+  CADAPT_CHECK(base >= 2);
+  if (x == 0) return false;
+  while (x % base == 0) x /= base;
+  return x == 1;
+}
+
+unsigned ilog(std::uint64_t x, std::uint64_t base) {
+  CADAPT_CHECK(x >= 1 && base >= 2);
+  unsigned k = 0;
+  while (x >= base) {
+    x /= base;
+    ++k;
+  }
+  return k;
+}
+
+std::uint64_t ceil_pow(std::uint64_t x, std::uint64_t base) {
+  CADAPT_CHECK(x >= 1 && base >= 2);
+  std::uint64_t p = 1;
+  while (p < x) {
+    CADAPT_CHECK(p <= std::numeric_limits<std::uint64_t>::max() / base);
+    p *= base;
+  }
+  return p;
+}
+
+std::uint64_t floor_pow(std::uint64_t x, std::uint64_t base) {
+  CADAPT_CHECK(x >= 1 && base >= 2);
+  std::uint64_t p = 1;
+  while (p <= x / base) p *= base;
+  return p;
+}
+
+double log_ratio(std::uint64_t a, std::uint64_t b) {
+  CADAPT_CHECK(a >= 1 && b >= 2);
+  return std::log(static_cast<double>(a)) / std::log(static_cast<double>(b));
+}
+
+double pow_log_ratio(std::uint64_t x, std::uint64_t a, std::uint64_t b) {
+  CADAPT_CHECK(b >= 2 && a >= 1);
+  if (x == 0) return 0.0;
+  if (is_power_of(x, b)) {
+    const unsigned k = ilog(x, b);
+    // a^k fits a double exactly for the exponents we use (k <= ~20 for
+    // a <= 16); beyond 2^53 the double is the correctly rounded value.
+    double r = 1.0;
+    for (unsigned i = 0; i < k; ++i) r *= static_cast<double>(a);
+    return r;
+  }
+  return std::exp(log_ratio(a, b) * std::log(static_cast<double>(x)));
+}
+
+std::uint64_t ceil_pow_real(std::uint64_t x, double c) {
+  CADAPT_CHECK(c >= 0.0 && c <= 1.0);
+  if (x == 0) return 0;
+  if (c == 1.0) return x;
+  if (c == 0.0) return 1;
+  const double v = std::pow(static_cast<double>(x), c);
+  return static_cast<std::uint64_t>(std::ceil(v - 1e-9));
+}
+
+}  // namespace cadapt::util

@@ -1,0 +1,41 @@
+// Integer and real math helpers used throughout the toolkit.
+//
+// The recurring quantity in cache-adaptive analysis is x^{log_b a} — the
+// potential exponent of an (a,b,c)-regular algorithm. When x is an exact
+// power of b the value a^{log_b x} is an exact integer and we compute it
+// that way; otherwise we fall back to exp/log in double precision.
+#pragma once
+
+#include <cstdint>
+
+namespace cadapt::util {
+
+/// base^exp over unsigned 64-bit integers (no overflow checking beyond
+/// CADAPT_CHECK in the .cpp; callers keep exponents small).
+std::uint64_t ipow(std::uint64_t base, unsigned exp);
+
+/// True iff x is an exact power of base (base >= 2). is_power_of(1, b) is
+/// true (b^0).
+bool is_power_of(std::uint64_t x, std::uint64_t base);
+
+/// floor(log_base(x)) for x >= 1, base >= 2.
+unsigned ilog(std::uint64_t x, std::uint64_t base);
+
+/// Smallest power of base that is >= x (x >= 1).
+std::uint64_t ceil_pow(std::uint64_t x, std::uint64_t base);
+
+/// Largest power of base that is <= x (x >= 1).
+std::uint64_t floor_pow(std::uint64_t x, std::uint64_t base);
+
+/// x^{log_b a} as a double. Exact (integer a^k) when x = b^k; otherwise
+/// computed as exp(log_b a * ln x).
+double pow_log_ratio(std::uint64_t x, std::uint64_t a, std::uint64_t b);
+
+/// log_b a as a double.
+double log_ratio(std::uint64_t a, std::uint64_t b);
+
+/// ceil(x^c) for c in [0,1]: the scan size (in blocks, B = 1) of a problem
+/// of size x blocks for an (a,b,c)-regular algorithm.
+std::uint64_t ceil_pow_real(std::uint64_t x, double c);
+
+}  // namespace cadapt::util

@@ -1,0 +1,33 @@
+#include "util/random.hpp"
+
+#include "util/check.hpp"
+
+namespace cadapt::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  CADAPT_CHECK(bound != 0);
+  // Rejection sampling on the top of the range: unbiased and cheap because
+  // the rejection region is < bound out of 2^64.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  CADAPT_CHECK(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+  return lo + below(span + 1);
+}
+
+Rng Rng::split() {
+  // Seed the child from two independent outputs; mixing through splitmix64
+  // in Rng's constructor decorrelates the streams.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ (b << 1) ^ 0x5851F42D4C957F2Dull);
+}
+
+}  // namespace cadapt::util

@@ -1,0 +1,56 @@
+// Minimal work-stealing-free thread pool used to parallelize independent
+// Monte-Carlo trials. On a single-core machine it degrades gracefully to
+// one worker; the experiment drivers stay deterministic regardless of the
+// worker count because each trial owns a seed derived from (base_seed,
+// trial_index), never from scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cadapt::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; wrap anything that can.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool, blocking until done.
+/// Exceptions thrown by body are captured and the first one rethrown after
+/// all iterations finish or are abandoned.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace cadapt::util

@@ -1,0 +1,123 @@
+#include "algos/adaptive_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paging/ca_machine.hpp"
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "profile/box_source.hpp"
+#include "profile/distributions.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int64_t>(rng.below(1u << 20)) - (1 << 19);
+  return v;
+}
+
+class AdaptiveSortCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(AdaptiveSortCorrectness, SortsUnderFixedHint) {
+  const auto [n, hint] = GetParam();
+  const auto values = random_values(n, 5 + n);
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, n);
+  for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+
+  adaptive_merge_sort(machine, space, data, [hint = hint] { return hint; });
+
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(data.raw(i), expected[i]) << "n=" << n << " hint=" << hint;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptiveSortCorrectness,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 2, 100, 1000, 4096),
+                     testing::Values<std::uint64_t>(1, 3, 8, 64)));
+
+TEST(AdaptiveSort, SortsUnderFluctuatingHint) {
+  // The hint changes wildly between calls — correctness must not depend
+  // on it.
+  const std::size_t n = 3000;
+  const auto values = random_values(n, 77);
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, n);
+  for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+
+  util::Rng rng(9);
+  adaptive_merge_sort(machine, space, data,
+                      [&rng] { return 1 + rng.below(64); });
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(data.raw(i), expected[i]);
+}
+
+TEST(AdaptiveSort, SortsOnCaMachineWithHonestHint) {
+  const std::size_t n = 2048;
+  const auto values = random_values(n, 13);
+  profile::UniformRange dist(4, 64);
+  auto source = std::make_unique<profile::DistributionSource>(dist,
+                                                              util::Rng(3));
+  paging::CaMachine machine(std::move(source), 8, /*record_boxes=*/false);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, n);
+  for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+
+  adaptive_merge_sort(machine, space, data,
+                      [&machine] { return machine.current_box_size(); });
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(data.raw(i), expected[i]);
+  EXPECT_GT(machine.boxes_started(), 1u);
+}
+
+TEST(AdaptiveSort, LargerHonestMemoryMeansFewerIos) {
+  const std::size_t n = 8192;
+  auto misses_with = [&](std::uint64_t cache_blocks) {
+    const auto values = random_values(n, 21);
+    paging::DamMachine machine(cache_blocks, 8);
+    paging::AddressSpace space(8);
+    SimVector<std::int64_t> data(machine, space, n);
+    for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+    adaptive_merge_sort(machine, space, data,
+                        [cache_blocks] { return cache_blocks; });
+    return machine.misses();
+  };
+  EXPECT_LT(misses_with(64), misses_with(4));
+}
+
+TEST(AdaptiveSort, DuplicatesAndSortedInputs) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  {
+    SimVector<std::int64_t> data(machine, space, 512);
+    for (std::size_t i = 0; i < 512; ++i)
+      data.raw(i) = static_cast<std::int64_t>(i % 3);
+    adaptive_merge_sort(machine, space, data, [] { return 4u; });
+    for (std::size_t i = 1; i < 512; ++i)
+      ASSERT_LE(data.raw(i - 1), data.raw(i));
+  }
+  {
+    SimVector<std::int64_t> data(machine, space, 512);
+    for (std::size_t i = 0; i < 512; ++i)
+      data.raw(i) = static_cast<std::int64_t>(i);
+    adaptive_merge_sort(machine, space, data, [] { return 4u; });
+    for (std::size_t i = 0; i < 512; ++i)
+      ASSERT_EQ(data.raw(i), static_cast<std::int64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace cadapt::algos

@@ -1,0 +1,165 @@
+// Tests for the edit-distance GridDp instantiation and the GEP LU
+// decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "algos/edit_distance.hpp"
+#include "algos/gep_lu.hpp"
+#include "algos/sim_data.hpp"
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::string random_string(std::size_t n, std::uint64_t seed,
+                          unsigned alphabet = 4) {
+  util::Rng rng(seed);
+  std::string s(n, 'a');
+  for (auto& ch : s)
+    ch = static_cast<char>('a' + static_cast<char>(rng.below(alphabet)));
+  return s;
+}
+
+SimVector<char> to_sim(paging::Machine& machine, paging::AddressSpace& space,
+                       const std::string& s) {
+  SimVector<char> v(machine, space, s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v.raw(i) = s[i];
+  return v;
+}
+
+TEST(EditDistanceReference, KnownValues) {
+  EXPECT_EQ(edit_distance_reference("", ""), 0u);
+  EXPECT_EQ(edit_distance_reference("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance_reference("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance_reference("abc", ""), 3u);
+  EXPECT_EQ(edit_distance_reference("", "xy"), 2u);
+  EXPECT_EQ(edit_distance_reference("flaw", "lawn"), 2u);
+}
+
+class EditDistanceCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t,
+                                               std::size_t>> {};
+
+TEST_P(EditDistanceCorrectness, RecursiveMatchesReference) {
+  const auto [n, seed, base] = GetParam();
+  const std::string x = random_string(n, seed);
+  const std::string y = random_string(n, seed + 999);
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  auto xs = to_sim(machine, space, x);
+  auto ys = to_sim(machine, space, y);
+  EXPECT_EQ(edit_distance_recursive(machine, space, xs, ys, base),
+            edit_distance_reference(x, y))
+      << "n=" << n << " seed=" << seed << " base=" << base;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EditDistanceCorrectness,
+    testing::Combine(testing::Values<std::size_t>(4, 8, 16, 32, 64),
+                     testing::Values<std::uint64_t>(3, 4),
+                     testing::Values<std::size_t>(2, 8)));
+
+TEST(EditDistanceCorrectness, ExtremeInputs) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  {
+    auto xs = to_sim(machine, space, std::string(32, 'a'));
+    auto ys = to_sim(machine, space, std::string(32, 'a'));
+    EXPECT_EQ(edit_distance_recursive(machine, space, xs, ys, 4), 0u);
+  }
+  {
+    auto xs = to_sim(machine, space, std::string(32, 'a'));
+    auto ys = to_sim(machine, space, std::string(32, 'b'));
+    EXPECT_EQ(edit_distance_recursive(machine, space, xs, ys, 4), 32u);
+  }
+}
+
+// --- LU ---
+
+/// Random diagonally dominant matrix: LU without pivoting is stable.
+std::vector<double> random_dd_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = static_cast<double>(rng.below(19)) - 9.0;
+      row_sum += std::abs(a[i * n + j]);
+    }
+    a[i * n + i] = row_sum + 1.0;
+  }
+  return a;
+}
+
+class LuCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(LuCorrectness, RecursiveMatchesReferenceAndReconstructs) {
+  const auto [n, seed] = GetParam();
+  const auto input = random_dd_matrix(n, seed);
+  const auto expected = lu_reference(input, n);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimMatrix<double> x(machine, space, n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) x.raw(i, j) = input[i * n + j];
+  lu_recursive(MatView<double>(x), 2);
+
+  std::vector<double> packed(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) packed[i * n + j] = x.raw(i, j);
+
+  // Same factors as the classic elimination...
+  for (std::size_t i = 0; i < n * n; ++i)
+    ASSERT_NEAR(packed[i], expected[i], 1e-8) << "n=" << n << " i=" << i;
+  // ...and L·U reconstructs the input.
+  const auto back = lu_multiply_back(packed, n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    ASSERT_NEAR(back[i], input[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LuCorrectness,
+    testing::Combine(testing::Values<std::size_t>(2, 4, 8, 16, 32),
+                     testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(LuCorrectness, NaiveTrackedMatchesReference) {
+  const std::size_t n = 16;
+  const auto input = random_dd_matrix(n, 7);
+  const auto expected = lu_reference(input, n);
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimMatrix<double> x(machine, space, n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) x.raw(i, j) = input[i * n + j];
+  lu_naive(MatView<double>(x));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_NEAR(x.raw(i, j), expected[i * n + j], 1e-9);
+}
+
+TEST(LuIoBehaviour, RecursiveBeatsNaiveInSmallCache) {
+  const std::size_t n = 64;
+  auto run = [&](auto&& fn) {
+    paging::DamMachine machine(16, 8);
+    paging::AddressSpace space(8);
+    SimMatrix<double> x(machine, space, n, n);
+    const auto input = random_dd_matrix(n, 11);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) x.raw(i, j) = input[i * n + j];
+    fn(x);
+    return machine.misses();
+  };
+  const auto naive = run([](auto& x) { lu_naive(MatView<double>(x)); });
+  const auto rec = run([](auto& x) { lu_recursive(MatView<double>(x), 4); });
+  EXPECT_LT(static_cast<double>(rec), 0.9 * static_cast<double>(naive));
+}
+
+}  // namespace
+}  // namespace cadapt::algos

@@ -1,0 +1,92 @@
+#include "algos/funnelsort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/sort.hpp"
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int64_t>(rng.below(1u << 22)) - (1 << 21);
+  return v;
+}
+
+class FunnelsortCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(FunnelsortCorrectness, MatchesStdSort) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed);
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, n);
+  for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+
+  funnelsort(machine, space, data);
+
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(data.raw(i), expected[i]) << "n=" << n << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FunnelsortCorrectness,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 2, 15, 16, 17, 100,
+                                                  1000, 4096, 10000),
+                     testing::Values<std::uint64_t>(1, 2)));
+
+TEST(Funnelsort, SortedAndReversedAndConstantInputs) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  for (int variant = 0; variant < 3; ++variant) {
+    const std::size_t n = 777;
+    SimVector<std::int64_t> data(machine, space, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (variant) {
+        case 0: data.raw(i) = static_cast<std::int64_t>(i); break;
+        case 1: data.raw(i) = static_cast<std::int64_t>(n - i); break;
+        default: data.raw(i) = 42; break;
+      }
+    }
+    funnelsort(machine, space, data);
+    for (std::size_t i = 1; i < n; ++i)
+      ASSERT_LE(data.raw(i - 1), data.raw(i)) << variant;
+  }
+}
+
+TEST(FunnelsortIo, BeatsTwoWayMergeSortInSmallCache) {
+  // The point of the funnel: Θ((n/B) log_{M/B}) vs the 2-way sort's
+  // Θ((n/B) log_2 (n/M)).
+  const std::size_t n = 16384;
+  const auto values = random_values(n, 5);
+  auto run = [&](auto&& fn) {
+    paging::DamMachine machine(32, 8);
+    paging::AddressSpace space(8);
+    SimVector<std::int64_t> data(machine, space, n);
+    for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+    fn(machine, space, data);
+    for (std::size_t i = 1; i < n; ++i) EXPECT_LE(data.raw(i - 1), data.raw(i));
+    return machine.misses();
+  };
+  const auto funnel = run([](auto& m, auto& s, auto& d) {
+    funnelsort(m, s, d);
+  });
+  const auto two_way = run([](auto& m, auto& s, auto& d) {
+    merge_sort(m, s, d);
+  });
+  EXPECT_LT(static_cast<double>(funnel), 0.8 * static_cast<double>(two_way))
+      << "funnel=" << funnel << " two_way=" << two_way;
+}
+
+}  // namespace
+}  // namespace cadapt::algos

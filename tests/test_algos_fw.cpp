@@ -1,0 +1,160 @@
+#include "algos/fw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algos/sim_data.hpp"
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+/// Random directed graph distance matrix: edge weight in [1,16] with
+/// probability density, kInf otherwise, zero diagonal.
+std::vector<double> random_dist(std::size_t n, std::uint64_t seed,
+                                double density = 0.4) {
+  util::Rng rng(seed);
+  std::vector<double> d(n * n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i * n + i] = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform01() < density)
+        d[i * n + j] = static_cast<double>(1 + rng.below(16));
+    }
+  }
+  return d;
+}
+
+void fill(SimMatrix<double>& m, const std::vector<double>& values) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m.raw(i, j) = values[i * m.cols() + j];
+}
+
+class FwCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(FwCorrectness, RecursiveMatchesReference) {
+  const auto [n, seed] = GetParam();
+  const auto input = random_dist(n, seed);
+  const auto expected = fw_reference(input, n);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimMatrix<double> d(machine, space, n, n);
+  fill(d, input);
+  fw_recursive(MatView<double>(d), /*base=*/2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_DOUBLE_EQ(d.raw(i, j), expected[i * n + j])
+          << "n=" << n << " seed=" << seed << " (" << i << "," << j << ")";
+}
+
+TEST_P(FwCorrectness, NaiveMatchesReference) {
+  const auto [n, seed] = GetParam();
+  const auto input = random_dist(n, seed);
+  const auto expected = fw_reference(input, n);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimMatrix<double> d(machine, space, n, n);
+  fill(d, input);
+  fw_naive(MatView<double>(d));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_DOUBLE_EQ(d.raw(i, j), expected[i * n + j]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FwCorrectness,
+    testing::Combine(testing::Values<std::size_t>(2, 4, 8, 16, 32),
+                     testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(FwCorrectness, DenseAndSparseExtremes) {
+  for (double density : {0.0, 1.0}) {
+    const std::size_t n = 16;
+    const auto input = random_dist(n, 9, density);
+    const auto expected = fw_reference(input, n);
+    paging::IdealMachine machine(8);
+    paging::AddressSpace space(8);
+    SimMatrix<double> d(machine, space, n, n);
+    fill(d, input);
+    fw_recursive(MatView<double>(d), 4);
+    for (std::size_t i = 0; i < n * n; ++i)
+      ASSERT_DOUBLE_EQ(d.raw(i / n, i % n), expected[i]);
+  }
+}
+
+TEST(MinPlus, MatchesDirectComputation) {
+  const std::size_t n = 8;
+  const auto xv = random_dist(n, 11, 0.5);
+  const auto uv = random_dist(n, 12, 0.5);
+  const auto vv = random_dist(n, 13, 0.5);
+
+  auto expected = xv;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        expected[i * n + j] =
+            std::min(expected[i * n + j], uv[i * n + k] + vv[k * n + j]);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimMatrix<double> x(machine, space, n, n), u(machine, space, n, n),
+      v(machine, space, n, n);
+  fill(x, xv);
+  fill(u, uv);
+  fill(v, vv);
+  minplus_inplace(MatView<double>(x), MatView<double>(u), MatView<double>(v),
+                  2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_DOUBLE_EQ(x.raw(i, j), expected[i * n + j]);
+}
+
+class ApspSquaringCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(ApspSquaringCorrectness, MatchesFloydWarshall) {
+  const auto [n, seed] = GetParam();
+  const auto input = random_dist(n, seed);
+  const auto expected = fw_reference(input, n);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimMatrix<double> d(machine, space, n, n);
+  SimMatrix<double> scratch(machine, space, n, n);
+  fill(d, input);
+  apsp_repeated_squaring(MatView<double>(d), MatView<double>(scratch), 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_DOUBLE_EQ(d.raw(i, j), expected[i * n + j])
+          << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ApspSquaringCorrectness,
+    testing::Combine(testing::Values<std::size_t>(2, 4, 8, 16),
+                     testing::Values<std::uint64_t>(4, 5)));
+
+TEST(FwIoBehaviour, RecursiveBeatsNaiveInSmallCache) {
+  const std::size_t n = 64;
+  auto run = [&](auto&& fn) {
+    paging::DamMachine machine(16, 8);
+    paging::AddressSpace space(8);
+    SimMatrix<double> d(machine, space, n, n);
+    fill(d, random_dist(n, 21));
+    fn(d);
+    return machine.misses();
+  };
+  const auto naive = run([](auto& d) { fw_naive(MatView<double>(d)); });
+  const auto rec =
+      run([](auto& d) { fw_recursive(MatView<double>(d), 2); });
+  EXPECT_LT(static_cast<double>(rec), 0.9 * static_cast<double>(naive));
+}
+
+}  // namespace
+}  // namespace cadapt::algos

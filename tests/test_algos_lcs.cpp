@@ -1,0 +1,114 @@
+#include "algos/lcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algos/sim_data.hpp"
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::string random_string(std::size_t n, std::uint64_t seed,
+                          unsigned alphabet = 4) {
+  util::Rng rng(seed);
+  std::string s(n, 'a');
+  for (auto& ch : s)
+    ch = static_cast<char>('a' + static_cast<char>(rng.below(alphabet)));
+  return s;
+}
+
+SimVector<char> to_sim(paging::Machine& machine, paging::AddressSpace& space,
+                       const std::string& s) {
+  SimVector<char> v(machine, space, s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v.raw(i) = s[i];
+  return v;
+}
+
+TEST(LcsReference, KnownValues) {
+  EXPECT_EQ(lcs_reference("", ""), 0u);
+  EXPECT_EQ(lcs_reference("abc", "abc"), 3u);
+  EXPECT_EQ(lcs_reference("abc", "def"), 0u);
+  EXPECT_EQ(lcs_reference("abcbdab", "bdcaba"), 4u);
+  EXPECT_EQ(lcs_reference("xaxbxcx", "abc"), 3u);
+}
+
+class LcsCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t,
+                                               std::size_t>> {};
+
+TEST_P(LcsCorrectness, RecursiveMatchesReference) {
+  const auto [n, seed, base] = GetParam();
+  const std::string x = random_string(n, seed);
+  const std::string y = random_string(n, seed + 1000);
+  const std::size_t expected = lcs_reference(x, y);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  auto xs = to_sim(machine, space, x);
+  auto ys = to_sim(machine, space, y);
+  EXPECT_EQ(lcs_recursive(machine, space, xs, ys, base), expected)
+      << "n=" << n << " seed=" << seed << " base=" << base;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LcsCorrectness,
+    testing::Combine(testing::Values<std::size_t>(4, 8, 16, 32, 64),
+                     testing::Values<std::uint64_t>(1, 2),
+                     testing::Values<std::size_t>(2, 4, 16)));
+
+TEST(LcsCorrectness, FullTableMatchesReference) {
+  const std::string x = random_string(32, 5);
+  const std::string y = random_string(32, 6);
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  auto xs = to_sim(machine, space, x);
+  auto ys = to_sim(machine, space, y);
+  EXPECT_EQ(lcs_full_table(machine, space, xs, ys), lcs_reference(x, y));
+}
+
+TEST(LcsCorrectness, IdenticalAndDisjointStrings) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  {
+    const std::string x(32, 'a');
+    auto xs = to_sim(machine, space, x);
+    auto ys = to_sim(machine, space, x);
+    EXPECT_EQ(lcs_recursive(machine, space, xs, ys, 4), 32u);
+  }
+  {
+    auto xs = to_sim(machine, space, std::string(32, 'a'));
+    auto ys = to_sim(machine, space, std::string(32, 'b'));
+    EXPECT_EQ(lcs_recursive(machine, space, xs, ys, 4), 0u);
+  }
+}
+
+TEST(LcsIoBehaviour, RecursiveUsesFarLessSpaceTrafficThanFullTable) {
+  // The boundary recursion touches O(n) words of DP state per level
+  // instead of materializing the n^2 table.
+  const std::size_t n = 128;
+  const std::string x = random_string(n, 31);
+  const std::string y = random_string(n, 32);
+
+  auto run = [&](auto&& fn) {
+    paging::DamMachine machine(8, 8);
+    paging::AddressSpace space(8);
+    auto xs = to_sim(machine, space, x);
+    auto ys = to_sim(machine, space, y);
+    fn(machine, space, xs, ys);
+    return machine.misses();
+  };
+  const auto rec = run([](auto& m, auto& s, auto& xs, auto& ys) {
+    EXPECT_GT(lcs_recursive(m, s, xs, ys, 8), 0u);
+  });
+  const auto table = run([](auto& m, auto& s, auto& xs, auto& ys) {
+    EXPECT_GT(lcs_full_table(m, s, xs, ys), 0u);
+  });
+  EXPECT_LT(static_cast<double>(rec), static_cast<double>(table));
+}
+
+}  // namespace
+}  // namespace cadapt::algos

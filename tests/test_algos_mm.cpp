@@ -1,0 +1,171 @@
+#include "algos/mm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "algos/sim_data.hpp"
+#include "paging/ca_machine.hpp"
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "profile/box_source.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::vector<double> random_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> m(n * n);
+  for (auto& v : m) v = static_cast<double>(rng.below(16)) - 8.0;
+  return m;
+}
+
+void fill(SimMatrix<double>& m, const std::vector<double>& values) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m.raw(i, j) = values[i * m.cols() + j];
+}
+
+void expect_matches(const SimMatrix<double>& m,
+                    const std::vector<double>& expected) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      ASSERT_NEAR(m.raw(i, j), expected[i * m.cols() + j], 1e-9)
+          << "(" << i << "," << j << ")";
+}
+
+struct MmFixture {
+  paging::IdealMachine machine{8};
+  paging::AddressSpace space{8};
+  std::size_t n;
+  SimMatrix<double> a, b, c;
+  std::vector<double> expected;
+
+  explicit MmFixture(std::size_t size, std::uint64_t seed = 1)
+      : n(size), a(machine, space, size, size), b(machine, space, size, size),
+        c(machine, space, size, size) {
+    const auto av = random_matrix(size, seed);
+    const auto bv = random_matrix(size, seed + 100);
+    fill(a, av);
+    fill(b, bv);
+    expected = mm_reference(av, bv, size);
+  }
+};
+
+class MmCorrectness : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(MmCorrectness, NaiveMatchesReference) {
+  MmFixture f(GetParam());
+  mm_naive(MatView<double>(f.c), MatView<double>(f.a), MatView<double>(f.b));
+  expect_matches(f.c, f.expected);
+}
+
+TEST_P(MmCorrectness, InplaceMatchesReference) {
+  MmFixture f(GetParam());
+  mm_inplace(MatView<double>(f.c), MatView<double>(f.a), MatView<double>(f.b),
+             /*base=*/2);
+  expect_matches(f.c, f.expected);
+}
+
+TEST_P(MmCorrectness, ScanMatchesReference) {
+  MmFixture f(GetParam());
+  MmScratch scratch(f.machine, f.space);
+  mm_scan(MatView<double>(f.c), MatView<double>(f.a), MatView<double>(f.b),
+          scratch, /*base=*/2);
+  expect_matches(f.c, f.expected);
+}
+
+TEST_P(MmCorrectness, StrassenMatchesReference) {
+  MmFixture f(GetParam());
+  MmScratch scratch(f.machine, f.space);
+  strassen(MatView<double>(f.c), MatView<double>(f.a), MatView<double>(f.b),
+           scratch, /*base=*/2);
+  expect_matches(f.c, f.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MmCorrectness,
+                         testing::Values(2, 4, 8, 16, 32));
+
+TEST(MmCorrectness, InplaceAccumulates) {
+  // C starts nonzero; mm_inplace adds the product on top.
+  MmFixture f(8);
+  for (std::size_t i = 0; i < 8; ++i) f.c.raw(i, i) = 5.0;
+  mm_inplace(MatView<double>(f.c), MatView<double>(f.a), MatView<double>(f.b),
+             2);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      ASSERT_NEAR(f.c.raw(i, j),
+                  f.expected[i * 8 + j] + (i == j ? 5.0 : 0.0), 1e-9);
+}
+
+TEST(MmCorrectness, ScanOverwrites) {
+  MmFixture f(8);
+  for (std::size_t i = 0; i < 8; ++i) f.c.raw(i, i) = 99.0;
+  MmScratch scratch(f.machine, f.space);
+  mm_scan(MatView<double>(f.c), MatView<double>(f.a), MatView<double>(f.b),
+          scratch, 2);
+  expect_matches(f.c, f.expected);
+}
+
+TEST(MmIoBehaviour, RecursiveBeatsNaiveInSmallCache) {
+  // DAM with a small cache: the recursive algorithms have
+  // O(n^3 / (B sqrt(M))) misses, the naive row-walk O(n^3 / B) or worse.
+  const std::size_t n = 64;
+  const std::uint64_t B = 8, M = 16;  // 16 blocks of 8 words
+
+  auto run = [&](auto&& fn) {
+    paging::DamMachine machine(M, B);
+    paging::AddressSpace space(B);
+    SimMatrix<double> a(machine, space, n, n), b(machine, space, n, n),
+        c(machine, space, n, n);
+    fill(a, random_matrix(n, 3));
+    fill(b, random_matrix(n, 4));
+    MmScratch scratch(machine, space);
+    fn(machine, space, a, b, c, scratch);
+    return machine.misses();
+  };
+
+  const auto naive_misses = run([](auto&, auto&, auto& a, auto& b, auto& c,
+                                   auto&) {
+    mm_naive(MatView<double>(c), MatView<double>(a), MatView<double>(b));
+  });
+  const auto inplace_misses = run([](auto&, auto&, auto& a, auto& b, auto& c,
+                                     auto&) {
+    mm_inplace(MatView<double>(c), MatView<double>(a), MatView<double>(b), 2);
+  });
+  const auto scan_misses = run([](auto&, auto&, auto& a, auto& b, auto& c,
+                                  auto& scratch) {
+    mm_scan(MatView<double>(c), MatView<double>(a), MatView<double>(b),
+            scratch, 2);
+  });
+
+  EXPECT_LT(static_cast<double>(inplace_misses),
+            0.7 * static_cast<double>(naive_misses));
+  EXPECT_LT(static_cast<double>(scan_misses),
+            0.9 * static_cast<double>(naive_misses));
+}
+
+TEST(MmIoBehaviour, RunsOnCacheAdaptiveMachine) {
+  const std::size_t n = 16;
+  auto source = std::make_unique<profile::CyclingSource>([] {
+    return std::make_unique<profile::VectorSource>(
+        std::vector<profile::BoxSize>{4, 16, 2, 32, 8});
+  });
+  paging::CaMachine machine(std::move(source), 4, /*record_boxes=*/false);
+  paging::AddressSpace space(4);
+  SimMatrix<double> a(machine, space, n, n), b(machine, space, n, n),
+      c(machine, space, n, n);
+  const auto av = random_matrix(n, 5), bv = random_matrix(n, 6);
+  fill(a, av);
+  fill(b, bv);
+  MmScratch scratch(machine, space);
+  mm_scan(MatView<double>(c), MatView<double>(a), MatView<double>(b), scratch,
+          2);
+  expect_matches(c, mm_reference(av, bv, n));
+  EXPECT_GT(machine.boxes_started(), 1u);
+}
+
+}  // namespace
+}  // namespace cadapt::algos

@@ -1,0 +1,92 @@
+#include "algos/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int64_t>(rng.below(1000)) - 500;
+  return v;
+}
+
+class MergeSortCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(MergeSortCorrectness, MatchesStdSort) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, n);
+  for (std::size_t i = 0; i < n; ++i) data.raw(i) = values[i];
+
+  merge_sort(machine, space, data);
+
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(data.raw(i), expected[i]) << "n=" << n << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MergeSortCorrectness,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 2, 3, 17, 64, 255,
+                                                  1024),
+                     testing::Values<std::uint64_t>(1, 2)));
+
+TEST(MergeSort, StableOnDuplicates) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, 64);
+  for (std::size_t i = 0; i < 64; ++i)
+    data.raw(i) = static_cast<std::int64_t>(i % 4);
+  merge_sort(machine, space, data);
+  for (std::size_t i = 1; i < 64; ++i) ASSERT_LE(data.raw(i - 1), data.raw(i));
+}
+
+TEST(MergeRanges, MergesTwoSortedHalves) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<std::int64_t> data(machine, space, 8);
+  SimVector<std::int64_t> out(machine, space, 8);
+  const std::int64_t input[] = {1, 3, 5, 7, 2, 4, 6, 8};
+  for (std::size_t i = 0; i < 8; ++i) data.raw(i) = input[i];
+  merge_ranges(data, 0, 4, 8, out);
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_EQ(out.raw(i), static_cast<std::int64_t>(i + 1));
+}
+
+TEST(MergeSort, IoScalesLikeNLogOverB) {
+  // On a DAM with small cache the miss count should be
+  // Θ((n/B) log(n/M)) — check the n log n growth shape.
+  auto misses = [](std::size_t n) {
+    paging::DamMachine machine(4, 8);
+    paging::AddressSpace space(8);
+    SimVector<std::int64_t> data(machine, space, n);
+    for (std::size_t i = 0; i < n; ++i)
+      data.raw(i) = static_cast<std::int64_t>(n - i);
+    merge_sort(machine, space, data);
+    return machine.misses();
+  };
+  const auto m1 = misses(1024);
+  const auto m2 = misses(2048);
+  // Doubling n should slightly more than double the misses, but far less
+  // than quadruple them.
+  EXPECT_GT(m2, 2 * m1);
+  EXPECT_LT(m2, 3 * m1);
+}
+
+}  // namespace
+}  // namespace cadapt::algos

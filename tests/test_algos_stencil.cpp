@@ -1,0 +1,107 @@
+#include "algos/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paging/dam.hpp"
+#include "paging/machine.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::algos {
+namespace {
+
+std::vector<double> random_row(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> u(n);
+  for (auto& v : u) v = static_cast<double>(rng.below(100)) / 10.0;
+  return u;
+}
+
+class StencilCorrectness
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                               std::uint64_t>> {};
+
+TEST_P(StencilCorrectness, TrapezoidMatchesReference) {
+  const auto [n, steps, seed] = GetParam();
+  const auto initial = random_row(n, seed);
+  const auto expected = stencil_reference(initial, steps);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<double> u(machine, space, n);
+  for (std::size_t x = 0; x < n; ++x) u.raw(x) = initial[x];
+  stencil_trapezoid(machine, space, u, steps);
+  for (std::size_t x = 0; x < n; ++x)
+    ASSERT_NEAR(u.raw(x), expected[x], 1e-9)
+        << "n=" << n << " steps=" << steps << " x=" << x;
+}
+
+TEST_P(StencilCorrectness, NaiveMatchesReference) {
+  const auto [n, steps, seed] = GetParam();
+  const auto initial = random_row(n, seed);
+  const auto expected = stencil_reference(initial, steps);
+
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<double> u(machine, space, n);
+  for (std::size_t x = 0; x < n; ++x) u.raw(x) = initial[x];
+  stencil_naive(machine, space, u, steps);
+  for (std::size_t x = 0; x < n; ++x)
+    ASSERT_NEAR(u.raw(x), expected[x], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StencilCorrectness,
+    testing::Combine(testing::Values<std::size_t>(1, 2, 3, 17, 64, 129, 500),
+                     testing::Values<std::size_t>(1, 2, 7, 64),
+                     testing::Values<std::uint64_t>(1, 2)));
+
+TEST(Stencil, ZeroStepsIsIdentity) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<double> u(machine, space, 16);
+  for (std::size_t x = 0; x < 16; ++x) u.raw(x) = static_cast<double>(x);
+  stencil_trapezoid(machine, space, u, 0);
+  for (std::size_t x = 0; x < 16; ++x)
+    ASSERT_DOUBLE_EQ(u.raw(x), static_cast<double>(x));
+}
+
+TEST(Stencil, BoundariesStayFixed) {
+  paging::IdealMachine machine(8);
+  paging::AddressSpace space(8);
+  SimVector<double> u(machine, space, 64);
+  for (std::size_t x = 0; x < 64; ++x) u.raw(x) = 0.0;
+  u.raw(0) = 100.0;
+  u.raw(63) = -50.0;
+  stencil_trapezoid(machine, space, u, 37);
+  EXPECT_DOUBLE_EQ(u.raw(0), 100.0);
+  EXPECT_DOUBLE_EQ(u.raw(63), -50.0);
+  // Heat diffuses inward from the hot boundary.
+  EXPECT_GT(u.raw(1), 0.0);
+}
+
+TEST(StencilIoBehaviour, TrapezoidBeatsNaiveInSmallCache) {
+  // Many time steps over a row much larger than the cache: the trapezoid
+  // reuses loaded cells across Θ(M) time steps, the naive sweep reloads
+  // everything each step.
+  const std::size_t n = 4096, steps = 64;
+  auto run = [&](auto&& fn) {
+    paging::DamMachine machine(16, 8);
+    paging::AddressSpace space(8);
+    SimVector<double> u(machine, space, n);
+    const auto init = random_row(n, 9);
+    for (std::size_t x = 0; x < n; ++x) u.raw(x) = init[x];
+    fn(machine, space, u);
+    return machine.misses();
+  };
+  const auto naive = run([&](auto& m, auto& s, auto& u) {
+    stencil_naive(m, s, u, steps);
+  });
+  const auto trapezoid = run([&](auto& m, auto& s, auto& u) {
+    stencil_trapezoid(m, s, u, steps);
+  });
+  EXPECT_LT(static_cast<double>(trapezoid), 0.5 * static_cast<double>(naive))
+      << "trapezoid=" << trapezoid << " naive=" << naive;
+}
+
+}  // namespace
+}  // namespace cadapt::algos

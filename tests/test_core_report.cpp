@@ -1,0 +1,101 @@
+// Tests for the report renderer and §3's completion counter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "profile/box_source.hpp"
+#include "profile/worst_case.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::core {
+namespace {
+
+Series synthetic_series() {
+  Series s;
+  s.name = "synthetic";
+  for (unsigned k = 1; k <= 3; ++k) {
+    RatioPoint p;
+    p.n = util::ipow(4, k);
+    p.ratio_mean = 1.0 + k;
+    p.ratio_ci95 = 0.25;
+    p.ratio_p95 = 1.5 + k;
+    p.boxes_mean = 10.0 * k;
+    p.trials = 8;
+    s.points.push_back(p);
+  }
+  return s;
+}
+
+TEST(Report, TableContainsAllColumns) {
+  std::ostringstream os;
+  ReportOptions opts;
+  opts.log_base = 4;
+  print_series(os, synthetic_series(), opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("synthetic"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+  EXPECT_NE(out.find("slope of ratio vs log_b n: 1.000"), std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("csv:"), std::string::npos);
+}
+
+TEST(Report, CsvBlockWhenRequested) {
+  std::ostringstream os;
+  ReportOptions opts;
+  opts.log_base = 4;
+  opts.csv = true;
+  print_series(os, synthetic_series(), opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("csv:series,synthetic"), std::string::npos);
+  EXPECT_NE(out.find("n,log_b n,ratio,ci95,p95,E[boxes],trials"),
+            std::string::npos)
+      << out;
+}
+
+TEST(CountCompletions, ScanVariantCompletesExactlyOnce) {
+  for (unsigned k = 3; k <= 6; ++k) {
+    const std::uint64_t n = util::ipow(4, k);
+    profile::WorstCaseSource source(8, 4, n);
+    EXPECT_EQ(count_completions({8, 4, 1.0}, n, source), 1u) << n;
+  }
+}
+
+TEST(CountCompletions, InplaceVariantCompletesLogTimes) {
+  // §3: MM-Inplace performs log_b n + 1 multiplies on MM-Scan's profile.
+  for (unsigned k = 3; k <= 6; ++k) {
+    const std::uint64_t n = util::ipow(4, k);
+    profile::WorstCaseSource source(8, 4, n);
+    EXPECT_EQ(count_completions({8, 4, 0.0}, n, source), k + 1) << n;
+  }
+}
+
+TEST(CountCompletions, EmptyProfileCompletesNothing) {
+  profile::VectorSource source({});
+  EXPECT_EQ(count_completions({8, 4, 1.0}, 64, source), 0u);
+}
+
+TEST(CountCompletions, MaxRunsCap) {
+  profile::VectorSource source({1}, /*cycle=*/true);
+  EXPECT_EQ(count_completions({2, 2, 1.0}, 2, source, 5), 5u);
+}
+
+TEST(RatioPoints, P95PopulatedAndPlausible) {
+  const model::RegularParams params{8, 4, 1.0};
+  SweepOptions opts;
+  opts.kmin = 3;
+  opts.kmax = 4;
+  opts.trials = 32;
+  const Series s = shuffled_worst_case_curve(params, opts);
+  for (const auto& p : s.points) {
+    EXPECT_GT(p.ratio_p95, 0.0) << p.n;
+    // The 95th percentile sits near or above the mean and within a small
+    // multiple of it for these well-behaved distributions.
+    EXPECT_GE(p.ratio_p95, 0.8 * p.ratio_mean) << p.n;
+    EXPECT_LE(p.ratio_p95, 4.0 * p.ratio_mean) << p.n;
+  }
+}
+
+}  // namespace
+}  // namespace cadapt::core

@@ -1,0 +1,207 @@
+#include "engine/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/regular.hpp"
+#include "profile/box_source.hpp"
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::engine {
+namespace {
+
+using model::RegularParams;
+
+TEST(RegularExecution, TotalsMatchParams) {
+  RegularExecution exec({8, 4, 1.0}, 16);
+  EXPECT_EQ(exec.total_leaves(), 64u);
+  // U(1)=1, U(4)=8*1+4=12, U(16)=8*12+16=112.
+  EXPECT_EQ(exec.total_units(), 112u);
+  EXPECT_EQ(exec.leaves_done(), 0u);
+  EXPECT_EQ(exec.units_done(), 0u);
+  EXPECT_FALSE(exec.done());
+}
+
+TEST(RegularExecution, OneHugeBoxCompletesEverything) {
+  RegularExecution exec({8, 4, 1.0}, 64);
+  const BoxReport r = exec.consume_box(1000);
+  EXPECT_TRUE(exec.done());
+  EXPECT_EQ(r.progress, 512u);
+  EXPECT_EQ(r.completed_problem, 64u);
+  EXPECT_EQ(exec.leaves_done(), 512u);
+  EXPECT_EQ(exec.units_done(), exec.total_units());
+  EXPECT_EQ(exec.boxes_consumed(), 1u);
+}
+
+TEST(RegularExecution, ExactSizeBoxCompletesInOne) {
+  RegularExecution exec({8, 4, 1.0}, 64);
+  const BoxReport r = exec.consume_box(64);
+  EXPECT_TRUE(exec.done());
+  EXPECT_EQ(r.completed_problem, 64u);
+}
+
+TEST(RegularExecution, UnitBoxesWalkEveryUnit) {
+  // (2,2,1), n = 2: two leaves plus a scan of 2 => 4 unit boxes.
+  RegularExecution exec({2, 2, 1.0}, 2);
+  EXPECT_EQ(exec.total_units(), 4u);
+  std::uint64_t leaves = 0;
+  std::uint64_t boxes = 0;
+  while (!exec.done()) {
+    leaves += exec.consume_box(1).progress;
+    ++boxes;
+    ASSERT_LE(boxes, 100u);
+  }
+  EXPECT_EQ(boxes, 4u);
+  EXPECT_EQ(leaves, 2u);
+}
+
+TEST(RegularExecution, UnitBoxCountEqualsTotalUnits) {
+  for (const RegularParams params :
+       {RegularParams{8, 4, 1.0}, RegularParams{2, 2, 1.0},
+        RegularParams{4, 2, 1.0}, RegularParams{8, 4, 0.0},
+        RegularParams{3, 2, 0.5}}) {
+    const std::uint64_t n = params.b * params.b * params.b;
+    RegularExecution exec(params, n);
+    std::uint64_t boxes = 0;
+    while (!exec.done()) {
+      exec.consume_box(1);
+      ++boxes;
+      ASSERT_LT(boxes, 1u << 20);
+    }
+    EXPECT_EQ(boxes, exec.total_units()) << params.name();
+    EXPECT_EQ(exec.leaves_done(), exec.total_leaves()) << params.name();
+  }
+}
+
+TEST(RegularExecution, MidSizeBoxCompletesSubproblem) {
+  // (8,4,1), n = 16. A box of size 4 at the start completes the first
+  // size-4 subproblem (8 leaves).
+  RegularExecution exec({8, 4, 1.0}, 16);
+  const BoxReport r = exec.consume_box(4);
+  EXPECT_EQ(r.completed_problem, 4u);
+  EXPECT_EQ(r.progress, 8u);
+  EXPECT_EQ(exec.units_done(), 12u);  // U(4) = 12
+}
+
+TEST(RegularExecution, BoxBetweenPowersRoundsDown) {
+  // Box of size 7 on (8,4,1): completes the size-4 subproblem only.
+  RegularExecution exec({8, 4, 1.0}, 16);
+  const BoxReport r = exec.consume_box(7);
+  EXPECT_EQ(r.completed_problem, 4u);
+}
+
+TEST(RegularExecution, ScanAdvancesByBoxSize) {
+  // (2,2,1), n = 4: leaves at units 0..3 interleaved with subproblem
+  // scans. Walk to the final scan, then advance it piecewise.
+  RegularExecution exec({2, 2, 1.0}, 4);
+  // Complete both size-2 subproblems with two size-2 boxes (each size-2
+  // subproblem includes its own scan).
+  EXPECT_EQ(exec.consume_box(2).completed_problem, 2u);
+  EXPECT_EQ(exec.consume_box(2).completed_problem, 2u);
+  EXPECT_EQ(exec.leaves_done(), 4u);
+  EXPECT_FALSE(exec.done());
+  // Final scan of size 4 within the size-4 root: boxes of size 1, 2, 1.
+  EXPECT_EQ(exec.consume_box(1).completed_problem, 0u);
+  EXPECT_EQ(exec.consume_box(2).completed_problem, 0u);
+  EXPECT_EQ(exec.consume_box(1).completed_problem, 4u);
+  EXPECT_TRUE(exec.done());
+}
+
+TEST(RegularExecution, ConsumeAfterDoneThrows) {
+  RegularExecution exec({2, 2, 1.0}, 2);
+  exec.consume_box(100);
+  ASSERT_TRUE(exec.done());
+  EXPECT_THROW(exec.consume_box(1), util::CheckError);
+}
+
+TEST(RegularExecution, ZeroBoxThrows) {
+  RegularExecution exec({2, 2, 1.0}, 2);
+  EXPECT_THROW(exec.consume_box(0), util::CheckError);
+}
+
+TEST(RegularExecution, NonPowerProblemSizeThrows) {
+  EXPECT_THROW(RegularExecution({8, 4, 1.0}, 10), util::CheckError);
+}
+
+TEST(RegularExecution, UnitsDoneIsMonotone) {
+  RegularExecution exec({8, 4, 1.0}, 64);
+  std::uint64_t prev = 0;
+  util::Rng rng(7);
+  while (!exec.done()) {
+    exec.consume_box(1 + rng.below(64));
+    const std::uint64_t now = exec.units_done();
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+  EXPECT_EQ(prev, exec.total_units());
+}
+
+TEST(RegularExecution, InterleavedPlacementSameTotals) {
+  RegularExecution end_exec({8, 4, 1.0}, 64, ScanPlacement::kEnd);
+  RegularExecution inter_exec({8, 4, 1.0}, 64, ScanPlacement::kInterleaved);
+  EXPECT_EQ(end_exec.total_units(), inter_exec.total_units());
+  EXPECT_EQ(end_exec.total_leaves(), inter_exec.total_leaves());
+  // Unit boxes consume the same count under both placements.
+  std::uint64_t count_end = 0, count_inter = 0;
+  while (!end_exec.done()) {
+    end_exec.consume_box(1);
+    ++count_end;
+  }
+  while (!inter_exec.done()) {
+    inter_exec.consume_box(1);
+    ++count_inter;
+  }
+  EXPECT_EQ(count_end, count_inter);
+}
+
+TEST(RegularExecution, WorstCaseProfileConsumedExactly) {
+  // The adversarial profile M_{a,b}(n) is built so the canonical
+  // (a,b,1)-regular algorithm consumes it exactly: every box completes
+  // precisely the construct it was made for.
+  for (const auto& [a, b] : {std::pair<std::uint64_t, std::uint64_t>{8, 4},
+                             {2, 2} /* a=b case still consumes exactly */,
+                             {4, 2},
+                             {3, 2}}) {
+    const std::uint64_t n = util::ipow(b, 4);
+    RegularExecution exec({a, b, 1.0}, n);
+    profile::WorstCaseSource source(a, b, n);
+    std::uint64_t boxes = 0;
+    while (!exec.done()) {
+      const auto box = source.next();
+      ASSERT_TRUE(box.has_value()) << "a=" << a << " b=" << b;
+      exec.consume_box(*box);
+      ++boxes;
+    }
+    EXPECT_EQ(boxes, profile::worst_case_box_count(a, b, n))
+        << "a=" << a << " b=" << b;
+    EXPECT_FALSE(source.next().has_value()) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(RegularExecution, WorstCaseRatioIsLogPlusOne) {
+  // Σ min(n,s)^{log_b a} over M_{a,b}(n) equals n^{log_b a} (log_b n + 1),
+  // so the adaptivity ratio is exactly K+1.
+  const std::uint64_t n = 256;  // 4^4
+  profile::WorstCaseSource source(8, 4, n);
+  const RunResult r = run_regular({8, 4, 1.0}, n, source);
+  EXPECT_TRUE(r.completed);
+  EXPECT_NEAR(r.ratio, 5.0, 1e-9);
+}
+
+TEST(RegularExecution, ExhaustedSourceReportsIncomplete) {
+  profile::VectorSource source({1, 1, 1});
+  const RunResult r = run_regular({8, 4, 1.0}, 16, source);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.boxes, 3u);
+}
+
+TEST(RegularExecution, MaxBoxCapStopsRun) {
+  profile::VectorSource source(std::vector<profile::BoxSize>(100, 1), true);
+  const RunResult r = run_regular({8, 4, 1.0}, 64, source,
+                                  ScanPlacement::kEnd, /*max_boxes=*/10);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.boxes, 10u);
+}
+
+}  // namespace
+}  // namespace cadapt::engine

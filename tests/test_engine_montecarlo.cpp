@@ -1,0 +1,89 @@
+#include "engine/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/distributions.hpp"
+#include "profile/worst_case.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cadapt::engine {
+namespace {
+
+using model::RegularParams;
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  const RegularParams params{8, 4, 1.0};
+  profile::UniformPowers dist(4, 0, 3);
+
+  util::ThreadPool one(1), four(4);
+  McOptions a;
+  a.trials = 50;
+  a.seed = 99;
+  a.pool = &one;
+  McOptions b = a;
+  b.pool = &four;
+
+  const McSummary sa = run_monte_carlo_iid(params, 64, dist, a);
+  const McSummary sb = run_monte_carlo_iid(params, 64, dist, b);
+  EXPECT_DOUBLE_EQ(sa.ratio.mean(), sb.ratio.mean());
+  EXPECT_DOUBLE_EQ(sa.boxes.mean(), sb.boxes.mean());
+  EXPECT_DOUBLE_EQ(sa.ratio.variance(), sb.ratio.variance());
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  const RegularParams params{8, 4, 1.0};
+  profile::UniformPowers dist(4, 0, 3);
+  McOptions a;
+  a.trials = 30;
+  a.seed = 1;
+  McOptions b = a;
+  b.seed = 2;
+  const McSummary sa = run_monte_carlo_iid(params, 64, dist, a);
+  const McSummary sb = run_monte_carlo_iid(params, 64, dist, b);
+  EXPECT_NE(sa.boxes.mean(), sb.boxes.mean());
+}
+
+TEST(MonteCarlo, PointMassGiantBoxIsOneBoxPerTrial) {
+  const RegularParams params{8, 4, 1.0};
+  profile::PointMass dist(1 << 20);
+  McOptions opts;
+  opts.trials = 10;
+  const McSummary s = run_monte_carlo_iid(params, 256, dist, opts);
+  EXPECT_DOUBLE_EQ(s.boxes.mean(), 1.0);
+  EXPECT_EQ(s.incomplete, 0u);
+  // One huge box capped at n: ratio = 1 exactly.
+  EXPECT_DOUBLE_EQ(s.ratio.mean(), 1.0);
+}
+
+TEST(MonteCarlo, BoxCapMarksIncomplete) {
+  const RegularParams params{8, 4, 1.0};
+  profile::PointMass dist(1);
+  McOptions opts;
+  opts.trials = 5;
+  opts.max_boxes = 3;  // far too few unit boxes for n = 64
+  const McSummary s = run_monte_carlo_iid(params, 64, dist, opts);
+  EXPECT_EQ(s.incomplete, 5u);
+}
+
+TEST(MonteCarlo, CustomFactoryReceivesDistinctRngs) {
+  const RegularParams params{2, 2, 1.0};
+  std::mutex mu;
+  std::vector<std::uint64_t> first_draws;
+  McOptions opts;
+  opts.trials = 8;
+  run_monte_carlo(params, 4,
+                  [&](util::Rng& rng) -> std::unique_ptr<profile::BoxSource> {
+                    {
+                      std::lock_guard lock(mu);
+                      first_draws.push_back(rng());
+                    }
+                    return std::make_unique<profile::WorstCaseSource>(2, 2, 4);
+                  },
+                  opts);
+  std::sort(first_draws.begin(), first_draws.end());
+  EXPECT_EQ(std::adjacent_find(first_draws.begin(), first_draws.end()),
+            first_draws.end());
+}
+
+}  // namespace
+}  // namespace cadapt::engine

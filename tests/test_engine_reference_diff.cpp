@@ -1,0 +1,110 @@
+// Differential test: the production state machine (RegularExecution) must
+// agree step-by-step with the brute-force flat-list oracle
+// (ReferenceExecution) on random box sequences, across parameter sets and
+// scan placements.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "engine/exec.hpp"
+#include "engine/reference.hpp"
+#include "model/regular.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::engine {
+namespace {
+
+struct DiffCase {
+  model::RegularParams params;
+  unsigned levels;  // n = b^levels
+  ScanPlacement placement;
+};
+
+std::string placement_tag(ScanPlacement p) {
+  switch (p) {
+    case ScanPlacement::kEnd: return "End";
+    case ScanPlacement::kInterleaved: return "Inter";
+    case ScanPlacement::kAdversaryMatched: return "Matched";
+  }
+  return "?";
+}
+
+std::string case_name(const testing::TestParamInfo<DiffCase>& info) {
+  const auto& c = info.param;
+  return "a" + std::to_string(c.params.a) + "b" + std::to_string(c.params.b) +
+         "c" + std::to_string(static_cast<int>(c.params.c * 100)) + "k" +
+         std::to_string(c.levels) + placement_tag(c.placement);
+}
+
+class EngineDiffTest : public testing::TestWithParam<DiffCase> {};
+
+TEST_P(EngineDiffTest, AgreesWithOracleOnRandomBoxes) {
+  const DiffCase& c = GetParam();
+  const std::uint64_t n = util::ipow(c.params.b, c.levels);
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const BoxSemantics semantics =
+        seed % 2 == 0 ? BoxSemantics::kOptimistic : BoxSemantics::kBudgeted;
+    const std::uint64_t adversary_seed = seed * 31;
+    RegularExecution fast(c.params, n, c.placement, adversary_seed, semantics);
+    ReferenceExecution slow(c.params, n, c.placement, adversary_seed,
+                            semantics);
+    ASSERT_EQ(fast.total_units(), slow.total_units());
+
+    util::Rng rng(seed * 1000003);
+    std::uint64_t steps = 0;
+    while (!fast.done()) {
+      ASSERT_FALSE(slow.done());
+      // Mix of tiny, mid and huge boxes, biased toward small.
+      std::uint64_t s;
+      switch (rng.below(4)) {
+        case 0: s = 1; break;
+        case 1: s = 1 + rng.below(c.params.b); break;
+        case 2: s = 1 + rng.below(n); break;
+        default: s = 1 + rng.below(2 * n); break;
+      }
+      const BoxReport rf = fast.consume_box(s);
+      const BoxReport rs = slow.consume_box(s);
+      ASSERT_EQ(rf.progress, rs.progress)
+          << "seed=" << seed << " step=" << steps << " s=" << s;
+      ASSERT_EQ(rf.completed_problem, rs.completed_problem)
+          << "seed=" << seed << " step=" << steps << " s=" << s;
+      ASSERT_EQ(fast.units_done(), slow.units_done())
+          << "seed=" << seed << " step=" << steps << " s=" << s;
+      ASSERT_EQ(fast.leaves_done(), slow.leaves_done());
+      ++steps;
+      ASSERT_LT(steps, 1u << 22);
+    }
+    EXPECT_TRUE(slow.done());
+    EXPECT_EQ(fast.leaves_done(), fast.total_leaves());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, EngineDiffTest,
+    testing::Values(
+        DiffCase{{8, 4, 1.0}, 3, ScanPlacement::kEnd},
+        DiffCase{{8, 4, 1.0}, 3, ScanPlacement::kInterleaved},
+        DiffCase{{8, 4, 0.0}, 3, ScanPlacement::kEnd},
+        DiffCase{{7, 4, 1.0}, 3, ScanPlacement::kEnd},
+        DiffCase{{2, 2, 1.0}, 5, ScanPlacement::kEnd},
+        DiffCase{{2, 2, 1.0}, 5, ScanPlacement::kInterleaved},
+        DiffCase{{4, 2, 1.0}, 4, ScanPlacement::kEnd},
+        DiffCase{{4, 2, 1.0}, 4, ScanPlacement::kInterleaved},
+        DiffCase{{4, 2, 0.5}, 4, ScanPlacement::kEnd},
+        DiffCase{{3, 2, 0.5}, 4, ScanPlacement::kInterleaved},
+        DiffCase{{2, 3, 1.0}, 3, ScanPlacement::kEnd},
+        DiffCase{{1, 2, 1.0}, 4, ScanPlacement::kEnd},
+        DiffCase{{5, 3, 0.7}, 3, ScanPlacement::kInterleaved},
+        DiffCase{{8, 4, 1.0}, 1, ScanPlacement::kEnd},
+        DiffCase{{8, 4, 1.0}, 0, ScanPlacement::kEnd},
+        DiffCase{{8, 4, 1.0}, 3, ScanPlacement::kAdversaryMatched},
+        DiffCase{{4, 2, 1.0}, 4, ScanPlacement::kAdversaryMatched},
+        DiffCase{{3, 2, 0.5}, 4, ScanPlacement::kAdversaryMatched}),
+    case_name);
+
+}  // namespace
+}  // namespace cadapt::engine

@@ -1,0 +1,93 @@
+// Tests for the operation-based (footnote 4) progress machinery and
+// problem_units.
+#include <gtest/gtest.h>
+
+#include "engine/exec.hpp"
+#include "model/potential.hpp"
+#include "model/regular.hpp"
+#include "profile/box_source.hpp"
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::model {
+namespace {
+
+TEST(ProblemUnits, MatchesRecurrence) {
+  const RegularParams p{8, 4, 1.0};
+  EXPECT_EQ(problem_units(p, 1), 1u);
+  EXPECT_EQ(problem_units(p, 4), 12u);    // 8*1 + 4
+  EXPECT_EQ(problem_units(p, 16), 112u);  // 8*12 + 16
+  EXPECT_EQ(problem_units(p, 64), 960u);  // 8*112 + 64
+}
+
+TEST(ProblemUnits, MatchesEngineTotals) {
+  for (const RegularParams p :
+       {RegularParams{8, 4, 1.0}, {2, 2, 1.0}, {2, 4, 1.0}, {3, 2, 0.5},
+        {8, 4, 0.0}}) {
+    const std::uint64_t n = util::ipow(p.b, 4);
+    engine::RegularExecution exec(p, n);
+    EXPECT_EQ(problem_units(p, n), exec.total_units()) << p.name();
+  }
+}
+
+TEST(ProblemUnits, LinearForALessThanB) {
+  // a < b, c = 1: U(n) = Θ(n) (the scans dominate).
+  const RegularParams p{2, 4, 1.0};
+  const double u1 = static_cast<double>(problem_units(p, 1024));
+  const double u2 = static_cast<double>(problem_units(p, 4096));
+  EXPECT_NEAR(u2 / u1, 4.0, 0.3);
+}
+
+TEST(ProblemUnits, NLogNForAEqualsB) {
+  // a = b, c = 1 (merge sort): U(n) = Θ(n log n).
+  const RegularParams p{2, 2, 1.0};
+  const double u1 = static_cast<double>(problem_units(p, 1 << 10));
+  const double u2 = static_cast<double>(problem_units(p, 1 << 11));
+  EXPECT_NEAR(u2 / u1, 2.0 * 12.0 / 11.0, 0.05);
+}
+
+TEST(RhoUnits, AlignedBoxesGetFullProblemUnits) {
+  const RegularParams p{8, 4, 1.0};
+  EXPECT_DOUBLE_EQ(rho_units(p, 16), 112.0);
+  EXPECT_DOUBLE_EQ(rho_units(p, 63), 112.0);  // rounds down to 16
+  EXPECT_DOUBLE_EQ(rho_units(p, 15), 12.0);   // rounds down to 4
+  EXPECT_DOUBLE_EQ(rho_units(p, 1), 1.0);
+}
+
+TEST(RhoUnits, BoundedVariantCapsAtProblem) {
+  const RegularParams p{8, 4, 1.0};
+  EXPECT_DOUBLE_EQ(bounded_rho_units(p, 16, 4096), 112.0);
+  EXPECT_DOUBLE_EQ(bounded_rho_units(p, 16, 4), 12.0);
+}
+
+TEST(UnitRatio, WorstCaseGapVisibleInBothProgressMeasures) {
+  // For a > b the two ratios agree up to constants — both see the gap.
+  const RegularParams p{8, 4, 1.0};
+  const std::uint64_t n = 1024;
+  profile::WorstCaseSource source(p.a, p.b, n);
+  const engine::RunResult r = engine::run_regular(p, n, source);
+  EXPECT_TRUE(r.completed);
+  EXPECT_NEAR(r.ratio, 6.0, 1e-9);
+  EXPECT_GT(r.unit_ratio, 3.0);
+  EXPECT_LT(r.unit_ratio, 9.0);
+}
+
+TEST(UnitRatio, ALessThanBIsAdaptiveUnderUnitProgress) {
+  // (2,4,1) on M_{2,4}: base-case ratio grows like log n (misleading),
+  // unit ratio stays bounded (correct — the algorithm is linear-time).
+  const RegularParams p{2, 4, 1.0};
+  double prev_unit = 0;
+  for (unsigned k = 2; k <= 7; ++k) {
+    const std::uint64_t n = util::ipow(4, k);
+    profile::WorstCaseSource source(2, 4, n);
+    const engine::RunResult r = engine::run_regular(p, n, source);
+    ASSERT_TRUE(r.completed);
+    EXPECT_NEAR(r.ratio, k + 1.0, 1e-9) << n;  // base-case measure: gap
+    EXPECT_LT(r.unit_ratio, 2.5) << n;         // unit measure: adaptive
+    prev_unit = r.unit_ratio;
+  }
+  EXPECT_GT(prev_unit, 1.0);
+}
+
+}  // namespace
+}  // namespace cadapt::model

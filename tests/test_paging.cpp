@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "paging/address_space.hpp"
+#include "paging/ca_machine.hpp"
+#include "paging/dam.hpp"
+#include "paging/lru_cache.hpp"
+#include "paging/machine.hpp"
+#include "profile/box_source.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+namespace {
+
+TEST(LruCache, HitsAndEviction) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+  EXPECT_TRUE(cache.access(1));   // 1 now MRU
+  EXPECT_FALSE(cache.access(3));  // evicts 2
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));  // 2 was evicted
+}
+
+TEST(LruCache, RecencyOrderMatters) {
+  LruCache cache(3);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  cache.access(1);                // order: 1,3,2
+  EXPECT_FALSE(cache.access(4));  // evicts 2
+  EXPECT_TRUE(cache.access(3));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+}
+
+TEST(LruCache, ShrinkEvicts) {
+  LruCache cache(4);
+  for (BlockId b = 0; b < 4; ++b) cache.access(b);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.access(3));
+  EXPECT_TRUE(cache.access(2));
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(LruCache, ZeroCapacityNeverRetains) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, ClearForgetsEverything) {
+  LruCache cache(4);
+  cache.access(1);
+  cache.clear();
+  EXPECT_FALSE(cache.access(1));
+}
+
+TEST(IdealMachine, ColdMissesOnly) {
+  IdealMachine m(4);
+  for (WordAddr w = 0; w < 16; ++w) m.access(w);
+  for (WordAddr w = 0; w < 16; ++w) m.access(w);
+  EXPECT_EQ(m.accesses(), 32u);
+  EXPECT_EQ(m.misses(), 4u);  // blocks 0..3
+}
+
+TEST(DamMachine, SequentialScanMissesPerBlock) {
+  DamMachine m(/*cache_blocks=*/2, /*block_size=*/8);
+  for (WordAddr w = 0; w < 64; ++w) m.access(w);
+  EXPECT_EQ(m.misses(), 8u);
+  EXPECT_EQ(m.accesses(), 64u);
+}
+
+TEST(DamMachine, ThrashingBeyondCapacity) {
+  // Cyclic scan over 3 blocks with capacity 2 under LRU: every block
+  // access misses.
+  DamMachine m(2, 1);
+  for (int round = 0; round < 10; ++round)
+    for (WordAddr w = 0; w < 3; ++w) m.access(w);
+  EXPECT_EQ(m.misses(), 30u);
+}
+
+TEST(CaMachine, BoxServesExactlyItsSizeInMisses) {
+  // Profile of boxes of size 2; touching 6 distinct blocks uses 3 boxes.
+  auto source =
+      std::make_unique<profile::VectorSource>(std::vector<profile::BoxSize>(10, 2));
+  CaMachine m(std::move(source), /*block_size=*/1);
+  for (WordAddr w = 0; w < 6; ++w) m.access(w);
+  EXPECT_EQ(m.misses(), 6u);
+  EXPECT_EQ(m.boxes_started(), 3u);
+}
+
+TEST(CaMachine, CacheClearedAtBoxBoundary) {
+  auto source =
+      std::make_unique<profile::VectorSource>(std::vector<profile::BoxSize>(10, 2));
+  CaMachine m(std::move(source), 1);
+  m.access(0);
+  m.access(1);  // box 1 full (2 misses)
+  m.access(0);  // still a hit: box persists until the next *miss*
+  EXPECT_EQ(m.misses(), 2u);
+  m.access(2);  // miss -> rolls into box 2 with a cleared cache
+  EXPECT_EQ(m.boxes_started(), 2u);
+  m.access(0);  // 0 was cleared: miss again
+  EXPECT_EQ(m.misses(), 4u);
+}
+
+TEST(CaMachine, HitsAreFree) {
+  auto source =
+      std::make_unique<profile::VectorSource>(std::vector<profile::BoxSize>(4, 8));
+  CaMachine m(std::move(source), 1);
+  m.access(0);
+  for (int i = 0; i < 100; ++i) m.access(0);
+  EXPECT_EQ(m.misses(), 1u);
+  EXPECT_EQ(m.accesses(), 101u);
+  EXPECT_EQ(m.boxes_started(), 1u);
+}
+
+TEST(CaMachine, BlockGranularity) {
+  auto source =
+      std::make_unique<profile::VectorSource>(std::vector<profile::BoxSize>(8, 4));
+  CaMachine m(std::move(source), /*block_size=*/4);
+  for (WordAddr w = 0; w < 16; ++w) m.access(w);  // 4 blocks
+  EXPECT_EQ(m.misses(), 4u);
+}
+
+TEST(CaMachine, ExhaustedProfileThrows) {
+  auto source = std::make_unique<profile::VectorSource>(
+      std::vector<profile::BoxSize>{1});
+  CaMachine m(std::move(source), 1);
+  m.access(0);
+  EXPECT_THROW(m.access(1), util::CheckError);
+}
+
+TEST(CaMachine, BoxLogRecordsSizes) {
+  auto source = std::make_unique<profile::VectorSource>(
+      std::vector<profile::BoxSize>{1, 2, 3});
+  CaMachine m(std::move(source), 1);
+  for (WordAddr w = 0; w < 6; ++w) m.access(w);
+  EXPECT_EQ(m.box_log(), (std::vector<profile::BoxSize>{1, 2, 3}));
+}
+
+TEST(AddressSpace, BlockAlignedRegions) {
+  AddressSpace space(8);
+  const auto a = space.allocate(5);
+  const auto b = space.allocate(9);
+  const auto c = space.allocate(8);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 8u);   // padded to a block
+  EXPECT_EQ(c, 24u);  // 9 words -> 2 blocks
+  EXPECT_EQ(space.words_allocated(), 32u);
+}
+
+}  // namespace
+}  // namespace cadapt::paging

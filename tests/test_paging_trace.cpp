@@ -1,0 +1,149 @@
+#include "paging/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "paging/dam.hpp"
+#include "paging/fluid.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::paging {
+namespace {
+
+TEST(TraceRecorder, CapturesWordStream) {
+  TraceRecorder rec(4);
+  rec.access(0);
+  rec.access(5);
+  rec.access(9);
+  EXPECT_EQ(rec.trace(), (std::vector<WordAddr>{0, 5, 9}));
+  EXPECT_EQ(rec.block_trace(), (std::vector<BlockId>{0, 1, 2}));
+  EXPECT_EQ(rec.accesses(), 3u);
+}
+
+TEST(Replay, ReproducesMachineBehaviour) {
+  TraceRecorder rec(8);
+  util::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) rec.access(rng.below(1 << 10));
+
+  DamMachine direct(16, 8);
+  for (const WordAddr a : rec.trace()) direct.access(a);
+  DamMachine replayed(16, 8);
+  replay(rec.trace(), replayed);
+  EXPECT_EQ(direct.misses(), replayed.misses());
+}
+
+TEST(OptMisses, KnownSmallTraces) {
+  // Classic example: OPT beats LRU on a cyclic scan.
+  const std::vector<BlockId> cyclic{1, 2, 3, 1, 2, 3, 1, 2, 3};
+  EXPECT_EQ(lru_misses(cyclic, 2), 9u);  // LRU thrashes on every access
+  EXPECT_EQ(opt_misses(cyclic, 2), 6u);  // Belady hits once per round
+}
+
+TEST(OptMisses, SingleBlock) {
+  const std::vector<BlockId> t{7, 7, 7, 7};
+  EXPECT_EQ(opt_misses(t, 1), 1u);
+  EXPECT_EQ(lru_misses(t, 1), 1u);
+}
+
+TEST(OptMisses, CapacityOneIsDistinctRuns) {
+  const std::vector<BlockId> t{1, 1, 2, 2, 1};
+  EXPECT_EQ(opt_misses(t, 1), 3u);
+  EXPECT_EQ(lru_misses(t, 1), 3u);
+}
+
+TEST(OptMisses, LargeCapacityGivesColdMissesOnly) {
+  util::Rng rng(5);
+  std::vector<BlockId> t;
+  std::set<BlockId> distinct;
+  for (int i = 0; i < 2000; ++i) {
+    t.push_back(rng.below(50));
+    distinct.insert(t.back());
+  }
+  EXPECT_EQ(opt_misses(t, 64), distinct.size());
+  EXPECT_EQ(lru_misses(t, 64), distinct.size());
+}
+
+TEST(OptMisses, NeverWorseThanLruProperty) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<BlockId> t;
+    const std::uint64_t universe = 8 + rng.below(64);
+    for (int i = 0; i < 1500; ++i) t.push_back(rng.below(universe));
+    for (const std::uint64_t m : {2ull, 4ull, 8ull, 16ull}) {
+      EXPECT_LE(opt_misses(t, m), lru_misses(t, m))
+          << "trial=" << trial << " m=" << m;
+    }
+  }
+}
+
+TEST(OptMisses, MonotoneInCapacity) {
+  util::Rng rng(13);
+  std::vector<BlockId> t;
+  for (int i = 0; i < 1000; ++i) t.push_back(rng.below(40));
+  std::uint64_t prev = opt_misses(t, 1);
+  for (std::uint64_t m = 2; m <= 64; m *= 2) {
+    const std::uint64_t cur = opt_misses(t, m);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(OptMisses, LruCompetitiveRatioRespected) {
+  // LRU with capacity k is k/(k-h+1)-competitive against OPT with
+  // capacity h (Sleator–Tarjan). Check with h = k/2: LRU(k) <= 2 OPT(k/2)
+  // (+ cold-start slack).
+  util::Rng rng(17);
+  std::vector<BlockId> t;
+  for (int i = 0; i < 4000; ++i) t.push_back(rng.below(100));
+  for (const std::uint64_t k : {8ull, 16ull, 32ull}) {
+    const double lru = static_cast<double>(lru_misses(t, k));
+    const double opt = static_cast<double>(opt_misses(t, k / 2));
+    EXPECT_LE(lru, 2.05 * opt + static_cast<double>(k)) << k;
+  }
+}
+
+TEST(FluidMachine, ConstantProfileEqualsDam) {
+  util::Rng rng(19);
+  TraceRecorder rec(4);
+  for (int i = 0; i < 3000; ++i) rec.access(rng.below(1 << 9));
+
+  DamMachine dam(16, 4);
+  replay(rec.trace(), dam);
+  FluidCaMachine fluid([](std::uint64_t) { return std::uint64_t{16}; }, 4);
+  replay(rec.trace(), fluid);
+  EXPECT_EQ(fluid.misses(), dam.misses());
+}
+
+TEST(FluidMachine, ShrinkEvictsGrowRetains) {
+  // Capacity 4 then drops to 1 after the 4th miss.
+  std::vector<std::uint64_t> profile{4, 4, 4, 4, 1, 1, 1, 1, 4, 4, 4, 4};
+  FluidCaMachine m(profile, 1);
+  for (WordAddr w = 0; w < 4; ++w) m.access(w);  // 4 misses, cap now 1
+  EXPECT_EQ(m.misses(), 4u);
+  EXPECT_EQ(m.current_capacity(), 1u);
+  // Only the most recent block (3) survives the shrink.
+  m.access(3);
+  EXPECT_EQ(m.misses(), 4u);
+  m.access(0);
+  EXPECT_EQ(m.misses(), 5u);
+}
+
+TEST(FluidMachine, RejectsZeroCapacityProfile) {
+  FluidCaMachine m([](std::uint64_t t) { return t <= 1 ? 1u : 0u; }, 1);
+  m.access(0);  // first miss: capacity after I/O 1 is still 1
+  EXPECT_THROW(m.access(1), util::CheckError);
+  EXPECT_THROW(FluidCaMachine(std::vector<std::uint64_t>{}, 1),
+               util::CheckError);
+}
+
+TEST(FluidMachine, CyclicVectorProfile) {
+  std::vector<std::uint64_t> profile{2, 2, 8, 8};
+  FluidCaMachine m(profile, 1);
+  for (WordAddr w = 0; w < 100; ++w) m.access(w);
+  EXPECT_EQ(m.misses(), 100u);  // all distinct: every access misses
+}
+
+}  // namespace
+}  // namespace cadapt::paging

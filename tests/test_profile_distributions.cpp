@@ -1,0 +1,127 @@
+#include "profile/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::profile {
+namespace {
+
+double total_mass(const BoxDistribution& d) {
+  double sum = 0;
+  for (const auto& e : d.pmf()) sum += e.prob;
+  return sum;
+}
+
+TEST(PointMass, Basics) {
+  PointMass d(16);
+  EXPECT_EQ(d.min_size(), 16u);
+  EXPECT_EQ(d.max_size(), 16u);
+  EXPECT_DOUBLE_EQ(d.mean(), 16.0);
+  EXPECT_DOUBLE_EQ(d.prob_ge(16), 1.0);
+  EXPECT_DOUBLE_EQ(d.prob_ge(17), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean_min(4), 4.0);
+  EXPECT_DOUBLE_EQ(d.mean_min(100), 16.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), 16u);
+}
+
+TEST(UniformPowers, PmfIsUniform) {
+  UniformPowers d(4, 0, 3);  // {1, 4, 16, 64}
+  ASSERT_EQ(d.pmf().size(), 4u);
+  for (const auto& e : d.pmf()) EXPECT_DOUBLE_EQ(e.prob, 0.25);
+  EXPECT_DOUBLE_EQ(d.mean(), (1 + 4 + 16 + 64) / 4.0);
+  EXPECT_DOUBLE_EQ(d.prob_ge(5), 0.5);
+  EXPECT_NEAR(total_mass(d), 1.0, 1e-12);
+}
+
+TEST(GeometricPowers, MatchesWorstCaseCensusShape) {
+  // Weight a: Pr[b^k] ∝ a^{-k}; ratio of consecutive masses is 1/a.
+  GeometricPowers d(4, 8.0, 0, 3);
+  const auto& pmf = d.pmf();
+  ASSERT_EQ(pmf.size(), 4u);
+  for (std::size_t i = 1; i < pmf.size(); ++i)
+    EXPECT_NEAR(pmf[i].prob / pmf[i - 1].prob, 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(total_mass(d), 1.0, 1e-12);
+}
+
+TEST(Bimodal, MassSplit) {
+  Bimodal d(2, 64, 0.125);
+  EXPECT_DOUBLE_EQ(d.prob_ge(64), 0.125);
+  EXPECT_DOUBLE_EQ(d.prob_ge(3), 0.125);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.875 * 2 + 0.125 * 64);
+}
+
+TEST(UniformRange, Moments) {
+  UniformRange d(1, 10);
+  EXPECT_DOUBLE_EQ(d.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(d.prob_ge(6), 0.5);
+  EXPECT_DOUBLE_EQ(d.mean_min(3), (1 + 2 + 3 * 8) / 10.0);
+}
+
+TEST(UniformRange, HugeRangeThrows) {
+  EXPECT_THROW(UniformRange(1, (1u << 23)), util::CheckError);
+}
+
+TEST(Empirical, MatchesCounts) {
+  Empirical d({4, 4, 4, 1, 16});
+  ASSERT_EQ(d.pmf().size(), 3u);
+  EXPECT_DOUBLE_EQ(d.prob_ge(4), 0.8);
+  EXPECT_DOUBLE_EQ(d.prob_ge(16), 0.2);
+  EXPECT_DOUBLE_EQ(d.mean(), (4 * 3 + 1 + 16) / 5.0);
+}
+
+TEST(MeanMinPow, HandComputed) {
+  // min(4, X)^{1.5} for X in {1, 16} with equal mass: (1 + 8)/2.
+  UniformPowers d(4, 0, 2);  // {1, 4, 16} each 1/3
+  EXPECT_NEAR(d.mean_min_pow(4, 1.5), (1.0 + 8.0 + 8.0) / 3.0, 1e-12);
+  EXPECT_NEAR(d.mean_min_pow(16, 1.5), (1.0 + 8.0 + 64.0) / 3.0, 1e-12);
+}
+
+TEST(Sampling, FrequenciesTrackPmf) {
+  GeometricPowers d(2, 2.0, 0, 4);
+  util::Rng rng(77);
+  std::map<BoxSize, std::uint64_t> counts;
+  const int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) ++counts[d.sample(rng)];
+  for (const auto& e : d.pmf()) {
+    const double freq = static_cast<double>(counts[e.size]) / kTrials;
+    EXPECT_NEAR(freq, e.prob, 0.01) << "size " << e.size;
+  }
+}
+
+TEST(Sampling, OnlySupportValues) {
+  Bimodal d(3, 9, 0.5);
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const BoxSize s = d.sample(rng);
+    EXPECT_TRUE(s == 3 || s == 9);
+  }
+}
+
+TEST(DistributionSource, InfiniteStream) {
+  PointMass d(5);
+  DistributionSource source(d, util::Rng(1));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(source.next(), 5u);
+}
+
+TEST(PmfValidation, RejectsBadInput) {
+  EXPECT_THROW(Empirical({}), util::CheckError);
+  EXPECT_THROW(PointMass(0), util::CheckError);
+  EXPECT_THROW(Bimodal(5, 3, 0.5), util::CheckError);
+  EXPECT_THROW(Bimodal(1, 3, 0.0), util::CheckError);
+  EXPECT_THROW(UniformPowers(1, 0, 2), util::CheckError);
+}
+
+TEST(PmfValidation, DuplicateSizesMerge) {
+  Empirical d({7, 7, 7});
+  ASSERT_EQ(d.pmf().size(), 1u);
+  EXPECT_DOUBLE_EQ(d.pmf().front().prob, 1.0);
+}
+
+}  // namespace
+}  // namespace cadapt::profile

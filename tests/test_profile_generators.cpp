@@ -1,0 +1,118 @@
+#include "profile/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "profile/square_approx.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+namespace {
+
+TEST(Generators, ConstantProfile) {
+  const auto m = constant_profile(16, 100);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_TRUE(std::all_of(m.begin(), m.end(),
+                          [](std::uint64_t v) { return v == 16; }));
+  EXPECT_THROW(constant_profile(0, 10), util::CheckError);
+}
+
+TEST(Generators, SawtoothShape) {
+  const auto m = sawtooth_profile(5, 3);
+  EXPECT_EQ(m, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 1, 2,
+                                           3, 4, 5}));
+}
+
+TEST(Generators, SawtoothSquareDecomposition) {
+  // Each ramp decomposes into boxes; they tile the ramp exactly.
+  const auto m = sawtooth_profile(32, 4);
+  const auto boxes = inner_square_profile(m);
+  std::uint64_t total = 0;
+  for (const auto b : boxes) total += b;
+  EXPECT_EQ(total, m.size());
+}
+
+TEST(Generators, RandomWalkRespectsBounds) {
+  RandomWalkOptions opts;
+  opts.start = 32;
+  opts.length = 10000;
+  opts.min_size = 4;
+  const auto m = random_walk_profile(opts, 7);
+  EXPECT_EQ(m.size(), opts.length);
+  for (std::size_t t = 0; t < m.size(); ++t) {
+    EXPECT_GE(m[t], opts.min_size);
+    if (t > 0) {
+      // Growth is at most +1 per step (the CA model's constraint).
+      EXPECT_LE(m[t], m[t - 1] + 1);
+    }
+  }
+}
+
+TEST(Generators, RandomWalkDeterministicPerSeed) {
+  RandomWalkOptions opts;
+  EXPECT_EQ(random_walk_profile(opts, 1), random_walk_profile(opts, 1));
+  EXPECT_NE(random_walk_profile(opts, 1), random_walk_profile(opts, 2));
+}
+
+TEST(Generators, RandomWalkCrashesHappen) {
+  RandomWalkOptions opts;
+  opts.start = 256;
+  opts.length = 5000;
+  opts.crash_prob = 0.05;
+  const auto m = random_walk_profile(opts, 3);
+  bool crash_seen = false;
+  for (std::size_t t = 1; t < m.size(); ++t)
+    if (m[t] + 1 < m[t - 1]) crash_seen = true;
+  EXPECT_TRUE(crash_seen);
+}
+
+TEST(Generators, PhasedProfileAlternates) {
+  const auto m = phased_profile(8, 3, 2, 2, 12);
+  EXPECT_EQ(m, (std::vector<std::uint64_t>{8, 8, 8, 2, 2, 8, 8, 8, 2, 2, 8,
+                                           8}));
+}
+
+TEST(Generators, PhasedProfileTruncatesToLength) {
+  EXPECT_EQ(phased_profile(4, 100, 2, 100, 7).size(), 7u);
+}
+
+TEST(Generators, MultiprogramSharesAreDivisorsOfTotal) {
+  MultiprogramOptions opts;
+  opts.total_cache = 120;
+  opts.length = 8000;
+  opts.arrival_prob = 0.01;
+  opts.departure_prob = 0.01;
+  const auto m = multiprogram_profile(opts, 5);
+  EXPECT_EQ(m.size(), opts.length);
+  for (const auto v : m) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, opts.total_cache);
+    // Every value is total/(1+k) for some k >= 0.
+    bool valid = false;
+    for (std::uint64_t k = 0; k <= opts.max_corunners; ++k)
+      if (v == opts.total_cache / (1 + k)) valid = true;
+    EXPECT_TRUE(valid) << v;
+  }
+}
+
+TEST(Generators, MultiprogramActuallyFluctuates) {
+  MultiprogramOptions opts;
+  opts.arrival_prob = 0.05;
+  opts.departure_prob = 0.05;
+  const auto m = multiprogram_profile(opts, 9);
+  std::set<std::uint64_t> distinct(m.begin(), m.end());
+  EXPECT_GT(distinct.size(), 3u);
+}
+
+TEST(Generators, InvalidArgsThrow) {
+  RandomWalkOptions bad;
+  bad.min_size = 0;
+  EXPECT_THROW(random_walk_profile(bad, 1), util::CheckError);
+  EXPECT_THROW(phased_profile(0, 1, 1, 1, 4), util::CheckError);
+  EXPECT_THROW(sawtooth_profile(0, 2), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cadapt::profile

@@ -1,0 +1,73 @@
+#include "profile/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "profile/box_source.hpp"
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::profile {
+namespace {
+
+TEST(ProfileIo, RoundTripStream) {
+  const std::vector<BoxSize> boxes{1, 4, 16, 4, 1, 64};
+  std::stringstream ss;
+  save_profile(ss, boxes, "test profile");
+  EXPECT_EQ(load_profile(ss), boxes);
+}
+
+TEST(ProfileIo, CommentsAndBlanksSkipped) {
+  std::istringstream is("# header\n\n 8 \n# mid comment\n\t2\n\n16\n");
+  EXPECT_EQ(load_profile(is), (std::vector<BoxSize>{8, 2, 16}));
+}
+
+TEST(ProfileIo, MultiLineCommentSaved) {
+  std::stringstream ss;
+  save_profile(ss, {3}, "line one\nline two");
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("# line one\n"), std::string::npos);
+  EXPECT_NE(out.find("# line two\n"), std::string::npos);
+  EXPECT_EQ(load_profile(ss), (std::vector<BoxSize>{3}));
+}
+
+TEST(ProfileIo, RejectsGarbageAndZero) {
+  {
+    std::istringstream is("4\nbanana\n");
+    EXPECT_THROW(load_profile(is), util::CheckError);
+  }
+  {
+    std::istringstream is("4\n0\n");
+    EXPECT_THROW(load_profile(is), util::CheckError);
+  }
+  {
+    std::istringstream is("4 5\n");  // two tokens on one line
+    EXPECT_THROW(load_profile(is), util::CheckError);
+  }
+}
+
+TEST(ProfileIo, EmptyInputGivesEmptyProfile) {
+  std::istringstream is("# only comments\n\n");
+  EXPECT_TRUE(load_profile(is).empty());
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  WorstCaseSource source(8, 4, 64);
+  const auto boxes = materialize(source);
+  const std::string path = "/tmp/cadapt_profile_io_test.txt";
+  save_profile_file(path, boxes, "M_{8,4}(64)");
+  EXPECT_EQ(load_profile_file(path), boxes);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIo, MissingFileThrows) {
+  EXPECT_THROW(load_profile_file("/nonexistent/dir/profile.txt"),
+               util::CheckError);
+  EXPECT_THROW(save_profile_file("/nonexistent/dir/profile.txt", {1}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cadapt::profile

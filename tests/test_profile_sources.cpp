@@ -1,0 +1,143 @@
+#include "profile/box_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/transforms.hpp"
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::profile {
+namespace {
+
+TEST(VectorSource, EmitsInOrderThenExhausts) {
+  VectorSource source({3, 1, 4, 1, 5});
+  EXPECT_EQ(materialize(source), std::vector<BoxSize>({3, 1, 4, 1, 5}));
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(VectorSource, CyclesWhenRequested) {
+  VectorSource source({1, 2}, /*cycle=*/true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(source.next(), 1u);
+    EXPECT_EQ(source.next(), 2u);
+  }
+}
+
+TEST(VectorSource, EmptyCyclingSourceExhausts) {
+  VectorSource source({}, /*cycle=*/true);
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(CyclingSource, RestartsViaFactory) {
+  CyclingSource source([] {
+    return std::make_unique<VectorSource>(std::vector<BoxSize>{7, 8});
+  });
+  EXPECT_EQ(source.next(), 7u);
+  EXPECT_EQ(source.next(), 8u);
+  EXPECT_EQ(source.next(), 7u);
+  EXPECT_EQ(source.next(), 8u);
+  EXPECT_EQ(source.next(), 7u);
+}
+
+TEST(TakeSource, LimitsBoxCount) {
+  TakeSource source(
+      std::make_unique<VectorSource>(std::vector<BoxSize>{1, 2, 3}, true), 5);
+  EXPECT_EQ(materialize(source).size(), 5u);
+}
+
+TEST(ConcatSource, JoinsTwoStreams) {
+  ConcatSource source(
+      std::make_unique<VectorSource>(std::vector<BoxSize>{1, 2}),
+      std::make_unique<VectorSource>(std::vector<BoxSize>{3}));
+  EXPECT_EQ(materialize(source), std::vector<BoxSize>({1, 2, 3}));
+}
+
+TEST(Materialize, ThrowsOnOverlongProfile) {
+  VectorSource source({1, 2}, /*cycle=*/true);
+  EXPECT_THROW(materialize(source, 100), util::CheckError);
+}
+
+TEST(CyclicShiftSource, RotatesByOffset) {
+  auto factory = [] {
+    return std::make_unique<VectorSource>(std::vector<BoxSize>{1, 2, 3, 4, 5});
+  };
+  CyclicShiftSource shifted(factory, 2);
+  EXPECT_EQ(materialize(shifted), std::vector<BoxSize>({3, 4, 5, 1, 2}));
+}
+
+TEST(CyclicShiftSource, ZeroOffsetIsIdentity) {
+  auto factory = [] {
+    return std::make_unique<VectorSource>(std::vector<BoxSize>{9, 8, 7});
+  };
+  CyclicShiftSource shifted(factory, 0);
+  EXPECT_EQ(materialize(shifted), std::vector<BoxSize>({9, 8, 7}));
+}
+
+TEST(CyclicShiftSource, OffsetBeyondLengthThrows) {
+  auto factory = [] {
+    return std::make_unique<VectorSource>(std::vector<BoxSize>{1, 2});
+  };
+  EXPECT_THROW(CyclicShiftSource(factory, 3), util::CheckError);
+}
+
+TEST(CyclicShiftSource, WorstCaseProfileRoundTrip) {
+  // Shift then compare against rotating the materialized profile.
+  auto factory = [] { return std::make_unique<WorstCaseSource>(2, 2, 8); };
+  auto plain = [&] {
+    auto s = factory();
+    return materialize(*s);
+  }();
+  for (std::uint64_t offset : {1ul, 3ul, plain.size() - 1}) {
+    CyclicShiftSource shifted(factory, offset);
+    std::vector<BoxSize> expected(plain.begin() + static_cast<long>(offset),
+                                  plain.end());
+    expected.insert(expected.end(), plain.begin(),
+                    plain.begin() + static_cast<long>(offset));
+    EXPECT_EQ(materialize(shifted), expected) << offset;
+  }
+}
+
+TEST(SizePerturbSource, PointPerturbScales) {
+  auto inner = std::make_unique<VectorSource>(std::vector<BoxSize>{1, 2, 8});
+  SizePerturbSource perturbed(std::move(inner), point_perturb(3.0),
+                              util::Rng(1));
+  EXPECT_EQ(materialize(perturbed), std::vector<BoxSize>({3, 6, 24}));
+}
+
+TEST(SizePerturbSource, ClampsToOne) {
+  auto inner = std::make_unique<VectorSource>(std::vector<BoxSize>{1, 2, 8});
+  SizePerturbSource perturbed(std::move(inner), point_perturb(0.01),
+                              util::Rng(1));
+  for (BoxSize s : materialize(perturbed)) EXPECT_GE(s, 1u);
+}
+
+TEST(SizePerturbSource, UniformIntStaysInRange) {
+  auto inner =
+      std::make_unique<VectorSource>(std::vector<BoxSize>(1000, 10));
+  SizePerturbSource perturbed(std::move(inner), uniform_int_perturb(4),
+                              util::Rng(99));
+  double sum = 0;
+  for (BoxSize s : materialize(perturbed)) {
+    EXPECT_GE(s, 10u);
+    EXPECT_LE(s, 40u);
+    sum += static_cast<double>(s);
+  }
+  // E[X] = 2.5, so mean size ~ 25.
+  EXPECT_NEAR(sum / 1000.0, 25.0, 2.0);
+}
+
+TEST(ShuffleBoxes, PreservesMultisetAndPermutes) {
+  std::vector<BoxSize> boxes;
+  for (BoxSize i = 1; i <= 100; ++i) boxes.push_back(i);
+  auto shuffled = boxes;
+  util::Rng rng(3);
+  shuffle_boxes(shuffled, rng);
+  EXPECT_NE(shuffled, boxes);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, boxes);
+}
+
+}  // namespace
+}  // namespace cadapt::profile

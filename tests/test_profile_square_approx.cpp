@@ -1,0 +1,99 @@
+#include "profile/square_approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::profile {
+namespace {
+
+TEST(SquareApprox, RoundTripOnSquareProfiles) {
+  for (const std::vector<BoxSize>& boxes :
+       {std::vector<BoxSize>{1}, {2, 2}, {1, 2, 4, 2, 1}, {3, 1, 3},
+        {8, 4, 2, 1, 1, 2, 4, 8}}) {
+    const auto m = expand_profile(boxes);
+    EXPECT_TRUE(is_square_profile(m));
+    EXPECT_EQ(inner_square_profile(m), boxes);
+  }
+}
+
+TEST(SquareApprox, ConstantProfileDecomposesIntoEqualBoxes) {
+  // m(t) = 4 for 12 steps -> three boxes of size 4.
+  std::vector<std::uint64_t> m(12, 4);
+  EXPECT_EQ(inner_square_profile(m), std::vector<BoxSize>({4, 4, 4}));
+}
+
+TEST(SquareApprox, GrowingRampIsGreedy) {
+  // m = 1,2,3,4,5,6: box 1 at t=0 (m[0]=1 caps it), then the rest.
+  const std::vector<std::uint64_t> m{1, 2, 3, 4, 5, 6};
+  const auto boxes = inner_square_profile(m);
+  EXPECT_EQ(boxes.front(), 1u);
+  std::uint64_t total = 0;
+  for (BoxSize b : boxes) total += b;
+  EXPECT_EQ(total, m.size());
+}
+
+TEST(SquareApprox, TruncatedTailStillCovered) {
+  // A tall profile with a horizon too short for its height.
+  const std::vector<std::uint64_t> m{10, 10, 10};
+  EXPECT_EQ(inner_square_profile(m), std::vector<BoxSize>({3}));
+}
+
+TEST(SquareApprox, BoxesFitUnderProfile) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> m(200);
+    for (auto& v : m) v = 1 + rng.below(16);
+    const auto boxes = inner_square_profile(m);
+    // The decomposition tiles the time axis exactly...
+    std::uint64_t total = 0;
+    for (BoxSize b : boxes) total += b;
+    ASSERT_EQ(total, m.size());
+    // ...and each box fits under the profile (except possibly the final
+    // truncated box, which only has to fit in height).
+    std::size_t t = 0;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      const BoxSize b = boxes[i];
+      for (std::uint64_t u = 0; u < b && t + u < m.size(); ++u)
+        ASSERT_GE(m[t + u], b) << "trial " << trial;
+      t += b;
+    }
+  }
+}
+
+TEST(SquareApprox, ZeroMemoryEntryThrows) {
+  const std::vector<std::uint64_t> m{1, 0, 1};
+  EXPECT_THROW(inner_square_profile(m), util::CheckError);
+}
+
+TEST(SquareApprox, IsSquareProfileRejectsNonSquares) {
+  EXPECT_FALSE(is_square_profile(std::vector<std::uint64_t>{2}));
+  EXPECT_FALSE(is_square_profile(std::vector<std::uint64_t>{2, 3}));
+  EXPECT_FALSE(is_square_profile(std::vector<std::uint64_t>{1, 2, 2, 2}));
+  EXPECT_TRUE(is_square_profile(std::vector<std::uint64_t>{}));
+  EXPECT_TRUE(is_square_profile(std::vector<std::uint64_t>{1, 2, 2}));
+}
+
+TEST(SquareApprox, GreedyIsMaximalAtEachBoundary) {
+  // At every boundary the chosen box could not have been one larger.
+  util::Rng rng(13);
+  std::vector<std::uint64_t> m(300);
+  for (auto& v : m) v = 1 + rng.below(12);
+  const auto boxes = inner_square_profile(m);
+  std::size_t t = 0;
+  for (BoxSize b : boxes) {
+    if (t + b < m.size()) {
+      // Growing to b+1 must violate the height constraint somewhere in
+      // the extended window.
+      bool violates = false;
+      for (std::uint64_t u = 0; u <= b && !violates; ++u)
+        violates = m[t + u] < b + 1;
+      EXPECT_TRUE(violates);
+    }
+    t += b;
+  }
+}
+
+}  // namespace
+}  // namespace cadapt::profile

@@ -1,0 +1,153 @@
+#include "profile/worst_case.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "profile/box_source.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::profile {
+namespace {
+
+std::map<BoxSize, std::uint64_t> census_of(std::vector<BoxSize> boxes) {
+  std::map<BoxSize, std::uint64_t> counts;
+  for (BoxSize s : boxes) ++counts[s];
+  return counts;
+}
+
+TEST(WorstCase, SmallestProfileIsSingleUnitBox) {
+  WorstCaseSource source(8, 4, 1);
+  const auto boxes = materialize(source);
+  EXPECT_EQ(boxes, std::vector<BoxSize>({1}));
+}
+
+TEST(WorstCase, RecursiveStructureExplicit) {
+  // M_{2,2}(4) = M(2), M(2), [4] with M(2) = [1],[1],[2].
+  WorstCaseSource source(2, 2, 4);
+  const auto boxes = materialize(source);
+  EXPECT_EQ(boxes, std::vector<BoxSize>({1, 1, 2, 1, 1, 2, 4}));
+}
+
+TEST(WorstCase, OrderWithinProfileIsNondecreasingPerBlock) {
+  // Each recursive copy ends with its own big box; the final box is the
+  // largest and last.
+  WorstCaseSource source(8, 4, 64);
+  const auto boxes = materialize(source);
+  EXPECT_EQ(boxes.back(), 64u);
+  EXPECT_EQ(*std::max_element(boxes.begin(), boxes.end()), 64u);
+}
+
+TEST(WorstCase, CensusMatchesMaterialized) {
+  for (const auto& [a, b] : {std::pair<std::uint64_t, std::uint64_t>{8, 4},
+                             {4, 2},
+                             {3, 2},
+                             {2, 2}}) {
+    const BoxSize n = util::ipow(b, 4);
+    WorstCaseSource source(a, b, n);
+    const auto actual = census_of(materialize(source));
+    std::map<BoxSize, std::uint64_t> expected;
+    for (const auto& e : worst_case_census(a, b, n)) expected[e.size] = e.count;
+    EXPECT_EQ(actual, expected) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(WorstCase, BoxCountMatchesFormula) {
+  WorstCaseSource source(8, 4, 256);
+  EXPECT_EQ(materialize(source).size(), worst_case_box_count(8, 4, 256));
+  // C(n) = a C(n/b) + 1, C(1) = 1: for (8,4): 1, 9, 73, 585, 4681.
+  EXPECT_EQ(worst_case_box_count(8, 4, 1), 1u);
+  EXPECT_EQ(worst_case_box_count(8, 4, 4), 9u);
+  EXPECT_EQ(worst_case_box_count(8, 4, 16), 73u);
+  EXPECT_EQ(worst_case_box_count(8, 4, 256), 4681u);
+}
+
+TEST(WorstCase, TotalPotentialIsPotentialTimesLogPlusOne) {
+  // Σ s^{log_b a} = n^{log_b a} (log_b n + 1).
+  for (unsigned k = 0; k <= 6; ++k) {
+    const BoxSize n = util::ipow(4, k);
+    const double expected =
+        util::pow_log_ratio(n, 8, 4) * static_cast<double>(k + 1);
+    EXPECT_NEAR(worst_case_total_potential(8, 4, n), expected, 1e-6) << k;
+  }
+}
+
+TEST(WorstCase, ScaledSourceMultipliesEverySize) {
+  WorstCaseSource plain(2, 2, 8);
+  WorstCaseSource scaled(2, 2, 8, 16);
+  const auto p = materialize(plain);
+  const auto s = materialize(scaled);
+  ASSERT_EQ(p.size(), s.size());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(s[i], 16 * p[i]);
+}
+
+TEST(WorstCase, NonPowerSizeThrows) {
+  EXPECT_THROW(WorstCaseSource(8, 4, 10), util::CheckError);
+  EXPECT_THROW(worst_case_census(8, 4, 7), util::CheckError);
+}
+
+TEST(OrderPerturbed, PreservesBoxMultiset) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    OrderPerturbedWorstCaseSource perturbed(8, 4, 64, seed);
+    WorstCaseSource plain(8, 4, 64);
+    EXPECT_EQ(census_of(materialize(perturbed)), census_of(materialize(plain)))
+        << seed;
+  }
+}
+
+TEST(OrderPerturbed, BigBoxNeverBeforeFirstChild) {
+  // The size-n box is placed after at least one recursive instance, so it
+  // can never be the very first box.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    OrderPerturbedWorstCaseSource perturbed(8, 4, 64, seed);
+    const auto boxes = materialize(perturbed);
+    EXPECT_NE(boxes.front(), 64u) << seed;
+  }
+}
+
+TEST(OrderPerturbed, DifferentSeedsProduceDifferentOrders) {
+  OrderPerturbedWorstCaseSource s1(8, 4, 64, 1);
+  OrderPerturbedWorstCaseSource s2(8, 4, 64, 2);
+  EXPECT_NE(materialize(s1), materialize(s2));
+}
+
+TEST(OrderPerturbed, SameSeedIsDeterministic) {
+  OrderPerturbedWorstCaseSource s1(8, 4, 64, 5);
+  OrderPerturbedWorstCaseSource s2(8, 4, 64, 5);
+  EXPECT_EQ(materialize(s1), materialize(s2));
+}
+
+TEST(WorstCase, SmallBoxesHoldBoundedPotentialFraction) {
+  // A step in the paper's size-perturbation proof: for T <= sqrt(n), the
+  // boxes of M_{a,b}(n) smaller than T carry at most a constant fraction
+  // (here about half) of the total potential. Each size class b^k carries
+  // equal potential n^{log_b a}, so the fraction is log_b T / (log_b n + 1).
+  const std::uint64_t a = 8, b = 4;
+  for (unsigned K = 4; K <= 8; K += 2) {
+    const BoxSize n = util::ipow(b, K);
+    const BoxSize t = util::ipow(b, K / 2);  // T = sqrt(n)
+    double small_potential = 0.0;
+    for (const auto& e : worst_case_census(a, b, n)) {
+      if (e.size < t)
+        small_potential +=
+            util::pow_log_ratio(e.size, a, b) * static_cast<double>(e.count);
+    }
+    const double fraction =
+        small_potential / worst_case_total_potential(a, b, n);
+    EXPECT_LE(fraction, 0.5 + 1e-9) << n;
+    EXPECT_GT(fraction, 0.0) << n;
+  }
+}
+
+TEST(WorstCase, TotalTimeMatchesMaterializedSum) {
+  WorstCaseSource source(4, 2, 32);
+  double sum = 0;
+  for (BoxSize s : materialize(source)) sum += static_cast<double>(s);
+  EXPECT_DOUBLE_EQ(worst_case_total_time(4, 2, 32), sum);
+}
+
+}  // namespace
+}  // namespace cadapt::profile

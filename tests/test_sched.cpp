@@ -1,0 +1,176 @@
+#include "sched/shared_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/mm.hpp"
+#include "algos/sim_data.hpp"
+#include "paging/dam.hpp"
+#include "paging/trace.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::sched {
+namespace {
+
+std::vector<paging::BlockId> cyclic_trace(std::uint64_t universe,
+                                          std::size_t length) {
+  std::vector<paging::BlockId> t;
+  for (std::size_t i = 0; i < length; ++i) t.push_back(i % universe);
+  return t;
+}
+
+std::vector<paging::BlockId> random_trace(std::uint64_t universe,
+                                          std::size_t length,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<paging::BlockId> t;
+  for (std::size_t i = 0; i < length; ++i) t.push_back(rng.below(universe));
+  return t;
+}
+
+TEST(SharedCache, SingleProcessGlobalLruEqualsDam) {
+  const auto trace = random_trace(64, 5000, 3);
+  SimOptions opts;
+  opts.total_cache_blocks = 16;
+  opts.policy = Policy::kGlobalLru;
+  const SimResult r = simulate_shared_cache({{"p0", trace}}, opts);
+  EXPECT_EQ(r.per_process.size(), 1u);
+  EXPECT_EQ(r.per_process[0].misses, paging::lru_misses(trace, 16));
+  EXPECT_EQ(r.total_ios, r.per_process[0].misses);
+  EXPECT_EQ(r.per_process[0].accesses, trace.size());
+}
+
+TEST(SharedCache, StaticPartitionIsolatesProcesses) {
+  // Under a static partition each process behaves exactly as on a
+  // private DAM with M/K blocks, regardless of the co-runner.
+  const auto t0 = random_trace(32, 3000, 7);
+  const auto t1 = cyclic_trace(64, 3000);  // cache-hostile co-runner
+  SimOptions opts;
+  opts.total_cache_blocks = 16;  // 8 each
+  opts.policy = Policy::kStaticEqual;
+  const SimResult r = simulate_shared_cache({{"a", t0}, {"b", t1}}, opts);
+  EXPECT_EQ(r.per_process[0].misses, paging::lru_misses(t0, 8));
+  EXPECT_EQ(r.per_process[1].misses, paging::lru_misses(t1, 8));
+}
+
+TEST(SharedCache, GlobalLruInterferenceIncreasesMisses) {
+  // A thrashing co-runner steals cache under global LRU: the victim's
+  // misses are at least its isolated-at-full-M count and typically more
+  // than its isolated-at-M/K count.
+  const auto victim = random_trace(24, 4000, 9);
+  const auto bully = cyclic_trace(200, 4000);
+  SimOptions opts;
+  opts.total_cache_blocks = 32;
+  opts.policy = Policy::kGlobalLru;
+  const SimResult r =
+      simulate_shared_cache({{"victim", victim}, {"bully", bully}}, opts);
+  EXPECT_GE(r.per_process[0].misses, paging::lru_misses(victim, 32));
+  EXPECT_LE(r.per_process[0].misses, paging::lru_misses(victim, 1));
+}
+
+TEST(SharedCache, OccupanciesNeverExceedTotal) {
+  const auto t0 = random_trace(64, 2000, 11);
+  const auto t1 = random_trace(64, 2000, 12);
+  const auto t2 = cyclic_trace(48, 2000);
+  SimOptions opts;
+  opts.total_cache_blocks = 24;
+  opts.policy = Policy::kGlobalLru;
+  const SimResult r =
+      simulate_shared_cache({{"a", t0}, {"b", t1}, {"c", t2}}, opts);
+  for (const auto& p : r.per_process)
+    for (const auto occ : p.occupancy_profile) {
+      EXPECT_GE(occ, 1u);
+      EXPECT_LE(occ, opts.total_cache_blocks);
+    }
+}
+
+TEST(SharedCache, PeriodicFlushCrashesOccupancy) {
+  const auto t0 = random_trace(64, 4000, 13);
+  SimOptions opts;
+  opts.total_cache_blocks = 32;
+  opts.policy = Policy::kPeriodicFlush;
+  opts.flush_period = 40;
+  const SimResult r = simulate_shared_cache({{"p", t0}}, opts);
+  // After a flush the occupancy restarts from 1: the profile must visit 1
+  // repeatedly, not only at the start.
+  std::size_t ones_after_start = 0;
+  const auto& occ = r.per_process[0].occupancy_profile;
+  for (std::size_t i = 10; i < occ.size(); ++i)
+    if (occ[i] == 1) ++ones_after_start;
+  EXPECT_GT(ones_after_start, 10u);
+}
+
+TEST(SharedCache, Deterministic) {
+  const auto t0 = random_trace(32, 1500, 21);
+  const auto t1 = random_trace(32, 1500, 22);
+  SimOptions opts;
+  opts.total_cache_blocks = 16;
+  const SimResult a = simulate_shared_cache({{"x", t0}, {"y", t1}}, opts);
+  const SimResult b = simulate_shared_cache({{"x", t0}, {"y", t1}}, opts);
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_EQ(a.per_process[p].misses, b.per_process[p].misses);
+    EXPECT_EQ(a.per_process[p].occupancy_profile,
+              b.per_process[p].occupancy_profile);
+  }
+}
+
+TEST(SharedCache, CompletionTimesMonotoneWithTraceLength) {
+  const auto small = random_trace(16, 500, 31);
+  const auto large = random_trace(16, 5000, 32);
+  SimOptions opts;
+  opts.total_cache_blocks = 8;
+  const SimResult r =
+      simulate_shared_cache({{"small", small}, {"large", large}}, opts);
+  EXPECT_LT(r.per_process[0].completion_time,
+            r.per_process[1].completion_time);
+  EXPECT_EQ(r.per_process[1].completion_time, r.total_ios);
+}
+
+TEST(SharedCache, EmptyTraceProcessIsHarmless) {
+  const auto t0 = random_trace(16, 500, 41);
+  SimOptions opts;
+  opts.total_cache_blocks = 8;
+  const SimResult r =
+      simulate_shared_cache({{"real", t0}, {"empty", {}}}, opts);
+  EXPECT_EQ(r.per_process[1].misses, 0u);
+  EXPECT_EQ(r.per_process[0].misses, paging::lru_misses(t0, 8));
+}
+
+TEST(SharedCache, RealAlgorithmTracesCoSchedule) {
+  // Record a real MM-Scan trace and co-schedule it with a scan-heavy
+  // process; everything completes and the emergent profile is non-trivial.
+  paging::TraceRecorder rec(8);
+  paging::AddressSpace space(8);
+  {
+    const std::size_t n = 16;
+    algos::SimMatrix<double> a(rec, space, n, n), b(rec, space, n, n),
+        c(rec, space, n, n);
+    algos::MmScratch scratch(rec, space);
+    algos::mm_scan(algos::MatView<double>(c), algos::MatView<double>(a),
+                   algos::MatView<double>(b), scratch, 4);
+  }
+  SimOptions opts;
+  opts.total_cache_blocks = 24;
+  const SimResult r = simulate_shared_cache(
+      {{"mm", rec.block_trace()}, {"stream", cyclic_trace(256, 4000)}}, opts);
+  EXPECT_GT(r.per_process[0].misses, 0u);
+  EXPECT_GT(r.per_process[0].occupancy_profile.size(), 10u);
+  std::uint64_t max_occ = 0;
+  for (const auto o : r.per_process[0].occupancy_profile)
+    max_occ = std::max(max_occ, o);
+  EXPECT_GT(max_occ, 1u);
+}
+
+TEST(SharedCache, RejectsBadOptions) {
+  EXPECT_THROW(simulate_shared_cache({}, {}), util::CheckError);
+  SimOptions tiny;
+  tiny.total_cache_blocks = 1;
+  EXPECT_THROW(
+      simulate_shared_cache({{"a", {1}}, {"b", {2}}, {"c", {3}}}, tiny),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace cadapt::sched

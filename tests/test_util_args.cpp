@@ -1,0 +1,72 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace cadapt::util {
+namespace {
+
+TEST(ArgParser, PositionalsAndFlags) {
+  ArgParser args({"gap", "--a", "8", "--b", "4", "--unit-progress"});
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "gap");
+  EXPECT_EQ(args.get_u64("a", 0), 8u);
+  EXPECT_EQ(args.get_u64("b", 0), 4u);
+  EXPECT_TRUE(args.has("unit-progress"));
+  EXPECT_FALSE(args.has("csv"));
+}
+
+TEST(ArgParser, Defaults) {
+  ArgParser args({"gap"});
+  EXPECT_EQ(args.get_u64("kmax", 6), 6u);
+  EXPECT_DOUBLE_EQ(args.get_double("c", 1.0), 1.0);
+  EXPECT_EQ(args.get_string("dist", "geometric"), "geometric");
+}
+
+TEST(ArgParser, DoubleValues) {
+  ArgParser args({"x", "--c", "0.5", "--t", "2.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("c", 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(args.get_double("t", 0.0), 2.25);
+}
+
+TEST(ArgParser, BooleanFlagBeforeAnotherFlag) {
+  ArgParser args({"--csv", "--kmax", "5"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.get_u64("kmax", 0), 5u);
+}
+
+TEST(ArgParser, TrailingBooleanFlag) {
+  ArgParser args({"cmd", "--matched"});
+  EXPECT_TRUE(args.has("matched"));
+  EXPECT_EQ(args.get_string("matched", "?"), "");
+}
+
+TEST(ArgParser, BadNumbersThrow) {
+  ArgParser args({"--a", "abc", "--c", "1.x"});
+  EXPECT_THROW(args.get_u64("a", 0), CheckError);
+  EXPECT_THROW(args.get_double("c", 0.0), CheckError);
+}
+
+TEST(ArgParser, UnknownFlagsAreReported) {
+  ArgParser args({"gap", "--a", "8", "--typo", "3"});
+  (void)args.get_u64("a", 0);
+  const auto unknown = args.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgParser, QueriedFlagsAreNotUnknown) {
+  ArgParser args({"--a", "8"});
+  (void)args.get_u64("a", 0);
+  EXPECT_TRUE(args.unknown_flags().empty());
+}
+
+TEST(ArgParser, MultiplePositionals) {
+  ArgParser args({"render", "out.txt", "--n", "64"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[1], "out.txt");
+}
+
+}  // namespace
+}  // namespace cadapt::util

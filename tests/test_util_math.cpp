@@ -1,0 +1,90 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cadapt::util {
+namespace {
+
+TEST(IPow, SmallValues) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(8, 8), 16777216u);
+  EXPECT_EQ(ipow(1, 63), 1u);
+  EXPECT_EQ(ipow(10, 19), 10000000000000000000ull);
+}
+
+TEST(IPow, OverflowThrows) {
+  EXPECT_THROW(ipow(2, 64), CheckError);
+  EXPECT_THROW(ipow(10, 20), CheckError);
+}
+
+TEST(IsPowerOf, Basics) {
+  EXPECT_TRUE(is_power_of(1, 4));
+  EXPECT_TRUE(is_power_of(4, 4));
+  EXPECT_TRUE(is_power_of(65536, 4));
+  EXPECT_FALSE(is_power_of(8, 4));
+  EXPECT_FALSE(is_power_of(0, 4));
+  EXPECT_FALSE(is_power_of(12, 4));
+}
+
+TEST(ILog, Basics) {
+  EXPECT_EQ(ilog(1, 4), 0u);
+  EXPECT_EQ(ilog(3, 4), 0u);
+  EXPECT_EQ(ilog(4, 4), 1u);
+  EXPECT_EQ(ilog(63, 4), 2u);
+  EXPECT_EQ(ilog(64, 4), 3u);
+}
+
+TEST(CeilFloorPow, Basics) {
+  EXPECT_EQ(ceil_pow(1, 2), 1u);
+  EXPECT_EQ(ceil_pow(5, 2), 8u);
+  EXPECT_EQ(ceil_pow(8, 2), 8u);
+  EXPECT_EQ(floor_pow(5, 2), 4u);
+  EXPECT_EQ(floor_pow(8, 2), 8u);
+  EXPECT_EQ(floor_pow(1, 7), 1u);
+}
+
+TEST(PowLogRatio, ExactOnPowers) {
+  // 4^{log_4 8} ... x = b^k gives exactly a^k.
+  EXPECT_DOUBLE_EQ(pow_log_ratio(1, 8, 4), 1.0);
+  EXPECT_DOUBLE_EQ(pow_log_ratio(4, 8, 4), 8.0);
+  EXPECT_DOUBLE_EQ(pow_log_ratio(16, 8, 4), 64.0);
+  EXPECT_DOUBLE_EQ(pow_log_ratio(64, 8, 4), 512.0);
+  EXPECT_DOUBLE_EQ(pow_log_ratio(4096, 8, 4), 262144.0);
+}
+
+TEST(PowLogRatio, ApproxOffPowers) {
+  // x^{3/2} for a=8,b=4.
+  const double v = pow_log_ratio(9, 8, 4);
+  EXPECT_NEAR(v, std::pow(9.0, 1.5), 1e-9);
+}
+
+TEST(PowLogRatio, MonotoneInX) {
+  double prev = 0.0;
+  for (std::uint64_t x = 1; x < 200; ++x) {
+    const double v = pow_log_ratio(x, 8, 4);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LogRatio, Values) {
+  EXPECT_DOUBLE_EQ(log_ratio(8, 2), 3.0);
+  EXPECT_NEAR(log_ratio(8, 4), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(log_ratio(1, 2), 0.0);
+}
+
+TEST(CeilPowReal, ScanSizes) {
+  EXPECT_EQ(ceil_pow_real(100, 1.0), 100u);
+  EXPECT_EQ(ceil_pow_real(100, 0.5), 10u);
+  EXPECT_EQ(ceil_pow_real(101, 0.5), 11u);
+  EXPECT_EQ(ceil_pow_real(100, 0.0), 1u);
+  EXPECT_EQ(ceil_pow_real(0, 0.5), 0u);
+}
+
+}  // namespace
+}  // namespace cadapt::util

@@ -1,0 +1,91 @@
+// Tests for the table writer and thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cadapt::util {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"n", "ratio"});
+  t.row().cell(std::uint64_t{16}).cell(2.5, 2);
+  t.row().cell(std::uint64_t{65536}).cell(10.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("    n  ratio"), std::string::npos) << out;
+  EXPECT_NE(out.find("65536  10.25"), std::string::npos) << out;
+  EXPECT_NE(out.find("   16   2.50"), std::string::npos) << out;
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.row().cell(std::string("a,b")).cell(std::string("say \"hi\""));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowUnderflowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.row().cell(std::string("only one"));
+  EXPECT_THROW(t.row(), CheckError);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell(std::string("x")), CheckError);
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"a"});
+  t.row().cell(std::string("x"));
+  EXPECT_THROW(t.cell(std::string("y")), CheckError);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversIndexSpace) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPool) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+}
+
+}  // namespace
+}  // namespace cadapt::util

@@ -1,0 +1,95 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace cadapt::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+  Rng d(43);
+  bool differs = false;
+  Rng e(42);
+  for (int i = 0; i < 100; ++i) differs |= (d() != e());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+  EXPECT_THROW(rng.below(0), CheckError);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(rng.between(9, 9), 9u);
+  EXPECT_THROW(rng.between(3, 2), CheckError);
+}
+
+TEST(Rng, Uniform01InRangeAndRoughlyUniform) {
+  Rng rng(4);
+  double sum = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(6);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child1() == child2());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowUnbiasedRoughly) {
+  Rng rng(7);
+  std::array<int, 3> counts{};
+  const int kTrials = 90000;
+  for (int i = 0; i < kTrials; ++i)
+    ++counts[static_cast<std::size_t>(rng.below(3))];
+  for (int c : counts) EXPECT_NEAR(c, kTrials / 3, kTrials / 50);
+}
+
+}  // namespace
+}  // namespace cadapt::util

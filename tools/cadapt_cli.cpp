@@ -1,0 +1,244 @@
+// cadapt — command-line driver for the cache-adaptive analysis toolkit.
+//
+// Usage: cadapt <command> [flags]
+//
+//   gap         adaptivity ratio of (a,b,c) on its worst-case profile M_{a,b}
+//   shuffle     ... on the i.i.d. reshuffle of M_{a,b} (Theorem 1)
+//   iid         ... on i.i.d. boxes from a chosen distribution
+//   perturb     ... on size-perturbed M_{a,b} (X ~ U[0,t])
+//   shift       ... on cyclic-shifted M_{a,b}
+//   order       ... on order-perturbed M_{a,b} (--matched for the witness)
+//   analytic    Lemma 3 stopping-time table for a distribution
+//   render      ASCII-render M_{a,b}(n) (Figure 1)
+//   multiplies  §3: executions completed on one pass of M_{a,b}(n)
+//   help        this text
+//
+// Common flags: --a --b --c --kmin --kmax --trials --seed
+//               --semantics optimistic|budgeted --unit-progress --csv
+// Distribution flags (iid/analytic): --dist geometric|uniform-powers|
+//   bimodal|point|uniform-range, --kdist, --small, --big, --pbig,
+//   --size, --lo, --hi
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/cadapt.hpp"
+#include "core/report.hpp"
+#include "profile/profile_io.hpp"
+#include "util/args.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cadapt;
+
+int usage() {
+  std::cout <<
+      R"(cadapt - cache-adaptive analysis toolkit (SPAA 2020 reproduction)
+
+commands:
+  gap         ratio of (a,b,c) on its worst-case profile M_{a,b}
+  shuffle     ratio on the i.i.d. reshuffle of M_{a,b} (Theorem 1)
+  iid         ratio on i.i.d. boxes from --dist
+  perturb     ratio on size-perturbed M_{a,b} (X ~ U[0,--t])
+  shift       ratio on cyclic-shifted M_{a,b}
+  order       ratio on order-perturbed M_{a,b} (--matched = witness algo)
+  analytic    exact Lemma 3 stopping-time table for --dist
+  render      ASCII-render M_{a,b}(--n) (Figure 1)
+  multiplies  count executions completed on one pass of M_{a,b}(n)
+  replay      run (a,b,c) on a saved profile: --file F [--cycle] [--n N]
+  save-worst  write M_{a,b}(--n) to --file F (one box per line)
+
+common flags:
+  --a N --b N --c X         algorithm shape (default 8 4 1.0)
+  --kmin K --kmax K         sweep n = b^kmin .. b^kmax (default 2..6)
+  --trials T --seed S       Monte-Carlo controls (default 32, 42)
+  --semantics optimistic|budgeted
+  --unit-progress           operation-based progress (use for a <= b)
+  --csv                     also emit CSV blocks
+distribution flags (iid/analytic):
+  --dist geometric|uniform-powers|bimodal|point|uniform-range
+  --kdist K                 power range 0..K (geometric/uniform-powers)
+  --small S --big B --pbig P    (bimodal)
+  --size S                  (point)
+  --lo L --hi H             (uniform-range)
+)";
+  return 0;
+}
+
+model::RegularParams params_from(const util::ArgParser& args) {
+  model::RegularParams p;
+  p.a = args.get_u64("a", 8);
+  p.b = args.get_u64("b", 4);
+  p.c = args.get_double("c", 1.0);
+  p.validate();
+  return p;
+}
+
+core::SweepOptions sweep_from(const util::ArgParser& args) {
+  core::SweepOptions opts;
+  opts.kmin = static_cast<unsigned>(args.get_u64("kmin", 2));
+  opts.kmax = static_cast<unsigned>(args.get_u64("kmax", 6));
+  opts.trials = args.get_u64("trials", 32);
+  opts.seed = args.get_u64("seed", 42);
+  opts.unit_progress = args.has("unit-progress");
+  const std::string sem = args.get_string("semantics", "optimistic");
+  if (sem == "budgeted") {
+    opts.semantics = engine::BoxSemantics::kBudgeted;
+  } else if (sem != "optimistic") {
+    throw util::CheckError("--semantics must be optimistic or budgeted");
+  }
+  return opts;
+}
+
+std::unique_ptr<profile::BoxDistribution> dist_from(
+    const util::ArgParser& args, const model::RegularParams& p) {
+  const std::string kind = args.get_string("dist", "geometric");
+  const unsigned kdist = static_cast<unsigned>(
+      args.get_u64("kdist", args.get_u64("kmax", 6)));
+  if (kind == "geometric") {
+    return std::make_unique<profile::GeometricPowers>(
+        p.b, static_cast<double>(p.a), 0, kdist);
+  }
+  if (kind == "uniform-powers") {
+    return std::make_unique<profile::UniformPowers>(p.b, 0, kdist);
+  }
+  if (kind == "bimodal") {
+    return std::make_unique<profile::Bimodal>(args.get_u64("small", 4),
+                                              args.get_u64("big", 4096),
+                                              args.get_double("pbig", 0.02));
+  }
+  if (kind == "point") {
+    return std::make_unique<profile::PointMass>(args.get_u64("size", 64));
+  }
+  if (kind == "uniform-range") {
+    return std::make_unique<profile::UniformRange>(args.get_u64("lo", 1),
+                                                   args.get_u64("hi", 256));
+  }
+  throw util::CheckError("unknown --dist '" + kind + "'");
+}
+
+void report(const util::ArgParser& args, const model::RegularParams& p,
+            const core::Series& series) {
+  core::ReportOptions ropts;
+  ropts.log_base = p.b;
+  ropts.csv = args.has("csv");
+  core::print_series(std::cout, series, ropts);
+}
+
+int run(const util::ArgParser& args) {
+  if (args.positionals().empty()) return usage();
+  const std::string cmd = args.positionals().front();
+  if (cmd == "help") return usage();
+
+  const model::RegularParams p = params_from(args);
+
+  if (cmd == "gap") {
+    report(args, p, core::worst_case_gap_curve(p, sweep_from(args)));
+  } else if (cmd == "shuffle") {
+    report(args, p, core::shuffled_worst_case_curve(p, sweep_from(args)));
+  } else if (cmd == "iid") {
+    const auto dist = dist_from(args, p);
+    report(args, p, core::iid_curve(p, *dist, sweep_from(args)));
+  } else if (cmd == "perturb") {
+    const double t = args.get_double("t", 2.0);
+    report(args, p,
+           core::size_perturb_curve(p, profile::uniform_real_perturb(t),
+                                    sweep_from(args)));
+  } else if (cmd == "shift") {
+    report(args, p, core::cyclic_shift_curve(p, sweep_from(args)));
+  } else if (cmd == "order") {
+    report(args, p,
+           core::order_perturb_curve(p, sweep_from(args), args.has("matched")));
+  } else if (cmd == "analytic") {
+    const auto dist = dist_from(args, p);
+    engine::AnalyticSolver solver(p, *dist);
+    const std::uint64_t n_max =
+        util::ipow(p.b, static_cast<unsigned>(args.get_u64("kmax", 6)));
+    util::Table table({"n", "f(n)", "f'(n)", "p", "K(n)", "m_n", "ratio"});
+    for (const auto& lvl : solver.solve(n_max)) {
+      table.row()
+          .cell(lvl.n)
+          .cell(lvl.f, 3)
+          .cell(lvl.f_prime, 3)
+          .cell(lvl.p, 4)
+          .cell(lvl.scan_boxes, 3)
+          .cell(lvl.m_n, 2)
+          .cell(lvl.ratio, 3);
+    }
+    std::cout << "Lemma 3 recurrence, " << p.name() << ", Σ = "
+              << dist->name() << "\n";
+    table.print(std::cout);
+  } else if (cmd == "replay") {
+    // Run (a,b,c) on a saved profile (one box size per line).
+    const std::string path = args.get_string("file", "");
+    if (path.empty()) throw util::CheckError("replay requires --file");
+    const auto boxes = profile::load_profile_file(path);
+    const std::uint64_t n =
+        args.get_u64("n", util::ipow(p.b, static_cast<unsigned>(
+                                              args.get_u64("kmax", 6))));
+    profile::VectorSource source(boxes, args.has("cycle"));
+    const engine::RunResult r = engine::run_regular(p, n, source);
+    std::cout << p.name() << " on " << path << " (" << boxes.size()
+              << " boxes), n = " << n << ":\n"
+              << "  completed: " << (r.completed ? "yes" : "NO (exhausted)")
+              << "\n  boxes used: " << r.boxes
+              << "\n  adaptivity ratio: " << util::format_double(r.ratio, 3)
+              << "\n  unit ratio: " << util::format_double(r.unit_ratio, 3)
+              << "\n";
+  } else if (cmd == "save-worst") {
+    // Write M_{a,b}(n) to a file for external tools.
+    const std::string path = args.get_string("file", "");
+    if (path.empty()) throw util::CheckError("save-worst requires --file");
+    const std::uint64_t n = args.get_u64("n", 256);
+    profile::WorstCaseSource source(p.a, p.b, n);
+    const auto boxes = profile::materialize(source);
+    std::ostringstream comment;
+    comment << "M_{" << p.a << "," << p.b << "}(" << n << ")";
+    profile::save_profile_file(path, boxes, comment.str());
+    std::cout << "wrote " << boxes.size() << " boxes to " << path << "\n";
+  } else if (cmd == "render") {
+    const std::uint64_t n = args.get_u64("n", 256);
+    std::cout << profile::describe_worst_case(p.a, p.b, n) << "\n";
+    profile::WorstCaseSource source(p.a, p.b, n);
+    const auto boxes = profile::materialize(source);
+    std::cout << profile::render_profile_ascii(
+        boxes, args.get_u64("width", 100), args.get_u64("height", 14),
+        !args.has("linear"));
+  } else if (cmd == "multiplies") {
+    util::Table table({"n", "completed executions", "log_b n + 1"});
+    for (unsigned k = static_cast<unsigned>(args.get_u64("kmin", 3));
+         k <= args.get_u64("kmax", 7); ++k) {
+      const std::uint64_t n = util::ipow(p.b, k);
+      profile::WorstCaseSource source(p.a, p.b, n);
+      table.row()
+          .cell(n)
+          .cell(core::count_completions(p, n, source))
+          .cell(std::uint64_t{k + 1});
+    }
+    std::cout << p.name() << " on one pass of M_{" << p.a << "," << p.b
+              << "}(n):\n";
+    table.print(std::cout);
+  } else {
+    std::cerr << "unknown command '" << cmd << "'\n";
+    usage();
+    return 2;
+  }
+
+  for (const auto& flag : args.unknown_flags())
+    std::cerr << "warning: unused flag --" << flag << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(util::ArgParser(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
