@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_no_catchup.dir/bench_e10_no_catchup.cpp.o"
+  "CMakeFiles/bench_e10_no_catchup.dir/bench_e10_no_catchup.cpp.o.d"
+  "bench_e10_no_catchup"
+  "bench_e10_no_catchup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_no_catchup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

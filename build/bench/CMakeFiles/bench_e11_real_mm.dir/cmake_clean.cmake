@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_real_mm.dir/bench_e11_real_mm.cpp.o"
+  "CMakeFiles/bench_e11_real_mm.dir/bench_e11_real_mm.cpp.o.d"
+  "bench_e11_real_mm"
+  "bench_e11_real_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_real_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_scan_hiding.dir/bench_e12_scan_hiding.cpp.o"
+  "CMakeFiles/bench_e12_scan_hiding.dir/bench_e12_scan_hiding.cpp.o.d"
+  "bench_e12_scan_hiding"
+  "bench_e12_scan_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_scan_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_square_reduction.dir/bench_e13_square_reduction.cpp.o"
+  "CMakeFiles/bench_e13_square_reduction.dir/bench_e13_square_reduction.cpp.o.d"
+  "bench_e13_square_reduction"
+  "bench_e13_square_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_square_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_a_eq_b.dir/bench_e14_a_eq_b.cpp.o"
+  "CMakeFiles/bench_e14_a_eq_b.dir/bench_e14_a_eq_b.cpp.o.d"
+  "bench_e14_a_eq_b"
+  "bench_e14_a_eq_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_a_eq_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_adaptive_vs_oblivious.dir/bench_e16_adaptive_vs_oblivious.cpp.o"
+  "CMakeFiles/bench_e16_adaptive_vs_oblivious.dir/bench_e16_adaptive_vs_oblivious.cpp.o.d"
+  "bench_e16_adaptive_vs_oblivious"
+  "bench_e16_adaptive_vs_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_adaptive_vs_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_randomized_algorithm.dir/bench_e18_randomized_algorithm.cpp.o"
+  "CMakeFiles/bench_e18_randomized_algorithm.dir/bench_e18_randomized_algorithm.cpp.o.d"
+  "bench_e18_randomized_algorithm"
+  "bench_e18_randomized_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_randomized_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

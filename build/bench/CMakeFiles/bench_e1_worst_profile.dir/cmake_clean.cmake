@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_worst_profile.dir/bench_e1_worst_profile.cpp.o"
+  "CMakeFiles/bench_e1_worst_profile.dir/bench_e1_worst_profile.cpp.o.d"
+  "bench_e1_worst_profile"
+  "bench_e1_worst_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_worst_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_shuffled.dir/bench_e3_shuffled.cpp.o"
+  "CMakeFiles/bench_e3_shuffled.dir/bench_e3_shuffled.cpp.o.d"
+  "bench_e3_shuffled"
+  "bench_e3_shuffled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_shuffled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

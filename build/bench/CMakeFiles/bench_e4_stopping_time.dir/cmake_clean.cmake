@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_stopping_time.dir/bench_e4_stopping_time.cpp.o"
+  "CMakeFiles/bench_e4_stopping_time.dir/bench_e4_stopping_time.cpp.o.d"
+  "bench_e4_stopping_time"
+  "bench_e4_stopping_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_stopping_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

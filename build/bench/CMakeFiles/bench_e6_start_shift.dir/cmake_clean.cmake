@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_start_shift.dir/bench_e6_start_shift.cpp.o"
+  "CMakeFiles/bench_e6_start_shift.dir/bench_e6_start_shift.cpp.o.d"
+  "bench_e6_start_shift"
+  "bench_e6_start_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_start_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_order_perturb.dir/bench_e7_order_perturb.cpp.o"
+  "CMakeFiles/bench_e7_order_perturb.dir/bench_e7_order_perturb.cpp.o.d"
+  "bench_e7_order_perturb"
+  "bench_e7_order_perturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_order_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

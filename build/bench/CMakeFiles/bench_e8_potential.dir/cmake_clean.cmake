@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_potential.dir/bench_e8_potential.cpp.o"
+  "CMakeFiles/bench_e8_potential.dir/bench_e8_potential.cpp.o.d"
+  "bench_e8_potential"
+  "bench_e8_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

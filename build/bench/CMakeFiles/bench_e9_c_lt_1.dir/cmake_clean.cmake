@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_c_lt_1.dir/bench_e9_c_lt_1.cpp.o"
+  "CMakeFiles/bench_e9_c_lt_1.dir/bench_e9_c_lt_1.cpp.o.d"
+  "bench_e9_c_lt_1"
+  "bench_e9_c_lt_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_c_lt_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_adaptive_cache.dir/matmul_adaptive_cache.cpp.o"
+  "CMakeFiles/matmul_adaptive_cache.dir/matmul_adaptive_cache.cpp.o.d"
+  "matmul_adaptive_cache"
+  "matmul_adaptive_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_adaptive_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_gallery.dir/profile_gallery.cpp.o"
+  "CMakeFiles/profile_gallery.dir/profile_gallery.cpp.o.d"
+  "profile_gallery"
+  "profile_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cache_demo.dir/shared_cache_demo.cpp.o"
+  "CMakeFiles/shared_cache_demo.dir/shared_cache_demo.cpp.o.d"
+  "shared_cache_demo"
+  "shared_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

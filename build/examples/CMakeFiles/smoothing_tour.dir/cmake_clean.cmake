@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_tour.dir/smoothing_tour.cpp.o"
+  "CMakeFiles/smoothing_tour.dir/smoothing_tour.cpp.o.d"
+  "smoothing_tour"
+  "smoothing_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/adaptive_sort.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/adaptive_sort.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/adaptive_sort.cpp.o.d"
+  "/root/repo/src/algos/edit_distance.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/edit_distance.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/edit_distance.cpp.o.d"
+  "/root/repo/src/algos/funnelsort.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/funnelsort.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/funnelsort.cpp.o.d"
+  "/root/repo/src/algos/fw.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/fw.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/fw.cpp.o.d"
+  "/root/repo/src/algos/gep_lu.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/gep_lu.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/gep_lu.cpp.o.d"
+  "/root/repo/src/algos/lcs.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/lcs.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/lcs.cpp.o.d"
+  "/root/repo/src/algos/mm.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/mm.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/mm.cpp.o.d"
+  "/root/repo/src/algos/sort.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/sort.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/sort.cpp.o.d"
+  "/root/repo/src/algos/stencil.cpp" "src/algos/CMakeFiles/cadapt_algos.dir/stencil.cpp.o" "gcc" "src/algos/CMakeFiles/cadapt_algos.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/cadapt_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cadapt_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

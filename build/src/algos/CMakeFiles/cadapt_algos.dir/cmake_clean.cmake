@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_algos.dir/adaptive_sort.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/adaptive_sort.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/edit_distance.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/edit_distance.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/funnelsort.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/funnelsort.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/fw.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/fw.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/gep_lu.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/gep_lu.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/lcs.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/lcs.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/mm.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/mm.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/sort.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/sort.cpp.o.d"
+  "CMakeFiles/cadapt_algos.dir/stencil.cpp.o"
+  "CMakeFiles/cadapt_algos.dir/stencil.cpp.o.d"
+  "libcadapt_algos.a"
+  "libcadapt_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

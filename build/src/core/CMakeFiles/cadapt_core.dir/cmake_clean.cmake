@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_core.dir/experiments.cpp.o"
+  "CMakeFiles/cadapt_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/cadapt_core.dir/report.cpp.o"
+  "CMakeFiles/cadapt_core.dir/report.cpp.o.d"
+  "libcadapt_core.a"
+  "libcadapt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

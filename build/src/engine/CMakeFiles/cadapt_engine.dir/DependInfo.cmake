@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/adversary.cpp" "src/engine/CMakeFiles/cadapt_engine.dir/adversary.cpp.o" "gcc" "src/engine/CMakeFiles/cadapt_engine.dir/adversary.cpp.o.d"
+  "/root/repo/src/engine/analytic.cpp" "src/engine/CMakeFiles/cadapt_engine.dir/analytic.cpp.o" "gcc" "src/engine/CMakeFiles/cadapt_engine.dir/analytic.cpp.o.d"
+  "/root/repo/src/engine/exec.cpp" "src/engine/CMakeFiles/cadapt_engine.dir/exec.cpp.o" "gcc" "src/engine/CMakeFiles/cadapt_engine.dir/exec.cpp.o.d"
+  "/root/repo/src/engine/montecarlo.cpp" "src/engine/CMakeFiles/cadapt_engine.dir/montecarlo.cpp.o" "gcc" "src/engine/CMakeFiles/cadapt_engine.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/engine/reference.cpp" "src/engine/CMakeFiles/cadapt_engine.dir/reference.cpp.o" "gcc" "src/engine/CMakeFiles/cadapt_engine.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cadapt_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_engine.dir/adversary.cpp.o"
+  "CMakeFiles/cadapt_engine.dir/adversary.cpp.o.d"
+  "CMakeFiles/cadapt_engine.dir/analytic.cpp.o"
+  "CMakeFiles/cadapt_engine.dir/analytic.cpp.o.d"
+  "CMakeFiles/cadapt_engine.dir/exec.cpp.o"
+  "CMakeFiles/cadapt_engine.dir/exec.cpp.o.d"
+  "CMakeFiles/cadapt_engine.dir/montecarlo.cpp.o"
+  "CMakeFiles/cadapt_engine.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/cadapt_engine.dir/reference.cpp.o"
+  "CMakeFiles/cadapt_engine.dir/reference.cpp.o.d"
+  "libcadapt_engine.a"
+  "libcadapt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

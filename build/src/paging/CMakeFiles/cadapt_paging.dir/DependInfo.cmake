@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paging/ca_machine.cpp" "src/paging/CMakeFiles/cadapt_paging.dir/ca_machine.cpp.o" "gcc" "src/paging/CMakeFiles/cadapt_paging.dir/ca_machine.cpp.o.d"
+  "/root/repo/src/paging/dam.cpp" "src/paging/CMakeFiles/cadapt_paging.dir/dam.cpp.o" "gcc" "src/paging/CMakeFiles/cadapt_paging.dir/dam.cpp.o.d"
+  "/root/repo/src/paging/fluid.cpp" "src/paging/CMakeFiles/cadapt_paging.dir/fluid.cpp.o" "gcc" "src/paging/CMakeFiles/cadapt_paging.dir/fluid.cpp.o.d"
+  "/root/repo/src/paging/lru_cache.cpp" "src/paging/CMakeFiles/cadapt_paging.dir/lru_cache.cpp.o" "gcc" "src/paging/CMakeFiles/cadapt_paging.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/paging/trace.cpp" "src/paging/CMakeFiles/cadapt_paging.dir/trace.cpp.o" "gcc" "src/paging/CMakeFiles/cadapt_paging.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cadapt_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_paging.dir/ca_machine.cpp.o"
+  "CMakeFiles/cadapt_paging.dir/ca_machine.cpp.o.d"
+  "CMakeFiles/cadapt_paging.dir/dam.cpp.o"
+  "CMakeFiles/cadapt_paging.dir/dam.cpp.o.d"
+  "CMakeFiles/cadapt_paging.dir/fluid.cpp.o"
+  "CMakeFiles/cadapt_paging.dir/fluid.cpp.o.d"
+  "CMakeFiles/cadapt_paging.dir/lru_cache.cpp.o"
+  "CMakeFiles/cadapt_paging.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/cadapt_paging.dir/trace.cpp.o"
+  "CMakeFiles/cadapt_paging.dir/trace.cpp.o.d"
+  "libcadapt_paging.a"
+  "libcadapt_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

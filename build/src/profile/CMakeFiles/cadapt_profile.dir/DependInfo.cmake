@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/box_source.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/box_source.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/box_source.cpp.o.d"
+  "/root/repo/src/profile/distributions.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/distributions.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/distributions.cpp.o.d"
+  "/root/repo/src/profile/generators.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/generators.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/generators.cpp.o.d"
+  "/root/repo/src/profile/profile_io.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/profile_io.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/profile_io.cpp.o.d"
+  "/root/repo/src/profile/render.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/render.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/render.cpp.o.d"
+  "/root/repo/src/profile/square_approx.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/square_approx.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/square_approx.cpp.o.d"
+  "/root/repo/src/profile/transforms.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/transforms.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/transforms.cpp.o.d"
+  "/root/repo/src/profile/worst_case.cpp" "src/profile/CMakeFiles/cadapt_profile.dir/worst_case.cpp.o" "gcc" "src/profile/CMakeFiles/cadapt_profile.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

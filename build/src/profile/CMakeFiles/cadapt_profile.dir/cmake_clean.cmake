@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_profile.dir/box_source.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/box_source.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/distributions.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/distributions.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/generators.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/generators.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/profile_io.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/profile_io.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/render.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/render.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/square_approx.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/square_approx.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/transforms.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/transforms.cpp.o.d"
+  "CMakeFiles/cadapt_profile.dir/worst_case.cpp.o"
+  "CMakeFiles/cadapt_profile.dir/worst_case.cpp.o.d"
+  "libcadapt_profile.a"
+  "libcadapt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

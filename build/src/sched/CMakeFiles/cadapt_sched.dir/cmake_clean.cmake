@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_sched.dir/shared_cache.cpp.o"
+  "CMakeFiles/cadapt_sched.dir/shared_cache.cpp.o.d"
+  "libcadapt_sched.a"
+  "libcadapt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_util.dir/args.cpp.o"
+  "CMakeFiles/cadapt_util.dir/args.cpp.o.d"
+  "CMakeFiles/cadapt_util.dir/math.cpp.o"
+  "CMakeFiles/cadapt_util.dir/math.cpp.o.d"
+  "CMakeFiles/cadapt_util.dir/random.cpp.o"
+  "CMakeFiles/cadapt_util.dir/random.cpp.o.d"
+  "CMakeFiles/cadapt_util.dir/stats.cpp.o"
+  "CMakeFiles/cadapt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cadapt_util.dir/table.cpp.o"
+  "CMakeFiles/cadapt_util.dir/table.cpp.o.d"
+  "CMakeFiles/cadapt_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cadapt_util.dir/thread_pool.cpp.o.d"
+  "libcadapt_util.a"
+  "libcadapt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_adaptive_sort.dir/test_algos_adaptive_sort.cpp.o"
+  "CMakeFiles/test_algos_adaptive_sort.dir/test_algos_adaptive_sort.cpp.o.d"
+  "test_algos_adaptive_sort"
+  "test_algos_adaptive_sort.pdb"
+  "test_algos_adaptive_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_adaptive_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

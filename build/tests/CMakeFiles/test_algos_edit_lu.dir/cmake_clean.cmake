@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_edit_lu.dir/test_algos_edit_lu.cpp.o"
+  "CMakeFiles/test_algos_edit_lu.dir/test_algos_edit_lu.cpp.o.d"
+  "test_algos_edit_lu"
+  "test_algos_edit_lu.pdb"
+  "test_algos_edit_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_edit_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

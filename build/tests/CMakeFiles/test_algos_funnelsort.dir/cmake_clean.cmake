@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_funnelsort.dir/test_algos_funnelsort.cpp.o"
+  "CMakeFiles/test_algos_funnelsort.dir/test_algos_funnelsort.cpp.o.d"
+  "test_algos_funnelsort"
+  "test_algos_funnelsort.pdb"
+  "test_algos_funnelsort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_funnelsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_lcs.dir/test_algos_lcs.cpp.o"
+  "CMakeFiles/test_algos_lcs.dir/test_algos_lcs.cpp.o.d"
+  "test_algos_lcs"
+  "test_algos_lcs.pdb"
+  "test_algos_lcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

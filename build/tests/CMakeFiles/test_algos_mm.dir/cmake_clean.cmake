@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_mm.dir/test_algos_mm.cpp.o"
+  "CMakeFiles/test_algos_mm.dir/test_algos_mm.cpp.o.d"
+  "test_algos_mm"
+  "test_algos_mm.pdb"
+  "test_algos_mm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

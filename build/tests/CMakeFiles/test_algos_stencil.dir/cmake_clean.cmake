@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_stencil.dir/test_algos_stencil.cpp.o"
+  "CMakeFiles/test_algos_stencil.dir/test_algos_stencil.cpp.o.d"
+  "test_algos_stencil"
+  "test_algos_stencil.pdb"
+  "test_algos_stencil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_experiments.dir/test_core_experiments.cpp.o"
+  "CMakeFiles/test_core_experiments.dir/test_core_experiments.cpp.o.d"
+  "test_core_experiments"
+  "test_core_experiments.pdb"
+  "test_core_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

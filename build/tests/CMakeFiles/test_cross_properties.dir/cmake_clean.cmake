@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_properties.dir/test_cross_properties.cpp.o"
+  "CMakeFiles/test_cross_properties.dir/test_cross_properties.cpp.o.d"
+  "test_cross_properties"
+  "test_cross_properties.pdb"
+  "test_cross_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

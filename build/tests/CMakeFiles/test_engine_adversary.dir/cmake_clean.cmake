@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_adversary.dir/test_engine_adversary.cpp.o"
+  "CMakeFiles/test_engine_adversary.dir/test_engine_adversary.cpp.o.d"
+  "test_engine_adversary"
+  "test_engine_adversary.pdb"
+  "test_engine_adversary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_analytic.dir/test_engine_analytic.cpp.o"
+  "CMakeFiles/test_engine_analytic.dir/test_engine_analytic.cpp.o.d"
+  "test_engine_analytic"
+  "test_engine_analytic.pdb"
+  "test_engine_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_budgeted.dir/test_engine_budgeted.cpp.o"
+  "CMakeFiles/test_engine_budgeted.dir/test_engine_budgeted.cpp.o.d"
+  "test_engine_budgeted"
+  "test_engine_budgeted.pdb"
+  "test_engine_budgeted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_budgeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_exec.dir/test_engine_exec.cpp.o"
+  "CMakeFiles/test_engine_exec.dir/test_engine_exec.cpp.o.d"
+  "test_engine_exec"
+  "test_engine_exec.pdb"
+  "test_engine_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

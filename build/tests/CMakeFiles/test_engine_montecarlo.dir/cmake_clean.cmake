@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_montecarlo.dir/test_engine_montecarlo.cpp.o"
+  "CMakeFiles/test_engine_montecarlo.dir/test_engine_montecarlo.cpp.o.d"
+  "test_engine_montecarlo"
+  "test_engine_montecarlo.pdb"
+  "test_engine_montecarlo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_reference_diff.dir/test_engine_reference_diff.cpp.o"
+  "CMakeFiles/test_engine_reference_diff.dir/test_engine_reference_diff.cpp.o.d"
+  "test_engine_reference_diff"
+  "test_engine_reference_diff.pdb"
+  "test_engine_reference_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_reference_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_units.dir/test_model_units.cpp.o"
+  "CMakeFiles/test_model_units.dir/test_model_units.cpp.o.d"
+  "test_model_units"
+  "test_model_units.pdb"
+  "test_model_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

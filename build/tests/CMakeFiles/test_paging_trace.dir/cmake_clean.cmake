@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paging_trace.dir/test_paging_trace.cpp.o"
+  "CMakeFiles/test_paging_trace.dir/test_paging_trace.cpp.o.d"
+  "test_paging_trace"
+  "test_paging_trace.pdb"
+  "test_paging_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paging_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

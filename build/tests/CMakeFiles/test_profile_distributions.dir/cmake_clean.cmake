@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_distributions.dir/test_profile_distributions.cpp.o"
+  "CMakeFiles/test_profile_distributions.dir/test_profile_distributions.cpp.o.d"
+  "test_profile_distributions"
+  "test_profile_distributions.pdb"
+  "test_profile_distributions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_generators.dir/test_profile_generators.cpp.o"
+  "CMakeFiles/test_profile_generators.dir/test_profile_generators.cpp.o.d"
+  "test_profile_generators"
+  "test_profile_generators.pdb"
+  "test_profile_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_render.dir/test_profile_render.cpp.o"
+  "CMakeFiles/test_profile_render.dir/test_profile_render.cpp.o.d"
+  "test_profile_render"
+  "test_profile_render.pdb"
+  "test_profile_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_sources.dir/test_profile_sources.cpp.o"
+  "CMakeFiles/test_profile_sources.dir/test_profile_sources.cpp.o.d"
+  "test_profile_sources"
+  "test_profile_sources.pdb"
+  "test_profile_sources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_square_approx.dir/test_profile_square_approx.cpp.o"
+  "CMakeFiles/test_profile_square_approx.dir/test_profile_square_approx.cpp.o.d"
+  "test_profile_square_approx"
+  "test_profile_square_approx.pdb"
+  "test_profile_square_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_square_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o"
+  "CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o.d"
+  "cadapt"
+  "cadapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
