@@ -7,6 +7,8 @@
 
 #include "engine/analytic.hpp"
 #include "engine/exec.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
 #include "paging/lru_cache.hpp"
 #include "profile/distributions.hpp"
 #include "profile/worst_case.hpp"
@@ -29,6 +31,46 @@ void BM_EngineUnitBoxes(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
 }
 BENCHMARK(BM_EngineUnitBoxes)->Arg(3)->Arg(5)->Arg(6);
+
+// The same loop with the observability layer attached, aggregates only.
+// Compare against BM_EngineUnitBoxes: the gap is the full cost of the
+// instrumentation, and BM_EngineUnitBoxes itself (recorder pointer null)
+// must stay within noise of the pre-observability baseline — the
+// "disabled path costs one predictable branch" claim.
+void BM_EngineUnitBoxesRecorded(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    obs::ExecRecorder recorder;  // aggregates only, no event stream
+    exec.set_recorder(&recorder);
+    while (!exec.done()) exec.consume_box(1);
+    boxes += exec.boxes_consumed();
+    benchmark::DoNotOptimize(recorder.total_progress());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineUnitBoxesRecorded)->Arg(3)->Arg(5)->Arg(6);
+
+// Full event stream into a NullSink: the cost ceiling of per-box tracing
+// (event construction dominates; a JsonlSink adds only serialization).
+void BM_EngineUnitBoxesTraced(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    obs::NullSink sink;
+    obs::ExecRecorder recorder(&sink);
+    exec.set_recorder(&recorder);
+    while (!exec.done()) exec.consume_box(1);
+    boxes += exec.boxes_consumed();
+    benchmark::DoNotOptimize(sink.events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineUnitBoxesTraced)->Arg(3)->Arg(5);
 
 void BM_EngineWorstCaseProfile(benchmark::State& state) {
   const auto k = static_cast<unsigned>(state.range(0));

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/algos/CMakeFiles/cadapt_algos.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/cadapt_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/paging/CMakeFiles/cadapt_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cadapt_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/profile/CMakeFiles/cadapt_profile.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
   )

@@ -208,7 +208,11 @@ bench/CMakeFiles/bench_e13_square_reduction.dir/bench_e13_square_reduction.cpp.o
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_set.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/algos/sort.hpp \
- /root/repo/bench/bench_common.hpp /root/repo/src/core/experiments.hpp \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/experiments.hpp \
  /root/repo/src/engine/exec.hpp /root/repo/src/model/potential.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -224,7 +228,7 @@ bench/CMakeFiles/bench_e13_square_reduction.dir/bench_e13_square_reduction.cpp.o
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/span /root/repo/src/util/thread_pool.hpp \
@@ -242,8 +246,10 @@ bench/CMakeFiles/bench_e13_square_reduction.dir/bench_e13_square_reduction.cpp.o
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/profile/transforms.hpp /root/repo/src/core/report.hpp \
- /root/repo/src/util/table.hpp /root/repo/src/paging/ca_machine.hpp \
- /root/repo/src/paging/lru_cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/paging/fluid.hpp /root/repo/src/profile/generators.hpp \
+ /root/repo/src/obs/event.hpp /usr/include/c++/12/variant \
+ /root/repo/src/obs/sink.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/paging/ca_machine.hpp /root/repo/src/paging/lru_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/paging/fluid.hpp \
+ /root/repo/src/profile/generators.hpp \
  /root/repo/src/profile/square_approx.hpp

@@ -216,7 +216,11 @@ bench/CMakeFiles/bench_e16_adaptive_vs_oblivious.dir/bench_e16_adaptive_vs_obliv
  /root/repo/src/paging/machine.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/algos/funnelsort.hpp /root/repo/src/algos/sort.hpp \
- /root/repo/bench/bench_common.hpp /root/repo/src/core/experiments.hpp \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/experiments.hpp \
  /root/repo/src/engine/exec.hpp /root/repo/src/model/potential.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -225,7 +229,7 @@ bench/CMakeFiles/bench_e16_adaptive_vs_oblivious.dir/bench_e16_adaptive_vs_obliv
  /root/repo/src/profile/box.hpp /root/repo/src/profile/box_source.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/span /root/repo/src/util/thread_pool.hpp \
@@ -243,9 +247,10 @@ bench/CMakeFiles/bench_e16_adaptive_vs_oblivious.dir/bench_e16_adaptive_vs_obliv
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/profile/transforms.hpp /root/repo/src/core/report.hpp \
- /root/repo/src/util/table.hpp /root/repo/src/paging/ca_machine.hpp \
- /root/repo/src/paging/lru_cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/profile/generators.hpp \
+ /root/repo/src/obs/event.hpp /usr/include/c++/12/variant \
+ /root/repo/src/obs/sink.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/paging/ca_machine.hpp /root/repo/src/paging/lru_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/profile/generators.hpp \
  /root/repo/src/profile/square_approx.hpp \
  /root/repo/src/profile/worst_case.hpp

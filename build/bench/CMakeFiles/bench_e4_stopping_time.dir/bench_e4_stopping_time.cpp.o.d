@@ -198,9 +198,12 @@ bench/CMakeFiles/bench_e4_stopping_time.dir/bench_e4_stopping_time.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_common.hpp \
- /root/repo/src/core/experiments.hpp /root/repo/src/engine/exec.hpp \
- /root/repo/src/model/potential.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/experiments.hpp \
+ /root/repo/src/engine/exec.hpp /root/repo/src/model/potential.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -220,7 +223,7 @@ bench/CMakeFiles/bench_e4_stopping_time.dir/bench_e4_stopping_time.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
@@ -239,4 +242,6 @@ bench/CMakeFiles/bench_e4_stopping_time.dir/bench_e4_stopping_time.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/profile/transforms.hpp /root/repo/src/core/report.hpp \
- /root/repo/src/util/table.hpp /root/repo/src/engine/analytic.hpp
+ /root/repo/src/obs/event.hpp /usr/include/c++/12/variant \
+ /root/repo/src/obs/sink.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/engine/analytic.hpp

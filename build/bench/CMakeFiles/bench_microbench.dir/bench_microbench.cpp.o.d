@@ -225,6 +225,9 @@ bench/CMakeFiles/bench_microbench.dir/bench_microbench.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /root/repo/src/util/random.hpp \
  /root/repo/src/engine/exec.hpp /root/repo/src/model/potential.hpp \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/obs/sink.hpp \
+ /root/repo/src/obs/event.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/paging/lru_cache.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/profile/worst_case.hpp

@@ -247,7 +247,7 @@ examples/CMakeFiles/matmul_adaptive_cache.dir/matmul_adaptive_cache.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /root/repo/src/util/stats.hpp /usr/include/c++/12/span \
  /root/repo/src/util/thread_pool.hpp \

@@ -223,7 +223,7 @@ examples/CMakeFiles/shared_cache_demo.dir/shared_cache_demo.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/span /root/repo/src/util/thread_pool.hpp \

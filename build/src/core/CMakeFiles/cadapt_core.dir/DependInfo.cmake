@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/engine/CMakeFiles/cadapt_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/profile/CMakeFiles/cadapt_profile.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cadapt_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -220,7 +220,7 @@ src/core/CMakeFiles/cadapt_core.dir/experiments.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \

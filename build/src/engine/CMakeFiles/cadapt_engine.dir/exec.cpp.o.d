@@ -219,5 +219,5 @@ src/engine/CMakeFiles/cadapt_engine.dir/exec.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/profile/worst_case.hpp /root/repo/src/util/random.hpp \
- /usr/include/c++/12/limits
+ /root/repo/src/obs/recorder.hpp /root/repo/src/profile/worst_case.hpp \
+ /root/repo/src/util/random.hpp /usr/include/c++/12/limits

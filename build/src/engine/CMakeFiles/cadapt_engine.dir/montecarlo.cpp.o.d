@@ -218,10 +218,10 @@ src/engine/CMakeFiles/cadapt_engine.dir/montecarlo.cpp.o: \
  /root/repo/src/util/math.hpp /root/repo/src/profile/box.hpp \
  /root/repo/src/profile/box_source.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
- /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /root/repo/src/util/thread_pool.hpp \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/profile/distributions.hpp \
+ /root/repo/src/util/random.hpp /usr/include/c++/12/limits \
+ /root/repo/src/util/stats.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /root/repo/src/util/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
@@ -234,4 +234,5 @@ src/engine/CMakeFiles/cadapt_engine.dir/montecarlo.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/obs/span.hpp

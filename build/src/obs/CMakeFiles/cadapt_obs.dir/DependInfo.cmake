@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/counters.cpp" "src/obs/CMakeFiles/cadapt_obs.dir/counters.cpp.o" "gcc" "src/obs/CMakeFiles/cadapt_obs.dir/counters.cpp.o.d"
+  "/root/repo/src/obs/event.cpp" "src/obs/CMakeFiles/cadapt_obs.dir/event.cpp.o" "gcc" "src/obs/CMakeFiles/cadapt_obs.dir/event.cpp.o.d"
+  "/root/repo/src/obs/recorder.cpp" "src/obs/CMakeFiles/cadapt_obs.dir/recorder.cpp.o" "gcc" "src/obs/CMakeFiles/cadapt_obs.dir/recorder.cpp.o.d"
+  "/root/repo/src/obs/sink.cpp" "src/obs/CMakeFiles/cadapt_obs.dir/sink.cpp.o" "gcc" "src/obs/CMakeFiles/cadapt_obs.dir/sink.cpp.o.d"
+  "/root/repo/src/obs/span.cpp" "src/obs/CMakeFiles/cadapt_obs.dir/span.cpp.o" "gcc" "src/obs/CMakeFiles/cadapt_obs.dir/span.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadapt_obs.dir/counters.cpp.o"
+  "CMakeFiles/cadapt_obs.dir/counters.cpp.o.d"
+  "CMakeFiles/cadapt_obs.dir/event.cpp.o"
+  "CMakeFiles/cadapt_obs.dir/event.cpp.o.d"
+  "CMakeFiles/cadapt_obs.dir/recorder.cpp.o"
+  "CMakeFiles/cadapt_obs.dir/recorder.cpp.o.d"
+  "CMakeFiles/cadapt_obs.dir/sink.cpp.o"
+  "CMakeFiles/cadapt_obs.dir/sink.cpp.o.d"
+  "CMakeFiles/cadapt_obs.dir/span.cpp.o"
+  "CMakeFiles/cadapt_obs.dir/span.cpp.o.d"
+  "libcadapt_obs.a"
+  "libcadapt_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadapt_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcadapt_obs.a"
+)

@@ -197,7 +197,8 @@ src/paging/CMakeFiles/cadapt_paging.dir/ca_machine.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/paging/lru_cache.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/recorder.hpp \
+ /usr/include/c++/12/array /root/repo/src/paging/lru_cache.hpp \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
@@ -209,7 +210,7 @@ src/paging/CMakeFiles/cadapt_paging.dir/ca_machine.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/profile/box_source.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

@@ -300,8 +300,9 @@ tests/CMakeFiles/test_algos_adaptive_sort.dir/test_algos_adaptive_sort.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/paging/ca_machine.hpp /root/repo/src/paging/lru_cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/profile/box_source.hpp \
- /root/repo/src/profile/box.hpp /root/repo/src/paging/dam.hpp \
- /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp
+ /root/repo/src/paging/ca_machine.hpp /root/repo/src/obs/recorder.hpp \
+ /root/repo/src/paging/lru_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/profile/box_source.hpp /root/repo/src/profile/box.hpp \
+ /root/repo/src/paging/dam.hpp /root/repo/src/profile/distributions.hpp \
+ /root/repo/src/util/random.hpp

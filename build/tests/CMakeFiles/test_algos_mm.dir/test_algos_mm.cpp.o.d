@@ -319,8 +319,8 @@ tests/CMakeFiles/test_algos_mm.dir/test_algos_mm.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/paging/ca_machine.hpp /root/repo/src/paging/lru_cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/profile/box_source.hpp \
- /root/repo/src/profile/box.hpp /root/repo/src/paging/dam.hpp \
- /root/repo/src/util/random.hpp
+ /root/repo/src/paging/ca_machine.hpp /root/repo/src/obs/recorder.hpp \
+ /root/repo/src/paging/lru_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/profile/box_source.hpp /root/repo/src/profile/box.hpp \
+ /root/repo/src/paging/dam.hpp /root/repo/src/util/random.hpp

@@ -301,7 +301,7 @@ tests/CMakeFiles/test_core_report.dir/test_core_report.cpp.o: \
  /root/repo/src/model/regular.hpp /root/repo/src/util/check.hpp \
  /root/repo/src/util/math.hpp /root/repo/src/profile/box.hpp \
  /root/repo/src/profile/box_source.hpp \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /root/repo/src/util/stats.hpp /usr/include/c++/12/span \
  /root/repo/src/util/thread_pool.hpp \

@@ -322,8 +322,8 @@ tests/CMakeFiles/test_engine_analytic.dir/test_engine_analytic.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/util/stats.hpp /usr/include/c++/12/span \
- /root/repo/src/util/thread_pool.hpp \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/span /root/repo/src/util/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \

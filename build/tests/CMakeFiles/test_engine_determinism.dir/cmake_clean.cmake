@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_determinism.dir/test_engine_determinism.cpp.o"
+  "CMakeFiles/test_engine_determinism.dir/test_engine_determinism.cpp.o.d"
+  "test_engine_determinism"
+  "test_engine_determinism.pdb"
+  "test_engine_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cadapt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cadapt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/cadapt_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cadapt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/cadapt_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cadapt_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cadapt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

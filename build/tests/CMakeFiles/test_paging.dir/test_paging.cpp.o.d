@@ -294,10 +294,10 @@ tests/CMakeFiles/test_paging.dir/test_paging.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/paging/address_space.hpp /root/repo/src/util/check.hpp \
- /root/repo/src/paging/ca_machine.hpp /root/repo/src/paging/lru_cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/paging/machine.hpp \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/paging/ca_machine.hpp /root/repo/src/obs/recorder.hpp \
+ /root/repo/src/paging/lru_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/paging/machine.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/profile/box_source.hpp /root/repo/src/profile/box.hpp \
  /root/repo/src/paging/dam.hpp

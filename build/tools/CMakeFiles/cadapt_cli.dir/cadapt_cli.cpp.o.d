@@ -1,6 +1,7 @@
 tools/CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o: \
  /root/repo/tools/cadapt_cli.cpp /usr/include/stdc-predef.h \
- /usr/include/c++/12/iostream \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,8 +12,7 @@ tools/CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
+ /usr/include/c++/12/pstl/pstl_config.h \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
@@ -151,10 +151,13 @@ tools/CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -195,11 +198,11 @@ tools/CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/cadapt.hpp \
- /root/repo/src/core/experiments.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/engine/exec.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/cadapt.hpp \
+ /root/repo/src/core/experiments.hpp /root/repo/src/engine/exec.hpp \
  /root/repo/src/model/potential.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -220,7 +223,7 @@ tools/CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/engine/montecarlo.hpp \
+ /root/repo/src/engine/montecarlo.hpp /root/repo/src/obs/recorder.hpp \
  /root/repo/src/profile/distributions.hpp /root/repo/src/util/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
@@ -249,7 +252,8 @@ tools/CMakeFiles/cadapt_cli.dir/cadapt_cli.cpp.o: \
  /root/repo/src/profile/square_approx.hpp \
  /root/repo/src/profile/worst_case.hpp \
  /root/repo/src/sched/shared_cache.hpp /root/repo/src/core/report.hpp \
- /root/repo/src/profile/profile_io.hpp /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/obs/event.hpp /usr/include/c++/12/variant \
+ /root/repo/src/obs/sink.hpp /root/repo/src/profile/profile_io.hpp \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/table.hpp

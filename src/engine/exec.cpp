@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
 #include "profile/worst_case.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
@@ -118,8 +119,35 @@ BoxReport RegularExecution::consume_box(profile::BoxSize s) {
   CADAPT_CHECK_MSG(s >= 1, "box size must be >= 1");
   CADAPT_CHECK_MSG(!done(), "consume_box on a finished execution");
   ++boxes_consumed_;
+  // Disabled path (no recorder): one predictable never-taken branch, then
+  // the same tail-call dispatch as the uninstrumented engine — guarded by
+  // bench_microbench's BM_EngineUnitBoxes staying within noise of the
+  // seed engine.
+  if (recorder_ != nullptr) [[unlikely]] return consume_box_recorded(s);
   return semantics_ == BoxSemantics::kOptimistic ? consume_box_optimistic(s)
                                                  : consume_box_budgeted(s);
+}
+
+[[gnu::cold, gnu::noinline]] BoxReport RegularExecution::consume_box_recorded(
+    profile::BoxSize s) {
+  // Classify the branch before consuming: frame sizes strictly decrease
+  // with depth, so the box jump-completes iff the deepest frame — the
+  // smallest enclosing problem — has size <= s.
+  const obs::ExecBranch branch =
+      semantics_ == BoxSemantics::kBudgeted ? obs::ExecBranch::kBudgeted
+      : stack_.back().size <= s             ? obs::ExecBranch::kCompleteJump
+                                            : obs::ExecBranch::kScanAdvance;
+  // Per-box scan advance is the delta of the identity
+  // scan position = units_done() - leaves_done() around the box; the two
+  // O(depth) units_done() walks are paid only here, on the recording path.
+  const std::uint64_t scan_before = units_done() - leaves_done_;
+  const BoxReport report = semantics_ == BoxSemantics::kOptimistic
+                               ? consume_box_optimistic(s)
+                               : consume_box_budgeted(s);
+  recorder_->on_box({boxes_consumed_ - 1, s, report.progress,
+                     units_done() - leaves_done_ - scan_before,
+                     report.completed_problem, branch});
+  return report;
 }
 
 BoxReport RegularExecution::consume_box_optimistic(profile::BoxSize s) {
@@ -214,7 +242,9 @@ BoxReport RegularExecution::consume_box_budgeted(profile::BoxSize s) {
 }
 
 RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
-                            std::uint64_t max_boxes) {
+                            std::uint64_t max_boxes,
+                            obs::ExecRecorder* recorder) {
+  if (recorder != nullptr) exec.set_recorder(recorder);
   model::AdaptivityAccumulator acc(exec.params(), exec.problem_size());
   double sum_unit_potential = 0.0;
   RunResult result;
@@ -236,15 +266,16 @@ RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
       sum_unit_potential /
       static_cast<double>(
           model::problem_units(exec.params(), exec.problem_size()));
+  if (recorder != nullptr) recorder->finish(result.completed);
   return result;
 }
 
 RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
                       profile::BoxSource& source, ScanPlacement placement,
                       std::uint64_t max_boxes, std::uint64_t adversary_seed,
-                      BoxSemantics semantics) {
+                      BoxSemantics semantics, obs::ExecRecorder* recorder) {
   RegularExecution exec(params, n, placement, adversary_seed, semantics);
-  return run_to_completion(exec, source, max_boxes);
+  return run_to_completion(exec, source, max_boxes, recorder);
 }
 
 }  // namespace cadapt::engine

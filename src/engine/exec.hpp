@@ -20,6 +20,11 @@
 #include "model/regular.hpp"
 #include "profile/box_source.hpp"
 
+namespace cadapt::obs {
+class ExecRecorder;
+enum class ExecBranch : std::uint8_t;
+}  // namespace cadapt::obs
+
 namespace cadapt::engine {
 
 /// Where the linear scan of each problem is placed.
@@ -61,6 +66,13 @@ struct BoxReport {
   /// Size of the problem this box completed in full, or 0 if the box only
   /// advanced a scan.
   std::uint64_t completed_problem = 0;
+  // Note: the per-box scan advance (non-base-case unit accesses) is NOT a
+  // field here — keeping this struct register-returnable (16 bytes on the
+  // SysV ABI) is what keeps the uninstrumented hot loop at seed speed. An
+  // attached obs::ExecRecorder receives it per box, derived from the
+  // identity scan = units_done() - leaves_done(); per run,
+  // Σ progress + Σ scan_advance == total_units() — the conservation
+  // invariant the observability layer checks traces against.
 };
 
 /// State machine for one execution of an (a,b,c)-regular algorithm on a
@@ -95,6 +107,13 @@ class RegularExecution {
   /// Total unit accesses of the whole problem.
   std::uint64_t total_units() const { return units_by_level_.back(); }
 
+  /// Attach (or detach, with nullptr) an observability recorder: every
+  /// subsequent consume_box emits one obs::BoxObservation. The disabled
+  /// path (no recorder) costs a single predictable branch per box —
+  /// guarded by bench_microbench's BM_EngineUnitBoxes family.
+  void set_recorder(obs::ExecRecorder* recorder) { recorder_ = recorder; }
+  obs::ExecRecorder* recorder() const { return recorder_; }
+
  private:
   struct Frame {
     std::uint64_t size;         // problem size in blocks (power of b)
@@ -118,6 +137,13 @@ class RegularExecution {
 
   BoxReport consume_box_optimistic(profile::BoxSize s);
   BoxReport consume_box_budgeted(profile::BoxSize s);
+  /// Recording path, kept cold and out of line: classifies the branch the
+  /// box is about to take, samples the scan position
+  /// (units_done() - leaves_done()) around the box, consumes it, and
+  /// emits the BoxObservation — so the hot disabled path pays only the
+  /// recorder_ null test and is otherwise instruction-identical to the
+  /// uninstrumented engine.
+  BoxReport consume_box_recorded(profile::BoxSize s);
 
   model::RegularParams params_;
   std::uint64_t n_;
@@ -127,6 +153,7 @@ class RegularExecution {
   std::uint64_t total_leaves_;
   std::uint64_t leaves_done_ = 0;
   std::uint64_t boxes_consumed_ = 0;
+  obs::ExecRecorder* recorder_ = nullptr;
   std::vector<Frame> stack_;
   /// units_by_level_[k] = unit accesses of a problem of size b^k.
   std::vector<std::uint64_t> units_by_level_;
@@ -146,9 +173,12 @@ struct RunResult {
 };
 
 /// Drive an execution over a box stream until the algorithm finishes, the
-/// stream is exhausted, or max_boxes boxes have been consumed.
+/// stream is exhausted, or max_boxes boxes have been consumed. A non-null
+/// recorder is attached to the execution for the duration of the run and
+/// receives one observation per box plus the final "run" summary event.
 RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
-                            std::uint64_t max_boxes = UINT64_C(1) << 40);
+                            std::uint64_t max_boxes = UINT64_C(1) << 40,
+                            obs::ExecRecorder* recorder = nullptr);
 
 /// Convenience: build the execution and run it.
 RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
@@ -156,6 +186,7 @@ RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
                       ScanPlacement placement = ScanPlacement::kEnd,
                       std::uint64_t max_boxes = UINT64_C(1) << 40,
                       std::uint64_t adversary_seed = 0,
-                      BoxSemantics semantics = BoxSemantics::kOptimistic);
+                      BoxSemantics semantics = BoxSemantics::kOptimistic,
+                      obs::ExecRecorder* recorder = nullptr);
 
 }  // namespace cadapt::engine

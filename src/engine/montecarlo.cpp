@@ -3,6 +3,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "profile/distributions.hpp"
 #include "util/check.hpp"
 
@@ -10,16 +11,20 @@ namespace cadapt::engine {
 
 McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
                                  const TrialRunner& runner,
-                                 util::ThreadPool* pool) {
+                                 util::ThreadPool* pool,
+                                 obs::McRecorder* recorder) {
   CADAPT_CHECK(trials >= 1);
   CADAPT_CHECK(runner != nullptr);
   util::ThreadPool& the_pool = pool != nullptr ? *pool : util::default_pool();
+  const bool timing = recorder != nullptr && recorder->record_timing();
 
   struct Trial {
+    std::uint64_t seed = 0;
     double ratio = 0;
     double unit_ratio = 0;
-    double boxes = 0;
+    std::uint64_t boxes = 0;
     bool completed = false;
+    std::uint64_t duration_ns = 0;
   };
   std::vector<Trial> results(trials);
 
@@ -28,22 +33,37 @@ McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
     std::uint64_t mix = seed;
     (void)util::splitmix64(mix);
     mix ^= 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1);
+    const std::uint64_t t0 = timing ? obs::steady_now_ns() : 0;
     const RunResult r = runner(mix);
-    results[i] = {r.ratio, r.unit_ratio, static_cast<double>(r.boxes),
-                  r.completed};
+    const std::uint64_t dt = timing ? obs::steady_now_ns() - t0 : 0;
+    results[i] = {mix, r.ratio, r.unit_ratio, r.boxes, r.completed, dt};
   });
 
+  // Aggregation (and trace emission) runs on this thread, in trial order:
+  // the summary and the event stream are independent of the pool size.
   McSummary summary;
   summary.ratio_samples.reserve(results.size());
   summary.unit_ratio_samples.reserve(results.size());
-  for (const auto& t : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Trial& t = results[i];
+    summary.boxes.add(static_cast<double>(t.boxes));
+    if (recorder != nullptr) {
+      recorder->on_trial({i, t.seed, t.completed, t.boxes, t.ratio,
+                          t.unit_ratio, t.duration_ns});
+    }
+    if (!t.completed) {
+      // No meaningful ratio: the run was cut off. Keep the sample vectors
+      // aligned with completed trials only (see McSummary's invariants).
+      ++summary.incomplete;
+      continue;
+    }
     summary.ratio.add(t.ratio);
     summary.unit_ratio.add(t.unit_ratio);
-    summary.boxes.add(t.boxes);
     summary.ratio_samples.push_back(t.ratio);
     summary.unit_ratio_samples.push_back(t.unit_ratio);
-    if (!t.completed) ++summary.incomplete;
   }
+  CADAPT_CHECK(summary.ratio_samples.size() + summary.incomplete == trials);
+  if (recorder != nullptr) recorder->finish();
   return summary;
 }
 
@@ -60,7 +80,7 @@ McSummary run_monte_carlo(const model::RegularParams& params, std::uint64_t n,
                            options.max_boxes, /*adversary_seed=*/0,
                            options.semantics);
       },
-      options.pool);
+      options.pool, options.recorder);
 }
 
 McSummary run_monte_carlo_iid(const model::RegularParams& params,

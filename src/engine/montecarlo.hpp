@@ -10,6 +10,7 @@
 
 #include "engine/exec.hpp"
 #include "model/regular.hpp"
+#include "obs/recorder.hpp"
 #include "profile/box_source.hpp"
 #include "profile/distributions.hpp"
 #include "util/random.hpp"
@@ -31,15 +32,26 @@ struct McOptions {
   BoxSemantics semantics = BoxSemantics::kOptimistic;
   std::uint64_t max_boxes = UINT64_C(1) << 40;
   util::ThreadPool* pool = nullptr;  ///< nullptr = util::default_pool()
+  /// Optional observability hook: receives one obs::TrialObservation per
+  /// trial (in trial order, deterministic across pool sizes) plus the
+  /// final "mc" aggregate event. Null = disabled, zero overhead.
+  obs::McRecorder* recorder = nullptr;
 };
 
 struct McSummary {
-  util::RunningStat ratio;       ///< adaptivity ratio per trial
-  util::RunningStat unit_ratio;  ///< operation-based ratio per trial
-  util::RunningStat boxes;       ///< boxes to completion (S_n) per trial
+  /// Ratio statistics cover COMPLETED trials only: a trial that hit the
+  /// box cap has no meaningful ratio, so recording its partial value
+  /// would bias the mean downward silently. Invariants (tested):
+  ///   ratio.count() == ratio_samples.size()
+  ///   ratio_samples.size() + incomplete == trials
+  /// `boxes` covers all trials (an incomplete trial spent max_boxes).
+  util::RunningStat ratio;       ///< adaptivity ratio per completed trial
+  util::RunningStat unit_ratio;  ///< operation-based ratio per completed trial
+  util::RunningStat boxes;       ///< boxes consumed per trial (S_n)
   std::uint64_t incomplete = 0;  ///< trials that hit the box cap / exhaustion
-  /// Raw per-trial samples, for tail statistics (beyond-expectation
-  /// analysis: Definition 3 only bounds the mean).
+  /// Raw per-completed-trial samples, for tail statistics
+  /// (beyond-expectation analysis: Definition 3 only bounds the mean).
+  /// Use an obs::McRecorder to see which trials were dropped and why.
   std::vector<double> ratio_samples;
   std::vector<double> unit_ratio_samples;
 };
@@ -51,9 +63,13 @@ using TrialRunner = std::function<RunResult(std::uint64_t trial_seed)>;
 
 /// Run `trials` independent trials; trial i receives a seed derived only
 /// from (seed, i), so results are reproducible across thread counts.
+/// A non-null recorder receives per-trial observations in trial order
+/// (tests/test_engine_determinism.cpp holds this to bit-identical output
+/// across pool sizes {1, 2, 8}).
 McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
                                  const TrialRunner& runner,
-                                 util::ThreadPool* pool = nullptr);
+                                 util::ThreadPool* pool = nullptr,
+                                 obs::McRecorder* recorder = nullptr);
 
 /// Run `options.trials` independent executions of the (params, n) algorithm
 /// on profiles produced by `make_source`.

@@ -1,0 +1,32 @@
+#include "obs/counters.hpp"
+
+namespace cadapt::obs {
+
+void CounterSet::add(const std::string& name, std::uint64_t delta) {
+  const auto [it, inserted] = index_.try_emplace(name, entries_.size());
+  if (inserted) {
+    entries_.emplace_back(name, delta);
+  } else {
+    entries_[it->second].second += delta;
+  }
+}
+
+std::uint64_t CounterSet::value(std::string_view name) const {
+  // Linear scan: counter sets are tiny (a dozen names) and value() is a
+  // reporting-path call; the map is only there to make add() O(1).
+  for (const auto& [key, val] : entries_)
+    if (key == name) return val;
+  return 0;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, val] : other.entries_) add(name, val);
+}
+
+Event CounterSet::to_event(std::string type) const {
+  Event event(std::move(type));
+  for (const auto& [name, val] : entries_) event.u64(name, val);
+  return event;
+}
+
+}  // namespace cadapt::obs

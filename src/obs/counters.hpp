@@ -1,0 +1,46 @@
+// Lightweight named counters for run aggregates. A CounterSet preserves
+// insertion order, so iterating (and the "counters" event it emits) is
+// deterministic — a requirement for trace diffing across runs and thread
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace cadapt::obs {
+
+class CounterSet {
+ public:
+  /// Add delta to the named counter, creating it at 0 on first use.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value; 0 for a counter never touched.
+  std::uint64_t value(std::string_view name) const;
+
+  /// Pairwise-add another set into this one (new names are appended in
+  /// the other set's order).
+  void merge(const CounterSet& other);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Insertion-ordered (name, value) view.
+  const std::vector<std::pair<std::string, std::uint64_t>>& entries() const {
+    return entries_;
+  }
+
+  /// One event carrying every counter as a u64 field.
+  Event to_event(std::string type = "counters") const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace cadapt::obs

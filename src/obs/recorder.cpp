@@ -1,0 +1,126 @@
+#include "obs/recorder.hpp"
+
+#include "obs/counters.hpp"
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace cadapt::obs {
+
+const char* exec_branch_name(ExecBranch branch) {
+  switch (branch) {
+    case ExecBranch::kCompleteJump: return "jump";
+    case ExecBranch::kScanAdvance: return "scan";
+    case ExecBranch::kBudgeted: return "budgeted";
+  }
+  return "?";
+}
+
+void ExecRecorder::on_box(const BoxObservation& box) {
+  ++boxes_;
+  sum_box_ += box.size;
+  progress_ += box.progress;
+  scan_advance_ += box.scan_advance;
+  if (box.completed_problem > 0) ++completions_;
+  ++branch_counts_[static_cast<std::size_t>(box.branch)];
+
+  SizeClassTally& tally = classes_[size_class(box.size)];
+  ++tally.boxes;
+  tally.sum_box += box.size;
+  tally.progress += box.progress;
+  tally.scan_advance += box.scan_advance;
+  if (box.completed_problem > 0) ++tally.completions;
+
+  if (sink_ != nullptr) {
+    Event event("box");
+    event.u64("i", box.index)
+        .u64("s", box.size)
+        .u64("progress", box.progress)
+        .u64("scan", box.scan_advance)
+        .u64("completed", box.completed_problem)
+        .str("branch", exec_branch_name(box.branch));
+    sink_->write(event);
+  }
+}
+
+CounterSet ExecRecorder::counters() const {
+  CounterSet set;
+  set.add("boxes", boxes_);
+  set.add("sum_box", sum_box_);
+  set.add("progress", progress_);
+  set.add("scan_advance", scan_advance_);
+  set.add("completions", completions_);
+  set.add("branch_jump", branch_count(ExecBranch::kCompleteJump));
+  set.add("branch_scan", branch_count(ExecBranch::kScanAdvance));
+  set.add("branch_budgeted", branch_count(ExecBranch::kBudgeted));
+  return set;
+}
+
+void ExecRecorder::emit_run_summary(TraceSink& sink, bool completed) const {
+  Event event = counters().to_event("run");
+  event.flag("completed", completed);
+  sink.write(event);
+}
+
+void McRecorder::on_trial(const TrialObservation& trial) {
+  CADAPT_CHECK_MSG(trials_.empty() || trials_.back().trial < trial.trial,
+                   "trials must arrive in increasing order");
+  TrialObservation record = trial;
+  if (!record_timing_) record.duration_ns = 0;
+  trials_.push_back(record);
+  if (sink_ != nullptr) {
+    Event event("trial");
+    event.u64("trial", record.trial)
+        .u64("seed", record.seed)
+        .flag("completed", record.completed)
+        .u64("boxes", record.boxes)
+        .f64("ratio", record.ratio)
+        .f64("unit_ratio", record.unit_ratio);
+    if (record_timing_) event.u64("duration_ns", record.duration_ns);
+    sink_->write(event);
+  }
+}
+
+void McRecorder::finish() {
+  if (sink_ == nullptr) return;
+  util::RunningStat ratio;
+  std::uint64_t incomplete = 0;
+  for (const TrialObservation& t : trials_) {
+    if (t.completed) ratio.add(t.ratio); else ++incomplete;
+  }
+  Event event("mc");
+  event.u64("trials", trials_.size())
+      .u64("incomplete", incomplete)
+      .f64("mean_ratio", ratio.count() > 0 ? ratio.mean() : 0.0);
+  sink_->write(event);
+}
+
+std::uint64_t PagingRecorder::total_hits() const {
+  std::uint64_t total = 0;
+  for (const LevelTally& tally : levels_) total += tally.hits;
+  return total;
+}
+
+std::uint64_t PagingRecorder::total_misses() const {
+  std::uint64_t total = 0;
+  for (const LevelTally& tally : levels_) total += tally.misses;
+  return total;
+}
+
+void PagingRecorder::emit(TraceSink& sink) const {
+  for (std::size_t cls = 0; cls < levels_.size(); ++cls) {
+    const LevelTally& tally = levels_[cls];
+    if (tally.boxes == 0 && tally.accesses == 0) continue;
+    Event event("paging");
+    event.u64("size_class", cls)
+        .u64("boxes", tally.boxes)
+        .u64("accesses", tally.accesses)
+        .u64("hits", tally.hits)
+        .u64("misses", tally.misses)
+        .u64("evictions", tally.evictions);
+    sink.write(event);
+  }
+}
+
+}  // namespace cadapt::obs

@@ -1,0 +1,187 @@
+// Recorders: the hooks the execution layers call when observability is
+// attached. Each layer takes a nullable recorder pointer; a null pointer
+// is the disabled path and must cost nothing but one predictable branch
+// (verified by bench_microbench's BM_EngineUnitBoxes* family).
+//
+// Layer map (docs/OBSERVABILITY.md):
+//   ExecRecorder   — engine::RegularExecution, one observation per box
+//   McRecorder     — engine::run_monte_carlo_custom, one per trial
+//   PagingRecorder — paging::CaMachine, per-access tallies by box class
+#pragma once
+
+// Deliberately light on includes: the symbolic engine's hot translation
+// unit includes this header, and pulling in the event/counter machinery
+// (std::variant, std::unordered_map) there measurably degrades the
+// compiler's inlining of the box-consumption fast path.
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace cadapt::obs {
+
+class CounterSet;
+class TraceSink;
+
+/// The semantics branch consume_box took for a given box (ISSUE: "which
+/// code path explains where this box went").
+enum class ExecBranch : std::uint8_t {
+  kCompleteJump = 0,  ///< §4 optimistic: box swallowed an enclosing problem
+  kScanAdvance = 1,   ///< optimistic: box advanced the current scan
+  kBudgeted = 2,      ///< budgeted semantics: budget spent incrementally
+};
+
+const char* exec_branch_name(ExecBranch branch);
+
+/// Size class of a box: floor(log2 s), the "recursion level" axis every
+/// per-class tally is bucketed by. s must be >= 1.
+inline std::uint32_t size_class(std::uint64_t s) {
+  return static_cast<std::uint32_t>(std::bit_width(s) - 1);
+}
+
+/// One observation per consumed box, emitted by the symbolic engine.
+struct BoxObservation {
+  std::uint64_t index = 0;   ///< 0-based box index within the run
+  std::uint64_t size = 0;    ///< box size |□|
+  std::uint64_t progress = 0;          ///< base cases completed in this box
+  std::uint64_t scan_advance = 0;      ///< scan blocks completed in this box
+  std::uint64_t completed_problem = 0; ///< largest problem retired, or 0
+  ExecBranch branch = ExecBranch::kScanAdvance;
+};
+
+/// Per-run aggregation of box observations, with optional write-through
+/// of one "box" event per observation to a sink.
+///
+/// Conservation invariants (asserted by tests/test_engine_conservation):
+///   total_progress() == RunResult::leaves
+///   total_progress() + total_scan_advance() == model::problem_units(n)
+///   boxes() == RunResult::boxes            (for a completed run)
+class ExecRecorder {
+ public:
+  /// sink == nullptr keeps aggregates only (no per-box event stream).
+  explicit ExecRecorder(TraceSink* sink = nullptr) : sink_(sink) {}
+
+  /// Called by the engine for every consumed box.
+  void on_box(const BoxObservation& box);
+
+  struct SizeClassTally {
+    std::uint64_t boxes = 0;
+    std::uint64_t sum_box = 0;       ///< Σ |□| over boxes in this class
+    std::uint64_t progress = 0;
+    std::uint64_t scan_advance = 0;
+    std::uint64_t completions = 0;   ///< boxes that retired a problem
+  };
+
+  std::uint64_t boxes() const { return boxes_; }
+  std::uint64_t sum_box_sizes() const { return sum_box_; }
+  std::uint64_t total_progress() const { return progress_; }
+  std::uint64_t total_scan_advance() const { return scan_advance_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t branch_count(ExecBranch branch) const {
+    return branch_counts_[static_cast<std::size_t>(branch)];
+  }
+
+  /// Tallies bucketed by size_class(|□|); index = floor(log2 |□|).
+  const std::array<SizeClassTally, 64>& size_classes() const {
+    return classes_;
+  }
+
+  /// Aggregates as a CounterSet (for merging and the "counters" event).
+  CounterSet counters() const;
+
+  /// Emit the aggregate "run" event to the given sink.
+  void emit_run_summary(TraceSink& sink, bool completed) const;
+
+  /// Emit the "run" event to the attached sink, if any (called by
+  /// engine::run_to_completion when the run ends).
+  void finish(bool completed) const {
+    if (sink_ != nullptr) emit_run_summary(*sink_, completed);
+  }
+
+  TraceSink* sink() const { return sink_; }
+
+ private:
+  TraceSink* sink_;
+  std::uint64_t boxes_ = 0;
+  std::uint64_t sum_box_ = 0;
+  std::uint64_t progress_ = 0;
+  std::uint64_t scan_advance_ = 0;
+  std::uint64_t completions_ = 0;
+  std::array<std::uint64_t, 3> branch_counts_{};
+  std::array<SizeClassTally, 64> classes_{};
+};
+
+/// One record per Monte-Carlo trial — makes an `incomplete` count
+/// diagnosable (which trial, which seed, how far it got) instead of bare.
+struct TrialObservation {
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;   ///< derived per-trial seed (reproduces the trial)
+  bool completed = false;
+  std::uint64_t boxes = 0;
+  double ratio = 0;
+  double unit_ratio = 0;
+  std::uint64_t duration_ns = 0;  ///< wall clock; 0 when timing is off
+};
+
+/// Collects trial records. The Monte-Carlo driver feeds trials in index
+/// order from one thread after the parallel phase, so the emitted stream
+/// is deterministic across pool sizes — bit-identical when record_timing
+/// is false (the determinism property test relies on this).
+class McRecorder {
+ public:
+  /// sink == nullptr buffers records only. record_timing == false zeroes
+  /// duration_ns, making the whole trace deterministic.
+  explicit McRecorder(TraceSink* sink = nullptr, bool record_timing = true)
+      : sink_(sink), record_timing_(record_timing) {}
+
+  bool record_timing() const { return record_timing_; }
+
+  /// Called once per trial, in increasing trial order.
+  void on_trial(const TrialObservation& trial);
+
+  /// Called once after all trials; emits the "mc" aggregate event.
+  void finish();
+
+  const std::vector<TrialObservation>& trials() const { return trials_; }
+
+ private:
+  TraceSink* sink_;
+  bool record_timing_;
+  std::vector<TrialObservation> trials_;
+};
+
+/// Per-box-size-class paging tallies from the concrete CA machine.
+class PagingRecorder {
+ public:
+  struct LevelTally {
+    std::uint64_t boxes = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  void on_box_start(std::uint64_t box_size) {
+    ++levels_[size_class(box_size)].boxes;
+  }
+
+  void on_access(std::uint64_t box_size, bool hit, bool evicted) {
+    LevelTally& tally = levels_[size_class(box_size)];
+    ++tally.accesses;
+    if (hit) ++tally.hits; else ++tally.misses;
+    if (evicted) ++tally.evictions;
+  }
+
+  const std::array<LevelTally, 64>& levels() const { return levels_; }
+
+  std::uint64_t total_hits() const;
+  std::uint64_t total_misses() const;
+
+  /// One "paging" event per non-empty size class, ascending.
+  void emit(TraceSink& sink) const;
+
+ private:
+  std::array<LevelTally, 64> levels_{};
+};
+
+}  // namespace cadapt::obs

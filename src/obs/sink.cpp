@@ -1,0 +1,12 @@
+#include "obs/sink.hpp"
+
+#include <ostream>
+
+namespace cadapt::obs {
+
+void JsonlSink::write(const Event& event) {
+  os_ << to_jsonl(event) << '\n';
+  ++lines_;
+}
+
+}  // namespace cadapt::obs

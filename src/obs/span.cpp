@@ -1,0 +1,54 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+
+#include "obs/sink.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::obs {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanSet::SpanSet(ClockFn clock) : clock_(clock) {
+  CADAPT_CHECK(clock_ != nullptr);
+}
+
+std::size_t SpanSet::open(std::string name) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.parent = open_.empty() ? kNoParent : open_.back();
+  record.depth = static_cast<std::uint32_t>(open_.size());
+  record.start_ns = clock_();
+  records_.push_back(std::move(record));
+  const std::size_t id = records_.size() - 1;
+  open_.push_back(id);
+  return id;
+}
+
+void SpanSet::close(std::size_t id) {
+  CADAPT_CHECK_MSG(!open_.empty() && open_.back() == id,
+                   "spans must close LIFO; closing " << id);
+  SpanRecord& record = records_[id];
+  record.duration_ns = clock_() - record.start_ns;
+  record.closed = true;
+  open_.pop_back();
+}
+
+void SpanSet::emit(TraceSink& sink) const {
+  CADAPT_CHECK_MSG(open_.empty(), "emit() with spans still open");
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const SpanRecord& record = records_[i];
+    Event event("span");
+    event.u64("id", i).str("name", record.name).u64("depth", record.depth);
+    if (record.parent != kNoParent) event.u64("parent", record.parent);
+    event.u64("duration_ns", record.duration_ns);
+    sink.write(event);
+  }
+}
+
+}  // namespace cadapt::obs

@@ -1,0 +1,78 @@
+// Nested wall-clock spans for phase timing ("where does a 10M-box
+// experiment spend its time?"). Spans are strictly LIFO within a SpanSet
+// — enforced by CADAPT_CHECK — which keeps the parent/depth bookkeeping
+// trivial and the emitted events reconstructible into a tree.
+//
+// The clock is injectable so tests can drive spans deterministically;
+// durations are the ONLY nondeterministic fields in a trace (see
+// docs/OBSERVABILITY.md on diffing traces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cadapt::obs {
+
+class TraceSink;
+
+/// Monotonic nanosecond clock hook.
+using ClockFn = std::uint64_t (*)();
+
+/// std::chrono::steady_clock in nanoseconds.
+std::uint64_t steady_now_ns();
+
+inline constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+struct SpanRecord {
+  std::string name;
+  std::size_t parent = kNoParent;  ///< index into SpanSet::records()
+  std::uint32_t depth = 0;         ///< 0 = root
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;   ///< valid once closed
+  bool closed = false;
+};
+
+/// A flat, append-only log of (possibly nested) timed spans.
+class SpanSet {
+ public:
+  explicit SpanSet(ClockFn clock = &steady_now_ns);
+
+  /// Open a span nested under the innermost open span. Returns its id.
+  std::size_t open(std::string name);
+  /// Close a span; must be the innermost open one (LIFO).
+  void close(std::size_t id);
+
+  const std::vector<SpanRecord>& records() const { return records_; }
+  std::size_t open_count() const { return open_.size(); }
+
+  /// Emit one "span" event per record, in open order. All spans must be
+  /// closed first.
+  void emit(TraceSink& sink) const;
+
+ private:
+  ClockFn clock_;
+  std::vector<SpanRecord> records_;
+  std::vector<std::size_t> open_;  // stack of open record indices
+};
+
+/// RAII span. A null SpanSet makes the guard a no-op — callers can keep
+/// one code path whether or not observability is attached.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanSet* set, std::string_view name)
+      : set_(set), id_(set != nullptr ? set->open(std::string(name)) : 0) {}
+  ~ScopedSpan() {
+    if (set_ != nullptr) set_->close(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanSet* set_;
+  std::size_t id_;
+};
+
+}  // namespace cadapt::obs

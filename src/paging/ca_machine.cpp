@@ -5,9 +5,10 @@
 namespace cadapt::paging {
 
 CaMachine::CaMachine(std::unique_ptr<profile::BoxSource> source,
-                     std::uint64_t block_size, bool record_boxes)
+                     std::uint64_t block_size, bool record_boxes,
+                     obs::PagingRecorder* recorder)
     : source_(std::move(source)), cache_(0), block_size_(block_size),
-      record_boxes_(record_boxes) {
+      record_boxes_(record_boxes), recorder_(recorder) {
   CADAPT_CHECK(source_ != nullptr);
   CADAPT_CHECK(block_size >= 1);
   start_next_box();
@@ -26,12 +27,18 @@ void CaMachine::start_next_box() {
   cache_.clear();
   cache_.set_capacity(box_size_);
   if (record_boxes_) box_log_.push_back(box_size_);
+  if (recorder_ != nullptr) recorder_->on_box_start(box_size_);
 }
 
 void CaMachine::access(WordAddr addr) {
   ++accesses_;
   const BlockId block = addr / block_size_;
-  if (cache_.access(block)) return;  // hit: free
+  if (cache_.access(block)) {  // hit: free
+    if (recorder_ != nullptr) {
+      recorder_->on_access(box_size_, /*hit=*/true, /*evicted=*/false);
+    }
+    return;
+  }
   // The access that fell out of the current box's capacity starts the
   // next box; with the cleared cache it is necessarily a miss there.
   if (misses_in_box_ == box_size_) {
@@ -41,6 +48,12 @@ void CaMachine::access(WordAddr addr) {
   }
   ++misses_;
   ++misses_in_box_;
+  if (recorder_ != nullptr) {
+    // The CA machine never evicts under pressure: each box's cache is
+    // exactly as large as its miss budget, so a box fills up and is then
+    // cleared wholesale at the boundary.
+    recorder_->on_access(box_size_, /*hit=*/false, /*evicted=*/false);
+  }
 }
 
 }  // namespace cadapt::paging

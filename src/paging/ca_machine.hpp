@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "paging/lru_cache.hpp"
 #include "paging/machine.hpp"
 #include "profile/box_source.hpp"
@@ -19,8 +20,12 @@ class CaMachine final : public Machine {
   /// Takes ownership of the box stream. The stream must supply a box
   /// whenever one is needed (use profile::CyclingSource for finite
   /// adversarial profiles); exhaustion mid-run is a checked error.
+  /// An optional recorder tallies hits/misses/evictions bucketed by the
+  /// size class (floor log2) of the box they landed in; it must outlive
+  /// the machine. Null = disabled.
   CaMachine(std::unique_ptr<profile::BoxSource> source,
-            std::uint64_t block_size, bool record_boxes = true);
+            std::uint64_t block_size, bool record_boxes = true,
+            obs::PagingRecorder* recorder = nullptr);
 
   void access(WordAddr addr) override;
   std::uint64_t accesses() const override { return accesses_; }
@@ -34,6 +39,8 @@ class CaMachine final : public Machine {
   std::uint64_t current_box_size() const { return box_size_; }
   /// Sizes of all boxes started, if record_boxes was set.
   const std::vector<profile::BoxSize>& box_log() const { return box_log_; }
+  /// Lifetime hit/miss/eviction counters of the underlying cache.
+  const LruCache::Stats& cache_stats() const { return cache_.stats(); }
 
  private:
   void start_next_box();
@@ -42,6 +49,7 @@ class CaMachine final : public Machine {
   LruCache cache_;
   std::uint64_t block_size_;
   bool record_boxes_;
+  obs::PagingRecorder* recorder_;
   std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t boxes_started_ = 0;

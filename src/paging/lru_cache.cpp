@@ -14,12 +14,15 @@ LruCache::AccessResult LruCache::access_tracking(BlockId block) {
   if (it != map_.end()) {
     order_.splice(order_.begin(), order_, it->second);
     result.hit = true;
+    ++stats_.hits;
     return result;
   }
+  ++stats_.misses;
   if (capacity_ == 0) return result;  // nothing can be retained
   if (map_.size() == capacity_) {
     result.evicted = true;
     result.victim = order_.back();
+    ++stats_.evictions;
     map_.erase(order_.back());
     order_.pop_back();
   }
@@ -40,6 +43,7 @@ void LruCache::clear() {
 
 void LruCache::evict_to(std::uint64_t limit) {
   while (map_.size() > limit) {
+    ++stats_.evictions;
     map_.erase(order_.back());
     order_.pop_back();
   }

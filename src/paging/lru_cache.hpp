@@ -34,16 +34,30 @@ class LruCache {
   void set_capacity(std::uint64_t capacity_blocks);
 
   /// Drop all cached blocks (the model's cache clear at box boundaries).
+  /// Not counted as evictions: a clear is a model reset, not pressure.
   void clear();
 
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t size() const { return map_.size(); }
   bool contains(BlockId block) const { return map_.count(block) != 0; }
 
+  /// Lifetime counters, kept unconditionally: two integer increments per
+  /// access are noise next to the hash-map work, and they make every
+  /// machine built on this cache explainable after the fact.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /// Capacity-pressure evictions (including shrinking set_capacity).
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
  private:
   void evict_to(std::uint64_t limit);
 
   std::uint64_t capacity_;
+  Stats stats_;
   std::list<BlockId> order_;  // front = most recently used
   std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
 };

@@ -1,0 +1,190 @@
+// Differential/conservation properties of the observability layer: the
+// per-box event stream must sum exactly to the run-level aggregates, and
+// both must satisfy the unit-conservation identity
+//
+//   Σ progress + Σ scan_advance == problem_units(params, n)
+//
+// for every completed run, under BOTH box semantics, on worst-case and
+// random profiles alike. The per-box scan_advance reported to the
+// recorder is also cross-checked against the brute-force oracle
+// (ReferenceExecution) via the identity scan = units_done() - leaves_done().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "engine/exec.hpp"
+#include "engine/reference.hpp"
+#include "model/regular.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
+#include "profile/worst_case.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::engine {
+namespace {
+
+struct ConservationCase {
+  model::RegularParams params;
+  unsigned levels;  // n = b^levels
+  BoxSemantics semantics;
+};
+
+std::string case_name(const testing::TestParamInfo<ConservationCase>& info) {
+  const auto& c = info.param;
+  return "a" + std::to_string(c.params.a) + "b" + std::to_string(c.params.b) +
+         "c" + std::to_string(static_cast<int>(c.params.c * 100)) + "k" +
+         std::to_string(c.levels) +
+         (c.semantics == BoxSemantics::kOptimistic ? "Opt" : "Bud");
+}
+
+class ConservationTest : public testing::TestWithParam<ConservationCase> {};
+
+// Event-stream sums must equal the recorder aggregates, which must equal
+// the engine's own accounting; a completed run must conserve units.
+void check_run(const ConservationCase& c, const obs::ExecRecorder& rec,
+               const obs::MemorySink& sink, const RegularExecution& exec,
+               std::uint64_t n) {
+  std::uint64_t sum_progress = 0, sum_scan = 0, sum_box = 0, completions = 0;
+  std::uint64_t box_events = 0;
+  for (const obs::Event& event : sink.events()) {
+    if (event.type != "box") continue;
+    ++box_events;
+    sum_progress += event.u64_or("progress", 0);
+    sum_scan += event.u64_or("scan", 0);
+    sum_box += event.u64_or("s", 0);
+    if (event.u64_or("completed", 0) > 0) ++completions;
+  }
+  ASSERT_EQ(box_events, rec.boxes());
+  EXPECT_EQ(sum_progress, rec.total_progress());
+  EXPECT_EQ(sum_scan, rec.total_scan_advance());
+  EXPECT_EQ(sum_box, rec.sum_box_sizes());
+  EXPECT_EQ(completions, rec.completions());
+
+  // Size-class tallies partition the totals.
+  std::uint64_t class_boxes = 0, class_progress = 0, class_scan = 0;
+  for (const auto& tally : rec.size_classes()) {
+    class_boxes += tally.boxes;
+    class_progress += tally.progress;
+    class_scan += tally.scan_advance;
+  }
+  EXPECT_EQ(class_boxes, rec.boxes());
+  EXPECT_EQ(class_progress, rec.total_progress());
+  EXPECT_EQ(class_scan, rec.total_scan_advance());
+
+  // Recorder aggregates agree with the engine's own accounting.
+  EXPECT_EQ(rec.boxes(), exec.boxes_consumed());
+  EXPECT_EQ(rec.total_progress(), exec.leaves_done());
+
+  // Branch bookkeeping: budgeted semantics takes only the budgeted
+  // branch; optimistic splits between jump and scan.
+  if (c.semantics == BoxSemantics::kBudgeted) {
+    EXPECT_EQ(rec.branch_count(obs::ExecBranch::kBudgeted), rec.boxes());
+  } else {
+    EXPECT_EQ(rec.branch_count(obs::ExecBranch::kBudgeted), 0u);
+    EXPECT_EQ(rec.branch_count(obs::ExecBranch::kCompleteJump) +
+                  rec.branch_count(obs::ExecBranch::kScanAdvance),
+              rec.boxes());
+  }
+
+  // Unit conservation for the completed execution.
+  ASSERT_TRUE(exec.done());
+  EXPECT_EQ(rec.total_progress(), exec.total_leaves());
+  EXPECT_EQ(rec.total_progress() + rec.total_scan_advance(),
+            model::problem_units(c.params, n));
+  EXPECT_EQ(exec.total_units(), model::problem_units(c.params, n));
+}
+
+TEST_P(ConservationTest, EventSumsMatchAggregatesOnRandomBoxes) {
+  const ConservationCase& c = GetParam();
+  const std::uint64_t n = util::ipow(c.params.b, c.levels);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RegularExecution exec(c.params, n, ScanPlacement::kEnd, 0, c.semantics);
+    ReferenceExecution oracle(c.params, n, ScanPlacement::kEnd, 0,
+                              c.semantics);
+    obs::MemorySink sink;
+    obs::ExecRecorder rec(&sink);
+    exec.set_recorder(&rec);
+
+    util::Rng rng(seed * 7919);
+    while (!exec.done()) {
+      std::uint64_t s;
+      switch (rng.below(3)) {
+        case 0: s = 1; break;
+        case 1: s = 1 + rng.below(c.params.b * c.params.b); break;
+        default: s = 1 + rng.below(n); break;
+      }
+      // Scan position identity, before: recorder totals track the
+      // engine's position exactly at every box boundary.
+      ASSERT_EQ(rec.total_progress() + rec.total_scan_advance(),
+                exec.units_done());
+
+      const std::uint64_t oracle_scan_before =
+          oracle.units_done() - oracle.leaves_done();
+      exec.consume_box(s);
+      oracle.consume_box(s);
+
+      // The freshly emitted event's scan_advance must equal the oracle's
+      // scan-position delta for the same box.
+      ASSERT_FALSE(sink.events().empty());
+      const obs::Event& event = sink.events().back();
+      ASSERT_EQ(event.type, "box");
+      EXPECT_EQ(event.u64_or("scan", ~UINT64_C(0)),
+                oracle.units_done() - oracle.leaves_done() -
+                    oracle_scan_before)
+          << "seed=" << seed << " s=" << s;
+    }
+    check_run(c, rec, sink, exec, n);
+  }
+}
+
+TEST_P(ConservationTest, ConservesUnitsOnTheWorstCaseProfile) {
+  const ConservationCase& c = GetParam();
+  if (c.params.a < c.params.b) return;  // M_{a,b} requires a >= b
+  const std::uint64_t n = util::ipow(c.params.b, c.levels);
+
+  RegularExecution exec(c.params, n, ScanPlacement::kEnd, 0, c.semantics);
+  obs::MemorySink sink;
+  obs::ExecRecorder rec(&sink);
+  profile::CyclingSource source([&] {
+    return std::make_unique<profile::WorstCaseSource>(c.params.a, c.params.b,
+                                                      n);
+  });
+  const RunResult result = run_to_completion(exec, source,
+                                             UINT64_C(1) << 30, &rec);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.boxes, rec.boxes());
+  EXPECT_EQ(result.leaves, rec.total_progress());
+  check_run(c, rec, sink, exec, n);
+
+  // run_to_completion must have appended the aggregate "run" event, and
+  // its counters must match the recorder.
+  const obs::Event& run = sink.events().back();
+  ASSERT_EQ(run.type, "run");
+  EXPECT_TRUE(run.flag_or("completed", false));
+  EXPECT_EQ(run.u64_or("boxes", 0), rec.boxes());
+  EXPECT_EQ(run.u64_or("progress", 0), rec.total_progress());
+  EXPECT_EQ(run.u64_or("scan_advance", 0), rec.total_scan_advance());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConservationTest,
+    testing::Values(
+        ConservationCase{{8, 4, 1.0}, 3, BoxSemantics::kOptimistic},
+        ConservationCase{{8, 4, 1.0}, 3, BoxSemantics::kBudgeted},
+        ConservationCase{{2, 2, 1.0}, 5, BoxSemantics::kOptimistic},
+        ConservationCase{{2, 2, 1.0}, 5, BoxSemantics::kBudgeted},
+        ConservationCase{{4, 2, 1.0}, 4, BoxSemantics::kOptimistic},
+        ConservationCase{{4, 2, 1.0}, 4, BoxSemantics::kBudgeted},
+        ConservationCase{{4, 2, 0.5}, 4, BoxSemantics::kOptimistic},
+        ConservationCase{{4, 2, 0.5}, 4, BoxSemantics::kBudgeted},
+        ConservationCase{{2, 4, 1.0}, 3, BoxSemantics::kOptimistic},
+        ConservationCase{{2, 4, 1.0}, 3, BoxSemantics::kBudgeted},
+        ConservationCase{{3, 2, 0.7}, 4, BoxSemantics::kOptimistic},
+        ConservationCase{{9, 3, 1.0}, 3, BoxSemantics::kBudgeted}),
+    case_name);
+
+}  // namespace
+}  // namespace cadapt::engine

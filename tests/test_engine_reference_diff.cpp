@@ -66,6 +66,12 @@ TEST_P(EngineDiffTest, AgreesWithOracleOnRandomBoxes) {
         case 2: s = 1 + rng.below(n); break;
         default: s = 1 + rng.below(2 * n); break;
       }
+      // Scan position before the box, for both machines: the identity
+      // scan = units_done() - leaves_done() is what the observability
+      // layer reports as per-box scan_advance, so its delta must agree
+      // between production and oracle at every step.
+      const std::uint64_t scan_f = fast.units_done() - fast.leaves_done();
+      const std::uint64_t scan_s = slow.units_done() - slow.leaves_done();
       const BoxReport rf = fast.consume_box(s);
       const BoxReport rs = slow.consume_box(s);
       ASSERT_EQ(rf.progress, rs.progress)
@@ -75,6 +81,10 @@ TEST_P(EngineDiffTest, AgreesWithOracleOnRandomBoxes) {
       ASSERT_EQ(fast.units_done(), slow.units_done())
           << "seed=" << seed << " step=" << steps << " s=" << s;
       ASSERT_EQ(fast.leaves_done(), slow.leaves_done());
+      ASSERT_EQ(fast.units_done() - fast.leaves_done() - scan_f,
+                slow.units_done() - slow.leaves_done() - scan_s)
+          << "scan_advance diverged: seed=" << seed << " step=" << steps
+          << " s=" << s;
       ++steps;
       ASSERT_LT(steps, 1u << 22);
     }

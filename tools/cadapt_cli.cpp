@@ -11,6 +11,7 @@
 //   analytic    Lemma 3 stopping-time table for a distribution
 //   render      ASCII-render M_{a,b}(n) (Figure 1)
 //   multiplies  §3: executions completed on one pass of M_{a,b}(n)
+//   trace       instrumented run: JSONL event stream + summary tables
 //   help        this text
 //
 // Common flags: --a --b --c --kmin --kmax --trials --seed
@@ -18,13 +19,18 @@
 // Distribution flags (iid/analytic): --dist geometric|uniform-powers|
 //   bimodal|point|uniform-range, --kdist, --small, --big, --pbig,
 //   --size, --lo, --hi
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/cadapt.hpp"
 #include "core/report.hpp"
+#include "obs/event.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
 #include "profile/profile_io.hpp"
 #include "util/args.hpp"
 #include "util/math.hpp"
@@ -50,6 +56,13 @@ commands:
   multiplies  count executions completed on one pass of M_{a,b}(n)
   replay      run (a,b,c) on a saved profile: --file F [--cycle] [--n N]
   save-worst  write M_{a,b}(--n) to --file F (one box per line)
+  trace       instrumented run emitting a JSONL event trace plus summary
+              tables (docs/OBSERVABILITY.md). Flags: --n N,
+              --profile worst|iid (default worst; iid takes the --dist
+              flags), --trials T (T >= 2 adds a Monte-Carlo stage with
+              per-trial events), --no-timing (deterministic trace),
+              --out F (JSONL to F; without it JSONL goes to stdout and
+              the summary to stderr)
 
 common flags:
   --a N --b N --c X         algorithm shape (default 8 4 1.0)
@@ -118,6 +131,134 @@ std::unique_ptr<profile::BoxDistribution> dist_from(
                                                    args.get_u64("hi", 256));
   }
   throw util::CheckError("unknown --dist '" + kind + "'");
+}
+
+// `trace`: run the engine with the observability layer attached, emit the
+// JSONL event stream, then *re-parse every emitted line* and check the
+// conservation invariant (Σ progress + Σ scan == problem units) against
+// the run's own aggregates. The trace a user diffs is thereby known to be
+// well-formed and complete — tests/CMakeLists.txt smoke-tests the final
+// "all lines parse; conservation OK" line.
+int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
+  const std::uint64_t n = args.get_u64(
+      "n", util::ipow(p.b, static_cast<unsigned>(args.get_u64("kmax", 6))));
+  CADAPT_CHECK_MSG(util::is_power_of(n, p.b),
+                   "--n must be a power of b; n=" << n);
+  const std::uint64_t trials = args.get_u64("trials", 1);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string out_path = args.get_string("out", "");
+  const std::string profile_kind = args.get_string("profile", "worst");
+  engine::BoxSemantics semantics = engine::BoxSemantics::kOptimistic;
+  const std::string sem = args.get_string("semantics", "optimistic");
+  if (sem == "budgeted") {
+    semantics = engine::BoxSemantics::kBudgeted;
+  } else if (sem != "optimistic") {
+    throw util::CheckError("--semantics must be optimistic or budgeted");
+  }
+  const auto dist = dist_from(args, p);
+
+  obs::MemorySink sink;
+
+  // Stage 1: one fully instrumented execution (per-box events).
+  std::unique_ptr<profile::BoxSource> source;
+  if (profile_kind == "worst") {
+    // Cycle M_{a,b}(n) so the run completes for every parameter set.
+    source = std::make_unique<profile::CyclingSource>([&p, n] {
+      return std::make_unique<profile::WorstCaseSource>(p.a, p.b, n);
+    });
+  } else if (profile_kind == "iid") {
+    source = std::make_unique<profile::DistributionSource>(*dist,
+                                                           util::Rng(seed));
+  } else {
+    throw util::CheckError("--profile must be worst or iid");
+  }
+  obs::ExecRecorder exec_rec(&sink);
+  const engine::RunResult r =
+      engine::run_regular(p, n, *source, engine::ScanPlacement::kEnd,
+                          /*max_boxes=*/UINT64_C(1) << 40,
+                          /*adversary_seed=*/0, semantics, &exec_rec);
+
+  // Stage 2 (--trials >= 2): Monte-Carlo over --dist with per-trial events.
+  obs::McRecorder mc_rec(&sink, /*record_timing=*/!args.has("no-timing"));
+  const bool ran_mc = trials >= 2;
+  engine::McSummary mc;
+  if (ran_mc) {
+    engine::McOptions opts;
+    opts.trials = trials;
+    opts.seed = seed;
+    opts.semantics = semantics;
+    opts.recorder = &mc_rec;
+    mc = engine::run_monte_carlo_iid(p, n, *dist, opts);
+  }
+
+  // Serialize, then validate what was serialized: every line must re-parse
+  // to the event it came from, and the per-box stream must sum to the
+  // run's aggregates.
+  std::vector<std::string> lines;
+  lines.reserve(sink.events().size());
+  std::uint64_t box_events = 0, trial_events = 0;
+  std::uint64_t sum_progress = 0, sum_scan = 0;
+  for (const auto& event : sink.events()) {
+    lines.push_back(obs::to_jsonl(event));
+    obs::Event back;
+    std::string error;
+    if (!obs::parse_jsonl(lines.back(), &back, &error))
+      throw util::CheckError("trace line failed to parse: " + error);
+    if (!(back == event))
+      throw util::CheckError("trace line did not round-trip: " + lines.back());
+    if (event.type == "box") {
+      ++box_events;
+      sum_progress += event.u64_or("progress", 0);
+      sum_scan += event.u64_or("scan", 0);
+    } else if (event.type == "trial") {
+      ++trial_events;
+    }
+  }
+  CADAPT_CHECK_MSG(box_events == r.boxes && box_events == exec_rec.boxes(),
+                   "box events " << box_events << " != boxes " << r.boxes);
+  CADAPT_CHECK_MSG(sum_progress == r.leaves &&
+                       sum_progress == exec_rec.total_progress(),
+                   "progress sum " << sum_progress << " != leaves "
+                                   << r.leaves);
+  CADAPT_CHECK_MSG(sum_scan == exec_rec.total_scan_advance(),
+                   "scan sum " << sum_scan << " != aggregate "
+                               << exec_rec.total_scan_advance());
+  const std::uint64_t units = model::problem_units(p, n);
+  CADAPT_CHECK_MSG(!r.completed || sum_progress + sum_scan == units,
+                   "conservation: progress " << sum_progress << " + scan "
+                                             << sum_scan << " != units "
+                                             << units);
+  CADAPT_CHECK_MSG(trial_events == (ran_mc ? trials : 0),
+                   "trial events " << trial_events << " != trials");
+
+  // Route the streams: JSONL to --out (summary to stdout), or JSONL to
+  // stdout (summary to stderr) so `cadapt trace | jq` stays clean.
+  std::ostream* summary_os = &std::cout;
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    if (!file) throw util::CheckError("cannot open --out " + out_path);
+    for (const auto& line : lines) file << line << '\n';
+  } else {
+    for (const auto& line : lines) std::cout << line << '\n';
+    summary_os = &std::cerr;
+  }
+
+  *summary_os << p.name() << " on " << profile_kind << " profile, n = " << n
+              << ", " << sem << " semantics:\n"
+              << "  completed: " << (r.completed ? "yes" : "NO")
+              << "  boxes: " << r.boxes
+              << "  ratio: " << util::format_double(r.ratio, 3) << "\n";
+  core::print_trace_summary(*summary_os, exec_rec);
+  if (ran_mc) {
+    *summary_os << "\nMonte-Carlo stage (" << trials << " trials, "
+                << dist->name() << "):\n";
+    core::print_trial_summary(*summary_os, mc_rec);
+    *summary_os << "mean ratio: " << util::format_double(mc.ratio.mean(), 3)
+                << "  incomplete: " << mc.incomplete << "\n";
+  }
+  *summary_os << lines.size()
+              << " events; all lines parse; conservation OK\n";
+  return 0;
 }
 
 void report(const util::ArgParser& args, const model::RegularParams& p,
@@ -207,6 +348,9 @@ int run(const util::ArgParser& args) {
     std::cout << profile::render_profile_ascii(
         boxes, args.get_u64("width", 100), args.get_u64("height", 14),
         !args.has("linear"));
+  } else if (cmd == "trace") {
+    const int rc = run_trace(args, p);
+    if (rc != 0) return rc;
   } else if (cmd == "multiplies") {
     util::Table table({"n", "completed executions", "log_b n + 1"});
     for (unsigned k = static_cast<unsigned>(args.get_u64("kmin", 3));
