@@ -1,86 +1,227 @@
 #include "engine/montecarlo.hpp"
 
-#include <mutex>
+#include <algorithm>
+#include <fstream>
+#include <utility>
 #include <vector>
 
-#include "obs/span.hpp"
-#include "profile/distributions.hpp"
+#include "robust/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace cadapt::engine {
+
+std::uint64_t derive_trial_seed(std::uint64_t seed, std::uint64_t trial,
+                                std::uint32_t attempt) {
+  // Attempt 0 must stay bit-compatible with the original derivation:
+  // per-trial seeds are recorded in traces and checkpoints, and resumes
+  // rely on reproducing them exactly.
+  std::uint64_t mix = seed;
+  (void)util::splitmix64(mix);
+  mix ^= 0x9E3779B97F4A7C15ull * (trial + 1);
+  if (attempt != 0) mix = util::hash_combine(mix, attempt);
+  return mix;
+}
+
+namespace {
+
+/// Run one trial with the bounded retry-with-reseed policy. Never throws:
+/// every exception of every attempt is caught; the record of a trial that
+/// exhausts its attempts carries the last attempt's category and message.
+robust::TrialRecord run_one_trial(const McOptions& options,
+                                  const RobustTrialRunner& runner,
+                                  std::uint64_t trial, bool timing) {
+  robust::TrialRecord record;
+  record.trial = trial;
+  for (std::uint32_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const std::uint64_t seed = derive_trial_seed(options.seed, trial, attempt);
+    record.seed = seed;
+    record.attempts = attempt + 1;
+    record.failed = false;
+    robust::FaultInjector injector(options.faults, trial, attempt);
+    const std::uint64_t t0 = timing ? obs::steady_now_ns() : 0;
+    try {
+      injector.step(robust::FaultSite::kTrialBody);
+      const RunResult r = runner(seed, injector);
+      record.completed = r.completed;
+      record.boxes = r.boxes;
+      record.ratio = r.ratio;
+      record.unit_ratio = r.unit_ratio;
+      record.duration_ns = timing ? obs::steady_now_ns() - t0 : 0;
+      return record;
+    } catch (const std::exception& e) {
+      record.failed = true;
+      record.category = robust::categorize(e);
+      record.what = e.what();
+    } catch (...) {
+      record.failed = true;
+      record.category = robust::ErrorCategory::kOther;
+      record.what = "non-std::exception thrown by trial body";
+    }
+  }
+  return record;
+}
+
+/// Fold one finished trial into the summary and the recorder — always on
+/// the driver thread, always in trial order, so summary and event stream
+/// are independent of the pool size and of chunk boundaries.
+void aggregate_trial(McSummary& summary, const robust::TrialRecord& t,
+                     obs::McRecorder* recorder) {
+  if (t.failed) {
+    summary.errors.push_back({t.trial, t.seed, t.attempts, t.category, t.what});
+    ++summary.failed;
+    if (recorder != nullptr) {
+      recorder->on_trial_error({t.trial, t.seed, t.attempts,
+                                robust::error_category_name(t.category),
+                                t.what});
+    }
+    return;
+  }
+  summary.boxes.add(static_cast<double>(t.boxes));
+  if (recorder != nullptr) {
+    recorder->on_trial({t.trial, t.seed, t.completed, t.boxes, t.ratio,
+                        t.unit_ratio, t.duration_ns});
+  }
+  if (!t.completed) {
+    // No meaningful ratio: the run was cut off. Keep the sample vectors
+    // aligned with completed trials only (see McSummary's invariants).
+    ++summary.incomplete;
+    return;
+  }
+  summary.ratio.add(t.ratio);
+  summary.unit_ratio.add(t.unit_ratio);
+  summary.ratio_samples.push_back(t.ratio);
+  summary.unit_ratio_samples.push_back(t.unit_ratio);
+}
+
+}  // namespace
+
+McSummary run_monte_carlo_robust(const McOptions& options,
+                                 const RobustTrialRunner& runner) {
+  CADAPT_CHECK(options.trials >= 1);
+  CADAPT_CHECK(runner != nullptr);
+  CADAPT_CHECK(options.max_attempts >= 1);
+  util::ThreadPool& the_pool =
+      options.pool != nullptr ? *options.pool : util::default_pool();
+  obs::McRecorder* recorder = options.recorder;
+  const bool timing = recorder != nullptr && recorder->record_timing();
+
+  // Resume: a missing file is a fresh start, anything else must parse and
+  // must identify the same campaign.
+  const robust::CheckpointHeader header{1, options.trials, options.seed,
+                                        options.config};
+  std::map<std::uint64_t, robust::TrialRecord> known;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    std::ifstream probe(options.checkpoint_path);
+    if (probe.good()) {
+      robust::CheckpointData data = robust::load_checkpoint(probe);
+      if (!(data.header == header)) {
+        throw util::ParseError(
+            "checkpoint '" + options.checkpoint_path +
+            "' belongs to a different campaign (trials/seed/config mismatch)");
+      }
+      known = std::move(data.records);
+    }
+  }
+  std::unique_ptr<robust::CheckpointWriter> writer;
+  if (!options.checkpoint_path.empty()) {
+    writer = std::make_unique<robust::CheckpointWriter>(
+        options.checkpoint_path, header, /*append=*/options.resume);
+  }
+
+  robust::BudgetTracker tracker(options.budget, options.clock);
+
+  // Chunk size only matters when something observes chunk boundaries
+  // (checkpoint flushes, budget checks); otherwise run one big chunk.
+  // Chunking never changes the summary: aggregation happens in trial
+  // order either way.
+  const std::uint64_t chunk_size =
+      (writer != nullptr || options.budget.enabled())
+          ? std::max<std::uint64_t>(1, options.checkpoint_every)
+          : options.trials;
+
+  McSummary summary;
+  summary.trials_requested = options.trials;
+  summary.ratio_samples.reserve(options.trials);
+  summary.unit_ratio_samples.reserve(options.trials);
+  for (std::uint64_t start = 0; start < options.trials; start += chunk_size) {
+    if (tracker.exceeded()) {
+      summary.truncated = true;
+      break;
+    }
+    const std::uint64_t end =
+        std::min(options.trials, start + chunk_size);
+
+    // Indices in this chunk that the checkpoint does not already cover.
+    std::vector<std::uint64_t> todo;
+    todo.reserve(end - start);
+    for (std::uint64_t i = start; i < end; ++i) {
+      if (known.find(i) == known.end()) todo.push_back(i);
+    }
+    std::vector<robust::TrialRecord> fresh(todo.size());
+    util::parallel_for(the_pool, todo.size(), [&](std::size_t k) {
+      fresh[k] = run_one_trial(options, runner, todo[k], timing);
+    });
+
+    // Merge, account, aggregate, persist — single-threaded, trial order.
+    std::size_t next_fresh = 0;
+    for (std::uint64_t i = start; i < end; ++i) {
+      const auto it = known.find(i);
+      const robust::TrialRecord& t =
+          it != known.end() ? it->second : fresh[next_fresh++];
+      if (it == known.end() && !t.failed) tracker.add_boxes(t.boxes);
+      aggregate_trial(summary, t, recorder);
+    }
+    if (writer != nullptr && !fresh.empty()) writer->append(fresh);
+    summary.trials_run = end;
+  }
+
+  CADAPT_CHECK(summary.ratio_samples.size() + summary.incomplete +
+                   summary.failed ==
+               summary.trials_run);
+  if (recorder != nullptr) {
+    recorder->finish({summary.trials_requested, summary.truncated});
+  }
+  return summary;
+}
 
 McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
                                  const TrialRunner& runner,
                                  util::ThreadPool* pool,
                                  obs::McRecorder* recorder) {
-  CADAPT_CHECK(trials >= 1);
   CADAPT_CHECK(runner != nullptr);
-  util::ThreadPool& the_pool = pool != nullptr ? *pool : util::default_pool();
-  const bool timing = recorder != nullptr && recorder->record_timing();
-
-  struct Trial {
-    std::uint64_t seed = 0;
-    double ratio = 0;
-    double unit_ratio = 0;
-    std::uint64_t boxes = 0;
-    bool completed = false;
-    std::uint64_t duration_ns = 0;
-  };
-  std::vector<Trial> results(trials);
-
-  util::parallel_for(the_pool, trials, [&](std::size_t i) {
-    // Per-trial seed depends only on (seed, i).
-    std::uint64_t mix = seed;
-    (void)util::splitmix64(mix);
-    mix ^= 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1);
-    const std::uint64_t t0 = timing ? obs::steady_now_ns() : 0;
-    const RunResult r = runner(mix);
-    const std::uint64_t dt = timing ? obs::steady_now_ns() - t0 : 0;
-    results[i] = {mix, r.ratio, r.unit_ratio, r.boxes, r.completed, dt};
-  });
-
-  // Aggregation (and trace emission) runs on this thread, in trial order:
-  // the summary and the event stream are independent of the pool size.
-  McSummary summary;
-  summary.ratio_samples.reserve(results.size());
-  summary.unit_ratio_samples.reserve(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Trial& t = results[i];
-    summary.boxes.add(static_cast<double>(t.boxes));
-    if (recorder != nullptr) {
-      recorder->on_trial({i, t.seed, t.completed, t.boxes, t.ratio,
-                          t.unit_ratio, t.duration_ns});
-    }
-    if (!t.completed) {
-      // No meaningful ratio: the run was cut off. Keep the sample vectors
-      // aligned with completed trials only (see McSummary's invariants).
-      ++summary.incomplete;
-      continue;
-    }
-    summary.ratio.add(t.ratio);
-    summary.unit_ratio.add(t.unit_ratio);
-    summary.ratio_samples.push_back(t.ratio);
-    summary.unit_ratio_samples.push_back(t.unit_ratio);
-  }
-  CADAPT_CHECK(summary.ratio_samples.size() + summary.incomplete == trials);
-  if (recorder != nullptr) recorder->finish();
-  return summary;
+  McOptions options;
+  options.trials = trials;
+  options.seed = seed;
+  options.pool = pool;
+  options.recorder = recorder;
+  return run_monte_carlo_robust(
+      options,
+      [&runner](std::uint64_t trial_seed, robust::FaultInjector&) {
+        return runner(trial_seed);
+      });
 }
 
 McSummary run_monte_carlo(const model::RegularParams& params, std::uint64_t n,
                           const TrialSourceFactory& make_source,
                           const McOptions& options) {
-  return run_monte_carlo_custom(
-      options.trials, options.seed,
-      [&](std::uint64_t trial_seed) {
+  return run_monte_carlo_robust(
+      options,
+      [&](std::uint64_t trial_seed, robust::FaultInjector& injector) {
         util::Rng rng(trial_seed);
         auto source = make_source(rng);
         CADAPT_CHECK(source != nullptr);
+        if (options.faults != nullptr) {
+          // Route every draw through the injector so FaultSite::kBoxDraw
+          // is exercised; unarmed plans never take this branch's cost.
+          robust::FaultyBoxSource faulty(std::move(source), &injector);
+          return run_regular(params, n, faulty, options.placement,
+                             options.max_boxes, /*adversary_seed=*/0,
+                             options.semantics);
+        }
         return run_regular(params, n, *source, options.placement,
                            options.max_boxes, /*adversary_seed=*/0,
                            options.semantics);
-      },
-      options.pool, options.recorder);
+      });
 }
 
 McSummary run_monte_carlo_iid(const model::RegularParams& params,

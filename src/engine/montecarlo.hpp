@@ -2,17 +2,31 @@
 // (Definition 3): repeatedly run an (a,b,c)-regular execution on freshly
 // drawn random profiles and aggregate the adaptivity ratio
 // Σ min(n,|□_i|)^{log_b a} / n^{log_b a} and the stopping time S_n.
+//
+// The driver is the robustness layer's main customer
+// (docs/ROBUSTNESS.md): a trial that throws is *contained* as a
+// structured robust::TrialError in the summary (with a bounded
+// retry-with-reseed policy) instead of tearing down the campaign; a
+// seeded robust::FaultPlan can inject failures at registered sites;
+// resource budgets truncate a campaign explicitly; and periodic JSONL
+// checkpoints make a killed campaign resumable with a bit-identical
+// summary.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "engine/exec.hpp"
 #include "model/regular.hpp"
 #include "obs/recorder.hpp"
+#include "obs/span.hpp"
 #include "profile/box_source.hpp"
 #include "profile/distributions.hpp"
+#include "robust/budget.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -20,8 +34,8 @@
 namespace cadapt::engine {
 
 /// Builds a fresh profile stream for one trial from a trial-specific RNG.
-/// Determinism: the RNG depends only on (seed, trial index), never on
-/// scheduling, so results are reproducible across thread counts.
+/// Determinism: the RNG depends only on (seed, trial index, attempt),
+/// never on scheduling, so results are reproducible across thread counts.
 using TrialSourceFactory =
     std::function<std::unique_ptr<profile::BoxSource>(util::Rng&)>;
 
@@ -32,10 +46,44 @@ struct McOptions {
   BoxSemantics semantics = BoxSemantics::kOptimistic;
   std::uint64_t max_boxes = UINT64_C(1) << 40;
   util::ThreadPool* pool = nullptr;  ///< nullptr = util::default_pool()
-  /// Optional observability hook: receives one obs::TrialObservation per
-  /// trial (in trial order, deterministic across pool sizes) plus the
-  /// final "mc" aggregate event. Null = disabled, zero overhead.
+  /// Optional observability hook: receives one obs::TrialObservation (or
+  /// obs::TrialErrorObservation) per trial — in trial order, deterministic
+  /// across pool sizes — plus the final "mc" aggregate event. Null =
+  /// disabled, zero overhead.
   obs::McRecorder* recorder = nullptr;
+
+  // ---- Robustness controls (docs/ROBUSTNESS.md) ----
+  /// Attempts per trial before its failure is recorded as a TrialError.
+  /// Attempt k reruns the trial with a reseeded derived seed; attempt 0
+  /// uses the same derivation as always, so retries change nothing for
+  /// campaigns that never fail.
+  std::uint32_t max_attempts = 1;
+  /// Seeded fault injection plan; null = no injection. The driver visits
+  /// FaultSite::kTrialBody at every attempt, and run_monte_carlo wraps
+  /// each trial's profile stream so FaultSite::kBoxDraw is visited per
+  /// drawn box. Must outlive the call.
+  const robust::FaultPlan* faults = nullptr;
+  /// Wall-clock / total-box budget. A tripped budget stops the campaign
+  /// at the next chunk boundary and marks the summary truncated; the
+  /// trials that did run are always the prefix [0, trials_run).
+  robust::Budget budget;
+  /// Path for periodic JSONL checkpoints; empty = no checkpointing.
+  std::string checkpoint_path;
+  /// Trials per chunk: the driver runs, aggregates, and checkpoints in
+  /// chunks of this size (budget checks happen at chunk boundaries).
+  /// Chunking never changes the summary or the event stream.
+  std::uint64_t checkpoint_every = 256;
+  /// Load checkpoint_path (if it exists) and skip the trials it records;
+  /// newly run trials are appended to the same file. The merged summary
+  /// is bit-identical to an uninterrupted run. The checkpoint's header
+  /// (trials, seed, config) must match or the driver throws ParseError.
+  bool resume = false;
+  /// Free-form fingerprint of the campaign stored in the checkpoint
+  /// header and verified on resume (fill it with params/distribution/
+  /// semantics — anything that shapes a trial besides trials and seed).
+  std::string config;
+  /// Test seam for the wall-clock deadline.
+  obs::ClockFn clock = &obs::steady_now_ns;
 };
 
 struct McSummary {
@@ -43,17 +91,30 @@ struct McSummary {
   /// box cap has no meaningful ratio, so recording its partial value
   /// would bias the mean downward silently. Invariants (tested):
   ///   ratio.count() == ratio_samples.size()
-  ///   ratio_samples.size() + incomplete == trials
-  /// `boxes` covers all trials (an incomplete trial spent max_boxes).
+  ///   ratio_samples.size() + incomplete + failed == trials_run
+  /// `boxes` covers all non-failed trials (an incomplete trial spent
+  /// max_boxes; a failed trial's spend is unknowable mid-exception).
   util::RunningStat ratio;       ///< adaptivity ratio per completed trial
   util::RunningStat unit_ratio;  ///< operation-based ratio per completed trial
-  util::RunningStat boxes;       ///< boxes consumed per trial (S_n)
+  util::RunningStat boxes;       ///< boxes consumed per non-failed trial
   std::uint64_t incomplete = 0;  ///< trials that hit the box cap / exhaustion
   /// Raw per-completed-trial samples, for tail statistics
   /// (beyond-expectation analysis: Definition 3 only bounds the mean).
   /// Use an obs::McRecorder to see which trials were dropped and why.
   std::vector<double> ratio_samples;
   std::vector<double> unit_ratio_samples;
+
+  /// Contained trial failures, in trial order. A campaign only throws
+  /// for *campaign-level* faults (unreadable checkpoint, bad options);
+  /// per-trial exceptions land here instead.
+  std::vector<robust::TrialError> errors;
+  std::uint64_t failed = 0;  ///< == errors.size()
+  /// True when a budget stopped the campaign early. The mean over the
+  /// prefix [0, trials_run) is still an unbiased estimate (trials are
+  /// exchangeable), but it is never silently presented as the full run.
+  bool truncated = false;
+  std::uint64_t trials_requested = 0;
+  std::uint64_t trials_run = 0;  ///< prefix of trials actually aggregated
 };
 
 /// Fully custom trial body for experiments that must couple the profile
@@ -61,11 +122,31 @@ struct McSummary {
 /// receives a per-trial seed and returns the finished RunResult.
 using TrialRunner = std::function<RunResult(std::uint64_t trial_seed)>;
 
+/// Trial body with access to the trial's fault injector, so custom
+/// runners can visit registered fault sites (wrap sources in
+/// robust::FaultyBoxSource, sinks in robust::FaultySink, ...).
+using RobustTrialRunner =
+    std::function<RunResult(std::uint64_t trial_seed,
+                            robust::FaultInjector& faults)>;
+
+/// Derived seed of (campaign seed, trial, attempt). Attempt 0 is the
+/// historical derivation — recorded seeds from older traces reproduce.
+std::uint64_t derive_trial_seed(std::uint64_t seed, std::uint64_t trial,
+                                std::uint32_t attempt);
+
+/// The full robust driver: containment, retries, fault injection,
+/// budgets, checkpoint/resume — all controlled by `options` (trials,
+/// seed, pool, recorder and the robustness fields; placement/semantics/
+/// max_boxes are ignored here, they belong to run_monte_carlo's runner).
+McSummary run_monte_carlo_robust(const McOptions& options,
+                                 const RobustTrialRunner& runner);
+
 /// Run `trials` independent trials; trial i receives a seed derived only
 /// from (seed, i), so results are reproducible across thread counts.
 /// A non-null recorder receives per-trial observations in trial order
 /// (tests/test_engine_determinism.cpp holds this to bit-identical output
-/// across pool sizes {1, 2, 8}).
+/// across pool sizes {1, 2, 8}). A trial that throws is contained as a
+/// TrialError in the summary (no retries at this entry point).
 McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
                                  const TrialRunner& runner,
                                  util::ThreadPool* pool = nullptr,

@@ -82,17 +82,35 @@ void McRecorder::on_trial(const TrialObservation& trial) {
   }
 }
 
-void McRecorder::finish() {
+void McRecorder::on_trial_error(const TrialErrorObservation& error) {
+  errors_.push_back(error);
+  if (sink_ != nullptr) {
+    Event event("trial_error");
+    event.u64("trial", error.trial)
+        .u64("seed", error.seed)
+        .u64("attempts", error.attempts)
+        .str("category", error.category)
+        .str("what", error.what);
+    sink_->write(event);
+  }
+}
+
+void McRecorder::finish(const McFinish& info) {
   if (sink_ == nullptr) return;
   util::RunningStat ratio;
   std::uint64_t incomplete = 0;
   for (const TrialObservation& t : trials_) {
     if (t.completed) ratio.add(t.ratio); else ++incomplete;
   }
+  const std::uint64_t observed = trials_.size() + errors_.size();
   Event event("mc");
-  event.u64("trials", trials_.size())
+  event.u64("trials", observed)
       .u64("incomplete", incomplete)
-      .f64("mean_ratio", ratio.count() > 0 ? ratio.mean() : 0.0);
+      .f64("mean_ratio", ratio.count() > 0 ? ratio.mean() : 0.0)
+      .u64("failed", errors_.size())
+      .u64("trials_requested",
+           info.trials_requested != 0 ? info.trials_requested : observed)
+      .flag("truncated", info.truncated);
   sink_->write(event);
 }
 

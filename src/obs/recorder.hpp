@@ -16,6 +16,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cadapt::obs {
@@ -123,6 +124,23 @@ struct TrialObservation {
   std::uint64_t duration_ns = 0;  ///< wall clock; 0 when timing is off
 };
 
+/// One record per *contained* trial failure (robust::TrialError, flattened
+/// to strings so obs stays independent of the robust module). The driver
+/// emits these interleaved with TrialObservations, in trial order.
+struct TrialErrorObservation {
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;       ///< derived seed of the last failing attempt
+  std::uint32_t attempts = 1;   ///< attempts burned (retries + 1)
+  std::string category;         ///< robust::error_category_name
+  std::string what;
+};
+
+/// Campaign-level facts for the final "mc" aggregate event.
+struct McFinish {
+  std::uint64_t trials_requested = 0;  ///< 0 = same as trials observed
+  bool truncated = false;              ///< a budget stopped the campaign
+};
+
 /// Collects trial records. The Monte-Carlo driver feeds trials in index
 /// order from one thread after the parallel phase, so the emitted stream
 /// is deterministic across pool sizes — bit-identical when record_timing
@@ -136,18 +154,24 @@ class McRecorder {
 
   bool record_timing() const { return record_timing_; }
 
-  /// Called once per trial, in increasing trial order.
+  /// Called once per non-failed trial, in increasing trial order.
   void on_trial(const TrialObservation& trial);
 
+  /// Called once per contained trial failure (interleaved with on_trial,
+  /// still in increasing trial order); emits a "trial_error" event.
+  void on_trial_error(const TrialErrorObservation& error);
+
   /// Called once after all trials; emits the "mc" aggregate event.
-  void finish();
+  void finish(const McFinish& info = {});
 
   const std::vector<TrialObservation>& trials() const { return trials_; }
+  const std::vector<TrialErrorObservation>& errors() const { return errors_; }
 
  private:
   TraceSink* sink_;
   bool record_timing_;
   std::vector<TrialObservation> trials_;
+  std::vector<TrialErrorObservation> errors_;
 };
 
 /// Per-box-size-class paging tallies from the concrete CA machine.

@@ -22,6 +22,7 @@ void CaMachine::start_next_box() {
                                                  "in profile::CyclingSource");
   box_size_ = *box;
   CADAPT_CHECK(box_size_ >= 1);
+  if (box_hook_) box_hook_(boxes_started_, box_size_);
   misses_in_box_ = 0;
   ++boxes_started_;
   cache_.clear();

@@ -5,6 +5,7 @@
 // Hits are free — only misses advance time.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,14 @@ class CaMachine final : public Machine {
   /// Lifetime hit/miss/eviction counters of the underlying cache.
   const LruCache::Stats& cache_stats() const { return cache_.stats(); }
 
+  /// Called as (box_index, box_size) at every box boundary, before the
+  /// box is counted or its cache installed — so a hook that throws (e.g.
+  /// robust::paging_fault_hook injecting at the paging_step site) leaves
+  /// the machine's tallies consistent with the boxes actually started.
+  /// Null (the default) costs one predictable branch per box.
+  using BoxHook = std::function<void(std::uint64_t, std::uint64_t)>;
+  void set_box_hook(BoxHook hook) { box_hook_ = std::move(hook); }
+
  private:
   void start_next_box();
 
@@ -55,6 +64,7 @@ class CaMachine final : public Machine {
   std::uint64_t boxes_started_ = 0;
   std::uint64_t box_size_ = 0;
   std::uint64_t misses_in_box_ = 0;
+  BoxHook box_hook_;
   std::vector<profile::BoxSize> box_log_;
 };
 

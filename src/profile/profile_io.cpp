@@ -18,7 +18,16 @@ void save_profile(std::ostream& os, const std::vector<BoxSize>& boxes,
   for (const BoxSize b : boxes) os << b << '\n';
 }
 
-std::vector<BoxSize> load_profile(std::istream& is) {
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& detail) {
+  throw util::ParseError(
+      "profile line " + std::to_string(line_no) + ": " + detail, line_no);
+}
+
+}  // namespace
+
+std::vector<BoxSize> load_profile(std::istream& is, const ParseLimits& limits) {
   std::vector<BoxSize> boxes;
   std::string line;
   std::size_t line_no = 0;
@@ -30,14 +39,24 @@ std::vector<BoxSize> load_profile(std::istream& is) {
     const auto last = line.find_last_not_of(" \t\r");
     const std::string token = line.substr(first, last - first + 1);
     if (token[0] == '#') continue;
+    if (token[0] == '-') {
+      parse_fail(line_no, "box size must be positive, got '" + token + "'");
+    }
     BoxSize value = 0;
     const auto [ptr, ec] =
         std::from_chars(token.data(), token.data() + token.size(), value);
-    CADAPT_CHECK_MSG(ec == std::errc{} && ptr == token.data() + token.size(),
-                     "profile line " << line_no << " is not an integer: '"
-                                     << token << "'");
-    CADAPT_CHECK_MSG(value >= 1, "profile line " << line_no
-                                                 << ": box size must be >= 1");
+    if (ec == std::errc::result_out_of_range) {
+      parse_fail(line_no, "box size overflows 64 bits: '" + token + "'");
+    }
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      parse_fail(line_no, "not an integer: '" + token + "'");
+    }
+    if (value < 1) parse_fail(line_no, "box size must be >= 1");
+    if (boxes.size() >= limits.max_boxes) {
+      parse_fail(line_no, "profile exceeds the " +
+                              std::to_string(limits.max_boxes) +
+                              "-box cap (ParseLimits::max_boxes)");
+    }
     boxes.push_back(value);
   }
   return boxes;
@@ -47,15 +66,20 @@ void save_profile_file(const std::string& path,
                        const std::vector<BoxSize>& boxes,
                        const std::string& comment) {
   std::ofstream os(path);
-  CADAPT_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  if (!os.good()) {
+    throw util::IoError("cannot open '" + path + "' for writing");
+  }
   save_profile(os, boxes, comment);
-  CADAPT_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+  if (!os.good()) throw util::IoError("write to '" + path + "' failed");
 }
 
-std::vector<BoxSize> load_profile_file(const std::string& path) {
+std::vector<BoxSize> load_profile_file(const std::string& path,
+                                       const ParseLimits& limits) {
   std::ifstream is(path);
-  CADAPT_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
-  return load_profile(is);
+  if (!is.good()) {
+    throw util::IoError("cannot open '" + path + "' for reading");
+  }
+  return load_profile(is, limits);
 }
 
 }  // namespace cadapt::profile

@@ -1,8 +1,17 @@
 // Save/load square profiles as plain text (one box size per line,
 // '#' comments) — lets users capture emergent or synthetic profiles and
 // replay them across runs or tools.
+//
+// Loading is hardened against hostile or corrupted input: malformed lines
+// throw util::ParseError carrying the 1-based line number (garbage
+// tokens, negative or zero sizes, and values overflowing uint64 are each
+// rejected explicitly), and a configurable cap bounds how many boxes a
+// file may supply before parsing aborts — a truncated error instead of an
+// OOM on a multi-terabyte "profile". File-level failures (open/write)
+// throw util::IoError. docs/ROBUSTNESS.md has the error taxonomy.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -11,18 +20,28 @@
 
 namespace cadapt::profile {
 
+/// Limits applied while parsing a profile.
+struct ParseLimits {
+  /// Maximum number of boxes a profile file may contain; exceeding it
+  /// throws ParseError (default: 2^26 boxes == 512 MiB of BoxSize).
+  std::size_t max_boxes = std::size_t{1} << 26;
+};
+
 /// Write one box size per line, preceded by an optional '#' comment.
 void save_profile(std::ostream& os, const std::vector<BoxSize>& boxes,
                   const std::string& comment = "");
 
 /// Parse a profile: blank lines and lines starting with '#' are skipped;
-/// every other line must be a single positive integer (checked).
-std::vector<BoxSize> load_profile(std::istream& is);
+/// every other line must be a single integer in [1, 2^64). Malformed
+/// content throws util::ParseError with the offending line number.
+std::vector<BoxSize> load_profile(std::istream& is,
+                                  const ParseLimits& limits = {});
 
-/// Convenience file variants (checked I/O errors).
+/// Convenience file variants. Open/write failures throw util::IoError.
 void save_profile_file(const std::string& path,
                        const std::vector<BoxSize>& boxes,
                        const std::string& comment = "");
-std::vector<BoxSize> load_profile_file(const std::string& path);
+std::vector<BoxSize> load_profile_file(const std::string& path,
+                                       const ParseLimits& limits = {});
 
 }  // namespace cadapt::profile

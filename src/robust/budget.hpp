@@ -1,0 +1,63 @@
+// Resource budgets for Monte-Carlo campaigns: a wall-clock deadline and a
+// global box budget that stop a campaign *early and explicitly* — the
+// summary of a budget-stopped campaign is marked truncated and covers a
+// clean prefix of trials, never a silently biased subset.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/span.hpp"
+
+namespace cadapt::robust {
+
+/// Campaign-level resource limits. Zero means "no limit".
+struct Budget {
+  /// Wall-clock budget for the whole campaign, in nanoseconds from the
+  /// moment the tracker is constructed. Inherently scheduling-dependent:
+  /// where the campaign stops varies run to run, but is always an exact
+  /// chunk boundary and always reported as truncated.
+  std::uint64_t deadline_ns = 0;
+  /// Total boxes the campaign may consume across all trials. Checked at
+  /// chunk boundaries against boxes of *finished* chunks, so the stopping
+  /// point is deterministic across pool sizes.
+  std::uint64_t max_total_boxes = 0;
+
+  bool enabled() const { return deadline_ns != 0 || max_total_boxes != 0; }
+};
+
+/// Shared accounting for one campaign. add_boxes() may be called from any
+/// worker; exceeded() is meant for the driver thread at chunk boundaries.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const Budget& budget,
+                         obs::ClockFn clock = &obs::steady_now_ns)
+      : budget_(budget), clock_(clock),
+        start_ns_(budget.deadline_ns != 0 ? clock() : 0) {}
+
+  void add_boxes(std::uint64_t n) {
+    if (budget_.max_total_boxes != 0)
+      boxes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t boxes() const {
+    return boxes_.load(std::memory_order_relaxed);
+  }
+
+  bool exceeded() const {
+    if (budget_.max_total_boxes != 0 && boxes() >= budget_.max_total_boxes)
+      return true;
+    if (budget_.deadline_ns != 0 &&
+        clock_() - start_ns_ >= budget_.deadline_ns)
+      return true;
+    return false;
+  }
+
+ private:
+  Budget budget_;
+  obs::ClockFn clock_;
+  std::uint64_t start_ns_;
+  std::atomic<std::uint64_t> boxes_{0};
+};
+
+}  // namespace cadapt::robust

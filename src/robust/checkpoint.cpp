@@ -1,0 +1,200 @@
+#include "robust/checkpoint.hpp"
+
+#include <filesystem>
+#include <istream>
+
+#include "obs/event.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::robust {
+
+namespace {
+
+obs::Event header_event(const CheckpointHeader& header) {
+  obs::Event event("mc_checkpoint");
+  event.u64("version", header.version)
+      .u64("trials", header.trials)
+      .u64("seed", header.seed)
+      .str("config", header.config);
+  return event;
+}
+
+obs::Event record_event(const TrialRecord& record) {
+  if (record.failed) {
+    obs::Event event("trial_error");
+    event.u64("trial", record.trial)
+        .u64("seed", record.seed)
+        .u64("attempts", record.attempts)
+        .str("category", error_category_name(record.category))
+        .str("what", record.what);
+    return event;
+  }
+  obs::Event event("trial_result");
+  event.u64("trial", record.trial)
+      .u64("seed", record.seed)
+      .u64("attempts", record.attempts)
+      .flag("completed", record.completed)
+      .u64("boxes", record.boxes)
+      .f64("ratio", record.ratio)
+      .f64("unit_ratio", record.unit_ratio);
+  if (record.duration_ns != 0) event.u64("duration_ns", record.duration_ns);
+  return event;
+}
+
+TrialRecord record_from(const obs::Event& event, std::size_t line_no) {
+  TrialRecord record;
+  record.trial = event.u64_or("trial", 0);
+  record.seed = event.u64_or("seed", 0);
+  record.attempts = static_cast<std::uint32_t>(event.u64_or("attempts", 1));
+  if (event.type == "trial_error") {
+    record.failed = true;
+    const std::string name = event.str_or("category", "");
+    const auto category = parse_error_category(name);
+    if (!category) {
+      throw util::ParseError(
+          "checkpoint line " + std::to_string(line_no) +
+              ": unknown error category '" + name + "'",
+          line_no);
+    }
+    record.category = *category;
+    record.what = event.str_or("what", "");
+    return record;
+  }
+  record.completed = event.flag_or("completed", false);
+  record.boxes = event.u64_or("boxes", 0);
+  record.ratio = event.f64_or("ratio", 0);
+  record.unit_ratio = event.f64_or("unit_ratio", 0);
+  record.duration_ns = event.u64_or("duration_ns", 0);
+  return record;
+}
+
+}  // namespace
+
+CheckpointData load_checkpoint(std::istream& is) {
+  CheckpointData data;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool pending_torn = false;  // a parse failure that may be a torn tail
+  std::string pending_error;
+  std::size_t pending_line = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (pending_torn) {
+      // The malformed line was not the final one after all.
+      throw util::ParseError(pending_error, pending_line);
+    }
+    obs::Event event;
+    std::string error;
+    if (!obs::parse_jsonl(line, &event, &error)) {
+      pending_torn = true;
+      pending_error =
+          "checkpoint line " + std::to_string(line_no) + ": " + error;
+      pending_line = line_no;
+      continue;
+    }
+    if (event.type == "mc_checkpoint") {
+      if (saw_header) {
+        throw util::ParseError("checkpoint line " + std::to_string(line_no) +
+                                   ": duplicate header",
+                               line_no);
+      }
+      saw_header = true;
+      data.header.version = event.u64_or("version", 0);
+      data.header.trials = event.u64_or("trials", 0);
+      data.header.seed = event.u64_or("seed", 0);
+      data.header.config = event.str_or("config", "");
+      if (data.header.version != 1) {
+        throw util::ParseError(
+            "unsupported checkpoint version " +
+                std::to_string(data.header.version),
+            line_no);
+      }
+      continue;
+    }
+    if (event.type == "trial_result" || event.type == "trial_error") {
+      if (!saw_header) {
+        throw util::ParseError("checkpoint line " + std::to_string(line_no) +
+                                   ": record before header",
+                               line_no);
+      }
+      TrialRecord record = record_from(event, line_no);
+      data.records[record.trial] = std::move(record);
+      continue;
+    }
+    throw util::ParseError("checkpoint line " + std::to_string(line_no) +
+                               ": unexpected event type '" + event.type + "'",
+                           line_no);
+  }
+  if (!saw_header) throw util::ParseError("checkpoint has no header line");
+  return data;
+}
+
+CheckpointData load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    throw util::IoError("cannot open checkpoint '" + path + "' for reading");
+  }
+  return load_checkpoint(is);
+}
+
+namespace {
+
+/// Drop a torn final line (the wound of a kill landing mid-write) before
+/// appending: without this, the first appended record would concatenate
+/// onto the torn tail and corrupt the file for every later load. The
+/// loader tolerates the torn line; the writer must not entomb it.
+void truncate_torn_tail(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return;  // missing file: append mode will create it
+  is.seekg(0, std::ios::end);
+  const std::streamoff size = is.tellg();
+  if (size <= 0) return;
+  is.seekg(size - 1);
+  if (is.get() == '\n') return;  // clean tail, nothing to repair
+  // Scan backwards for the last complete line.
+  std::streamoff keep = 0;
+  for (std::streamoff pos = size - 1; pos > 0; --pos) {
+    is.seekg(pos - 1);
+    if (is.get() == '\n') {
+      keep = pos;
+      break;
+    }
+  }
+  is.close();
+  std::filesystem::resize_file(path, static_cast<std::uintmax_t>(keep));
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CheckpointHeader& header, bool append)
+    : path_(path) {
+  if (append) truncate_torn_tail(path);
+  os_.open(path, append ? (std::ios::out | std::ios::app)
+                        : (std::ios::out | std::ios::trunc));
+  if (!os_.good()) {
+    throw util::IoError("cannot open checkpoint '" + path + "' for writing");
+  }
+  if (!append || os_.tellp() == std::ofstream::pos_type(0)) {
+    os_ << obs::to_jsonl(header_event(header)) << '\n';
+    os_.flush();
+  }
+  if (!os_.good()) {
+    throw util::IoError("write to checkpoint '" + path + "' failed");
+  }
+}
+
+void CheckpointWriter::append(const std::vector<TrialRecord>& chunk) {
+  for (const TrialRecord& record : chunk) {
+    os_ << obs::to_jsonl(record_event(record)) << '\n';
+    ++records_written_;
+  }
+  os_.flush();
+  if (!os_.good()) {
+    throw util::IoError("write to checkpoint '" + path_ + "' failed");
+  }
+}
+
+}  // namespace cadapt::robust

@@ -1,0 +1,105 @@
+// Checkpoint/resume for Monte-Carlo campaigns.
+//
+// Format: JSONL, reusing the observability layer's event encoding
+// (obs/event.hpp) so checkpoints are greppable, diffable, and parseable by
+// the same tooling as traces:
+//
+//   {"type":"mc_checkpoint","version":1,"trials":N,"seed":S,"config":"..."}
+//   {"type":"trial_result","trial":0,"seed":...,"attempts":1,
+//    "completed":true,"boxes":...,"ratio":...,"unit_ratio":...}
+//   {"type":"trial_error","trial":7,"seed":...,"attempts":2,
+//    "category":"injected","what":"..."}
+//
+// Records are appended per chunk and flushed, so a killed campaign loses
+// at most the in-flight chunk. The loader tolerates a torn final line
+// (the kill may land mid-write); every earlier line must parse. Because
+// each trial's outcome is a pure function of (campaign seed, trial index),
+// resuming from a checkpoint and re-running the missing trials yields a
+// summary bit-identical to an uninterrupted run — doubles round-trip
+// exactly through the shortest-round-trip encoding (obs/event.cpp).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "robust/error.hpp"
+
+namespace cadapt::robust {
+
+/// Identity of a campaign; a resume refuses to mix checkpoints across
+/// campaigns with different identities.
+struct CheckpointHeader {
+  std::uint64_t version = 1;
+  std::uint64_t trials = 0;  ///< trials requested (not yet run)
+  std::uint64_t seed = 0;    ///< campaign base seed
+  /// Free-form fingerprint of everything else that shapes a trial
+  /// (params, n, distribution, semantics, fault spec...). Exact string
+  /// equality is required on resume.
+  std::string config;
+
+  bool operator==(const CheckpointHeader&) const = default;
+};
+
+/// Outcome of one finished trial, as persisted. Exactly one of
+/// {failed, completed, !completed} interpretations applies:
+///   failed           — contained TrialError (category/what are set)
+///   !failed &&  completed — normal trial, ratio/unit_ratio meaningful
+///   !failed && !completed — trial hit the per-trial box cap
+struct TrialRecord {
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;      ///< derived seed of the decisive attempt
+  std::uint32_t attempts = 1;  ///< attempts burned (retries + 1)
+  bool failed = false;
+  bool completed = false;
+  std::uint64_t boxes = 0;
+  double ratio = 0;
+  double unit_ratio = 0;
+  std::uint64_t duration_ns = 0;
+  // Set only when failed:
+  ErrorCategory category = ErrorCategory::kOther;
+  std::string what;
+
+  bool operator==(const TrialRecord&) const = default;
+};
+
+/// A loaded checkpoint: header plus records keyed by trial index
+/// (duplicates keep the last occurrence, so a re-appended trial wins).
+struct CheckpointData {
+  CheckpointHeader header;
+  std::map<std::uint64_t, TrialRecord> records;
+};
+
+/// Parse a checkpoint stream. Throws util::ParseError (line-numbered) on
+/// malformed content, except that a torn *final* line is silently dropped
+/// — that is the expected wound of a killed campaign.
+CheckpointData load_checkpoint(std::istream& is);
+/// File variant; throws util::IoError if the file cannot be opened.
+CheckpointData load_checkpoint_file(const std::string& path);
+
+/// Append-only checkpoint writer. Writes the header when starting fresh;
+/// in append mode the existing file's header must match (checked by the
+/// caller via load_checkpoint). Each append() flushes, bounding loss to
+/// the current chunk.
+class CheckpointWriter {
+ public:
+  /// append == false truncates; append == true continues an existing file
+  /// (or creates it, header included, if missing/empty), first truncating
+  /// any torn final line a kill may have left so appended records start
+  /// on a fresh line.
+  CheckpointWriter(const std::string& path, const CheckpointHeader& header,
+                   bool append);
+
+  void append(const std::vector<TrialRecord>& chunk);
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace cadapt::robust

@@ -1,0 +1,49 @@
+#include "robust/error.hpp"
+
+#include <array>
+#include <new>
+
+#include "robust/fault.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::robust {
+
+namespace {
+
+constexpr std::array<const char*, 7> kCategoryNames = {
+    "injected", "parse", "io", "usage", "check", "resource", "other"};
+
+}  // namespace
+
+const char* error_category_name(ErrorCategory category) {
+  const auto idx = static_cast<std::size_t>(category);
+  CADAPT_CHECK(idx < kCategoryNames.size());
+  return kCategoryNames[idx];
+}
+
+std::optional<ErrorCategory> parse_error_category(std::string_view name) {
+  for (std::size_t i = 0; i < kCategoryNames.size(); ++i) {
+    if (name == kCategoryNames[i]) return static_cast<ErrorCategory>(i);
+  }
+  return std::nullopt;
+}
+
+ErrorCategory categorize(const std::exception& error) {
+  // Most-derived types first: ParseError/IoError/UsageError all derive
+  // from CheckError, which must therefore be tested last of the four.
+  if (dynamic_cast<const InjectedFault*>(&error) != nullptr)
+    return ErrorCategory::kInjected;
+  if (dynamic_cast<const util::ParseError*>(&error) != nullptr)
+    return ErrorCategory::kParse;
+  if (dynamic_cast<const util::IoError*>(&error) != nullptr)
+    return ErrorCategory::kIo;
+  if (dynamic_cast<const util::UsageError*>(&error) != nullptr)
+    return ErrorCategory::kUsage;
+  if (dynamic_cast<const util::CheckError*>(&error) != nullptr)
+    return ErrorCategory::kCheck;
+  if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr)
+    return ErrorCategory::kResource;
+  return ErrorCategory::kOther;
+}
+
+}  // namespace cadapt::robust

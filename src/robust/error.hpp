@@ -1,0 +1,53 @@
+// Error taxonomy of the robustness layer (docs/ROBUSTNESS.md).
+//
+// A contained trial failure is reported as a structured TrialError — which
+// trial, which derived seed, how many attempts were burned, and a coarse
+// category — rather than a bare what() string, so a million-trial campaign
+// can say "3 injected faults, 1 parse error" instead of dying on the first.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cadapt::robust {
+
+/// Coarse classification of a caught exception. Order is part of the
+/// checkpoint format (categories are stored by name, not value, but keep
+/// it stable anyway).
+enum class ErrorCategory : std::uint8_t {
+  kInjected = 0,  ///< robust::InjectedFault (deliberate, from a FaultPlan)
+  kParse = 1,     ///< util::ParseError (malformed user input)
+  kIo = 2,        ///< util::IoError (file open/read/write failure)
+  kUsage = 3,     ///< util::UsageError (CLI misuse)
+  kCheck = 4,     ///< util::CheckError (internal invariant violation)
+  kResource = 5,  ///< std::bad_alloc and friends
+  kOther = 6,     ///< any other std::exception
+};
+
+/// Stable lowercase name ("injected", "parse", ...), used in trace events
+/// and checkpoint records.
+const char* error_category_name(ErrorCategory category);
+/// Inverse of error_category_name; nullopt for unknown names.
+std::optional<ErrorCategory> parse_error_category(std::string_view name);
+
+/// Classify a caught exception by its dynamic type.
+ErrorCategory categorize(const std::exception& error);
+
+/// One contained trial failure. `seed` is the derived seed of the *last*
+/// attempt, so the failure reproduces standalone; `attempts` counts every
+/// attempt burned on the trial (== McOptions::max_attempts when it ends
+/// up here).
+struct TrialError {
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t attempts = 1;
+  ErrorCategory category = ErrorCategory::kOther;
+  std::string what;
+
+  bool operator==(const TrialError&) const = default;
+};
+
+}  // namespace cadapt::robust

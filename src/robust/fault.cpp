@@ -1,0 +1,136 @@
+#include "robust/fault.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::robust {
+
+namespace {
+
+constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
+    "trial_body", "box_draw", "sink_write", "paging_step"};
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  const auto idx = static_cast<std::size_t>(site);
+  CADAPT_CHECK(idx < kNumFaultSites);
+  return kSiteNames[idx];
+}
+
+std::optional<FaultSite> parse_fault_site(std::string_view name) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string fault_message(FaultSite site, std::uint64_t trial,
+                          std::uint32_t attempt, std::uint64_t occurrence) {
+  std::ostringstream os;
+  os << "injected fault at " << fault_site_name(site) << " (trial " << trial
+     << ", attempt " << attempt << ", occurrence " << occurrence << ")";
+  return os.str();
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(FaultSite site, std::uint64_t trial,
+                             std::uint32_t attempt, std::uint64_t occurrence)
+    : std::runtime_error(fault_message(site, trial, attempt, occurrence)),
+      site_(site), trial_(trial), attempt_(attempt), occurrence_(occurrence) {}
+
+FaultPlan& FaultPlan::set_rate(FaultSite site, double rate) {
+  CADAPT_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                   "fault rate must be in [0, 1], got " << rate);
+  rates_[static_cast<std::size_t>(site)] = rate;
+  return *this;
+}
+
+bool FaultPlan::armed() const {
+  for (const double r : rates_) {
+    if (r > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_fail(FaultSite site, std::uint64_t trial,
+                            std::uint32_t attempt,
+                            std::uint64_t occurrence) const {
+  const double rate = rates_[static_cast<std::size_t>(site)];
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Pure hash of the visit's coordinates: no state, no ordering, so the
+  // decision is identical whatever thread or chunk runs the trial.
+  std::uint64_t h = util::hash_combine(seed_, static_cast<std::uint64_t>(site));
+  h = util::hash_combine(h, trial);
+  h = util::hash_combine(h, attempt);
+  h = util::hash_combine(h, occurrence);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
+
+FaultPlan FaultPlan::parse_spec(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan(seed);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw util::ParseError("fault spec entry '" + std::string(entry) +
+                             "' is not site=rate");
+    }
+    const auto site = parse_fault_site(entry.substr(0, eq));
+    if (!site) {
+      throw util::ParseError("unknown fault site '" +
+                             std::string(entry.substr(0, eq)) + "'");
+    }
+    const std::string rate_str(entry.substr(eq + 1));
+    char* end = nullptr;
+    const double rate = std::strtod(rate_str.c_str(), &end);
+    if (rate_str.empty() || end != rate_str.c_str() + rate_str.size() ||
+        rate < 0.0 || rate > 1.0) {
+      throw util::ParseError("fault rate '" + rate_str +
+                             "' is not a number in [0, 1]");
+    }
+    plan.set_rate(*site, rate);
+  }
+  return plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (rates_[i] <= 0.0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << kSiteNames[i] << '=' << rates_[i];
+  }
+  return os.str();
+}
+
+void FaultInjector::step(FaultSite site) {
+  const std::uint64_t occurrence = counts_[static_cast<std::size_t>(site)]++;
+  if (plan_ != nullptr &&
+      plan_->should_fail(site, trial_, attempt_, occurrence)) {
+    throw InjectedFault(site, trial_, attempt_, occurrence);
+  }
+}
+
+std::function<void(std::uint64_t, std::uint64_t)> paging_fault_hook(
+    FaultInjector& injector) {
+  return [&injector](std::uint64_t, std::uint64_t) {
+    injector.step(FaultSite::kPagingStep);
+  };
+}
+
+}  // namespace cadapt::robust

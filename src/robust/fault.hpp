@@ -1,0 +1,170 @@
+// Seeded, deterministic fault injection for the execution engine.
+//
+// Long Monte-Carlo campaigns fail in ways that are hard to reproduce:
+// a bad profile line in trial 999,983, an allocation failure in a sink,
+// a scheduler-dependent crash in the thread pool. The fault injector
+// makes every such degradation path *rehearsable*: a FaultPlan names the
+// sites where the engine may fail (the fault-site registry below) and
+// decides failure purely from (plan seed, site, trial, attempt,
+// occurrence), so an injected campaign behaves identically across thread
+// pool sizes and across reruns — tests exercise containment instead of
+// believing in it (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "obs/sink.hpp"
+#include "profile/box_source.hpp"
+
+namespace cadapt::robust {
+
+/// The fault-site registry: every place the robustness layer knows how to
+/// fail on purpose. Adding a site means adding an injection test proving
+/// containment (tests/test_robust_mc.cpp holds the registry to that).
+enum class FaultSite : std::uint8_t {
+  kTrialBody = 0,   ///< entry of a Monte-Carlo trial body
+  kBoxDraw = 1,     ///< profile::BoxSource::next() (via FaultyBoxSource)
+  kSinkWrite = 2,   ///< obs::TraceSink::write() (via FaultySink)
+  kPagingStep = 3,  ///< paging::CaMachine box boundary (via box hook)
+};
+
+inline constexpr std::size_t kNumFaultSites = 4;
+
+/// Stable lowercase name used in specs, traces, and checkpoints.
+const char* fault_site_name(FaultSite site);
+/// Inverse of fault_site_name; nullopt for unknown names.
+std::optional<FaultSite> parse_fault_site(std::string_view name);
+
+/// The exception every injected failure throws. Derives from
+/// std::runtime_error (not util::CheckError): an injected fault models an
+/// *environmental* failure, and containment must not depend on the error
+/// being one of ours.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultSite site, std::uint64_t trial, std::uint32_t attempt,
+                std::uint64_t occurrence);
+
+  FaultSite site() const { return site_; }
+  std::uint64_t trial() const { return trial_; }
+  std::uint32_t attempt() const { return attempt_; }
+  std::uint64_t occurrence() const { return occurrence_; }
+
+ private:
+  FaultSite site_;
+  std::uint64_t trial_;
+  std::uint32_t attempt_;
+  std::uint64_t occurrence_;
+};
+
+/// Immutable description of which sites fail and how often.
+///
+/// A rate of 1.0 fails every visit to the site; a rate in (0, 1) fails a
+/// pseudo-random subset chosen by hashing (seed, site, trial, attempt,
+/// occurrence) — a pure function, so the same plan injects the same
+/// faults no matter how trials are scheduled.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  FaultPlan& set_rate(FaultSite site, double rate);
+  double rate(FaultSite site) const {
+    return rates_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t seed() const { return seed_; }
+  /// True if any site has a nonzero rate.
+  bool armed() const;
+
+  /// Deterministic failure decision for one visit of one site.
+  bool should_fail(FaultSite site, std::uint64_t trial, std::uint32_t attempt,
+                   std::uint64_t occurrence) const;
+
+  /// Parse "site=rate[,site=rate...]" (e.g. "box_draw=0.01,sink_write=1").
+  /// Throws util::ParseError on unknown sites or rates outside [0, 1].
+  static FaultPlan parse_spec(std::string_view spec, std::uint64_t seed);
+  /// Canonical spec string ("" when unarmed); parse_spec round-trips it.
+  std::string spec() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::array<double, kNumFaultSites> rates_{};
+};
+
+/// Per-(trial, attempt) injection state: counts visits per site so that
+/// rates < 1 hit a deterministic subset of occurrences. One injector per
+/// trial attempt; never shared across threads.
+class FaultInjector {
+ public:
+  /// plan may be null (never fails) so callers can pass it through
+  /// unconditionally.
+  FaultInjector(const FaultPlan* plan, std::uint64_t trial,
+                std::uint32_t attempt)
+      : plan_(plan), trial_(trial), attempt_(attempt) {}
+
+  /// Record one visit to `site`; throws InjectedFault when the plan says
+  /// this visit fails.
+  void step(FaultSite site);
+
+  std::uint64_t occurrences(FaultSite site) const {
+    return counts_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t trial() const { return trial_; }
+  std::uint32_t attempt() const { return attempt_; }
+  const FaultPlan* plan() const { return plan_; }
+
+ private:
+  const FaultPlan* plan_;
+  std::uint64_t trial_;
+  std::uint32_t attempt_;
+  std::array<std::uint64_t, kNumFaultSites> counts_{};
+};
+
+/// BoxSource adapter visiting FaultSite::kBoxDraw on every next().
+/// The injector must outlive the source.
+class FaultyBoxSource final : public profile::BoxSource {
+ public:
+  FaultyBoxSource(std::unique_ptr<profile::BoxSource> inner,
+                  FaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  std::optional<profile::BoxSize> next() override {
+    injector_->step(FaultSite::kBoxDraw);
+    return inner_->next();
+  }
+
+ private:
+  std::unique_ptr<profile::BoxSource> inner_;
+  FaultInjector* injector_;
+};
+
+/// TraceSink adapter visiting FaultSite::kSinkWrite before each write.
+/// Both the inner sink and the injector must outlive the adapter.
+class FaultySink final : public obs::TraceSink {
+ public:
+  FaultySink(obs::TraceSink* inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  void write(const obs::Event& event) override {
+    injector_->step(FaultSite::kSinkWrite);
+    inner_->write(event);
+  }
+
+ private:
+  obs::TraceSink* inner_;
+  FaultInjector* injector_;
+};
+
+/// Adapter for paging::CaMachine::set_box_hook: visits
+/// FaultSite::kPagingStep at every box boundary the machine crosses.
+/// (Plain std::function signature so paging does not depend on robust.)
+std::function<void(std::uint64_t, std::uint64_t)> paging_fault_hook(
+    FaultInjector& injector);
+
+}  // namespace cadapt::robust

@@ -20,7 +20,7 @@ void ArgParser::parse(const std::vector<std::string>& tokens) {
     const std::string& tok = tokens[i];
     if (tok.rfind("--", 0) == 0) {
       const std::string name = tok.substr(2);
-      CADAPT_CHECK_MSG(!name.empty(), "empty flag name");
+      if (name.empty()) throw UsageError("empty flag name");
       if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
         flags_[name] = tokens[i + 1];
         ++i;
@@ -53,9 +53,10 @@ std::uint64_t ArgParser::get_u64(const std::string& flag,
   std::uint64_t value = 0;
   const auto [ptr, ec] = std::from_chars(
       it->second.data(), it->second.data() + it->second.size(), value);
-  CADAPT_CHECK_MSG(ec == std::errc{} && ptr == it->second.data() + it->second.size(),
-                   "--" << flag << " expects an unsigned integer, got '"
-                        << it->second << "'");
+  if (ec != std::errc{} || ptr != it->second.data() + it->second.size()) {
+    throw UsageError("--" + flag + " expects an unsigned integer, got '" +
+                     it->second + "'");
+  }
   return value;
 }
 
@@ -65,9 +66,10 @@ double ArgParser::get_double(const std::string& flag, double fallback) const {
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
   const double value = std::strtod(it->second.c_str(), &end);
-  CADAPT_CHECK_MSG(end == it->second.c_str() + it->second.size(),
-                   "--" << flag << " expects a number, got '" << it->second
-                        << "'");
+  if (end != it->second.c_str() + it->second.size() || it->second.empty()) {
+    throw UsageError("--" + flag + " expects a number, got '" + it->second +
+                     "'");
+  }
   return value;
 }
 

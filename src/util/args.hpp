@@ -3,6 +3,9 @@
 // Grammar: [subcommand] (--flag value | --flag)*. A token starting with
 // "--" is a flag; if the following token exists and does not start with
 // "--", it is that flag's value, otherwise the flag is boolean.
+//
+// Malformed flag values throw util::UsageError (check.hpp), which the CLI
+// maps to exit code 2 — see docs/ROBUSTNESS.md for the error taxonomy.
 #pragma once
 
 #include <cstdint>

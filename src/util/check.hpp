@@ -18,6 +18,37 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Malformed user-supplied *content* (a profile file, a checkpoint, a
+/// fault spec): carries the 1-based line number when one is known.
+/// Distinct from CheckError so callers can tell "your input is bad"
+/// (recoverable, exit code 3 in the CLI) from "an internal invariant
+/// broke" (exit code 4) — docs/ROBUSTNESS.md has the full taxonomy.
+class ParseError : public CheckError {
+ public:
+  explicit ParseError(const std::string& what, std::size_t line = 0)
+      : CheckError(what), line_(line) {}
+  /// 1-based line of the offending input, or 0 if not line-addressable.
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Failure talking to the outside world (open/read/write on a file).
+/// Same CLI disposition as ParseError: the input, not the library, is at
+/// fault.
+class IoError : public CheckError {
+ public:
+  explicit IoError(const std::string& what) : CheckError(what) {}
+};
+
+/// Misuse of a command-line interface (unknown flag value, missing
+/// required flag, unknown subcommand). CLI exit code 2.
+class UsageError : public CheckError {
+ public:
+  explicit UsageError(const std::string& what) : CheckError(what) {}
+};
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
   std::ostringstream os;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -40,6 +41,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  if (first_task_error_) {
+    std::exception_ptr error = std::exchange(first_task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -53,9 +59,17 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // An escaped exception must not unwind a worker thread (that is
+      // std::terminate); park it for the next wait_idle() instead.
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !first_task_error_) first_task_error_ = error;
       --active_;
       if (tasks_.empty() && active_ == 0) idle_.notify_all();
     }

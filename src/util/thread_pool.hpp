@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,10 +27,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw; wrap anything that can.
+  /// Enqueue a task. A task that throws does NOT take the process down:
+  /// the first exception is captured and rethrown from the next
+  /// wait_idle(), after all queued tasks have run; later exceptions are
+  /// dropped. (Before PR 2 a throwing task hit std::terminate via the
+  /// worker thread — tests/test_util_misc.cpp documents the new
+  /// contract.) Prefer catching inside the task when you need every
+  /// error; the Monte-Carlo driver does exactly that.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished, then rethrow the
+  /// first exception any of them threw since the last wait_idle().
   void wait_idle();
 
  private:
@@ -42,6 +50,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_task_error_;
 };
 
 /// Run body(i) for i in [0, count) across the pool, blocking until done.

@@ -69,5 +69,75 @@ TEST(ProfileIo, MissingFileThrows) {
                util::CheckError);
 }
 
+TEST(ProfileIo, ParseErrorsCarryTheLineNumber) {
+  std::istringstream is("# comment\n4\n\nbanana\n");
+  try {
+    load_profile(is);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);  // 1-based, comments and blanks counted
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
+TEST(ProfileIo, RejectsNegativeSizes) {
+  std::istringstream is("4\n-3\n");
+  try {
+    load_profile(is);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("positive"), std::string::npos);
+  }
+}
+
+TEST(ProfileIo, RejectsOverflowExplicitly) {
+  // 2^64 overflows BoxSize; the error must say so rather than wrap or
+  // report a generic parse failure.
+  std::istringstream is("99999999999999999999999\n");
+  try {
+    load_profile(is);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+  }
+}
+
+TEST(ProfileIo, RejectsTrailingGarbageAndFloats) {
+  for (const char* bad : {"4x\n", "4.5\n", "0x10\n", "+4\n"}) {
+    std::istringstream is(bad);
+    EXPECT_THROW(load_profile(is), util::ParseError) << bad;
+  }
+}
+
+TEST(ProfileIo, EnforcesTheBoxCap) {
+  std::istringstream is("1\n2\n4\n8\n");
+  ParseLimits limits;
+  limits.max_boxes = 3;
+  try {
+    load_profile(is, limits);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);  // the first box past the cap
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos);
+  }
+  // At the cap is fine.
+  std::istringstream ok("1\n2\n4\n");
+  EXPECT_EQ(load_profile(ok, limits), (std::vector<BoxSize>{1, 2, 4}));
+}
+
+TEST(ProfileIo, FileFailuresAreIoErrorsNotParseErrors) {
+  try {
+    load_profile_file("/nonexistent/dir/profile.txt");
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  } catch (const util::ParseError&) {
+    FAIL() << "file-level failure must not be a ParseError";
+  }
+}
+
 }  // namespace
 }  // namespace cadapt::profile

@@ -1,0 +1,314 @@
+// Checkpoint/resume: the JSONL round trip (including doubles, escapes,
+// and failed-trial records), kill-tolerance of the loader, and the
+// headline guarantee — a campaign killed mid-run and resumed produces a
+// summary bit-identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/montecarlo.hpp"
+#include "obs/event.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
+#include "profile/distributions.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/error.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cadapt::robust {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+CheckpointHeader sample_header() {
+  CheckpointHeader header;
+  header.trials = 16;
+  header.seed = 0xDEADBEEF;
+  header.config = "iid n=64 dist=\"uniform\"\nwith newline";
+  return header;
+}
+
+std::vector<TrialRecord> sample_records() {
+  TrialRecord ok;
+  ok.trial = 0;
+  ok.seed = 12345;
+  ok.completed = true;
+  ok.boxes = 77;
+  ok.ratio = 1.0 / 3.0;  // exercises shortest-round-trip double encoding
+  ok.unit_ratio = 0.1;
+
+  TrialRecord capped;
+  capped.trial = 1;
+  capped.seed = 999;
+  capped.completed = false;
+  capped.boxes = 5;
+
+  TrialRecord failed;
+  failed.trial = 2;
+  failed.seed = 31337;
+  failed.attempts = 3;
+  failed.failed = true;
+  failed.category = ErrorCategory::kInjected;
+  failed.what = "injected fault at box_draw (\"quoted\", line\nbreak)";
+  return {ok, capped, failed};
+}
+
+TEST(Checkpoint, WriteLoadRoundTrip) {
+  const std::string path = temp_path("ckpt_roundtrip.jsonl");
+  const CheckpointHeader header = sample_header();
+  const std::vector<TrialRecord> records = sample_records();
+  {
+    CheckpointWriter writer(path, header, /*append=*/false);
+    writer.append(records);
+    EXPECT_EQ(writer.records_written(), records.size());
+  }
+  const CheckpointData data = load_checkpoint_file(path);
+  EXPECT_EQ(data.header, header);
+  ASSERT_EQ(data.records.size(), records.size());
+  for (const TrialRecord& expected : records) {
+    const auto it = data.records.find(expected.trial);
+    ASSERT_NE(it, data.records.end()) << expected.trial;
+    EXPECT_EQ(it->second, expected) << "trial " << expected.trial;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AppendContinuesAndDuplicatesKeepLast) {
+  const std::string path = temp_path("ckpt_append.jsonl");
+  const CheckpointHeader header = sample_header();
+  {
+    CheckpointWriter writer(path, header, /*append=*/false);
+    writer.append(sample_records());
+  }
+  TrialRecord redo = sample_records()[2];
+  redo.failed = false;
+  redo.completed = true;
+  redo.boxes = 42;
+  // Not persisted for non-failed records; reset so the loaded record can
+  // compare equal.
+  redo.category = ErrorCategory::kOther;
+  redo.what.clear();
+  {
+    // Append mode on an existing non-empty file must not re-write the
+    // header.
+    CheckpointWriter writer(path, header, /*append=*/true);
+    writer.append({redo});
+  }
+  const CheckpointData data = load_checkpoint_file(path);
+  ASSERT_EQ(data.records.size(), 3u);
+  EXPECT_EQ(data.records.at(2), redo);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornFinalLineIsDropped) {
+  const std::string path = temp_path("ckpt_torn.jsonl");
+  {
+    CheckpointWriter writer(path, sample_header(), /*append=*/false);
+    writer.append(sample_records());
+  }
+  {
+    // Simulate a kill landing mid-write of trial 3's record.
+    std::ofstream os(path, std::ios::app);
+    os << "{\"type\":\"trial_result\",\"trial\":3,\"se";
+  }
+  const CheckpointData data = load_checkpoint_file(path);
+  EXPECT_EQ(data.records.size(), 3u);
+  EXPECT_EQ(data.records.count(3), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornMiddleLineIsAnError) {
+  std::istringstream is(
+      "{\"type\":\"mc_checkpoint\",\"version\":1,\"trials\":4,\"seed\":1,"
+      "\"config\":\"\"}\n"
+      "{\"type\":\"trial_res\n"
+      "{\"type\":\"trial_result\",\"trial\":0,\"seed\":1,\"attempts\":1,"
+      "\"completed\":true,\"boxes\":1,\"ratio\":1,\"unit_ratio\":1}\n");
+  try {
+    load_checkpoint(is);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Checkpoint, RejectsStructuralDamage) {
+  // No header at all.
+  std::istringstream no_header(
+      "{\"type\":\"trial_result\",\"trial\":0,\"seed\":1,\"attempts\":1,"
+      "\"completed\":true,\"boxes\":1,\"ratio\":1,\"unit_ratio\":1}\n");
+  EXPECT_THROW(load_checkpoint(no_header), util::ParseError);
+
+  // Unsupported version.
+  std::istringstream bad_version(
+      "{\"type\":\"mc_checkpoint\",\"version\":2,\"trials\":1,\"seed\":1,"
+      "\"config\":\"\"}\n");
+  EXPECT_THROW(load_checkpoint(bad_version), util::ParseError);
+
+  // Unknown error category in a record.
+  std::istringstream bad_category(
+      "{\"type\":\"mc_checkpoint\",\"version\":1,\"trials\":1,\"seed\":1,"
+      "\"config\":\"\"}\n"
+      "{\"type\":\"trial_error\",\"trial\":0,\"seed\":1,\"attempts\":1,"
+      "\"category\":\"gremlins\",\"what\":\"x\"}\n");
+  EXPECT_THROW(load_checkpoint(bad_category), util::ParseError);
+
+  // Missing file is an IoError, not a parse error.
+  EXPECT_THROW(load_checkpoint_file(temp_path("ckpt_never_written.jsonl")),
+               util::IoError);
+}
+
+// ---- Resume: the bit-identical guarantee ----
+
+struct McRun {
+  engine::McSummary summary;
+  std::vector<std::string> jsonl;
+};
+
+McRun run_campaign(engine::McOptions options) {
+  const model::RegularParams params{8, 4, 1.0};
+  profile::UniformPowers dist(4, 0, 3);
+  obs::MemorySink sink;
+  obs::McRecorder recorder(&sink, /*record_timing=*/false);
+  options.recorder = &recorder;
+  McRun run;
+  run.summary = engine::run_monte_carlo_iid(params, 64, dist, options);
+  for (const obs::Event& event : sink.events())
+    run.jsonl.push_back(obs::to_jsonl(event));
+  return run;
+}
+
+void expect_bit_identical(const McRun& a, const McRun& b) {
+  ASSERT_EQ(a.summary.ratio_samples.size(), b.summary.ratio_samples.size());
+  for (std::size_t i = 0; i < a.summary.ratio_samples.size(); ++i) {
+    EXPECT_EQ(a.summary.ratio_samples[i], b.summary.ratio_samples[i]) << i;
+    EXPECT_EQ(a.summary.unit_ratio_samples[i], b.summary.unit_ratio_samples[i])
+        << i;
+  }
+  EXPECT_EQ(a.summary.incomplete, b.summary.incomplete);
+  EXPECT_EQ(a.summary.failed, b.summary.failed);
+  EXPECT_EQ(a.summary.truncated, b.summary.truncated);
+  EXPECT_EQ(a.summary.trials_run, b.summary.trials_run);
+  EXPECT_EQ(a.summary.ratio.mean(), b.summary.ratio.mean());
+  EXPECT_EQ(a.summary.ratio.variance(), b.summary.ratio.variance());
+  EXPECT_EQ(a.summary.unit_ratio.mean(), b.summary.unit_ratio.mean());
+  EXPECT_EQ(a.summary.boxes.mean(), b.summary.boxes.mean());
+  ASSERT_EQ(a.jsonl.size(), b.jsonl.size());
+  for (std::size_t i = 0; i < a.jsonl.size(); ++i)
+    EXPECT_EQ(a.jsonl[i], b.jsonl[i]) << "event " << i;
+}
+
+engine::McOptions campaign_options() {
+  engine::McOptions options;
+  options.trials = 32;
+  options.seed = 20260806;
+  options.checkpoint_every = 4;
+  options.config = "resume-test n=64";
+  return options;
+}
+
+TEST(CheckpointResume, InterruptedThenResumedIsBitIdentical) {
+  const std::string path = temp_path("ckpt_resume.jsonl");
+  std::remove(path.c_str());
+
+  // Reference: the uninterrupted campaign (no checkpointing at all).
+  const McRun reference = run_campaign(campaign_options());
+  ASSERT_FALSE(reference.summary.truncated);
+
+  // "Kill" a checkpointed campaign partway via a box budget: it stops at
+  // a chunk boundary with only a prefix persisted.
+  engine::McOptions interrupted = campaign_options();
+  interrupted.checkpoint_path = path;
+  interrupted.budget.max_total_boxes = 1;  // trips after the first chunk
+  const McRun partial = run_campaign(interrupted);
+  ASSERT_TRUE(partial.summary.truncated);
+  ASSERT_LT(partial.summary.trials_run, 32u);
+  ASSERT_GT(partial.summary.trials_run, 0u);
+
+  // Resume with the budget lifted: known trials come from the file, the
+  // rest are re-run, and the merged outcome must be indistinguishable
+  // from never having been interrupted — summary and event stream alike.
+  engine::McOptions resumed = campaign_options();
+  resumed.checkpoint_path = path;
+  resumed.resume = true;
+  const McRun merged = run_campaign(resumed);
+  expect_bit_identical(merged, reference);
+
+  // The checkpoint now covers the whole campaign: resuming again runs
+  // zero new trials and still reproduces the same summary.
+  const McRun replay = run_campaign(resumed);
+  expect_bit_identical(replay, reference);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, SurvivesATornTailAndPoolChanges) {
+  const std::string path = temp_path("ckpt_resume_torn.jsonl");
+  std::remove(path.c_str());
+  const McRun reference = run_campaign(campaign_options());
+
+  engine::McOptions interrupted = campaign_options();
+  interrupted.checkpoint_path = path;
+  interrupted.budget.max_total_boxes = 1;
+  (void)run_campaign(interrupted);
+
+  {
+    // The kill landed mid-write this time.
+    std::ofstream os(path, std::ios::app);
+    os << "{\"type\":\"trial_result\",\"trial\":30,\"boxe";
+  }
+
+  engine::McOptions resumed = campaign_options();
+  resumed.checkpoint_path = path;
+  resumed.resume = true;
+  util::ThreadPool pool(8);  // resume under a different pool size
+  resumed.pool = &pool;
+  const McRun merged = run_campaign(resumed);
+  expect_bit_identical(merged, reference);
+
+  // The writer repaired the torn tail before appending: the file is
+  // fully loadable again (a second kill/resume cycle would work too).
+  const CheckpointData data = load_checkpoint_file(path);
+  EXPECT_EQ(data.records.size(), 32u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, RefusesAForeignCheckpoint) {
+  const std::string path = temp_path("ckpt_foreign.jsonl");
+  std::remove(path.c_str());
+  engine::McOptions first = campaign_options();
+  first.checkpoint_path = path;
+  (void)run_campaign(first);
+
+  engine::McOptions other = campaign_options();
+  other.checkpoint_path = path;
+  other.resume = true;
+  other.seed = 999;  // different campaign identity
+  EXPECT_THROW(run_campaign(other), util::ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MissingFileIsAFreshStart) {
+  const std::string path = temp_path("ckpt_fresh.jsonl");
+  std::remove(path.c_str());
+  engine::McOptions options = campaign_options();
+  options.checkpoint_path = path;
+  options.resume = true;  // nothing to resume from: run everything
+  const McRun run = run_campaign(options);
+  expect_bit_identical(run, run_campaign(campaign_options()));
+
+  // ... and it left a complete checkpoint behind.
+  const CheckpointData data = load_checkpoint_file(path);
+  EXPECT_EQ(data.records.size(), 32u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cadapt::robust

@@ -1,0 +1,212 @@
+// Fault-injection plumbing: the site registry, the deterministic failure
+// decision, and the adapters that route engine structures through an
+// injector. Every registered FaultSite must be exercisable — the
+// containment tests in test_robust_mc.cpp build on that.
+#include "robust/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/sink.hpp"
+#include "paging/ca_machine.hpp"
+#include "profile/box_source.hpp"
+#include "robust/error.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::robust {
+namespace {
+
+TEST(FaultSiteRegistry, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const auto parsed = parse_fault_site(fault_site_name(site));
+    ASSERT_TRUE(parsed.has_value()) << fault_site_name(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_fault_site("made_up_site").has_value());
+  EXPECT_FALSE(parse_fault_site("").has_value());
+}
+
+TEST(FaultPlan, UnarmedNeverFails) {
+  const FaultPlan plan(123);
+  EXPECT_FALSE(plan.armed());
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    EXPECT_FALSE(plan.should_fail(FaultSite::kBoxDraw, trial, 0, trial));
+  }
+}
+
+TEST(FaultPlan, RateOneAlwaysFails) {
+  FaultPlan plan(7);
+  plan.set_rate(FaultSite::kTrialBody, 1.0);
+  EXPECT_TRUE(plan.armed());
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    EXPECT_TRUE(plan.should_fail(FaultSite::kTrialBody, trial, 0, 0));
+    EXPECT_FALSE(plan.should_fail(FaultSite::kBoxDraw, trial, 0, 0));
+  }
+}
+
+TEST(FaultPlan, DecisionIsPureAndSeedSensitive) {
+  FaultPlan a(42), b(42), c(43);
+  for (FaultPlan* plan : {&a, &b, &c}) {
+    plan->set_rate(FaultSite::kBoxDraw, 0.5);
+  }
+  int disagreements = 0, failures = 0;
+  for (std::uint64_t occurrence = 0; occurrence < 1000; ++occurrence) {
+    const bool fa = a.should_fail(FaultSite::kBoxDraw, 3, 0, occurrence);
+    const bool fb = b.should_fail(FaultSite::kBoxDraw, 3, 0, occurrence);
+    EXPECT_EQ(fa, fb);  // pure function: same inputs, same answer
+    if (fa != c.should_fail(FaultSite::kBoxDraw, 3, 0, occurrence))
+      ++disagreements;
+    if (fa) ++failures;
+  }
+  // Rate 0.5 should fail roughly half the visits, and a different seed
+  // should pick a genuinely different subset.
+  EXPECT_GT(failures, 400);
+  EXPECT_LT(failures, 600);
+  EXPECT_GT(disagreements, 100);
+}
+
+TEST(FaultPlan, AttemptIsPartOfTheCoordinates) {
+  // Retry-with-reseed only helps if the retry does not hit the very same
+  // injected fault: a 50% plan must decide attempt 0 and attempt 1
+  // independently.
+  FaultPlan plan(9);
+  plan.set_rate(FaultSite::kTrialBody, 0.5);
+  int differs = 0;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    if (plan.should_fail(FaultSite::kTrialBody, trial, 0, 0) !=
+        plan.should_fail(FaultSite::kTrialBody, trial, 1, 0))
+      ++differs;
+  }
+  EXPECT_GT(differs, 50);
+}
+
+TEST(FaultPlan, SpecRoundTrip) {
+  const FaultPlan plan =
+      FaultPlan::parse_spec("box_draw=0.25,trial_body=1", 77);
+  EXPECT_EQ(plan.seed(), 77u);
+  EXPECT_DOUBLE_EQ(plan.rate(FaultSite::kBoxDraw), 0.25);
+  EXPECT_DOUBLE_EQ(plan.rate(FaultSite::kTrialBody), 1.0);
+  EXPECT_DOUBLE_EQ(plan.rate(FaultSite::kSinkWrite), 0.0);
+
+  const FaultPlan again = FaultPlan::parse_spec(plan.spec(), 77);
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    EXPECT_DOUBLE_EQ(again.rate(site), plan.rate(site)) << i;
+  }
+  EXPECT_FALSE(FaultPlan::parse_spec("", 1).armed());
+}
+
+TEST(FaultPlan, SpecRejectsGarbage) {
+  EXPECT_THROW(FaultPlan::parse_spec("bogus_site=1", 0), util::ParseError);
+  EXPECT_THROW(FaultPlan::parse_spec("box_draw", 0), util::ParseError);
+  EXPECT_THROW(FaultPlan::parse_spec("box_draw=1.5", 0), util::ParseError);
+  EXPECT_THROW(FaultPlan::parse_spec("box_draw=-0.1", 0), util::ParseError);
+  EXPECT_THROW(FaultPlan::parse_spec("box_draw=banana", 0), util::ParseError);
+}
+
+TEST(FaultInjector, ThrowsInjectedFaultWithCoordinates) {
+  FaultPlan plan(5);
+  plan.set_rate(FaultSite::kSinkWrite, 1.0);
+  FaultInjector injector(&plan, /*trial=*/11, /*attempt=*/2);
+  try {
+    injector.step(FaultSite::kSinkWrite);
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.site(), FaultSite::kSinkWrite);
+    EXPECT_EQ(fault.trial(), 11u);
+    EXPECT_EQ(fault.attempt(), 2u);
+    EXPECT_EQ(fault.occurrence(), 0u);
+    EXPECT_EQ(categorize(fault), ErrorCategory::kInjected);
+  }
+  EXPECT_EQ(injector.occurrences(FaultSite::kSinkWrite), 1u);
+}
+
+TEST(FaultInjector, NullPlanIsANoOp) {
+  FaultInjector injector(nullptr, 0, 0);
+  for (int i = 0; i < 10; ++i) injector.step(FaultSite::kBoxDraw);
+  EXPECT_EQ(injector.occurrences(FaultSite::kBoxDraw), 10u);
+}
+
+TEST(FaultyBoxSource, InjectsAtTheConfiguredDraw) {
+  // Fail only occurrence 2 of box_draw: hash rates cannot express "the
+  // third draw", so drive should_fail via rate 1 but a fresh injector
+  // whose counter is pre-advanced by the passthrough draws.
+  FaultPlan plan(1);
+  plan.set_rate(FaultSite::kBoxDraw, 1.0);
+  FaultInjector off(nullptr, 0, 0);
+  FaultyBoxSource quiet(
+      std::make_unique<profile::VectorSource>(
+          std::vector<profile::BoxSize>{4, 4, 4}),
+      &off);
+  EXPECT_EQ(quiet.next(), profile::BoxSize{4});
+  EXPECT_EQ(off.occurrences(FaultSite::kBoxDraw), 1u);
+
+  FaultInjector on(&plan, 0, 0);
+  FaultyBoxSource loud(std::make_unique<profile::VectorSource>(
+                           std::vector<profile::BoxSize>{4, 4, 4}),
+                       &on);
+  EXPECT_THROW(loud.next(), InjectedFault);
+}
+
+TEST(FaultySink, InjectsBeforeTheInnerWrite) {
+  FaultPlan plan(2);
+  plan.set_rate(FaultSite::kSinkWrite, 1.0);
+  FaultInjector injector(&plan, 0, 0);
+  obs::MemorySink inner;
+  FaultySink sink(&inner, &injector);
+  EXPECT_THROW(sink.write(obs::Event("box")), InjectedFault);
+  // The fault fired before the write reached the inner sink: no torn
+  // half-written state behind the failure.
+  EXPECT_TRUE(inner.events().empty());
+}
+
+TEST(PagingFaultHook, InjectsAtBoxBoundaries) {
+  FaultPlan plan(3);
+  plan.set_rate(FaultSite::kPagingStep, 1.0);
+  FaultInjector injector(&plan, 0, 0);
+
+  // Box 0 starts in the constructor, before any hook is installed; the
+  // first hooked visit is the boundary into box 1.
+  paging::CaMachine machine(
+      std::make_unique<profile::VectorSource>(
+          std::vector<profile::BoxSize>{2, 2, 2}, /*cycle=*/true),
+      /*block_size=*/1);
+  machine.set_box_hook(paging_fault_hook(injector));
+
+  // The first box holds 2 misses; the third distinct block crosses into
+  // box 1 and must hit the injector.
+  machine.access(0);
+  machine.access(1);
+  EXPECT_THROW(machine.access(2), InjectedFault);
+  EXPECT_EQ(injector.occurrences(FaultSite::kPagingStep), 1u);
+  // Containment left the machine's tallies consistent: the throwing
+  // boundary did not count the unstarted box.
+  EXPECT_EQ(machine.boxes_started(), 1u);
+  EXPECT_EQ(machine.misses(), 2u);
+}
+
+TEST(ErrorTaxonomy, CategorizesByDynamicType) {
+  EXPECT_EQ(categorize(util::ParseError("p")), ErrorCategory::kParse);
+  EXPECT_EQ(categorize(util::IoError("i")), ErrorCategory::kIo);
+  EXPECT_EQ(categorize(util::UsageError("u")), ErrorCategory::kUsage);
+  EXPECT_EQ(categorize(util::CheckError("c")), ErrorCategory::kCheck);
+  EXPECT_EQ(categorize(std::bad_alloc()), ErrorCategory::kResource);
+  EXPECT_EQ(categorize(std::runtime_error("r")), ErrorCategory::kOther);
+  EXPECT_EQ(categorize(InjectedFault(FaultSite::kBoxDraw, 0, 0, 0)),
+            ErrorCategory::kInjected);
+}
+
+TEST(ErrorTaxonomy, CategoryNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(ErrorCategory::kOther); ++i) {
+    const auto category = static_cast<ErrorCategory>(i);
+    const auto parsed = parse_error_category(error_category_name(category));
+    ASSERT_TRUE(parsed.has_value()) << i;
+    EXPECT_EQ(*parsed, category);
+  }
+  EXPECT_FALSE(parse_error_category("nope").has_value());
+}
+
+}  // namespace
+}  // namespace cadapt::robust

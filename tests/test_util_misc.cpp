@@ -87,5 +87,44 @@ TEST(ThreadPool, WaitIdleOnFreshPool) {
   pool.wait_idle();  // must not hang
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotKillTheProcess) {
+  // The PR 2 contract: a task that throws is contained; the first
+  // exception resurfaces from wait_idle() after all queued tasks ran.
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 20; ++i) pool.submit([&] { ++survivors; });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  EXPECT_EQ(survivors.load(), 20);  // the failure did not starve the queue
+}
+
+TEST(ThreadPool, OnlyTheFirstExceptionIsKeptAndStateResets) {
+  ThreadPool pool(1);  // one worker: submission order is execution order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The error was consumed: the pool is reusable and clean afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionTypeSurvivesThreadHop) {
+  ThreadPool pool(2);
+  pool.submit([] { throw CheckError("typed"); });
+  EXPECT_THROW(pool.wait_idle(), CheckError);
+}
+
 }  // namespace
 }  // namespace cadapt::util

@@ -12,7 +12,12 @@
 //   render      ASCII-render M_{a,b}(n) (Figure 1)
 //   multiplies  §3: executions completed on one pass of M_{a,b}(n)
 //   trace       instrumented run: JSONL event stream + summary tables
+//   mc          robust Monte-Carlo campaign: containment, retries, fault
+//               injection, budgets, checkpoint/resume (docs/ROBUSTNESS.md)
 //   help        this text
+//
+// Exit codes (docs/ROBUSTNESS.md): 0 success, 2 usage error, 3 input
+// error (unreadable/malformed file), 4 internal check failure, 1 other.
 //
 // Common flags: --a --b --c --kmin --kmax --trials --seed
 //               --semantics optimistic|budgeted --unit-progress --csv
@@ -32,6 +37,8 @@
 #include "obs/recorder.hpp"
 #include "obs/sink.hpp"
 #include "profile/profile_io.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
 #include "util/args.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -63,6 +70,18 @@ commands:
               per-trial events), --no-timing (deterministic trace),
               --out F (JSONL to F; without it JSONL goes to stdout and
               the summary to stderr)
+  mc          robust Monte-Carlo campaign over --dist
+              (docs/ROBUSTNESS.md). Flags: --n N, --trials T, --seed S,
+              --retries R (extra reseeded attempts per failing trial),
+              --fault site=rate,... --fault-seed S (sites: trial_body
+              box_draw sink_write paging_step), --deadline-ms D,
+              --box-budget B (explicit truncation, never a biased mean),
+              --checkpoint F [--resume] [--checkpoint-every K],
+              --errors-shown E (default 5)
+
+exit codes:
+  0 success   2 usage error   3 input error (bad/unreadable file)
+  4 internal check failure    1 other
 
 common flags:
   --a N --b N --c X         algorithm shape (default 8 4 1.0)
@@ -90,6 +109,13 @@ model::RegularParams params_from(const util::ArgParser& args) {
   return p;
 }
 
+engine::BoxSemantics semantics_from(const util::ArgParser& args) {
+  const std::string sem = args.get_string("semantics", "optimistic");
+  if (sem == "budgeted") return engine::BoxSemantics::kBudgeted;
+  if (sem == "optimistic") return engine::BoxSemantics::kOptimistic;
+  throw util::UsageError("--semantics must be optimistic or budgeted");
+}
+
 core::SweepOptions sweep_from(const util::ArgParser& args) {
   core::SweepOptions opts;
   opts.kmin = static_cast<unsigned>(args.get_u64("kmin", 2));
@@ -97,12 +123,7 @@ core::SweepOptions sweep_from(const util::ArgParser& args) {
   opts.trials = args.get_u64("trials", 32);
   opts.seed = args.get_u64("seed", 42);
   opts.unit_progress = args.has("unit-progress");
-  const std::string sem = args.get_string("semantics", "optimistic");
-  if (sem == "budgeted") {
-    opts.semantics = engine::BoxSemantics::kBudgeted;
-  } else if (sem != "optimistic") {
-    throw util::CheckError("--semantics must be optimistic or budgeted");
-  }
+  opts.semantics = semantics_from(args);
   return opts;
 }
 
@@ -130,7 +151,7 @@ std::unique_ptr<profile::BoxDistribution> dist_from(
     return std::make_unique<profile::UniformRange>(args.get_u64("lo", 1),
                                                    args.get_u64("hi", 256));
   }
-  throw util::CheckError("unknown --dist '" + kind + "'");
+  throw util::UsageError("unknown --dist '" + kind + "'");
 }
 
 // `trace`: run the engine with the observability layer attached, emit the
@@ -142,19 +163,15 @@ std::unique_ptr<profile::BoxDistribution> dist_from(
 int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
   const std::uint64_t n = args.get_u64(
       "n", util::ipow(p.b, static_cast<unsigned>(args.get_u64("kmax", 6))));
-  CADAPT_CHECK_MSG(util::is_power_of(n, p.b),
-                   "--n must be a power of b; n=" << n);
+  if (!util::is_power_of(n, p.b)) {
+    throw util::UsageError("--n must be a power of b; n=" + std::to_string(n));
+  }
   const std::uint64_t trials = args.get_u64("trials", 1);
   const std::uint64_t seed = args.get_u64("seed", 42);
   const std::string out_path = args.get_string("out", "");
   const std::string profile_kind = args.get_string("profile", "worst");
-  engine::BoxSemantics semantics = engine::BoxSemantics::kOptimistic;
+  const engine::BoxSemantics semantics = semantics_from(args);
   const std::string sem = args.get_string("semantics", "optimistic");
-  if (sem == "budgeted") {
-    semantics = engine::BoxSemantics::kBudgeted;
-  } else if (sem != "optimistic") {
-    throw util::CheckError("--semantics must be optimistic or budgeted");
-  }
   const auto dist = dist_from(args, p);
 
   obs::MemorySink sink;
@@ -170,7 +187,7 @@ int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
     source = std::make_unique<profile::DistributionSource>(*dist,
                                                            util::Rng(seed));
   } else {
-    throw util::CheckError("--profile must be worst or iid");
+    throw util::UsageError("--profile must be worst or iid");
   }
   obs::ExecRecorder exec_rec(&sink);
   const engine::RunResult r =
@@ -236,7 +253,7 @@ int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
   std::ostream* summary_os = &std::cout;
   if (!out_path.empty()) {
     std::ofstream file(out_path);
-    if (!file) throw util::CheckError("cannot open --out " + out_path);
+    if (!file) throw util::IoError("cannot open --out " + out_path);
     for (const auto& line : lines) file << line << '\n';
   } else {
     for (const auto& line : lines) std::cout << line << '\n';
@@ -258,6 +275,79 @@ int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
   }
   *summary_os << lines.size()
               << " events; all lines parse; conservation OK\n";
+  return 0;
+}
+
+// `mc`: a robust Monte-Carlo campaign (docs/ROBUSTNESS.md) — contained
+// per-trial failures, bounded retry-with-reseed, deterministic fault
+// injection, explicit budget truncation, and checkpoint/resume. The
+// summary never hides a degradation: failed/truncated are always printed.
+int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
+  const std::uint64_t n = args.get_u64(
+      "n", util::ipow(p.b, static_cast<unsigned>(args.get_u64("kmax", 6))));
+  if (!util::is_power_of(n, p.b)) {
+    throw util::UsageError("--n must be a power of b; n=" + std::to_string(n));
+  }
+  engine::McOptions opts;
+  opts.trials = args.get_u64("trials", 64);
+  opts.seed = args.get_u64("seed", 42);
+  opts.semantics = semantics_from(args);
+  opts.max_attempts =
+      static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
+  opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
+  opts.budget.max_total_boxes = args.get_u64("box-budget", 0);
+  opts.checkpoint_path = args.get_string("checkpoint", "");
+  opts.checkpoint_every = args.get_u64("checkpoint-every", 256);
+  opts.resume = args.has("resume");
+  if (opts.resume && opts.checkpoint_path.empty()) {
+    throw util::UsageError("--resume requires --checkpoint");
+  }
+
+  robust::FaultPlan plan;
+  const std::string fault_spec = args.get_string("fault", "");
+  if (!fault_spec.empty()) {
+    plan = robust::FaultPlan::parse_spec(
+        fault_spec, args.get_u64("fault-seed", opts.seed ^ 0xFA17ull));
+    opts.faults = &plan;
+  }
+
+  const auto dist = dist_from(args, p);
+  // Campaign fingerprint for the checkpoint header: everything that
+  // shapes a trial besides (trials, seed). A resume with different
+  // parameters must be refused, not silently blended.
+  std::ostringstream cfg;
+  cfg << p.name() << " n=" << n << " dist=" << dist->name()
+      << " sem=" << args.get_string("semantics", "optimistic")
+      << " retries=" << (opts.max_attempts - 1) << " fault=" << plan.spec()
+      << " fault_seed=" << (opts.faults != nullptr ? plan.seed() : 0);
+  opts.config = cfg.str();
+
+  const engine::McSummary s = engine::run_monte_carlo_iid(p, n, *dist, opts);
+
+  std::cout << p.name() << " Monte-Carlo campaign, n = " << n << ", "
+            << dist->name() << ":\n"
+            << "  trials: " << s.trials_run << " of " << s.trials_requested
+            << " (completed " << s.ratio.count() << ", incomplete "
+            << s.incomplete << ", failed " << s.failed << ")\n"
+            << "  truncated: " << (s.truncated ? "YES (budget)" : "no") << "\n";
+  if (s.ratio.count() > 0) {
+    std::cout << "  mean ratio: " << util::format_double(s.ratio.mean(), 4)
+              << " +- " << util::format_double(s.ratio.ci95(), 4)
+              << "  mean boxes: " << util::format_double(s.boxes.mean(), 2)
+              << "\n";
+  }
+  const std::uint64_t shown =
+      std::min<std::uint64_t>(s.errors.size(), args.get_u64("errors-shown", 5));
+  for (std::uint64_t i = 0; i < shown; ++i) {
+    const robust::TrialError& e = s.errors[i];
+    std::cout << "  error: trial " << e.trial << " seed " << e.seed
+              << " attempts " << e.attempts << " ["
+              << robust::error_category_name(e.category) << "] " << e.what
+              << "\n";
+  }
+  if (s.errors.size() > shown) {
+    std::cout << "  ... " << (s.errors.size() - shown) << " more errors\n";
+  }
   return 0;
 }
 
@@ -315,7 +405,7 @@ int run(const util::ArgParser& args) {
   } else if (cmd == "replay") {
     // Run (a,b,c) on a saved profile (one box size per line).
     const std::string path = args.get_string("file", "");
-    if (path.empty()) throw util::CheckError("replay requires --file");
+    if (path.empty()) throw util::UsageError("replay requires --file");
     const auto boxes = profile::load_profile_file(path);
     const std::uint64_t n =
         args.get_u64("n", util::ipow(p.b, static_cast<unsigned>(
@@ -332,7 +422,7 @@ int run(const util::ArgParser& args) {
   } else if (cmd == "save-worst") {
     // Write M_{a,b}(n) to a file for external tools.
     const std::string path = args.get_string("file", "");
-    if (path.empty()) throw util::CheckError("save-worst requires --file");
+    if (path.empty()) throw util::UsageError("save-worst requires --file");
     const std::uint64_t n = args.get_u64("n", 256);
     profile::WorstCaseSource source(p.a, p.b, n);
     const auto boxes = profile::materialize(source);
@@ -351,6 +441,9 @@ int run(const util::ArgParser& args) {
   } else if (cmd == "trace") {
     const int rc = run_trace(args, p);
     if (rc != 0) return rc;
+  } else if (cmd == "mc") {
+    const int rc = run_mc(args, p);
+    if (rc != 0) return rc;
   } else if (cmd == "multiplies") {
     util::Table table({"n", "completed executions", "log_b n + 1"});
     for (unsigned k = static_cast<unsigned>(args.get_u64("kmin", 3));
@@ -366,9 +459,7 @@ int run(const util::ArgParser& args) {
               << "}(n):\n";
     table.print(std::cout);
   } else {
-    std::cerr << "unknown command '" << cmd << "'\n";
-    usage();
-    return 2;
+    throw util::UsageError("unknown command '" + cmd + "'");
   }
 
   for (const auto& flag : args.unknown_flags())
@@ -378,9 +469,27 @@ int run(const util::ArgParser& args) {
 
 }  // namespace
 
+// Exit-code discipline (docs/ROBUSTNESS.md): scripts driving long
+// campaigns must be able to tell "you called me wrong" (2) from "your
+// input file is bad" (3) from "the library's own invariants broke" (4)
+// without parsing stderr. Catch order matters — ParseError, IoError and
+// UsageError all derive from CheckError.
 int main(int argc, char** argv) {
   try {
     return run(util::ArgParser(argc, argv));
+  } catch (const cadapt::util::UsageError& e) {
+    std::cerr << "usage error: " << e.what() << "\n"
+              << "run 'cadapt help' for usage\n";
+    return 2;
+  } catch (const cadapt::util::ParseError& e) {
+    std::cerr << "input error: " << e.what() << "\n";
+    return 3;
+  } catch (const cadapt::util::IoError& e) {
+    std::cerr << "input error: " << e.what() << "\n";
+    return 3;
+  } catch (const cadapt::util::CheckError& e) {
+    std::cerr << "internal check failed: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
