@@ -14,48 +14,6 @@
 // for this restricted randomization — while under the optimistic
 // semantics the resynchronization phenomenon claws it back.
 #include "bench_common.hpp"
-#include "profile/worst_case.hpp"
-
-namespace {
-
-using namespace cadapt;
-
-core::Series randomized_scan_curve(const model::RegularParams& params,
-                                   const core::SweepOptions& options) {
-  core::Series series;
-  series.name = params.name() +
-                " with per-node random scan placement on fixed M_{a,b}";
-  for (unsigned k = options.kmin; k <= options.kmax; ++k) {
-    const std::uint64_t n = util::ipow(params.b, k);
-    const engine::McSummary summary = engine::run_monte_carlo_custom(
-        options.trials, options.seed + k, [&](std::uint64_t trial_seed) {
-          auto factory = [&params, n]() -> std::unique_ptr<profile::BoxSource> {
-            return std::make_unique<profile::WorstCaseSource>(params.a,
-                                                              params.b, n);
-          };
-          profile::CyclingSource source(factory);
-          // trial_seed randomizes the ALGORITHM's scan placement; the
-          // profile is the same deterministic adversary every trial.
-          return engine::run_regular(
-              params, n, source, engine::ScanPlacement::kAdversaryMatched,
-              UINT64_C(1) << 40, trial_seed, options.semantics);
-        });
-    core::RatioPoint p;
-    p.n = n;
-    p.ratio_mean = summary.ratio.mean();
-    p.ratio_ci95 = summary.ratio.ci95();
-    p.ratio_p95 = summary.ratio_samples.empty()
-                      ? 0.0
-                      : util::quantile(summary.ratio_samples, 0.95);
-    p.boxes_mean = summary.boxes.mean();
-    p.trials = summary.ratio.count();
-    p.incomplete = summary.incomplete;
-    series.points.push_back(p);
-  }
-  return series;
-}
-
-}  // namespace
 
 int main() {
   using namespace cadapt;
@@ -85,12 +43,12 @@ int main() {
   {
     core::SweepOptions o = opts;
     o.semantics = engine::BoxSemantics::kBudgeted;
-    core::Series s = randomized_scan_curve(params, o);
+    core::Series s = core::randomized_scan_curve(params, o);
     s.name += " [budgeted]";
     bench::print_series(s, 4);
   }
   {
-    core::Series s = randomized_scan_curve(params, opts);
+    core::Series s = core::randomized_scan_curve(params, opts);
     s.name += " [optimistic]";
     bench::print_series(s, 4);
   }

@@ -1,0 +1,216 @@
+#include "campaign/cell_runner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "algos/adaptive_sort.hpp"
+#include "algos/funnelsort.hpp"
+#include "algos/sim_data.hpp"
+#include "algos/sort.hpp"
+#include "core/workloads.hpp"
+#include "paging/address_space.hpp"
+#include "paging/ca_machine.hpp"
+#include "profile/generators.hpp"
+#include "profile/square_approx.hpp"
+#include "profile/transforms.hpp"
+#include "profile/worst_case.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::campaign {
+
+namespace {
+
+std::shared_ptr<const profile::BoxDistribution> make_distribution(
+    const ProfileSpec& spec, const model::RegularParams& params) {
+  CADAPT_CHECK(spec.kind == ProfileKind::kIid);
+  if (spec.dist == "geometric") {
+    return std::make_shared<profile::GeometricPowers>(
+        params.b, static_cast<double>(params.a), 0,
+        static_cast<unsigned>(spec.uargs.at(0)));
+  }
+  if (spec.dist == "uniform-powers") {
+    return std::make_shared<profile::UniformPowers>(
+        params.b, static_cast<unsigned>(spec.uargs.at(0)),
+        static_cast<unsigned>(spec.uargs.at(1)));
+  }
+  if (spec.dist == "bimodal") {
+    return std::make_shared<profile::Bimodal>(spec.uargs.at(0),
+                                              spec.uargs.at(1), spec.farg);
+  }
+  if (spec.dist == "point") {
+    return std::make_shared<profile::PointMass>(spec.uargs.at(0));
+  }
+  if (spec.dist == "uniform-range") {
+    return std::make_shared<profile::UniformRange>(spec.uargs.at(0),
+                                                   spec.uargs.at(1));
+  }
+  throw util::CheckError("unreachable iid distribution '" + spec.dist + "'");
+}
+
+engine::RobustTrialRunner ratio_runner(const Cell& cell,
+                                       const CellRunOptions& options) {
+  const model::RegularParams& p = cell.algo.params;
+  const std::uint64_t n = cell.n;
+  engine::McOptions mc;  // only the workload-shaping fields matter here
+  mc.semantics = options.semantics;
+  mc.max_boxes = options.max_boxes;
+  mc.faults = options.faults;
+  switch (cell.profile.kind) {
+    case ProfileKind::kWorst:
+      return engine::make_regular_trial_runner(
+          p, n, core::worst_profile_source(p, n), mc);
+    case ProfileKind::kShuffled:
+      return engine::make_regular_trial_runner(
+          p, n, core::shuffled_census_source(p, n), mc);
+    case ProfileKind::kShifted:
+      return engine::make_regular_trial_runner(
+          p, n, core::cyclic_shift_source(p, n), mc);
+    case ProfileKind::kPerturb:
+      return engine::make_regular_trial_runner(
+          p, n,
+          core::size_perturb_source(
+              p, n, profile::uniform_real_perturb(cell.profile.farg)),
+          mc);
+    case ProfileKind::kOrder:
+      return engine::as_robust_runner(
+          core::order_perturb_runner(p, n, /*matched=*/false,
+                                     options.semantics));
+    case ProfileKind::kOrderMatched:
+      return engine::as_robust_runner(
+          core::order_perturb_runner(p, n, /*matched=*/true,
+                                     options.semantics));
+    case ProfileKind::kRandScan:
+      return engine::as_robust_runner(
+          core::randomized_scan_runner(p, n, options.semantics));
+    case ProfileKind::kIid:
+      return engine::make_regular_trial_runner(
+          p, n, core::iid_source(make_distribution(cell.profile, p)), mc);
+    default:
+      throw util::CheckError("profile '" + cell.profile.token +
+                             "' is not a ratio workload");
+  }
+}
+
+/// A fresh box stream for one sort trial. The profile RNG is derived from
+/// the trial seed so random profiles decorrelate across trials while the
+/// whole trial stays a pure function of its seed.
+profile::SourceFactory sort_profile_factory(const ProfileSpec& spec,
+                                            std::uint64_t trial_seed) {
+  switch (spec.kind) {
+    case ProfileKind::kConst: {
+      const std::uint64_t size = spec.uargs.at(0);
+      return [size] {
+        return std::make_unique<profile::VectorSource>(
+            std::vector<profile::BoxSize>(64, size));
+      };
+    }
+    case ProfileKind::kUniform: {
+      auto dist = std::make_shared<profile::UniformRange>(spec.uargs.at(0),
+                                                          spec.uargs.at(1));
+      util::Rng rng(util::hash_combine(trial_seed, 0x50f17eull));
+      return [dist, rng]() mutable {
+        return std::make_unique<profile::DistributionSource>(*dist,
+                                                             rng.split());
+      };
+    }
+    case ProfileKind::kSawtooth: {
+      const auto m = profile::sawtooth_profile(spec.uargs.at(0),
+                                               spec.uargs.at(1));
+      const auto boxes = profile::inner_square_profile(m);
+      return [boxes] {
+        return std::make_unique<profile::VectorSource>(boxes);
+      };
+    }
+    case ProfileKind::kMWorst: {
+      const std::uint64_t a = spec.uargs.at(0), b = spec.uargs.at(1);
+      const std::uint64_t n = spec.uargs.at(2), scale = spec.uargs.at(3);
+      return [a, b, n, scale] {
+        return std::make_unique<profile::WorstCaseSource>(a, b, n, scale);
+      };
+    }
+    default:
+      throw util::CheckError("profile '" + spec.token +
+                             "' is not a sort workload");
+  }
+}
+
+/// One sort trial, shoehorned into the engine's RunResult so the shared
+/// containment path (run_single_trial) and record format serve both
+/// workloads: ratio <- total I/Os (the sort metric), unit_ratio <- I/Os
+/// per key, boxes <- boxes started, completed <- output actually sorted.
+engine::RobustTrialRunner sort_runner(const Cell& cell,
+                                      const CellRunOptions& options) {
+  const ProfileSpec spec = cell.profile;
+  const std::string sort = cell.sort;
+  const std::uint64_t keys = options.keys;
+  const std::uint64_t block = options.block;
+  return [spec, sort, keys, block](std::uint64_t trial_seed,
+                                   robust::FaultInjector&) {
+    paging::CaMachine machine(
+        std::make_unique<profile::CyclingSource>(
+            sort_profile_factory(spec, trial_seed)),
+        block, /*record_boxes=*/false);
+    paging::AddressSpace space(block);
+    algos::SimVector<std::int64_t> data(machine, space,
+                                        static_cast<std::size_t>(keys));
+    util::Rng rng(trial_seed);
+    for (std::size_t i = 0; i < keys; ++i) {
+      data.raw(i) = static_cast<std::int64_t>(rng.below(1u << 24));
+    }
+
+    if (sort == "adaptive") {
+      algos::adaptive_merge_sort(machine, space, data, [&machine] {
+        return machine.current_box_size();
+      });
+    } else if (sort == "funnel") {
+      algos::funnelsort(machine, space, data);
+    } else {
+      CADAPT_CHECK_MSG(sort == "merge2", "unknown sort '" << sort << "'");
+      algos::merge_sort(machine, space, data);
+    }
+
+    bool sorted = true;
+    for (std::size_t i = 1; i < keys; ++i) {
+      if (data.raw(i - 1) > data.raw(i)) sorted = false;
+    }
+    engine::RunResult r;
+    r.completed = sorted;
+    r.boxes = machine.boxes_started();
+    r.ratio = static_cast<double>(machine.misses());
+    r.unit_ratio =
+        static_cast<double>(machine.misses()) / static_cast<double>(keys);
+    return r;
+  };
+}
+
+}  // namespace
+
+CellRunOptions cell_options_from(const Manifest& manifest) {
+  CellRunOptions options;
+  options.semantics = manifest.semantics;
+  options.max_boxes = manifest.max_boxes;
+  options.keys = manifest.keys;
+  options.block = manifest.block;
+  return options;
+}
+
+std::vector<robust::TrialRecord> run_cell(const Cell& cell,
+                                          const CellRunOptions& options) {
+  const engine::RobustTrialRunner runner =
+      cell.sort.empty() ? ratio_runner(cell, options)
+                        : sort_runner(cell, options);
+  engine::McOptions trial_options;
+  trial_options.seed = cell.seed;
+  trial_options.max_attempts = options.max_attempts;
+  trial_options.faults = options.faults;
+  std::vector<robust::TrialRecord> records;
+  records.reserve(cell.trials);
+  for (std::uint64_t trial = 0; trial < cell.trials; ++trial) {
+    records.push_back(
+        engine::run_single_trial(trial_options, runner, trial,
+                                 options.timing));
+  }
+  return records;
+}
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,42 @@
+// Execute one planned cell: `trials` contained trials, inline on the
+// calling thread. The sweep orchestrator parallelizes across CELLS on its
+// own thread pool; trials within a cell run sequentially right here via
+// engine::run_single_trial, so the campaign reuses the Monte-Carlo
+// layer's containment/retry/fault machinery without nesting thread pools.
+//
+// Determinism: every trial's outcome is a pure function of
+// (cell.seed, trial index, attempt) — identical across --jobs, --shards,
+// and resume boundaries. Only duration_ns varies; run with timing = false
+// to zero it (the bit-identity tests do).
+#pragma once
+
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/fault.hpp"
+
+namespace cadapt::campaign {
+
+struct CellRunOptions {
+  engine::BoxSemantics semantics = engine::BoxSemantics::kOptimistic;
+  std::uint64_t max_boxes = UINT64_C(1) << 40;
+  std::uint32_t max_attempts = 1;
+  /// Seeded fault plan shared by every cell; null = no injection. Must
+  /// outlive the call.
+  const robust::FaultPlan* faults = nullptr;
+  bool timing = true;  ///< false zeroes duration_ns (bit-identical runs)
+  // Sort workload:
+  std::uint64_t keys = 16384;
+  std::uint64_t block = 8;
+};
+
+/// Options derived from the manifest the plan came from.
+CellRunOptions cell_options_from(const Manifest& manifest);
+
+/// Run the cell's trials in trial order. Never throws for per-trial
+/// faults (contained in the records); throws only for malformed cells.
+std::vector<robust::TrialRecord> run_cell(const Cell& cell,
+                                          const CellRunOptions& options);
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,104 @@
+#include "campaign/gate.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace cadapt::campaign {
+
+namespace {
+
+std::string cell_label(const CellGate& gate) {
+  std::string label =
+      gate.sort.empty() ? gate.algo + " " + gate.profile
+                        : gate.sort + " " + gate.profile;
+  label += " n=" + std::to_string(gate.n);
+  return label;
+}
+
+}  // namespace
+
+GateResult gate_against_baseline(const Report& baseline,
+                                 const Report& current,
+                                 const GateOptions& options) {
+  if (baseline.name != current.name ||
+      baseline.config_hash != current.config_hash ||
+      baseline.cells_total != current.cells_total) {
+    throw util::ParseError(
+        "gate: baseline and current reports describe different campaigns "
+        "(name/config_hash/cells_total mismatch)");
+  }
+  if (baseline.cells.size() != baseline.cells_total ||
+      current.cells.size() != current.cells_total) {
+    throw util::ParseError(
+        "gate: both reports must cover the full grid (merge shards "
+        "first)");
+  }
+
+  GateResult result;
+  for (std::size_t i = 0; i < current.cells.size(); ++i) {
+    const CellResult& base = baseline.cells[i];
+    const CellResult& cur = current.cells[i];
+    if (base.index != cur.index || base.algo != cur.algo ||
+        base.profile != cur.profile || base.sort != cur.sort ||
+        base.n != cur.n) {
+      throw util::ParseError("gate: cell " + std::to_string(cur.index) +
+                             " differs structurally between reports");
+    }
+    CellGate gate;
+    gate.index = cur.index;
+    gate.algo = cur.algo;
+    gate.profile = cur.profile;
+    gate.sort = cur.sort;
+    gate.n = cur.n;
+    if (base.samples.empty() || cur.samples.empty()) {
+      ++result.skipped;
+      result.cells.push_back(std::move(gate));
+      continue;
+    }
+    gate.comparable = true;
+    ++result.compared;
+
+    std::vector<double> samples = cur.samples;
+    if (options.inject_factor != 1.0) {
+      for (double& s : samples) s *= options.inject_factor;
+    }
+    const std::uint64_t seed = cell_ci_seed(current.config_hash, cur.index);
+    gate.baseline = stats::bootstrap_mean_ci(base.samples, {}, seed);
+    gate.current = stats::bootstrap_mean_ci(samples, {}, seed);
+    gate.rel_change =
+        gate.baseline.point == 0
+            ? 0
+            : (gate.current.point - gate.baseline.point) /
+                  gate.baseline.point;
+    gate.regression = gate.current.above(gate.baseline) &&
+                      gate.rel_change > options.rel_threshold;
+    if (gate.regression) ++result.regressions;
+    result.cells.push_back(std::move(gate));
+  }
+  return result;
+}
+
+void print_gate(std::ostream& os, const GateResult& result,
+                const GateOptions& options) {
+  for (const CellGate& gate : result.cells) {
+    if (!gate.comparable) {
+      os << "  skip  " << cell_label(gate) << " (no samples)\n";
+      continue;
+    }
+    os << (gate.regression ? "  FAIL  " : "  ok    ") << cell_label(gate)
+       << "  base " << gate.baseline.point << " [" << gate.baseline.lo
+       << ", " << gate.baseline.hi << "]  now " << gate.current.point
+       << " [" << gate.current.lo << ", " << gate.current.hi << "]  ("
+       << (gate.rel_change >= 0 ? "+" : "") << gate.rel_change * 100.0
+       << "%)\n";
+  }
+  os << "gate: " << result.compared << " compared, " << result.skipped
+     << " skipped, " << result.regressions << " regression"
+     << (result.regressions == 1 ? "" : "s") << " (threshold "
+     << options.rel_threshold * 100.0 << "%, CI separation required)"
+     << (result.passed() ? " — PASS" : " — FAIL") << "\n";
+}
+
+}  // namespace cadapt::campaign

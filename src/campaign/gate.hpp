@@ -1,0 +1,71 @@
+// Baseline regression gating (docs/SWEEPS.md): compare a fresh sweep
+// report against a stored baseline of the SAME campaign and fail —
+// CLI exit code 4 — when any cell got significantly worse.
+//
+// "Worse" is metric-up (the adaptivity ratio and sort I/O counts both
+// measure cost), and "significantly" means the two bootstrap 95% CIs do
+// not overlap AND the relative increase of the means exceeds
+// `rel_threshold` — the CI separation filters noise, the relative floor
+// filters statistically-real-but-tiny drift on near-deterministic cells.
+//
+// CIs are recomputed here from each report's persisted samples with the
+// shared (config_hash, cell index) seed derivation, so gating is a pure
+// function of the two reports: rerunning the gate never flips a verdict.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace cadapt::campaign {
+
+struct GateOptions {
+  /// Minimum relative mean increase for a CI-separated cell to count as a
+  /// regression.
+  double rel_threshold = 0.05;
+  /// Multiply every current-report sample by this factor before
+  /// comparing — a seeded rehearsal of a real slowdown, used by the CLI's
+  /// --gate-inject and the exit-code tests to prove the gate can fail.
+  double inject_factor = 1.0;
+};
+
+struct CellGate {
+  std::uint64_t index = 0;
+  std::string algo;
+  std::string profile;
+  std::string sort;
+  std::uint64_t n = 0;
+  stats::BootstrapCi baseline;
+  stats::BootstrapCi current;
+  double rel_change = 0;  ///< (current.point - baseline.point) / baseline.point
+  bool comparable = false;  ///< both sides had completed-trial samples
+  bool regression = false;
+};
+
+struct GateResult {
+  std::vector<CellGate> cells;  ///< one per grid cell, index order
+  std::uint64_t compared = 0;
+  std::uint64_t skipped = 0;  ///< cells without samples on either side
+  std::uint64_t regressions = 0;
+
+  bool passed() const { return regressions == 0; }
+};
+
+/// Gate `current` against `baseline`. Both must be full-grid reports of
+/// the same campaign (name, config_hash, cells_total) with structurally
+/// matching cells; anything else throws util::ParseError — comparing two
+/// different experiments is an input error, never a pass.
+GateResult gate_against_baseline(const Report& baseline,
+                                 const Report& current,
+                                 const GateOptions& options = {});
+
+/// Human-readable verdict table (one line per compared cell plus a
+/// summary) — what the CLI prints.
+void print_gate(std::ostream& os, const GateResult& result,
+                const GateOptions& options);
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,114 @@
+// Declarative sweep manifests (docs/SWEEPS.md): a small key=value file
+// describing a full experiment campaign — algorithms × profiles × problem
+// sizes × trials — that the planner (campaign/plan.hpp) expands into a
+// deterministic cell grid. The manifest is the single source of truth for
+// a sweep: its canonical fingerprint is hashed into every report and
+// checkpoint, so mixing artifacts across campaigns is refused, not
+// silently blended.
+//
+// Grammar (one `key = value` per line, `#` starts a comment, lists are
+// whitespace-separated):
+//
+//   name      = e2_log_gap              # required, report label
+//   workload  = ratio | sort            # default ratio
+//   algos     = 8:4:1 7:4:1             # (a,b,c)-regular shapes (ratio)
+//   profiles  = worst shuffled shifted perturb:4 order order-matched
+//               randscan iid:geometric:6 iid:uniform-powers:0:6
+//               iid:bimodal:4:4096:0.02 iid:point:64 iid:uniform-range:1:256
+//   k         = 2..7                    # n = b^k; range or explicit list
+//   trials    = 32                      # per cell (worst cells force 1)
+//   seed      = 42
+//   semantics = optimistic | budgeted
+//   unit_progress = 0 | 1               # footnote-4 ratio (use for a <= b)
+//   max_boxes = 1099511627776           # per-trial box cap
+//
+// Sort-workload manifests (the E16 head-to-head) replace algos/k with:
+//
+//   sorts     = adaptive funnel merge2
+//   profiles  = const:64 uniform:4:128 sawtooth:128:8 mworst:2:2:512:2
+//   keys      = 16384
+//   block     = 8
+//
+// Unknown keys are rejected (a typo must not silently change a campaign);
+// all parse failures throw util::ParseError with the line number.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/exec.hpp"
+#include "model/regular.hpp"
+
+namespace cadapt::campaign {
+
+enum class Workload { kRatio, kSort };
+
+enum class ProfileKind {
+  // ratio workload (see core/workloads.hpp for the measured object)
+  kWorst,         ///< deterministic M_{a,b}(n) (trials forced to 1)
+  kShuffled,      ///< i.i.d. from the census of M_{a,b}(n) (Theorem 1)
+  kShifted,       ///< cyclic shift by a random box offset (negative)
+  kPerturb,       ///< box sizes scaled by i.i.d. X ~ U[0,t] (negative)
+  kOrder,         ///< order-perturbed M_{a,b}, canonical scans
+  kOrderMatched,  ///< order-perturbed M_{a,b}, matched scans (witness)
+  kRandScan,      ///< fixed M_{a,b}, randomized scan placement (E18)
+  kIid,           ///< i.i.d. from an explicit distribution
+  // sort workload (boxes drive a paging::CaMachine)
+  kConst,     ///< constant boxes: const:SIZE
+  kUniform,   ///< i.i.d. uniform boxes: uniform:LO:HI
+  kSawtooth,  ///< ramp-and-crash memory profile: sawtooth:PEAK:CYCLES
+  kMWorst,    ///< scaled adversarial profile: mworst:A:B:N:SCALE
+};
+
+/// One parsed profile token. `token` is the canonical manifest spelling
+/// and doubles as the cell label in reports. Numeric arguments live in
+/// uargs/farg with per-kind meaning (see the grammar above); they are
+/// validated at parse time.
+struct ProfileSpec {
+  std::string token;
+  ProfileKind kind = ProfileKind::kWorst;
+  std::string dist;  ///< kIid: geometric|uniform-powers|bimodal|point|uniform-range
+  std::vector<std::uint64_t> uargs;
+  double farg = 0.0;  ///< kPerturb: t; kIid bimodal: p_big
+};
+
+/// One parsed algorithm shape with its canonical "a:b:c" token.
+struct AlgoSpec {
+  std::string token;
+  model::RegularParams params;
+};
+
+struct Manifest {
+  std::string name;
+  Workload workload = Workload::kRatio;
+  std::vector<AlgoSpec> algos;
+  std::vector<ProfileSpec> profiles;
+  std::vector<unsigned> ks;
+  std::uint64_t trials = 32;
+  std::uint64_t seed = 42;
+  engine::BoxSemantics semantics = engine::BoxSemantics::kOptimistic;
+  bool unit_progress = false;
+  std::uint64_t max_boxes = UINT64_C(1) << 40;
+  // sort workload
+  std::vector<std::string> sorts;  ///< adaptive | funnel | merge2
+  std::uint64_t keys = 16384;
+  std::uint64_t block = 8;
+};
+
+/// Parse a manifest. Throws util::ParseError (line-numbered) on any
+/// malformed line, unknown key, or missing required field.
+Manifest parse_manifest(std::istream& is);
+/// File variant; throws util::IoError if the file cannot be opened.
+Manifest parse_manifest_file(const std::string& path);
+
+/// Canonical one-line rendering of everything that shapes a cell. Two
+/// manifests measure the same campaign iff their fingerprints are equal.
+std::string manifest_fingerprint(const Manifest& manifest);
+
+/// FNV-1a hash of the fingerprint — the config_hash stamped into reports
+/// and checkpoints.
+std::uint64_t manifest_hash(const Manifest& manifest);
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,60 @@
+#include "campaign/plan.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace cadapt::campaign {
+
+Plan expand_plan(const Manifest& manifest) {
+  Plan plan;
+  plan.manifest = manifest;
+  plan.config_hash = manifest_hash(manifest);
+  if (manifest.workload == Workload::kRatio) {
+    for (const AlgoSpec& algo : manifest.algos) {
+      for (const ProfileSpec& profile : manifest.profiles) {
+        for (const unsigned k : manifest.ks) {
+          Cell cell;
+          cell.index = plan.cells.size();
+          cell.algo = algo;
+          cell.profile = profile;
+          cell.k = k;
+          cell.n = util::ipow(algo.params.b, k);
+          cell.trials =
+              profile.kind == ProfileKind::kWorst ? 1 : manifest.trials;
+          cell.seed = manifest.seed + k;
+          plan.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  } else {
+    for (const std::string& sort : manifest.sorts) {
+      for (const ProfileSpec& profile : manifest.profiles) {
+        Cell cell;
+        cell.index = plan.cells.size();
+        cell.sort = sort;
+        cell.profile = profile;
+        cell.n = manifest.keys;
+        cell.trials = manifest.trials;
+        cell.seed = manifest.seed + cell.index;
+        plan.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  CADAPT_CHECK(!plan.cells.empty());
+  return plan;
+}
+
+std::vector<std::size_t> shard_cells(const Plan& plan, std::uint64_t shards,
+                                     std::uint64_t shard_index) {
+  if (shards == 0) throw util::UsageError("--shards must be >= 1");
+  if (shard_index >= shards) {
+    throw util::UsageError("--shard-index must be < --shards");
+  }
+  std::vector<std::size_t> mine;
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    if (i % shards == shard_index) mine.push_back(i);
+  }
+  return mine;
+}
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,50 @@
+// The planner: expand a Manifest into its deterministic cell grid.
+//
+// A cell is one (algorithm × profile × problem size) point with its trial
+// count and base seed — the atom of sweep execution, checkpointing, and
+// sharding. Expansion order is fixed (algo-major, then profile, then k;
+// sort-major for sort workloads), so cell indices are stable across runs,
+// shards, and resumes; every artifact addresses cells by this index.
+//
+// Sharding is round-robin by index (cell i belongs to shard i % shards):
+// contiguous slicing would give shard 0 all the small-n cells and the
+// last shard all the big ones, so round-robin is both balanced and
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+
+namespace cadapt::campaign {
+
+struct Cell {
+  std::uint64_t index = 0;  ///< position in the full expanded grid
+  AlgoSpec algo;            ///< ratio workload (token empty for sort)
+  ProfileSpec profile;
+  unsigned k = 0;       ///< ratio: n = b^k
+  std::uint64_t n = 0;  ///< ratio: problem blocks; sort: keys
+  std::string sort;     ///< sort workload: adaptive|funnel|merge2
+  std::uint64_t trials = 1;
+  std::uint64_t seed = 0;  ///< base seed for derive_trial_seed
+};
+
+struct Plan {
+  Manifest manifest;
+  std::uint64_t config_hash = 0;  ///< manifest_hash(manifest)
+  std::vector<Cell> cells;        ///< full grid, index order
+};
+
+/// Expand the manifest. Ratio cells use seed = manifest.seed + k (the
+/// same per-point decorrelation as core's sweep drivers) and force
+/// trials = 1 on deterministic `worst` cells; sort cells use
+/// seed = manifest.seed + index.
+Plan expand_plan(const Manifest& manifest);
+
+/// Indices into plan.cells owned by one shard (round-robin). Throws
+/// util::UsageError unless shard_index < shards and shards >= 1.
+std::vector<std::size_t> shard_cells(const Plan& plan, std::uint64_t shards,
+                                     std::uint64_t shard_index);
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,64 @@
+#include "campaign/provenance.hpp"
+
+#include <sstream>
+
+#include "campaign/provenance_gen.hpp"
+
+namespace cadapt::campaign {
+
+const Provenance& build_provenance() {
+  static const Provenance p = [] {
+    Provenance out;
+    out.version = CADAPT_PROVENANCE_VERSION;
+    out.git_hash = CADAPT_PROVENANCE_GIT_HASH;
+    out.build_type = CADAPT_PROVENANCE_BUILD_TYPE;
+#if defined(__VERSION__)
+#if defined(__clang__)
+    out.compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+    out.compiler = "gcc " __VERSION__;
+#else
+    out.compiler = __VERSION__;
+#endif
+#else
+    out.compiler = "unknown";
+#endif
+    out.cxx_flags = CADAPT_PROVENANCE_CXX_FLAGS;
+    return out;
+  }();
+  return p;
+}
+
+std::string provenance_text(const Provenance& p) {
+  std::ostringstream os;
+  os << "cadapt " << p.version << "\n"
+     << "  git:        " << p.git_hash << "\n"
+     << "  build type: " << (p.build_type.empty() ? "(unset)" : p.build_type)
+     << "\n"
+     << "  compiler:   " << p.compiler << "\n"
+     << "  cxx flags:  " << (p.cxx_flags.empty() ? "(none)" : p.cxx_flags)
+     << "\n";
+  return os.str();
+}
+
+obs::Event provenance_event(const Provenance& p) {
+  obs::Event event("sweep_env");
+  event.str("version", p.version)
+      .str("git", p.git_hash)
+      .str("build_type", p.build_type)
+      .str("compiler", p.compiler)
+      .str("cxx_flags", p.cxx_flags);
+  return event;
+}
+
+Provenance provenance_from_event(const obs::Event& event) {
+  Provenance p;
+  p.version = event.str_or("version", "");
+  p.git_hash = event.str_or("git", "");
+  p.build_type = event.str_or("build_type", "");
+  p.compiler = event.str_or("compiler", "");
+  p.cxx_flags = event.str_or("cxx_flags", "");
+  return p;
+}
+
+}  // namespace cadapt::campaign

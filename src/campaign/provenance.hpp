@@ -1,0 +1,34 @@
+// Build/environment provenance: the identifying facts of the binary that
+// produced a measurement. `cadapt version` prints these and every sweep
+// report embeds the same fields verbatim in its `sweep_env` line, so a
+// report always answers "which build measured this?" (docs/SWEEPS.md).
+#pragma once
+
+#include <string>
+
+#include "obs/event.hpp"
+
+namespace cadapt::campaign {
+
+struct Provenance {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git_hash;    ///< short commit hash at configure time, or "unknown"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE ("" if unset)
+  std::string compiler;    ///< compiler identification (__VERSION__)
+  std::string cxx_flags;   ///< effective CMAKE_CXX_FLAGS for the build type
+};
+
+/// The provenance baked into this binary at configure/compile time.
+const Provenance& build_provenance();
+
+/// Human-readable multi-line form — the exact output of `cadapt version`.
+std::string provenance_text(const Provenance& p = build_provenance());
+
+/// The report header form: a "sweep_env" event carrying every field.
+obs::Event provenance_event(const Provenance& p = build_provenance());
+
+/// Inverse of provenance_event — loads the environment recorded in a
+/// report (which may differ from this binary's build_provenance()).
+Provenance provenance_from_event(const obs::Event& event);
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,127 @@
+// The sweep report (docs/SWEEPS.md): a versioned JSONL artifact holding
+// one aggregated record per cell, environment provenance, and power-law
+// fits over the n-grid. The encoding reuses obs::Event, so reports are
+// greppable and parseable by the same tooling as traces and checkpoints:
+//
+//   {"type":"sweep_report","version":1,"name":...,"config_hash":...,
+//    "cells_total":...,"shards":...,"shard_index":...,"truncated":...,
+//    "wall_ms":...}
+//   {"type":"sweep_env","version":...,"git":...,"build_type":...,
+//    "compiler":...,"cxx_flags":...}
+//   {"type":"sweep_cell","index":0,"algo":"8:4:1","profile":"worst",...}
+//   {"type":"sweep_fit","algo":"8:4:1","profile":"worst",
+//    "exponent":...,"scale":...,"r2":...,"expected":...}
+//
+// Determinism: everything except wall_ms / wall_ns is a pure function of
+// the manifest — per-trial samples are kept in trial order, quantiles are
+// exact, and bootstrap CIs are seeded from (config_hash, cell index) — so
+// reports are bit-identical across --jobs values and across a sharded run
+// merged back together (run with --no-timing to zero the wall clocks too).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/provenance.hpp"
+#include "obs/event.hpp"
+#include "robust/checkpoint.hpp"
+
+namespace cadapt::campaign {
+
+/// One cell's aggregate: counts over its trials plus statistics over the
+/// metric samples of COMPLETED trials (the adaptivity ratio for ratio
+/// workloads — unit_ratio under unit_progress — and total I/Os for sort
+/// workloads). Samples are persisted verbatim (shortest-round-trip
+/// doubles) so baselines can re-bootstrap without rerunning.
+struct CellResult {
+  std::uint64_t index = 0;
+  std::string algo;  ///< "a:b:c" token; empty for sort cells
+  std::string profile;
+  std::string sort;  ///< adaptive|funnel|merge2; empty for ratio cells
+  unsigned k = 0;
+  std::uint64_t n = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t incomplete = 0;  ///< hit the box cap
+  std::uint64_t failed = 0;      ///< contained trial errors
+  double mean = 0;
+  double ci_lo = 0;  ///< bootstrap 95% CI over the mean
+  double ci_hi = 0;
+  double q50 = 0;  ///< exact sample quantiles
+  double q90 = 0;
+  double q95 = 0;
+  double boxes_mean = 0;     ///< mean boxes over non-failed trials
+  std::uint64_t wall_ns = 0; ///< summed trial durations (0 with --no-timing)
+  std::vector<double> samples;  ///< completed-trial metrics, trial order
+
+  bool operator==(const CellResult&) const = default;
+};
+
+/// Fitted mean ~ scale * n^exponent over one (algo, profile) series —
+/// the measured counterpart of the paper's log_b a.
+struct FitResult {
+  std::string algo;
+  std::string profile;
+  double exponent = 0;
+  double scale = 0;
+  double r2 = 0;
+  double expected = 0;  ///< log_b a from the algo token
+
+  bool operator==(const FitResult&) const = default;
+};
+
+struct Report {
+  std::uint64_t version = 1;
+  std::string name;
+  std::uint64_t config_hash = 0;
+  std::uint64_t cells_total = 0;  ///< full grid size (>= cells.size())
+  std::uint64_t shards = 1;       ///< >1 marks a partial shard report
+  std::uint64_t shard_index = 0;
+  bool truncated = false;  ///< a budget stopped the sweep early
+  std::uint64_t wall_ms = 0;
+  Provenance env;
+  std::vector<CellResult> cells;  ///< ascending index
+  std::vector<FitResult> fits;   ///< present only at full grid coverage
+};
+
+/// Seed of a cell's bootstrap CI — a pure function of the campaign
+/// identity and the cell's grid position, shared by report aggregation
+/// and baseline gating so both resample identically.
+std::uint64_t cell_ci_seed(std::uint64_t config_hash,
+                           std::uint64_t cell_index);
+
+/// Aggregate one executed cell. `records` must be in trial order.
+CellResult aggregate_cell(const Cell& cell,
+                          const std::vector<robust::TrialRecord>& records,
+                          std::uint64_t config_hash, bool unit_progress);
+
+/// Power-law fits over every ratio (algo, profile) series with at least
+/// two distinct n and no empty cells. Call only at full grid coverage —
+/// a shard's partial series would fit a different (misleading) line.
+std::vector<FitResult> compute_fits(const Report& report);
+
+/// Event encodings (the checkpoint shares sweep_cell lines with the
+/// report, so a finished shard's checkpoint is loadable by the same
+/// parser).
+obs::Event cell_event(const CellResult& cell);
+CellResult cell_from_event(const obs::Event& event, std::size_t line_no);
+
+void write_report(std::ostream& os, const Report& report);
+void write_report_file(const std::string& path, const Report& report);
+
+/// Parse a report stream (torn-final-line tolerant, like every JSONL
+/// loader in the repo). Throws util::ParseError on malformed content.
+Report load_report(std::istream& is);
+Report load_report_file(const std::string& path);
+
+/// Merge shard reports into the full-grid report: all parts must carry
+/// the same version/name/config_hash/cells_total, cell indices must be
+/// disjoint, and their union must cover the grid. wall_ms is summed
+/// (total compute, not makespan); fits are recomputed over the merged
+/// grid. Mixing reports from different campaigns throws util::ParseError.
+Report merge_reports(const std::vector<Report>& parts);
+
+}  // namespace cadapt::campaign

@@ -1,0 +1,176 @@
+#include "campaign/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "campaign/cell_runner.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/error.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cadapt::campaign {
+
+namespace {
+
+obs::Event checkpoint_header(const Plan& plan, const SweepOptions& options) {
+  obs::Event event("sweep_checkpoint");
+  event.u64("version", 1)
+      .u64("config_hash", plan.config_hash)
+      .u64("shards", options.shards)
+      .u64("shard_index", options.shard_index)
+      .u64("cells", plan.cells.size());
+  return event;
+}
+
+/// Finished cells recorded by a previous run of this exact shard.
+std::map<std::uint64_t, CellResult> load_sweep_checkpoint(
+    const std::string& path, const Plan& plan, const SweepOptions& options) {
+  std::ifstream is(path);
+  if (!is) return {};  // nothing to resume from — a fresh start
+  const std::vector<robust::JsonlLine> lines =
+      robust::load_jsonl_tolerant(is, "sweep checkpoint");
+  if (lines.empty()) return {};
+  const obs::Event& head = lines.front().event;
+  const obs::Event expected = checkpoint_header(plan, options);
+  if (head != expected) {
+    throw util::ParseError(
+        "sweep checkpoint '" + path +
+            "' does not match this campaign/sharding — refusing to resume",
+        lines.front().line_no);
+  }
+  std::map<std::uint64_t, CellResult> finished;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].event.type != "sweep_cell") {
+      throw util::ParseError("sweep checkpoint: unexpected line type '" +
+                                 lines[i].event.type + "'",
+                             lines[i].line_no);
+    }
+    CellResult cell = cell_from_event(lines[i].event, lines[i].line_no);
+    finished.insert_or_assign(cell.index, std::move(cell));
+  }
+  return finished;
+}
+
+void emit_trial_errors(obs::TraceSink& sink, const Cell& cell,
+                       const std::vector<robust::TrialRecord>& records) {
+  for (const robust::TrialRecord& record : records) {
+    if (!record.failed) continue;
+    obs::Event event("sweep_trial_error");
+    event.u64("cell", cell.index)
+        .u64("trial", record.trial)
+        .u64("seed", record.seed)
+        .u64("attempts", record.attempts)
+        .str("category", robust::error_category_name(record.category))
+        .str("what", record.what);
+    sink.write(event);
+  }
+}
+
+}  // namespace
+
+Report run_sweep(const Plan& plan, const SweepOptions& options) {
+  const std::vector<std::size_t> mine =
+      shard_cells(plan, options.shards, options.shard_index);
+  const std::uint64_t started_ns = options.timing ? options.clock() : 0;
+
+  std::map<std::uint64_t, CellResult> finished;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    finished = load_sweep_checkpoint(options.checkpoint_path, plan, options);
+  }
+
+  std::ofstream checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    // A kill can land mid-write; drop the torn tail before appending so
+    // new records start on a fresh line.
+    robust::truncate_torn_tail(options.checkpoint_path);
+    const bool fresh = finished.empty() && !options.resume;
+    checkpoint.open(options.checkpoint_path,
+                    fresh ? std::ios::trunc : std::ios::app);
+    if (!checkpoint) {
+      throw util::IoError("cannot open sweep checkpoint: " +
+                          options.checkpoint_path);
+    }
+    checkpoint.seekp(0, std::ios::end);
+    if (checkpoint.tellp() == std::streampos(0)) {
+      checkpoint << obs::to_jsonl(checkpoint_header(plan, options)) << '\n';
+      checkpoint.flush();
+    }
+  }
+
+  CellRunOptions cell_options = cell_options_from(plan.manifest);
+  cell_options.max_attempts = options.max_attempts;
+  cell_options.faults = options.faults;
+  cell_options.timing = options.timing;
+
+  robust::BudgetTracker tracker(options.budget, options.clock);
+  std::vector<std::optional<CellResult>> results(mine.size());
+  std::atomic<bool> truncated{false};
+  std::mutex sink_mutex;  // checkpoint + trace share one writer lock
+
+  util::ThreadPool pool(static_cast<std::size_t>(options.jobs));
+  util::parallel_for(pool, mine.size(), [&](std::size_t i) {
+    const Cell& cell = plan.cells[mine[i]];
+    if (const auto it = finished.find(cell.index); it != finished.end()) {
+      results[i] = it->second;
+      return;
+    }
+    if (tracker.exceeded()) {
+      truncated.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const std::vector<robust::TrialRecord> records =
+        run_cell(cell, cell_options);
+    std::uint64_t boxes = 0;
+    for (const robust::TrialRecord& record : records) boxes += record.boxes;
+    tracker.add_boxes(boxes);
+    CellResult result = aggregate_cell(cell, records, plan.config_hash,
+                                       plan.manifest.unit_progress);
+    {
+      const std::lock_guard<std::mutex> lock(sink_mutex);
+      if (checkpoint.is_open()) {
+        checkpoint << obs::to_jsonl(cell_event(result)) << '\n';
+        checkpoint.flush();
+      }
+      if (options.trace != nullptr) {
+        options.trace->write(cell_event(result));
+        emit_trial_errors(*options.trace, cell, records);
+      }
+    }
+    results[i] = std::move(result);
+  });
+
+  Report report;
+  report.name = plan.manifest.name;
+  report.config_hash = plan.config_hash;
+  report.cells_total = plan.cells.size();
+  report.shards = options.shards;
+  report.shard_index = options.shard_index;
+  report.truncated = truncated.load(std::memory_order_relaxed);
+  report.env = build_provenance();
+  for (std::optional<CellResult>& result : results) {
+    if (result.has_value()) report.cells.push_back(std::move(*result));
+  }
+  // Index order, not completion order: the report is the deterministic
+  // artifact (cells were filled shard-slot-wise, which is already sorted
+  // by index for round-robin sharding, but don't rely on it).
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.index < b.index;
+            });
+  if (report.cells.size() == report.cells_total) {
+    report.fits = compute_fits(report);
+  }
+  if (options.timing) {
+    report.wall_ms = (options.clock() - started_ns) / 1000000u;
+  }
+  return report;
+}
+
+}  // namespace cadapt::campaign

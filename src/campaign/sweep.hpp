@@ -1,0 +1,66 @@
+// The sweep orchestrator: execute a Plan's cells on a thread pool and
+// aggregate a Report (docs/SWEEPS.md).
+//
+// Parallelism is across CELLS — each worker runs one cell's trials
+// inline through engine::run_single_trial — so the campaign gets the
+// Monte-Carlo layer's per-trial containment/retry/fault machinery
+// without nesting thread pools. Because every trial is a pure function
+// of (cell seed, trial index, attempt) and aggregation is
+// index-addressed, the report is bit-identical across --jobs values,
+// across a --shards split merged back together, and across a
+// kill + --resume (wall clocks excepted; pass timing = false to zero
+// them, as the bit-identity tests do).
+//
+// Checkpoint format (JSONL, shared cell encoding with the report):
+//
+//   {"type":"sweep_checkpoint","version":1,"config_hash":...,
+//    "shards":...,"shard_index":...,"cells":...}
+//   {"type":"sweep_cell",...}   — one line per FINISHED cell, completion
+//                                 order (the report re-sorts by index)
+//
+// Cells are the checkpoint grain: a killed sweep loses at most the cells
+// in flight, and --resume re-derives exactly the missing ones.
+#pragma once
+
+#include <string>
+
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "robust/budget.hpp"
+#include "robust/fault.hpp"
+
+namespace cadapt::campaign {
+
+struct SweepOptions {
+  std::uint64_t jobs = 0;  ///< worker threads; 0 = hardware concurrency
+  std::uint64_t shards = 1;
+  std::uint64_t shard_index = 0;
+  /// false zeroes wall_ms and every cell's wall_ns — bit-identical runs.
+  bool timing = true;
+  std::uint32_t max_attempts = 1;  ///< per-trial attempts before containment
+  /// Seeded fault plan shared by every trial; null = no injection. Must
+  /// outlive the call.
+  const robust::FaultPlan* faults = nullptr;
+  /// Wall-clock / total-box budget, checked at cell boundaries. A tripped
+  /// budget skips the remaining cells and marks the report truncated.
+  robust::Budget budget;
+  std::string checkpoint_path;  ///< empty = no checkpointing
+  /// Load checkpoint_path (header must match this plan + sharding) and
+  /// skip the cells it records; new cells append to the same file.
+  bool resume = false;
+  /// Optional observability stream: one sweep_cell event per newly
+  /// executed cell in COMPLETION order (scheduling-dependent — this is
+  /// telemetry, the report is the deterministic artifact) plus a
+  /// sweep_trial_error event per contained failure. Null = disabled.
+  obs::TraceSink* trace = nullptr;
+  obs::ClockFn clock = &obs::steady_now_ns;  ///< test seam
+};
+
+/// Run this shard of the plan. Throws util::ParseError for a mismatched
+/// resume checkpoint and util::UsageError for bad sharding; per-trial
+/// failures never throw (contained in the cells' failed counts).
+Report run_sweep(const Plan& plan, const SweepOptions& options = {});
+
+}  // namespace cadapt::campaign

@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "core/workloads.hpp"
 #include "profile/worst_case.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
@@ -11,10 +12,8 @@
 
 namespace cadapt::core {
 
-namespace {
-
 RatioPoint point_from_summary(std::uint64_t n, const engine::McSummary& s,
-                              bool unit_progress = false) {
+                              bool unit_progress) {
   const util::RunningStat& stat = unit_progress ? s.unit_ratio : s.ratio;
   const std::vector<double>& samples =
       unit_progress ? s.unit_ratio_samples : s.ratio_samples;
@@ -28,6 +27,8 @@ RatioPoint point_from_summary(std::uint64_t n, const engine::McSummary& s,
   p.incomplete = s.incomplete;
   return p;
 }
+
+namespace {
 
 /// Sweep n = b^k and build a Series from a per-n Monte-Carlo factory.
 template <typename MakeFactory>
@@ -45,6 +46,24 @@ Series sweep(const std::string& name, const model::RegularParams& params,
     mc.semantics = options.semantics;
     const engine::McSummary summary =
         engine::run_monte_carlo(params, n, make_factory(n), mc);
+    series.points.push_back(
+        point_from_summary(n, summary, options.unit_progress));
+  }
+  return series;
+}
+
+/// Sweep n = b^k over a per-n custom trial runner (profile coupled to the
+/// execution through the trial seed).
+template <typename MakeRunner>
+Series sweep_custom(const std::string& name, const model::RegularParams& params,
+                    const SweepOptions& options, MakeRunner&& make_runner) {
+  CADAPT_CHECK(options.kmin <= options.kmax);
+  Series series;
+  series.name = name;
+  for (unsigned k = options.kmin; k <= options.kmax; ++k) {
+    const std::uint64_t n = util::ipow(params.b, k);
+    const engine::McSummary summary = engine::run_monte_carlo_custom(
+        options.trials, options.seed + k, make_runner(n));
     series.points.push_back(
         point_from_summary(n, summary, options.unit_progress));
   }
@@ -74,129 +93,68 @@ Series worst_case_gap_curve(const model::RegularParams& params,
   name << params.name() << " on M_{" << pa << "," << pb << "}";
   SweepOptions opts = options;
   opts.trials = 1;  // deterministic
-  return sweep(name.str(), params, opts, [pa, pb](std::uint64_t n) {
-    return [pa, pb, n](util::Rng&) -> std::unique_ptr<profile::BoxSource> {
-      // Cycle so that a mismatched (algorithm, profile) pair still
-      // completes; the canonical pair finishes within one pass.
-      return std::make_unique<profile::CyclingSource>([pa, pb, n] {
-        return std::make_unique<profile::WorstCaseSource>(pa, pb, n);
-      });
-    };
+  return sweep(name.str(), params, opts, [&params, pa, pb](std::uint64_t n) {
+    return worst_profile_source(params, n, pa, pb);
   });
 }
 
 Series iid_curve(const model::RegularParams& params,
                  const profile::BoxDistribution& dist,
                  const SweepOptions& options) {
+  // Non-owning alias: the caller keeps `dist` alive for the duration of
+  // the sweep, as this signature always required.
+  std::shared_ptr<const profile::BoxDistribution> alias(
+      std::shared_ptr<const profile::BoxDistribution>(), &dist);
   return sweep(params.name() + " on iid " + dist.name(), params, options,
-               [&dist](std::uint64_t) {
-                 return [&dist](util::Rng& rng)
-                            -> std::unique_ptr<profile::BoxSource> {
-                   return std::make_unique<profile::DistributionSource>(
-                       dist, rng.split());
-                 };
-               });
+               [&alias](std::uint64_t) { return iid_source(alias); });
 }
 
 Series shuffled_worst_case_curve(const model::RegularParams& params,
                                  const SweepOptions& options) {
-  // The census of M_{a,b}(n) is geometric over powers of b with weight a;
-  // sampling i.i.d. from it is the random reshuffle of the adversarial
-  // profile. The distribution depends on n, so it is built per point and
-  // kept alive by the factory via shared_ptr.
   return sweep(params.name() + " on shuffled M_{a,b}", params, options,
                [&params](std::uint64_t n) {
-                 const unsigned K = util::ilog(n, params.b);
-                 auto dist = std::make_shared<profile::GeometricPowers>(
-                     params.b, static_cast<double>(params.a), 0, K);
-                 // GeometricPowers weights: Pr[b^k] ∝ a^{-k} matches the
-                 // census count a^{K-k} after normalization.
-                 return [dist](util::Rng& rng)
-                            -> std::unique_ptr<profile::BoxSource> {
-                   return std::make_unique<profile::DistributionSource>(
-                       *dist, rng.split());
-                 };
+                 return shuffled_census_source(params, n);
                });
 }
 
 Series size_perturb_curve(const model::RegularParams& params,
                           const profile::PerturbSampler& sampler,
                           const SweepOptions& options) {
-  return sweep(
-      params.name() + " on size-perturbed M_{a,b}", params, options,
-      [&params, &sampler](std::uint64_t n) {
-        return [&params, &sampler,
-                n](util::Rng& rng) -> std::unique_ptr<profile::BoxSource> {
-          // Perturbation factors are drawn per box from `sampler`; the
-          // profile repeats cyclically (with fresh perturbations each
-          // cycle) so the execution always completes.
-          util::Rng perturb_rng = rng.split();
-          auto factory = [&params, &sampler, n, perturb_rng]() mutable
-              -> std::unique_ptr<profile::BoxSource> {
-            auto inner =
-                std::make_unique<profile::WorstCaseSource>(params.a, params.b, n);
-            return std::make_unique<profile::SizePerturbSource>(
-                std::move(inner), sampler, perturb_rng.split());
-          };
-          return std::make_unique<profile::CyclingSource>(std::move(factory));
-        };
-      });
+  return sweep(params.name() + " on size-perturbed M_{a,b}", params, options,
+               [&params, &sampler](std::uint64_t n) {
+                 return size_perturb_source(params, n, sampler);
+               });
 }
 
 Series cyclic_shift_curve(const model::RegularParams& params,
                           const SweepOptions& options) {
-  return sweep(
-      params.name() + " on cyclic-shifted M_{a,b}", params, options,
-      [&params](std::uint64_t n) {
-        const std::uint64_t total =
-            profile::worst_case_box_count(params.a, params.b, n);
-        return [&params, n,
-                total](util::Rng& rng) -> std::unique_ptr<profile::BoxSource> {
-          const std::uint64_t offset = rng.below(total);
-          auto base_factory = [&params, n]() {
-            return std::make_unique<profile::WorstCaseSource>(params.a,
-                                                              params.b, n);
-          };
-          // One cyclic rotation, repeated forever.
-          auto shifted_factory = [base_factory, offset]()
-              -> std::unique_ptr<profile::BoxSource> {
-            return std::make_unique<profile::CyclicShiftSource>(base_factory,
-                                                                offset);
-          };
-          return std::make_unique<profile::CyclingSource>(shifted_factory);
-        };
-      });
+  return sweep(params.name() + " on cyclic-shifted M_{a,b}", params, options,
+               [&params](std::uint64_t n) {
+                 return cyclic_shift_source(params, n);
+               });
 }
 
 Series order_perturb_curve(const model::RegularParams& params,
                            const SweepOptions& options, bool matched) {
-  CADAPT_CHECK(options.kmin <= options.kmax);
-  Series series;
-  series.name = params.name() + " on order-perturbed M_{a,b}" +
-                (matched ? " (matched scans)" : " (canonical scans)");
-  for (unsigned k = options.kmin; k <= options.kmax; ++k) {
-    const std::uint64_t n = util::ipow(params.b, k);
-    const engine::McSummary summary = engine::run_monte_carlo_custom(
-        options.trials, options.seed + k, [&](std::uint64_t trial_seed) {
-          // The same perturbed profile repeats each cycle (the factory
-          // captures the trial seed by value), and — when matched — the
-          // execution places its scans with the same seed.
-          auto factory = [&params, n,
-                          trial_seed]() -> std::unique_ptr<profile::BoxSource> {
-            return std::make_unique<profile::OrderPerturbedWorstCaseSource>(
-                params.a, params.b, n, trial_seed);
-          };
-          profile::CyclingSource source(factory);
-          return engine::run_regular(
-              params, n, source,
-              matched ? engine::ScanPlacement::kAdversaryMatched
-                      : engine::ScanPlacement::kEnd,
-              UINT64_C(1) << 40, trial_seed, options.semantics);
-        });
-    series.points.push_back(
-        point_from_summary(n, summary, options.unit_progress));
-  }
-  return series;
+  const std::string name =
+      params.name() + " on order-perturbed M_{a,b}" +
+      (matched ? " (matched scans)" : " (canonical scans)");
+  return sweep_custom(name, params, options,
+                      [&params, matched, &options](std::uint64_t n) {
+                        return order_perturb_runner(params, n, matched,
+                                                    options.semantics);
+                      });
+}
+
+Series randomized_scan_curve(const model::RegularParams& params,
+                             const SweepOptions& options) {
+  const std::string name =
+      params.name() + " with per-node random scan placement on fixed M_{a,b}";
+  return sweep_custom(name, params, options,
+                      [&params, &options](std::uint64_t n) {
+                        return randomized_scan_runner(params, n,
+                                                      options.semantics);
+                      });
 }
 
 Series scan_hiding_curve(const model::RegularParams& params,

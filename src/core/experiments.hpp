@@ -32,6 +32,14 @@ struct Series {
   std::vector<RatioPoint> points;
 };
 
+/// Collapse a Monte-Carlo summary into one curve point. With
+/// unit_progress the operation-based (footnote 4) ratio is reported
+/// instead of the base-case-based one. This is the single place a summary
+/// becomes a reported statistic — the curves below and the campaign
+/// runner both go through it.
+RatioPoint point_from_summary(std::uint64_t n, const engine::McSummary& s,
+                              bool unit_progress = false);
+
 /// OLS slope of ratio_mean against log_b n. A Θ(log n) gap shows as a
 /// positive slope bounded away from 0; a cache-adaptive series has slope
 /// ≈ 0.
@@ -101,6 +109,13 @@ Series order_perturb_curve(const model::RegularParams& params,
 /// scan-hiding transform.
 Series scan_hiding_curve(const model::RegularParams& params,
                          const SweepOptions& options);
+
+/// E18 (beyond the paper): the profile is the FIXED adversarial
+/// M_{a,b}(n); each trial randomizes the ALGORITHM's per-node scan
+/// placement instead (ScanPlacement::kAdversaryMatched with a per-trial
+/// seed the profile knows nothing about).
+Series randomized_scan_curve(const model::RegularParams& params,
+                             const SweepOptions& options);
 
 /// E8 (Lemma 1): empirical potential of a box of size s against a problem
 /// of size n: max progress observed over `samples` random placements plus

@@ -22,14 +22,9 @@ std::uint64_t derive_trial_seed(std::uint64_t seed, std::uint64_t trial,
   return mix;
 }
 
-namespace {
-
-/// Run one trial with the bounded retry-with-reseed policy. Never throws:
-/// every exception of every attempt is caught; the record of a trial that
-/// exhausts its attempts carries the last attempt's category and message.
-robust::TrialRecord run_one_trial(const McOptions& options,
-                                  const RobustTrialRunner& runner,
-                                  std::uint64_t trial, bool timing) {
+robust::TrialRecord run_single_trial(const McOptions& options,
+                                     const RobustTrialRunner& runner,
+                                     std::uint64_t trial, bool timing) {
   robust::TrialRecord record;
   record.trial = trial;
   for (std::uint32_t attempt = 0; attempt < options.max_attempts; ++attempt) {
@@ -60,6 +55,40 @@ robust::TrialRecord run_one_trial(const McOptions& options,
   }
   return record;
 }
+
+RobustTrialRunner make_regular_trial_runner(model::RegularParams params,
+                                            std::uint64_t n,
+                                            TrialSourceFactory make_source,
+                                            const McOptions& options) {
+  CADAPT_CHECK(make_source != nullptr);
+  return [params, n, make_source = std::move(make_source),
+          placement = options.placement, semantics = options.semantics,
+          max_boxes = options.max_boxes, faults = options.faults](
+             std::uint64_t trial_seed, robust::FaultInjector& injector) {
+    util::Rng rng(trial_seed);
+    auto source = make_source(rng);
+    CADAPT_CHECK(source != nullptr);
+    if (faults != nullptr) {
+      // Route every draw through the injector so FaultSite::kBoxDraw
+      // is exercised; unarmed plans never take this branch's cost.
+      robust::FaultyBoxSource faulty(std::move(source), &injector);
+      return run_regular(params, n, faulty, placement, max_boxes,
+                         /*adversary_seed=*/0, semantics);
+    }
+    return run_regular(params, n, *source, placement, max_boxes,
+                       /*adversary_seed=*/0, semantics);
+  };
+}
+
+RobustTrialRunner as_robust_runner(TrialRunner runner) {
+  CADAPT_CHECK(runner != nullptr);
+  return [runner = std::move(runner)](std::uint64_t trial_seed,
+                                      robust::FaultInjector&) {
+    return runner(trial_seed);
+  };
+}
+
+namespace {
 
 /// Fold one finished trial into the summary and the recorder — always on
 /// the driver thread, always in trial order, so summary and event stream
@@ -159,7 +188,7 @@ McSummary run_monte_carlo_robust(const McOptions& options,
     }
     std::vector<robust::TrialRecord> fresh(todo.size());
     util::parallel_for(the_pool, todo.size(), [&](std::size_t k) {
-      fresh[k] = run_one_trial(options, runner, todo[k], timing);
+      fresh[k] = run_single_trial(options, runner, todo[k], timing);
     });
 
     // Merge, account, aggregate, persist — single-threaded, trial order.
@@ -194,34 +223,14 @@ McSummary run_monte_carlo_custom(std::uint64_t trials, std::uint64_t seed,
   options.seed = seed;
   options.pool = pool;
   options.recorder = recorder;
-  return run_monte_carlo_robust(
-      options,
-      [&runner](std::uint64_t trial_seed, robust::FaultInjector&) {
-        return runner(trial_seed);
-      });
+  return run_monte_carlo_robust(options, as_robust_runner(runner));
 }
 
 McSummary run_monte_carlo(const model::RegularParams& params, std::uint64_t n,
                           const TrialSourceFactory& make_source,
                           const McOptions& options) {
   return run_monte_carlo_robust(
-      options,
-      [&](std::uint64_t trial_seed, robust::FaultInjector& injector) {
-        util::Rng rng(trial_seed);
-        auto source = make_source(rng);
-        CADAPT_CHECK(source != nullptr);
-        if (options.faults != nullptr) {
-          // Route every draw through the injector so FaultSite::kBoxDraw
-          // is exercised; unarmed plans never take this branch's cost.
-          robust::FaultyBoxSource faulty(std::move(source), &injector);
-          return run_regular(params, n, faulty, options.placement,
-                             options.max_boxes, /*adversary_seed=*/0,
-                             options.semantics);
-        }
-        return run_regular(params, n, *source, options.placement,
-                           options.max_boxes, /*adversary_seed=*/0,
-                           options.semantics);
-      });
+      options, make_regular_trial_runner(params, n, make_source, options));
 }
 
 McSummary run_monte_carlo_iid(const model::RegularParams& params,

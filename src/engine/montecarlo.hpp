@@ -25,6 +25,7 @@
 #include "profile/box_source.hpp"
 #include "profile/distributions.hpp"
 #include "robust/budget.hpp"
+#include "robust/checkpoint.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "util/random.hpp"
@@ -133,6 +134,32 @@ using RobustTrialRunner =
 /// historical derivation — recorded seeds from older traces reproduce.
 std::uint64_t derive_trial_seed(std::uint64_t seed, std::uint64_t trial,
                                 std::uint32_t attempt);
+
+/// Run ONE trial with the full containment policy (bounded retry with
+/// reseed, fault injection, categorized capture). Never throws: the
+/// record of a trial that exhausts its attempts carries the last
+/// attempt's category and message. Only `options`' seed, max_attempts and
+/// faults fields participate. This is the unit the campaign runner
+/// (src/campaign) drives inline from its own worker threads — same
+/// containment as run_monte_carlo_robust, no nested thread pools.
+robust::TrialRecord run_single_trial(const McOptions& options,
+                                     const RobustTrialRunner& runner,
+                                     std::uint64_t trial, bool timing = false);
+
+/// Package the standard (params, n, source-factory) trial body — the one
+/// run_monte_carlo executes — as a self-contained runner: draws a fresh
+/// profile per trial from make_source and runs the regular execution
+/// against it, routing box draws through the trial's fault injector when
+/// options.faults is armed. Captures everything by value except
+/// options.faults (a borrowed pointer that must outlive the runner).
+RobustTrialRunner make_regular_trial_runner(model::RegularParams params,
+                                            std::uint64_t n,
+                                            TrialSourceFactory make_source,
+                                            const McOptions& options);
+
+/// Adapt a seed-only TrialRunner to the robust interface (the injector's
+/// kTrialBody site still fires in run_single_trial before the body runs).
+RobustTrialRunner as_robust_runner(TrialRunner runner);
 
 /// The full robust driver: containment, retries, fault injection,
 /// budgets, checkpoint/resume — all controlled by `options` (trials,

@@ -70,11 +70,11 @@ TrialRecord record_from(const obs::Event& event, std::size_t line_no) {
 
 }  // namespace
 
-CheckpointData load_checkpoint(std::istream& is) {
-  CheckpointData data;
+std::vector<JsonlLine> load_jsonl_tolerant(std::istream& is,
+                                           const std::string& what) {
+  std::vector<JsonlLine> lines;
   std::string line;
   std::size_t line_no = 0;
-  bool saw_header = false;
   bool pending_torn = false;  // a parse failure that may be a torn tail
   std::string pending_error;
   std::size_t pending_line = 0;
@@ -89,11 +89,21 @@ CheckpointData load_checkpoint(std::istream& is) {
     std::string error;
     if (!obs::parse_jsonl(line, &event, &error)) {
       pending_torn = true;
-      pending_error =
-          "checkpoint line " + std::to_string(line_no) + ": " + error;
+      pending_error = what + " line " + std::to_string(line_no) + ": " + error;
       pending_line = line_no;
       continue;
     }
+    lines.push_back({line_no, std::move(event)});
+  }
+  return lines;
+}
+
+CheckpointData load_checkpoint(std::istream& is) {
+  CheckpointData data;
+  bool saw_header = false;
+  for (JsonlLine& parsed : load_jsonl_tolerant(is, "checkpoint")) {
+    const std::size_t line_no = parsed.line_no;
+    const obs::Event& event = parsed.event;
     if (event.type == "mc_checkpoint") {
       if (saw_header) {
         throw util::ParseError("checkpoint line " + std::to_string(line_no) +
@@ -139,12 +149,6 @@ CheckpointData load_checkpoint_file(const std::string& path) {
   return load_checkpoint(is);
 }
 
-namespace {
-
-/// Drop a torn final line (the wound of a kill landing mid-write) before
-/// appending: without this, the first appended record would concatenate
-/// onto the torn tail and corrupt the file for every later load. The
-/// loader tolerates the torn line; the writer must not entomb it.
 void truncate_torn_tail(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is.good()) return;  // missing file: append mode will create it
@@ -165,8 +169,6 @@ void truncate_torn_tail(const std::string& path) {
   is.close();
   std::filesystem::resize_file(path, static_cast<std::uintmax_t>(keep));
 }
-
-}  // namespace
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
                                    const CheckpointHeader& header, bool append)

@@ -26,9 +26,33 @@
 #include <string>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "robust/error.hpp"
 
 namespace cadapt::robust {
+
+/// One parsed line of a JSONL checkpoint stream, with its 1-based line
+/// number for error reporting.
+struct JsonlLine {
+  std::size_t line_no = 0;
+  obs::Event event;
+};
+
+/// Parse a JSONL stream with torn-final-line tolerance: every line must
+/// parse as an obs::Event, except that a malformed *final* line is
+/// silently dropped — the expected wound of a process killed mid-write.
+/// A malformed line anywhere else throws util::ParseError (line-numbered,
+/// prefixed with `what`). Empty lines are skipped. This is the shared
+/// substrate of every resumable JSONL format in the repo (the Monte-Carlo
+/// checkpoint below, the campaign sweep checkpoint in src/campaign).
+std::vector<JsonlLine> load_jsonl_tolerant(std::istream& is,
+                                           const std::string& what);
+
+/// Truncate a torn final line in place (no trailing '\n' means the last
+/// write was cut mid-line). Appending to the file without this would
+/// concatenate the first new record onto the torn tail and corrupt it for
+/// every later load. Missing or empty files are left untouched.
+void truncate_torn_tail(const std::string& path);
 
 /// Identity of a campaign; a resume refuses to mix checkpoints across
 /// campaigns with different identities.

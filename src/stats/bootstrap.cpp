@@ -1,0 +1,45 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/quantiles.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace cadapt::stats {
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              const BootstrapOptions& options,
+                              std::uint64_t seed) {
+  CADAPT_CHECK_MSG(!samples.empty(), "bootstrap_mean_ci requires samples");
+  CADAPT_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
+  CADAPT_CHECK(options.resamples >= 1);
+
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  const double mean = sum / static_cast<double>(samples.size());
+
+  BootstrapCi ci;
+  ci.point = mean;
+  if (samples.size() == 1) {
+    ci.lo = ci.hi = mean;
+    return ci;
+  }
+
+  util::Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(options.resamples);
+  const std::uint64_t n = samples.size();
+  for (std::uint64_t r = 0; r < options.resamples; ++r) {
+    double resum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) resum += samples[rng.below(n)];
+    means.push_back(resum / static_cast<double>(n));
+  }
+  const double alpha = 1.0 - options.confidence;
+  ci.lo = exact_quantile(means, alpha / 2.0);
+  ci.hi = exact_quantile(std::move(means), 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace cadapt::stats

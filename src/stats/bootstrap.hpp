@@ -1,0 +1,46 @@
+// Percentile-bootstrap confidence intervals for the mean — the
+// distribution-free interval the sweep regression gate compares
+// (docs/SWEEPS.md). Adaptivity-ratio samples are skewed and bounded
+// below, so the normal ±1.96·SEM interval under-covers on small cells;
+// the bootstrap does not assume a shape.
+//
+// Everything here is deterministic given (samples, options, seed): the
+// resampling RNG is an explicitly seeded util::Rng, never global state,
+// so a sweep report is a pure function of its manifest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cadapt::stats {
+
+struct BootstrapOptions {
+  /// Number of bootstrap resamples. 1000+ is customary for 95% intervals.
+  std::uint64_t resamples = 2000;
+  /// Central coverage of the interval, in (0, 1).
+  double confidence = 0.95;
+};
+
+/// A two-sided interval around a point estimate.
+struct BootstrapCi {
+  double point = 0.0;  ///< the sample mean itself
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// True when the intervals share no ground: this one lies entirely
+  /// above the other. The regression gate's "statistically significant
+  /// slowdown" is current.above(baseline) (docs/SWEEPS.md).
+  bool above(const BootstrapCi& other) const { return lo > other.hi; }
+  bool overlaps(const BootstrapCi& other) const {
+    return !(lo > other.hi || other.lo > hi);
+  }
+};
+
+/// Percentile bootstrap CI for the mean of `samples`. Requires at least
+/// one sample; with exactly one, the interval collapses to the point.
+/// Deterministic in (samples order, options, seed).
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              const BootstrapOptions& options,
+                              std::uint64_t seed);
+
+}  // namespace cadapt::stats

@@ -1,0 +1,58 @@
+#include "stats/fit.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cadapt::stats {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  CADAPT_CHECK(xs.size() == ys.size());
+  CADAPT_CHECK(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  CADAPT_CHECK_MSG(sxx > 0.0, "fit_linear requires non-constant x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+ExponentFit fit_power_law(std::span<const std::uint64_t> ns,
+                          std::span<const double> ys) {
+  CADAPT_CHECK(ns.size() == ys.size());
+  CADAPT_CHECK(ns.size() >= 2);
+  std::vector<double> log_n(ns.size()), log_y(ys.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    CADAPT_CHECK_MSG(ns[i] > 0, "fit_power_law requires n > 0");
+    CADAPT_CHECK_MSG(ys[i] > 0.0, "fit_power_law requires y > 0");
+    log_n[i] = std::log(static_cast<double>(ns[i]));
+    log_y[i] = std::log(ys[i]);
+  }
+  const LinearFit ols = fit_linear(log_n, log_y);
+  ExponentFit fit;
+  fit.exponent = ols.slope;
+  fit.scale = std::exp(ols.intercept);
+  fit.r2 = ols.r2;
+  fit.residuals.resize(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    fit.residuals[i] = log_y[i] - (ols.intercept + ols.slope * log_n[i]);
+  }
+  return fit;
+}
+
+}  // namespace cadapt::stats

@@ -1,0 +1,50 @@
+// Model fitting for experiment analysis: ordinary least squares and the
+// power-law exponent estimator behind the paper's headline quantity.
+//
+// The recurring question of cache-adaptive analysis is "what exponent
+// does this curve follow?" — Theorem 1/3 bound the expected cost by
+// O(n^{log_b a}), so a measured series (n_i, y_i) is summarized by the
+// fitted α in y ≈ C·n^α and compared against log_b a. fit_power_law
+// reports the fit together with its per-point log-space residuals so a
+// sweep report can show *where* a curve departs from the law, not just
+// that it does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cadapt::stats {
+
+/// Result of an ordinary least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r2 = 0.0;
+};
+
+/// OLS fit; requires xs.size() == ys.size() >= 2 and non-constant xs.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fitted power law y = scale · n^exponent (log–log OLS).
+struct ExponentFit {
+  /// The fitted α — an estimate of log_b a when y follows Theorem 1's
+  /// bound. Convert with a ≈ b^α.
+  double exponent = 0.0;
+  /// The fitted multiplicative constant C.
+  double scale = 0.0;
+  /// Coefficient of determination of the log–log fit in [0, 1].
+  double r2 = 0.0;
+  /// Per-point residuals ln(y_i) − ln(C·n_i^α), in input order. A clean
+  /// power law leaves them near 0; a Θ(log n) correction shows as a
+  /// systematic drift.
+  std::vector<double> residuals;
+};
+
+/// Fit y = C·n^α by OLS in log–log space. Requires at least two points,
+/// strictly positive ns and ys, and non-constant ns.
+ExponentFit fit_power_law(std::span<const std::uint64_t> ns,
+                          std::span<const double> ys);
+
+}  // namespace cadapt::stats

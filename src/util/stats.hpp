@@ -1,52 +1,37 @@
-// Streaming statistics and simple model fitting for experiment analysis.
+// Compatibility shim: the statistics kernels moved to src/stats (the
+// campaign/sweep subsystem made them a first-class library — see
+// stats/streaming.hpp, stats/fit.hpp, stats/quantiles.hpp). The aliases
+// below keep the historical util:: names working for existing call sites;
+// new code should include the stats/ headers directly.
 #pragma once
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
+
+#include "stats/fit.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/streaming.hpp"
 
 namespace cadapt::util {
 
-/// Welford one-pass accumulator for mean/variance. Numerically stable for
-/// the long Monte-Carlo streams produced by the engine.
-class RunningStat {
- public:
-  void add(double x);
-  void merge(const RunningStat& other);
-
-  std::size_t count() const { return n_; }
-  double mean() const;
-  /// Unbiased sample variance (n-1 denominator). 0 for n < 2.
-  double variance() const;
-  double stddev() const;
-  /// Standard error of the mean.
-  double sem() const;
-  /// Half-width of an approximate 95% normal confidence interval.
-  double ci95() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
-
- private:
-  std::size_t n_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
+/// Welford one-pass accumulator for mean/variance (stats/streaming.hpp).
+using RunningStat = stats::Welford;
 
 /// Result of an ordinary least-squares fit y = intercept + slope * x.
-struct LinearFit {
-  double slope = 0.0;
-  double intercept = 0.0;
-  /// Coefficient of determination in [0, 1].
-  double r2 = 0.0;
-};
+using LinearFit = stats::LinearFit;
 
 /// OLS fit; requires xs.size() == ys.size() >= 2 and non-constant xs.
-LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+inline LinearFit fit_linear(std::span<const double> xs,
+                            std::span<const double> ys) {
+  return stats::fit_linear(xs, ys);
+}
 
 /// Sample quantile (linear interpolation between order statistics);
 /// q in [0, 1]. The input need not be sorted.
-double quantile(std::vector<double> values, double q);
+inline double quantile(std::vector<double> values, double q) {
+  return stats::exact_quantile(std::move(values), q);
+}
 
 }  // namespace cadapt::util

@@ -1,0 +1,206 @@
+// campaign/manifest + campaign/plan: the declarative front half of the
+// sweep subsystem. Parsing must be strict (typos rejected, errors carry
+// line numbers), fingerprints must be canonical (same campaign ⇒ same
+// config_hash regardless of formatting), and plan expansion must be a
+// pure deterministic function of the manifest — cell indices are the
+// address space for checkpoints, shards, and reports.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/manifest.hpp"
+#include "campaign/plan.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace cadapt;
+using campaign::Manifest;
+using campaign::Plan;
+using campaign::ProfileKind;
+using campaign::Workload;
+
+Manifest parse(const std::string& text) {
+  std::istringstream is(text);
+  return campaign::parse_manifest(is);
+}
+
+TEST(Manifest, ParsesRatioCampaign) {
+  const Manifest m = parse(
+      "# comment\n"
+      "name = demo\n"
+      "algos = 8:4:1 7:4:1\n"
+      "profiles = worst shuffled perturb:4 iid:geometric:6\n"
+      "k = 2..4\n"
+      "trials = 16\n"
+      "seed = 7\n");
+  EXPECT_EQ(m.name, "demo");
+  EXPECT_EQ(m.workload, Workload::kRatio);
+  ASSERT_EQ(m.algos.size(), 2u);
+  EXPECT_EQ(m.algos[0].token, "8:4:1");
+  EXPECT_EQ(m.algos[0].params.a, 8u);
+  EXPECT_EQ(m.algos[0].params.b, 4u);
+  ASSERT_EQ(m.profiles.size(), 4u);
+  EXPECT_EQ(m.profiles[0].kind, ProfileKind::kWorst);
+  EXPECT_EQ(m.profiles[2].kind, ProfileKind::kPerturb);
+  EXPECT_DOUBLE_EQ(m.profiles[2].farg, 4.0);
+  EXPECT_EQ(m.profiles[3].kind, ProfileKind::kIid);
+  EXPECT_EQ(m.profiles[3].dist, "geometric");
+  EXPECT_EQ(m.ks, (std::vector<unsigned>{2, 3, 4}));
+  EXPECT_EQ(m.trials, 16u);
+  EXPECT_EQ(m.seed, 7u);
+}
+
+TEST(Manifest, ParsesSortCampaign) {
+  const Manifest m = parse(
+      "name = s\n"
+      "workload = sort\n"
+      "sorts = adaptive funnel merge2\n"
+      "profiles = const:64 mworst:2:2:512:2\n"
+      "keys = 4096\n"
+      "block = 8\n"
+      "trials = 4\n");
+  EXPECT_EQ(m.workload, Workload::kSort);
+  EXPECT_EQ(m.sorts, (std::vector<std::string>{"adaptive", "funnel", "merge2"}));
+  ASSERT_EQ(m.profiles.size(), 2u);
+  EXPECT_EQ(m.profiles[0].kind, ProfileKind::kConst);
+  EXPECT_EQ(m.profiles[1].kind, ProfileKind::kMWorst);
+  EXPECT_EQ(m.keys, 4096u);
+  EXPECT_EQ(m.block, 8u);
+}
+
+TEST(Manifest, ExplicitKListAndRange) {
+  const Manifest ranged = parse(
+      "name = x\nalgos = 4:2:1\nprofiles = worst\nk = 3..5\n");
+  EXPECT_EQ(ranged.ks, (std::vector<unsigned>{3, 4, 5}));
+  const Manifest listed = parse(
+      "name = x\nalgos = 4:2:1\nprofiles = worst\nk = 2 5 9\n");
+  EXPECT_EQ(listed.ks, (std::vector<unsigned>{2, 5, 9}));
+}
+
+TEST(Manifest, RejectsUnknownKeyWithLineNumber) {
+  try {
+    parse("name = x\nalgos = 4:2:1\nprofiles = worst\nk = 2\nalgoz = 1:2:3\n");
+    FAIL() << "unknown key accepted";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos)
+        << "error should name line 5: " << e.what();
+  }
+}
+
+TEST(Manifest, RejectsMalformedInput) {
+  // missing required name
+  EXPECT_THROW(parse("algos = 4:2:1\nprofiles = worst\nk = 2\n"),
+               util::ParseError);
+  // bad algo shape
+  EXPECT_THROW(parse("name = x\nalgos = 4:0:1\nprofiles = worst\nk = 2\n"),
+               util::ParseError);
+  // unknown profile token
+  EXPECT_THROW(parse("name = x\nalgos = 4:2:1\nprofiles = bogus\nk = 2\n"),
+               util::ParseError);
+  // line without '='
+  EXPECT_THROW(parse("name = x\nalgos 4:2:1\nprofiles = worst\nk = 2\n"),
+               util::ParseError);
+  // ratio manifest with no k
+  EXPECT_THROW(parse("name = x\nalgos = 4:2:1\nprofiles = worst\n"),
+               util::ParseError);
+  // sort manifest with a ratio profile
+  EXPECT_THROW(parse("name = x\nworkload = sort\nsorts = adaptive\n"
+                     "profiles = worst\n"),
+               util::ParseError);
+}
+
+TEST(Manifest, FingerprintIgnoresFormattingButNotContent) {
+  const Manifest a = parse(
+      "name = demo\nalgos = 8:4:1\nprofiles = worst shuffled\nk = 2..3\n"
+      "trials = 16\nseed = 7\n");
+  const Manifest b = parse(
+      "# reformatted, same campaign\n"
+      "seed=7\n"
+      "trials =  16\n"
+      "k = 2 3\n"
+      "profiles = worst shuffled\n"
+      "algos = 8:4:1\n"
+      "name = demo\n");
+  EXPECT_EQ(campaign::manifest_fingerprint(a), campaign::manifest_fingerprint(b));
+  EXPECT_EQ(campaign::manifest_hash(a), campaign::manifest_hash(b));
+
+  Manifest c = a;
+  c.seed = 8;
+  EXPECT_NE(campaign::manifest_hash(a), campaign::manifest_hash(c));
+  Manifest d = a;
+  d.trials = 17;
+  EXPECT_NE(campaign::manifest_hash(a), campaign::manifest_hash(d));
+}
+
+TEST(Plan, ExpandsAlgoMajorWithStableIndicesAndSeeds) {
+  const Manifest m = parse(
+      "name = demo\nalgos = 8:4:1 7:4:1\nprofiles = worst shuffled\n"
+      "k = 2..3\ntrials = 16\nseed = 100\n");
+  const Plan plan = campaign::expand_plan(m);
+  ASSERT_EQ(plan.cells.size(), 2u * 2u * 2u);
+  EXPECT_EQ(plan.config_hash, campaign::manifest_hash(m));
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    EXPECT_EQ(plan.cells[i].index, i);
+  }
+  // algo-major, then profile, then k
+  EXPECT_EQ(plan.cells[0].algo.token, "8:4:1");
+  EXPECT_EQ(plan.cells[0].profile.token, "worst");
+  EXPECT_EQ(plan.cells[0].k, 2u);
+  EXPECT_EQ(plan.cells[1].k, 3u);
+  EXPECT_EQ(plan.cells[2].profile.token, "shuffled");
+  EXPECT_EQ(plan.cells[4].algo.token, "7:4:1");
+  // n = b^k; ratio seed = manifest.seed + k
+  EXPECT_EQ(plan.cells[0].n, 16u);
+  EXPECT_EQ(plan.cells[1].n, 64u);
+  EXPECT_EQ(plan.cells[0].seed, 102u);
+  EXPECT_EQ(plan.cells[1].seed, 103u);
+  // deterministic worst cells force trials = 1; stochastic keep 16
+  EXPECT_EQ(plan.cells[0].trials, 1u);
+  EXPECT_EQ(plan.cells[2].trials, 16u);
+}
+
+TEST(Plan, ExpandsSortCellsSeededByIndex) {
+  const Manifest m = parse(
+      "name = s\nworkload = sort\nsorts = adaptive funnel\n"
+      "profiles = const:64 uniform:4:128\nkeys = 4096\ntrials = 4\nseed = 50\n");
+  const Plan plan = campaign::expand_plan(m);
+  ASSERT_EQ(plan.cells.size(), 4u);
+  EXPECT_EQ(plan.cells[0].sort, "adaptive");
+  EXPECT_EQ(plan.cells[1].profile.token, "uniform:4:128");
+  EXPECT_EQ(plan.cells[2].sort, "funnel");
+  for (const auto& cell : plan.cells) {
+    EXPECT_TRUE(cell.algo.token.empty());
+    EXPECT_EQ(cell.n, 4096u);
+    EXPECT_EQ(cell.trials, 4u);
+    EXPECT_EQ(cell.seed, 50u + cell.index);
+  }
+}
+
+TEST(Plan, ShardsRoundRobinAndCoverTheGrid) {
+  const Manifest m = parse(
+      "name = demo\nalgos = 8:4:1\nprofiles = worst shuffled shifted\n"
+      "k = 1..5\ntrials = 2\n");
+  const Plan plan = campaign::expand_plan(m);
+  ASSERT_EQ(plan.cells.size(), 15u);
+
+  std::vector<bool> seen(plan.cells.size(), false);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    for (const std::size_t i : campaign::shard_cells(plan, 4, s)) {
+      EXPECT_EQ(i % 4, s);  // round-robin ownership
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (const bool b : seen) EXPECT_TRUE(b);
+
+  const auto all = campaign::shard_cells(plan, 1, 0);
+  EXPECT_EQ(all.size(), plan.cells.size());
+
+  EXPECT_THROW(campaign::shard_cells(plan, 0, 0), util::UsageError);
+  EXPECT_THROW(campaign::shard_cells(plan, 2, 2), util::UsageError);
+}
+
+}  // namespace

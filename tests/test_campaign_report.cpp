@@ -1,0 +1,300 @@
+// campaign/report + campaign/gate: the artifact half of the sweep
+// subsystem. Reports must round-trip bit-exactly (doubles included),
+// tolerate a torn final line, refuse cross-campaign merges, and the gate
+// must be a pure deterministic function of the two reports.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/gate.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "robust/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace cadapt;
+using campaign::CellResult;
+using campaign::Report;
+using robust::TrialRecord;
+
+campaign::Plan demo_plan() {
+  std::istringstream is(
+      "name = demo\nalgos = 4:2:1\nprofiles = shuffled\nk = 2..3\n"
+      "trials = 4\nseed = 9\n");
+  return campaign::expand_plan(campaign::parse_manifest(is));
+}
+
+TrialRecord ok_trial(std::uint64_t trial, double ratio, std::uint64_t boxes) {
+  TrialRecord r;
+  r.trial = trial;
+  r.seed = 100 + trial;
+  r.completed = true;
+  r.boxes = boxes;
+  r.ratio = ratio;
+  r.unit_ratio = ratio / 2.0;
+  return r;
+}
+
+// A report with real aggregates for the demo plan, built without running
+// the engine: cells are synthesized from hand-made trial records.
+// `spread` controls the within-cell sample dispersion (and hence CI
+// width): 8.0 gives wide CIs, 1000.0 near-deterministic cells.
+Report demo_report(double ratio_scale = 1.0, double spread = 8.0) {
+  const campaign::Plan plan = demo_plan();
+  Report report;
+  report.name = plan.manifest.name;
+  report.config_hash = plan.config_hash;
+  report.cells_total = plan.cells.size();
+  for (const campaign::Cell& cell : plan.cells) {
+    std::vector<TrialRecord> records;
+    for (std::uint64_t t = 0; t < cell.trials; ++t) {
+      records.push_back(ok_trial(
+          t,
+          ratio_scale *
+              (2.0 + static_cast<double>(cell.index + t) / spread),
+          32 + t));
+    }
+    report.cells.push_back(
+        campaign::aggregate_cell(cell, records, plan.config_hash,
+                                 plan.manifest.unit_progress));
+  }
+  report.fits = campaign::compute_fits(report);
+  return report;
+}
+
+TEST(Aggregate, CountsAndStatistics) {
+  const campaign::Plan plan = demo_plan();
+  const campaign::Cell& cell = plan.cells[0];
+  ASSERT_EQ(cell.trials, 4u);
+
+  std::vector<TrialRecord> records;
+  records.push_back(ok_trial(0, 3.0, 10));
+  records.push_back(ok_trial(1, 5.0, 20));
+  TrialRecord capped;  // hit the box cap: counts, no sample
+  capped.trial = 2;
+  capped.boxes = 30;
+  records.push_back(capped);
+  TrialRecord failed;  // contained error: excluded from boxes too
+  failed.trial = 3;
+  failed.failed = true;
+  failed.category = robust::ErrorCategory::kInjected;
+  failed.what = "boom";
+  records.push_back(failed);
+
+  const CellResult out =
+      campaign::aggregate_cell(cell, records, plan.config_hash, false);
+  EXPECT_EQ(out.index, cell.index);
+  EXPECT_EQ(out.trials, 4u);
+  EXPECT_EQ(out.completed, 2u);
+  EXPECT_EQ(out.incomplete, 1u);
+  EXPECT_EQ(out.failed, 1u);
+  EXPECT_EQ(out.samples, (std::vector<double>{3.0, 5.0}));
+  EXPECT_DOUBLE_EQ(out.mean, 4.0);
+  EXPECT_DOUBLE_EQ(out.q50, 4.0);
+  EXPECT_DOUBLE_EQ(out.boxes_mean, 20.0);  // (10+20+30)/3, failed excluded
+  EXPECT_LE(out.ci_lo, out.mean);
+  EXPECT_GE(out.ci_hi, out.mean);
+
+  // unit_progress flips the sampled metric to unit_ratio.
+  const CellResult unit =
+      campaign::aggregate_cell(cell, records, plan.config_hash, true);
+  EXPECT_EQ(unit.samples, (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(Aggregate, CiSeedIsPureFunctionOfIdentity) {
+  EXPECT_EQ(campaign::cell_ci_seed(1, 2), campaign::cell_ci_seed(1, 2));
+  EXPECT_NE(campaign::cell_ci_seed(1, 2), campaign::cell_ci_seed(1, 3));
+  EXPECT_NE(campaign::cell_ci_seed(1, 2), campaign::cell_ci_seed(2, 2));
+}
+
+TEST(Report, CellEventRoundTripsBitExactly) {
+  const Report report = demo_report();
+  for (const CellResult& cell : report.cells) {
+    const CellResult back =
+        campaign::cell_from_event(campaign::cell_event(cell), 1);
+    EXPECT_EQ(back, cell);  // operator== covers every field, doubles exact
+  }
+}
+
+TEST(Report, WriteLoadRoundTripsBitExactly) {
+  const Report report = demo_report();
+  std::ostringstream os;
+  campaign::write_report(os, report);
+  std::istringstream is(os.str());
+  const Report back = campaign::load_report(is);
+  EXPECT_EQ(back.version, report.version);
+  EXPECT_EQ(back.name, report.name);
+  EXPECT_EQ(back.config_hash, report.config_hash);
+  EXPECT_EQ(back.cells_total, report.cells_total);
+  EXPECT_EQ(back.cells, report.cells);
+  EXPECT_EQ(back.fits, report.fits);
+
+  // Idempotent encoding: re-serializing the loaded report is byte-equal.
+  std::ostringstream os2;
+  campaign::write_report(os2, back);
+  EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(Report, ToleratesTornFinalLine) {
+  const Report report = demo_report();
+  std::ostringstream os;
+  campaign::write_report(os, report);
+  std::string text = os.str();
+  // Tear mid-way through the LAST CELL line — the expected wound of a
+  // killed writer. Everything after it (the fit line) goes too, so the
+  // torn cell line is the final line and must be silently dropped.
+  const std::size_t last_cell = text.rfind("\"type\":\"sweep_cell\"");
+  ASSERT_NE(last_cell, std::string::npos);
+  text.resize(last_cell + 30);
+  std::istringstream is(text);
+  const Report back = campaign::load_report(is);
+  EXPECT_EQ(back.cells.size(), report.cells.size() - 1);
+  EXPECT_TRUE(back.fits.empty());
+}
+
+TEST(Report, RejectsMalformedContent) {
+  // not a report header
+  {
+    std::istringstream is("{\"type\":\"sweep_cell\",\"index\":0}\n");
+    EXPECT_THROW(campaign::load_report(is), util::ParseError);
+  }
+  // unknown record type after a valid header
+  {
+    const Report report = demo_report();
+    std::ostringstream os;
+    campaign::write_report(os, report);
+    std::istringstream is(os.str() + "{\"type\":\"mystery\"}\n");
+    EXPECT_THROW(campaign::load_report(is), util::ParseError);
+  }
+  // samples/completed mismatch
+  {
+    CellResult cell = demo_report().cells[0];
+    cell.samples.pop_back();
+    EXPECT_THROW(
+        campaign::cell_from_event(campaign::cell_event(cell), 3),
+        util::ParseError);
+  }
+}
+
+TEST(Report, MergeReassemblesShards) {
+  const Report full = demo_report();
+  Report even = full, odd = full;
+  even.shards = odd.shards = 2;
+  even.shard_index = 0;
+  odd.shard_index = 1;
+  even.cells.clear();
+  odd.cells.clear();
+  even.fits.clear();
+  odd.fits.clear();
+  for (const CellResult& cell : full.cells) {
+    (cell.index % 2 == 0 ? even : odd).cells.push_back(cell);
+  }
+  even.wall_ms = 5;
+  odd.wall_ms = 7;
+
+  const Report merged = campaign::merge_reports({odd, even});
+  EXPECT_EQ(merged.cells, full.cells);  // re-sorted by index
+  EXPECT_EQ(merged.fits, full.fits);    // recomputed at full coverage
+  EXPECT_EQ(merged.wall_ms, 12u);
+  EXPECT_EQ(merged.shards, 1u);
+
+  // Missing a shard: the union no longer covers the grid.
+  EXPECT_THROW(campaign::merge_reports({even}), util::ParseError);
+  // Duplicate cell indices.
+  EXPECT_THROW(campaign::merge_reports({even, even, odd}), util::ParseError);
+  // Cross-campaign mix.
+  Report other = odd;
+  other.config_hash ^= 1;
+  EXPECT_THROW(campaign::merge_reports({even, other}), util::ParseError);
+}
+
+TEST(Report, FitsRecoverTheGrowthExponent) {
+  const Report report = demo_report();
+  ASSERT_EQ(report.fits.size(), 1u);
+  EXPECT_EQ(report.fits[0].algo, "4:2:1");
+  EXPECT_EQ(report.fits[0].profile, "shuffled");
+  EXPECT_DOUBLE_EQ(report.fits[0].expected, 2.0);  // log_2 4
+  // demo samples grow slowly with index, not with n — exponent near 0.
+  EXPECT_LT(report.fits[0].exponent, 0.5);
+}
+
+TEST(Gate, SelfComparisonPasses) {
+  const Report report = demo_report();
+  const campaign::GateResult gate =
+      campaign::gate_against_baseline(report, report);
+  EXPECT_TRUE(gate.passed());
+  EXPECT_EQ(gate.compared, report.cells.size());
+  EXPECT_EQ(gate.skipped, 0u);
+  for (const campaign::CellGate& cell : gate.cells) {
+    EXPECT_TRUE(cell.comparable);
+    EXPECT_FALSE(cell.regression);
+    EXPECT_DOUBLE_EQ(cell.rel_change, 0.0);
+  }
+}
+
+TEST(Gate, InjectedSlowdownFails) {
+  const Report report = demo_report();
+  campaign::GateOptions options;
+  options.inject_factor = 1.5;
+  const campaign::GateResult gate =
+      campaign::gate_against_baseline(report, report, options);
+  EXPECT_FALSE(gate.passed());
+  EXPECT_EQ(gate.regressions, report.cells.size());
+  // Same comparison through real sample scaling instead of injection.
+  const campaign::GateResult scaled =
+      campaign::gate_against_baseline(report, demo_report(1.5));
+  EXPECT_FALSE(scaled.passed());
+}
+
+TEST(Gate, RelThresholdFiltersTinyButSignificantDrift) {
+  // Near-deterministic cells (tiny CIs): a +2% drift IS CI-separated,
+  // so only the relative-change floor decides the verdict.
+  const Report base = demo_report(1.0, 1000.0);
+  const Report drift = demo_report(1.02, 1000.0);
+  campaign::GateOptions options;
+  options.rel_threshold = 0.05;
+  EXPECT_TRUE(
+      campaign::gate_against_baseline(base, drift, options).passed());
+  options.rel_threshold = 0.01;
+  EXPECT_FALSE(
+      campaign::gate_against_baseline(base, drift, options).passed());
+}
+
+TEST(Gate, ImprovementsNeverFail) {
+  const campaign::GateResult gate =
+      campaign::gate_against_baseline(demo_report(), demo_report(0.5));
+  EXPECT_TRUE(gate.passed());
+}
+
+TEST(Gate, RefusesMismatchedCampaigns) {
+  const Report report = demo_report();
+  Report other = report;
+  other.config_hash ^= 1;
+  EXPECT_THROW(campaign::gate_against_baseline(report, other),
+               util::ParseError);
+  Report partial = report;
+  partial.cells.pop_back();
+  EXPECT_THROW(campaign::gate_against_baseline(report, partial),
+               util::ParseError);
+}
+
+TEST(Gate, DeterministicAcrossReruns) {
+  const Report base = demo_report();
+  const Report cur = demo_report(1.04);
+  const campaign::GateResult a = campaign::gate_against_baseline(base, cur);
+  const campaign::GateResult b = campaign::gate_against_baseline(base, cur);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].regression, b.cells[i].regression);
+    EXPECT_EQ(a.cells[i].current.lo, b.cells[i].current.lo);
+    EXPECT_EQ(a.cells[i].current.hi, b.cells[i].current.hi);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+// campaign/sweep: the orchestrator's headline guarantees, exercised on a
+// real (small) campaign. The report must be bit-identical across thread
+// pool sizes, across a sharded split merged back together, and across a
+// kill + resume; fault injection must be contained per trial; budgets
+// must truncate explicitly. Runs under TSAN in CI — the cell workers,
+// budget tracker, and checkpoint sink are all shared state.
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/manifest.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/sweep.hpp"
+#include "obs/sink.hpp"
+#include "robust/fault.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace cadapt;
+using campaign::Plan;
+using campaign::Report;
+using campaign::SweepOptions;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+Plan small_plan() {
+  std::istringstream is(
+      "name = runner_demo\n"
+      "algos = 4:2:1\n"
+      "profiles = shuffled iid:geometric:3\n"
+      "k = 1..3\n"
+      "trials = 6\n"
+      "seed = 11\n");
+  return campaign::expand_plan(campaign::parse_manifest(is));
+}
+
+SweepOptions untimed(std::uint64_t jobs) {
+  SweepOptions options;
+  options.jobs = jobs;
+  options.timing = false;
+  return options;
+}
+
+// Reports are plain data; with timing off the whole struct must match.
+void expect_same_report(const Report& a, const Report& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.config_hash, b.config_hash);
+  EXPECT_EQ(a.cells_total, b.cells_total);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.wall_ms, b.wall_ms);
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.fits, b.fits);
+}
+
+TEST(SweepRunner, ReportIsBitIdenticalAcrossJobCounts) {
+  const Plan plan = small_plan();
+  const Report r1 = campaign::run_sweep(plan, untimed(1));
+  const Report r2 = campaign::run_sweep(plan, untimed(2));
+  const Report r8 = campaign::run_sweep(plan, untimed(8));
+  ASSERT_EQ(r1.cells.size(), plan.cells.size());
+  expect_same_report(r1, r2);
+  expect_same_report(r1, r8);
+  // The run did real work: every trial of every cell completed.
+  for (const campaign::CellResult& cell : r1.cells) {
+    EXPECT_EQ(cell.completed, cell.trials);
+    EXPECT_EQ(cell.samples.size(), cell.trials);
+    EXPECT_GT(cell.mean, 0.0);
+  }
+  EXPECT_FALSE(r1.fits.empty());
+}
+
+TEST(SweepRunner, ShardedRunMergesToTheFullReport) {
+  const Plan plan = small_plan();
+  const Report full = campaign::run_sweep(plan, untimed(2));
+
+  std::vector<Report> parts;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    SweepOptions options = untimed(2);
+    options.shards = 3;
+    options.shard_index = s;
+    parts.push_back(campaign::run_sweep(plan, options));
+    EXPECT_EQ(parts.back().shards, 3u);
+    EXPECT_EQ(parts.back().shard_index, s);
+    // Partial coverage: no fits on a shard report.
+    EXPECT_TRUE(parts.back().fits.empty());
+  }
+  const Report merged = campaign::merge_reports(parts);
+  expect_same_report(full, merged);
+}
+
+TEST(SweepRunner, ResumeAfterTornCheckpointIsBitIdentical) {
+  const Plan plan = small_plan();
+  const Report full = campaign::run_sweep(plan, untimed(2));
+
+  // Produce a complete checkpoint, then tear it down to the header plus
+  // two finished cells and a torn partial line — the wound a kill leaves.
+  const std::string full_ckpt = temp_path("sweep_full.ckpt");
+  {
+    SweepOptions options = untimed(2);
+    options.checkpoint_path = full_ckpt;
+    campaign::run_sweep(plan, options);
+  }
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(full_ckpt);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 1 + plan.cells.size());
+  const std::string torn_ckpt = temp_path("sweep_torn.ckpt");
+  {
+    std::ofstream out(torn_ckpt, std::ios::trunc);
+    out << lines[0] << "\n" << lines[1] << "\n" << lines[2] << "\n";
+    out << lines[3].substr(0, lines[3].size() / 2);  // no newline: torn
+  }
+
+  SweepOptions options = untimed(2);
+  options.checkpoint_path = torn_ckpt;
+  options.resume = true;
+  const Report resumed = campaign::run_sweep(plan, options);
+  expect_same_report(full, resumed);
+
+  // A second resume finds every cell cached and still reproduces the
+  // report without running anything.
+  const Report cached = campaign::run_sweep(plan, options);
+  expect_same_report(full, cached);
+}
+
+TEST(SweepRunner, ResumeRefusesForeignCheckpoint) {
+  const Plan plan = small_plan();
+  std::istringstream is(
+      "name = runner_demo\nalgos = 4:2:1\nprofiles = shuffled "
+      "iid:geometric:3\nk = 1..3\ntrials = 6\nseed = 12\n");
+  const Plan other = campaign::expand_plan(campaign::parse_manifest(is));
+  ASSERT_NE(plan.config_hash, other.config_hash);
+
+  const std::string ckpt = temp_path("sweep_foreign.ckpt");
+  {
+    SweepOptions options = untimed(1);
+    options.checkpoint_path = ckpt;
+    campaign::run_sweep(other, options);
+  }
+  SweepOptions options = untimed(1);
+  options.checkpoint_path = ckpt;
+  options.resume = true;
+  EXPECT_THROW(campaign::run_sweep(plan, options), util::ParseError);
+}
+
+TEST(SweepRunner, InjectedFaultsAreContainedPerTrial) {
+  const Plan plan = small_plan();
+  const robust::FaultPlan faults =
+      robust::FaultPlan::parse_spec("trial_body=1", 77);
+  obs::MemorySink trace;
+  SweepOptions options = untimed(4);
+  options.faults = &faults;
+  options.trace = &trace;
+  const Report report = campaign::run_sweep(plan, options);  // no throw
+  std::uint64_t failed = 0;
+  for (const campaign::CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.failed, cell.trials);  // every trial contained
+    EXPECT_EQ(cell.completed, 0u);
+    EXPECT_TRUE(cell.samples.empty());
+    failed += cell.failed;
+  }
+  // No complete series → no fits.
+  EXPECT_TRUE(report.fits.empty());
+  // Telemetry saw one error event per contained trial plus a cell event
+  // per cell.
+  std::uint64_t error_events = 0, cell_events = 0;
+  for (const obs::Event& event : trace.events()) {
+    if (event.type == "sweep_trial_error") ++error_events;
+    if (event.type == "sweep_cell") ++cell_events;
+  }
+  EXPECT_EQ(error_events, failed);
+  EXPECT_EQ(cell_events, report.cells.size());
+
+  // Retries burn attempts but a rate-1 plan still fails the last one.
+  SweepOptions retrying = untimed(2);
+  retrying.faults = &faults;
+  retrying.max_attempts = 2;
+  const Report retried = campaign::run_sweep(plan, retrying);
+  for (const campaign::CellResult& cell : retried.cells) {
+    EXPECT_EQ(cell.failed, cell.trials);
+  }
+}
+
+TEST(SweepRunner, PartialFaultRateIsDeterministicAcrossJobs) {
+  const Plan plan = small_plan();
+  const robust::FaultPlan faults =
+      robust::FaultPlan::parse_spec("box_draw=0.05", 5);
+  SweepOptions a = untimed(1);
+  a.faults = &faults;
+  SweepOptions b = untimed(8);
+  b.faults = &faults;
+  const Report ra = campaign::run_sweep(plan, a);
+  const Report rb = campaign::run_sweep(plan, b);
+  expect_same_report(ra, rb);
+  std::uint64_t failed = 0;
+  for (const campaign::CellResult& cell : ra.cells) failed += cell.failed;
+  EXPECT_GT(failed, 0u);  // the rate actually bit somewhere
+}
+
+TEST(SweepRunner, BoxBudgetTruncatesExplicitly) {
+  const Plan plan = small_plan();
+  SweepOptions options = untimed(1);
+  options.budget.max_total_boxes = 1;  // trips after the first cell
+  const Report report = campaign::run_sweep(plan, options);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_GE(report.cells.size(), 1u);
+  EXPECT_LT(report.cells.size(), plan.cells.size());
+  EXPECT_EQ(report.cells_total, plan.cells.size());
+  EXPECT_TRUE(report.fits.empty());  // partial coverage
+}
+
+TEST(SweepRunner, SortWorkloadRunsAllThreeSorts) {
+  std::istringstream is(
+      "name = sort_demo\n"
+      "workload = sort\n"
+      "sorts = adaptive funnel merge2\n"
+      "profiles = const:16\n"
+      "keys = 256\n"
+      "block = 4\n"
+      "trials = 2\n"
+      "seed = 3\n");
+  const Plan plan = campaign::expand_plan(campaign::parse_manifest(is));
+  const Report r1 = campaign::run_sweep(plan, untimed(1));
+  const Report r4 = campaign::run_sweep(plan, untimed(4));
+  expect_same_report(r1, r4);
+  ASSERT_EQ(r1.cells.size(), 3u);
+  for (const campaign::CellResult& cell : r1.cells) {
+    EXPECT_EQ(cell.completed, 2u);  // every sort verified sorted output
+    EXPECT_GT(cell.mean, 0.0);      // total I/Os
+    EXPECT_TRUE(cell.algo.empty());
+    EXPECT_FALSE(cell.sort.empty());
+  }
+  // Sort campaigns have no ratio series: no fits.
+  EXPECT_TRUE(r1.fits.empty());
+}
+
+}  // namespace

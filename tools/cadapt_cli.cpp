@@ -31,6 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/gate.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/provenance.hpp"
+#include "campaign/report.hpp"
+#include "campaign/sweep.hpp"
 #include "core/cadapt.hpp"
 #include "core/report.hpp"
 #include "obs/event.hpp"
@@ -78,6 +83,13 @@ commands:
               --box-budget B (explicit truncation, never a biased mean),
               --checkpoint F [--resume] [--checkpoint-every K],
               --errors-shown E (default 5)
+  sweep       declarative campaign from a manifest file (docs/SWEEPS.md):
+              cadapt sweep <manifest> [--jobs J] [--out F]
+              [--shards S --shard-index I] [--checkpoint F [--resume]]
+              [--baseline report] [--no-timing] ... — run
+              'cadapt help sweep' for the full flag list
+  version     build provenance (version, git hash, compiler, flags)
+  help [cmd]  this text, or detailed help for one command
 
 exit codes:
   0 success   2 usage error   3 input error (bad/unreadable file)
@@ -351,6 +363,176 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
   return 0;
 }
 
+// Detailed per-command help for `cadapt help <command>`. Falls back to
+// the top-level usage text for commands without a dedicated page.
+int help_for(const std::string& cmd) {
+  if (cmd == "sweep") {
+    std::cout <<
+        R"(cadapt sweep - run a declarative experiment campaign (docs/SWEEPS.md)
+
+usage:
+  cadapt sweep <manifest> [flags]        run (a shard of) the campaign
+  cadapt sweep --merge <report>... [flags]   merge shard reports
+
+The manifest (key=value lines; see bench/manifests/ and docs/SWEEPS.md)
+expands into a deterministic cell grid: algorithm x profile x size, each
+cell running --trials seeded Monte-Carlo trials. The report written to
+--out is a pure function of the manifest — bit-identical across --jobs
+values, shard splits, and kill + --resume (pass --no-timing to zero the
+wall clocks too).
+
+execution flags:
+  --jobs J              worker threads (default: hardware concurrency)
+  --out F               report path (default BENCH_sweep.json)
+  --shards S --shard-index I   run only cells with index % S == I;
+                        merge the shard reports with --merge afterwards
+  --checkpoint F        record finished cells; a killed sweep resumes
+                        with --resume, losing at most the cells in flight
+  --resume              continue from --checkpoint (header must match)
+  --no-timing           zero wall_ms/wall_ns for bit-identical artifacts
+  --trace F             JSONL telemetry (completion order) to F
+
+robustness flags (docs/ROBUSTNESS.md):
+  --retries R           extra reseeded attempts per failing trial
+  --fault site=rate,... --fault-seed S    deterministic fault injection
+  --deadline-ms D --box-budget B          budget: skip remaining cells,
+                        mark the report truncated — never a silent bias
+
+baseline gating:
+  --baseline F          compare against a stored report of the SAME
+                        campaign; exit 4 if any cell regressed
+                        (bootstrap CIs disjoint AND mean up > --gate-rel)
+  --gate-rel X          relative slowdown floor (default 0.05)
+  --gate-inject X       multiply current samples by X first — a seeded
+                        rehearsal proving the gate can fail
+)";
+    return 0;
+  }
+  if (cmd == "version") {
+    std::cout << "cadapt version - print the provenance baked into this "
+                 "binary\n\nThe same fields are embedded verbatim in every "
+                 "sweep report's sweep_env line,\nso a report always "
+                 "answers \"which build measured this?\".\n";
+    return 0;
+  }
+  return usage();
+}
+
+int run_sweep_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  const std::string out_path = args.get_string("out", "BENCH_sweep.json");
+
+  campaign::Report report;
+  if (args.has("merge")) {
+    // ArgParser pairs "--merge x.json" as flag + value, so the first
+    // report path may arrive as the flag's value rather than a positional.
+    std::vector<std::string> inputs;
+    const std::string merge_value = args.get_string("merge", "");
+    if (!merge_value.empty()) inputs.push_back(merge_value);
+    inputs.insert(inputs.end(), pos.begin() + 1, pos.end());
+    if (inputs.empty()) {
+      throw util::UsageError("sweep --merge requires shard report paths");
+    }
+    std::vector<campaign::Report> parts;
+    for (const std::string& path : inputs) {
+      parts.push_back(campaign::load_report_file(path));
+    }
+    report = campaign::merge_reports(parts);
+    std::cout << "merged " << parts.size() << " shard reports ("
+              << report.cells.size() << " cells)\n";
+  } else {
+    if (pos.size() != 2) {
+      throw util::UsageError(
+          "sweep requires exactly one manifest path (or --merge)");
+    }
+    const campaign::Manifest manifest = campaign::parse_manifest_file(pos[1]);
+    const campaign::Plan plan = campaign::expand_plan(manifest);
+
+    campaign::SweepOptions opts;
+    opts.jobs = args.get_u64("jobs", 0);
+    opts.shards = args.get_u64("shards", 1);
+    opts.shard_index = args.get_u64("shard-index", 0);
+    opts.timing = !args.has("no-timing");
+    opts.max_attempts =
+        static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
+    opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
+    opts.budget.max_total_boxes = args.get_u64("box-budget", 0);
+    opts.checkpoint_path = args.get_string("checkpoint", "");
+    opts.resume = args.has("resume");
+    if (opts.resume && opts.checkpoint_path.empty()) {
+      throw util::UsageError("--resume requires --checkpoint");
+    }
+
+    robust::FaultPlan fault_plan;
+    const std::string fault_spec = args.get_string("fault", "");
+    if (!fault_spec.empty()) {
+      fault_plan = robust::FaultPlan::parse_spec(
+          fault_spec, args.get_u64("fault-seed", manifest.seed ^ 0xFA17ull));
+      opts.faults = &fault_plan;
+    }
+
+    std::ofstream trace_file;
+    obs::JsonlSink trace_sink(trace_file);
+    const std::string trace_path = args.get_string("trace", "");
+    if (!trace_path.empty()) {
+      trace_file.open(trace_path);
+      if (!trace_file) {
+        throw util::IoError("cannot open --trace " + trace_path);
+      }
+      opts.trace = &trace_sink;
+    }
+
+    report = campaign::run_sweep(plan, opts);
+    std::cout << "sweep '" << report.name << "' (config "
+              << report.config_hash << "): ran "
+              << report.cells.size() << " of " << report.cells_total
+              << " cells";
+    if (opts.shards > 1) {
+      std::cout << " (shard " << opts.shard_index << "/" << opts.shards
+                << ")";
+    }
+    std::cout << (report.truncated ? ", TRUNCATED (budget)" : "") << "\n";
+  }
+
+  std::uint64_t completed = 0, incomplete = 0, failed = 0;
+  for (const campaign::CellResult& cell : report.cells) {
+    completed += cell.completed;
+    incomplete += cell.incomplete;
+    failed += cell.failed;
+  }
+  std::cout << "  trials: " << completed << " completed, " << incomplete
+            << " incomplete, " << failed << " failed\n";
+  if (!report.fits.empty()) {
+    util::Table table({"algo", "profile", "exponent", "expected", "r^2"});
+    for (const campaign::FitResult& fit : report.fits) {
+      table.row()
+          .cell(fit.algo)
+          .cell(fit.profile)
+          .cell(fit.exponent, 3)
+          .cell(fit.expected, 3)
+          .cell(fit.r2, 4);
+    }
+    std::cout << "power-law fits (mean ~ scale * n^exponent):\n";
+    table.print(std::cout);
+  }
+  campaign::write_report_file(out_path, report);
+  std::cout << "report written to " << out_path << "\n";
+
+  const std::string baseline_path = args.get_string("baseline", "");
+  if (!baseline_path.empty()) {
+    const campaign::Report baseline =
+        campaign::load_report_file(baseline_path);
+    campaign::GateOptions gate_opts;
+    gate_opts.rel_threshold = args.get_double("gate-rel", 0.05);
+    gate_opts.inject_factor = args.get_double("gate-inject", 1.0);
+    const campaign::GateResult verdict =
+        campaign::gate_against_baseline(baseline, report, gate_opts);
+    campaign::print_gate(std::cout, verdict, gate_opts);
+    if (!verdict.passed()) return 4;
+  }
+  return 0;
+}
+
 void report(const util::ArgParser& args, const model::RegularParams& p,
             const core::Series& series) {
   core::ReportOptions ropts;
@@ -362,7 +544,15 @@ void report(const util::ArgParser& args, const model::RegularParams& p,
 int run(const util::ArgParser& args) {
   if (args.positionals().empty()) return usage();
   const std::string cmd = args.positionals().front();
-  if (cmd == "help") return usage();
+  if (cmd == "help") {
+    return args.positionals().size() > 1 ? help_for(args.positionals()[1])
+                                         : usage();
+  }
+  if (cmd == "version") {
+    std::cout << campaign::provenance_text();
+    return 0;
+  }
+  if (cmd == "sweep") return run_sweep_cmd(args);
 
   const model::RegularParams p = params_from(args);
 
