@@ -86,6 +86,67 @@ void BM_EngineWorstCaseProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineWorstCaseProfile)->Arg(4)->Arg(6)->Arg(7);
 
+// The run-length bulk path (docs/PERF.md): the same worst-case replay as
+// BM_EngineWorstCaseProfile, driven through run_to_completion's bulk
+// driver (next_run + consume_run + closed-form block replay) instead of
+// the per-box loop. Items processed counts boxes RETIRED, not calls, so
+// items/sec is directly comparable against BM_EngineWorstCaseProfile —
+// that before/after pair is what BENCH_engine_rle.json commits. The k=12
+// arg covers the regime the per-box loop cannot reach at all (~7.9e10
+// boxes per iteration).
+void BM_EngineRunBoxes(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    profile::WorstCaseSource source(8, 4, n);
+    engine::run_to_completion(exec, source);
+    boxes += exec.boxes_consumed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineRunBoxes)->Arg(4)->Arg(6)->Arg(7)->Arg(10)->Arg(12);
+
+// The bulk driver forced down the per-box fallback (RunOptions.per_box):
+// the "before" side of the pair at the old toy scales. Any gap between
+// this and BM_EngineWorstCaseProfile is dispatch overhead only.
+void BM_EngineRunBoxesPerBox(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    profile::WorstCaseSource source(8, 4, n);
+    engine::RunOptions options;
+    options.per_box = true;
+    engine::run_to_completion(exec, source, options);
+    boxes += exec.boxes_consumed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineRunBoxesPerBox)->Arg(4)->Arg(6)->Arg(7);
+
+// Bulk path with a kRuns recorder attached: the aggregated-observation
+// overhead (one RunObservation per run/replay instead of one per box).
+void BM_EngineRunBoxesRecorded(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = util::ipow(4, k);
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    engine::RegularExecution exec({8, 4, 1.0}, n);
+    profile::WorstCaseSource source(8, 4, n);
+    obs::ExecRecorder recorder(nullptr, obs::BoxGranularity::kRuns);
+    engine::RunOptions options;
+    options.recorder = &recorder;
+    engine::run_to_completion(exec, source, options);
+    boxes += exec.boxes_consumed();
+    benchmark::DoNotOptimize(recorder.total_progress());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(boxes));
+}
+BENCHMARK(BM_EngineRunBoxesRecorded)->Arg(6)->Arg(10);
+
 void BM_WorstCaseGeneration(benchmark::State& state) {
   const auto k = static_cast<unsigned>(state.range(0));
   const std::uint64_t n = util::ipow(4, k);

@@ -54,6 +54,7 @@ engine::RobustTrialRunner ratio_runner(const Cell& cell,
   engine::McOptions mc;  // only the workload-shaping fields matter here
   mc.semantics = options.semantics;
   mc.max_boxes = options.max_boxes;
+  mc.per_box = options.per_box;
   mc.faults = options.faults;
   switch (cell.profile.kind) {
     case ProfileKind::kWorst:

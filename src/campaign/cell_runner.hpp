@@ -21,6 +21,10 @@ namespace cadapt::campaign {
 struct CellRunOptions {
   engine::BoxSemantics semantics = engine::BoxSemantics::kOptimistic;
   std::uint64_t max_boxes = UINT64_C(1) << 40;
+  /// Force the per-box reference driver in every trial (docs/PERF.md);
+  /// the default bulk path is bit-identical, so this exists for
+  /// differential tests (`cadapt sweep --per-box`) and debugging.
+  bool per_box = false;
   std::uint32_t max_attempts = 1;
   /// Seeded fault plan shared by every cell; null = no injection. Must
   /// outlive the call.

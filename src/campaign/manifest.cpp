@@ -96,9 +96,22 @@ void expect_args(const std::vector<std::string>& parts, std::size_t n,
 }
 
 ProfileSpec parse_ratio_profile(const std::string& token, std::size_t line_no) {
-  const auto parts = split(token, ':');
+  // An optional trailing @K caps the profile at k <= K; the raw token
+  // (suffix included) stays the canonical spelling so the cap is part of
+  // the fingerprint.
+  std::string body = token;
+  unsigned kmax = 0;
+  if (const auto at = token.rfind('@'); at != std::string::npos) {
+    const std::string cap = token.substr(at + 1);
+    const std::uint64_t k = parse_u64(cap, line_no, "profile k cap");
+    if (k == 0) fail(line_no, "profile k cap must be >= 1");
+    kmax = static_cast<unsigned>(k);
+    body = token.substr(0, at);
+  }
+  const auto parts = split(body, ':');
   ProfileSpec spec;
   spec.token = token;
+  spec.kmax = kmax;
   const std::string& kind = parts[0];
   if (kind == "worst") {
     expect_args(parts, 0, line_no, "worst");

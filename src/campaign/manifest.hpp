@@ -15,6 +15,9 @@
 //   profiles  = worst shuffled shifted perturb:4 order order-matched
 //               randscan iid:geometric:6 iid:uniform-powers:0:6
 //               iid:bimodal:4:4096:0.02 iid:point:64 iid:uniform-range:1:256
+//               # a ratio profile token may end in @K to cap that profile
+//               # at k <= K (e.g. shuffled@7 drops the profile from larger
+//               # cells while the rest of the grid keeps the full k range)
 //   k         = 2..7                    # n = b^k; range or explicit list
 //   trials    = 32                      # per cell (worst cells force 1)
 //   seed      = 42
@@ -72,6 +75,11 @@ struct ProfileSpec {
   std::string dist;  ///< kIid: geometric|uniform-powers|bimodal|point|uniform-range
   std::vector<std::uint64_t> uargs;
   double farg = 0.0;  ///< kPerturb: t; kIid bimodal: p_big
+  /// Ratio profiles only: `@K` suffix capping this profile at k <= K
+  /// (0 = uncapped). The planner skips larger k for this profile; the
+  /// raw token (with the suffix) enters the fingerprint, so capping a
+  /// profile is a campaign change, never a silent subset.
+  unsigned kmax = 0;
 };
 
 /// One parsed algorithm shape with its canonical "a:b:c" token.

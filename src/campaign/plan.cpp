@@ -13,6 +13,9 @@ Plan expand_plan(const Manifest& manifest) {
     for (const AlgoSpec& algo : manifest.algos) {
       for (const ProfileSpec& profile : manifest.profiles) {
         for (const unsigned k : manifest.ks) {
+          // An @K-capped profile simply has no cells past its cap; the
+          // remaining grid keeps its indices dense and stable.
+          if (profile.kmax != 0 && k > profile.kmax) continue;
           Cell cell;
           cell.index = plan.cells.size();
           cell.algo = algo;

@@ -134,6 +134,7 @@ CellResult aggregate_cell(const Cell& cell,
     boxes.add(static_cast<double>(record.boxes));
     if (!record.completed) {
       ++result.incomplete;
+      if (record.capped) ++result.capped;
       continue;
     }
     ++result.completed;
@@ -212,8 +213,11 @@ obs::Event cell_event(const CellResult& cell) {
       .u64("trials", cell.trials)
       .u64("completed", cell.completed)
       .u64("incomplete", cell.incomplete)
-      .u64("failed", cell.failed)
-      .f64("mean", cell.mean)
+      .u64("failed", cell.failed);
+  // Emitted only when nonzero so cap-free reports stay byte-identical to
+  // ones written before the field existed (the regen diff relies on it).
+  if (cell.capped != 0) event.u64("capped", cell.capped);
+  event.f64("mean", cell.mean)
       .f64("ci_lo", cell.ci_lo)
       .f64("ci_hi", cell.ci_hi)
       .f64("q50", cell.q50)
@@ -236,6 +240,7 @@ CellResult cell_from_event(const obs::Event& event, std::size_t line_no) {
   cell.trials = event.u64_or("trials", 0);
   cell.completed = event.u64_or("completed", 0);
   cell.incomplete = event.u64_or("incomplete", 0);
+  cell.capped = event.u64_or("capped", 0);
   cell.failed = event.u64_or("failed", 0);
   cell.mean = event.f64_or("mean", 0);
   cell.ci_lo = event.f64_or("ci_lo", 0);

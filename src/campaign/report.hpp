@@ -45,7 +45,10 @@ struct CellResult {
   std::uint64_t n = 0;
   std::uint64_t trials = 0;
   std::uint64_t completed = 0;
-  std::uint64_t incomplete = 0;  ///< hit the box cap
+  std::uint64_t incomplete = 0;  ///< did not finish (cap or exhaustion)
+  /// Of the incomplete trials, how many stopped on the max_boxes cap
+  /// (engine::StopReason::kBoxCapHit); the rest exhausted their source.
+  std::uint64_t capped = 0;
   std::uint64_t failed = 0;      ///< contained trial errors
   double mean = 0;
   double ci_lo = 0;  ///< bootstrap 95% CI over the mean

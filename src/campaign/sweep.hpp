@@ -39,6 +39,10 @@ struct SweepOptions {
   std::uint64_t shard_index = 0;
   /// false zeroes wall_ms and every cell's wall_ns — bit-identical runs.
   bool timing = true;
+  /// Force the per-box reference driver in every trial (docs/PERF.md).
+  /// The default bulk path produces a bit-identical report, so this
+  /// exists for differential tests (`cadapt sweep --per-box`).
+  bool per_box = false;
   std::uint32_t max_attempts = 1;  ///< per-trial attempts before containment
   /// Seeded fault plan shared by every trial; null = no injection. Must
   /// outlive the call.

@@ -241,23 +241,323 @@ BoxReport RegularExecution::consume_box_budgeted(profile::BoxSize s) {
   return report;
 }
 
+RunReport RegularExecution::consume_run(profile::BoxSize s,
+                                        std::uint64_t count) {
+  CADAPT_CHECK_MSG(count >= 1, "run count must be >= 1");
+  CADAPT_CHECK_MSG(!done(), "consume_run on a finished execution");
+  RunReport report;
+  // A per-box recorder must observe every box: literal reference loop.
+  if (recorder_ != nullptr && !recorder_->aggregates_runs()) {
+    for (std::uint64_t i = 0; i < count && !done(); ++i) {
+      const BoxReport r = consume_box(s);
+      report.progress += r.progress;
+      report.completed_problem =
+          std::max(report.completed_problem, r.completed_problem);
+    }
+    return report;
+  }
+  CADAPT_CHECK_MSG(s >= 1, "box size must be >= 1");
+  std::uint64_t consumed = 0;
+  // One failed probe means the run is not periodic from here on cheaply;
+  // finish it per-box instead of re-probing (and re-copying the stack)
+  // for every remaining box.
+  bool probing = true;
+  while (consumed < count && !done()) {
+    // (1) Arithmetic in-scan stretch: the position is inside a scan chunk
+    // and each box advances it by exactly s, strictly within the chunk —
+    // q boxes collapse to one addition. (Optimistic boxes land in the
+    // scan only when every enclosing problem is larger; budgeted boxes
+    // always spend their budget from inside a pending scan.)
+    {
+      Frame& f = stack_.back();
+      if (f.phase % 2 == 1 &&
+          (semantics_ == BoxSemantics::kBudgeted || f.size > s)) {
+        const std::uint64_t chunk = chunk_size(f, (f.phase - 1) / 2);
+        const std::uint64_t remaining = chunk - f.scan_offset;
+        if (remaining > s) {
+          const std::uint64_t q =
+              std::min<std::uint64_t>(count - consumed, (remaining - 1) / s);
+          if (q >= 1) {
+            f.scan_offset += q * s;
+            boxes_consumed_ += q;
+            consumed += q;
+            if (recorder_ != nullptr) {
+              recorder_->on_run(
+                  {boxes_consumed_ - q, s, q, 0, q * s, 0,
+                   semantics_ == BoxSemantics::kBudgeted
+                       ? obs::ExecBranch::kBudgeted
+                       : obs::ExecBranch::kScanAdvance});
+            }
+            continue;
+          }
+        }
+      }
+    }
+    // (2) One literal box, wrapped in a period probe: if the box left the
+    // stack one certified periodic step ahead, the remaining equal boxes
+    // replay in closed form (e.g. a run of size-b^j boxes each completing
+    // one subtree of the same parent).
+    const bool try_probe = probing && count - consumed >= 2 &&
+                           placement_ != ScanPlacement::kAdversaryMatched;
+    StackSignature sig;
+    obs::ExecRecorder::Mark mark;
+    if (try_probe) {
+      sig = signature();
+      if (recorder_ != nullptr) mark = recorder_->mark();
+    }
+    const std::uint64_t leaves_before = leaves_done_;
+    const BoxReport r = consume_box(s);
+    ++consumed;
+    report.progress += r.progress;
+    report.completed_problem =
+        std::max(report.completed_problem, r.completed_problem);
+    if (!try_probe) continue;
+    if (done()) break;
+    const auto delta = classify_period(sig, count - consumed);
+    if (!delta) {
+      probing = false;
+      continue;
+    }
+    const std::uint64_t m = delta->max_repeats;
+    const std::uint64_t leaves_per_repeat = leaves_done_ - leaves_before;
+    apply_period(*delta, m, /*boxes_per_repeat=*/1, leaves_per_repeat);
+    report.progress += m * leaves_per_repeat;
+    consumed += m;
+    if (recorder_ != nullptr) recorder_->replay(mark, m);
+  }
+  return report;
+}
+
+StackSignature RegularExecution::signature() const {
+  StackSignature sig;
+  sig.reserve(stack_.size());
+  for (const Frame& f : stack_) {
+    sig.push_back({f.size, f.phase, f.scan_offset});
+  }
+  return sig;
+}
+
+std::optional<PeriodicDelta> RegularExecution::classify_period(
+    const StackSignature& before, std::uint64_t want) const {
+  if (want == 0) return std::nullopt;
+  // Node hashes are excluded from signatures; under kAdversaryMatched
+  // they choose chunk placements, so nothing is certifiable there.
+  if (placement_ == ScanPlacement::kAdversaryMatched) return std::nullopt;
+  if (stack_.empty() || stack_.size() != before.size()) return std::nullopt;
+  const std::size_t len = stack_.size();
+  // Exactly one frame may have moved; sizes must agree everywhere (the
+  // frames deeper than the moved one are the recreated descent into the
+  // next child — identical triples mean identical future behavior, since
+  // chunk sizes depend only on (size, placement) here).
+  std::size_t p = len;
+  for (std::size_t i = 0; i < len; ++i) {
+    const Frame& f = stack_[i];
+    if (f.size != before[i][0]) return std::nullopt;
+    if (f.phase != before[i][1] || f.scan_offset != before[i][2]) {
+      if (p != len) return std::nullopt;
+      p = i;
+    }
+  }
+  if (p == len) return std::nullopt;  // nothing visibly moved
+  const Frame& f = stack_[p];
+  const std::uint64_t phase0 = before[p][1];
+  const std::uint64_t off0 = before[p][2];
+  PeriodicDelta delta;
+  delta.frame = p;
+  if (f.phase == phase0) {
+    // Same odd phase, offset advanced: in-chunk scan periodicity. Only
+    // certifiable when p is the deepest frame (no suffix to re-create).
+    if (p + 1 != len || f.phase % 2 != 1) return std::nullopt;
+    if (f.scan_offset <= off0) return std::nullopt;
+    delta.doffset = f.scan_offset - off0;
+    const std::uint64_t chunk = chunk_size(f, (f.phase - 1) / 2);
+    CADAPT_CHECK(f.scan_offset < chunk);  // normalized resting state
+    // Stay strictly inside the chunk so every replayed state is exactly
+    // the normalized state literal execution would rest in.
+    delta.max_repeats = std::min<std::uint64_t>(
+        want, (chunk - 1 - f.scan_offset) / delta.doffset);
+  } else {
+    // Phase advanced by whole children: repeated subtree completions.
+    if (f.phase < phase0 || phase0 % 2 != 0 || f.phase % 2 != 0)
+      return std::nullopt;
+    if (off0 != 0 || f.scan_offset != 0) return std::nullopt;
+    delta.dphase = f.phase - phase0;
+    const std::uint64_t a = params_.a;
+    const std::uint64_t di = delta.dphase / 2;
+    const std::uint64_t i0 = phase0 / 2;
+    const std::uint64_t i1 = f.phase / 2;
+    // Each further repeat r traverses scan chunks i1+(r-1)·di .. and must
+    // see the same chunk sizes the probed repeat saw at i0 .., and must
+    // end still "about to descend a child" (phase < 2a) so the stack
+    // shape is preserved.
+    std::uint64_t m = 0;
+    while (m < want) {
+      const std::uint64_t r = m + 1;
+      if (i1 + r * di > a - 1) break;
+      bool same = true;
+      for (std::uint64_t j = 0; j < di && same; ++j) {
+        same = chunk_size(f, i1 + (r - 1) * di + j) == chunk_size(f, i0 + j);
+      }
+      if (!same) break;
+      m = r;
+    }
+    delta.max_repeats = m;
+  }
+  if (delta.max_repeats == 0) return std::nullopt;
+  return delta;
+}
+
+void RegularExecution::apply_period(const PeriodicDelta& delta, std::uint64_t m,
+                                    std::uint64_t boxes_per_repeat,
+                                    std::uint64_t leaves_per_repeat) {
+  CADAPT_CHECK(m >= 1 && m <= delta.max_repeats);
+  CADAPT_CHECK(delta.frame < stack_.size());
+  Frame& f = stack_[delta.frame];
+  f.phase += m * delta.dphase;
+  f.scan_offset += m * delta.doffset;
+  leaves_done_ += m * leaves_per_repeat;
+  boxes_consumed_ += m * boxes_per_repeat;
+}
+
+namespace {
+
+/// In-flight block probe of the bulk driver (docs/PERF.md): opened at a
+/// source repeat boundary, closed when the execution reaches the end of
+/// the first repeat — at which point the remaining repeats may be retired
+/// in closed form (engine state via apply_period, source position via
+/// skip_repeats, potential sums via exact replay, recorder via replay).
+struct BlockProbe {
+  StackSignature sig;
+  std::uint64_t target = 0;        ///< boxes_consumed() ending the repeat
+  std::uint64_t boxes_per_repeat = 0;
+  std::uint64_t repeats_left = 0;  ///< repeats after the probed one
+  std::uint64_t leaves_before = 0;
+  double acc_sum_before = 0;
+  std::uint64_t acc_boxes_before = 0;
+  double unit_sum_before = 0;
+  obs::ExecRecorder::Mark mark;
+};
+
+}  // namespace
+
 RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
-                            std::uint64_t max_boxes,
-                            obs::ExecRecorder* recorder) {
+                            const RunOptions& options) {
+  obs::ExecRecorder* recorder = options.recorder;
   if (recorder != nullptr) exec.set_recorder(recorder);
   model::AdaptivityAccumulator acc(exec.params(), exec.problem_size());
   double sum_unit_potential = 0.0;
   RunResult result;
-  while (!exec.done()) {
-    if (exec.boxes_consumed() >= max_boxes) break;
-    const auto box = source.next();
-    if (!box) break;  // finite profile exhausted before completion
-    acc.add_box(*box);
-    sum_unit_potential +=
-        model::bounded_rho_units(exec.params(), exec.problem_size(), *box);
-    exec.consume_box(*box);
+  const std::uint64_t max_boxes = options.max_boxes;
+  // The bulk path is disabled by the per_box flag and by a per-box-trace
+  // recorder; either way the loop below is the seed driver, byte for byte.
+  const bool bulk = !options.per_box &&
+                    (recorder == nullptr || recorder->aggregates_runs());
+  if (!bulk) {
+    while (!exec.done()) {
+      if (exec.boxes_consumed() >= max_boxes) {
+        result.stop = StopReason::kBoxCapHit;
+        break;
+      }
+      const auto box = source.next();
+      if (!box) {  // finite profile exhausted before completion
+        result.stop = StopReason::kSourceExhausted;
+        break;
+      }
+      acc.add_box(*box);
+      sum_unit_potential +=
+          model::bounded_rho_units(exec.params(), exec.problem_size(), *box);
+      exec.consume_box(*box);
+    }
+  } else {
+    std::vector<BlockProbe> probes;
+    const bool blocks = source.provides_blocks();
+    while (!exec.done()) {
+      if (exec.boxes_consumed() >= max_boxes) {
+        result.stop = StopReason::kBoxCapHit;
+        break;
+      }
+      if (blocks) {
+        if (const auto blk = source.peek_block()) {
+          // One-box repeats gain nothing over runs; a repeat that cannot
+          // finish under the cap can never be replayed.
+          if (blk->repeats >= 2 && blk->boxes_per_repeat >= 2 &&
+              exec.boxes_consumed() + blk->boxes_per_repeat <= max_boxes) {
+            BlockProbe probe;
+            probe.sig = exec.signature();
+            probe.target = exec.boxes_consumed() + blk->boxes_per_repeat;
+            probe.boxes_per_repeat = blk->boxes_per_repeat;
+            probe.repeats_left = blk->repeats - 1;
+            probe.leaves_before = exec.leaves_done();
+            probe.acc_sum_before = acc.sum_bounded_potential();
+            probe.acc_boxes_before = acc.boxes();
+            probe.unit_sum_before = sum_unit_potential;
+            if (recorder != nullptr) probe.mark = recorder->mark();
+            probes.push_back(std::move(probe));
+          }
+        }
+      }
+      const auto run = source.next_run();
+      if (!run) {
+        result.stop = StopReason::kSourceExhausted;
+        break;
+      }
+      const std::uint64_t take = std::min<std::uint64_t>(
+          run->count, max_boxes - exec.boxes_consumed());
+      const std::uint64_t before_boxes = exec.boxes_consumed();
+      exec.consume_run(run->size, take);
+      // Only the boxes actually consumed are charged (the run may end
+      // early when the execution completes) — same count, same values,
+      // same addition sequence as the per-box loop.
+      const std::uint64_t used = exec.boxes_consumed() - before_boxes;
+      acc.add_boxes(run->size, used);
+      sum_unit_potential = model::bulk_add(
+          sum_unit_potential,
+          model::bounded_rho_units(exec.params(), exec.problem_size(),
+                                   run->size),
+          used);
+      // Close every probe whose first repeat just ended.
+      while (!probes.empty() &&
+             exec.boxes_consumed() >= probes.back().target) {
+        const BlockProbe probe = std::move(probes.back());
+        probes.pop_back();
+        // Overshot the boundary (a run straddled it) or finished: the
+        // probe cannot certify anything — drop it, keep consuming.
+        if (exec.boxes_consumed() != probe.target || exec.done()) continue;
+        // Defensive re-peek: the source must still be at a boundary of
+        // the same block, one repeat in.
+        const auto cur = source.peek_block();
+        if (!cur || cur->boxes_per_repeat != probe.boxes_per_repeat ||
+            cur->repeats < 1) {
+          continue;
+        }
+        const auto delta = exec.classify_period(
+            probe.sig, std::min(probe.repeats_left, cur->repeats));
+        if (!delta) continue;
+        const std::uint64_t m = std::min(
+            delta->max_repeats,
+            (max_boxes - exec.boxes_consumed()) / probe.boxes_per_repeat);
+        if (m == 0) continue;
+        // Commit only if BOTH potential sums replay exactly (all-integer
+        // window below 2^53); otherwise fall back to literal consumption.
+        if (!acc.all_integer() ||
+            !model::exactly_replayable(probe.acc_sum_before,
+                                       acc.sum_bounded_potential(), m) ||
+            !model::exactly_replayable(probe.unit_sum_before,
+                                       sum_unit_potential, m)) {
+          continue;
+        }
+        source.skip_repeats(m);
+        exec.apply_period(*delta, m, probe.boxes_per_repeat,
+                          exec.leaves_done() - probe.leaves_before);
+        acc.apply_replay(probe.acc_sum_before, probe.acc_boxes_before, m);
+        sum_unit_potential =
+            model::replay_sum(probe.unit_sum_before, sum_unit_potential, m);
+        if (recorder != nullptr) recorder->replay(probe.mark, m);
+      }
+    }
   }
   result.completed = exec.done();
+  if (result.completed) result.stop = StopReason::kCompleted;
   result.boxes = exec.boxes_consumed();
   result.leaves = exec.leaves_done();
   result.sum_bounded_potential = acc.sum_bounded_potential();
@@ -270,12 +570,29 @@ RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
   return result;
 }
 
+RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
+                            std::uint64_t max_boxes,
+                            obs::ExecRecorder* recorder) {
+  RunOptions options;
+  options.max_boxes = max_boxes;
+  options.recorder = recorder;
+  return run_to_completion(exec, source, options);
+}
+
 RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
                       profile::BoxSource& source, ScanPlacement placement,
                       std::uint64_t max_boxes, std::uint64_t adversary_seed,
                       BoxSemantics semantics, obs::ExecRecorder* recorder) {
   RegularExecution exec(params, n, placement, adversary_seed, semantics);
   return run_to_completion(exec, source, max_boxes, recorder);
+}
+
+RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
+                      profile::BoxSource& source, ScanPlacement placement,
+                      std::uint64_t adversary_seed, BoxSemantics semantics,
+                      const RunOptions& options) {
+  RegularExecution exec(params, n, placement, adversary_seed, semantics);
+  return run_to_completion(exec, source, options);
 }
 
 }  // namespace cadapt::engine

@@ -13,7 +13,9 @@
 // complementary *concrete* machine that runs real algorithms.)
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "model/potential.hpp"
@@ -75,6 +77,30 @@ struct BoxReport {
   // invariant the observability layer checks traces against.
 };
 
+/// Result of consuming a run of equal-size boxes (consume_run).
+struct RunReport {
+  /// Base-case subproblems completed within the run.
+  std::uint64_t progress = 0;
+  /// Largest problem completed in full by any box of the run, or 0.
+  std::uint64_t completed_problem = 0;
+};
+
+/// Position snapshot for periodicity probing (docs/PERF.md): the
+/// (size, phase, scan_offset) triple of every stack frame, root first.
+/// node_hash is deliberately excluded — it only influences execution
+/// under ScanPlacement::kAdversaryMatched, where probing is disabled.
+using StackSignature = std::vector<std::array<std::uint64_t, 3>>;
+
+/// A certified periodic advance: starting from the probed signature, each
+/// further repeat of the same box subsequence moves only stack frame
+/// `frame`, by `dphase`/`doffset`, for up to `max_repeats` repeats.
+struct PeriodicDelta {
+  std::size_t frame = 0;
+  std::uint64_t dphase = 0;
+  std::uint64_t doffset = 0;
+  std::uint64_t max_repeats = 0;
+};
+
 /// State machine for one execution of an (a,b,c)-regular algorithm on a
 /// problem of n blocks (n a power of b).
 class RegularExecution {
@@ -89,6 +115,36 @@ class RegularExecution {
   /// Feed the next box of the profile to the algorithm. Must not be
   /// called once done().
   BoxReport consume_box(profile::BoxSize s);
+
+  /// Bulk path (docs/PERF.md): consume `count` consecutive boxes of size
+  /// s, bit-identical in every observable to `count` consume_box(s) calls
+  /// but O(1) per arithmetic scan stretch / certified period instead of
+  /// O(count). Stops early when the execution completes; returns the
+  /// number of boxes actually consumed via boxes_consumed(). Falls back
+  /// to literal per-box stepping whenever a per-box recorder is attached
+  /// (ExecRecorder in kBoxes granularity) or no closed form applies.
+  RunReport consume_run(profile::BoxSize s, std::uint64_t count);
+
+  /// Snapshot of the stack for periodicity probing. O(depth).
+  StackSignature signature() const;
+
+  /// Decide whether the state change since `before` (one consumed repeat
+  /// of some box subsequence) is a certified periodic advance that can be
+  /// replayed, and for how many further repeats (capped at `want`).
+  /// Returns std::nullopt when the change is not provably periodic —
+  /// always, under ScanPlacement::kAdversaryMatched, where node hashes
+  /// (excluded from signatures) influence chunk placement.
+  std::optional<PeriodicDelta> classify_period(const StackSignature& before,
+                                               std::uint64_t want) const;
+
+  /// Replay `m <= delta.max_repeats` further repeats in closed form:
+  /// advances the delta frame arithmetically and credits
+  /// m * boxes_per_repeat boxes and m * leaves_per_repeat base cases.
+  /// The caller certifies (via classify_period) that literal re-execution
+  /// would reach exactly this state.
+  void apply_period(const PeriodicDelta& delta, std::uint64_t m,
+                    std::uint64_t boxes_per_repeat,
+                    std::uint64_t leaves_per_repeat);
 
   bool done() const { return stack_.empty(); }
   std::uint64_t problem_size() const { return n_; }
@@ -159,9 +215,17 @@ class RegularExecution {
   std::vector<std::uint64_t> units_by_level_;
 };
 
+/// Why run_to_completion stopped.
+enum class StopReason : std::uint8_t {
+  kCompleted = 0,        ///< the algorithm finished
+  kSourceExhausted = 1,  ///< finite profile ran out of boxes first
+  kBoxCapHit = 2,        ///< the max_boxes cap was reached first
+};
+
 /// Outcome of running an execution to completion over a box stream.
 struct RunResult {
-  bool completed = false;           ///< false: source exhausted / box cap hit
+  bool completed = false;           ///< == (stop == StopReason::kCompleted)
+  StopReason stop = StopReason::kSourceExhausted;  ///< why the run ended
   std::uint64_t boxes = 0;          ///< boxes consumed (the paper's S_n)
   std::uint64_t leaves = 0;         ///< base cases completed
   double sum_bounded_potential = 0; ///< Σ min(n,|□_i|)^{log_b a}
@@ -172,10 +236,35 @@ struct RunResult {
   double unit_ratio = 0;
 };
 
+/// Knobs for run_to_completion.
+struct RunOptions {
+  std::uint64_t max_boxes = UINT64_C(1) << 40;
+  /// Attached to the execution for the duration of the run; receives one
+  /// observation per box (kBoxes granularity) or aggregated run/bulk
+  /// observations (kRuns), plus the final "run" summary event.
+  obs::ExecRecorder* recorder = nullptr;
+  /// Force the literal per-box reference loop (source.next() +
+  /// consume_box), disabling runs and block replay. The bulk path is
+  /// bit-identical to this; the flag exists so differential tests and
+  /// debugging can compare the two.
+  bool per_box = false;
+};
+
 /// Drive an execution over a box stream until the algorithm finishes, the
-/// stream is exhausted, or max_boxes boxes have been consumed. A non-null
-/// recorder is attached to the execution for the duration of the run and
-/// receives one observation per box plus the final "run" summary event.
+/// stream is exhausted, or max_boxes boxes have been consumed.
+///
+/// By default this is the O(runs) bulk driver of docs/PERF.md: boxes are
+/// pulled via source.next_run(), consumed via consume_run, and — when the
+/// source announces repeated blocks (peek_block) — whole repeats are
+/// retired in closed form after one probed repeat certifies periodicity
+/// (classify_period) and the floating-point accumulators certify exact
+/// replayability. Every RunResult field is bit-identical to the per-box
+/// reference loop (options.per_box = true). A recorder in kBoxes
+/// granularity forces the reference loop so per-box traces stay intact.
+RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
+                            const RunOptions& options);
+
+/// Legacy signature; delegates to the options overload.
 RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
                             std::uint64_t max_boxes = UINT64_C(1) << 40,
                             obs::ExecRecorder* recorder = nullptr);
@@ -188,5 +277,11 @@ RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
                       std::uint64_t adversary_seed = 0,
                       BoxSemantics semantics = BoxSemantics::kOptimistic,
                       obs::ExecRecorder* recorder = nullptr);
+
+/// Convenience: build the execution and run it with full options.
+RunResult run_regular(const model::RegularParams& params, std::uint64_t n,
+                      profile::BoxSource& source, ScanPlacement placement,
+                      std::uint64_t adversary_seed, BoxSemantics semantics,
+                      const RunOptions& options);
 
 }  // namespace cadapt::engine

@@ -38,6 +38,7 @@ robust::TrialRecord run_single_trial(const McOptions& options,
       injector.step(robust::FaultSite::kTrialBody);
       const RunResult r = runner(seed, injector);
       record.completed = r.completed;
+      record.capped = r.stop == StopReason::kBoxCapHit;
       record.boxes = r.boxes;
       record.ratio = r.ratio;
       record.unit_ratio = r.unit_ratio;
@@ -63,20 +64,26 @@ RobustTrialRunner make_regular_trial_runner(model::RegularParams params,
   CADAPT_CHECK(make_source != nullptr);
   return [params, n, make_source = std::move(make_source),
           placement = options.placement, semantics = options.semantics,
-          max_boxes = options.max_boxes, faults = options.faults](
-             std::uint64_t trial_seed, robust::FaultInjector& injector) {
+          max_boxes = options.max_boxes, per_box = options.per_box,
+          faults = options.faults](std::uint64_t trial_seed,
+                                   robust::FaultInjector& injector) {
     util::Rng rng(trial_seed);
     auto source = make_source(rng);
     CADAPT_CHECK(source != nullptr);
+    RunOptions run_options;
+    run_options.max_boxes = max_boxes;
+    run_options.per_box = per_box;
     if (faults != nullptr) {
       // Route every draw through the injector so FaultSite::kBoxDraw
       // is exercised; unarmed plans never take this branch's cost.
+      // FaultyBoxSource does not forward runs or blocks, so injection
+      // stays per-box (see robust/fault.hpp).
       robust::FaultyBoxSource faulty(std::move(source), &injector);
-      return run_regular(params, n, faulty, placement, max_boxes,
-                         /*adversary_seed=*/0, semantics);
+      return run_regular(params, n, faulty, placement,
+                         /*adversary_seed=*/0, semantics, run_options);
     }
-    return run_regular(params, n, *source, placement, max_boxes,
-                       /*adversary_seed=*/0, semantics);
+    return run_regular(params, n, *source, placement,
+                       /*adversary_seed=*/0, semantics, run_options);
   };
 }
 
@@ -107,13 +114,14 @@ void aggregate_trial(McSummary& summary, const robust::TrialRecord& t,
   }
   summary.boxes.add(static_cast<double>(t.boxes));
   if (recorder != nullptr) {
-    recorder->on_trial({t.trial, t.seed, t.completed, t.boxes, t.ratio,
-                        t.unit_ratio, t.duration_ns});
+    recorder->on_trial({t.trial, t.seed, t.completed, t.capped, t.boxes,
+                        t.ratio, t.unit_ratio, t.duration_ns});
   }
   if (!t.completed) {
     // No meaningful ratio: the run was cut off. Keep the sample vectors
     // aligned with completed trials only (see McSummary's invariants).
     ++summary.incomplete;
+    if (t.capped) ++summary.capped;
     return;
   }
   summary.ratio.add(t.ratio);

@@ -46,6 +46,10 @@ struct McOptions {
   ScanPlacement placement = ScanPlacement::kEnd;
   BoxSemantics semantics = BoxSemantics::kOptimistic;
   std::uint64_t max_boxes = UINT64_C(1) << 40;
+  /// Force the per-box reference driver in every trial (docs/PERF.md);
+  /// the default bulk path is bit-identical, so this exists for
+  /// differential tests and debugging.
+  bool per_box = false;
   util::ThreadPool* pool = nullptr;  ///< nullptr = util::default_pool()
   /// Optional observability hook: receives one obs::TrialObservation (or
   /// obs::TrialErrorObservation) per trial — in trial order, deterministic
@@ -99,6 +103,9 @@ struct McSummary {
   util::RunningStat unit_ratio;  ///< operation-based ratio per completed trial
   util::RunningStat boxes;       ///< boxes consumed per non-failed trial
   std::uint64_t incomplete = 0;  ///< trials that hit the box cap / exhaustion
+  /// Of the incomplete trials, how many stopped on the max_boxes cap
+  /// (StopReason::kBoxCapHit); the rest exhausted their finite source.
+  std::uint64_t capped = 0;
   /// Raw per-completed-trial samples, for tail statistics
   /// (beyond-expectation analysis: Definition 3 only bounds the mean).
   /// Use an obs::McRecorder to see which trials were dropped and why.

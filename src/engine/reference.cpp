@@ -116,6 +116,19 @@ BoxReport ReferenceExecution::consume_box(profile::BoxSize s) {
                                                  : consume_box_budgeted(s);
 }
 
+RunReport ReferenceExecution::consume_run(profile::BoxSize s,
+                                          std::uint64_t count) {
+  CADAPT_CHECK(count >= 1);
+  RunReport report;
+  for (std::uint64_t i = 0; i < count && !done(); ++i) {
+    const BoxReport r = consume_box(s);
+    report.progress += r.progress;
+    report.completed_problem =
+        std::max(report.completed_problem, r.completed_problem);
+  }
+  return report;
+}
+
 BoxReport ReferenceExecution::consume_box_budgeted(profile::BoxSize s) {
   BoxReport report;
   std::uint64_t budget = s;

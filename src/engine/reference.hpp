@@ -27,6 +27,11 @@ class ReferenceExecution {
 
   BoxReport consume_box(profile::BoxSize s);
 
+  /// Runs consume as a literal per-box loop — the oracle stays obviously
+  /// correct; provided so differential tests can feed both engines the
+  /// same run stream.
+  RunReport consume_run(profile::BoxSize s, std::uint64_t count);
+
   /// Pure successor function under the optimistic semantics: the position
   /// after a box of size s starting at `pos` (no state is mutated). Used
   /// by the exhaustive adversary search (engine/adversary.hpp).

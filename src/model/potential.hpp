@@ -11,12 +11,66 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "model/regular.hpp"
 #include "profile/box.hpp"
 
 namespace cadapt::model {
+
+/// Largest double magnitude (2^53) below which every integer is exactly
+/// representable — the domain on which bulk potential accumulation is
+/// provably bit-identical to repeated per-box addition (docs/PERF.md).
+inline constexpr double kExactIntegerLimit = 9007199254740992.0;
+
+/// True iff `sum + count * x` is bit-identical to adding x to sum `count`
+/// times: both are integers and every intermediate partial sum is an
+/// exactly-representable integer (<= 2^53). Potentials are nonnegative,
+/// so partial sums are monotone and bounded by the final value.
+inline bool exactly_bulk_addable(double sum, double x, std::uint64_t count) {
+  if (std::floor(sum) != sum || std::floor(x) != x || x < 0.0) return false;
+  const long double fin = static_cast<long double>(sum) +
+                          static_cast<long double>(count) *
+                              static_cast<long double>(x);
+  return fin <= static_cast<long double>(kExactIntegerLimit);
+}
+
+/// Add `count` copies of x to sum, bit-identically to a repeated-add
+/// loop: the closed form is used when provably exact, otherwise the
+/// literal loop runs (identical operation sequence either way).
+inline double bulk_add(double sum, double x, std::uint64_t count) {
+  if (exactly_bulk_addable(sum, x, count)) {
+    return sum + static_cast<double>(count) * x;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) sum += x;
+  return sum;
+}
+
+/// True iff `current + m * (current - before)` is bit-identical to
+/// re-adding the (nonnegative, integer-summing) box sequence that took
+/// the sum from `before` to `current` m more times. Requires the caller
+/// to know every individual addend in that window was integer-valued
+/// (e.g. AdaptivityAccumulator::all_integer()); this checks the endpoint
+/// integrality and the 2^53 exactness bound on the final value.
+inline bool exactly_replayable(double before, double current,
+                               std::uint64_t m) {
+  if (std::floor(before) != before || std::floor(current) != current ||
+      current < before) {
+    return false;
+  }
+  const long double fin =
+      static_cast<long double>(current) +
+      static_cast<long double>(m) *
+          (static_cast<long double>(current) - static_cast<long double>(before));
+  return fin <= static_cast<long double>(kExactIntegerLimit);
+}
+
+/// The replayed sum: current + m * (current - before). Only exact (and
+/// only used) when exactly_replayable() holds.
+inline double replay_sum(double before, double current, std::uint64_t m) {
+  return current + static_cast<double>(m) * (current - before);
+}
 
 /// rho(s) = s^{log_b a} (exact for s a power of b).
 inline double rho(const RegularParams& params, profile::BoxSize s) {
@@ -58,8 +112,32 @@ class AdaptivityAccumulator {
   }
 
   void add_box(profile::BoxSize s) {
-    sum_bounded_potential_ += bounded_rho(params_, n_, s);
+    const double x = bounded_rho(params_, n_, s);
+    all_integer_ = all_integer_ && std::floor(x) == x;
+    sum_bounded_potential_ += x;
     ++boxes_;
+  }
+
+  /// Bulk add of `count` equal boxes — bit-identical to `count` add_box
+  /// calls (closed form when provably exact, literal loop otherwise).
+  void add_boxes(profile::BoxSize s, std::uint64_t count) {
+    const double x = bounded_rho(params_, n_, s);
+    all_integer_ = all_integer_ && std::floor(x) == x;
+    sum_bounded_potential_ = bulk_add(sum_bounded_potential_, x, count);
+    boxes_ += count;
+  }
+
+  /// True while every potential added so far was integer-valued (always
+  /// the case for power-of-b box sizes) — a precondition for
+  /// exactly_replayable() on this accumulator's sum.
+  bool all_integer() const { return all_integer_; }
+
+  /// Commit m replayed copies of the window (before_sum -> current sum):
+  /// the caller must have checked all_integer() && exactly_replayable().
+  void apply_replay(double before_sum, std::uint64_t before_boxes,
+                    std::uint64_t m) {
+    sum_bounded_potential_ = replay_sum(before_sum, sum_bounded_potential_, m);
+    boxes_ += m * (boxes_ - before_boxes);
   }
 
   std::uint64_t boxes() const { return boxes_; }
@@ -74,6 +152,7 @@ class AdaptivityAccumulator {
   std::uint64_t n_;
   double sum_bounded_potential_ = 0.0;
   std::uint64_t boxes_ = 0;
+  bool all_integer_ = true;
 };
 
 }  // namespace cadapt::model

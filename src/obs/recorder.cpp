@@ -44,6 +44,70 @@ void ExecRecorder::on_box(const BoxObservation& box) {
   }
 }
 
+void ExecRecorder::on_run(const RunObservation& run) {
+  boxes_ += run.count;
+  sum_box_ += run.count * run.size;
+  progress_ += run.progress;
+  scan_advance_ += run.scan_advance;
+  completions_ += run.completions;
+  branch_counts_[static_cast<std::size_t>(run.branch)] += run.count;
+
+  SizeClassTally& tally = classes_[size_class(run.size)];
+  tally.boxes += run.count;
+  tally.sum_box += run.count * run.size;
+  tally.progress += run.progress;
+  tally.scan_advance += run.scan_advance;
+  tally.completions += run.completions;
+
+  if (sink_ != nullptr) {
+    Event event("runs");
+    event.u64("i", run.first_index)
+        .u64("s", run.size)
+        .u64("count", run.count)
+        .u64("progress", run.progress)
+        .u64("scan", run.scan_advance)
+        .u64("completions", run.completions)
+        .str("branch", exec_branch_name(run.branch));
+    sink_->write(event);
+  }
+}
+
+ExecRecorder::Mark ExecRecorder::mark() const {
+  return Mark{boxes_,       sum_box_,       progress_, scan_advance_,
+              completions_, branch_counts_, classes_};
+}
+
+void ExecRecorder::replay(const Mark& mark, std::uint64_t m) {
+  const std::uint64_t d_boxes = boxes_ - mark.boxes;
+  const std::uint64_t d_progress = progress_ - mark.progress;
+  const std::uint64_t d_scan = scan_advance_ - mark.scan_advance;
+  boxes_ += m * d_boxes;
+  sum_box_ += m * (sum_box_ - mark.sum_box);
+  progress_ += m * d_progress;
+  scan_advance_ += m * d_scan;
+  completions_ += m * (completions_ - mark.completions);
+  for (std::size_t i = 0; i < branch_counts_.size(); ++i) {
+    branch_counts_[i] += m * (branch_counts_[i] - mark.branch_counts[i]);
+  }
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    SizeClassTally& cur = classes_[i];
+    const SizeClassTally& snap = mark.classes[i];
+    cur.boxes += m * (cur.boxes - snap.boxes);
+    cur.sum_box += m * (cur.sum_box - snap.sum_box);
+    cur.progress += m * (cur.progress - snap.progress);
+    cur.scan_advance += m * (cur.scan_advance - snap.scan_advance);
+    cur.completions += m * (cur.completions - snap.completions);
+  }
+  if (sink_ != nullptr) {
+    Event event("bulk");
+    event.u64("repeats", m)
+        .u64("boxes", m * d_boxes)
+        .u64("progress", m * d_progress)
+        .u64("scan", m * d_scan);
+    sink_->write(event);
+  }
+}
+
 CounterSet ExecRecorder::counters() const {
   CounterSet set;
   set.add("boxes", boxes_);
@@ -77,6 +141,9 @@ void McRecorder::on_trial(const TrialObservation& trial) {
         .u64("boxes", record.boxes)
         .f64("ratio", record.ratio)
         .f64("unit_ratio", record.unit_ratio);
+    // Emitted only when set, so traces of completed / source-exhausted
+    // trials keep their pre-StopReason bytes.
+    if (record.capped) event.flag("capped", true);
     if (record_timing_) event.u64("duration_ns", record.duration_ns);
     sink_->write(event);
   }
@@ -99,8 +166,10 @@ void McRecorder::finish(const McFinish& info) {
   if (sink_ == nullptr) return;
   util::RunningStat ratio;
   std::uint64_t incomplete = 0;
+  std::uint64_t capped = 0;
   for (const TrialObservation& t : trials_) {
     if (t.completed) ratio.add(t.ratio); else ++incomplete;
+    if (t.capped) ++capped;
   }
   const std::uint64_t observed = trials_.size() + errors_.size();
   Event event("mc");
@@ -111,6 +180,8 @@ void McRecorder::finish(const McFinish& info) {
       .u64("trials_requested",
            info.trials_requested != 0 ? info.trials_requested : observed)
       .flag("truncated", info.truncated);
+  // Only when present, so pre-StopReason traces keep their bytes.
+  if (capped > 0) event.u64("capped", capped);
   sink_->write(event);
 }
 

@@ -50,6 +50,26 @@ struct BoxObservation {
   ExecBranch branch = ExecBranch::kScanAdvance;
 };
 
+/// Aggregated observation for a bulk-consumed run of `count` equal boxes
+/// (docs/PERF.md): totals over the run, not per box.
+struct RunObservation {
+  std::uint64_t first_index = 0;  ///< index of the run's first box
+  std::uint64_t size = 0;         ///< common box size
+  std::uint64_t count = 0;        ///< boxes in the run
+  std::uint64_t progress = 0;     ///< Σ base cases over the run
+  std::uint64_t scan_advance = 0; ///< Σ scan blocks over the run
+  std::uint64_t completions = 0;  ///< boxes that retired a problem
+  ExecBranch branch = ExecBranch::kScanAdvance;
+};
+
+/// Trace granularity of an ExecRecorder. kBoxes (the default) receives
+/// one BoxObservation per box and forces the engine onto the literal
+/// per-box path — existing traces stay byte-identical. kRuns opts into
+/// the bulk path: literal boxes still arrive via on_box, bulk stretches
+/// arrive aggregated via on_run / replay, and all *counters* remain
+/// exactly equal to what per-box recording would have produced.
+enum class BoxGranularity : std::uint8_t { kBoxes = 0, kRuns = 1 };
+
 /// Per-run aggregation of box observations, with optional write-through
 /// of one "box" event per observation to a sink.
 ///
@@ -60,10 +80,24 @@ struct BoxObservation {
 class ExecRecorder {
  public:
   /// sink == nullptr keeps aggregates only (no per-box event stream).
-  explicit ExecRecorder(TraceSink* sink = nullptr) : sink_(sink) {}
+  explicit ExecRecorder(TraceSink* sink = nullptr,
+                        BoxGranularity granularity = BoxGranularity::kBoxes)
+      : sink_(sink), granularity_(granularity) {}
+
+  /// True iff this recorder accepts aggregated run/bulk observations —
+  /// the engine keeps its bulk path enabled only then (or when no
+  /// recorder is attached at all).
+  bool aggregates_runs() const {
+    return granularity_ == BoxGranularity::kRuns;
+  }
 
   /// Called by the engine for every consumed box.
   void on_box(const BoxObservation& box);
+
+  /// Called by the engine for an arithmetically bulk-consumed run
+  /// (kRuns granularity only): counters advance by the run's exact
+  /// totals; the sink (if any) receives one "runs" event.
+  void on_run(const RunObservation& run);
 
   struct SizeClassTally {
     std::uint64_t boxes = 0;
@@ -72,6 +106,26 @@ class ExecRecorder {
     std::uint64_t scan_advance = 0;
     std::uint64_t completions = 0;   ///< boxes that retired a problem
   };
+
+  /// Opaque counter snapshot for periodic replay (docs/PERF.md).
+  struct Mark {
+    std::uint64_t boxes = 0;
+    std::uint64_t sum_box = 0;
+    std::uint64_t progress = 0;
+    std::uint64_t scan_advance = 0;
+    std::uint64_t completions = 0;
+    std::array<std::uint64_t, 3> branch_counts{};
+    std::array<SizeClassTally, 64> classes{};
+  };
+
+  /// Snapshot all counters (taken just before a probe repeat is consumed).
+  Mark mark() const;
+
+  /// Replay the window since `mark` m more times: every counter advances
+  /// by m * (current - mark), exactly — integer arithmetic throughout.
+  /// The sink (if any) receives one "bulk" event with the multiplied
+  /// totals.
+  void replay(const Mark& mark, std::uint64_t m);
 
   std::uint64_t boxes() const { return boxes_; }
   std::uint64_t sum_box_sizes() const { return sum_box_; }
@@ -103,6 +157,7 @@ class ExecRecorder {
 
  private:
   TraceSink* sink_;
+  BoxGranularity granularity_;
   std::uint64_t boxes_ = 0;
   std::uint64_t sum_box_ = 0;
   std::uint64_t progress_ = 0;
@@ -118,6 +173,9 @@ struct TrialObservation {
   std::uint64_t trial = 0;
   std::uint64_t seed = 0;   ///< derived per-trial seed (reproduces the trial)
   bool completed = false;
+  /// Incomplete because the max_boxes cap fired (vs. source exhaustion);
+  /// always false when completed.
+  bool capped = false;
   std::uint64_t boxes = 0;
   double ratio = 0;
   double unit_ratio = 0;

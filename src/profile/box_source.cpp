@@ -4,6 +4,44 @@
 
 namespace cadapt::profile {
 
+void BoxSource::skip_repeats(std::uint64_t) {
+  CADAPT_CHECK_MSG(false, "skip_repeats on a source without block support");
+}
+
+RunCoalescingSource::RunCoalescingSource(std::unique_ptr<BoxSource> inner,
+                                         std::uint64_t max_run)
+    : inner_(std::move(inner)), max_run_(max_run) {
+  CADAPT_CHECK(inner_ != nullptr);
+  CADAPT_CHECK(max_run_ >= 1);
+}
+
+std::optional<BoxSize> RunCoalescingSource::next() {
+  if (pending_) {
+    const BoxSize box = *pending_;
+    pending_.reset();
+    return box;
+  }
+  return inner_->next();
+}
+
+std::optional<BoxRun> RunCoalescingSource::next_run() {
+  std::optional<BoxSize> head = pending_;
+  pending_.reset();
+  if (!head) head = inner_->next();
+  if (!head) return std::nullopt;
+  std::uint64_t count = 1;
+  while (count < max_run_) {
+    const auto box = inner_->next();
+    if (!box) break;  // inner exhausted; the run ends cleanly
+    if (*box != *head) {
+      pending_ = box;  // first box of the NEXT run
+      break;
+    }
+    ++count;
+  }
+  return BoxRun{*head, count};
+}
+
 std::vector<BoxSize> materialize(BoxSource& source, std::size_t max_boxes) {
   std::vector<BoxSize> boxes;
   while (auto box = source.next()) {

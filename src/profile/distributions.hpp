@@ -127,16 +127,61 @@ class Empirical final : public BoxDistribution {
 
 /// Infinite i.i.d. stream of boxes from a distribution (Definition 3's
 /// random profile). Keeps a reference: the distribution must outlive it.
+///
+/// Runs: every delivered box costs exactly one RNG draw (so the stream is
+/// bit-identical to per-box sampling, run-consumed or not) — next_run()
+/// coalesces by drawing ahead and stashing the first mismatch. The one
+/// exception is a point mass: every delivered value is the same forever,
+/// so runs of kPointMassChunk boxes are emitted from a single head draw;
+/// the RNG is private to this source, so the skipped per-box draws are
+/// unobservable in any result.
 class DistributionSource final : public BoxSource {
  public:
   DistributionSource(const BoxDistribution& dist, util::Rng rng)
-      : dist_(&dist), rng_(rng) {}
+      : dist_(&dist), rng_(rng),
+        point_mass_(dist.pmf().size() == 1) {}
 
-  std::optional<BoxSize> next() override { return dist_->sample(rng_); }
+  static constexpr std::uint64_t kPointMassChunk = UINT64_C(1) << 12;
+
+  std::optional<BoxSize> next() override {
+    if (pending_) {
+      const BoxSize box = *pending_;
+      pending_.reset();
+      return box;
+    }
+    return dist_->sample(rng_);
+  }
+
+  std::optional<BoxRun> next_run() override {
+    BoxSize head;
+    if (pending_) {
+      head = *pending_;
+      pending_.reset();
+    } else {
+      head = dist_->sample(rng_);
+    }
+    if (point_mass_) return BoxRun{head, kPointMassChunk};
+    std::uint64_t count = 1;
+    while (count < kMaxCoalesce) {
+      const BoxSize box = dist_->sample(rng_);
+      if (box != head) {
+        pending_ = box;  // first box of the NEXT run
+        break;
+      }
+      ++count;
+    }
+    return BoxRun{head, count};
+  }
 
  private:
+  // Small-support distributions can produce long runs by chance; cap the
+  // lookahead so a single next_run() call stays bounded.
+  static constexpr std::uint64_t kMaxCoalesce = UINT64_C(1) << 12;
+
   const BoxDistribution* dist_;
   util::Rng rng_;
+  bool point_mass_;
+  std::optional<BoxSize> pending_;  // drawn but not yet delivered
 };
 
 }  // namespace cadapt::profile

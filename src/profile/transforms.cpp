@@ -31,13 +31,43 @@ SizePerturbSource::SizePerturbSource(std::unique_ptr<BoxSource> inner,
   CADAPT_CHECK(sampler_ != nullptr);
 }
 
-std::optional<BoxSize> SizePerturbSource::next() {
+std::optional<BoxSize> SizePerturbSource::perturb_next() {
   const auto box = inner_->next();
   if (!box) return std::nullopt;
   const double factor = sampler_(rng_);
   CADAPT_CHECK_MSG(factor >= 0.0, "perturbation factor must be >= 0");
   const double scaled = std::floor(static_cast<double>(*box) * factor);
   return static_cast<BoxSize>(std::max(1.0, scaled));
+}
+
+std::optional<BoxSize> SizePerturbSource::next() {
+  if (pending_) {
+    const BoxSize box = *pending_;
+    pending_.reset();
+    return box;
+  }
+  return perturb_next();
+}
+
+std::optional<BoxRun> SizePerturbSource::next_run() {
+  std::optional<BoxSize> head = pending_;
+  pending_.reset();
+  if (!head) head = perturb_next();
+  if (!head) return std::nullopt;
+  // Cap the lookahead so one call stays bounded even when the perturbed
+  // stream happens to be constant (e.g. point_perturb of a point source).
+  constexpr std::uint64_t kMaxCoalesce = UINT64_C(1) << 12;
+  std::uint64_t count = 1;
+  while (count < kMaxCoalesce) {
+    const auto box = perturb_next();
+    if (!box) break;  // inner exhausted; the run ends cleanly
+    if (*box != *head) {
+      pending_ = box;  // first box of the NEXT run
+      break;
+    }
+    ++count;
+  }
+  return BoxRun{*head, count};
 }
 
 CyclicShiftSource::CyclicShiftSource(SourceFactory factory,
@@ -65,6 +95,21 @@ std::optional<BoxSize> CyclicShiftSource::next() {
   CADAPT_CHECK_MSG(box.has_value(),
                    "profile shrank between factory invocations");
   return box;
+}
+
+std::optional<BoxRun> CyclicShiftSource::next_run() {
+  if (!wrapped_) {
+    if (auto run = inner_->next_run()) return run;
+    wrapped_ = true;
+    inner_ = factory_();
+  }
+  if (tail_remaining_ == 0) return std::nullopt;
+  auto run = inner_->next_run();
+  CADAPT_CHECK_MSG(run.has_value(),
+                   "profile shrank between factory invocations");
+  run->count = std::min(run->count, tail_remaining_);
+  tail_remaining_ -= run->count;
+  return run;
 }
 
 void shuffle_boxes(std::vector<BoxSize>& boxes, util::Rng& rng) {

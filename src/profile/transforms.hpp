@@ -43,10 +43,18 @@ class SizePerturbSource final : public BoxSource {
 
   std::optional<BoxSize> next() override;
 
+  /// Coalesced runs via one-box lookahead. Exactly one factor is drawn per
+  /// inner box, in stream order, so the perturbed stream is bit-identical
+  /// to per-box consumption.
+  std::optional<BoxRun> next_run() override;
+
  private:
+  std::optional<BoxSize> perturb_next();
+
   std::unique_ptr<BoxSource> inner_;
   PerturbSampler sampler_;
   util::Rng rng_;
+  std::optional<BoxSize> pending_;  // looked-ahead box not yet delivered
 };
 
 /// Cyclic shift of a finite profile by `offset` boxes: emits boxes
@@ -58,6 +66,11 @@ class CyclicShiftSource final : public BoxSource {
   CyclicShiftSource(SourceFactory factory, std::uint64_t offset);
 
   std::optional<BoxSize> next() override;
+
+  /// Forwards the inner source's native runs; the tail after wrap-around
+  /// clamps the final run to the boxes still owed (clamping only fires on
+  /// the very last run, after which the source is exhausted).
+  std::optional<BoxRun> next_run() override;
 
  private:
   SourceFactory factory_;

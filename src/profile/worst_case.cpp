@@ -20,6 +20,13 @@ WorstCaseSource::WorstCaseSource(std::uint64_t a, std::uint64_t b, BoxSize n,
   validate_params(a, b, n);
   CADAPT_CHECK(scale >= 1);
   stack_.push_back({n, 0});
+  // |M(b^j)| = a*|M(b^{j-1})| + 1, |M(1)| = 1 — sized for peek_block.
+  const unsigned K = util::ilog(n, b);
+  boxes_by_level_.resize(K + 1);
+  boxes_by_level_[0] = 1;
+  for (unsigned j = 1; j <= K; ++j) {
+    boxes_by_level_[j] = a_ * boxes_by_level_[j - 1] + 1;
+  }
 }
 
 std::optional<BoxSize> WorstCaseSource::next() {
@@ -42,6 +49,52 @@ std::optional<BoxSize> WorstCaseSource::next() {
     return s * scale_;
   }
   return std::nullopt;
+}
+
+std::optional<BoxRun> WorstCaseSource::next_run() {
+  while (!stack_.empty()) {
+    const std::size_t top = stack_.size() - 1;
+    if (stack_[top].size == 1) {  // only reachable via mixed next() usage
+      stack_.pop_back();
+      return BoxRun{scale_, 1};
+    }
+    if (stack_[top].child < a_) {
+      if (stack_[top].size == b_) {
+        // All remaining children are base-case boxes: one native run.
+        const std::uint64_t count = a_ - stack_[top].child;
+        stack_[top].child = a_;
+        return BoxRun{scale_, count};
+      }
+      ++stack_[top].child;
+      stack_.push_back({stack_[top].size / b_, 0});
+      continue;
+    }
+    const BoxSize s = stack_[top].size;
+    stack_.pop_back();
+    return BoxRun{s * scale_, 1};
+  }
+  return std::nullopt;
+}
+
+std::optional<SubtreeBlock> WorstCaseSource::peek_block() {
+  // The stream position is always at a repeat boundary of the top node:
+  // either about to start child #child (a copy of M(size/b)) or about to
+  // emit the node's own box.
+  if (stack_.empty()) return std::nullopt;
+  const Frame& top = stack_.back();
+  if (top.size <= 1 || top.child >= a_) return std::nullopt;
+  const unsigned child_level = util::ilog(top.size, b_) - 1;
+  return SubtreeBlock{boxes_by_level_[child_level], a_ - top.child};
+}
+
+void WorstCaseSource::skip_repeats(std::uint64_t m) {
+  CADAPT_CHECK(!stack_.empty());
+  Frame& top = stack_.back();
+  CADAPT_CHECK_MSG(top.size > 1 && top.child + m <= a_,
+                   "skip_repeats(" << m << ") past the " << a_
+                                   << " children of a size-" << top.size
+                                   << " node (child=" << top.child << ")");
+  top.child += m;
 }
 
 OrderPerturbedWorstCaseSource::OrderPerturbedWorstCaseSource(std::uint64_t a,
@@ -77,6 +130,41 @@ std::optional<BoxSize> OrderPerturbedWorstCaseSource::next() {
       continue;
     }
     // All children done and own box already emitted (own_after <= a).
+    CADAPT_CHECK(stack_[top].own_emitted);
+    stack_.pop_back();
+  }
+  return std::nullopt;
+}
+
+std::optional<BoxRun> OrderPerturbedWorstCaseSource::next_run() {
+  while (!stack_.empty()) {
+    const std::size_t top = stack_.size() - 1;
+    if (stack_[top].size == 1) {  // only reachable via mixed next() usage
+      stack_.pop_back();
+      return BoxRun{1, 1};
+    }
+    if (!stack_[top].own_emitted &&
+        stack_[top].child >= own_after(stack_[top].hash, a_)) {
+      stack_[top].own_emitted = true;
+      return BoxRun{stack_[top].size, 1};
+    }
+    if (stack_[top].child < a_) {
+      if (stack_[top].size == b_) {
+        // Base-case children run until the own box (or the last child).
+        const std::uint64_t limit =
+            stack_[top].own_emitted ? a_
+                                    : own_after(stack_[top].hash, a_);
+        const std::uint64_t count = limit - stack_[top].child;
+        stack_[top].child = limit;
+        return BoxRun{1, count};
+      }
+      const std::uint64_t child_index = stack_[top].child;
+      ++stack_[top].child;
+      stack_.push_back({stack_[top].size / b_, 0,
+                        util::hash_combine(stack_[top].hash, child_index),
+                        false});
+      continue;
+    }
     CADAPT_CHECK(stack_[top].own_emitted);
     stack_.pop_back();
   }

@@ -29,6 +29,18 @@ class WorstCaseSource final : public BoxSource {
 
   std::optional<BoxSize> next() override;
 
+  /// Native runs: the base-case children of a size-b node are a
+  /// consecutive boxes of size scale — one run instead of a next() calls.
+  std::optional<BoxRun> next_run() override;
+
+  /// Structural blocks (docs/PERF.md): at a node of size m > 1 with
+  /// pending children, the upcoming stream is (a - child) identical
+  /// copies of M_{a,b}(m/b) — repeats of exactly |M(m/b)| boxes each.
+  /// skip_repeats(m) is O(1): it bumps the node's child counter.
+  bool provides_blocks() const override { return true; }
+  std::optional<SubtreeBlock> peek_block() override;
+  void skip_repeats(std::uint64_t m) override;
+
  private:
   struct Frame {
     BoxSize size;
@@ -37,6 +49,8 @@ class WorstCaseSource final : public BoxSource {
   std::uint64_t a_, b_;
   BoxSize scale_;
   std::vector<Frame> stack_;
+  /// boxes_by_level_[k] = |M_{a,b}(b^k)| (total boxes of the subtree).
+  std::vector<std::uint64_t> boxes_by_level_;
 };
 
 /// The box-order perturbation of the paper's third negative result: when
@@ -56,6 +70,11 @@ class OrderPerturbedWorstCaseSource final : public BoxSource {
                                 std::uint64_t seed);
 
   std::optional<BoxSize> next() override;
+
+  /// Native runs: consecutive base-case children between own-box
+  /// placements coalesce. No blocks — per-node hashes make sibling
+  /// subtrees non-identical box sequences.
+  std::optional<BoxRun> next_run() override;
 
   /// The box of the problem at the node with this path hash goes after
   /// child number own_after (1-based). Shared with the engine.

@@ -38,6 +38,9 @@ obs::Event record_event(const TrialRecord& record) {
       .f64("ratio", record.ratio)
       .f64("unit_ratio", record.unit_ratio);
   if (record.duration_ns != 0) event.u64("duration_ns", record.duration_ns);
+  // Emitted only when set so checkpoints from cap-free campaigns stay
+  // byte-identical to ones written before the field existed.
+  if (record.capped) event.flag("capped", true);
   return event;
 }
 
@@ -61,6 +64,7 @@ TrialRecord record_from(const obs::Event& event, std::size_t line_no) {
     return record;
   }
   record.completed = event.flag_or("completed", false);
+  record.capped = event.flag_or("capped", false);
   record.boxes = event.u64_or("boxes", 0);
   record.ratio = event.f64_or("ratio", 0);
   record.unit_ratio = event.f64_or("unit_ratio", 0);

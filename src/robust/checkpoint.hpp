@@ -79,6 +79,9 @@ struct TrialRecord {
   std::uint32_t attempts = 1;  ///< attempts burned (retries + 1)
   bool failed = false;
   bool completed = false;
+  /// Incomplete because the max_boxes cap fired (vs. the source running
+  /// dry); always false when completed.
+  bool capped = false;
   std::uint64_t boxes = 0;
   double ratio = 0;
   double unit_ratio = 0;

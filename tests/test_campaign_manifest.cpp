@@ -112,6 +112,58 @@ TEST(Manifest, RejectsMalformedInput) {
                util::ParseError);
 }
 
+TEST(Manifest, ParsesProfileKCapSuffix) {
+  const Manifest m = parse(
+      "name = x\nalgos = 8:4:1\n"
+      "profiles = worst shuffled@7 iid:point:16 iid:geometric:6@4\nk = 1..9\n");
+  ASSERT_EQ(m.profiles.size(), 4u);
+  EXPECT_EQ(m.profiles[0].kmax, 0u);  // uncapped
+  EXPECT_EQ(m.profiles[1].kind, ProfileKind::kShuffled);
+  EXPECT_EQ(m.profiles[1].kmax, 7u);
+  EXPECT_EQ(m.profiles[1].token, "shuffled@7");  // raw token kept verbatim
+  EXPECT_EQ(m.profiles[2].kmax, 0u);
+  EXPECT_EQ(m.profiles[3].kind, ProfileKind::kIid);
+  EXPECT_EQ(m.profiles[3].dist, "geometric");
+  EXPECT_EQ(m.profiles[3].kmax, 4u);
+}
+
+TEST(Manifest, RejectsBadKCapSuffix) {
+  // zero cap
+  EXPECT_THROW(
+      parse("name = x\nalgos = 4:2:1\nprofiles = shuffled@0\nk = 2\n"),
+      util::ParseError);
+  // non-numeric cap
+  EXPECT_THROW(
+      parse("name = x\nalgos = 4:2:1\nprofiles = shuffled@lots\nk = 2\n"),
+      util::ParseError);
+}
+
+TEST(Manifest, KCapEntersTheFingerprint) {
+  // Capping a profile changes which cells exist, so it must be a
+  // different campaign — the raw token (with the @cap) is fingerprinted.
+  const Manifest uncapped = parse(
+      "name = x\nalgos = 8:4:1\nprofiles = shuffled\nk = 1..9\n");
+  const Manifest capped = parse(
+      "name = x\nalgos = 8:4:1\nprofiles = shuffled@7\nk = 1..9\n");
+  EXPECT_NE(campaign::manifest_hash(uncapped), campaign::manifest_hash(capped));
+}
+
+TEST(Plan, KCapSkipsCellsAboveTheCapOnly) {
+  const Manifest m = parse(
+      "name = x\nalgos = 8:4:1\nprofiles = worst shuffled@2\nk = 1..4\n"
+      "trials = 4\n");
+  const Plan plan = campaign::expand_plan(m);
+  // worst keeps all four k; shuffled@2 keeps k=1,2 → 6 cells.
+  ASSERT_EQ(plan.cells.size(), 6u);
+  for (const campaign::Cell& cell : plan.cells) {
+    if (cell.profile.kmax != 0) EXPECT_LE(cell.k, cell.profile.kmax);
+  }
+  // Indices stay dense and stable (they address checkpoints/shards).
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    EXPECT_EQ(plan.cells[i].index, i);
+  }
+}
+
 TEST(Manifest, FingerprintIgnoresFormattingButNotContent) {
   const Manifest a = parse(
       "name = demo\nalgos = 8:4:1\nprofiles = worst shuffled\nk = 2..3\n"

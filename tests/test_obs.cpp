@@ -358,11 +358,12 @@ TEST(McRecorder, TimingGateOrderingAndFinish) {
   MemorySink sink;
   McRecorder rec(&sink, /*record_timing=*/false);
   EXPECT_FALSE(rec.record_timing());
-  rec.on_trial({0, 11, true, 5, 1.5, 1.25, 999});
-  rec.on_trial({1, 22, false, 9, 0.0, 0.0, 999});
-  rec.on_trial({2, 33, true, 5, 2.5, 2.25, 999});
+  rec.on_trial({0, 11, true, false, 5, 1.5, 1.25, 999});
+  rec.on_trial({1, 22, false, true, 9, 0.0, 0.0, 999});
+  rec.on_trial({2, 33, true, false, 5, 2.5, 2.25, 999});
   // Out-of-order trials are a bug in the driver.
-  EXPECT_THROW(rec.on_trial({1, 0, true, 0, 0, 0, 0}), util::CheckError);
+  EXPECT_THROW(rec.on_trial({1, 0, true, false, 0, 0, 0, 0}),
+               util::CheckError);
 
   ASSERT_EQ(rec.trials().size(), 3u);
   EXPECT_EQ(rec.trials()[0].duration_ns, 0u);  // timing gated off
@@ -383,7 +384,7 @@ TEST(McRecorder, TimingGateOrderingAndFinish) {
 TEST(McRecorder, TimingOnKeepsDurations) {
   MemorySink sink;
   McRecorder rec(&sink);  // record_timing defaults to true
-  rec.on_trial({0, 1, true, 2, 1.0, 1.0, 777});
+  rec.on_trial({0, 1, true, false, 2, 1.0, 1.0, 777});
   EXPECT_EQ(rec.trials()[0].duration_ns, 777u);
   EXPECT_EQ(sink.events()[0].u64_or("duration_ns", 0), 777u);
 }

@@ -73,6 +73,8 @@ commands:
               --profile worst|iid (default worst; iid takes the --dist
               flags), --trials T (T >= 2 adds a Monte-Carlo stage with
               per-trial events), --no-timing (deterministic trace),
+              --runs (aggregated run/bulk events instead of per-box —
+              enables the bulk fast path, docs/PERF.md),
               --out F (JSONL to F; without it JSONL goes to stdout and
               the summary to stderr)
   mc          robust Monte-Carlo campaign over --dist
@@ -82,7 +84,8 @@ commands:
               box_draw sink_write paging_step), --deadline-ms D,
               --box-budget B (explicit truncation, never a biased mean),
               --checkpoint F [--resume] [--checkpoint-every K],
-              --errors-shown E (default 5)
+              --errors-shown E (default 5), --per-box (force the
+              per-box reference driver; bit-identical, for debugging)
   sweep       declarative campaign from a manifest file (docs/SWEEPS.md):
               cadapt sweep <manifest> [--jobs J] [--out F]
               [--shards S --shard-index I] [--checkpoint F [--resume]]
@@ -201,7 +204,12 @@ int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
   } else {
     throw util::UsageError("--profile must be worst or iid");
   }
-  obs::ExecRecorder exec_rec(&sink);
+  // --runs swaps per-box events for aggregated run/bulk events, which
+  // also re-enables the engine's bulk fast path (docs/PERF.md); the
+  // conservation sums below hold either way.
+  const bool runs_mode = args.has("runs");
+  obs::ExecRecorder exec_rec(&sink, runs_mode ? obs::BoxGranularity::kRuns
+                                              : obs::BoxGranularity::kBoxes);
   const engine::RunResult r =
       engine::run_regular(p, n, *source, engine::ScanPlacement::kEnd,
                           /*max_boxes=*/UINT64_C(1) << 40,
@@ -237,6 +245,14 @@ int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
       throw util::CheckError("trace line did not round-trip: " + lines.back());
     if (event.type == "box") {
       ++box_events;
+      sum_progress += event.u64_or("progress", 0);
+      sum_scan += event.u64_or("scan", 0);
+    } else if (event.type == "runs") {
+      box_events += event.u64_or("count", 0);
+      sum_progress += event.u64_or("progress", 0);
+      sum_scan += event.u64_or("scan", 0);
+    } else if (event.type == "bulk") {
+      box_events += event.u64_or("boxes", 0);
       sum_progress += event.u64_or("progress", 0);
       sum_scan += event.u64_or("scan", 0);
     } else if (event.type == "trial") {
@@ -304,6 +320,7 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
   opts.trials = args.get_u64("trials", 64);
   opts.seed = args.get_u64("seed", 42);
   opts.semantics = semantics_from(args);
+  opts.per_box = args.has("per-box");
   opts.max_attempts =
       static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
   opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
@@ -340,7 +357,14 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
             << dist->name() << ":\n"
             << "  trials: " << s.trials_run << " of " << s.trials_requested
             << " (completed " << s.ratio.count() << ", incomplete "
-            << s.incomplete << ", failed " << s.failed << ")\n"
+            << s.incomplete << ", failed " << s.failed << ")\n";
+  if (s.incomplete > 0) {
+    // Say WHY trials were cut off: the box cap is a tunable, an exhausted
+    // source is a workload property.
+    std::cout << "  incomplete breakdown: " << s.capped << " hit the box cap, "
+              << (s.incomplete - s.capped) << " exhausted the source\n";
+  }
+  std::cout
             << "  truncated: " << (s.truncated ? "YES (budget)" : "no") << "\n";
   if (s.ratio.count() > 0) {
     std::cout << "  mean ratio: " << util::format_double(s.ratio.mean(), 4)
@@ -390,6 +414,10 @@ execution flags:
                         with --resume, losing at most the cells in flight
   --resume              continue from --checkpoint (header must match)
   --no-timing           zero wall_ms/wall_ns for bit-identical artifacts
+  --per-box             force the per-box reference driver in every trial;
+                        the default bulk path writes a byte-identical
+                        report (docs/PERF.md), so this is for differential
+                        testing and debugging
   --trace F             JSONL telemetry (completion order) to F
 
 robustness flags (docs/ROBUSTNESS.md):
@@ -453,6 +481,7 @@ int run_sweep_cmd(const util::ArgParser& args) {
     opts.shards = args.get_u64("shards", 1);
     opts.shard_index = args.get_u64("shard-index", 0);
     opts.timing = !args.has("no-timing");
+    opts.per_box = args.has("per-box");
     opts.max_attempts =
         static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
     opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
@@ -494,14 +523,19 @@ int run_sweep_cmd(const util::ArgParser& args) {
     std::cout << (report.truncated ? ", TRUNCATED (budget)" : "") << "\n";
   }
 
-  std::uint64_t completed = 0, incomplete = 0, failed = 0;
+  std::uint64_t completed = 0, incomplete = 0, capped = 0, failed = 0;
   for (const campaign::CellResult& cell : report.cells) {
     completed += cell.completed;
     incomplete += cell.incomplete;
+    capped += cell.capped;
     failed += cell.failed;
   }
   std::cout << "  trials: " << completed << " completed, " << incomplete
             << " incomplete, " << failed << " failed\n";
+  if (incomplete > 0) {
+    std::cout << "  incomplete breakdown: " << capped << " hit the box cap, "
+              << (incomplete - capped) << " exhausted the source\n";
+  }
   if (!report.fits.empty()) {
     util::Table table({"algo", "profile", "exponent", "expected", "r^2"});
     for (const campaign::FitResult& fit : report.fits) {

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Regenerate (default) or verify (--check) the committed E2 sweep
+# artifact BENCH_sweep.json at the repo root (docs/SWEEPS.md).
+#
+# The report is bit-identical across jobs/shards/resume, so the ONLY
+# line allowed to differ between a fresh run and the committed file is
+# the sweep_env provenance record (git hash, compiler, flags). --check
+# re-runs the E2 manifest and diffs everything except that line; any
+# other drift means the committed artifact is stale relative to the
+# engine and the test fails. Wired as the ctest -L sweep case
+# `cli_sweep_regen_check`.
+#
+# usage:
+#   tools/regen_bench_sweep.sh <path-to-cadapt> [--check]
+set -eu
+
+cli=${1:?usage: regen_bench_sweep.sh <path-to-cadapt> [--check]}
+mode=${2:-update}
+
+repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+manifest="$repo_root/bench/manifests/e2_log_gap.manifest"
+committed="$repo_root/BENCH_sweep.json"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp" "$tmp.new" "$tmp.old"' EXIT INT TERM
+
+# --no-timing zeroes wall_ms/wall_ns — the byte-identity contract.
+"$cli" sweep "$manifest" --no-timing --out "$tmp" > /dev/null
+
+if [ "$mode" = "--check" ]; then
+  grep -v '"type":"sweep_env"' "$tmp" > "$tmp.new"
+  grep -v '"type":"sweep_env"' "$committed" > "$tmp.old"
+  if ! cmp -s "$tmp.old" "$tmp.new"; then
+    echo "BENCH_sweep.json is stale — refresh it with:" >&2
+    echo "  tools/regen_bench_sweep.sh $cli" >&2
+    diff "$tmp.old" "$tmp.new" >&2 || true
+    exit 1
+  fi
+  echo "BENCH_sweep.json matches a fresh E2 run (sweep_env excluded)"
+else
+  cp "$tmp" "$committed"
+  echo "wrote $committed"
+fi
