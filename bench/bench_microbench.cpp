@@ -5,11 +5,20 @@
 // of boxes.
 #include <benchmark/benchmark.h>
 
+#include "algos/funnelsort.hpp"
+#include "algos/sim_data.hpp"
+#include "campaign/cell_runner.hpp"
+#include "campaign/manifest.hpp"
 #include "engine/analytic.hpp"
 #include "engine/exec.hpp"
+#include "engine/montecarlo.hpp"
 #include "obs/recorder.hpp"
 #include "obs/sink.hpp"
+#include "paging/address_space.hpp"
+#include "paging/ca_machine.hpp"
 #include "paging/lru_cache.hpp"
+#include "paging/reference_lru.hpp"
+#include "profile/box_source.hpp"
 #include "profile/distributions.hpp"
 #include "profile/worst_case.hpp"
 #include "util/math.hpp"
@@ -176,6 +185,190 @@ void BM_LruAccess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_LruAccess)->Arg(64)->Arg(1024);
+
+// ---- Paging fast path (docs/PERF.md, "Paging fast path") ----
+// Before/after pairs for the three layers of the fast path; one run of
+// this family is committed as BENCH_paging.json. The "before" side is
+// the reference kept for the differential suite (ReferenceLruCache /
+// set_per_access), proven bit-identical by tests/test_paging_fast.cpp.
+
+// Data-structure layer: flat intrusive LRU (BM_LruAccess above) vs the
+// old std::list + unordered_map implementation on the same block stream.
+void BM_LruCacheReference(benchmark::State& state) {
+  paging::ReferenceLruCache cache(static_cast<std::uint64_t>(state.range(0)));
+  util::Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 12)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruCacheReference)->Arg(64)->Arg(1024);
+
+constexpr std::uint64_t kScanWords = 1 << 16;
+constexpr std::uint64_t kScanBlock = 8;
+
+std::unique_ptr<profile::BoxSource> make_const_boxes() {
+  return std::make_unique<profile::CyclingSource>([] {
+    return std::make_unique<profile::VectorSource>(
+        std::vector<profile::BoxSize>(64, 64));
+  });
+}
+
+paging::CaMachine make_scan_machine() {
+  return paging::CaMachine(make_const_boxes(), kScanBlock,
+                           /*record_boxes=*/false);
+}
+
+// Dispatch layer: a sequential word scan (the dominant pattern in the
+// instrumented algorithms) through the pre-fast-path stack (per-word
+// virtual dispatch into the list+map LRU — the "before" of the >= 10x
+// per-access claim), the per-access path on the flat LRU, the default
+// hot-block shortcut, and the access_run bulk interface.
+void BM_PagingAccessReferenceStack(benchmark::State& state) {
+  paging::ReferenceCaMachine machine(make_const_boxes(), kScanBlock);
+  for (auto _ : state) {
+    for (std::uint64_t w = 0; w < kScanWords; ++w) machine.access(w);
+  }
+  benchmark::DoNotOptimize(machine.misses());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kScanWords));
+}
+BENCHMARK(BM_PagingAccessReferenceStack);
+
+void BM_PagingAccessPerWord(benchmark::State& state) {
+  auto machine = make_scan_machine();
+  machine.set_per_access(true);
+  for (auto _ : state) {
+    for (std::uint64_t w = 0; w < kScanWords; ++w) machine.access(w);
+  }
+  benchmark::DoNotOptimize(machine.misses());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kScanWords));
+}
+BENCHMARK(BM_PagingAccessPerWord);
+
+void BM_PagingAccessFast(benchmark::State& state) {
+  auto machine = make_scan_machine();
+  for (auto _ : state) {
+    for (std::uint64_t w = 0; w < kScanWords; ++w) machine.access(w);
+  }
+  benchmark::DoNotOptimize(machine.misses());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kScanWords));
+}
+BENCHMARK(BM_PagingAccessFast);
+
+void BM_PagingAccessRun(benchmark::State& state) {
+  auto machine = make_scan_machine();
+  for (auto _ : state) {
+    for (std::uint64_t w = 0; w < kScanWords; w += kScanBlock) {
+      machine.access_run(w, kScanBlock);
+    }
+  }
+  benchmark::DoNotOptimize(machine.misses());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kScanWords));
+}
+BENCHMARK(BM_PagingAccessRun);
+
+// Replay layer: the same scan consumed from a recorded trace by
+// CaMachine::replay_trace — one previous-occurrence compare per run, no
+// hash probe, no LRU update. This is what every post-capture trial of a
+// `--capture-trace` Monte-Carlo cell executes.
+void BM_PagingReplayWalk(benchmark::State& state) {
+  paging::BlockRunRecorder recorder(kScanBlock);
+  for (std::uint64_t w = 0; w < kScanWords; w += kScanBlock) {
+    recorder.access_run(w, kScanBlock);
+  }
+  const paging::BlockRunTrace trace = recorder.take();
+  std::uint64_t misses = 0;
+  for (auto _ : state) {
+    auto machine = make_scan_machine();
+    machine.replay_trace(trace);
+    misses += machine.misses();
+  }
+  benchmark::DoNotOptimize(misses);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kScanWords));
+}
+BENCHMARK(BM_PagingReplayWalk);
+
+// End-to-end layer: one real-algorithm Monte-Carlo cell — funnelsort on
+// 65536 keys under i.i.d. uniform boxes, 32 trials (the E16 scale in
+// bench/manifests). The "before" runs each trial on the pre-fast-path
+// reference stack (same trial seeding and input generation as the cell
+// runner); "direct" and "replay" go through the campaign cell runner,
+// i.e. the exact code path of `cadapt mc --sort funnel
+// [--capture-trace]`. Replay pays one capture run per cell, so its
+// advantage grows with the trial count (campaign default is 64).
+constexpr std::uint64_t kCellKeys = 65536;
+constexpr std::uint64_t kCellTrials = 32;
+
+void BM_McCellFunnelReferenceStack(benchmark::State& state) {
+  std::uint64_t misses = 0;
+  for (auto _ : state) {
+    for (std::uint64_t t = 0; t < kCellTrials; ++t) {
+      const std::uint64_t trial_seed = engine::derive_trial_seed(42, t, 0);
+      auto dist = std::make_shared<profile::UniformRange>(4, 128);
+      util::Rng profile_rng(util::hash_combine(trial_seed, 0x50f17eull));
+      paging::ReferenceCaMachine machine(
+          std::make_unique<profile::CyclingSource>(
+              [dist, profile_rng]() mutable {
+                return std::make_unique<profile::DistributionSource>(
+                    *dist, profile_rng.split());
+              }),
+          kScanBlock);
+      paging::AddressSpace space(kScanBlock);
+      algos::SimVector<std::int64_t> data(
+          machine, space, static_cast<std::size_t>(kCellKeys));
+      util::Rng rng(trial_seed);
+      for (std::size_t i = 0; i < kCellKeys; ++i) {
+        data.raw(i) = static_cast<std::int64_t>(rng.below(1u << 24));
+      }
+      algos::funnelsort(machine, space, data);
+      misses += machine.misses();
+    }
+  }
+  benchmark::DoNotOptimize(misses);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kCellTrials));
+}
+BENCHMARK(BM_McCellFunnelReferenceStack);
+
+void run_mc_cell(benchmark::State& state, bool capture_trace) {
+  campaign::Cell cell;
+  cell.sort = "funnel";
+  cell.profile = campaign::parse_sort_profile_token("uniform:4:128");
+  cell.seed = 42;
+  campaign::CellRunOptions options;
+  options.keys = kCellKeys;
+  options.block = kScanBlock;
+  options.timing = false;
+  options.capture_trace = capture_trace;
+  engine::McOptions trial_options;
+  trial_options.seed = cell.seed;
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    const auto runner = campaign::make_program_runner(cell, options);
+    for (std::uint64_t t = 0; t < kCellTrials; ++t) {
+      boxes += engine::run_single_trial(trial_options, runner, t,
+                                        /*timing=*/false)
+                   .boxes;
+    }
+  }
+  benchmark::DoNotOptimize(boxes);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(kCellTrials));
+}
+
+void BM_McCellFunnelDirect(benchmark::State& state) {
+  run_mc_cell(state, /*capture_trace=*/false);
+}
+BENCHMARK(BM_McCellFunnelDirect);
+
+void BM_McCellFunnelReplay(benchmark::State& state) {
+  run_mc_cell(state, /*capture_trace=*/true);
+}
+BENCHMARK(BM_McCellFunnelReplay);
 
 void BM_AnalyticSolve(benchmark::State& state) {
   const auto k = static_cast<unsigned>(state.range(0));

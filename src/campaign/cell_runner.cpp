@@ -1,14 +1,19 @@
 #include "campaign/cell_runner.hpp"
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "algos/adaptive_sort.hpp"
 #include "algos/funnelsort.hpp"
+#include "algos/fw.hpp"
+#include "algos/mm.hpp"
 #include "algos/sim_data.hpp"
 #include "algos/sort.hpp"
 #include "core/workloads.hpp"
 #include "paging/address_space.hpp"
+#include "paging/block_run.hpp"
 #include "paging/ca_machine.hpp"
 #include "profile/generators.hpp"
 #include "profile/square_approx.hpp"
@@ -135,56 +140,216 @@ profile::SourceFactory sort_profile_factory(const ProfileSpec& spec,
   }
 }
 
-/// One sort trial, shoehorned into the engine's RunResult so the shared
-/// containment path (run_single_trial) and record format serve both
-/// workloads: ratio <- total I/Os (the sort metric), unit_ratio <- I/Os
-/// per key, boxes <- boxes started, completed <- output actually sorted.
-engine::RobustTrialRunner sort_runner(const Cell& cell,
-                                      const CellRunOptions& options) {
+/// A parsed `sorts` token: which program a cell runs, and the matrix side
+/// for mm:N / fw:N (tokens are validated at manifest/CLI parse time).
+struct ProgramSpec {
+  enum class Kind { kAdaptive, kFunnel, kMerge2, kMm, kFw };
+  Kind kind = Kind::kFunnel;
+  std::size_t n = 0;  ///< matrix side (mm/fw only)
+};
+
+ProgramSpec parse_program(const std::string& token) {
+  ProgramSpec prog;
+  if (token == "adaptive") {
+    prog.kind = ProgramSpec::Kind::kAdaptive;
+  } else if (token == "funnel") {
+    prog.kind = ProgramSpec::Kind::kFunnel;
+  } else if (token == "merge2") {
+    prog.kind = ProgramSpec::Kind::kMerge2;
+  } else if (token.rfind("mm:", 0) == 0 || token.rfind("fw:", 0) == 0) {
+    validate_program_token(token, 0);
+    prog.kind = token[0] == 'm' ? ProgramSpec::Kind::kMm
+                                : ProgramSpec::Kind::kFw;
+    prog.n = static_cast<std::size_t>(std::stoull(token.substr(3)));
+  } else {
+    throw util::CheckError("unknown program '" + token + "'");
+  }
+  return prog;
+}
+
+/// Work units for the per-unit I/O metric: keys for the sorts, elements
+/// for the matrix kernels.
+std::uint64_t program_units(const ProgramSpec& prog, std::uint64_t keys) {
+  if (prog.kind == ProgramSpec::Kind::kMm ||
+      prog.kind == ProgramSpec::Kind::kFw) {
+    return static_cast<std::uint64_t>(prog.n) * prog.n;
+  }
+  return keys;
+}
+
+/// Run one program against `machine` and verify its output against an
+/// untracked reference; returns the verification verdict. `box_hint` is
+/// consulted only by the adaptive sort (must be non-null for it). Matrix
+/// inputs are small integers, so the recursive kernels match the
+/// reference in exact floating-point equality regardless of summation
+/// order.
+bool run_program(const ProgramSpec& prog, paging::Machine& machine,
+                 std::uint64_t keys, std::uint64_t input_seed,
+                 const std::function<std::uint64_t()>& box_hint) {
+  paging::AddressSpace space(machine.block_size());
+  util::Rng rng(input_seed);
+  switch (prog.kind) {
+    case ProgramSpec::Kind::kAdaptive:
+    case ProgramSpec::Kind::kFunnel:
+    case ProgramSpec::Kind::kMerge2: {
+      algos::SimVector<std::int64_t> data(machine, space,
+                                          static_cast<std::size_t>(keys));
+      for (std::size_t i = 0; i < keys; ++i) {
+        data.raw(i) = static_cast<std::int64_t>(rng.below(1u << 24));
+      }
+      if (prog.kind == ProgramSpec::Kind::kAdaptive) {
+        CADAPT_CHECK_MSG(box_hint != nullptr,
+                         "adaptive sort needs a box-size hint");
+        algos::adaptive_merge_sort(machine, space, data, box_hint);
+      } else if (prog.kind == ProgramSpec::Kind::kFunnel) {
+        algos::funnelsort(machine, space, data);
+      } else {
+        algos::merge_sort(machine, space, data);
+      }
+      for (std::size_t i = 1; i < keys; ++i) {
+        if (data.raw(i - 1) > data.raw(i)) return false;
+      }
+      return true;
+    }
+    case ProgramSpec::Kind::kMm: {
+      const std::size_t n = prog.n;
+      algos::SimMatrix<double> a(machine, space, n, n);
+      algos::SimMatrix<double> b(machine, space, n, n);
+      algos::SimMatrix<double> c(machine, space, n, n);
+      std::vector<double> a_raw(n * n), b_raw(n * n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t col = 0; col < n; ++col) {
+          a.raw(r, col) = a_raw[r * n + col] =
+              static_cast<double>(rng.below(64));
+          b.raw(r, col) = b_raw[r * n + col] =
+              static_cast<double>(rng.below(64));
+        }
+      }
+      algos::MmScratch scratch(machine, space);
+      algos::MatView<double> cv(c), av(a), bv(b);
+      algos::mm_scan(cv, av, bv, scratch);
+      const std::vector<double> want = algos::mm_reference(a_raw, b_raw, n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t col = 0; col < n; ++col) {
+          if (c.raw(r, col) != want[r * n + col]) return false;
+        }
+      }
+      return true;
+    }
+    case ProgramSpec::Kind::kFw: {
+      const std::size_t n = prog.n;
+      algos::SimMatrix<double> d(machine, space, n, n);
+      std::vector<double> d_raw(n * n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t col = 0; col < n; ++col) {
+          const double w =
+              r == col ? 0.0 : static_cast<double>(1 + rng.below(64));
+          d.raw(r, col) = d_raw[r * n + col] = w;
+        }
+      }
+      algos::MatView<double> dv(d);
+      algos::fw_recursive(dv);
+      const std::vector<double> want =
+          algos::fw_reference(std::move(d_raw), n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t col = 0; col < n; ++col) {
+          if (d.raw(r, col) != want[r * n + col]) return false;
+        }
+      }
+      return true;
+    }
+  }
+  throw util::CheckError("unreachable program kind");
+}
+
+}  // namespace
+
+/// One program trial, shoehorned into the engine's RunResult so the
+/// shared containment path (run_single_trial) and record format serve
+/// both workloads: ratio <- total I/Os (the metric), unit_ratio <- I/Os
+/// per work unit, boxes <- boxes started, completed <- output verified.
+///
+/// With capture_trace set, the first trial to arrive records the cell's
+/// block-run trace through a BlockRunRecorder (inputs fixed by the cell
+/// seed, so the access stream is trial-invariant) and every trial —
+/// including the first — replays that trace into its own machine, keeping
+/// all trials on one code path. The adaptive sort's stream depends on the
+/// live box profile, so it falls back to direct runs with the same fixed
+/// input.
+engine::RobustTrialRunner make_program_runner(const Cell& cell,
+                                              const CellRunOptions& options) {
   const ProfileSpec spec = cell.profile;
-  const std::string sort = cell.sort;
+  const ProgramSpec prog = parse_program(cell.sort);
   const std::uint64_t keys = options.keys;
   const std::uint64_t block = options.block;
-  return [spec, sort, keys, block](std::uint64_t trial_seed,
-                                   robust::FaultInjector&) {
+  const std::uint64_t units = program_units(prog, keys);
+  const bool per_access = options.per_access;
+  const bool capture = options.capture_trace;
+  const std::uint64_t cell_seed = cell.seed;
+  const bool replayable =
+      capture && prog.kind != ProgramSpec::Kind::kAdaptive;
+
+  // Shared across the trials of this cell (and across threads when the
+  // CLI's mc mode fans trials out on a pool): the once-recorded trace.
+  struct CaptureState {
+    std::once_flag once;
+    paging::BlockRunTrace trace;
+    bool verified = false;
+  };
+  auto state = replayable ? std::make_shared<CaptureState>() : nullptr;
+
+  return [spec, prog, keys, block, units, per_access, capture, cell_seed,
+          replayable, state](std::uint64_t trial_seed,
+                             robust::FaultInjector&) {
+    const std::uint64_t input_seed = capture ? cell_seed : trial_seed;
     paging::CaMachine machine(
         std::make_unique<profile::CyclingSource>(
             sort_profile_factory(spec, trial_seed)),
         block, /*record_boxes=*/false);
-    paging::AddressSpace space(block);
-    algos::SimVector<std::int64_t> data(machine, space,
-                                        static_cast<std::size_t>(keys));
-    util::Rng rng(trial_seed);
-    for (std::size_t i = 0; i < keys; ++i) {
-      data.raw(i) = static_cast<std::int64_t>(rng.below(1u << 24));
-    }
+    if (per_access) machine.set_per_access(true);
 
-    if (sort == "adaptive") {
-      algos::adaptive_merge_sort(machine, space, data, [&machine] {
+    engine::RunResult r;
+    if (replayable) {
+      std::call_once(state->once, [&] {
+        paging::BlockRunRecorder recorder(block);
+        if (per_access) recorder.set_per_access(true);
+        state->verified =
+            run_program(prog, recorder, keys, input_seed, nullptr);
+        state->trace = recorder.take();
+      });
+      machine.replay_trace(state->trace);
+      r.completed = state->verified;
+    } else {
+      r.completed = run_program(prog, machine, keys, input_seed, [&machine] {
         return machine.current_box_size();
       });
-    } else if (sort == "funnel") {
-      algos::funnelsort(machine, space, data);
-    } else {
-      CADAPT_CHECK_MSG(sort == "merge2", "unknown sort '" << sort << "'");
-      algos::merge_sort(machine, space, data);
     }
-
-    bool sorted = true;
-    for (std::size_t i = 1; i < keys; ++i) {
-      if (data.raw(i - 1) > data.raw(i)) sorted = false;
-    }
-    engine::RunResult r;
-    r.completed = sorted;
     r.boxes = machine.boxes_started();
     r.ratio = static_cast<double>(machine.misses());
     r.unit_ratio =
-        static_cast<double>(machine.misses()) / static_cast<double>(keys);
+        static_cast<double>(machine.misses()) / static_cast<double>(units);
     return r;
   };
 }
 
-}  // namespace
+engine::RunResult run_program_traced(const Cell& cell,
+                                     const CellRunOptions& options,
+                                     std::uint64_t trial_seed,
+                                     obs::PagingRecorder& recorder) {
+  const ProgramSpec prog = parse_program(cell.sort);
+  paging::CaMachine machine(
+      std::make_unique<profile::CyclingSource>(
+          sort_profile_factory(cell.profile, trial_seed)),
+      options.block, /*record_boxes=*/false, &recorder);
+  engine::RunResult r;
+  r.completed = run_program(prog, machine, options.keys, trial_seed,
+                            [&machine] { return machine.current_box_size(); });
+  r.boxes = machine.boxes_started();
+  r.ratio = static_cast<double>(machine.misses());
+  r.unit_ratio = static_cast<double>(machine.misses()) /
+                 static_cast<double>(program_units(prog, options.keys));
+  return r;
+}
 
 CellRunOptions cell_options_from(const Manifest& manifest) {
   CellRunOptions options;
@@ -192,6 +357,7 @@ CellRunOptions cell_options_from(const Manifest& manifest) {
   options.max_boxes = manifest.max_boxes;
   options.keys = manifest.keys;
   options.block = manifest.block;
+  options.capture_trace = manifest.trace_replay;
   return options;
 }
 
@@ -199,7 +365,7 @@ std::vector<robust::TrialRecord> run_cell(const Cell& cell,
                                           const CellRunOptions& options) {
   const engine::RobustTrialRunner runner =
       cell.sort.empty() ? ratio_runner(cell, options)
-                        : sort_runner(cell, options);
+                        : make_program_runner(cell, options);
   engine::McOptions trial_options;
   trial_options.seed = cell.seed;
   trial_options.max_attempts = options.max_attempts;

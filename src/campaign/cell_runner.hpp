@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "campaign/plan.hpp"
+#include "engine/montecarlo.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/fault.hpp"
 
@@ -33,10 +34,35 @@ struct CellRunOptions {
   // Sort workload:
   std::uint64_t keys = 16384;
   std::uint64_t block = 8;
+  /// Force per-word Machine dispatch (disable the hot-block shortcut and
+  /// access_run batching). The fast path is bit-identical, so this exists
+  /// for differential tests (`cadapt sweep --per-access`) and debugging.
+  bool per_access = false;
+  /// Record-once/replay-many (docs/PERF.md): capture the cell's block-run
+  /// trace once and replay it for every trial. Inputs are then fixed per
+  /// cell (seeded by the cell seed), and profile-dependent programs
+  /// (adaptive) fall back to direct runs with that same fixed input.
+  bool capture_trace = false;
 };
 
 /// Options derived from the manifest the plan came from.
 CellRunOptions cell_options_from(const Manifest& manifest);
+
+/// The trial runner for a sort/program cell (cell.sort non-empty):
+/// adaptive|funnel|merge2 on options.keys keys, or mm:N|fw:N on an N x N
+/// matrix. Exposed so the CLI's `mc --sort` mode can drive the exact same
+/// runner through the Monte-Carlo layer.
+engine::RobustTrialRunner make_program_runner(const Cell& cell,
+                                              const CellRunOptions& options);
+
+/// One direct program trial with an obs::PagingRecorder attached (which
+/// forces the per-access reference path, so the recorder's tallies are
+/// byte-identical to the pre-fast-path behavior) — backs the
+/// `cadapt trace --sort` paging summary.
+engine::RunResult run_program_traced(const Cell& cell,
+                                     const CellRunOptions& options,
+                                     std::uint64_t trial_seed,
+                                     obs::PagingRecorder& recorder);
 
 /// Run the cell's trials in trial order. Never throws for per-trial
 /// faults (contained in the records); throws only for malformed cells.

@@ -222,6 +222,26 @@ std::vector<unsigned> parse_k_list(const std::string& value,
 
 }  // namespace
 
+ProfileSpec parse_sort_profile_token(const std::string& token) {
+  return parse_sort_profile(token, 0);
+}
+
+void validate_program_token(const std::string& token, std::size_t line_no) {
+  if (token == "adaptive" || token == "funnel" || token == "merge2") return;
+  const auto parts = split(token, ':');
+  if (parts.size() == 2 && (parts[0] == "mm" || parts[0] == "fw")) {
+    const std::uint64_t n = parse_u64(parts[1], line_no, parts[0] + " size");
+    if (n < 4 || (n & (n - 1)) != 0) {
+      fail(line_no,
+           parts[0] + " size must be a power of two >= 4, got '" + parts[1] +
+               "'");
+    }
+    return;
+  }
+  fail(line_no, "unknown program '" + token +
+                    "' (expected adaptive, funnel, merge2, mm:N, or fw:N)");
+}
+
 Manifest parse_manifest(std::istream& is) {
   Manifest m;
   bool saw_name = false;
@@ -299,12 +319,15 @@ Manifest parse_manifest(std::istream& is) {
       if (m.max_boxes == 0) fail(line_no, "max_boxes must be >= 1");
     } else if (key == "sorts") {
       for (const std::string& token : tokens_of(value)) {
-        if (token != "adaptive" && token != "funnel" && token != "merge2") {
-          fail(line_no, "unknown sort '" + token +
-                            "' (expected adaptive, funnel, or merge2)");
-        }
+        validate_program_token(token, line_no);
         m.sorts.push_back(token);
       }
+    } else if (key == "trace_replay") {
+      const auto toks = tokens_of(value);
+      if (toks.size() != 1 || (toks[0] != "0" && toks[0] != "1")) {
+        fail(line_no, "trace_replay must be 0 or 1");
+      }
+      m.trace_replay = toks[0] == "1";
     } else if (key == "keys") {
       const auto toks = tokens_of(value);
       if (toks.size() != 1) fail(line_no, "keys must be a single integer");
@@ -333,6 +356,9 @@ Manifest parse_manifest(std::istream& is) {
     if (m.ks.empty()) throw util::ParseError("manifest has no k values");
     if (!m.sorts.empty()) {
       throw util::ParseError("'sorts' requires workload = sort");
+    }
+    if (m.trace_replay) {
+      throw util::ParseError("'trace_replay' requires workload = sort");
     }
   } else {
     if (m.sorts.empty()) throw util::ParseError("manifest has no sorts");
@@ -369,6 +395,9 @@ std::string manifest_fingerprint(const Manifest& m) {
     os << " sorts=";
     for (const std::string& s : m.sorts) os << s << ",";
     os << " keys=" << m.keys << " block=" << m.block;
+    // Only-when-set: campaigns without trace replay keep their historical
+    // fingerprint (and thus config_hash) byte-for-byte.
+    if (m.trace_replay) os << " replay=1";
   }
   return os.str();
 }

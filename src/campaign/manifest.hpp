@@ -25,12 +25,23 @@
 //   unit_progress = 0 | 1               # footnote-4 ratio (use for a <= b)
 //   max_boxes = 1099511627776           # per-trial box cap
 //
-// Sort-workload manifests (the E16 head-to-head) replace algos/k with:
+// Sort-workload manifests (the E16 head-to-head and the real-algorithm
+// E-cells) replace algos/k with:
 //
-//   sorts     = adaptive funnel merge2
+//   sorts     = adaptive funnel merge2 mm:128 fw:128
+//               # mm:N / fw:N run MM-Scan / recursive Floyd-Warshall on
+//               # an N x N matrix (N a power of two >= 4); the sorts run
+//               # on `keys` keys
 //   profiles  = const:64 uniform:4:128 sawtooth:128:8 mworst:2:2:512:2
 //   keys      = 16384
 //   block     = 8
+//   trace_replay = 0 | 1    # 1: capture each cell's block-run trace on
+//               # the first trial and replay it against the remaining
+//               # trials' profiles (docs/PERF.md). Inputs are then fixed
+//               # per cell (seeded by the cell seed, not the trial seed)
+//               # so the access stream is trial-invariant; profile-
+//               # dependent programs (adaptive) fall back to direct runs
+//               # with the same fixed input.
 //
 // Unknown keys are rejected (a typo must not silently change a campaign);
 // all parse failures throw util::ParseError with the line number.
@@ -100,9 +111,13 @@ struct Manifest {
   bool unit_progress = false;
   std::uint64_t max_boxes = UINT64_C(1) << 40;
   // sort workload
-  std::vector<std::string> sorts;  ///< adaptive | funnel | merge2
+  std::vector<std::string> sorts;  ///< adaptive|funnel|merge2|mm:N|fw:N
   std::uint64_t keys = 16384;
   std::uint64_t block = 8;
+  /// Record-once/replay-many traces (docs/PERF.md): entered into the
+  /// fingerprint only when set, so pre-existing campaigns keep their
+  /// config_hash byte-for-byte.
+  bool trace_replay = false;
 };
 
 /// Parse a manifest. Throws util::ParseError (line-numbered) on any
@@ -110,6 +125,15 @@ struct Manifest {
 Manifest parse_manifest(std::istream& is);
 /// File variant; throws util::IoError if the file cannot be opened.
 Manifest parse_manifest_file(const std::string& path);
+
+/// Parse one sort-workload profile token (const:S | uniform:LO:HI |
+/// sawtooth:PEAK:CYCLES | mworst:A:B:N:SCALE) outside a manifest — the
+/// CLI's `mc --sort-profile` uses this. Throws util::ParseError.
+ProfileSpec parse_sort_profile_token(const std::string& token);
+
+/// Validate a sort/program token (adaptive|funnel|merge2|mm:N|fw:N).
+/// Throws util::ParseError with `line_no` context on anything else.
+void validate_program_token(const std::string& token, std::size_t line_no);
 
 /// Canonical one-line rendering of everything that shapes a cell. Two
 /// manifests measure the same campaign iff their fingerprints are equal.

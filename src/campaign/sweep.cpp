@@ -106,6 +106,7 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
 
   CellRunOptions cell_options = cell_options_from(plan.manifest);
   cell_options.per_box = options.per_box;
+  cell_options.per_access = options.per_access;
   cell_options.max_attempts = options.max_attempts;
   cell_options.faults = options.faults;
   cell_options.timing = options.timing;

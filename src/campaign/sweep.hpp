@@ -43,6 +43,10 @@ struct SweepOptions {
   /// The default bulk path produces a bit-identical report, so this
   /// exists for differential tests (`cadapt sweep --per-box`).
   bool per_box = false;
+  /// Force per-word Machine dispatch in sort-workload trials (disable the
+  /// hot-block shortcut). Also bit-identical by contract; exists for
+  /// differential tests (`cadapt sweep --per-access`).
+  bool per_access = false;
   std::uint32_t max_attempts = 1;  ///< per-trial attempts before containment
   /// Seeded fault plan shared by every trial; null = no injection. Must
   /// outlive the call.

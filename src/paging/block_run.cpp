@@ -1,0 +1,100 @@
+#include "paging/block_run.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+void BlockRunTrace::push(BlockId block, std::uint64_t count) {
+  if (count == 0) return;
+  accesses_ += count;
+  steps_.clear();  // appended runs invalidate the replay index
+  if (!runs_.empty() && runs_.back().block == block) {
+    runs_.back().count += count;
+    return;
+  }
+  runs_.push_back(BlockRun{block, count});
+}
+
+void BlockRunTrace::ensure_replay_index() {
+  if (has_replay_index() || runs_.empty()) return;
+  constexpr std::uint64_t kMax = 0xffffffffull;
+  if (runs_.size() >= kMax) return;  // unindexable: generic replay
+  steps_.assign(runs_.size(), ReplayStep{0, 0});
+  for (std::uint64_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].count >= kMax) {
+      steps_.clear();  // unindexable: generic replay
+      return;
+    }
+    steps_[i].count = static_cast<std::uint32_t>(runs_[i].count);
+  }
+  // AddressSpace hands out block ids densely from 0, so a direct-mapped
+  // table covers the common case without any hashing; fall back to a
+  // hash map only for genuinely sparse id spaces.
+  BlockId max_block = 0;
+  for (const BlockRun& run : runs_) max_block = std::max(max_block, run.block);
+  if (max_block <= 8 * runs_.size() + 1024) {
+    std::vector<std::uint32_t> last(max_block + 1, 0);  // block -> 1 + index
+    for (std::uint64_t i = 0; i < runs_.size(); ++i) {
+      std::uint32_t& slot = last[runs_[i].block];
+      steps_[i].prev1 = slot;
+      slot = static_cast<std::uint32_t>(i + 1);
+    }
+    return;
+  }
+  std::unordered_map<BlockId, std::uint32_t> last;  // block -> 1 + run index
+  for (std::uint64_t i = 0; i < runs_.size(); ++i) {
+    auto [it, inserted] =
+        last.try_emplace(runs_[i].block, static_cast<std::uint32_t>(i + 1));
+    if (!inserted) {
+      steps_[i].prev1 = it->second;
+      it->second = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+}
+
+void BlockRunTrace::replay_into(Machine& machine) const {
+  if (block_size_ != 0) {
+    CADAPT_CHECK_MSG(machine.block_size() == block_size_,
+                     "trace recorded at block size "
+                         << block_size_ << ", machine uses "
+                         << machine.block_size());
+  }
+  const std::uint64_t b = machine.block_size();
+  for (const BlockRun& run : runs_) {
+    machine.access_run(run.block * b, run.count);
+  }
+}
+
+std::vector<BlockId> BlockRunTrace::expand() const {
+  std::vector<BlockId> blocks;
+  blocks.reserve(accesses_);
+  for (const BlockRun& run : runs_) {
+    blocks.insert(blocks.end(), run.count, run.block);
+  }
+  return blocks;
+}
+
+void BlockRunRecorder::access_cold(WordAddr, BlockId block) {
+  if (have_run_ && block == run_block_) return;  // per-access-path revisit
+  const std::uint64_t seen = accesses() - 1;  // this access already counted
+  if (have_run_) trace_.push(run_block_, seen - run_start_);
+  run_block_ = block;
+  run_start_ = seen;
+  have_run_ = true;
+  mark_hot(block);
+}
+
+BlockRunTrace BlockRunRecorder::take() {
+  if (have_run_) {
+    trace_.push(run_block_, accesses() - run_start_);
+    have_run_ = false;
+  }
+  trace_.ensure_replay_index();
+  return std::move(trace_);
+}
+
+}  // namespace cadapt::paging

@@ -1,0 +1,119 @@
+// Compressed block-run traces: record once, replay many (docs/PERF.md,
+// "Paging fast path").
+//
+// A deterministic algorithm whose access stream does not depend on the
+// machine's paging state (every cache-oblivious kernel in src/algos —
+// but NOT adaptive_merge_sort, which queries current_box_size()) touches
+// the same block sequence on every trial of a Monte-Carlo cell. Running
+// it once through a BlockRunRecorder captures that sequence as
+// coalesced BlockRun{block, count} stretches; replay_into() then drives
+// any number of machines (one per sampled profile) through
+// Machine::access_run at O(runs) cost — no algorithm re-execution, no
+// per-word dispatch.
+//
+// Bit-identity contract: the replayed machine sees the exact block
+// sequence of the original run, so every counter a block-granular
+// machine exposes (misses, boxes, accesses, cache stats) matches a
+// direct simulation exactly; tests/test_paging_fast.cpp proves this
+// across thread pools 1/2/8. Replay addresses the first word of each
+// block — only word-granular observers (TraceRecorder) can tell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "paging/machine.hpp"
+
+namespace cadapt::paging {
+
+/// `count` consecutive accesses, all inside block `block`.
+struct BlockRun {
+  BlockId block = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const BlockRun&, const BlockRun&) = default;
+};
+
+/// A coalesced block-access trace. push() merges adjacent runs of the
+/// same block, so the stored form is canonical: no two neighboring runs
+/// share a block and every count is >= 1.
+class BlockRunTrace {
+ public:
+  BlockRunTrace() = default;
+  explicit BlockRunTrace(std::uint64_t block_size)
+      : block_size_(block_size) {}
+
+  void push(BlockId block, std::uint64_t count);
+
+  const std::vector<BlockRun>& runs() const { return runs_; }
+  std::uint64_t accesses() const { return accesses_; }
+  /// Block size of the recording machine; 0 = unspecified.
+  std::uint64_t block_size() const { return block_size_; }
+
+  /// One entry per run of the replay index that CaMachine::replay_trace
+  /// consumes: prev1 = 1 + index of the nearest earlier run touching the
+  /// same block, or 0 if there is none — so run i touches a block unseen
+  /// since run p began iff steps[i].prev1 <= p. count mirrors the run's
+  /// access count. Packed to 8 bytes because the replay walk is
+  /// memory-bound: real traces coalesce poorly (block-alternating merge
+  /// and matrix streams have mean run length < 2), so the walk streams
+  /// the whole index once per trial.
+  struct ReplayStep {
+    std::uint32_t prev1;
+    std::uint32_t count;
+  };
+
+  /// Build the replay index: one pass, done once per trace
+  /// (BlockRunRecorder::take finalizes it); afterwards any number of
+  /// threads replay off the shared read-only index. push() invalidates
+  /// it. Traces the packed form cannot represent (>= 2^32 - 1 runs, or a
+  /// single run of >= 2^32 accesses) are left unindexed and replay
+  /// through the generic per-run path.
+  void ensure_replay_index();
+  bool has_replay_index() const {
+    return !runs_.empty() && steps_.size() == runs_.size();
+  }
+  const std::vector<ReplayStep>& replay_steps() const { return steps_; }
+
+  /// Drive `machine` through the trace: exactly equivalent (block-wise)
+  /// to re-running the recorded algorithm against it. Checks the block
+  /// sizes match when the trace carries one.
+  void replay_into(Machine& machine) const;
+
+  /// The expanded per-access block stream (tests, sched traces).
+  std::vector<BlockId> expand() const;
+
+ private:
+  std::uint64_t block_size_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::vector<BlockRun> runs_;
+  std::vector<ReplayStep> steps_;
+};
+
+/// A Machine that captures the coalesced block-run stream of whatever is
+/// run against it (no paging simulated; misses() reports 0). Repeat
+/// accesses ride the base-class shortcut, so capturing costs O(block
+/// changes), and run lengths are recovered exactly from the access
+/// counter — the recorder works identically on the per-access path.
+class BlockRunRecorder final : public Machine {
+ public:
+  explicit BlockRunRecorder(std::uint64_t block_size)
+      : Machine(block_size), trace_(block_size) {}
+
+  std::uint64_t misses() const override { return 0; }
+
+  /// Finalize the pending run and move the trace out. The recorder is
+  /// spent afterwards (recording into it again is undefined).
+  BlockRunTrace take();
+
+ protected:
+  void access_cold(WordAddr, BlockId block) override;
+
+ private:
+  BlockRunTrace trace_;
+  BlockId run_block_ = 0;
+  std::uint64_t run_start_ = 0;  ///< accesses() before the open run began
+  bool have_run_ = false;
+};
+
+}  // namespace cadapt::paging

@@ -7,10 +7,13 @@ namespace cadapt::paging {
 CaMachine::CaMachine(std::unique_ptr<profile::BoxSource> source,
                      std::uint64_t block_size, bool record_boxes,
                      obs::PagingRecorder* recorder)
-    : source_(std::move(source)), cache_(0), block_size_(block_size),
+    : Machine(block_size), source_(std::move(source)), cache_(0),
       record_boxes_(record_boxes), recorder_(recorder) {
   CADAPT_CHECK(source_ != nullptr);
-  CADAPT_CHECK(block_size >= 1);
+  // Per-access recorder granularity is incompatible with the repeat-hit
+  // shortcut (skipped hits would never reach on_access), so a recorder
+  // pins the machine to the reference path.
+  if (recorder_ != nullptr) set_per_access(true);
   start_next_box();
 }
 
@@ -27,19 +30,70 @@ void CaMachine::start_next_box() {
   ++boxes_started_;
   cache_.clear();
   cache_.set_capacity(box_size_);
-  if (record_boxes_) box_log_.push_back(box_size_);
+  if (record_boxes_) {
+    if (box_log_cap_ != 0 && box_log_.size() >= box_log_cap_ * 2) {
+      const std::size_t drop = box_log_.size() - box_log_cap_;
+      box_log_.erase(box_log_.begin(),
+                     box_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+      box_log_dropped_ += drop;
+    }
+    box_log_.push_back(box_size_);
+  }
   if (recorder_ != nullptr) recorder_->on_box_start(box_size_);
 }
 
-void CaMachine::access(WordAddr addr) {
-  ++accesses_;
-  const BlockId block = addr / block_size_;
+void CaMachine::replay_trace(const BlockRunTrace& trace) {
+  if (recorder_ != nullptr || per_access() || box_hook_ || accesses() != 0 ||
+      !trace.has_replay_index()) {
+    trace.replay_into(*this);
+    return;
+  }
+  if (trace.block_size() != 0) {
+    CADAPT_CHECK_MSG(block_size() == trace.block_size(),
+                     "trace recorded at block size "
+                         << trace.block_size() << ", machine uses "
+                         << block_size());
+  }
+  const std::vector<BlockRunTrace::ReplayStep>& steps = trace.replay_steps();
+  std::uint64_t box_start = 0;  // run index where the current box began
+  std::uint64_t new_misses = 0;
+  for (std::uint64_t i = 0; i < steps.size(); ++i) {
+    // prev1 <= box_start: the block was last touched before this box
+    // began (or never) — it is not cached, so this run opens with a miss;
+    // all other accesses of the run hit for free. Kept branchless (the
+    // miss/hit pattern is data-dependent) except for the rare rollover.
+    const std::uint64_t miss =
+        static_cast<std::uint64_t>(steps[i].prev1 <= box_start);
+    misses_in_box_ += miss;
+    new_misses += miss;
+    if (misses_in_box_ > box_size_) [[unlikely]] {
+      // On the direct path the access that overflows the box first
+      // misses in (and evicts from) the dying box's full cache, then
+      // re-misses after the boundary clears it.
+      ++replay_evictions_;
+      ++replay_misses_;
+      start_next_box();
+      box_start = i;
+      misses_in_box_ = 1;
+    }
+  }
+  misses_ += new_misses;
+  replay_misses_ += new_misses;
+  replay_hits_ += trace.accesses() - new_misses;
+  count_bulk_accesses(trace.accesses());
+}
+
+void CaMachine::access_cold(WordAddr, BlockId block) {
   if (cache_.access(block)) {  // hit: free
     if (recorder_ != nullptr) {
       recorder_->on_access(box_size_, /*hit=*/true, /*evicted=*/false);
     }
+    mark_hot(block);  // the MRU block survives until the next miss at worst
     return;
   }
+  // The hook/check below can throw mid-access; drop the repeat shortcut
+  // first so a contained failure cannot leave a stale hot block.
+  clear_hot();
   // The access that fell out of the current box's capacity starts the
   // next box; with the cleared cache it is necessarily a miss there.
   if (misses_in_box_ == box_size_) {
@@ -55,6 +109,7 @@ void CaMachine::access(WordAddr addr) {
     // cleared wholesale at the boundary.
     recorder_->on_access(box_size_, /*hit=*/false, /*evicted=*/false);
   }
+  mark_hot(block);  // just loaded: box capacity >= 1 keeps it resident
 }
 
 }  // namespace cadapt::paging

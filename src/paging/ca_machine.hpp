@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/recorder.hpp"
+#include "paging/block_run.hpp"
 #include "paging/lru_cache.hpp"
 #include "paging/machine.hpp"
 #include "profile/box_source.hpp"
@@ -23,25 +24,58 @@ class CaMachine final : public Machine {
   /// adversarial profiles); exhaustion mid-run is a checked error.
   /// An optional recorder tallies hits/misses/evictions bucketed by the
   /// size class (floor log2) of the box they landed in; it must outlive
-  /// the machine. Null = disabled.
+  /// the machine. A non-null recorder forces the per-access reference
+  /// path (set_per_access) so its per-access tallies stay byte-identical
+  /// to the pre-fast-path behavior (docs/PERF.md, docs/OBSERVABILITY.md).
   CaMachine(std::unique_ptr<profile::BoxSource> source,
             std::uint64_t block_size, bool record_boxes = true,
             obs::PagingRecorder* recorder = nullptr);
 
-  void access(WordAddr addr) override;
-  std::uint64_t accesses() const override { return accesses_; }
   std::uint64_t misses() const override { return misses_; }
-  std::uint64_t block_size() const override { return block_size_; }
 
   /// Boxes started so far (the last one may be partially used).
   std::uint64_t boxes_started() const { return boxes_started_; }
   /// Misses served within the current box (< its size).
   std::uint64_t misses_in_current_box() const { return misses_in_box_; }
   std::uint64_t current_box_size() const { return box_size_; }
-  /// Sizes of all boxes started, if record_boxes was set.
+  /// Sizes of boxes started, if record_boxes was set. With a box-log cap
+  /// (below) this is the most recent cap..2*cap boxes, oldest first.
   const std::vector<profile::BoxSize>& box_log() const { return box_log_; }
-  /// Lifetime hit/miss/eviction counters of the underlying cache.
-  const LruCache::Stats& cache_stats() const { return cache_.stats(); }
+  /// Lifetime hit/miss/eviction counters of the underlying cache. Repeat
+  /// hits resolved by the base-class shortcut never reach the cache, so
+  /// they are folded back into `hits` here — the totals are identical to
+  /// the per-access path by construction.
+  LruCache::Stats cache_stats() const {
+    LruCache::Stats stats = cache_.stats();
+    stats.hits += fast_hits() + replay_hits_;
+    stats.misses += replay_misses_;
+    stats.evictions += replay_evictions_;
+    return stats;
+  }
+
+  /// Consume a recorded trace, exactly equivalent (counter for counter:
+  /// accesses, misses, boxes, misses_in_current_box, cache_stats,
+  /// box_log) to trace.replay_into(*this) — and through it to running
+  /// the recorded algorithm directly. The fast walk exploits Definition
+  /// 1: each box's cache is exactly its miss budget, so the CA machine
+  /// never evicts under pressure and a box's misses are precisely the
+  /// distinct blocks touched since it began. With the trace's
+  /// previous-occurrence index that is one branch per run — no hash
+  /// probe, no LRU update (docs/PERF.md, "Paging fast path"). Falls back
+  /// to the generic per-run replay whenever exactness demands it: a
+  /// recorder or per-access mode (per-access observation), a box hook
+  /// (fault injection must see real cache state), prior accesses, or a
+  /// trace without its index. After the fast walk the counters are
+  /// final but the cache contents are unspecified: do not feed the
+  /// machine further accesses.
+  void replay_trace(const BlockRunTrace& trace);
+
+  /// Bound box_log_ memory for long runs: once the log holds 2*cap
+  /// entries, the oldest cap are dropped (amortized O(1)), keeping the
+  /// most recent >= cap boxes. 0 (the default) = unbounded, the
+  /// historical behavior. Drops are counted, never silent.
+  void set_box_log_cap(std::uint64_t cap) { box_log_cap_ = cap; }
+  std::uint64_t box_log_dropped() const { return box_log_dropped_; }
 
   /// Called as (box_index, box_size) at every box boundary, before the
   /// box is counted or its cache installed — so a hook that throws (e.g.
@@ -51,19 +85,27 @@ class CaMachine final : public Machine {
   using BoxHook = std::function<void(std::uint64_t, std::uint64_t)>;
   void set_box_hook(BoxHook hook) { box_hook_ = std::move(hook); }
 
+ protected:
+  void access_cold(WordAddr addr, BlockId block) override;
+
  private:
   void start_next_box();
 
   std::unique_ptr<profile::BoxSource> source_;
   LruCache cache_;
-  std::uint64_t block_size_;
   bool record_boxes_;
   obs::PagingRecorder* recorder_;
-  std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t boxes_started_ = 0;
   std::uint64_t box_size_ = 0;
   std::uint64_t misses_in_box_ = 0;
+  std::uint64_t box_log_cap_ = 0;
+  std::uint64_t box_log_dropped_ = 0;
+  // Cache events accounted by the replay_trace fast walk, which bypasses
+  // cache_; folded into cache_stats() so totals match the direct run.
+  std::uint64_t replay_hits_ = 0;
+  std::uint64_t replay_misses_ = 0;
+  std::uint64_t replay_evictions_ = 0;
   BoxHook box_hook_;
   std::vector<profile::BoxSize> box_log_;
 };

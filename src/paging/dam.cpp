@@ -5,14 +5,8 @@
 namespace cadapt::paging {
 
 DamMachine::DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size)
-    : cache_(cache_blocks), block_size_(block_size) {
-  CADAPT_CHECK(block_size >= 1);
+    : Machine(block_size), cache_(cache_blocks) {
   CADAPT_CHECK(cache_blocks >= 1);
-}
-
-void DamMachine::access(WordAddr addr) {
-  ++accesses_;
-  if (!cache_.access(addr / block_size_)) ++misses_;
 }
 
 }  // namespace cadapt::paging

@@ -12,16 +12,17 @@ class DamMachine final : public Machine {
   /// cache_blocks = M (in blocks), block_size = B (in words).
   DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size);
 
-  void access(WordAddr addr) override;
-  std::uint64_t accesses() const override { return accesses_; }
   std::uint64_t misses() const override { return misses_; }
-  std::uint64_t block_size() const override { return block_size_; }
   std::uint64_t cache_blocks() const { return cache_.capacity(); }
+
+ protected:
+  void access_cold(WordAddr, BlockId block) override {
+    if (!cache_.access(block)) ++misses_;
+    mark_hot(block);  // now MRU: an immediate repeat is an LRU hit
+  }
 
  private:
   LruCache cache_;
-  std::uint64_t block_size_;
-  std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
 };
 

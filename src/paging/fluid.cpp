@@ -8,9 +8,8 @@ namespace cadapt::paging {
 
 FluidCaMachine::FluidCaMachine(MemoryProfileFn profile,
                                std::uint64_t block_size)
-    : profile_(std::move(profile)), cache_(0), block_size_(block_size) {
+    : Machine(block_size), profile_(std::move(profile)), cache_(0) {
   CADAPT_CHECK(profile_ != nullptr);
-  CADAPT_CHECK(block_size >= 1);
   const std::uint64_t initial = profile_(0);
   CADAPT_CHECK_MSG(initial >= 1, "memory profile must stay >= 1 block");
   cache_.set_capacity(initial);
@@ -26,14 +25,19 @@ FluidCaMachine::FluidCaMachine(std::vector<std::uint64_t> profile,
           },
           block_size) {}
 
-void FluidCaMachine::access(WordAddr addr) {
-  ++accesses_;
-  const BlockId block = addr / block_size_;
-  if (cache_.access(block)) return;
+void FluidCaMachine::access_cold(WordAddr, BlockId block) {
+  if (cache_.access(block)) {
+    mark_hot(block);  // MRU: stays resident until at least the next miss
+    return;
+  }
+  clear_hot();  // the capacity check below can throw mid-access
   ++misses_;
   const std::uint64_t capacity = profile_(misses_);
   CADAPT_CHECK_MSG(capacity >= 1, "memory profile must stay >= 1 block");
+  // Shrinking evicts from the LRU end and capacity stays >= 1, so the
+  // block just loaded (the MRU) survives this resize.
   cache_.set_capacity(capacity);
+  mark_hot(block);
 }
 
 }  // namespace cadapt::paging

@@ -30,17 +30,15 @@ class FluidCaMachine final : public Machine {
   /// Convenience: a materialized profile, repeated cyclically.
   FluidCaMachine(std::vector<std::uint64_t> profile, std::uint64_t block_size);
 
-  void access(WordAddr addr) override;
-  std::uint64_t accesses() const override { return accesses_; }
   std::uint64_t misses() const override { return misses_; }
-  std::uint64_t block_size() const override { return block_size_; }
   std::uint64_t current_capacity() const { return cache_.capacity(); }
+
+ protected:
+  void access_cold(WordAddr addr, BlockId block) override;
 
  private:
   MemoryProfileFn profile_;
   LruCache cache_;
-  std::uint64_t block_size_;
-  std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
 };
 

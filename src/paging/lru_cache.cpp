@@ -1,33 +1,139 @@
 #include "paging/lru_cache.hpp"
 
+#include "util/check.hpp"
+
 namespace cadapt::paging {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix so dense block ids (and the
+/// scheduler's pid-tagged ids) spread over the power-of-two table.
+std::uint64_t mix(BlockId key) {
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 LruCache::LruCache(std::uint64_t capacity_blocks) : capacity_(capacity_blocks) {}
 
-bool LruCache::access(BlockId block) {
-  return access_tracking(block).hit;
+std::size_t LruCache::find_slot(BlockId key) const {
+  if (size_ == 0) return kNotFound;  // also covers a never-built table
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = mix(key) & mask;
+  while (slots_[i].gen == gen_) {
+    if (nodes_[slots_[i].node].key == key) return i;
+    i = (i + 1) & mask;
+  }
+  return kNotFound;
+}
+
+void LruCache::grow_table() {
+  // Load factor <= 1/4 right after a rebuild, <= 1/2 before the next one:
+  // linear-probe clusters stay short. The rebuild re-inserts every
+  // resident node (including one pushed onto the list just before the
+  // call), walking the recency list.
+  std::size_t new_size = 16;
+  while (new_size < size_ * 4) new_size <<= 1;
+  slots_.assign(new_size, Slot{});
+  gen_ = 1;
+  const std::size_t mask = new_size - 1;
+  for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+    std::size_t i = mix(nodes_[n].key) & mask;
+    while (slots_[i].gen == gen_) i = (i + 1) & mask;
+    slots_[i] = Slot{gen_, n};
+  }
+}
+
+void LruCache::insert_key(BlockId key, std::uint32_t node) {
+  if (slots_.empty() || size_ * 2 > slots_.size()) {
+    grow_table();  // rebuild already placed `node` (it is on the list)
+    return;
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = mix(key) & mask;
+  while (slots_[i].gen == gen_) i = (i + 1) & mask;
+  slots_[i] = Slot{gen_, node};
+}
+
+void LruCache::erase_slot(std::size_t slot) {
+  // Backward-shift deletion keeps probe chains gap-free without
+  // tombstones: walk the cluster after the hole and pull back every
+  // entry whose home position does not lie strictly after the hole.
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t hole = slot;
+  std::size_t i = slot;
+  for (;;) {
+    i = (i + 1) & mask;
+    if (slots_[i].gen != gen_) break;
+    const std::size_t home = mix(nodes_[slots_[i].node].key) & mask;
+    if (((i - home) & mask) >= ((i - hole) & mask)) {
+      slots_[hole] = slots_[i];
+      hole = i;
+    }
+  }
+  slots_[hole].gen = 0;  // gen_ >= 1 always, so 0 marks empty
+}
+
+void LruCache::push_front(std::uint32_t node) {
+  nodes_[node].prev = kNil;
+  nodes_[node].next = head_;
+  if (head_ != kNil) nodes_[head_].prev = node;
+  head_ = node;
+  if (tail_ == kNil) tail_ = node;
+}
+
+void LruCache::unlink(std::uint32_t node) {
+  const std::uint32_t p = nodes_[node].prev;
+  const std::uint32_t n = nodes_[node].next;
+  if (p != kNil) nodes_[p].next = n; else head_ = n;
+  if (n != kNil) nodes_[n].prev = p; else tail_ = p;
+}
+
+void LruCache::evict_lru() {
+  const std::uint32_t node = tail_;
+  erase_slot(find_slot(nodes_[node].key));
+  unlink(node);
+  free_.push_back(node);
+  --size_;
 }
 
 LruCache::AccessResult LruCache::access_tracking(BlockId block) {
   AccessResult result;
-  const auto it = map_.find(block);
-  if (it != map_.end()) {
-    order_.splice(order_.begin(), order_, it->second);
+  const std::size_t slot = find_slot(block);
+  if (slot != kNotFound) {
+    const std::uint32_t node = slots_[slot].node;
+    if (node != head_) {
+      unlink(node);
+      push_front(node);
+    }
     result.hit = true;
     ++stats_.hits;
     return result;
   }
   ++stats_.misses;
   if (capacity_ == 0) return result;  // nothing can be retained
-  if (map_.size() == capacity_) {
+  if (size_ == capacity_) {
     result.evicted = true;
-    result.victim = order_.back();
+    result.victim = nodes_[tail_].key;
     ++stats_.evictions;
-    map_.erase(order_.back());
-    order_.pop_back();
+    evict_lru();
   }
-  order_.push_front(block);
-  map_[block] = order_.begin();
+  std::uint32_t node;
+  if (!free_.empty()) {
+    node = free_.back();
+    free_.pop_back();
+  } else {
+    CADAPT_CHECK(nodes_.size() < kNil);
+    node = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[node].key = block;
+  push_front(node);
+  ++size_;
+  insert_key(block, node);
   return result;
 }
 
@@ -37,15 +143,22 @@ void LruCache::set_capacity(std::uint64_t capacity_blocks) {
 }
 
 void LruCache::clear() {
-  order_.clear();
-  map_.clear();
+  size_ = 0;
+  head_ = tail_ = kNil;
+  nodes_.clear();
+  free_.clear();
+  // O(1) table clear: bump the generation; on (unlikely) wrap, pay one
+  // full reset so stale stamps can never collide with a reused value.
+  if (++gen_ == 0) {
+    slots_.assign(slots_.size(), Slot{});
+    gen_ = 1;
+  }
 }
 
 void LruCache::evict_to(std::uint64_t limit) {
-  while (map_.size() > limit) {
+  while (size_ > limit) {
     ++stats_.evictions;
-    map_.erase(order_.back());
-    order_.pop_back();
+    evict_lru();
   }
 }
 

@@ -1,9 +1,25 @@
 // LRU block cache used by both the DAM and cache-adaptive machines.
+//
+// Flat intrusive implementation (docs/PERF.md, "Paging fast path"): the
+// recency list is an index-linked list over a contiguous node array and
+// the block -> node map is an open-addressing table (power-of-two,
+// linear probing, backward-shift deletion), so an access touches two
+// small flat arrays instead of chasing std::list nodes through a
+// std::unordered_map. clear() is O(1) via a generation stamp on the
+// table slots. Memory is lazy — O(max resident blocks), never
+// O(capacity) — because the CA machine routinely sets capacities far
+// larger than any working set it will ever hold.
+//
+// The observable behavior (hit flag, victim choice, eviction order,
+// Stats counters) is access-for-access identical to the reference
+// std::list/unordered_map implementation kept in
+// paging/reference_lru.hpp; tests/test_paging_fast.cpp holds the two
+// implementations together over randomized access/resize/clear
+// schedules.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 namespace cadapt::paging {
 
@@ -16,7 +32,7 @@ class LruCache {
 
   /// Touch a block. Returns true on a hit; on a miss the block is loaded,
   /// evicting the least recently used block if the cache is full.
-  bool access(BlockId block);
+  bool access(BlockId block) { return access_tracking(block).hit; }
 
   /// Outcome of access_tracking: hit flag plus the evicted block, if any.
   struct AccessResult {
@@ -38,11 +54,11 @@ class LruCache {
   void clear();
 
   std::uint64_t capacity() const { return capacity_; }
-  std::uint64_t size() const { return map_.size(); }
-  bool contains(BlockId block) const { return map_.count(block) != 0; }
+  std::uint64_t size() const { return size_; }
+  bool contains(BlockId block) const { return find_slot(block) != kNotFound; }
 
   /// Lifetime counters, kept unconditionally: two integer increments per
-  /// access are noise next to the hash-map work, and they make every
+  /// access are noise next to the table probe, and they make every
   /// machine built on this cache explainable after the fact.
   struct Stats {
     std::uint64_t hits = 0;
@@ -54,12 +70,38 @@ class LruCache {
   void reset_stats() { stats_ = {}; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  struct Node {
+    BlockId key = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+  /// One table slot; gen != gen_ means empty (clear() bumps gen_).
+  struct Slot {
+    std::uint32_t gen = 0;
+    std::uint32_t node = 0;
+  };
+
+  std::size_t find_slot(BlockId key) const;
+  void insert_key(BlockId key, std::uint32_t node);
+  void erase_slot(std::size_t slot);  ///< backward-shift deletion
+  void grow_table();
+  void push_front(std::uint32_t node);
+  void unlink(std::uint32_t node);
+  void evict_lru();  ///< unlink + erase + free the tail node
   void evict_to(std::uint64_t limit);
 
   std::uint64_t capacity_;
   Stats stats_;
-  std::list<BlockId> order_;  // front = most recently used
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+  std::uint64_t size_ = 0;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::uint32_t gen_ = 1;  // current table generation; slot gen 0 = never used
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;  // node indices released by evictions
+  std::vector<Slot> slots_;          // open-addressing table, power-of-two
 };
 
 }  // namespace cadapt::paging

@@ -4,48 +4,145 @@
 // access(); concrete machines translate words to blocks and account I/Os.
 // Time in both the DAM and the cache-adaptive model is the number of
 // block transfers (misses).
+//
+// The hot path (docs/PERF.md, "Paging fast path"): access() is a
+// non-virtual inline wrapper that resolves *guaranteed repeat hits* —
+// consecutive accesses to the block the machine just resolved — with two
+// compares and an increment, no virtual dispatch and no hash probe.
+// Concrete machines opt a block in by calling mark_hot(block) at the end
+// of access_cold() whenever their model makes an immediate repeat a free
+// hit (LRU keeps the MRU block resident; the CA machine never evicts the
+// block it just loaded). The contract is bit-identity, not approximation:
+// every counter a machine exposes must be exactly what the per-access
+// path produces. set_per_access(true) disables the shortcut so every
+// access takes the virtual path — the reference driver for differential
+// tests (`cadapt mc/sweep --per-access`) — and machines that attach an
+// observer with per-access granularity (paging::CaMachine with an
+// obs::PagingRecorder) force it themselves.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <unordered_set>
+
+#include "util/check.hpp"
 
 namespace cadapt::paging {
 
 using WordAddr = std::uint64_t;
+using BlockId = std::uint64_t;
 
 class Machine {
  public:
+  explicit Machine(std::uint64_t block_size)
+      : block_size_(block_size),
+        block_shift_(std::has_single_bit(block_size)
+                         ? static_cast<int>(std::countr_zero(block_size))
+                         : -1) {
+    CADAPT_CHECK(block_size >= 1);
+  }
   virtual ~Machine() = default;
 
   /// Touch one word of memory (read or write — the models do not
   /// distinguish).
-  virtual void access(WordAddr addr) = 0;
+  void access(WordAddr addr) {
+    ++accesses_;
+    const BlockId block = block_of(addr);
+    if (repeat_free_ && block == hot_block_) {
+      ++fast_hits_;
+      return;
+    }
+    access_cold(addr, block);
+  }
 
-  virtual std::uint64_t accesses() const = 0;
+  /// Exactly equivalent to `count` access(addr) calls. When the first
+  /// access leaves addr's block hot, the remaining count - 1 guaranteed
+  /// hits retire in O(1); otherwise they loop through access(). This is
+  /// the bulk entry point BlockRunTrace::replay_into drives.
+  void access_run(WordAddr addr, std::uint64_t count) {
+    if (count == 0) return;
+    access(addr);
+    if (count == 1) return;
+    const BlockId block = block_of(addr);
+    if (repeat_free_ && block == hot_block_) {
+      accesses_ += count - 1;
+      fast_hits_ += count - 1;
+    } else {
+      for (std::uint64_t i = 1; i < count; ++i) access(addr);
+    }
+  }
+
+  std::uint64_t accesses() const { return accesses_; }
   /// Block transfers performed so far (= elapsed time in the model).
   virtual std::uint64_t misses() const = 0;
-  virtual std::uint64_t block_size() const = 0;
+  std::uint64_t block_size() const { return block_size_; }
+
+  BlockId block_of(WordAddr addr) const {
+    return block_shift_ >= 0 ? addr >> block_shift_ : addr / block_size_;
+  }
+
+  /// Force every access through the virtual per-access path (the
+  /// reference driver; bit-identical by contract, docs/PERF.md).
+  void set_per_access(bool per_access) {
+    per_access_ = per_access;
+    if (per_access) repeat_free_ = false;
+  }
+  bool per_access() const { return per_access_; }
+
+  /// Accesses resolved by the repeat-hit shortcut (0 on the reference
+  /// path). Machines whose exposed hit counters live below the shortcut
+  /// fold this back in (see CaMachine::cache_stats).
+  std::uint64_t fast_hits() const { return fast_hits_; }
+
+ protected:
+  /// Resolve one access that the repeat shortcut could not (first touch
+  /// of a block, or a block change). `block` == block_of(addr).
+  /// Implementations call mark_hot(block) before returning iff an
+  /// immediate re-access of `block` is a guaranteed free hit, and must
+  /// clear_hot() before any step that can throw or evict the previously
+  /// hot block.
+  virtual void access_cold(WordAddr addr, BlockId block) = 0;
+
+  void mark_hot(BlockId block) {
+    if (!per_access_) {
+      hot_block_ = block;
+      repeat_free_ = true;
+    }
+  }
+  void clear_hot() { repeat_free_ = false; }
+
+  /// Account accesses a machine resolved wholesale outside access()/
+  /// access_run — the trace-replay walk (CaMachine::replay_trace) retires
+  /// entire runs at once and reports their word count here.
+  void count_bulk_accesses(std::uint64_t count) { accesses_ += count; }
+
+ private:
+  std::uint64_t block_size_;
+  int block_shift_;  ///< log2(block_size), or -1 if not a power of two
+  std::uint64_t accesses_ = 0;
+  std::uint64_t fast_hits_ = 0;
+  BlockId hot_block_ = 0;
+  bool repeat_free_ = false;
+  bool per_access_ = false;
 };
 
 /// A machine with an infinitely large cache: every block faults exactly
 /// once (cold misses only). The I/O lower-bound baseline.
 class IdealMachine final : public Machine {
  public:
-  explicit IdealMachine(std::uint64_t block_size) : block_size_(block_size) {}
+  explicit IdealMachine(std::uint64_t block_size) : Machine(block_size) {}
 
-  void access(WordAddr addr) override {
-    ++accesses_;
-    if (seen_.insert(addr / block_size_).second) ++misses_;
-  }
-  std::uint64_t accesses() const override { return accesses_; }
   std::uint64_t misses() const override { return misses_; }
-  std::uint64_t block_size() const override { return block_size_; }
+
+ protected:
+  void access_cold(WordAddr, BlockId block) override {
+    if (seen_.insert(block).second) ++misses_;
+    mark_hot(block);  // a seen block stays seen: repeats never miss
+  }
 
  private:
-  std::uint64_t block_size_;
-  std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
-  std::unordered_set<std::uint64_t> seen_;
+  std::unordered_set<BlockId> seen_;
 };
 
 }  // namespace cadapt::paging

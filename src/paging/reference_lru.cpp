@@ -1,0 +1,87 @@
+#include "paging/reference_lru.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+ReferenceLruCache::ReferenceLruCache(std::uint64_t capacity_blocks)
+    : capacity_(capacity_blocks) {}
+
+LruCache::AccessResult ReferenceLruCache::access_tracking(BlockId block) {
+  LruCache::AccessResult result;
+  const auto it = map_.find(block);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    result.hit = true;
+    ++stats_.hits;
+    return result;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return result;  // nothing can be retained
+  if (map_.size() == capacity_) {
+    result.evicted = true;
+    result.victim = order_.back();
+    ++stats_.evictions;
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(block);
+  map_[block] = order_.begin();
+  return result;
+}
+
+void ReferenceLruCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  evict_to(capacity_);
+}
+
+void ReferenceLruCache::clear() {
+  order_.clear();
+  map_.clear();
+}
+
+void ReferenceLruCache::evict_to(std::uint64_t limit) {
+  while (map_.size() > limit) {
+    ++stats_.evictions;
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+}
+
+ReferenceCaMachine::ReferenceCaMachine(
+    std::unique_ptr<profile::BoxSource> source, std::uint64_t block_size)
+    : Machine(block_size), source_(std::move(source)), cache_(0) {
+  CADAPT_CHECK(source_ != nullptr);
+  start_next_box();
+}
+
+void ReferenceCaMachine::start_next_box() {
+  const auto box = source_->next();
+  CADAPT_CHECK_MSG(box.has_value(),
+                   "profile exhausted after " << boxes_started_
+                                              << " boxes; wrap finite profiles "
+                                                 "in profile::CyclingSource");
+  box_size_ = *box;
+  CADAPT_CHECK(box_size_ >= 1);
+  misses_in_box_ = 0;
+  ++boxes_started_;
+  cache_.clear();
+  cache_.set_capacity(box_size_);
+}
+
+void ReferenceCaMachine::access_cold(WordAddr, BlockId block) {
+  if (cache_.access(block)) return;  // hit: free
+  // The access that fell out of the current box's capacity starts the
+  // next box; with the cleared cache it is necessarily a miss there.
+  if (misses_in_box_ == box_size_) {
+    start_next_box();
+    const bool hit = cache_.access(block);
+    CADAPT_CHECK(!hit);
+  }
+  ++misses_;
+  ++misses_in_box_;
+}
+
+}  // namespace cadapt::paging

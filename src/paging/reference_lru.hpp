@@ -1,0 +1,83 @@
+// The reference paging stack: the original std::list +
+// std::unordered_map LRU that LruCache replaced, and the original
+// per-word cache-adaptive machine built on it (docs/PERF.md, "Paging
+// fast path"). Kept verbatim — same API, same observable behavior — as
+// the oracle for the differential suite in tests/test_paging_fast.cpp
+// (randomized access/resize/clear schedules, identical hit flags,
+// victims, sizes and Stats at every step; machine-level miss/box/stat
+// identity) and as the honest "before" side of the committed
+// BENCH_paging.json benchmarks. Production code links LruCache/
+// CaMachine; nothing outside tests and bench should use these classes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "paging/lru_cache.hpp"
+#include "paging/machine.hpp"
+#include "profile/box_source.hpp"
+
+namespace cadapt::paging {
+
+/// Node-based LRU set of block ids; behaviorally identical to LruCache.
+class ReferenceLruCache {
+ public:
+  explicit ReferenceLruCache(std::uint64_t capacity_blocks);
+
+  bool access(BlockId block) { return access_tracking(block).hit; }
+
+  /// Same result/Stats types as LruCache so differential tests compare
+  /// the two member-for-member.
+  LruCache::AccessResult access_tracking(BlockId block);
+
+  void set_capacity(std::uint64_t capacity_blocks);
+  void clear();
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t size() const { return map_.size(); }
+  bool contains(BlockId block) const { return map_.count(block) != 0; }
+
+  const LruCache::Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void evict_to(std::uint64_t limit);
+
+  std::uint64_t capacity_;
+  LruCache::Stats stats_;
+  std::list<BlockId> order_;  // front = most recently used
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+};
+
+/// The pre-fast-path CaMachine, verbatim: every word access takes the
+/// virtual dispatch into a ReferenceLruCache lookup — no hot-block
+/// shortcut, no run batching (it never calls mark_hot). Semantically
+/// identical to CaMachine by Definition 1; the differential suite
+/// checks misses/boxes/accesses/stats against it access for access.
+class ReferenceCaMachine final : public Machine {
+ public:
+  ReferenceCaMachine(std::unique_ptr<profile::BoxSource> source,
+                     std::uint64_t block_size);
+
+  std::uint64_t misses() const override { return misses_; }
+  std::uint64_t boxes_started() const { return boxes_started_; }
+  std::uint64_t current_box_size() const { return box_size_; }
+  const LruCache::Stats& cache_stats() const { return cache_.stats(); }
+
+ protected:
+  void access_cold(WordAddr addr, BlockId block) override;
+
+ private:
+  void start_next_box();
+
+  std::unique_ptr<profile::BoxSource> source_;
+  ReferenceLruCache cache_;
+  std::uint64_t misses_ = 0;
+  std::uint64_t boxes_started_ = 0;
+  std::uint64_t box_size_ = 0;
+  std::uint64_t misses_in_box_ = 0;
+};
+
+}  // namespace cadapt::paging

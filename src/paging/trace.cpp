@@ -12,7 +12,7 @@ namespace cadapt::paging {
 std::vector<BlockId> TraceRecorder::block_trace() const {
   std::vector<BlockId> blocks;
   blocks.reserve(trace_.size());
-  for (const WordAddr addr : trace_) blocks.push_back(addr / block_size_);
+  for (const WordAddr addr : trace_) blocks.push_back(block_of(addr));
   return blocks;
 }
 

@@ -17,25 +17,25 @@
 namespace cadapt::paging {
 
 /// A Machine that records every access (no paging is simulated; misses()
-/// reports 0).
+/// reports 0). Never marks blocks hot: a word-exact trace must see every
+/// repeat, so each access takes the virtual path by design.
 class TraceRecorder final : public Machine {
  public:
-  explicit TraceRecorder(std::uint64_t block_size) : block_size_(block_size) {}
+  explicit TraceRecorder(std::uint64_t block_size) : Machine(block_size) {}
 
-  void access(WordAddr addr) override {
-    trace_.push_back(addr);
-  }
-  std::uint64_t accesses() const override { return trace_.size(); }
   std::uint64_t misses() const override { return 0; }
-  std::uint64_t block_size() const override { return block_size_; }
 
   const std::vector<WordAddr>& trace() const { return trace_; }
 
   /// The block-id stream of the recorded trace.
   std::vector<BlockId> block_trace() const;
 
+ protected:
+  void access_cold(WordAddr addr, BlockId) override {
+    trace_.push_back(addr);
+  }
+
  private:
-  std::uint64_t block_size_;
   std::vector<WordAddr> trace_;
 };
 

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cell_runner.hpp"
 #include "campaign/gate.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/provenance.hpp"
@@ -76,7 +77,10 @@ commands:
               --runs (aggregated run/bulk events instead of per-box —
               enables the bulk fast path, docs/PERF.md),
               --out F (JSONL to F; without it JSONL goes to stdout and
-              the summary to stderr)
+              the summary to stderr). With --sort NAME (see mc) the run
+              is one real program on a cache-adaptive machine and the
+              summary is the per-size-class paging table
+              (docs/OBSERVABILITY.md)
   mc          robust Monte-Carlo campaign over --dist
               (docs/ROBUSTNESS.md). Flags: --n N, --trials T, --seed S,
               --retries R (extra reseeded attempts per failing trial),
@@ -85,7 +89,14 @@ commands:
               --box-budget B (explicit truncation, never a biased mean),
               --checkpoint F [--resume] [--checkpoint-every K],
               --errors-shown E (default 5), --per-box (force the
-              per-box reference driver; bit-identical, for debugging)
+              per-box reference driver; bit-identical, for debugging).
+              With --sort NAME (adaptive|funnel|merge2|mm:N|fw:N) the
+              campaign runs a real program on a cache-adaptive machine:
+              --sort-profile TOKEN (const:S|uniform:LO:HI|
+              sawtooth:PEAK:CYCLES|mworst:A:B:N:SCALE, default const:64),
+              --keys K --block B, --capture-trace (record the block-run
+              trace once, replay per trial — docs/PERF.md),
+              --per-access (per-word reference dispatch; bit-identical)
   sweep       declarative campaign from a manifest file (docs/SWEEPS.md):
               cadapt sweep <manifest> [--jobs J] [--out F]
               [--shards S --shard-index I] [--checkpoint F [--resume]]
@@ -169,6 +180,135 @@ std::unique_ptr<profile::BoxDistribution> dist_from(
   throw util::UsageError("unknown --dist '" + kind + "'");
 }
 
+// Shared --sort flag parsing for the program modes of `mc` and `trace`:
+// builds the synthetic cell (program + box profile + seed) and the run
+// options the campaign layer's program runner consumes. Flag values are
+// usage errors, not input errors — the token grammar is re-thrown as
+// UsageError.
+struct ProgramArgs {
+  campaign::Cell cell;
+  campaign::CellRunOptions options;
+};
+
+ProgramArgs program_args_from(const util::ArgParser& args) {
+  ProgramArgs pa;
+  pa.cell.sort = args.get_string("sort", "");
+  const std::string profile_token =
+      args.get_string("sort-profile", "const:64");
+  try {
+    campaign::validate_program_token(pa.cell.sort, 0);
+    pa.cell.profile = campaign::parse_sort_profile_token(profile_token);
+  } catch (const util::ParseError& e) {
+    throw util::UsageError(e.what());
+  }
+  pa.cell.seed = args.get_u64("seed", 42);
+  pa.options.keys = args.get_u64("keys", 16384);
+  pa.options.block = args.get_u64("block", 8);
+  if (pa.options.keys < 2) throw util::UsageError("--keys must be >= 2");
+  if (pa.options.block == 0) throw util::UsageError("--block must be >= 1");
+  pa.options.per_access = args.has("per-access");
+  pa.options.capture_trace = args.has("capture-trace");
+  pa.options.timing = !args.has("no-timing");
+  return pa;
+}
+
+// `trace --sort`: one instrumented program run with a PagingRecorder
+// attached — per-size-class hit/miss/eviction tables instead of the
+// ratio-workload event stream.
+int run_trace_sort(const util::ArgParser& args) {
+  const ProgramArgs pa = program_args_from(args);
+  obs::PagingRecorder recorder;
+  const engine::RunResult r = campaign::run_program_traced(
+      pa.cell, pa.options, pa.cell.seed, recorder);
+  std::cout << pa.cell.sort << " on " << pa.cell.profile.token
+            << " boxes, keys = " << pa.options.keys << ", block = "
+            << pa.options.block << ", seed = " << pa.cell.seed << ":\n"
+            << "  verified: " << (r.completed ? "yes" : "NO")
+            << "  boxes: " << r.boxes << "  I/Os: "
+            << util::format_double(r.ratio, 0) << "  I/Os per unit: "
+            << util::format_double(r.unit_ratio, 3) << "\n";
+  core::print_paging_summary(std::cout, recorder);
+  return 0;
+}
+
+// `mc --sort`: robust Monte-Carlo over a real program (sort or matrix
+// kernel) on a cache-adaptive machine — same containment/budget/
+// checkpoint machinery as the ratio campaigns, with the paging fast path
+// live (docs/PERF.md). --capture-trace records the program's block-run
+// trace once and replays it per trial.
+int run_mc_sort(const util::ArgParser& args) {
+  const ProgramArgs pa = program_args_from(args);
+  engine::McOptions opts;
+  opts.trials = args.get_u64("trials", 64);
+  opts.seed = pa.cell.seed;
+  opts.max_attempts =
+      static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
+  opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
+  opts.budget.max_total_boxes = args.get_u64("box-budget", 0);
+  opts.checkpoint_path = args.get_string("checkpoint", "");
+  opts.checkpoint_every = args.get_u64("checkpoint-every", 256);
+  opts.resume = args.has("resume");
+  if (opts.resume && opts.checkpoint_path.empty()) {
+    throw util::UsageError("--resume requires --checkpoint");
+  }
+
+  robust::FaultPlan plan;
+  const std::string fault_spec = args.get_string("fault", "");
+  if (!fault_spec.empty()) {
+    plan = robust::FaultPlan::parse_spec(
+        fault_spec, args.get_u64("fault-seed", opts.seed ^ 0xFA17ull));
+    opts.faults = &plan;
+  }
+
+  // Checkpoint fingerprint: everything that shapes a trial's result.
+  // --per-access is absent by design — it is bit-identical by contract,
+  // so resuming across it must be allowed (that IS the contract test);
+  // --capture-trace changes input seeding, so it is in.
+  std::ostringstream cfg;
+  cfg << "sort=" << pa.cell.sort << " profile=" << pa.cell.profile.token
+      << " keys=" << pa.options.keys << " block=" << pa.options.block
+      << " retries=" << (opts.max_attempts - 1) << " fault=" << plan.spec()
+      << " fault_seed=" << (opts.faults != nullptr ? plan.seed() : 0);
+  if (pa.options.capture_trace) cfg << " replay=1";
+  opts.config = cfg.str();
+
+  campaign::CellRunOptions cell_options = pa.options;
+  cell_options.faults = opts.faults;
+  const engine::McSummary s = engine::run_monte_carlo_robust(
+      opts, campaign::make_program_runner(pa.cell, cell_options));
+
+  std::cout << pa.cell.sort << " Monte-Carlo campaign, "
+            << pa.cell.profile.token << " boxes, keys = " << pa.options.keys
+            << ", block = " << pa.options.block
+            << (pa.options.capture_trace ? ", trace replay" : "") << ":\n"
+            << "  trials: " << s.trials_run << " of " << s.trials_requested
+            << " (verified " << s.ratio.count() << ", incomplete "
+            << s.incomplete << ", failed " << s.failed << ")\n"
+            << "  truncated: " << (s.truncated ? "YES (budget)" : "no")
+            << "\n";
+  if (s.ratio.count() > 0) {
+    std::cout << "  mean I/Os: " << util::format_double(s.ratio.mean(), 2)
+              << " +- " << util::format_double(s.ratio.ci95(), 2)
+              << "  mean I/Os per unit: "
+              << util::format_double(s.unit_ratio.mean(), 4)
+              << "  mean boxes: " << util::format_double(s.boxes.mean(), 2)
+              << "\n";
+  }
+  const std::uint64_t shown =
+      std::min<std::uint64_t>(s.errors.size(), args.get_u64("errors-shown", 5));
+  for (std::uint64_t i = 0; i < shown; ++i) {
+    const robust::TrialError& e = s.errors[i];
+    std::cout << "  error: trial " << e.trial << " seed " << e.seed
+              << " attempts " << e.attempts << " ["
+              << robust::error_category_name(e.category) << "] " << e.what
+              << "\n";
+  }
+  if (s.errors.size() > shown) {
+    std::cout << "  ... " << (s.errors.size() - shown) << " more errors\n";
+  }
+  return 0;
+}
+
 // `trace`: run the engine with the observability layer attached, emit the
 // JSONL event stream, then *re-parse every emitted line* and check the
 // conservation invariant (Σ progress + Σ scan == problem units) against
@@ -176,6 +316,7 @@ std::unique_ptr<profile::BoxDistribution> dist_from(
 // well-formed and complete — tests/CMakeLists.txt smoke-tests the final
 // "all lines parse; conservation OK" line.
 int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
+  if (args.has("sort")) return run_trace_sort(args);
   const std::uint64_t n = args.get_u64(
       "n", util::ipow(p.b, static_cast<unsigned>(args.get_u64("kmax", 6))));
   if (!util::is_power_of(n, p.b)) {
@@ -311,6 +452,13 @@ int run_trace(const util::ArgParser& args, const model::RegularParams& p) {
 // injection, explicit budget truncation, and checkpoint/resume. The
 // summary never hides a degradation: failed/truncated are always printed.
 int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
+  if (args.has("sort")) return run_mc_sort(args);
+  if (args.has("capture-trace")) {
+    throw util::UsageError("--capture-trace requires --sort");
+  }
+  if (args.has("per-access")) {
+    throw util::UsageError("--per-access requires --sort");
+  }
   const std::uint64_t n = args.get_u64(
       "n", util::ipow(p.b, static_cast<unsigned>(args.get_u64("kmax", 6))));
   if (!util::is_power_of(n, p.b)) {
@@ -418,6 +566,13 @@ execution flags:
                         the default bulk path writes a byte-identical
                         report (docs/PERF.md), so this is for differential
                         testing and debugging
+  --per-access          force per-word paging dispatch in sort-workload
+                        trials (disable the hot-block fast path); also
+                        byte-identical by contract (docs/PERF.md)
+  --capture-trace       sort workloads: set the manifest's trace_replay
+                        from the command line — record each cell's
+                        block-run trace once, replay it per trial
+                        (changes the config_hash; docs/PERF.md)
   --trace F             JSONL telemetry (completion order) to F
 
 robustness flags (docs/ROBUSTNESS.md):
@@ -473,7 +628,18 @@ int run_sweep_cmd(const util::ArgParser& args) {
       throw util::UsageError(
           "sweep requires exactly one manifest path (or --merge)");
     }
-    const campaign::Manifest manifest = campaign::parse_manifest_file(pos[1]);
+    campaign::Manifest manifest = campaign::parse_manifest_file(pos[1]);
+    // --capture-trace turns on the manifest's trace_replay from the
+    // command line; it enters the fingerprint (" replay=1"), so the
+    // report's config_hash changes — replay campaigns are a different
+    // campaign (inputs are fixed per cell), never a silent substitute.
+    if (args.has("capture-trace")) {
+      if (manifest.workload != campaign::Workload::kSort) {
+        throw util::UsageError("--capture-trace requires a sort-workload "
+                               "manifest");
+      }
+      manifest.trace_replay = true;
+    }
     const campaign::Plan plan = campaign::expand_plan(manifest);
 
     campaign::SweepOptions opts;
@@ -482,6 +648,7 @@ int run_sweep_cmd(const util::ArgParser& args) {
     opts.shard_index = args.get_u64("shard-index", 0);
     opts.timing = !args.has("no-timing");
     opts.per_box = args.has("per-box");
+    opts.per_access = args.has("per-access");
     opts.max_attempts =
         static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
     opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
