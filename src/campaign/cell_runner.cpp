@@ -286,6 +286,7 @@ engine::RobustTrialRunner make_program_runner(const Cell& cell,
   const bool per_access = options.per_access;
   const bool capture = options.capture_trace;
   const std::uint64_t cell_seed = cell.seed;
+  const paging::CaConfig config = ca_config_for(cell, options);
   const bool replayable =
       capture && prog.kind != ProgramSpec::Kind::kAdaptive;
 
@@ -299,13 +300,13 @@ engine::RobustTrialRunner make_program_runner(const Cell& cell,
   auto state = replayable ? std::make_shared<CaptureState>() : nullptr;
 
   return [spec, prog, keys, block, units, per_access, capture, cell_seed,
-          replayable, state](std::uint64_t trial_seed,
-                             robust::FaultInjector&) {
+          config, replayable, state](std::uint64_t trial_seed,
+                                     robust::FaultInjector&) {
     const std::uint64_t input_seed = capture ? cell_seed : trial_seed;
     paging::CaMachine machine(
         std::make_unique<profile::CyclingSource>(
             sort_profile_factory(spec, trial_seed)),
-        block, /*record_boxes=*/false);
+        block, /*record_boxes=*/false, /*recorder=*/nullptr, config);
     if (per_access) machine.set_per_access(true);
 
     engine::RunResult r;
@@ -340,7 +341,8 @@ engine::RunResult run_program_traced(const Cell& cell,
   paging::CaMachine machine(
       std::make_unique<profile::CyclingSource>(
           sort_profile_factory(cell.profile, trial_seed)),
-      options.block, /*record_boxes=*/false, &recorder);
+      options.block, /*record_boxes=*/false, &recorder,
+      ca_config_for(cell, options));
   engine::RunResult r;
   r.completed = run_program(prog, machine, options.keys, trial_seed,
                             [&machine] { return machine.current_box_size(); });
@@ -358,7 +360,24 @@ CellRunOptions cell_options_from(const Manifest& manifest) {
   options.keys = manifest.keys;
   options.block = manifest.block;
   options.capture_trace = manifest.trace_replay;
+  options.tiers = manifest.tiers;
   return options;
+}
+
+paging::CaConfig ca_config_for(const Cell& cell,
+                               const CellRunOptions& options) {
+  paging::CaConfig config;
+  if (!cell.policy.empty()) {
+    config.policy = paging::parse_policy_token(cell.policy);
+  }
+  if (options.tiers.set) {
+    config.tier1_num = options.tiers.tier1_num;
+    config.tier1_den = options.tiers.tier1_den;
+    config.tier2_blocks = options.tiers.tier2_blocks;
+    config.tier2_hit_cost = options.tiers.tier2_hit_cost;
+    config.tier2_miss_cost = options.tiers.tier2_miss_cost;
+  }
+  return config;
 }
 
 std::vector<robust::TrialRecord> run_cell(const Cell& cell,

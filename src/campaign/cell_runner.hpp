@@ -14,6 +14,7 @@
 
 #include "campaign/plan.hpp"
 #include "engine/montecarlo.hpp"
+#include "paging/policy.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/fault.hpp"
 
@@ -42,11 +43,22 @@ struct CellRunOptions {
   /// trace once and replay it for every trial. Inputs are then fixed per
   /// cell (seeded by the cell seed), and profile-dependent programs
   /// (adaptive) fall back to direct runs with that same fixed input.
+  /// Non-default machine configs (policy/tiers) replay through the
+  /// generic per-run path — same counters, no fast walk (docs/PAGING.md).
   bool capture_trace = false;
+  /// Two-tier machine shape shared by every cell (docs/PAGING.md);
+  /// default = the historical single-tier machine.
+  TiersSpec tiers;
 };
 
 /// Options derived from the manifest the plan came from.
 CellRunOptions cell_options_from(const Manifest& manifest);
+
+/// The paging::CaConfig a cell's machine runs under: cell.policy (or
+/// plain LRU when the cell has no policy axis) + options.tiers. Throws
+/// util::ParseError on a malformed policy token.
+paging::CaConfig ca_config_for(const Cell& cell,
+                               const CellRunOptions& options);
 
 /// The trial runner for a sort/program cell (cell.sort non-empty):
 /// adaptive|funnel|merge2 on options.keys keys, or mm:N|fw:N on an N x N

@@ -6,6 +6,7 @@
 #include <istream>
 #include <sstream>
 
+#include "paging/policy.hpp"
 #include "util/check.hpp"
 
 namespace cadapt::campaign {
@@ -220,10 +221,59 @@ std::vector<unsigned> parse_k_list(const std::string& value,
   return ks;
 }
 
+TiersSpec parse_tiers(const std::string& token, std::size_t line_no) {
+  const auto parts = split(token, ':');
+  if (parts.size() != 3 && parts.size() != 5) {
+    fail(line_no, "tiers '" + token +
+                      "' must be T2CAP:HITCOST:MISSCOST[:NUM:DEN]");
+  }
+  TiersSpec spec;
+  spec.set = true;
+  spec.tier2_blocks = parse_u64(parts[0], line_no, "tiers t2 capacity");
+  spec.tier2_hit_cost = parse_u64(parts[1], line_no, "tiers hit cost");
+  spec.tier2_miss_cost = parse_u64(parts[2], line_no, "tiers miss cost");
+  if (spec.tier2_hit_cost == 0) fail(line_no, "tiers hit cost must be >= 1");
+  if (spec.tier2_miss_cost < spec.tier2_hit_cost) {
+    fail(line_no, "tiers miss cost must be >= the hit cost");
+  }
+  if (parts.size() == 5) {
+    spec.tier1_num = parse_u64(parts[3], line_no, "tiers share num");
+    spec.tier1_den = parse_u64(parts[4], line_no, "tiers share den");
+    if (spec.tier1_num == 0) fail(line_no, "tiers share num must be >= 1");
+    if (spec.tier1_num > spec.tier1_den) {
+      fail(line_no, "tiers share must be <= 1 (num <= den)");
+    }
+  }
+  if (spec.tier2_blocks == 0 && spec.tier1_num == spec.tier1_den) {
+    fail(line_no, "tiers '" + token +
+                      "' is a no-op: give tier 2 capacity or a share < 1");
+  }
+  return spec;
+}
+
+std::string parse_policy(const std::string& token, std::size_t line_no) {
+  try {
+    return paging::parse_policy_token(token).token();
+  } catch (const util::ParseError& e) {
+    fail(line_no, e.what());
+  }
+}
+
 }  // namespace
 
 ProfileSpec parse_sort_profile_token(const std::string& token) {
   return parse_sort_profile(token, 0);
+}
+
+std::string TiersSpec::token() const {
+  std::ostringstream os;
+  os << tier2_blocks << ":" << tier2_hit_cost << ":" << tier2_miss_cost;
+  if (tier1_num != tier1_den) os << ":" << tier1_num << ":" << tier1_den;
+  return os.str();
+}
+
+TiersSpec parse_tiers_token(const std::string& token) {
+  return parse_tiers(token, 0);
 }
 
 void validate_program_token(const std::string& token, std::size_t line_no) {
@@ -322,6 +372,14 @@ Manifest parse_manifest(std::istream& is) {
         validate_program_token(token, line_no);
         m.sorts.push_back(token);
       }
+    } else if (key == "policies") {
+      for (const std::string& token : tokens_of(value)) {
+        m.policies.push_back(parse_policy(token, line_no));
+      }
+    } else if (key == "tiers") {
+      const auto toks = tokens_of(value);
+      if (toks.size() != 1) fail(line_no, "tiers must be a single token");
+      m.tiers = parse_tiers(toks[0], line_no);
     } else if (key == "trace_replay") {
       const auto toks = tokens_of(value);
       if (toks.size() != 1 || (toks[0] != "0" && toks[0] != "1")) {
@@ -360,6 +418,12 @@ Manifest parse_manifest(std::istream& is) {
     if (m.trace_replay) {
       throw util::ParseError("'trace_replay' requires workload = sort");
     }
+    if (!m.policies.empty()) {
+      throw util::ParseError("'policies' requires workload = sort");
+    }
+    if (m.tiers.set) {
+      throw util::ParseError("'tiers' requires workload = sort");
+    }
   } else {
     if (m.sorts.empty()) throw util::ParseError("manifest has no sorts");
     if (!m.algos.empty() || !m.ks.empty()) {
@@ -395,9 +459,15 @@ std::string manifest_fingerprint(const Manifest& m) {
     os << " sorts=";
     for (const std::string& s : m.sorts) os << s << ",";
     os << " keys=" << m.keys << " block=" << m.block;
-    // Only-when-set: campaigns without trace replay keep their historical
-    // fingerprint (and thus config_hash) byte-for-byte.
+    // Only-when-set: campaigns without trace replay, a policy axis, or
+    // tiers keep their historical fingerprint (and thus config_hash)
+    // byte-for-byte.
     if (m.trace_replay) os << " replay=1";
+    if (!m.policies.empty()) {
+      os << " policies=";
+      for (const std::string& p : m.policies) os << p << ",";
+    }
+    if (m.tiers.set) os << " tiers=" << m.tiers.token();
   }
   return os.str();
 }

@@ -35,6 +35,16 @@
 //   profiles  = const:64 uniform:4:128 sawtooth:128:8 mworst:2:2:512:2
 //   keys      = 16384
 //   block     = 8
+//   policies  = lru clock arc car assoc:4
+//               # replacement-policy dimension (docs/PAGING.md): the grid
+//               # gains a policy axis; omitted = the historical LRU-only
+//               # grid (no axis, fingerprint unchanged)
+//   tiers     = 256:1:4 | 256:1:4:1:2
+//               # two-tier machine: T2CAP:HITCOST:MISSCOST[:NUM:DEN] —
+//               # tier-2 capacity in blocks (0 = share-only single tier),
+//               # tier-2 hit/miss costs in box-budget units, optional
+//               # tier-1 capacity share num/den (<= 1); omitted = the
+//               # historical single-tier machine
 //   trace_replay = 0 | 1    # 1: capture each cell's block-run trace on
 //               # the first trial and replay it against the remaining
 //               # trials' profiles (docs/PERF.md). Inputs are then fixed
@@ -99,6 +109,29 @@ struct AlgoSpec {
   model::RegularParams params;
 };
 
+/// Parsed `tiers =` value: the two-tier machine shape shared by every
+/// cell of a sort campaign (docs/PAGING.md). `set` distinguishes "key
+/// absent" (historical single-tier machine, fingerprint untouched) from
+/// an explicit configuration.
+struct TiersSpec {
+  bool set = false;
+  std::uint64_t tier2_blocks = 0;  ///< 0 = share-only single tier
+  std::uint64_t tier2_hit_cost = 1;
+  std::uint64_t tier2_miss_cost = 4;
+  std::uint64_t tier1_num = 1;  ///< tier-1 capacity share num/den
+  std::uint64_t tier1_den = 1;
+
+  /// Canonical spelling: BLOCKS:HIT:MISS, with :NUM:DEN appended only
+  /// when the share is not 1.
+  std::string token() const;
+
+  friend bool operator==(const TiersSpec&, const TiersSpec&) = default;
+};
+
+/// Parse T2CAP:HITCOST:MISSCOST[:NUM:DEN] (the `cadapt mc/sweep --tiers`
+/// flag and the manifest `tiers` key). Throws util::ParseError.
+TiersSpec parse_tiers_token(const std::string& token);
+
 struct Manifest {
   std::string name;
   Workload workload = Workload::kRatio;
@@ -114,6 +147,12 @@ struct Manifest {
   std::vector<std::string> sorts;  ///< adaptive|funnel|merge2|mm:N|fw:N
   std::uint64_t keys = 16384;
   std::uint64_t block = 8;
+  /// Replacement-policy grid axis (canonical tokens: lru|clock|arc|car|
+  /// assoc:W). Empty = no axis (the historical LRU-only grid); entered
+  /// into the fingerprint only when non-empty.
+  std::vector<std::string> policies;
+  /// Two-tier machine shape for every cell; fingerprinted only when set.
+  TiersSpec tiers;
   /// Record-once/replay-many traces (docs/PERF.md): entered into the
   /// fingerprint only when set, so pre-existing campaigns keep their
   /// config_hash byte-for-byte.

@@ -30,16 +30,25 @@ Plan expand_plan(const Manifest& manifest) {
       }
     }
   } else {
+    // The policy axis is innermost; a manifest without one expands a
+    // single unnamed policy so historical grids keep their exact cells
+    // (indices, seeds, labels).
+    const std::vector<std::string> policies =
+        manifest.policies.empty() ? std::vector<std::string>{""}
+                                  : manifest.policies;
     for (const std::string& sort : manifest.sorts) {
       for (const ProfileSpec& profile : manifest.profiles) {
-        Cell cell;
-        cell.index = plan.cells.size();
-        cell.sort = sort;
-        cell.profile = profile;
-        cell.n = manifest.keys;
-        cell.trials = manifest.trials;
-        cell.seed = manifest.seed + cell.index;
-        plan.cells.push_back(std::move(cell));
+        for (const std::string& policy : policies) {
+          Cell cell;
+          cell.index = plan.cells.size();
+          cell.sort = sort;
+          cell.profile = profile;
+          cell.policy = policy;
+          cell.n = manifest.keys;
+          cell.trials = manifest.trials;
+          cell.seed = manifest.seed + cell.index;
+          plan.cells.push_back(std::move(cell));
+        }
       }
     }
   }

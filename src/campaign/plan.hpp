@@ -3,7 +3,9 @@
 // A cell is one (algorithm × profile × problem size) point with its trial
 // count and base seed — the atom of sweep execution, checkpointing, and
 // sharding. Expansion order is fixed (algo-major, then profile, then k;
-// sort-major for sort workloads), so cell indices are stable across runs,
+// sort-major, then profile, then policy for sort workloads — the policy
+// axis only exists when the manifest names one), so cell indices are
+// stable across runs,
 // shards, and resumes; every artifact addresses cells by this index.
 //
 // Sharding is round-robin by index (cell i belongs to shard i % shards):
@@ -26,6 +28,9 @@ struct Cell {
   unsigned k = 0;       ///< ratio: n = b^k
   std::uint64_t n = 0;  ///< ratio: problem blocks; sort: keys
   std::string sort;     ///< sort workload: adaptive|funnel|merge2
+  /// Sort workload: canonical replacement-policy token, or "" when the
+  /// manifest has no policy axis (the historical LRU machine).
+  std::string policy;
   std::uint64_t trials = 1;
   std::uint64_t seed = 0;  ///< base seed for derive_trial_seed
 };

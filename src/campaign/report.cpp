@@ -120,6 +120,7 @@ CellResult aggregate_cell(const Cell& cell,
   result.algo = cell.algo.token;
   result.profile = cell.profile.token;
   result.sort = cell.sort;
+  result.policy = cell.policy;
   result.k = cell.k;
   result.n = cell.n;
   result.trials = cell.trials;
@@ -207,8 +208,11 @@ obs::Event cell_event(const CellResult& cell) {
   event.u64("index", cell.index)
       .str("algo", cell.algo)
       .str("profile", cell.profile)
-      .str("sort", cell.sort)
-      .u64("k", cell.k)
+      .str("sort", cell.sort);
+  // Emitted only when non-empty so policy-free reports stay
+  // byte-identical to ones written before the axis existed.
+  if (!cell.policy.empty()) event.str("policy", cell.policy);
+  event.u64("k", cell.k)
       .u64("n", cell.n)
       .u64("trials", cell.trials)
       .u64("completed", cell.completed)
@@ -235,6 +239,7 @@ CellResult cell_from_event(const obs::Event& event, std::size_t line_no) {
   cell.algo = event.str_or("algo", "");
   cell.profile = event.str_or("profile", "");
   cell.sort = event.str_or("sort", "");
+  cell.policy = event.str_or("policy", "");
   cell.k = static_cast<unsigned>(event.u64_or("k", 0));
   cell.n = event.u64_or("n", 0);
   cell.trials = event.u64_or("trials", 0);

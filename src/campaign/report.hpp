@@ -41,6 +41,10 @@ struct CellResult {
   std::string algo;  ///< "a:b:c" token; empty for sort cells
   std::string profile;
   std::string sort;  ///< adaptive|funnel|merge2; empty for ratio cells
+  /// Replacement-policy token of a sort cell; empty when the campaign
+  /// has no policy axis (emitted to the report only when non-empty, so
+  /// historical artifacts stay byte-identical).
+  std::string policy;
   unsigned k = 0;
   std::uint64_t n = 0;
   std::uint64_t trials = 0;

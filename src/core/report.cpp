@@ -113,6 +113,13 @@ void print_paging_summary(std::ostream& os, const obs::PagingRecorder& rec) {
   table.print(os);
   os << "totals: hits=" << rec.total_hits()
      << " misses=" << rec.total_misses() << "\n";
+  // Only two-tier machines produce tier-2 traffic; single-tier output
+  // stays byte-identical to the historical summary.
+  const auto& t2 = rec.tier2();
+  if (t2.accesses != 0) {
+    os << "tier2: accesses=" << t2.accesses << " hits=" << t2.hits
+       << " misses=" << t2.misses << "\n";
+  }
 }
 
 }  // namespace cadapt::core

@@ -210,6 +210,13 @@ void PagingRecorder::emit(TraceSink& sink) const {
         .u64("evictions", tally.evictions);
     sink.write(event);
   }
+  if (tier2_.accesses != 0) {
+    Event event("paging_tier2");
+    event.u64("accesses", tier2_.accesses)
+        .u64("hits", tier2_.hits)
+        .u64("misses", tier2_.misses);
+    sink.write(event);
+  }
 }
 
 }  // namespace cadapt::obs

@@ -254,16 +254,33 @@ class PagingRecorder {
     if (evicted) ++tally.evictions;
   }
 
+  /// Tier-2 demand fetches of a two-tier CaMachine (docs/PAGING.md):
+  /// one call per tier-1 miss, after any rollover. Spill inserts are
+  /// not reported — they are write-backs, not demand traffic.
+  struct Tier2Tally {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  void on_tier2(bool hit) {
+    ++tier2_.accesses;
+    if (hit) ++tier2_.hits; else ++tier2_.misses;
+  }
+
   const std::array<LevelTally, 64>& levels() const { return levels_; }
+  const Tier2Tally& tier2() const { return tier2_; }
 
   std::uint64_t total_hits() const;
   std::uint64_t total_misses() const;
 
-  /// One "paging" event per non-empty size class, ascending.
+  /// One "paging" event per non-empty size class, ascending; plus one
+  /// "paging_tier2" event iff any tier-2 demand fetch was recorded.
   void emit(TraceSink& sink) const;
 
  private:
   std::array<LevelTally, 64> levels_{};
+  Tier2Tally tier2_;
 };
 
 }  // namespace cadapt::obs

@@ -1,0 +1,152 @@
+#include "paging/arc_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+std::list<BlockId>& ArcCache::list_of(Where where) {
+  switch (where) {
+    case Where::kT1: return t1_;
+    case Where::kT2: return t2_;
+    case Where::kB1: return b1_;
+    case Where::kB2: return b2_;
+  }
+  throw util::CheckError("unreachable ARC list");
+}
+
+bool ArcCache::contains(BlockId block) const {
+  const auto it = map_.find(block);
+  return it != map_.end() &&
+         (it->second.where == Where::kT1 || it->second.where == Where::kT2);
+}
+
+void ArcCache::replace(bool in_b2, LruCache::AccessResult* r) {
+  const bool from_t1 =
+      !t1_.empty() && (t1_.size() > p_ || (in_b2 && t1_.size() == p_));
+  std::list<BlockId>& from = from_t1 ? t1_ : (!t2_.empty() ? t2_ : t1_);
+  if (from.empty()) return;  // no residents: nothing to demote
+  std::list<BlockId>& ghost = (&from == &t1_) ? b1_ : b2_;
+  const Where where = (&from == &t1_) ? Where::kB1 : Where::kB2;
+  const BlockId victim = from.back();
+  from.pop_back();
+  ghost.push_front(victim);
+  map_[victim] = {where, ghost.begin()};
+  ++stats_.evictions;
+  if (r != nullptr && !r->evicted) {
+    r->evicted = true;
+    r->victim = victim;
+  }
+}
+
+void ArcCache::drop_lru(Where ghost) {
+  std::list<BlockId>& list = list_of(ghost);
+  CADAPT_CHECK(!list.empty());
+  map_.erase(list.back());
+  list.pop_back();
+}
+
+LruCache::AccessResult ArcCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto it = map_.find(block);
+  const bool known = it != map_.end();
+  if (known &&
+      (it->second.where == Where::kT1 || it->second.where == Where::kT2)) {
+    // Case I: resident hit — promote to MRU of T2.
+    ++stats_.hits;
+    r.hit = true;
+    list_of(it->second.where).erase(it->second.it);
+    t2_.push_front(block);
+    it->second = {Where::kT2, t2_.begin()};
+    return r;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return r;
+  if (known && it->second.where == Where::kB1) {
+    // Case II: ghost hit in B1 — favor recency.
+    const std::uint64_t delta =
+        std::max<std::uint64_t>(1, b2_.size() / b1_.size());
+    p_ = std::min(capacity_, p_ + delta);
+    replace(/*in_b2=*/false, &r);
+    b1_.erase(map_.at(block).it);
+    t2_.push_front(block);
+    map_[block] = {Where::kT2, t2_.begin()};
+    return r;
+  }
+  if (known && it->second.where == Where::kB2) {
+    // Case III: ghost hit in B2 — favor frequency.
+    const std::uint64_t delta =
+        std::max<std::uint64_t>(1, b1_.size() / b2_.size());
+    p_ = p_ >= delta ? p_ - delta : 0;
+    replace(/*in_b2=*/true, &r);
+    b2_.erase(map_.at(block).it);
+    t2_.push_front(block);
+    map_[block] = {Where::kT2, t2_.begin()};
+    return r;
+  }
+  // Case IV: a brand-new block.
+  const std::uint64_t l1 = t1_.size() + b1_.size();
+  if (l1 == capacity_) {
+    if (!b1_.empty()) {
+      drop_lru(Where::kB1);
+      replace(/*in_b2=*/false, &r);
+    } else {
+      // B1 empty, T1 full: drop T1's LRU entirely (no ghost).
+      const BlockId victim = t1_.back();
+      t1_.pop_back();
+      map_.erase(victim);
+      ++stats_.evictions;
+      r.evicted = true;
+      r.victim = victim;
+    }
+  } else {
+    const std::uint64_t total =
+        t1_.size() + t2_.size() + b1_.size() + b2_.size();
+    if (total >= capacity_) {
+      if (total == 2 * capacity_) {
+        drop_lru(b2_.empty() ? Where::kB1 : Where::kB2);
+      }
+      replace(/*in_b2=*/false, &r);
+    }
+  }
+  t1_.push_front(block);
+  map_[block] = {Where::kT1, t1_.begin()};
+  return r;
+}
+
+void ArcCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  if (capacity_ == 0) {
+    // Shrinking to nothing evicts every resident (counted, like
+    // LruCache::set_capacity(0)) and forgets all history.
+    stats_.evictions += t1_.size() + t2_.size();
+    t1_.clear();
+    t2_.clear();
+    b1_.clear();
+    b2_.clear();
+    map_.clear();
+    p_ = 0;
+    return;
+  }
+  p_ = std::min(p_, capacity_);
+  while (t1_.size() + t2_.size() > capacity_) replace(false, nullptr);
+  while (t1_.size() + b1_.size() > capacity_ && !b1_.empty()) {
+    drop_lru(Where::kB1);
+  }
+  while (t1_.size() + t2_.size() + b1_.size() + b2_.size() >
+         2 * capacity_) {
+    drop_lru(b2_.empty() ? Where::kB1 : Where::kB2);
+  }
+}
+
+void ArcCache::clear() {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  map_.clear();
+  p_ = 0;
+}
+
+}  // namespace cadapt::paging

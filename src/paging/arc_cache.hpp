@@ -1,0 +1,60 @@
+// ARC (Megiddo–Modha adaptive replacement): resident lists T1 (seen
+// once) and T2 (seen at least twice) plus ghost lists B1/B2 remembering
+// recently evicted keys; the adaptation target p steers REPLACE between
+// recency (T1) and frequency (T2) on ghost hits, with the paper's
+// integer max(1, |B_other|/|B_hit|) step. Spec notes pinned by the
+// differential suite (docs/PAGING.md):
+//   - only resident departures (T1/T2 -> B1/B2, or the full-T1 drop in
+//     case IV-A) count as evictions and report a victim; ghost drops do
+//     not;
+//   - capacity 0 is a pure miss counter (no residents, no ghosts);
+//   - set_capacity clamps p, evicts residents via REPLACE, and trims
+//     ghosts back to the |T1|+|B1| <= c and |L| <= 2c invariants;
+//   - clear() drops all four lists and resets p to 0.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "paging/policy.hpp"
+
+namespace cadapt::paging {
+
+class ArcCache final : public CachePolicy {
+ public:
+  explicit ArcCache(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return t1_.size() + t2_.size(); }
+  bool contains(BlockId block) const override;
+
+  /// The adaptation target (|T1|'s preferred size); exposed for the
+  /// known-answer tests.
+  std::uint64_t target_p() const { return p_; }
+
+ private:
+  enum class Where : std::uint8_t { kT1, kT2, kB1, kB2 };
+  struct Loc {
+    Where where;
+    std::list<BlockId>::iterator it;
+  };
+
+  std::list<BlockId>& list_of(Where where);
+  /// The REPLACE routine: demote one resident LRU block to its ghost
+  /// list, counting the eviction (and reporting it via `r` if non-null
+  /// and unclaimed). in_b2 biases the tie at |T1| == p toward T1.
+  void replace(bool in_b2, LruCache::AccessResult* r);
+  void drop_lru(Where ghost);
+
+  std::uint64_t capacity_;
+  std::uint64_t p_ = 0;
+  std::list<BlockId> t1_, t2_, b1_, b2_;  ///< front = MRU, back = LRU
+  std::unordered_map<BlockId, Loc> map_;
+};
+
+}  // namespace cadapt::paging

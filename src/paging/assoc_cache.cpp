@@ -1,0 +1,86 @@
+#include "paging/assoc_cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+AssocLruCache::AssocLruCache(std::uint64_t capacity_blocks, std::uint64_t ways)
+    : capacity_(capacity_blocks), ways_(ways) {
+  CADAPT_CHECK_MSG(ways_ >= 1, "assoc LRU needs ways >= 1");
+  rebuild_geometry();
+}
+
+void AssocLruCache::rebuild_geometry() {
+  const std::uint64_t num_sets =
+      capacity_ == 0 ? 0 : (capacity_ + ways_ - 1) / ways_;
+  sets_.assign(static_cast<std::size_t>(num_sets), {});
+  base_ = num_sets == 0 ? 0 : capacity_ / num_sets;
+  extra_ = num_sets == 0 ? 0 : static_cast<std::size_t>(capacity_ % num_sets);
+}
+
+LruCache::AccessResult AssocLruCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto it = map_.find(block);
+  if (it != map_.end()) {
+    r.hit = true;
+    ++stats_.hits;
+    Entry& e = it->second;
+    global_.splice(global_.begin(), global_, e.global_it);
+    std::list<BlockId>& set = sets_[e.set];
+    set.splice(set.begin(), set, e.set_it);
+    return r;
+  }
+  ++stats_.misses;
+  if (sets_.empty()) return r;  // capacity 0: nothing retained
+  const std::size_t s = set_of(block);
+  std::list<BlockId>& set = sets_[s];
+  if (set.size() >= set_cap(s)) {
+    // Conflict (or capacity) miss: evict the set's LRU resident.
+    const BlockId victim = set.back();
+    r.evicted = true;
+    r.victim = victim;
+    ++stats_.evictions;
+    global_.erase(map_.at(victim).global_it);
+    set.pop_back();
+    map_.erase(victim);
+  }
+  global_.push_front(block);
+  set.push_front(block);
+  map_[block] = {global_.begin(), set.begin(), s};
+  return r;
+}
+
+void AssocLruCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  // Rebuild the geometry, then re-place residents in global MRU-first
+  // order; anything that no longer fits its set is a counted eviction.
+  std::list<BlockId> order = std::move(global_);
+  global_.clear();
+  map_.clear();
+  rebuild_geometry();
+  for (const BlockId block : order) {
+    if (sets_.empty()) {
+      ++stats_.evictions;
+      continue;
+    }
+    const std::size_t s = set_of(block);
+    std::list<BlockId>& set = sets_[s];
+    if (set.size() >= set_cap(s)) {
+      ++stats_.evictions;
+      continue;
+    }
+    global_.push_back(block);
+    set.push_back(block);
+    map_[block] = {std::prev(global_.end()), std::prev(set.end()), s};
+  }
+}
+
+void AssocLruCache::clear() {
+  global_.clear();
+  map_.clear();
+  for (auto& set : sets_) set.clear();
+}
+
+}  // namespace cadapt::paging

@@ -1,0 +1,68 @@
+// Limited-associativity LRU: capacity C split into S = ceil(C / W)
+// sets of at most W ways, block b mapped to set b % S, LRU within the
+// set. The per-set capacities base + (i < C mod S ? 1 : 0) with
+// base = floor(C / S) sum to C and never exceed W, so the cache holds
+// exactly C blocks at full occupancy while conflict misses make the
+// policy observably non-LRU (docs/PAGING.md). W >= C degenerates to a
+// single fully-associative LRU set. Spec notes pinned by the
+// differential suite:
+//   - the victim on a conflict miss is the set's LRU resident, even if
+//     globally recent;
+//   - set_capacity recomputes the geometry and redistributes residents
+//     in global MRU-first order; blocks whose new set is full are
+//     dropped as counted evictions (no victim report, matching
+//     LruCache::set_capacity's shrink accounting);
+//   - a global recency list is maintained purely for that MRU-first
+//     redistribution walk.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "paging/policy.hpp"
+
+namespace cadapt::paging {
+
+class AssocLruCache final : public CachePolicy {
+ public:
+  AssocLruCache(std::uint64_t capacity_blocks, std::uint64_t ways);
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return map_.size(); }
+  bool contains(BlockId block) const override {
+    return map_.find(block) != map_.end();
+  }
+
+  std::uint64_t ways() const { return ways_; }
+  std::uint64_t num_sets() const { return sets_.size(); }
+
+ private:
+  struct Entry {
+    std::list<BlockId>::iterator global_it;
+    std::list<BlockId>::iterator set_it;
+    std::size_t set;
+  };
+
+  void rebuild_geometry();
+  std::size_t set_of(BlockId block) const {
+    return static_cast<std::size_t>(block % sets_.size());
+  }
+  std::uint64_t set_cap(std::size_t set) const {
+    return base_ + (set < extra_ ? 1 : 0);
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t ways_;
+  std::uint64_t base_ = 0;   ///< floor(capacity / S)
+  std::size_t extra_ = 0;    ///< capacity mod S (first sets get +1)
+  std::list<BlockId> global_;             ///< front = MRU
+  std::vector<std::list<BlockId>> sets_;  ///< per-set, front = MRU
+  std::unordered_map<BlockId, Entry> map_;
+};
+
+}  // namespace cadapt::paging

@@ -4,12 +4,34 @@
 
 namespace cadapt::paging {
 
+const char* replay_path_name(ReplayPath path) {
+  switch (path) {
+    case ReplayPath::kNone: return "none";
+    case ReplayPath::kFastWalk: return "fast-walk";
+    case ReplayPath::kGenericConfig: return "generic:config";
+    case ReplayPath::kGenericRecorder: return "generic:recorder";
+    case ReplayPath::kGenericPerAccess: return "generic:per-access";
+    case ReplayPath::kGenericBoxHook: return "generic:box-hook";
+    case ReplayPath::kGenericUsedMachine: return "generic:used-machine";
+    case ReplayPath::kGenericUnindexed: return "generic:unindexed";
+  }
+  return "?";
+}
+
 CaMachine::CaMachine(std::unique_ptr<profile::BoxSource> source,
                      std::uint64_t block_size, bool record_boxes,
-                     obs::PagingRecorder* recorder)
+                     obs::PagingRecorder* recorder, CaConfig config)
     : Machine(block_size), source_(std::move(source)), cache_(0),
+      config_(std::move(config)), plain_(config_.plain_lru()),
       record_boxes_(record_boxes), recorder_(recorder) {
   CADAPT_CHECK(source_ != nullptr);
+  config_.validate();
+  if (!plain_) {
+    tier1_ = make_policy_cache(config_.policy, 0);
+    if (config_.two_tier()) {
+      tier2_ = make_policy_cache(config_.policy, config_.tier2_blocks);
+    }
+  }
   // Per-access recorder granularity is incompatible with the repeat-hit
   // shortcut (skipped hits would never reach on_access), so a recorder
   // pins the machine to the reference path.
@@ -28,8 +50,15 @@ void CaMachine::start_next_box() {
   if (box_hook_) box_hook_(boxes_started_, box_size_);
   misses_in_box_ = 0;
   ++boxes_started_;
-  cache_.clear();
-  cache_.set_capacity(box_size_);
+  if (plain_) {
+    cache_.clear();
+    cache_.set_capacity(box_size_);
+  } else {
+    // The boundary clear is a model reset: tier-1 contents vanish
+    // without spilling into tier 2. Tier 2 persists across boxes.
+    tier1_->clear();
+    tier1_->set_capacity(config_.tier1_capacity(box_size_));
+  }
   if (record_boxes_) {
     if (box_log_cap_ != 0 && box_log_.size() >= box_log_cap_ * 2) {
       const std::size_t drop = box_log_.size() - box_log_cap_;
@@ -43,11 +72,29 @@ void CaMachine::start_next_box() {
 }
 
 void CaMachine::replay_trace(const BlockRunTrace& trace) {
-  if (recorder_ != nullptr || per_access() || box_hook_ || accesses() != 0 ||
-      !trace.has_replay_index()) {
+  // The fast walk's never-evict argument only holds for the historical
+  // Definition-1 machine (plain LRU, full share, one tier); everything
+  // else must actually run the cache(s).
+  ReplayPath generic = ReplayPath::kNone;
+  if (!plain_) {
+    generic = ReplayPath::kGenericConfig;
+  } else if (recorder_ != nullptr) {
+    generic = ReplayPath::kGenericRecorder;
+  } else if (per_access()) {
+    generic = ReplayPath::kGenericPerAccess;
+  } else if (box_hook_) {
+    generic = ReplayPath::kGenericBoxHook;
+  } else if (accesses() != 0) {
+    generic = ReplayPath::kGenericUsedMachine;
+  } else if (!trace.has_replay_index()) {
+    generic = ReplayPath::kGenericUnindexed;
+  }
+  if (generic != ReplayPath::kNone) {
+    last_replay_path_ = generic;
     trace.replay_into(*this);
     return;
   }
+  last_replay_path_ = ReplayPath::kFastWalk;
   if (trace.block_size() != 0) {
     CADAPT_CHECK_MSG(block_size() == trace.block_size(),
                      "trace recorded at block size "
@@ -83,7 +130,56 @@ void CaMachine::replay_trace(const BlockRunTrace& trace) {
   count_bulk_accesses(trace.accesses());
 }
 
+void CaMachine::access_cold_general(BlockId block) {
+  // Tier 1 follows the (possibly scaled) box profile under the chosen
+  // policy; unlike the Definition-1 fast path it can genuinely evict
+  // under pressure.
+  LruCache::AccessResult r1 = tier1_->access_tracking(block);
+  if (r1.hit) {  // tier-1 hit: free
+    if (recorder_ != nullptr) {
+      recorder_->on_access(box_size_, /*hit=*/true, /*evicted=*/false);
+    }
+    mark_hot(block);
+    return;
+  }
+  clear_hot();
+  // Spill the victim down before fetching: tier 2 models the next
+  // memory level, so a block pushed out of tier 1 lands there (free —
+  // write-back is not charged against the box budget).
+  if (tier2_ != nullptr && r1.evicted) tier2_->access(r1.victim);
+  // Asymmetric costs can overshoot the budget, so boxes roll over on
+  // >=, not ==; the overshooting access's cost was charged to the box
+  // that ran out (it overruns rather than splits).
+  if (misses_in_box_ >= box_size_) {
+    start_next_box();
+    // Mirror the plain path's boundary double-miss: the access re-runs
+    // against the fresh (cleared) tier 1, which cannot hit.
+    const LruCache::AccessResult r1b = tier1_->access_tracking(block);
+    CADAPT_CHECK(!r1b.hit);
+  }
+  std::uint64_t cost = 1;
+  if (tier2_ != nullptr) {
+    const LruCache::AccessResult r2 = tier2_->access_tracking(block);
+    cost = r2.hit ? config_.tier2_hit_cost : config_.tier2_miss_cost;
+    if (recorder_ != nullptr) recorder_->on_tier2(r2.hit);
+  }
+  misses_ += cost;
+  misses_in_box_ += cost;
+  if (recorder_ != nullptr) {
+    recorder_->on_access(box_size_, /*hit=*/false, r1.evicted);
+  }
+  // No mark_hot here, unlike the plain path: the first re-access after
+  // a miss is a hit that still mutates policy state (CLOCK/CAR set the
+  // reference bit, ARC promotes T1 -> T2), so it must reach the cache.
+  // Once that hit has run (and armed the shortcut above), further
+  // repeats are idempotent for every policy in the zoo.
+}
+
 void CaMachine::access_cold(WordAddr, BlockId block) {
+  if (!plain_) [[unlikely]] {
+    access_cold_general(block);
+    return;
+  }
   if (cache_.access(block)) {  // hit: free
     if (recorder_ != nullptr) {
       recorder_->on_access(box_size_, /*hit=*/true, /*evicted=*/false);

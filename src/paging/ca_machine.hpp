@@ -3,6 +3,10 @@
 // blocks for exactly x I/Os (misses); the cache is cleared at each box
 // boundary (w.l.o.g. per the paging results underlying cache-adaptivity).
 // Hits are free — only misses advance time.
+//
+// A CaConfig (paging/policy.hpp) generalizes this to the two-tier,
+// policy-parameterized machine of docs/PAGING.md; the default config
+// is the historical Definition-1 machine on its LruCache fast path.
 #pragma once
 
 #include <functional>
@@ -13,9 +17,26 @@
 #include "paging/block_run.hpp"
 #include "paging/lru_cache.hpp"
 #include "paging/machine.hpp"
+#include "paging/policy.hpp"
 #include "profile/box_source.hpp"
 
 namespace cadapt::paging {
+
+/// Which path served the last replay_trace call (docs/PAGING.md): the
+/// O(runs) fast walk, or the generic per-run replay with the reason the
+/// walk was refused. kNone until replay_trace has been called.
+enum class ReplayPath : std::uint8_t {
+  kNone,               ///< replay_trace not called yet
+  kFastWalk,           ///< Definition-1 fast walk
+  kGenericConfig,      ///< non-LRU policy, scaled share, or two tiers
+  kGenericRecorder,    ///< per-access recorder attached
+  kGenericPerAccess,   ///< set_per_access(true)
+  kGenericBoxHook,     ///< box hook must see real cache state
+  kGenericUsedMachine, ///< machine already served accesses
+  kGenericUnindexed,   ///< trace recorded without its replay index
+};
+
+const char* replay_path_name(ReplayPath path);
 
 class CaMachine final : public Machine {
  public:
@@ -27,9 +48,16 @@ class CaMachine final : public Machine {
   /// the machine. A non-null recorder forces the per-access reference
   /// path (set_per_access) so its per-access tallies stay byte-identical
   /// to the pre-fast-path behavior (docs/PERF.md, docs/OBSERVABILITY.md).
+  ///
+  /// `config` generalizes the machine beyond Definition 1 (docs/
+  /// PAGING.md): a replacement policy other than LRU, a tier-1 capacity
+  /// share below 1, and/or a fixed-size persistent tier 2 absorbing
+  /// tier-1 spill with asymmetric hit/miss costs charged against the
+  /// box budget. The default config is the historical machine bit for
+  /// bit — same LruCache member, same code path.
   CaMachine(std::unique_ptr<profile::BoxSource> source,
             std::uint64_t block_size, bool record_boxes = true,
-            obs::PagingRecorder* recorder = nullptr);
+            obs::PagingRecorder* recorder = nullptr, CaConfig config = {});
 
   std::uint64_t misses() const override { return misses_; }
 
@@ -41,17 +69,24 @@ class CaMachine final : public Machine {
   /// Sizes of boxes started, if record_boxes was set. With a box-log cap
   /// (below) this is the most recent cap..2*cap boxes, oldest first.
   const std::vector<profile::BoxSize>& box_log() const { return box_log_; }
-  /// Lifetime hit/miss/eviction counters of the underlying cache. Repeat
-  /// hits resolved by the base-class shortcut never reach the cache, so
-  /// they are folded back into `hits` here — the totals are identical to
-  /// the per-access path by construction.
+  /// Lifetime hit/miss/eviction counters of the underlying tier-1
+  /// cache. Repeat hits resolved by the base-class shortcut never reach
+  /// the cache, so they are folded back into `hits` here — the totals
+  /// are identical to the per-access path by construction.
   LruCache::Stats cache_stats() const {
-    LruCache::Stats stats = cache_.stats();
+    LruCache::Stats stats = plain_ ? cache_.stats() : tier1_->stats();
     stats.hits += fast_hits() + replay_hits_;
     stats.misses += replay_misses_;
     stats.evictions += replay_evictions_;
     return stats;
   }
+  /// Tier-2 cache counters (zero when single-tier). Spill inserts of
+  /// tier-1 victims and demand fetches both land here; the per-access
+  /// demand split is on the recorder's tier2() tally.
+  LruCache::Stats tier2_stats() const {
+    return tier2_ != nullptr ? tier2_->stats() : LruCache::Stats{};
+  }
+  const CaConfig& config() const { return config_; }
 
   /// Consume a recorded trace, exactly equivalent (counter for counter:
   /// accesses, misses, boxes, misses_in_current_box, cache_stats,
@@ -63,12 +98,18 @@ class CaMachine final : public Machine {
   /// previous-occurrence index that is one branch per run — no hash
   /// probe, no LRU update (docs/PERF.md, "Paging fast path"). Falls back
   /// to the generic per-run replay whenever exactness demands it: a
-  /// recorder or per-access mode (per-access observation), a box hook
-  /// (fault injection must see real cache state), prior accesses, or a
-  /// trace without its index. After the fast walk the counters are
-  /// final but the cache contents are unspecified: do not feed the
-  /// machine further accesses.
+  /// non-default CaConfig (the walk's never-evict argument needs plain
+  /// LRU at full share with one tier), a recorder or per-access mode
+  /// (per-access observation), a box hook (fault injection must see
+  /// real cache state), prior accesses, or a trace without its index.
+  /// last_replay_path() reports which path ran and, for the generic
+  /// path, why. After the fast walk the counters are final but the
+  /// cache contents are unspecified: do not feed the machine further
+  /// accesses.
   void replay_trace(const BlockRunTrace& trace);
+
+  /// The path taken by the most recent replay_trace call.
+  ReplayPath last_replay_path() const { return last_replay_path_; }
 
   /// Bound box_log_ memory for long runs: once the log holds 2*cap
   /// entries, the oldest cap are dropped (amortized O(1)), keeping the
@@ -90,9 +131,17 @@ class CaMachine final : public Machine {
 
  private:
   void start_next_box();
+  void access_cold_general(BlockId block);
 
   std::unique_ptr<profile::BoxSource> source_;
-  LruCache cache_;
+  LruCache cache_;  ///< tier 1 on the plain-LRU fast path
+  CaConfig config_;
+  bool plain_;  ///< config_.plain_lru(), hoisted for the hot path
+  // Non-default configs route through the policy interface: tier1_ is
+  // installed per box (share-scaled capacity), tier2_ persists across
+  // boxes. Both null on the plain path.
+  std::unique_ptr<CachePolicy> tier1_;
+  std::unique_ptr<CachePolicy> tier2_;
   bool record_boxes_;
   obs::PagingRecorder* recorder_;
   std::uint64_t misses_ = 0;
@@ -106,6 +155,7 @@ class CaMachine final : public Machine {
   std::uint64_t replay_hits_ = 0;
   std::uint64_t replay_misses_ = 0;
   std::uint64_t replay_evictions_ = 0;
+  ReplayPath last_replay_path_ = ReplayPath::kNone;
   BoxHook box_hook_;
   std::vector<profile::BoxSize> box_log_;
 };

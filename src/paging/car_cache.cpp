@@ -1,0 +1,133 @@
+#include "paging/car_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+bool CarCache::contains(BlockId block) const {
+  const auto it = map_.find(block);
+  return it != map_.end() &&
+         (it->second.where == Where::kT1 || it->second.where == Where::kT2);
+}
+
+void CarCache::replace(LruCache::AccessResult* r) {
+  while (true) {
+    if (t1_.empty() && t2_.empty()) return;  // no residents to demote
+    const bool from_t1 =
+        !t1_.empty() && t1_.size() >= std::max<std::uint64_t>(1, p_);
+    if (from_t1) {
+      Frame head = t1_.front();
+      t1_.pop_front();
+      if (!head.ref) {
+        b1_.push_front(head.key);
+        map_[head.key] = {Where::kB1, {}, b1_.begin()};
+        ++stats_.evictions;
+        if (r != nullptr && !r->evicted) {
+          r->evicted = true;
+          r->victim = head.key;
+        }
+        return;
+      }
+      head.ref = false;  // second chance: move to T2's tail
+      t2_.push_back(head);
+      map_[head.key] = {Where::kT2, std::prev(t2_.end()), {}};
+    } else {
+      Frame head = t2_.front();
+      t2_.pop_front();
+      if (!head.ref) {
+        b2_.push_front(head.key);
+        map_[head.key] = {Where::kB2, {}, b2_.begin()};
+        ++stats_.evictions;
+        if (r != nullptr && !r->evicted) {
+          r->evicted = true;
+          r->victim = head.key;
+        }
+        return;
+      }
+      head.ref = false;  // recycle within T2
+      t2_.push_back(head);
+      map_[head.key] = {Where::kT2, std::prev(t2_.end()), {}};
+    }
+  }
+}
+
+void CarCache::drop_ghost_lru(bool prefer_b2) {
+  std::list<BlockId>& ghost = (prefer_b2 && !b2_.empty()) ? b2_ : b1_;
+  CADAPT_CHECK(!ghost.empty());
+  map_.erase(ghost.back());
+  ghost.pop_back();
+}
+
+LruCache::AccessResult CarCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto it = map_.find(block);
+  const bool known = it != map_.end();
+  if (known &&
+      (it->second.where == Where::kT1 || it->second.where == Where::kT2)) {
+    it->second.fit->ref = true;  // cache hit: set the bit, no movement
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return r;
+  const bool in_b1 = known && it->second.where == Where::kB1;
+  const bool in_b2 = known && it->second.where == Where::kB2;
+  if (t1_.size() + t2_.size() == capacity_) replace(&r);
+  if (!in_b1 && !in_b2) {
+    // Brand-new block: trim history before taking a T1 frame.
+    while (!b1_.empty() && t1_.size() + b1_.size() >= capacity_) {
+      drop_ghost_lru(/*prefer_b2=*/false);
+    }
+    while ((!b1_.empty() || !b2_.empty()) && total() >= 2 * capacity_) {
+      drop_ghost_lru(/*prefer_b2=*/true);
+    }
+    t1_.push_back({block, false});
+    map_[block] = {Where::kT1, std::prev(t1_.end()), {}};
+    return r;
+  }
+  if (in_b1) {
+    const std::uint64_t delta =
+        std::max<std::uint64_t>(1, b2_.size() / b1_.size());
+    p_ = std::min(capacity_, p_ + delta);
+    b1_.erase(map_.at(block).git);
+  } else {
+    const std::uint64_t delta =
+        std::max<std::uint64_t>(1, b1_.size() / b2_.size());
+    p_ = p_ >= delta ? p_ - delta : 0;
+    b2_.erase(map_.at(block).git);
+  }
+  t2_.push_back({block, false});
+  map_[block] = {Where::kT2, std::prev(t2_.end()), {}};
+  return r;
+}
+
+void CarCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  if (capacity_ == 0) {
+    stats_.evictions += t1_.size() + t2_.size();
+    clear();
+    return;
+  }
+  p_ = std::min(p_, capacity_);
+  while (t1_.size() + t2_.size() > capacity_) replace(nullptr);
+  while (!b1_.empty() && t1_.size() + b1_.size() > capacity_) {
+    drop_ghost_lru(/*prefer_b2=*/false);
+  }
+  while ((!b1_.empty() || !b2_.empty()) && total() > 2 * capacity_) {
+    drop_ghost_lru(/*prefer_b2=*/true);
+  }
+}
+
+void CarCache::clear() {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  map_.clear();
+  p_ = 0;
+}
+
+}  // namespace cadapt::paging

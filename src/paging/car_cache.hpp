@@ -1,0 +1,69 @@
+// CAR (Bansal–Modha, Clock with Adaptive Replacement): ARC's T1/T2 +
+// B1/B2 structure with the resident lists run as CLOCKs instead of
+// LRUs. A resident hit just sets the frame's reference bit (no
+// movement); REPLACE sweeps T1's head when |T1| >= max(1, p) (demoting
+// referenced frames to T2's tail) and T2's head otherwise (recycling
+// referenced frames to its own tail). Ghost hits adapt p exactly as in
+// ARC. Spec notes pinned by the differential suite (docs/PAGING.md):
+//   - resident clocks are std::lists with front = head (oldest, next
+//     swept) and back = tail (insertion point); ghosts are MRU-front
+//     LRU-back like ARC's;
+//   - the paper's equality-triggered ghost discards are restated as
+//     while-loops applied before inserting a brand-new block (drop LRU
+//     B1 while |T1|+|B1| >= c; then drop LRU B2 — B1 if B2 is empty —
+//     while the four lists total >= 2c), which is equivalent on
+//     fixed-capacity histories and stays bounded after set_capacity;
+//   - only resident departures count as evictions / report victims.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "paging/policy.hpp"
+
+namespace cadapt::paging {
+
+class CarCache final : public CachePolicy {
+ public:
+  explicit CarCache(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return t1_.size() + t2_.size(); }
+  bool contains(BlockId block) const override;
+
+  /// The adaptation target for |T1|; exposed for the known-answer tests.
+  std::uint64_t target_p() const { return p_; }
+
+ private:
+  struct Frame {
+    BlockId key = 0;
+    bool ref = false;
+  };
+  enum class Where : std::uint8_t { kT1, kT2, kB1, kB2 };
+  struct Loc {
+    Where where;
+    std::list<Frame>::iterator fit;    ///< valid for kT1/kT2
+    std::list<BlockId>::iterator git;  ///< valid for kB1/kB2
+  };
+
+  /// Sweep the clocks until one unreferenced head is evicted to its
+  /// ghost list (counted; reported via `r` if non-null and unclaimed).
+  void replace(LruCache::AccessResult* r);
+  void drop_ghost_lru(bool prefer_b2);
+  std::uint64_t total() const {
+    return t1_.size() + t2_.size() + b1_.size() + b2_.size();
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t p_ = 0;
+  std::list<Frame> t1_, t2_;     ///< front = clock head (oldest)
+  std::list<BlockId> b1_, b2_;   ///< front = MRU, back = LRU
+  std::unordered_map<BlockId, Loc> map_;
+};
+
+}  // namespace cadapt::paging

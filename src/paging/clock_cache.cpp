@@ -1,0 +1,62 @@
+#include "paging/clock_cache.hpp"
+
+namespace cadapt::paging {
+
+void ClockCache::sweep_to_victim() {
+  while (frames_[hand_].ref) {
+    frames_[hand_].ref = false;
+    hand_ = (hand_ + 1) % frames_.size();
+  }
+}
+
+LruCache::AccessResult ClockCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto it = index_.find(block);
+  if (it != index_.end()) {
+    frames_[it->second].ref = true;  // second chance; no movement
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return r;
+  if (frames_.size() < capacity_) {
+    index_.emplace(block, frames_.size());
+    frames_.push_back({block, false});
+    return r;
+  }
+  sweep_to_victim();
+  r.evicted = true;
+  r.victim = frames_[hand_].key;
+  ++stats_.evictions;
+  index_.erase(r.victim);
+  frames_[hand_] = {block, false};
+  index_.emplace(block, hand_);
+  hand_ = (hand_ + 1) % frames_.size();
+  return r;
+}
+
+void ClockCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  while (frames_.size() > capacity_) {
+    sweep_to_victim();
+    const std::size_t slot = hand_;
+    index_.erase(frames_[slot].key);
+    frames_.erase(frames_.begin() + static_cast<std::ptrdiff_t>(slot));
+    ++stats_.evictions;
+    // Removing a frame shifts every later slot down by one; the hand now
+    // points at the frame that followed the victim (wrapping if needed).
+    for (auto& [key, s] : index_) {
+      if (s > slot) --s;
+    }
+    if (hand_ >= frames_.size()) hand_ = 0;
+  }
+}
+
+void ClockCache::clear() {
+  frames_.clear();
+  index_.clear();
+  hand_ = 0;
+}
+
+}  // namespace cadapt::paging

@@ -1,0 +1,49 @@
+// CLOCK (one-bit second chance): frames sit in a circular buffer in
+// insertion order; a hit sets the frame's reference bit without moving
+// it. On a full miss the hand sweeps from its current position,
+// clearing reference bits, and evicts the first unreferenced frame; the
+// new block is installed in that slot with its bit clear and the hand
+// advances past it (docs/PAGING.md). Deterministic spec pinned by the
+// differential suite: insertions while the cache is below capacity
+// append at the logical end of the circle, the hand starts at the
+// oldest frame, and shrinking set_capacity evicts by the same sweep.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "paging/policy.hpp"
+
+namespace cadapt::paging {
+
+class ClockCache final : public CachePolicy {
+ public:
+  explicit ClockCache(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return frames_.size(); }
+  bool contains(BlockId block) const override {
+    return index_.find(block) != index_.end();
+  }
+
+ private:
+  struct Frame {
+    BlockId key = 0;
+    bool ref = false;
+  };
+
+  /// Advance the hand to the next unreferenced frame, clearing bits.
+  void sweep_to_victim();
+
+  std::uint64_t capacity_;
+  std::size_t hand_ = 0;
+  std::vector<Frame> frames_;  ///< circular order; index = clock position
+  std::unordered_map<BlockId, std::size_t> index_;  ///< key -> frame slot
+};
+
+}  // namespace cadapt::paging

@@ -9,4 +9,11 @@ DamMachine::DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size)
   CADAPT_CHECK(cache_blocks >= 1);
 }
 
+DamMachine::DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size,
+                       const PolicySpec& policy)
+    : Machine(block_size), cache_(cache_blocks) {
+  CADAPT_CHECK(cache_blocks >= 1);
+  if (!policy.is_lru()) policy_ = make_policy_cache(policy, cache_blocks);
+}
+
 }  // namespace cadapt::paging

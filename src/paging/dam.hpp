@@ -1,9 +1,15 @@
 // The classical disk-access-machine (DAM) of Aggarwal–Vitter: a fixed
-// cache of M blocks with LRU replacement over blocks of B words.
+// cache of M blocks over blocks of B words — LRU by default, or any
+// replacement policy from the zoo (docs/PAGING.md). Unlike the CA
+// machine at full share, a fixed-capacity DAM genuinely evicts under
+// pressure, so the policy choice is observable here.
 #pragma once
+
+#include <memory>
 
 #include "paging/lru_cache.hpp"
 #include "paging/machine.hpp"
+#include "paging/policy.hpp"
 
 namespace cadapt::paging {
 
@@ -11,18 +17,45 @@ class DamMachine final : public Machine {
  public:
   /// cache_blocks = M (in blocks), block_size = B (in words).
   DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size);
+  /// Same machine with a replacement policy from the zoo; the default
+  /// LRU spec selects the LruCache fast path, bit for bit.
+  DamMachine(std::uint64_t cache_blocks, std::uint64_t block_size,
+             const PolicySpec& policy);
 
   std::uint64_t misses() const override { return misses_; }
-  std::uint64_t cache_blocks() const { return cache_.capacity(); }
+  std::uint64_t cache_blocks() const {
+    return policy_ != nullptr ? policy_->capacity() : cache_.capacity();
+  }
+  /// Lifetime cache counters with shortcut-resolved repeat hits folded
+  /// back in (same contract as CaMachine::cache_stats).
+  LruCache::Stats cache_stats() const {
+    LruCache::Stats stats =
+        policy_ != nullptr ? policy_->stats() : cache_.stats();
+    stats.hits += fast_hits();
+    return stats;
+  }
 
  protected:
   void access_cold(WordAddr, BlockId block) override {
-    if (!cache_.access(block)) ++misses_;
-    mark_hot(block);  // now MRU: an immediate repeat is an LRU hit
+    if (policy_ == nullptr) {
+      if (!cache_.access(block)) ++misses_;
+      mark_hot(block);  // now MRU: an immediate repeat is an LRU hit
+      return;
+    }
+    if (policy_->access(block)) {
+      mark_hot(block);  // the hit ran the policy update; repeats are no-ops
+      return;
+    }
+    clear_hot();
+    ++misses_;
+    // No mark_hot after a policy miss: the first repeat is a hit that
+    // still mutates policy state (reference bits, ARC promotion) and
+    // must reach the cache — see CaMachine::access_cold_general.
   }
 
  private:
   LruCache cache_;
+  std::unique_ptr<CachePolicy> policy_;  ///< null on the LRU fast path
   std::uint64_t misses_ = 0;
 };
 

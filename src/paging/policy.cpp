@@ -1,0 +1,132 @@
+#include "paging/policy.hpp"
+
+#include <charconv>
+
+#include "paging/arc_cache.hpp"
+#include "paging/assoc_cache.hpp"
+#include "paging/car_cache.hpp"
+#include "paging/clock_cache.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+namespace {
+
+/// LruCache behind the CachePolicy interface. The adapter's own stats_
+/// mirrors the wrapped cache's counters so stats() stays a reference to
+/// the base-class member like every other policy.
+class LruPolicy final : public CachePolicy {
+ public:
+  explicit LruPolicy(std::uint64_t capacity_blocks) : cache_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override {
+    const LruCache::AccessResult r = cache_.access_tracking(block);
+    stats_ = cache_.stats();
+    return r;
+  }
+  void set_capacity(std::uint64_t capacity_blocks) override {
+    cache_.set_capacity(capacity_blocks);
+    stats_ = cache_.stats();
+  }
+  void clear() override { cache_.clear(); }
+  std::uint64_t capacity() const override { return cache_.capacity(); }
+  std::uint64_t size() const override { return cache_.size(); }
+  bool contains(BlockId block) const override {
+    return cache_.contains(block);
+  }
+
+ private:
+  LruCache cache_;
+};
+
+}  // namespace
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kClock: return "clock";
+    case PolicyKind::kArc: return "arc";
+    case PolicyKind::kCar: return "car";
+    case PolicyKind::kLruAssoc: return "assoc";
+  }
+  return "?";
+}
+
+std::string PolicySpec::token() const {
+  if (kind == PolicyKind::kLruAssoc) {
+    return std::string("assoc:") + std::to_string(ways);
+  }
+  return policy_kind_name(kind);
+}
+
+PolicySpec parse_policy_token(const std::string& token) {
+  PolicySpec spec;
+  if (token == "lru") {
+    spec.kind = PolicyKind::kLru;
+  } else if (token == "clock") {
+    spec.kind = PolicyKind::kClock;
+  } else if (token == "arc") {
+    spec.kind = PolicyKind::kArc;
+  } else if (token == "car") {
+    spec.kind = PolicyKind::kCar;
+  } else if (token.rfind("assoc:", 0) == 0) {
+    spec.kind = PolicyKind::kLruAssoc;
+    const std::string arg = token.substr(6);
+    std::uint64_t ways = 0;
+    const auto [ptr, ec] =
+        std::from_chars(arg.data(), arg.data() + arg.size(), ways);
+    if (ec != std::errc() || ptr != arg.data() + arg.size() || ways == 0) {
+      throw util::ParseError("policy '" + token +
+                             "': assoc ways must be an integer >= 1");
+    }
+    spec.ways = ways;
+  } else {
+    throw util::ParseError("unknown policy '" + token +
+                           "' (expected lru, clock, arc, car, or assoc:W)");
+  }
+  return spec;
+}
+
+std::unique_ptr<CachePolicy> make_policy_cache(const PolicySpec& spec,
+                                               std::uint64_t capacity_blocks) {
+  switch (spec.kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(capacity_blocks);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockCache>(capacity_blocks);
+    case PolicyKind::kArc:
+      return std::make_unique<ArcCache>(capacity_blocks);
+    case PolicyKind::kCar:
+      return std::make_unique<CarCache>(capacity_blocks);
+    case PolicyKind::kLruAssoc:
+      CADAPT_CHECK(spec.ways >= 1);
+      return std::make_unique<AssocLruCache>(capacity_blocks, spec.ways);
+  }
+  throw util::CheckError("unreachable policy kind");
+}
+
+std::uint64_t CaConfig::tier1_capacity(std::uint64_t box) const {
+  // (box / den) * num + ((box % den) * num) / den == floor(box*num/den)
+  // without the intermediate overflow of box * num.
+  const std::uint64_t scaled =
+      (box / tier1_den) * tier1_num + ((box % tier1_den) * tier1_num) / tier1_den;
+  return scaled == 0 ? 1 : scaled;
+}
+
+void CaConfig::validate() const {
+  CADAPT_CHECK_MSG(tier1_den >= 1 && tier1_num >= 1,
+                   "tier-1 share must have num, den >= 1");
+  CADAPT_CHECK_MSG(tier1_num <= tier1_den,
+                   "tier-1 share must be <= 1 (num <= den)");
+  CADAPT_CHECK_MSG(tier2_hit_cost >= 1, "tier-2 hit cost must be >= 1");
+  CADAPT_CHECK_MSG(tier2_miss_cost >= tier2_hit_cost,
+                   "tier-2 miss cost must be >= the hit cost");
+  if (policy.kind == PolicyKind::kLruAssoc) {
+    CADAPT_CHECK_MSG(policy.ways >= 1, "assoc policy needs ways >= 1");
+  } else {
+    CADAPT_CHECK_MSG(policy.ways == 0,
+                     "ways is only meaningful for the assoc policy");
+  }
+}
+
+}  // namespace cadapt::paging

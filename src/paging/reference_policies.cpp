@@ -1,0 +1,437 @@
+#include "paging/reference_policies.hpp"
+
+#include <algorithm>
+
+#include "paging/reference_lru.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::paging {
+
+namespace {
+
+template <typename Vec, typename Pred>
+std::size_t find_index(const Vec& vec, Pred pred) {
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    if (pred(vec[i])) return i;
+  }
+  return vec.size();
+}
+
+/// ReferenceLruCache behind the CachePolicy interface, mirroring stats
+/// like the production LruPolicy adapter.
+class ReferenceLruPolicy final : public CachePolicy {
+ public:
+  explicit ReferenceLruPolicy(std::uint64_t capacity_blocks)
+      : cache_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override {
+    const LruCache::AccessResult r = cache_.access_tracking(block);
+    stats_ = cache_.stats();
+    return r;
+  }
+  void set_capacity(std::uint64_t capacity_blocks) override {
+    cache_.set_capacity(capacity_blocks);
+    stats_ = cache_.stats();
+  }
+  void clear() override { cache_.clear(); }
+  std::uint64_t capacity() const override { return cache_.capacity(); }
+  std::uint64_t size() const override { return cache_.size(); }
+  bool contains(BlockId block) const override {
+    return cache_.contains(block);
+  }
+
+ private:
+  ReferenceLruCache cache_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- CLOCK
+
+bool ReferenceClockCache::contains(BlockId block) const {
+  return find_index(frames_, [&](const auto& f) { return f.first == block; }) <
+         frames_.size();
+}
+
+void ReferenceClockCache::sweep() {
+  while (frames_[hand_].second) {
+    frames_[hand_].second = false;
+    hand_ = (hand_ + 1) % frames_.size();
+  }
+}
+
+LruCache::AccessResult ReferenceClockCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const std::size_t i =
+      find_index(frames_, [&](const auto& f) { return f.first == block; });
+  if (i < frames_.size()) {
+    frames_[i].second = true;
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return r;
+  if (frames_.size() < capacity_) {
+    frames_.emplace_back(block, false);
+    return r;
+  }
+  sweep();
+  r.evicted = true;
+  r.victim = frames_[hand_].first;
+  ++stats_.evictions;
+  frames_[hand_] = {block, false};
+  hand_ = (hand_ + 1) % frames_.size();
+  return r;
+}
+
+void ReferenceClockCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  while (frames_.size() > capacity_) {
+    sweep();
+    frames_.erase(frames_.begin() + static_cast<std::ptrdiff_t>(hand_));
+    ++stats_.evictions;
+    if (hand_ >= frames_.size()) hand_ = 0;
+  }
+}
+
+void ReferenceClockCache::clear() {
+  frames_.clear();
+  hand_ = 0;
+}
+
+// ------------------------------------------------------------------ ARC
+
+bool ReferenceArcCache::contains(BlockId block) const {
+  const auto is = [&](BlockId b) { return b == block; };
+  return find_index(t1_, is) < t1_.size() || find_index(t2_, is) < t2_.size();
+}
+
+void ReferenceArcCache::replace(bool in_b2, LruCache::AccessResult* r) {
+  const bool from_t1 =
+      !t1_.empty() && (t1_.size() > p_ || (in_b2 && t1_.size() == p_));
+  std::vector<BlockId>& from = from_t1 ? t1_ : (!t2_.empty() ? t2_ : t1_);
+  if (from.empty()) return;
+  std::vector<BlockId>& ghost = (&from == &t1_) ? b1_ : b2_;
+  const BlockId victim = from.back();
+  from.pop_back();
+  ghost.insert(ghost.begin(), victim);
+  ++stats_.evictions;
+  if (r != nullptr && !r->evicted) {
+    r->evicted = true;
+    r->victim = victim;
+  }
+}
+
+LruCache::AccessResult ReferenceArcCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto is = [&](BlockId b) { return b == block; };
+  std::size_t i = find_index(t1_, is);
+  if (i < t1_.size()) {
+    t1_.erase(t1_.begin() + static_cast<std::ptrdiff_t>(i));
+    t2_.insert(t2_.begin(), block);
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  i = find_index(t2_, is);
+  if (i < t2_.size()) {
+    t2_.erase(t2_.begin() + static_cast<std::ptrdiff_t>(i));
+    t2_.insert(t2_.begin(), block);
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return r;
+  i = find_index(b1_, is);
+  if (i < b1_.size()) {
+    p_ = std::min(capacity_,
+                  p_ + std::max<std::uint64_t>(1, b2_.size() / b1_.size()));
+    replace(false, &r);
+    b1_.erase(b1_.begin() + static_cast<std::ptrdiff_t>(
+                                find_index(b1_, is)));
+    t2_.insert(t2_.begin(), block);
+    return r;
+  }
+  i = find_index(b2_, is);
+  if (i < b2_.size()) {
+    const std::uint64_t delta =
+        std::max<std::uint64_t>(1, b1_.size() / b2_.size());
+    p_ = p_ >= delta ? p_ - delta : 0;
+    replace(true, &r);
+    b2_.erase(b2_.begin() + static_cast<std::ptrdiff_t>(
+                                find_index(b2_, is)));
+    t2_.insert(t2_.begin(), block);
+    return r;
+  }
+  const std::uint64_t l1 = t1_.size() + b1_.size();
+  if (l1 == capacity_) {
+    if (!b1_.empty()) {
+      b1_.pop_back();
+      replace(false, &r);
+    } else {
+      r.evicted = true;
+      r.victim = t1_.back();
+      t1_.pop_back();
+      ++stats_.evictions;
+    }
+  } else {
+    const std::uint64_t all = t1_.size() + t2_.size() + b1_.size() + b2_.size();
+    if (all >= capacity_) {
+      if (all == 2 * capacity_) {
+        if (b2_.empty()) {
+          b1_.pop_back();
+        } else {
+          b2_.pop_back();
+        }
+      }
+      replace(false, &r);
+    }
+  }
+  t1_.insert(t1_.begin(), block);
+  return r;
+}
+
+void ReferenceArcCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  if (capacity_ == 0) {
+    stats_.evictions += t1_.size() + t2_.size();
+    clear();
+    return;
+  }
+  p_ = std::min(p_, capacity_);
+  while (t1_.size() + t2_.size() > capacity_) replace(false, nullptr);
+  while (!b1_.empty() && t1_.size() + b1_.size() > capacity_) b1_.pop_back();
+  while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * capacity_) {
+    if (b2_.empty()) {
+      b1_.pop_back();
+    } else {
+      b2_.pop_back();
+    }
+  }
+}
+
+void ReferenceArcCache::clear() {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  p_ = 0;
+}
+
+// ------------------------------------------------------------------ CAR
+
+bool ReferenceCarCache::contains(BlockId block) const {
+  const auto is = [&](const Frame& f) { return f.key == block; };
+  return find_index(t1_, is) < t1_.size() || find_index(t2_, is) < t2_.size();
+}
+
+void ReferenceCarCache::replace(LruCache::AccessResult* r) {
+  while (true) {
+    if (t1_.empty() && t2_.empty()) return;
+    if (!t1_.empty() && t1_.size() >= std::max<std::uint64_t>(1, p_)) {
+      Frame head = t1_.front();
+      t1_.erase(t1_.begin());
+      if (!head.ref) {
+        b1_.insert(b1_.begin(), head.key);
+        ++stats_.evictions;
+        if (r != nullptr && !r->evicted) {
+          r->evicted = true;
+          r->victim = head.key;
+        }
+        return;
+      }
+      head.ref = false;
+      t2_.push_back(head);
+    } else {
+      Frame head = t2_.front();
+      t2_.erase(t2_.begin());
+      if (!head.ref) {
+        b2_.insert(b2_.begin(), head.key);
+        ++stats_.evictions;
+        if (r != nullptr && !r->evicted) {
+          r->evicted = true;
+          r->victim = head.key;
+        }
+        return;
+      }
+      head.ref = false;
+      t2_.push_back(head);
+    }
+  }
+}
+
+LruCache::AccessResult ReferenceCarCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto is_frame = [&](const Frame& f) { return f.key == block; };
+  const auto is = [&](BlockId b) { return b == block; };
+  std::size_t i = find_index(t1_, is_frame);
+  if (i < t1_.size()) {
+    t1_[i].ref = true;
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  i = find_index(t2_, is_frame);
+  if (i < t2_.size()) {
+    t2_[i].ref = true;
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return r;
+  const std::size_t g1 = find_index(b1_, is);
+  const std::size_t g2 = find_index(b2_, is);
+  const bool in_b1 = g1 < b1_.size();
+  const bool in_b2 = g2 < b2_.size();
+  if (t1_.size() + t2_.size() == capacity_) replace(&r);
+  if (!in_b1 && !in_b2) {
+    while (!b1_.empty() && t1_.size() + b1_.size() >= capacity_) {
+      b1_.pop_back();
+    }
+    while ((!b1_.empty() || !b2_.empty()) && total() >= 2 * capacity_) {
+      if (b2_.empty()) {
+        b1_.pop_back();
+      } else {
+        b2_.pop_back();
+      }
+    }
+    t1_.push_back({block, false});
+    return r;
+  }
+  if (in_b1) {
+    p_ = std::min(capacity_,
+                  p_ + std::max<std::uint64_t>(1, b2_.size() / b1_.size()));
+    b1_.erase(b1_.begin() + static_cast<std::ptrdiff_t>(find_index(b1_, is)));
+  } else {
+    const std::uint64_t delta =
+        std::max<std::uint64_t>(1, b1_.size() / b2_.size());
+    p_ = p_ >= delta ? p_ - delta : 0;
+    b2_.erase(b2_.begin() + static_cast<std::ptrdiff_t>(find_index(b2_, is)));
+  }
+  t2_.push_back({block, false});
+  return r;
+}
+
+void ReferenceCarCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  if (capacity_ == 0) {
+    stats_.evictions += t1_.size() + t2_.size();
+    clear();
+    return;
+  }
+  p_ = std::min(p_, capacity_);
+  while (t1_.size() + t2_.size() > capacity_) replace(nullptr);
+  while (!b1_.empty() && t1_.size() + b1_.size() > capacity_) b1_.pop_back();
+  while ((!b1_.empty() || !b2_.empty()) && total() > 2 * capacity_) {
+    if (b2_.empty()) {
+      b1_.pop_back();
+    } else {
+      b2_.pop_back();
+    }
+  }
+}
+
+void ReferenceCarCache::clear() {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  p_ = 0;
+}
+
+// ------------------------------------------------------------ assoc LRU
+
+ReferenceAssocLruCache::ReferenceAssocLruCache(std::uint64_t capacity_blocks,
+                                               std::uint64_t ways)
+    : capacity_(capacity_blocks), ways_(ways) {
+  CADAPT_CHECK_MSG(ways_ >= 1, "assoc LRU needs ways >= 1");
+}
+
+std::uint64_t ReferenceAssocLruCache::set_cap(std::uint64_t set) const {
+  const std::uint64_t sets = num_sets();
+  return capacity_ / sets + (set < capacity_ % sets ? 1 : 0);
+}
+
+bool ReferenceAssocLruCache::contains(BlockId block) const {
+  return std::find(order_.begin(), order_.end(), block) != order_.end();
+}
+
+LruCache::AccessResult ReferenceAssocLruCache::access_tracking(BlockId block) {
+  LruCache::AccessResult r;
+  const auto it = std::find(order_.begin(), order_.end(), block);
+  if (it != order_.end()) {
+    order_.erase(it);
+    order_.insert(order_.begin(), block);
+    r.hit = true;
+    ++stats_.hits;
+    return r;
+  }
+  ++stats_.misses;
+  const std::uint64_t sets = num_sets();
+  if (sets == 0) return r;
+  const std::uint64_t s = block % sets;
+  std::uint64_t occupancy = 0;
+  for (const BlockId b : order_) {
+    if (b % sets == s) ++occupancy;
+  }
+  if (occupancy >= set_cap(s)) {
+    // Victim: the least recent member of the set (scan from the back).
+    for (std::size_t i = order_.size(); i-- > 0;) {
+      if (order_[i] % sets == s) {
+        r.evicted = true;
+        r.victim = order_[i];
+        ++stats_.evictions;
+        order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  order_.insert(order_.begin(), block);
+  return r;
+}
+
+void ReferenceAssocLruCache::set_capacity(std::uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  const std::uint64_t sets = num_sets();
+  std::vector<BlockId> kept;
+  std::vector<std::uint64_t> occupancy(
+      static_cast<std::size_t>(sets), 0);
+  for (const BlockId block : order_) {  // MRU-first redistribution
+    if (sets == 0) {
+      ++stats_.evictions;
+      continue;
+    }
+    const std::uint64_t s = block % sets;
+    if (occupancy[static_cast<std::size_t>(s)] >= set_cap(s)) {
+      ++stats_.evictions;
+      continue;
+    }
+    ++occupancy[static_cast<std::size_t>(s)];
+    kept.push_back(block);
+  }
+  order_ = std::move(kept);
+}
+
+std::unique_ptr<CachePolicy> make_reference_policy(
+    const PolicySpec& spec, std::uint64_t capacity_blocks) {
+  switch (spec.kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<ReferenceLruPolicy>(capacity_blocks);
+    case PolicyKind::kClock:
+      return std::make_unique<ReferenceClockCache>(capacity_blocks);
+    case PolicyKind::kArc:
+      return std::make_unique<ReferenceArcCache>(capacity_blocks);
+    case PolicyKind::kCar:
+      return std::make_unique<ReferenceCarCache>(capacity_blocks);
+    case PolicyKind::kLruAssoc:
+      CADAPT_CHECK(spec.ways >= 1);
+      return std::make_unique<ReferenceAssocLruCache>(capacity_blocks,
+                                                      spec.ways);
+  }
+  throw util::CheckError("unreachable policy kind");
+}
+
+}  // namespace cadapt::paging

@@ -1,0 +1,130 @@
+// Deliberately naive oracle simulators for the replacement-policy zoo,
+// in the spirit of reference_lru.hpp: each policy re-implemented from
+// its published description with flat vectors and linear scans — no
+// index maps, no intrusive lists, no shared code with the production
+// caches in clock_cache/arc_cache/car_cache/assoc_cache. The randomized
+// differential suite (tests/test_paging_policies.cpp) holds each
+// production policy to its oracle access for access: identical hit
+// flags, victims, sizes, and Stats across seeded access/resize/clear
+// schedules. Nothing outside tests should use these classes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "paging/policy.hpp"
+
+namespace cadapt::paging {
+
+/// CLOCK over a plain vector in clock order; the hand is an index and
+/// membership is a linear scan.
+class ReferenceClockCache final : public CachePolicy {
+ public:
+  explicit ReferenceClockCache(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return frames_.size(); }
+  bool contains(BlockId block) const override;
+
+ private:
+  void sweep();
+
+  std::uint64_t capacity_;
+  std::size_t hand_ = 0;
+  std::vector<std::pair<BlockId, bool>> frames_;  ///< (key, ref bit)
+};
+
+/// ARC with the four lists as vectors (index 0 = MRU, back = LRU) and
+/// linear membership scans.
+class ReferenceArcCache final : public CachePolicy {
+ public:
+  explicit ReferenceArcCache(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return t1_.size() + t2_.size(); }
+  bool contains(BlockId block) const override;
+
+  std::uint64_t target_p() const { return p_; }
+
+ private:
+  void replace(bool in_b2, LruCache::AccessResult* r);
+
+  std::uint64_t capacity_;
+  std::uint64_t p_ = 0;
+  std::vector<BlockId> t1_, t2_, b1_, b2_;  ///< index 0 = MRU
+};
+
+/// CAR with the resident clocks as vectors (index 0 = head / oldest,
+/// push_back = tail) and the ghosts as MRU-first vectors.
+class ReferenceCarCache final : public CachePolicy {
+ public:
+  explicit ReferenceCarCache(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override;
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return t1_.size() + t2_.size(); }
+  bool contains(BlockId block) const override;
+
+  std::uint64_t target_p() const { return p_; }
+
+ private:
+  struct Frame {
+    BlockId key = 0;
+    bool ref = false;
+  };
+
+  void replace(LruCache::AccessResult* r);
+  std::uint64_t total() const {
+    return t1_.size() + t2_.size() + b1_.size() + b2_.size();
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t p_ = 0;
+  std::vector<Frame> t1_, t2_;     ///< index 0 = clock head (oldest)
+  std::vector<BlockId> b1_, b2_;   ///< index 0 = MRU
+};
+
+/// Set-associative LRU as a single MRU-first vector: the set geometry
+/// is recomputed from (capacity, ways) on demand, occupancy is counted
+/// by scanning, and the victim is the last (least recent) member of the
+/// full set.
+class ReferenceAssocLruCache final : public CachePolicy {
+ public:
+  ReferenceAssocLruCache(std::uint64_t capacity_blocks, std::uint64_t ways);
+
+  LruCache::AccessResult access_tracking(BlockId block) override;
+  void set_capacity(std::uint64_t capacity_blocks) override;
+  void clear() override { order_.clear(); }
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t size() const override { return order_.size(); }
+  bool contains(BlockId block) const override;
+
+ private:
+  std::uint64_t num_sets() const {
+    return capacity_ == 0 ? 0 : (capacity_ + ways_ - 1) / ways_;
+  }
+  std::uint64_t set_cap(std::uint64_t set) const;
+
+  std::uint64_t capacity_;
+  std::uint64_t ways_;
+  std::vector<BlockId> order_;  ///< index 0 = MRU
+};
+
+/// Build the oracle matching `spec` (LRU wraps ReferenceLruCache).
+std::unique_ptr<CachePolicy> make_reference_policy(
+    const PolicySpec& spec, std::uint64_t capacity_blocks);
+
+}  // namespace cadapt::paging

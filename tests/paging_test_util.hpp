@@ -1,0 +1,60 @@
+// Shared helpers for the paging differential suites
+// (tests/test_paging_fast.cpp, tests/test_paging_policies.cpp): Stats
+// and machine counter-identity checks used by every layer of the
+// bit-identity contract, extracted so the fast-path suite and the
+// policy-zoo suite compare machines with the same assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "engine/montecarlo.hpp"
+#include "paging/ca_machine.hpp"
+#include "paging/lru_cache.hpp"
+
+namespace cadapt {
+
+inline void expect_stats_eq(const paging::LruCache::Stats& a,
+                            const paging::LruCache::Stats& b) {
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.evictions, b.evictions);
+}
+
+/// Counters shared by CaMachine and the naive oracle machines (which
+/// expose the same accessor names without a common base).
+template <typename MachineA, typename MachineB>
+void expect_core_counters_eq(const MachineA& a, const MachineB& b) {
+  EXPECT_EQ(a.accesses(), b.accesses());
+  EXPECT_EQ(a.misses(), b.misses());
+  EXPECT_EQ(a.boxes_started(), b.boxes_started());
+  EXPECT_EQ(a.current_box_size(), b.current_box_size());
+  expect_stats_eq(a.cache_stats(), b.cache_stats());
+}
+
+/// Full CaMachine counter identity: everything the machine exposes,
+/// including the box log (cap-respecting drops included) and the tier-2
+/// counters of the two-tier configuration.
+inline void expect_ca_machines_eq(const paging::CaMachine& a,
+                                  const paging::CaMachine& b) {
+  expect_core_counters_eq(a, b);
+  EXPECT_EQ(a.misses_in_current_box(), b.misses_in_current_box());
+  EXPECT_EQ(a.box_log(), b.box_log());
+  EXPECT_EQ(a.box_log_dropped(), b.box_log_dropped());
+  expect_stats_eq(a.tier2_stats(), b.tier2_stats());
+}
+
+/// Monte-Carlo summary identity for the cell-level bit-identity tests
+/// (same campaign across thread pools / dispatch modes).
+inline void expect_summaries_eq(const engine::McSummary& a,
+                                const engine::McSummary& b) {
+  EXPECT_EQ(a.ratio.count(), b.ratio.count());
+  EXPECT_EQ(a.ratio.mean(), b.ratio.mean());
+  EXPECT_EQ(a.unit_ratio.mean(), b.unit_ratio.mean());
+  EXPECT_EQ(a.boxes.mean(), b.boxes.mean());
+  EXPECT_EQ(a.ratio_samples, b.ratio_samples);
+  EXPECT_EQ(a.unit_ratio_samples, b.unit_ratio_samples);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.incomplete, b.incomplete);
+}
+
+}  // namespace cadapt

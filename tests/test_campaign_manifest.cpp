@@ -231,6 +231,116 @@ TEST(Plan, ExpandsSortCellsSeededByIndex) {
   }
 }
 
+TEST(Manifest, ParsesPoliciesAndTiers) {
+  const Manifest m = parse(
+      "name = p\nworkload = sort\nsorts = funnel\nprofiles = const:64\n"
+      "policies = lru clock arc car assoc:4\n"
+      "tiers = 256:1:4:1:2\n"
+      "keys = 2048\ntrials = 4\n");
+  EXPECT_EQ(m.policies, (std::vector<std::string>{"lru", "clock", "arc",
+                                                  "car", "assoc:4"}));
+  EXPECT_TRUE(m.tiers.set);
+  EXPECT_EQ(m.tiers.tier2_blocks, 256u);
+  EXPECT_EQ(m.tiers.tier2_hit_cost, 1u);
+  EXPECT_EQ(m.tiers.tier2_miss_cost, 4u);
+  EXPECT_EQ(m.tiers.tier1_num, 1u);
+  EXPECT_EQ(m.tiers.tier1_den, 2u);
+  EXPECT_EQ(m.tiers.token(), "256:1:4:1:2");
+
+  // The three-field form leaves tier 1 at full share.
+  const Manifest short_form = parse(
+      "name = p\nworkload = sort\nsorts = funnel\nprofiles = const:64\n"
+      "tiers = 128:2:5\nkeys = 2048\n");
+  EXPECT_EQ(short_form.tiers.tier1_num, short_form.tiers.tier1_den);
+  EXPECT_EQ(short_form.tiers.token(), "128:2:5");
+}
+
+TEST(Manifest, RejectsBadPoliciesAndTiers) {
+  const std::string head =
+      "name = p\nworkload = sort\nsorts = funnel\nprofiles = const:64\n";
+  // unknown policy token (line number carried)
+  try {
+    parse(head + "policies = lru banana\n");
+    FAIL() << "bad policy accepted";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos) << e.what();
+  }
+  // assoc without ways / zero ways
+  EXPECT_THROW(parse(head + "policies = assoc\n"), util::ParseError);
+  EXPECT_THROW(parse(head + "policies = assoc:0\n"), util::ParseError);
+  // malformed tiers shapes
+  EXPECT_THROW(parse(head + "tiers = 256\n"), util::ParseError);
+  EXPECT_THROW(parse(head + "tiers = 256:1\n"), util::ParseError);
+  EXPECT_THROW(parse(head + "tiers = 256:1:4:1\n"), util::ParseError);
+  EXPECT_THROW(parse(head + "tiers = 256:0:4\n"), util::ParseError);
+  EXPECT_THROW(parse(head + "tiers = 256:5:2\n"), util::ParseError);  // miss<hit
+  EXPECT_THROW(parse(head + "tiers = 256:1:4:3:2\n"), util::ParseError);
+  // a no-op tiers spec (no tier 2, full share) is rejected, not silent
+  EXPECT_THROW(parse(head + "tiers = 0:1:4:1:1\n"), util::ParseError);
+  // both keys require the sort workload
+  EXPECT_THROW(parse("name = x\nalgos = 4:2:1\nprofiles = worst\nk = 2\n"
+                     "policies = lru\n"),
+               util::ParseError);
+  EXPECT_THROW(parse("name = x\nalgos = 4:2:1\nprofiles = worst\nk = 2\n"
+                     "tiers = 256:1:4\n"),
+               util::ParseError);
+}
+
+TEST(Manifest, PoliciesAndTiersEnterTheFingerprintOnlyWhenSet) {
+  const std::string head =
+      "name = p\nworkload = sort\nsorts = funnel\nprofiles = const:64\n"
+      "keys = 2048\n";
+  const Manifest plain = parse(head);
+  // A manifest without the new keys fingerprints exactly as before the
+  // policy axis existed: historical config_hashes stay valid.
+  EXPECT_EQ(campaign::manifest_fingerprint(plain).find("policies"),
+            std::string::npos);
+  EXPECT_EQ(campaign::manifest_fingerprint(plain).find("tiers"),
+            std::string::npos);
+
+  const Manifest with_policy = parse(head + "policies = clock\n");
+  const Manifest with_tiers = parse(head + "tiers = 256:1:4\n");
+  EXPECT_NE(campaign::manifest_hash(plain), campaign::manifest_hash(with_policy));
+  EXPECT_NE(campaign::manifest_hash(plain), campaign::manifest_hash(with_tiers));
+  EXPECT_NE(campaign::manifest_hash(with_policy),
+            campaign::manifest_hash(with_tiers));
+
+  // Canonicality: the policy list is order-sensitive (it orders cells)
+  // but whitespace-insensitive like every other key.
+  const Manifest a = parse(head + "policies = clock arc\n");
+  const Manifest b = parse(head + "policies =   clock   arc\n");
+  const Manifest c = parse(head + "policies = arc clock\n");
+  EXPECT_EQ(campaign::manifest_fingerprint(a), campaign::manifest_fingerprint(b));
+  EXPECT_NE(campaign::manifest_hash(a), campaign::manifest_hash(c));
+}
+
+TEST(Plan, ExpandsPolicyAxisInnermostWithStableSeeds) {
+  const Manifest m = parse(
+      "name = p\nworkload = sort\nsorts = funnel merge2\n"
+      "profiles = const:64\npolicies = lru clock\nkeys = 1024\n"
+      "trials = 3\nseed = 20\n");
+  const Plan plan = campaign::expand_plan(m);
+  ASSERT_EQ(plan.cells.size(), 4u);  // 2 sorts x 1 profile x 2 policies
+  EXPECT_EQ(plan.cells[0].sort, "funnel");
+  EXPECT_EQ(plan.cells[0].policy, "lru");
+  EXPECT_EQ(plan.cells[1].policy, "clock");
+  EXPECT_EQ(plan.cells[2].sort, "merge2");
+  EXPECT_EQ(plan.cells[2].policy, "lru");
+  for (const campaign::Cell& cell : plan.cells) {
+    EXPECT_EQ(cell.seed, 20u + cell.index);
+  }
+  // No policies key -> one cell per (sort, profile) with no policy tag,
+  // exactly the historical grid.
+  const Manifest plain = parse(
+      "name = p\nworkload = sort\nsorts = funnel merge2\n"
+      "profiles = const:64\nkeys = 1024\ntrials = 3\n");
+  const Plan plain_plan = campaign::expand_plan(plain);
+  ASSERT_EQ(plain_plan.cells.size(), 2u);
+  for (const campaign::Cell& cell : plain_plan.cells) {
+    EXPECT_TRUE(cell.policy.empty());
+  }
+}
+
 TEST(Plan, ShardsRoundRobinAndCoverTheGrid) {
   const Manifest m = parse(
       "name = demo\nalgos = 8:4:1\nprofiles = worst shuffled shifted\n"

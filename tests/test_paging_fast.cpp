@@ -20,7 +20,9 @@
 #include "paging/ca_machine.hpp"
 #include "paging/lru_cache.hpp"
 #include "paging/machine.hpp"
+#include "paging/policy.hpp"
 #include "paging/reference_lru.hpp"
+#include "paging_test_util.hpp"
 #include "profile/box_source.hpp"
 #include "util/random.hpp"
 #include "util/thread_pool.hpp"
@@ -31,16 +33,12 @@ namespace {
 using paging::BlockId;
 using paging::BlockRunRecorder;
 using paging::BlockRunTrace;
+using paging::CaConfig;
 using paging::CaMachine;
 using paging::LruCache;
 using paging::ReferenceCaMachine;
 using paging::ReferenceLruCache;
-
-void expect_stats_eq(const LruCache::Stats& a, const LruCache::Stats& b) {
-  EXPECT_EQ(a.hits, b.hits);
-  EXPECT_EQ(a.misses, b.misses);
-  EXPECT_EQ(a.evictions, b.evictions);
-}
+using paging::ReplayPath;
 
 // ---- Layer 1: flat LruCache vs the node-based reference ----
 
@@ -192,10 +190,13 @@ TEST(TraceReplayDifferential, WalkVsGenericVsDirect) {
 
     CaMachine walk(random_boxes(seed), 8, /*record_boxes=*/true);
     walk.replay_trace(trace);
+    EXPECT_EQ(walk.last_replay_path(), ReplayPath::kFastWalk);
 
     CaMachine generic(random_boxes(seed), 8, /*record_boxes=*/true);
+    EXPECT_EQ(generic.last_replay_path(), ReplayPath::kNone);
     generic.set_per_access(true);
     generic.replay_trace(trace);  // per-access forces the generic path
+    EXPECT_EQ(generic.last_replay_path(), ReplayPath::kGenericPerAccess);
     EXPECT_EQ(generic.fast_hits(), 0u);
 
     CaMachine direct(random_boxes(seed), 8, /*record_boxes=*/true);
@@ -234,11 +235,13 @@ TEST(TraceReplayDifferential, UnindexedTraceFallsBack) {
 
   CaMachine fallback(random_boxes(17), 8);
   fallback.replay_trace(trace);
+  EXPECT_EQ(fallback.last_replay_path(), ReplayPath::kGenericUnindexed);
 
   trace.ensure_replay_index();
   ASSERT_TRUE(trace.has_replay_index());
   CaMachine walk(random_boxes(17), 8);
   walk.replay_trace(trace);
+  EXPECT_EQ(walk.last_replay_path(), ReplayPath::kFastWalk);
 
   EXPECT_EQ(walk.accesses(), fallback.accesses());
   EXPECT_EQ(walk.misses(), fallback.misses());
@@ -275,6 +278,7 @@ TEST(TraceReplayDifferential, UsedMachineFallsBack) {
   CaMachine replayed(random_boxes(31), 8);
   replayed.access(7 * 8);
   replayed.replay_trace(trace);
+  EXPECT_EQ(replayed.last_replay_path(), ReplayPath::kGenericUsedMachine);
 
   CaMachine direct(random_boxes(31), 8);
   direct.access(7 * 8);
@@ -296,6 +300,7 @@ TEST(TraceReplayDifferential, RecorderForcesPerAccessReplay) {
   CaMachine replayed(random_boxes(43), 8, /*record_boxes=*/false,
                      &rec_replay);
   replayed.replay_trace(trace);
+  EXPECT_EQ(replayed.last_replay_path(), ReplayPath::kGenericRecorder);
 
   obs::PagingRecorder rec_direct;
   CaMachine direct(random_boxes(43), 8, /*record_boxes=*/false, &rec_direct);
@@ -325,6 +330,71 @@ TEST(TraceReplayDifferential, BoxLogCapMatches) {
   EXPECT_EQ(walk.box_log(), direct.box_log());
 }
 
+// A non-default machine config (docs/PAGING.md) invalidates the fast
+// walk's never-evict argument: replay_trace must detect it, report
+// kGenericConfig, and match a direct run of the expanded stream counter
+// for counter — for a non-LRU policy, a scaled tier-1 share, and a
+// two-tier machine.
+TEST(TraceReplayDifferential, PolicyConfigFallsBack) {
+  const BlockRunTrace trace = random_trace(61, 3000);
+  ASSERT_TRUE(trace.has_replay_index());
+  CaConfig clock_config;
+  clock_config.policy = paging::parse_policy_token("clock");
+  CaConfig scaled_config;
+  scaled_config.tier1_num = 1;
+  scaled_config.tier1_den = 2;
+  CaConfig tiered_config;
+  tiered_config.tier2_blocks = 64;
+  for (const CaConfig& config : {clock_config, scaled_config, tiered_config}) {
+    ASSERT_FALSE(config.plain_lru());
+    CaMachine replayed(random_boxes(61), 8, /*record_boxes=*/true, nullptr,
+                       config);
+    replayed.replay_trace(trace);
+    EXPECT_EQ(replayed.last_replay_path(), ReplayPath::kGenericConfig);
+
+    CaMachine direct(random_boxes(61), 8, /*record_boxes=*/true, nullptr,
+                     config);
+    for (const BlockId block : trace.expand()) direct.access(block * 8);
+    expect_ca_machines_eq(replayed, direct);
+  }
+}
+
+// The default config must keep the fast walk — the config fallback
+// check is first in precedence, so pin that it does not misfire.
+TEST(TraceReplayDifferential, DefaultConfigKeepsFastWalk) {
+  const BlockRunTrace trace = random_trace(67, 1000);
+  CaMachine walk(random_boxes(67), 8, /*record_boxes=*/false, nullptr,
+                 CaConfig{});
+  walk.replay_trace(trace);
+  EXPECT_EQ(walk.last_replay_path(), ReplayPath::kFastWalk);
+}
+
+// A box hook must see real cache state (fault injection), so it too
+// refuses the walk.
+TEST(TraceReplayDifferential, BoxHookFallsBack) {
+  const BlockRunTrace trace = random_trace(71, 1000);
+  CaMachine hooked(random_boxes(71), 8);
+  hooked.set_box_hook([](std::uint64_t, std::uint64_t) {});
+  hooked.replay_trace(trace);
+  EXPECT_EQ(hooked.last_replay_path(), ReplayPath::kGenericBoxHook);
+
+  CaMachine direct(random_boxes(71), 8);
+  for (const BlockId block : trace.expand()) direct.access(block * 8);
+  EXPECT_EQ(hooked.misses(), direct.misses());
+  EXPECT_EQ(hooked.boxes_started(), direct.boxes_started());
+}
+
+// replay_path_name backs the CLI's fallback-reason diagnostics; keep
+// the strings stable.
+TEST(TraceReplayDifferential, ReplayPathNames) {
+  EXPECT_STREQ(paging::replay_path_name(ReplayPath::kNone), "none");
+  EXPECT_STREQ(paging::replay_path_name(ReplayPath::kFastWalk), "fast-walk");
+  EXPECT_STREQ(paging::replay_path_name(ReplayPath::kGenericConfig),
+               "generic:config");
+  EXPECT_STREQ(paging::replay_path_name(ReplayPath::kGenericUnindexed),
+               "generic:unindexed");
+}
+
 // ---- Cell-level bit identity through the campaign runner ----
 
 engine::McSummary run_cell_summary(bool capture, bool per_access,
@@ -347,18 +417,6 @@ engine::McSummary run_cell_summary(bool capture, bool per_access,
   mc.pool = &pool;
   return engine::run_monte_carlo_robust(
       mc, campaign::make_program_runner(cell, options));
-}
-
-void expect_summaries_eq(const engine::McSummary& a,
-                         const engine::McSummary& b) {
-  EXPECT_EQ(a.ratio.count(), b.ratio.count());
-  EXPECT_EQ(a.ratio.mean(), b.ratio.mean());
-  EXPECT_EQ(a.unit_ratio.mean(), b.unit_ratio.mean());
-  EXPECT_EQ(a.boxes.mean(), b.boxes.mean());
-  EXPECT_EQ(a.ratio_samples, b.ratio_samples);
-  EXPECT_EQ(a.unit_ratio_samples, b.unit_ratio_samples);
-  EXPECT_EQ(a.failed, b.failed);
-  EXPECT_EQ(a.incomplete, b.incomplete);
 }
 
 // Capture/replay is bit-identical to its per-access reference across

@@ -37,6 +37,7 @@
 #include "campaign/provenance.hpp"
 #include "campaign/report.hpp"
 #include "campaign/sweep.hpp"
+#include "paging/policy.hpp"
 #include "core/cadapt.hpp"
 #include "core/report.hpp"
 #include "obs/event.hpp"
@@ -96,7 +97,12 @@ commands:
               sawtooth:PEAK:CYCLES|mworst:A:B:N:SCALE, default const:64),
               --keys K --block B, --capture-trace (record the block-run
               trace once, replay per trial — docs/PERF.md),
-              --per-access (per-word reference dispatch; bit-identical)
+              --per-access (per-word reference dispatch; bit-identical),
+              --policy P (lru|clock|arc|car|assoc:W replacement policy,
+              default lru — docs/PAGING.md),
+              --tiers T2CAP:HIT:MISS[:NUM:DEN] (two-tier machine: tier-2
+              capacity + asymmetric costs, optional tier-1 share). Both
+              also apply to trace --sort
   sweep       declarative campaign from a manifest file (docs/SWEEPS.md):
               cadapt sweep <manifest> [--jobs J] [--out F]
               [--shards S --shard-index I] [--checkpoint F [--resume]]
@@ -195,9 +201,20 @@ ProgramArgs program_args_from(const util::ArgParser& args) {
   pa.cell.sort = args.get_string("sort", "");
   const std::string profile_token =
       args.get_string("sort-profile", "const:64");
+  const std::string policy_token = args.get_string("policy", "");
+  const std::string tiers_token = args.get_string("tiers", "");
   try {
     campaign::validate_program_token(pa.cell.sort, 0);
     pa.cell.profile = campaign::parse_sort_profile_token(profile_token);
+    // Canonicalize the policy token so labels and checkpoint
+    // fingerprints are spelling-independent; "" keeps the historical
+    // plain-LRU machine (docs/PAGING.md).
+    if (!policy_token.empty()) {
+      pa.cell.policy = paging::parse_policy_token(policy_token).token();
+    }
+    if (!tiers_token.empty()) {
+      pa.options.tiers = campaign::parse_tiers_token(tiers_token);
+    }
   } catch (const util::ParseError& e) {
     throw util::UsageError(e.what());
   }
@@ -222,7 +239,12 @@ int run_trace_sort(const util::ArgParser& args) {
       pa.cell, pa.options, pa.cell.seed, recorder);
   std::cout << pa.cell.sort << " on " << pa.cell.profile.token
             << " boxes, keys = " << pa.options.keys << ", block = "
-            << pa.options.block << ", seed = " << pa.cell.seed << ":\n"
+            << pa.options.block << ", seed = " << pa.cell.seed;
+  if (!pa.cell.policy.empty()) std::cout << ", policy = " << pa.cell.policy;
+  if (pa.options.tiers.set) {
+    std::cout << ", tiers = " << pa.options.tiers.token();
+  }
+  std::cout << ":\n"
             << "  verified: " << (r.completed ? "yes" : "NO")
             << "  boxes: " << r.boxes << "  I/Os: "
             << util::format_double(r.ratio, 0) << "  I/Os per unit: "
@@ -270,6 +292,9 @@ int run_mc_sort(const util::ArgParser& args) {
       << " retries=" << (opts.max_attempts - 1) << " fault=" << plan.spec()
       << " fault_seed=" << (opts.faults != nullptr ? plan.seed() : 0);
   if (pa.options.capture_trace) cfg << " replay=1";
+  // Only-when-set, like replay=1: historical checkpoints keep resuming.
+  if (!pa.cell.policy.empty()) cfg << " policy=" << pa.cell.policy;
+  if (pa.options.tiers.set) cfg << " tiers=" << pa.options.tiers.token();
   opts.config = cfg.str();
 
   campaign::CellRunOptions cell_options = pa.options;
@@ -279,8 +304,12 @@ int run_mc_sort(const util::ArgParser& args) {
 
   std::cout << pa.cell.sort << " Monte-Carlo campaign, "
             << pa.cell.profile.token << " boxes, keys = " << pa.options.keys
-            << ", block = " << pa.options.block
-            << (pa.options.capture_trace ? ", trace replay" : "") << ":\n"
+            << ", block = " << pa.options.block;
+  if (!pa.cell.policy.empty()) std::cout << ", policy = " << pa.cell.policy;
+  if (pa.options.tiers.set) {
+    std::cout << ", tiers = " << pa.options.tiers.token();
+  }
+  std::cout << (pa.options.capture_trace ? ", trace replay" : "") << ":\n"
             << "  trials: " << s.trials_run << " of " << s.trials_requested
             << " (verified " << s.ratio.count() << ", incomplete "
             << s.incomplete << ", failed " << s.failed << ")\n"
@@ -548,7 +577,10 @@ usage:
 
 The manifest (key=value lines; see bench/manifests/ and docs/SWEEPS.md)
 expands into a deterministic cell grid: algorithm x profile x size, each
-cell running --trials seeded Monte-Carlo trials. The report written to
+cell running --trials seeded Monte-Carlo trials. Sort-workload manifests
+may add a replacement-policy axis (policies = lru clock arc car assoc:W)
+and a two-tier machine (tiers = T2CAP:HIT:MISS[:NUM:DEN]) — both enter
+the fingerprint only when present (docs/PAGING.md). The report written to
 --out is a pure function of the manifest — bit-identical across --jobs
 values, shard splits, and kill + --resume (pass --no-timing to zero the
 wall clocks too).
