@@ -61,6 +61,7 @@ engine::RobustTrialRunner ratio_runner(const Cell& cell,
   mc.max_boxes = options.max_boxes;
   mc.per_box = options.per_box;
   mc.faults = options.faults;
+  mc.cancel = options.cancel;
   switch (cell.profile.kind) {
     case ProfileKind::kWorst:
       return engine::make_regular_trial_runner(
@@ -286,6 +287,7 @@ engine::RobustTrialRunner make_program_runner(const Cell& cell,
   const bool per_access = options.per_access;
   const bool capture = options.capture_trace;
   const std::uint64_t cell_seed = cell.seed;
+  const robust::CancelToken* cancel = options.cancel;
   const paging::CaConfig config = ca_config_for(cell, options);
   const bool replayable =
       capture && prog.kind != ProgramSpec::Kind::kAdaptive;
@@ -300,14 +302,22 @@ engine::RobustTrialRunner make_program_runner(const Cell& cell,
   auto state = replayable ? std::make_shared<CaptureState>() : nullptr;
 
   return [spec, prog, keys, block, units, per_access, capture, cell_seed,
-          config, replayable, state](std::uint64_t trial_seed,
-                                     robust::FaultInjector&) {
+          cancel, config, replayable, state](std::uint64_t trial_seed,
+                                             robust::FaultInjector&) {
     const std::uint64_t input_seed = capture ? cell_seed : trial_seed;
     paging::CaMachine machine(
         std::make_unique<profile::CyclingSource>(
             sort_profile_factory(spec, trial_seed)),
         block, /*record_boxes=*/false, /*recorder=*/nullptr, config);
     if (per_access) machine.set_per_access(true);
+    if (cancel != nullptr) {
+      // Poll at every box boundary: the programs make no other calls the
+      // driver can intercept, so without this a stuck sort cell would
+      // outlive its deadline by an unbounded margin. The hook forces the
+      // generic replay path — paid only when a deadline is armed.
+      machine.set_box_hook(
+          [cancel](std::uint64_t, std::uint64_t) { cancel->poll(); });
+    }
 
     engine::RunResult r;
     if (replayable) {
@@ -389,6 +399,8 @@ std::vector<robust::TrialRecord> run_cell(const Cell& cell,
   trial_options.seed = cell.seed;
   trial_options.max_attempts = options.max_attempts;
   trial_options.faults = options.faults;
+  trial_options.cancel = options.cancel;
+  trial_options.backoff = options.backoff;
   std::vector<robust::TrialRecord> records;
   records.reserve(cell.trials);
   for (std::uint64_t trial = 0; trial < cell.trials; ++trial) {

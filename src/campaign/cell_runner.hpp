@@ -15,6 +15,8 @@
 #include "campaign/plan.hpp"
 #include "engine/montecarlo.hpp"
 #include "paging/policy.hpp"
+#include "robust/backoff.hpp"
+#include "robust/cancel.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/fault.hpp"
 
@@ -31,6 +33,16 @@ struct CellRunOptions {
   /// Seeded fault plan shared by every cell; null = no injection. Must
   /// outlive the call.
   const robust::FaultPlan* faults = nullptr;
+  /// Cooperative cancellation token (docs/ROBUSTNESS.md); null =
+  /// disabled. Polled at every attempt start, and — for sort cells —
+  /// at every box boundary via the machine's box hook, so a stuck cell
+  /// terminates within one box of the request. Installing the hook
+  /// forces the generic replay path (docs/PAGING.md), which is only paid
+  /// when a deadline is armed. Must outlive the call.
+  const robust::CancelToken* cancel = nullptr;
+  /// Seeded retry backoff shared by every cell; disabled by default
+  /// (attempt 0 never sleeps — bit-compatible with pre-backoff runs).
+  robust::BackoffPolicy backoff;
   bool timing = true;  ///< false zeroes duration_ns (bit-identical runs)
   // Sort workload:
   std::uint64_t keys = 16384;
@@ -77,7 +89,9 @@ engine::RunResult run_program_traced(const Cell& cell,
                                      obs::PagingRecorder& recorder);
 
 /// Run the cell's trials in trial order. Never throws for per-trial
-/// faults (contained in the records); throws only for malformed cells.
+/// faults (contained in the records); throws only for malformed cells
+/// and for robust::CancelledError when options.cancel fires (the sweep
+/// discards the interrupted cell wholesale — see run_sweep).
 std::vector<robust::TrialRecord> run_cell(const Cell& cell,
                                           const CellRunOptions& options);
 

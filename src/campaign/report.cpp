@@ -78,8 +78,15 @@ obs::Event header_event(const Report& report) {
       .u64("cells_total", report.cells_total)
       .u64("shards", report.shards)
       .u64("shard_index", report.shard_index)
-      .flag("truncated", report.truncated)
-      .u64("wall_ms", report.wall_ms);
+      .flag("truncated", report.truncated);
+  // Emitted only for truncated reports with a known reason, so reports
+  // written before the field existed stay byte-identical on regen.
+  if (report.truncated &&
+      report.truncate_reason != robust::CancelReason::kNone) {
+    event.str("truncate_reason",
+              robust::cancel_reason_name(report.truncate_reason));
+  }
+  event.u64("wall_ms", report.wall_ms);
   return event;
 }
 
@@ -279,12 +286,11 @@ void write_report(std::ostream& os, const Report& report) {
   }
 }
 
-void write_report_file(const std::string& path, const Report& report) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) throw util::IoError("cannot open report for writing: " + path);
+void write_report_file(const std::string& path, const Report& report,
+                       robust::IoBackend& io) {
+  std::ostringstream os;
   write_report(os, report);
-  os.flush();
-  if (!os) throw util::IoError("failed writing report: " + path);
+  robust::atomic_write_file(path, os.str(), io);
 }
 
 Report load_report(std::istream& is) {
@@ -311,6 +317,11 @@ Report load_report(std::istream& is) {
   report.shards = head.u64_or("shards", 1);
   report.shard_index = head.u64_or("shard_index", 0);
   report.truncated = head.flag_or("truncated", false);
+  if (const auto reason =
+          robust::parse_cancel_reason(head.str_or("truncate_reason", "none"));
+      reason.has_value()) {
+    report.truncate_reason = *reason;
+  }
   report.wall_ms = head.u64_or("wall_ms", 0);
 
   for (std::size_t i = 1; i < lines.size(); ++i) {
@@ -364,6 +375,11 @@ Report merge_reports(const std::vector<Report>& parts) {
           "cells_total mismatch)");
     }
     merged.truncated = merged.truncated || part.truncated;
+    // Keep the first shard's reason (shard order, deterministic) when
+    // several truncated for different causes.
+    if (merged.truncate_reason == robust::CancelReason::kNone) {
+      merged.truncate_reason = part.truncate_reason;
+    }
     merged.wall_ms += part.wall_ms;
     for (const CellResult& cell : part.cells) {
       const auto [it, inserted] = cells.emplace(cell.index, cell);

@@ -27,7 +27,9 @@
 #include "campaign/plan.hpp"
 #include "campaign/provenance.hpp"
 #include "obs/event.hpp"
+#include "robust/cancel.hpp"
 #include "robust/checkpoint.hpp"
+#include "robust/io.hpp"
 
 namespace cadapt::campaign {
 
@@ -87,7 +89,11 @@ struct Report {
   std::uint64_t cells_total = 0;  ///< full grid size (>= cells.size())
   std::uint64_t shards = 1;       ///< >1 marks a partial shard report
   std::uint64_t shard_index = 0;
-  bool truncated = false;  ///< a budget stopped the sweep early
+  bool truncated = false;  ///< a budget or cancellation stopped the sweep
+  /// Why the sweep truncated (kNone when truncated == false). Emitted to
+  /// the header only when truncated with a known reason, so historical
+  /// reports stay byte-identical.
+  robust::CancelReason truncate_reason = robust::CancelReason::kNone;
   std::uint64_t wall_ms = 0;
   Provenance env;
   std::vector<CellResult> cells;  ///< ascending index
@@ -117,7 +123,13 @@ obs::Event cell_event(const CellResult& cell);
 CellResult cell_from_event(const obs::Event& event, std::size_t line_no);
 
 void write_report(std::ostream& os, const Report& report);
-void write_report_file(const std::string& path, const Report& report);
+
+/// Durable commit: the report is rendered in memory and lands via
+/// robust::atomic_write_file (write temp, fsync, rename, fsync parent),
+/// so a crash or I/O failure mid-write never leaves a partial artifact
+/// at `path` — the previous report, if any, survives intact.
+void write_report_file(const std::string& path, const Report& report,
+                       robust::IoBackend& io = robust::system_io());
 
 /// Parse a report stream (torn-final-line tolerant, like every JSONL
 /// loader in the repo). Throws util::ParseError on malformed content.

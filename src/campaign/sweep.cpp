@@ -4,14 +4,17 @@
 #include <atomic>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "campaign/cell_runner.hpp"
+#include "robust/cancel.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/error.hpp"
+#include "robust/io.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,10 +43,27 @@ std::map<std::uint64_t, CellResult> load_sweep_checkpoint(
   const obs::Event& head = lines.front().event;
   const obs::Event expected = checkpoint_header(plan, options);
   if (head != expected) {
-    throw util::ParseError(
-        "sweep checkpoint '" + path +
-            "' does not match this campaign/sharding — refusing to resume",
-        lines.front().line_no);
+    // Name every mismatched field with both values: "does not match"
+    // alone sends the user diffing JSONL headers by hand.
+    std::string detail;
+    const auto note = [&detail, &head, &expected](const char* field) {
+      const std::uint64_t have = head.u64_or(field, 0);
+      const std::uint64_t want = expected.u64_or(field, 0);
+      if (have == want) return;
+      if (!detail.empty()) detail += ", ";
+      detail += std::string(field) + " is " + std::to_string(have) +
+                " but this campaign has " + std::to_string(want);
+    };
+    note("version");
+    note("config_hash");
+    note("shards");
+    note("shard_index");
+    note("cells");
+    std::string message = "sweep checkpoint '" + path +
+                          "' does not match this campaign/sharding";
+    if (!detail.empty()) message += " (its " + detail + ")";
+    message += " — refusing to resume";
+    throw util::ParseError(std::move(message), lines.front().line_no);
   }
   std::map<std::uint64_t, CellResult> finished;
   for (std::size_t i = 1; i < lines.size(); ++i) {
@@ -85,23 +105,35 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
     finished = load_sweep_checkpoint(options.checkpoint_path, plan, options);
   }
 
-  std::ofstream checkpoint;
+  robust::IoBackend& io =
+      options.io != nullptr ? *options.io : robust::system_io();
+  std::unique_ptr<robust::DurableAppender> checkpoint;
   if (!options.checkpoint_path.empty()) {
     // A kill can land mid-write; drop the torn tail before appending so
     // new records start on a fresh line.
     robust::truncate_torn_tail(options.checkpoint_path);
     const bool fresh = finished.empty() && !options.resume;
-    checkpoint.open(options.checkpoint_path,
-                    fresh ? std::ios::trunc : std::ios::app);
-    if (!checkpoint) {
-      throw util::IoError("cannot open sweep checkpoint: " +
-                          options.checkpoint_path);
+    checkpoint = std::make_unique<robust::DurableAppender>(
+        options.checkpoint_path, /*truncate=*/fresh, io);
+    if (checkpoint->initial_size() == 0) {
+      checkpoint->write(obs::to_jsonl(checkpoint_header(plan, options)));
+      checkpoint->write("\n");
+      checkpoint->commit();
     }
-    checkpoint.seekp(0, std::ios::end);
-    if (checkpoint.tellp() == std::streampos(0)) {
-      checkpoint << obs::to_jsonl(checkpoint_header(plan, options)) << '\n';
-      checkpoint.flush();
-    }
+  }
+
+  // Cancellation: an external token wins; otherwise an armed deadline
+  // gets an internal watchdog so a stuck cell is cancelled MID-cell
+  // (the BudgetTracker alone only notices at cell boundaries). Boxes
+  // budgets are never watchdog-driven — their truncation point must be
+  // a deterministic function of the work done, not of wall time.
+  robust::CancelToken internal_token;
+  std::optional<robust::Watchdog> watchdog;
+  const robust::CancelToken* cancel = options.cancel;
+  if (cancel == nullptr && options.budget.deadline_ns != 0) {
+    watchdog.emplace(internal_token, options.budget.deadline_ns,
+                     options.clock);
+    cancel = &internal_token;
   }
 
   CellRunOptions cell_options = cell_options_from(plan.manifest);
@@ -109,44 +141,72 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
   cell_options.per_access = options.per_access;
   cell_options.max_attempts = options.max_attempts;
   cell_options.faults = options.faults;
+  cell_options.cancel = cancel;
+  cell_options.backoff = options.backoff;
   cell_options.timing = options.timing;
 
   robust::BudgetTracker tracker(options.budget, options.clock);
   std::vector<std::optional<CellResult>> results(mine.size());
   std::atomic<bool> truncated{false};
+  std::atomic<std::uint8_t> reason_raw{0};
+  const auto note_truncation = [&truncated, &reason_raw](
+                                   robust::CancelReason reason) {
+    truncated.store(true, std::memory_order_relaxed);
+    std::uint8_t expected = 0;  // keep the first reason observed
+    reason_raw.compare_exchange_strong(expected,
+                                       static_cast<std::uint8_t>(reason),
+                                       std::memory_order_relaxed);
+  };
   std::mutex sink_mutex;  // checkpoint + trace share one writer lock
 
   util::ThreadPool pool(static_cast<std::size_t>(options.jobs));
-  util::parallel_for(pool, mine.size(), [&](std::size_t i) {
-    const Cell& cell = plan.cells[mine[i]];
-    if (const auto it = finished.find(cell.index); it != finished.end()) {
-      results[i] = it->second;
-      return;
-    }
-    if (tracker.exceeded()) {
-      truncated.store(true, std::memory_order_relaxed);
-      return;
-    }
-    const std::vector<robust::TrialRecord> records =
-        run_cell(cell, cell_options);
-    std::uint64_t boxes = 0;
-    for (const robust::TrialRecord& record : records) boxes += record.boxes;
-    tracker.add_boxes(boxes);
-    CellResult result = aggregate_cell(cell, records, plan.config_hash,
-                                       plan.manifest.unit_progress);
-    {
-      const std::lock_guard<std::mutex> lock(sink_mutex);
-      if (checkpoint.is_open()) {
-        checkpoint << obs::to_jsonl(cell_event(result)) << '\n';
-        checkpoint.flush();
+  try {
+    util::parallel_for(pool, mine.size(), [&](std::size_t i) {
+      const Cell& cell = plan.cells[mine[i]];
+      if (const auto it = finished.find(cell.index); it != finished.end()) {
+        results[i] = it->second;
+        return;
       }
-      if (options.trace != nullptr) {
-        options.trace->write(cell_event(result));
-        emit_trial_errors(*options.trace, cell, records);
+      if (cancel != nullptr && cancel->requested()) {
+        note_truncation(cancel->reason());
+        return;
       }
-    }
-    results[i] = std::move(result);
-  });
+      if (tracker.exceeded()) {
+        note_truncation(tracker.boxes_exceeded()
+                            ? robust::CancelReason::kBudget
+                            : robust::CancelReason::kDeadline);
+        return;
+      }
+      const std::vector<robust::TrialRecord> records =
+          run_cell(cell, cell_options);
+      std::uint64_t boxes = 0;
+      for (const robust::TrialRecord& record : records) boxes += record.boxes;
+      tracker.add_boxes(boxes);
+      CellResult result = aggregate_cell(cell, records, plan.config_hash,
+                                         plan.manifest.unit_progress);
+      {
+        const std::lock_guard<std::mutex> lock(sink_mutex);
+        if (checkpoint != nullptr) {
+          // One durable commit per cell: a kill between cells loses
+          // nothing, a kill mid-commit loses only the torn tail that
+          // truncate_torn_tail drops on resume.
+          checkpoint->write(obs::to_jsonl(cell_event(result)));
+          checkpoint->write("\n");
+          checkpoint->commit();
+        }
+        if (options.trace != nullptr) {
+          options.trace->write(cell_event(result));
+          emit_trial_errors(*options.trace, cell, records);
+        }
+      }
+      results[i] = std::move(result);
+    });
+  } catch (const robust::CancelledError& e) {
+    // In-flight cells are discarded wholesale (their results slots were
+    // never filled): a partially executed cell must never reach the
+    // report or the checkpoint. Committed cells survive for --resume.
+    note_truncation(e.reason());
+  }
 
   Report report;
   report.name = plan.manifest.name;
@@ -155,6 +215,8 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
   report.shards = options.shards;
   report.shard_index = options.shard_index;
   report.truncated = truncated.load(std::memory_order_relaxed);
+  report.truncate_reason = static_cast<robust::CancelReason>(
+      reason_raw.load(std::memory_order_relaxed));
   report.env = build_provenance();
   for (std::optional<CellResult>& result : results) {
     if (result.has_value()) report.cells.push_back(std::move(*result));

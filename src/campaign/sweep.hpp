@@ -28,8 +28,11 @@
 #include "campaign/report.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "robust/backoff.hpp"
 #include "robust/budget.hpp"
+#include "robust/cancel.hpp"
 #include "robust/fault.hpp"
+#include "robust/io.hpp"
 
 namespace cadapt::campaign {
 
@@ -53,7 +56,23 @@ struct SweepOptions {
   const robust::FaultPlan* faults = nullptr;
   /// Wall-clock / total-box budget, checked at cell boundaries. A tripped
   /// budget skips the remaining cells and marks the report truncated.
+  /// When deadline_ns is set and no external `cancel` token is supplied,
+  /// run_sweep arms an internal robust::Watchdog so a stuck cell is also
+  /// cancelled MID-cell (boxes budgets stay boundary-checked only — the
+  /// truncation point must be a deterministic function of the work done).
   robust::Budget budget;
+  /// External cooperative cancellation; null = none. A non-null token is
+  /// polled at cell and box boundaries and suppresses the internal
+  /// deadline watchdog (the caller owns the token's lifecycle). Must
+  /// outlive the call.
+  const robust::CancelToken* cancel = nullptr;
+  /// Seeded retry backoff for failed trials (docs/ROBUSTNESS.md);
+  /// disabled by default — attempt 0 never sleeps, so reports stay
+  /// byte-identical for campaigns that never retry.
+  robust::BackoffPolicy backoff;
+  /// Durable I/O backend for checkpoint writes; null = system_io().
+  /// Tests substitute robust::FaultyIo for ENOSPC/short-write drills.
+  robust::IoBackend* io = nullptr;
   std::string checkpoint_path;  ///< empty = no checkpointing
   /// Load checkpoint_path (header must match this plan + sharding) and
   /// skip the cells it records; new cells append to the same file.
@@ -67,8 +86,13 @@ struct SweepOptions {
 };
 
 /// Run this shard of the plan. Throws util::ParseError for a mismatched
-/// resume checkpoint and util::UsageError for bad sharding; per-trial
-/// failures never throw (contained in the cells' failed counts).
+/// resume checkpoint, util::UsageError for bad sharding, and
+/// util::IoError when a checkpoint commit fails (a failed commit never
+/// leaves a torn line: the appender either durably commits a whole cell
+/// record or reports); per-trial failures never throw (contained in the
+/// cells' failed counts). Cancellation (deadline watchdog or external
+/// token) discards the in-flight cells and returns a truncated report
+/// carrying the reason — committed checkpoint cells survive for resume.
 Report run_sweep(const Plan& plan, const SweepOptions& options = {});
 
 }  // namespace cadapt::campaign

@@ -4,6 +4,7 @@
 
 #include "obs/recorder.hpp"
 #include "profile/worst_case.hpp"
+#include "robust/cancel.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/random.hpp"
@@ -452,8 +453,10 @@ RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
   // recorder; either way the loop below is the seed driver, byte for byte.
   const bool bulk = !options.per_box &&
                     (recorder == nullptr || recorder->aggregates_runs());
+  const robust::CancelToken* cancel = options.cancel;
   if (!bulk) {
     while (!exec.done()) {
+      if (cancel != nullptr) cancel->poll();
       if (exec.boxes_consumed() >= max_boxes) {
         result.stop = StopReason::kBoxCapHit;
         break;
@@ -472,6 +475,9 @@ RunResult run_to_completion(RegularExecution& exec, profile::BoxSource& source,
     std::vector<BlockProbe> probes;
     const bool blocks = source.provides_blocks();
     while (!exec.done()) {
+      // Per-run, not per-box: the bulk path retires millions of boxes per
+      // iteration, so this is the bounded-interval poll point.
+      if (cancel != nullptr) cancel->poll();
       if (exec.boxes_consumed() >= max_boxes) {
         result.stop = StopReason::kBoxCapHit;
         break;

@@ -27,6 +27,10 @@ class ExecRecorder;
 enum class ExecBranch : std::uint8_t;
 }  // namespace cadapt::obs
 
+namespace cadapt::robust {
+class CancelToken;
+}  // namespace cadapt::robust
+
 namespace cadapt::engine {
 
 /// Where the linear scan of each problem is placed.
@@ -248,6 +252,13 @@ struct RunOptions {
   /// bit-identical to this; the flag exists so differential tests and
   /// debugging can compare the two.
   bool per_box = false;
+  /// Cooperative cancellation (docs/ROBUSTNESS.md): polled at every loop
+  /// head (per box on the reference path, per run on the bulk path), so
+  /// a deadline interrupts even a single enormous trial. Throws
+  /// robust::CancelledError out of run_to_completion; the campaign
+  /// drivers discard the interrupted work (never aggregate it). Null =
+  /// disabled, one never-taken branch of overhead.
+  const robust::CancelToken* cancel = nullptr;
 };
 
 /// Drive an execution over a box stream until the algorithm finishes, the

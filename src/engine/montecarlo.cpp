@@ -1,7 +1,9 @@
 #include "engine/montecarlo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -9,6 +11,30 @@
 #include "util/check.hpp"
 
 namespace cadapt::engine {
+
+namespace {
+
+/// Sleep out a backoff delay in slices short enough that a cancellation
+/// request interrupts the wait promptly — a cancelled campaign must not
+/// wait out a multi-second retry schedule. `sleep_fn` is the test seam:
+/// when set it receives the full delay once, unsliced.
+void backoff_sleep(std::uint64_t ns, const robust::CancelToken* cancel,
+                   void (*sleep_fn)(std::uint64_t)) {
+  if (ns == 0) return;
+  if (sleep_fn != nullptr) {
+    sleep_fn(ns);
+    return;
+  }
+  constexpr std::uint64_t kSliceNs = 10'000'000;  // 10ms
+  while (ns > 0) {
+    if (cancel != nullptr) cancel->poll();
+    const std::uint64_t slice = std::min(ns, kSliceNs);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+    ns -= slice;
+  }
+}
+
+}  // namespace
 
 std::uint64_t derive_trial_seed(std::uint64_t seed, std::uint64_t trial,
                                 std::uint32_t attempt) {
@@ -28,6 +54,13 @@ robust::TrialRecord run_single_trial(const McOptions& options,
   robust::TrialRecord record;
   record.trial = trial;
   for (std::uint32_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (options.cancel != nullptr) options.cancel->poll();
+    if (attempt != 0 && options.backoff.enabled()) {
+      const std::uint64_t delay =
+          robust::backoff_delay_ns(options.backoff, trial, attempt);
+      record.backoff_ns += delay;
+      backoff_sleep(delay, options.cancel, options.sleep_fn);
+    }
     const std::uint64_t seed = derive_trial_seed(options.seed, trial, attempt);
     record.seed = seed;
     record.attempts = attempt + 1;
@@ -44,6 +77,11 @@ robust::TrialRecord run_single_trial(const McOptions& options,
       record.unit_ratio = r.unit_ratio;
       record.duration_ns = timing ? obs::steady_now_ns() - t0 : 0;
       return record;
+    } catch (const robust::CancelledError&) {
+      // Cancellation is not a trial failure: never contained, never
+      // retried, never persisted. It propagates to the campaign driver,
+      // which discards the whole in-flight chunk.
+      throw;
     } catch (const std::exception& e) {
       record.failed = true;
       record.category = robust::categorize(e);
@@ -65,7 +103,8 @@ RobustTrialRunner make_regular_trial_runner(model::RegularParams params,
   return [params, n, make_source = std::move(make_source),
           placement = options.placement, semantics = options.semantics,
           max_boxes = options.max_boxes, per_box = options.per_box,
-          faults = options.faults](std::uint64_t trial_seed,
+          faults = options.faults,
+          cancel = options.cancel](std::uint64_t trial_seed,
                                    robust::FaultInjector& injector) {
     util::Rng rng(trial_seed);
     auto source = make_source(rng);
@@ -73,6 +112,7 @@ RobustTrialRunner make_regular_trial_runner(model::RegularParams params,
     RunOptions run_options;
     run_options.max_boxes = max_boxes;
     run_options.per_box = per_box;
+    run_options.cancel = cancel;
     if (faults != nullptr) {
       // Route every draw through the injector so FaultSite::kBoxDraw
       // is exercised; unarmed plans never take this branch's cost.
@@ -152,17 +192,44 @@ McSummary run_monte_carlo_robust(const McOptions& options,
     if (probe.good()) {
       robust::CheckpointData data = robust::load_checkpoint(probe);
       if (!(data.header == header)) {
-        throw util::ParseError(
-            "checkpoint '" + options.checkpoint_path +
-            "' belongs to a different campaign (trials/seed/config mismatch)");
+        // Name every mismatched field: "different campaign" alone sends
+        // the user diffing JSONL headers by hand.
+        std::string detail;
+        const auto note = [&detail](const char* field, const std::string& have,
+                                    const std::string& want) {
+          if (!detail.empty()) detail += ", ";
+          detail += std::string(field) + " is " + have + " but campaign has " +
+                    want;
+        };
+        if (data.header.version != header.version) {
+          note("version", std::to_string(data.header.version),
+               std::to_string(header.version));
+        }
+        if (data.header.trials != header.trials) {
+          note("trials", std::to_string(data.header.trials),
+               std::to_string(header.trials));
+        }
+        if (data.header.seed != header.seed) {
+          note("seed", std::to_string(data.header.seed),
+               std::to_string(header.seed));
+        }
+        if (data.header.config != header.config) {
+          note("config_hash", "'" + data.header.config + "'",
+               "'" + header.config + "'");
+        }
+        throw util::ParseError("checkpoint '" + options.checkpoint_path +
+                               "' belongs to a different campaign (its " +
+                               detail + ")");
       }
       known = std::move(data.records);
     }
   }
+  robust::IoBackend& io =
+      options.io != nullptr ? *options.io : robust::system_io();
   std::unique_ptr<robust::CheckpointWriter> writer;
   if (!options.checkpoint_path.empty()) {
     writer = std::make_unique<robust::CheckpointWriter>(
-        options.checkpoint_path, header, /*append=*/options.resume);
+        options.checkpoint_path, header, /*append=*/options.resume, io);
   }
 
   robust::BudgetTracker tracker(options.budget, options.clock);
@@ -181,8 +248,16 @@ McSummary run_monte_carlo_robust(const McOptions& options,
   summary.ratio_samples.reserve(options.trials);
   summary.unit_ratio_samples.reserve(options.trials);
   for (std::uint64_t start = 0; start < options.trials; start += chunk_size) {
+    if (options.cancel != nullptr && options.cancel->requested()) {
+      summary.truncated = true;
+      summary.truncate_reason = options.cancel->reason();
+      break;
+    }
     if (tracker.exceeded()) {
       summary.truncated = true;
+      summary.truncate_reason = tracker.boxes_exceeded()
+                                    ? robust::CancelReason::kBudget
+                                    : robust::CancelReason::kDeadline;
       break;
     }
     const std::uint64_t end =
@@ -195,9 +270,20 @@ McSummary run_monte_carlo_robust(const McOptions& options,
       if (known.find(i) == known.end()) todo.push_back(i);
     }
     std::vector<robust::TrialRecord> fresh(todo.size());
-    util::parallel_for(the_pool, todo.size(), [&](std::size_t k) {
-      fresh[k] = run_single_trial(options, runner, todo[k], timing);
-    });
+    try {
+      util::parallel_for(the_pool, todo.size(), [&](std::size_t k) {
+        fresh[k] = run_single_trial(options, runner, todo[k], timing);
+      });
+    } catch (const robust::CancelledError& e) {
+      // Discard the whole in-flight chunk: aggregating a partially
+      // filled `fresh` would make the reported prefix depend on which
+      // trials happened to finish before the token fired. Committed
+      // chunks are untouched, so a --resume re-runs exactly this chunk
+      // and the merged summary stays bit-identical.
+      summary.truncated = true;
+      summary.truncate_reason = e.reason();
+      break;
+    }
 
     // Merge, account, aggregate, persist — single-threaded, trial order.
     std::size_t next_fresh = 0;

@@ -24,7 +24,9 @@
 #include "obs/span.hpp"
 #include "profile/box_source.hpp"
 #include "profile/distributions.hpp"
+#include "robust/backoff.hpp"
 #include "robust/budget.hpp"
+#include "robust/cancel.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
@@ -89,6 +91,26 @@ struct McOptions {
   std::string config;
   /// Test seam for the wall-clock deadline.
   obs::ClockFn clock = &obs::steady_now_ns;
+  /// Cooperative cancellation token polled at every attempt start and
+  /// forwarded into the engine's box loops (docs/ROBUSTNESS.md). Null =
+  /// disabled. Create the token (and any robust::Watchdog) BEFORE
+  /// building runners: make_regular_trial_runner captures options by
+  /// value. A fired token truncates the campaign at the next chunk
+  /// boundary, discarding the in-flight chunk wholesale.
+  const robust::CancelToken* cancel = nullptr;
+  /// Seeded exponential backoff between retry attempts of a failed
+  /// trial; disabled (base_ns == 0) by default. Attempt 0 never sleeps,
+  /// so campaigns that do not retry are bit-compatible with pre-backoff
+  /// artifacts. The realized delay lands in TrialRecord::backoff_ns.
+  robust::BackoffPolicy backoff;
+  /// Test seam for backoff sleeping; null = real sleep in <=10ms slices
+  /// that poll `cancel` between slices (a cancelled campaign never waits
+  /// out a long backoff schedule).
+  void (*sleep_fn)(std::uint64_t ns) = nullptr;
+  /// Durable I/O backend for checkpoint writes; null = robust::system_io().
+  /// Tests substitute robust::FaultyIo to exercise ENOSPC/short-write/
+  /// fsync failures without touching a real filesystem knob.
+  robust::IoBackend* io = nullptr;
 };
 
 struct McSummary {
@@ -117,10 +139,16 @@ struct McSummary {
   /// per-trial exceptions land here instead.
   std::vector<robust::TrialError> errors;
   std::uint64_t failed = 0;  ///< == errors.size()
-  /// True when a budget stopped the campaign early. The mean over the
-  /// prefix [0, trials_run) is still an unbiased estimate (trials are
-  /// exchangeable), but it is never silently presented as the full run.
+  /// True when a budget or cancellation stopped the campaign early. The
+  /// mean over the prefix [0, trials_run) is still an unbiased estimate
+  /// (trials are exchangeable), but it is never silently presented as
+  /// the full run.
   bool truncated = false;
+  /// Why the campaign truncated (kNone when truncated == false):
+  /// kBudget for the box budget, kDeadline for the wall-clock deadline
+  /// (tracker- or watchdog-detected), kExternal for an externally
+  /// requested CancelToken.
+  robust::CancelReason truncate_reason = robust::CancelReason::kNone;
   std::uint64_t trials_requested = 0;
   std::uint64_t trials_run = 0;  ///< prefix of trials actually aggregated
 };

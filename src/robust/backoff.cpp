@@ -1,0 +1,27 @@
+#include "robust/backoff.hpp"
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace cadapt::robust {
+
+std::uint64_t backoff_delay_ns(const BackoffPolicy& policy,
+                               std::uint64_t trial, std::uint32_t attempt) {
+  if (attempt == 0 || policy.base_ns == 0) return 0;
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 63);
+  // base << shift without overflow: saturate at max_ns.
+  std::uint64_t raw = policy.max_ns;
+  if (policy.base_ns <= (policy.max_ns >> shift)) {
+    raw = policy.base_ns << shift;
+  }
+  std::uint64_t h = util::hash_combine(policy.seed, trial);
+  h = util::hash_combine(h, attempt);
+  // Top 53 bits -> uniform double in [0, 1), same construction as
+  // FaultPlan::should_fail.
+  const double uniform = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double jitter = 0.5 + 0.5 * uniform;
+  return static_cast<std::uint64_t>(static_cast<double>(raw) * jitter);
+}
+
+}  // namespace cadapt::robust

@@ -1,0 +1,35 @@
+// Seeded exponential backoff with deterministic jitter for
+// retry-with-reseed (docs/ROBUSTNESS.md, "Cancellation" — the retry
+// schedule is part of the degradation story).
+//
+// The delay before attempt k is a PURE function of (policy, trial, k):
+// base * 2^(k-1), capped, scaled by a jitter factor in [0.5, 1.0) hashed
+// from (seed, trial, attempt). No state, no clock — the same campaign
+// retries on the same schedule whatever thread runs it, and tests can
+// assert the schedule exactly. Attempt 0 never waits, so enabling
+// backoff is bit-compatible with a campaign that never fails.
+#pragma once
+
+#include <cstdint>
+
+namespace cadapt::robust {
+
+struct BackoffPolicy {
+  /// Delay before attempt 1, in nanoseconds; 0 disables backoff.
+  std::uint64_t base_ns = 0;
+  /// Cap on the exponential schedule (before jitter).
+  std::uint64_t max_ns = UINT64_C(30'000'000'000);
+  /// Jitter seed; mixed with (trial, attempt) per delay.
+  std::uint64_t seed = 0;
+
+  bool enabled() const { return base_ns != 0; }
+};
+
+/// The delay before `attempt` of `trial`: 0 for attempt 0 or a disabled
+/// policy, otherwise min(max_ns, base_ns << (attempt-1)) * jitter with
+/// jitter in [0.5, 1.0) — half-jitter keeps delays monotone in
+/// expectation while decorrelating concurrent retries.
+std::uint64_t backoff_delay_ns(const BackoffPolicy& policy,
+                               std::uint64_t trial, std::uint32_t attempt);
+
+}  // namespace cadapt::robust

@@ -44,14 +44,21 @@ class BudgetTracker {
     return boxes_.load(std::memory_order_relaxed);
   }
 
-  bool exceeded() const {
-    if (budget_.max_total_boxes != 0 && boxes() >= budget_.max_total_boxes)
-      return true;
-    if (budget_.deadline_ns != 0 &&
-        clock_() - start_ns_ >= budget_.deadline_ns)
-      return true;
-    return false;
+  bool boxes_exceeded() const {
+    return budget_.max_total_boxes != 0 &&
+           boxes() >= budget_.max_total_boxes;
   }
+
+  bool deadline_exceeded() const {
+    if (budget_.deadline_ns == 0) return false;
+    // Guard the unsigned subtraction: a test-seam clock (or a clock
+    // swapped mid-campaign) may read behind start_ns_, and the wrapped
+    // difference would look like an instantly expired deadline.
+    const std::uint64_t now = clock_();
+    return now >= start_ns_ && now - start_ns_ >= budget_.deadline_ns;
+  }
+
+  bool exceeded() const { return boxes_exceeded() || deadline_exceeded(); }
 
  private:
   Budget budget_;

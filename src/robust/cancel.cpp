@@ -1,0 +1,84 @@
+#include "robust/cancel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace cadapt::robust {
+
+namespace {
+
+constexpr std::array<const char*, 4> kReasonNames = {"none", "deadline",
+                                                     "budget", "external"};
+
+}  // namespace
+
+const char* cancel_reason_name(CancelReason reason) {
+  const auto idx = static_cast<std::size_t>(reason);
+  CADAPT_CHECK(idx < kReasonNames.size());
+  return kReasonNames[idx];
+}
+
+std::optional<CancelReason> parse_cancel_reason(std::string_view name) {
+  for (std::size_t i = 0; i < kReasonNames.size(); ++i) {
+    if (name == kReasonNames[i]) return static_cast<CancelReason>(i);
+  }
+  return std::nullopt;
+}
+
+CancelledError::CancelledError(CancelReason reason)
+    : std::runtime_error(std::string("cancelled (") +
+                         cancel_reason_name(reason) + ")"),
+      reason_(reason) {}
+
+void CancelToken::request(CancelReason reason) {
+  CADAPT_CHECK(reason != CancelReason::kNone);
+  std::uint8_t expected = static_cast<std::uint8_t>(CancelReason::kNone);
+  // First writer wins; a lost race means someone else already cancelled.
+  reason_.compare_exchange_strong(expected,
+                                  static_cast<std::uint8_t>(reason),
+                                  std::memory_order_relaxed,
+                                  std::memory_order_relaxed);
+}
+
+std::uint64_t Watchdog::poll_interval_ns(std::uint64_t deadline_ns) {
+  return std::clamp<std::uint64_t>(deadline_ns / 8, 1'000'000ull,
+                                   100'000'000ull);
+}
+
+Watchdog::Watchdog(CancelToken& token, std::uint64_t deadline_ns,
+                   obs::ClockFn clock)
+    : token_(token), deadline_ns_(deadline_ns), clock_(clock),
+      start_ns_(clock()) {
+  CADAPT_CHECK(deadline_ns != 0);
+  thread_ = std::thread([this] { run(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::run() {
+  const auto interval =
+      std::chrono::nanoseconds(poll_interval_ns(deadline_ns_));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    const std::uint64_t now = clock_();
+    // Guard the subtraction: a test-seam clock may run behind start_ns_.
+    if (now >= start_ns_ && now - start_ns_ >= deadline_ns_) {
+      token_.request(CancelReason::kDeadline);
+      return;
+    }
+    stop_cv_.wait_for(lock, interval);
+  }
+}
+
+}  // namespace cadapt::robust

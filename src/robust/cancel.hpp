@@ -1,0 +1,121 @@
+// Cooperative cancellation for long campaigns (docs/ROBUSTNESS.md,
+// "Cancellation").
+//
+// A CancelToken carries one sticky cancellation request (first writer
+// wins); hot loops poll() it at bounded intervals and unwind via
+// CancelledError when it fires. The Watchdog is the only component that
+// requests cancellation on its own: it watches a wall-clock deadline from
+// a helper thread so a *stuck* cell — one that never reaches a chunk or
+// cell boundary — still terminates within roughly one poll interval of
+// the deadline. Box budgets stay boundary-checked in the drivers (never
+// watchdog-driven): their stopping point must be deterministic across
+// pool sizes, and a mid-cell interrupt would not be.
+//
+// Determinism contract: work interrupted by CancelledError is DISCARDED,
+// never aggregated or persisted (drivers catch it, drop the in-flight
+// chunk/cell, and mark the summary truncated with a reason). A resumed
+// campaign re-runs the discarded work, so kill/cancel + resume stays
+// bit-identical to an uninterrupted run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+#include "obs/span.hpp"
+
+namespace cadapt::robust {
+
+/// Why a campaign was cut short. Doubles as the report/summary
+/// truncate_reason (ReplayPath-style: degradation is observable, not
+/// silent). Order is part of the encoding discipline — names, not values,
+/// are persisted, but keep it stable anyway.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,      ///< not cancelled / not truncated
+  kDeadline = 1,  ///< wall-clock deadline (watchdog or boundary check)
+  kBudget = 2,    ///< box budget tripped at a chunk/cell boundary
+  kExternal = 3,  ///< caller-requested (future `cadapt serve` clients)
+};
+
+/// Stable lowercase name ("none", "deadline", ...), used in summaries and
+/// report headers.
+const char* cancel_reason_name(CancelReason reason);
+/// Inverse of cancel_reason_name; nullopt for unknown names.
+std::optional<CancelReason> parse_cancel_reason(std::string_view name);
+
+/// Thrown by CancelToken::poll() once cancellation is requested. Never
+/// contained as a TrialError and never retried: containment would persist
+/// a record for work the campaign is abandoning, breaking resume
+/// bit-identity. Drivers catch it at chunk/cell granularity instead.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason);
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// One sticky cancellation flag shared by every worker of a campaign.
+/// request() may race from any thread; the first reason wins and later
+/// requests are ignored. poll() costs one relaxed load when unarmed.
+class CancelToken {
+ public:
+  /// Request cancellation. reason must not be kNone.
+  void request(CancelReason reason);
+
+  bool requested() const {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(CancelReason::kNone);
+  }
+  CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Throw CancelledError if cancellation has been requested.
+  void poll() const {
+    if (requested()) throw CancelledError(reason());
+  }
+
+ private:
+  std::atomic<std::uint8_t> reason_{
+      static_cast<std::uint8_t>(CancelReason::kNone)};
+};
+
+/// Deadline watchdog: a helper thread that requests kDeadline on `token`
+/// once `deadline_ns` of wall clock have elapsed since construction.
+/// Polls the clock every poll_interval_ns(deadline_ns) — frequent enough
+/// that a stuck cell dies well within 2x the deadline, rare enough to be
+/// free. Joins (and stops watching) on destruction.
+class Watchdog {
+ public:
+  Watchdog(CancelToken& token, std::uint64_t deadline_ns,
+           obs::ClockFn clock = &obs::steady_now_ns);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// clamp(deadline / 8, 1ms, 100ms): the latency bound on noticing an
+  /// expired deadline, exposed for tests.
+  static std::uint64_t poll_interval_ns(std::uint64_t deadline_ns);
+
+ private:
+  void run();
+
+  CancelToken& token_;
+  std::uint64_t deadline_ns_;
+  obs::ClockFn clock_;
+  std::uint64_t start_ns_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cadapt::robust

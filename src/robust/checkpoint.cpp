@@ -1,6 +1,7 @@
 #include "robust/checkpoint.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <istream>
 
 #include "obs/event.hpp"
@@ -27,6 +28,7 @@ obs::Event record_event(const TrialRecord& record) {
         .u64("attempts", record.attempts)
         .str("category", error_category_name(record.category))
         .str("what", record.what);
+    if (record.backoff_ns != 0) event.u64("backoff_ns", record.backoff_ns);
     return event;
   }
   obs::Event event("trial_result");
@@ -41,6 +43,9 @@ obs::Event record_event(const TrialRecord& record) {
   // Emitted only when set so checkpoints from cap-free campaigns stay
   // byte-identical to ones written before the field existed.
   if (record.capped) event.flag("capped", true);
+  // Same only-when-set discipline: backoff-free campaigns (the default)
+  // keep their historical byte layout.
+  if (record.backoff_ns != 0) event.u64("backoff_ns", record.backoff_ns);
   return event;
 }
 
@@ -49,6 +54,7 @@ TrialRecord record_from(const obs::Event& event, std::size_t line_no) {
   record.trial = event.u64_or("trial", 0);
   record.seed = event.u64_or("seed", 0);
   record.attempts = static_cast<std::uint32_t>(event.u64_or("attempts", 1));
+  record.backoff_ns = event.u64_or("backoff_ns", 0);
   if (event.type == "trial_error") {
     record.failed = true;
     const std::string name = event.str_or("category", "");
@@ -153,14 +159,14 @@ CheckpointData load_checkpoint_file(const std::string& path) {
   return load_checkpoint(is);
 }
 
-void truncate_torn_tail(const std::string& path) {
+std::uint64_t truncate_torn_tail(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is.good()) return;  // missing file: append mode will create it
+  if (!is.good()) return 0;  // missing file: append mode will create it
   is.seekg(0, std::ios::end);
   const std::streamoff size = is.tellg();
-  if (size <= 0) return;
+  if (size <= 0) return 0;
   is.seekg(size - 1);
-  if (is.get() == '\n') return;  // clean tail, nothing to repair
+  if (is.get() == '\n') return 0;  // clean tail, nothing to repair
   // Scan backwards for the last complete line.
   std::streamoff keep = 0;
   for (std::streamoff pos = size - 1; pos > 0; --pos) {
@@ -172,35 +178,28 @@ void truncate_torn_tail(const std::string& path) {
   }
   is.close();
   std::filesystem::resize_file(path, static_cast<std::uintmax_t>(keep));
+  return static_cast<std::uint64_t>(size - keep);
 }
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
-                                   const CheckpointHeader& header, bool append)
-    : path_(path) {
-  if (append) truncate_torn_tail(path);
-  os_.open(path, append ? (std::ios::out | std::ios::app)
-                        : (std::ios::out | std::ios::trunc));
-  if (!os_.good()) {
-    throw util::IoError("cannot open checkpoint '" + path + "' for writing");
-  }
-  if (!append || os_.tellp() == std::ofstream::pos_type(0)) {
-    os_ << obs::to_jsonl(header_event(header)) << '\n';
-    os_.flush();
-  }
-  if (!os_.good()) {
-    throw util::IoError("write to checkpoint '" + path + "' failed");
+                                   const CheckpointHeader& header, bool append,
+                                   IoBackend& io)
+    : recovered_bytes_(append ? truncate_torn_tail(path) : 0),
+      out_(path, /*truncate=*/!append, io) {
+  if (!append || out_.initial_size() == 0) {
+    out_.write(obs::to_jsonl(header_event(header)));
+    out_.write("\n");
+    out_.commit();
   }
 }
 
 void CheckpointWriter::append(const std::vector<TrialRecord>& chunk) {
   for (const TrialRecord& record : chunk) {
-    os_ << obs::to_jsonl(record_event(record)) << '\n';
+    out_.write(obs::to_jsonl(record_event(record)));
+    out_.write("\n");
     ++records_written_;
   }
-  os_.flush();
-  if (!os_.good()) {
-    throw util::IoError("write to checkpoint '" + path_ + "' failed");
-  }
+  out_.commit();
 }
 
 }  // namespace cadapt::robust

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -28,6 +27,7 @@
 
 #include "obs/event.hpp"
 #include "robust/error.hpp"
+#include "robust/io.hpp"
 
 namespace cadapt::robust {
 
@@ -51,8 +51,10 @@ std::vector<JsonlLine> load_jsonl_tolerant(std::istream& is,
 /// Truncate a torn final line in place (no trailing '\n' means the last
 /// write was cut mid-line). Appending to the file without this would
 /// concatenate the first new record onto the torn tail and corrupt it for
-/// every later load. Missing or empty files are left untouched.
-void truncate_torn_tail(const std::string& path);
+/// every later load. Missing or empty files are left untouched. Returns
+/// the number of torn bytes dropped (0 for a clean tail) so callers can
+/// report the recovery instead of hiding it.
+std::uint64_t truncate_torn_tail(const std::string& path);
 
 /// Identity of a campaign; a resume refuses to mix checkpoints across
 /// campaigns with different identities.
@@ -86,6 +88,11 @@ struct TrialRecord {
   double ratio = 0;
   double unit_ratio = 0;
   std::uint64_t duration_ns = 0;
+  /// Total backoff slept before this trial's attempts (0 unless a
+  /// BackoffPolicy is enabled AND the trial retried; emitted to the
+  /// checkpoint only when nonzero, so backoff-free campaigns stay
+  /// byte-identical).
+  std::uint64_t backoff_ns = 0;
   // Set only when failed:
   ErrorCategory category = ErrorCategory::kOther;
   std::string what;
@@ -107,25 +114,30 @@ CheckpointData load_checkpoint(std::istream& is);
 /// File variant; throws util::IoError if the file cannot be opened.
 CheckpointData load_checkpoint_file(const std::string& path);
 
-/// Append-only checkpoint writer. Writes the header when starting fresh;
-/// in append mode the existing file's header must match (checked by the
-/// caller via load_checkpoint). Each append() flushes, bounding loss to
-/// the current chunk.
+/// Append-only checkpoint writer over the durable I/O layer
+/// (robust/io.hpp): each append() is one batched write + fsync, so a
+/// SIGKILL loses at most the in-flight chunk and a failed commit throws
+/// util::IoError with every previously committed record intact. Writes
+/// the header when starting fresh; in append mode the existing file's
+/// header must match (checked by the caller via load_checkpoint).
 class CheckpointWriter {
  public:
   /// append == false truncates; append == true continues an existing file
   /// (or creates it, header included, if missing/empty), first truncating
   /// any torn final line a kill may have left so appended records start
-  /// on a fresh line.
+  /// on a fresh line. `io` is the fault-injection seam (FaultyIo in the
+  /// differential suite); default is the real filesystem.
   CheckpointWriter(const std::string& path, const CheckpointHeader& header,
-                   bool append);
+                   bool append, IoBackend& io = system_io());
 
   void append(const std::vector<TrialRecord>& chunk);
   std::uint64_t records_written() const { return records_written_; }
+  /// Torn-tail bytes dropped while opening in append mode (0 otherwise).
+  std::uint64_t recovered_bytes() const { return recovered_bytes_; }
 
  private:
-  std::ofstream os_;
-  std::string path_;
+  std::uint64_t recovered_bytes_ = 0;  // must init before out_ opens
+  DurableAppender out_;
   std::uint64_t records_written_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <new>
 
+#include "robust/cancel.hpp"
 #include "robust/fault.hpp"
 #include "util/check.hpp"
 
@@ -10,8 +11,9 @@ namespace cadapt::robust {
 
 namespace {
 
-constexpr std::array<const char*, 7> kCategoryNames = {
-    "injected", "parse", "io", "usage", "check", "resource", "other"};
+constexpr std::array<const char*, 8> kCategoryNames = {
+    "injected", "parse",    "io",    "usage",
+    "check",    "resource", "other", "cancelled"};
 
 }  // namespace
 
@@ -31,6 +33,10 @@ std::optional<ErrorCategory> parse_error_category(std::string_view name) {
 ErrorCategory categorize(const std::exception& error) {
   // Most-derived types first: ParseError/IoError/UsageError all derive
   // from CheckError, which must therefore be tested last of the four.
+  // (CancelledError should never reach here — the drivers rethrow it
+  // before containment — but a custom runner may still ask.)
+  if (dynamic_cast<const CancelledError*>(&error) != nullptr)
+    return ErrorCategory::kCancelled;
   if (dynamic_cast<const InjectedFault*>(&error) != nullptr)
     return ErrorCategory::kInjected;
   if (dynamic_cast<const util::ParseError*>(&error) != nullptr)

@@ -23,8 +23,9 @@ enum class ErrorCategory : std::uint8_t {
   kIo = 2,        ///< util::IoError (file open/read/write failure)
   kUsage = 3,     ///< util::UsageError (CLI misuse)
   kCheck = 4,     ///< util::CheckError (internal invariant violation)
-  kResource = 5,  ///< std::bad_alloc and friends
-  kOther = 6,     ///< any other std::exception
+  kResource = 5,   ///< std::bad_alloc and friends
+  kOther = 6,      ///< any other std::exception
+  kCancelled = 7,  ///< robust::CancelledError (cooperative cancellation)
 };
 
 /// Stable lowercase name ("injected", "parse", ...), used in trace events

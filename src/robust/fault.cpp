@@ -11,7 +11,8 @@ namespace cadapt::robust {
 namespace {
 
 constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
-    "trial_body", "box_draw", "sink_write", "paging_step"};
+    "trial_body", "box_draw",       "sink_write", "paging_step",
+    "io_write",   "io_short_write", "io_enospc",  "io_fsync"};
 
 }  // namespace
 

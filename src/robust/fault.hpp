@@ -33,9 +33,16 @@ enum class FaultSite : std::uint8_t {
   kBoxDraw = 1,     ///< profile::BoxSource::next() (via FaultyBoxSource)
   kSinkWrite = 2,   ///< obs::TraceSink::write() (via FaultySink)
   kPagingStep = 3,  ///< paging::CaMachine box boundary (via box hook)
+  // I/O sites, visited by robust::FaultyIo (robust/io.hpp) *below* the
+  // durable-commit protocol, so the atomic-rename and append-fsync
+  // guarantees are tested against the syscalls actually failing:
+  kIoWrite = 4,       ///< write() fails with EIO
+  kIoShortWrite = 5,  ///< write() persists only a torn prefix
+  kIoEnospc = 6,      ///< write() fails with ENOSPC
+  kIoFsync = 7,       ///< fsync() fails
 };
 
-inline constexpr std::size_t kNumFaultSites = 4;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 /// Stable lowercase name used in specs, traces, and checkpoints.
 const char* fault_site_name(FaultSite site);

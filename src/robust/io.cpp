@@ -1,0 +1,223 @@
+#include "robust/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace cadapt::robust {
+
+namespace {
+
+std::string errno_detail() {
+  return std::strerror(errno);
+}
+
+class SystemIo final : public IoBackend {
+ public:
+  int open_trunc(const char* path) override {
+    return ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  int open_append(const char* path) override {
+    return ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  }
+  std::int64_t write(int fd, const void* data, std::size_t size) override {
+    return static_cast<std::int64_t>(::write(fd, data, size));
+  }
+  int fsync(int fd) override { return ::fsync(fd); }
+  int close(int fd) override { return ::close(fd); }
+  std::int64_t seek_end(int fd) override {
+    return static_cast<std::int64_t>(::lseek(fd, 0, SEEK_END));
+  }
+  int rename(const char* from, const char* to) override {
+    return ::rename(from, to);
+  }
+  int remove(const char* path) override { return ::unlink(path); }
+  int fsync_parent(const char* path) override {
+    const char* slash = std::strrchr(path, '/');
+    const std::string dir =
+        slash != nullptr ? std::string(path, slash - path) : std::string(".");
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+    if (fd < 0) return -1;
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    return rc;
+  }
+};
+
+}  // namespace
+
+IoBackend& system_io() {
+  static SystemIo io;
+  return io;
+}
+
+bool FaultyIo::fail(FaultSite site) {
+  const std::uint64_t occurrence =
+      counts_[static_cast<std::size_t>(site)].fetch_add(
+          1, std::memory_order_relaxed);
+  // I/O faults are keyed by occurrence only: syscalls have no trial or
+  // attempt of their own (the plan hash still mixes the site and seed).
+  return plan_ != nullptr &&
+         plan_->should_fail(site, /*trial=*/0, /*attempt=*/0, occurrence);
+}
+
+std::int64_t FaultyIo::write(int fd, const void* data, std::size_t size) {
+  if (fail(FaultSite::kIoEnospc)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  if (fail(FaultSite::kIoWrite)) {
+    errno = EIO;
+    return -1;
+  }
+  if (fail(FaultSite::kIoShortWrite)) {
+    // Persist a real torn prefix — the caller sees a short count, the
+    // file sees half a record, exactly like a disk-full-mid-write.
+    const std::size_t half = size / 2;
+    if (half == 0) return 0;
+    return inner_.write(fd, data, half);
+  }
+  return inner_.write(fd, data, size);
+}
+
+int FaultyIo::fsync(int fd) {
+  if (fail(FaultSite::kIoFsync)) {
+    errno = EIO;
+    return -1;
+  }
+  return inner_.fsync(fd);
+}
+
+int FaultyIo::fsync_parent(const char* path) {
+  if (fail(FaultSite::kIoFsync)) {
+    errno = EIO;
+    return -1;
+  }
+  return inner_.fsync_parent(path);
+}
+
+bool FaultyIo::plan_arms_io(const FaultPlan& plan) {
+  return plan.rate(FaultSite::kIoWrite) > 0.0 ||
+         plan.rate(FaultSite::kIoShortWrite) > 0.0 ||
+         plan.rate(FaultSite::kIoEnospc) > 0.0 ||
+         plan.rate(FaultSite::kIoFsync) > 0.0;
+}
+
+CrashPoint& CrashPoint::instance() {
+  static CrashPoint point;
+  return point;
+}
+
+void CrashPoint::arm(std::uint64_t nth_write) {
+  remaining_.store(nth_write, std::memory_order_relaxed);
+  armed_.store(nth_write != 0, std::memory_order_relaxed);
+}
+
+void CrashPoint::visit(IoBackend& io, int fd, const void* data,
+                       std::size_t size) {
+  if (!armed()) return;
+  const std::uint64_t before =
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  if (before != 1) return;  // not this site (0 means a late racer; skip)
+  // The armed write: persist a torn prefix, then die as a power cut
+  // would — no unwinding, no destructors, no flushes.
+  if (size / 2 != 0) {
+    (void)io.write(fd, data, size / 2);
+    (void)io.fsync(fd);
+  }
+  std::raise(SIGKILL);
+}
+
+void atomic_write_file(const std::string& path, std::string_view content,
+                       IoBackend& io) {
+  const std::string tmp = path + ".tmp";
+  const int fd = io.open_trunc(tmp.c_str());
+  if (fd < 0) {
+    throw util::IoError("cannot open '" + tmp +
+                        "' for writing: " + errno_detail());
+  }
+  const auto abort_commit = [&](const std::string& what) -> util::IoError {
+    io.close(fd);
+    io.remove(tmp.c_str());
+    return util::IoError(what + "; '" + path + "' left untouched");
+  };
+  CrashPoint::instance().visit(io, fd, content.data(), content.size());
+  if (!content.empty()) {
+    const std::int64_t wrote = io.write(fd, content.data(), content.size());
+    if (wrote < 0) {
+      throw abort_commit("write to '" + tmp + "' failed: " + errno_detail());
+    }
+    if (static_cast<std::size_t>(wrote) != content.size()) {
+      throw abort_commit("short write to '" + tmp + "'");
+    }
+  }
+  if (io.fsync(fd) != 0) {
+    throw abort_commit("fsync of '" + tmp + "' failed: " + errno_detail());
+  }
+  if (io.close(fd) != 0) {
+    io.remove(tmp.c_str());
+    throw util::IoError("close of '" + tmp + "' failed: " + errno_detail() +
+                        "; '" + path + "' left untouched");
+  }
+  if (io.rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string detail = errno_detail();
+    io.remove(tmp.c_str());
+    throw util::IoError("rename of '" + tmp + "' failed: " + detail + "; '" +
+                        path + "' left untouched");
+  }
+  // After a successful rename the new content IS visible; a parent-dir
+  // fsync failure only means the rename itself may not survive a crash.
+  if (io.fsync_parent(path.c_str()) != 0) {
+    throw util::IoError("fsync of parent directory of '" + path +
+                        "' failed: " + errno_detail());
+  }
+}
+
+DurableAppender::DurableAppender(const std::string& path, bool truncate,
+                                 IoBackend& io)
+    : path_(path), io_(io) {
+  fd_ = truncate ? io_.open_trunc(path.c_str())
+                 : io_.open_append(path.c_str());
+  if (fd_ < 0) {
+    throw util::IoError("cannot open '" + path +
+                        "' for writing: " + errno_detail());
+  }
+  if (!truncate) {
+    const std::int64_t size = io_.seek_end(fd_);
+    initial_size_ = size > 0 ? static_cast<std::uint64_t>(size) : 0;
+  }
+}
+
+DurableAppender::~DurableAppender() {
+  if (fd_ >= 0) io_.close(fd_);
+}
+
+void DurableAppender::write(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+}
+
+void DurableAppender::commit() {
+  if (buffer_.empty()) return;
+  const std::string batch = std::move(buffer_);
+  buffer_.clear();
+  CrashPoint::instance().visit(io_, fd_, batch.data(), batch.size());
+  const std::int64_t wrote = io_.write(fd_, batch.data(), batch.size());
+  if (wrote < 0) {
+    throw util::IoError("write to '" + path_ + "' failed: " + errno_detail());
+  }
+  if (static_cast<std::size_t>(wrote) != batch.size()) {
+    throw util::IoError("short write to '" + path_ + "' (" +
+                        std::to_string(wrote) + " of " +
+                        std::to_string(batch.size()) + " bytes)");
+  }
+  if (io_.fsync(fd_) != 0) {
+    throw util::IoError("fsync of '" + path_ + "' failed: " + errno_detail());
+  }
+}
+
+}  // namespace cadapt::robust

@@ -7,14 +7,32 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cadapt::util {
+
+/// Thrown by ThreadPool::wait_idle() when MORE THAN ONE task threw since
+/// the last wait_idle(): one message per failed task, in submit order, so
+/// no error is silently dropped and the report is deterministic whatever
+/// order the workers actually failed in. A single failure rethrows the
+/// original exception unchanged (type-preserving containment).
+class AggregateError : public std::runtime_error {
+ public:
+  explicit AggregateError(std::vector<std::string> messages);
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  std::vector<std::string> messages_;
+};
 
 class ThreadPool {
  public:
@@ -28,34 +46,40 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task. A task that throws does NOT take the process down:
-  /// the first exception is captured and rethrown from the next
-  /// wait_idle(), after all queued tasks have run; later exceptions are
-  /// dropped. (Before PR 2 a throwing task hit std::terminate via the
-  /// worker thread — tests/test_util_misc.cpp documents the new
-  /// contract.) Prefer catching inside the task when you need every
-  /// error; the Monte-Carlo driver does exactly that.
+  /// every exception is captured (tagged with the task's submit index)
+  /// and reported from the next wait_idle(), after all queued tasks have
+  /// run. (Before PR 2 a throwing task hit std::terminate via the worker
+  /// thread — tests/test_util_misc.cpp documents the contract.) Prefer
+  /// catching inside the task when you need structured errors; the
+  /// Monte-Carlo driver does exactly that.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished, then rethrow the
-  /// first exception any of them threw since the last wait_idle().
+  /// Block until all submitted tasks have finished, then report the
+  /// exceptions they threw since the last wait_idle(): none — return;
+  /// exactly one — rethrow it unchanged; several — throw AggregateError
+  /// with one message per failure in submit order (deterministic however
+  /// the workers interleaved).
   void wait_idle();
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<std::pair<std::uint64_t, std::function<void()>>> tasks_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_task_error_;
+  std::uint64_t next_task_index_ = 0;
+  std::vector<std::pair<std::uint64_t, std::exception_ptr>> task_errors_;
 };
 
 /// Run body(i) for i in [0, count) across the pool, blocking until done.
-/// Exceptions thrown by body are captured and the first one rethrown after
-/// all iterations finish or are abandoned.
+/// Exceptions thrown by body are captured and the one with the LOWEST
+/// iteration index is rethrown after all iterations finish or are
+/// abandoned — deterministic across pool sizes and scheduling, unlike
+/// first-to-arrive.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

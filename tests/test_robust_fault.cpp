@@ -11,6 +11,7 @@
 #include "obs/sink.hpp"
 #include "paging/ca_machine.hpp"
 #include "profile/box_source.hpp"
+#include "robust/cancel.hpp"
 #include "robust/error.hpp"
 #include "util/check.hpp"
 
@@ -196,10 +197,14 @@ TEST(ErrorTaxonomy, CategorizesByDynamicType) {
   EXPECT_EQ(categorize(std::runtime_error("r")), ErrorCategory::kOther);
   EXPECT_EQ(categorize(InjectedFault(FaultSite::kBoxDraw, 0, 0, 0)),
             ErrorCategory::kInjected);
+  // CancelledError must win over the generic runtime_error bucket — a
+  // cancellation misfiled as kOther would be contained and retried.
+  EXPECT_EQ(categorize(CancelledError(CancelReason::kDeadline)),
+            ErrorCategory::kCancelled);
 }
 
 TEST(ErrorTaxonomy, CategoryNamesRoundTrip) {
-  for (int i = 0; i <= static_cast<int>(ErrorCategory::kOther); ++i) {
+  for (int i = 0; i <= static_cast<int>(ErrorCategory::kCancelled); ++i) {
     const auto category = static_cast<ErrorCategory>(i);
     const auto parsed = parse_error_category(error_category_name(category));
     ASSERT_TRUE(parsed.has_value()) << i;

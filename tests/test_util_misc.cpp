@@ -103,21 +103,55 @@ TEST(ThreadPool, ThrowingTaskDoesNotKillTheProcess) {
   EXPECT_EQ(survivors.load(), 20);  // the failure did not starve the queue
 }
 
-TEST(ThreadPool, OnlyTheFirstExceptionIsKeptAndStateResets) {
-  ThreadPool pool(1);  // one worker: submission order is execution order
+TEST(ThreadPool, EveryExceptionIsReportedInSubmitOrderAndStateResets) {
+  // Two workers on purpose: whatever order the failures ARRIVE in, the
+  // AggregateError must list them by submit index — no error is ever
+  // silently dropped (pre-PR 7 only the first survived).
+  ThreadPool pool(2);
   pool.submit([] { throw std::runtime_error("first"); });
   pool.submit([] { throw std::runtime_error("second"); });
   try {
     pool.wait_idle();
-    FAIL() << "expected an exception";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "first");
+    FAIL() << "expected an AggregateError";
+  } catch (const AggregateError& e) {
+    ASSERT_EQ(e.messages().size(), 2u);
+    EXPECT_EQ(e.messages()[0], "task 0: first");
+    EXPECT_EQ(e.messages()[1], "task 1: second");
+    EXPECT_STREQ(e.what(),
+                 "2 pool tasks failed: task 0: first; task 1: second");
   }
-  // The error was consumed: the pool is reusable and clean afterwards.
+  // The errors were consumed: the pool is reusable and clean afterwards.
   std::atomic<int> counter{0};
   pool.submit([&] { ++counter; });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SingleFailureRethrowsUnchangedNotAggregated) {
+  // Exactly one failure keeps type-preserving containment: callers that
+  // catch the original type must not suddenly see AggregateError.
+  ThreadPool pool(2);
+  pool.submit([] { throw CheckError("only one"); });
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  EXPECT_THROW(pool.wait_idle(), CheckError);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+  // Deterministic across pool sizes and scheduling: the LOWEST failing
+  // iteration index wins, not whichever worker lost the race.
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    try {
+      parallel_for(pool, 64, [](std::size_t i) {
+        if (i % 7 == 3) {  // fails at 3, 10, 17, ...
+          throw std::runtime_error("iter " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "iter 3") << "workers=" << workers;
+    }
+  }
 }
 
 TEST(ThreadPool, ExceptionTypeSurvivesThreadHop) {

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,8 +45,11 @@
 #include "obs/recorder.hpp"
 #include "obs/sink.hpp"
 #include "profile/profile_io.hpp"
+#include "robust/backoff.hpp"
+#include "robust/cancel.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
+#include "robust/io.hpp"
 #include "util/args.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -85,8 +89,13 @@ commands:
   mc          robust Monte-Carlo campaign over --dist
               (docs/ROBUSTNESS.md). Flags: --n N, --trials T, --seed S,
               --retries R (extra reseeded attempts per failing trial),
-              --fault site=rate,... --fault-seed S (sites: trial_body
-              box_draw sink_write paging_step), --deadline-ms D,
+              --retry-backoff-ms B (seeded exponential backoff between
+              attempts; attempt 0 never sleeps), --fault site=rate,...
+              --fault-seed S (sites: trial_body box_draw sink_write
+              paging_step io_write io_short_write io_enospc io_fsync —
+              the io_* sites hit the durable checkpoint/report writers),
+              --deadline-ms D (cooperative mid-trial cancellation via a
+              watchdog; must be >= 1),
               --box-budget B (explicit truncation, never a biased mean),
               --checkpoint F [--resume] [--checkpoint-every K],
               --errors-shown E (default 5), --per-box (force the
@@ -146,6 +155,42 @@ engine::BoxSemantics semantics_from(const util::ArgParser& args) {
   if (sem == "budgeted") return engine::BoxSemantics::kBudgeted;
   if (sem == "optimistic") return engine::BoxSemantics::kOptimistic;
   throw util::UsageError("--semantics must be optimistic or budgeted");
+}
+
+// --deadline-ms in nanoseconds. Zero is rejected at parse time: it would
+// cancel the campaign before the first trial, which is never what the
+// caller meant (negatives already fail get_u64's unsigned parse).
+std::uint64_t deadline_ns_from(const util::ArgParser& args) {
+  if (!args.has("deadline-ms")) return 0;
+  const std::uint64_t ms = args.get_u64("deadline-ms", 0);
+  if (ms == 0) {
+    throw util::UsageError(
+        "--deadline-ms must be a positive integer (a zero deadline would "
+        "cancel the campaign before the first trial)");
+  }
+  return ms * 1'000'000ull;
+}
+
+// --retry-backoff-ms: seeded exponential backoff between retry attempts
+// (docs/ROBUSTNESS.md). Attempt 0 never sleeps, so the flag is free for
+// campaigns that never fail.
+robust::BackoffPolicy backoff_from(const util::ArgParser& args,
+                                   std::uint64_t seed) {
+  robust::BackoffPolicy policy;
+  policy.base_ns = args.get_u64("retry-backoff-ms", 0) * 1'000'000ull;
+  policy.seed = seed;
+  return policy;
+}
+
+// "YES (deadline)" / "YES (budget)" / "YES (external)" — campaigns
+// truncated by the box budget keep printing "(budget)", which existing
+// scripts grep for.
+std::string truncated_text(bool truncated, robust::CancelReason reason) {
+  if (!truncated) return "no";
+  if (reason == robust::CancelReason::kNone) {
+    reason = robust::CancelReason::kBudget;
+  }
+  return std::string("YES (") + robust::cancel_reason_name(reason) + ")";
 }
 
 core::SweepOptions sweep_from(const util::ArgParser& args) {
@@ -265,8 +310,9 @@ int run_mc_sort(const util::ArgParser& args) {
   opts.seed = pa.cell.seed;
   opts.max_attempts =
       static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
-  opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
+  opts.budget.deadline_ns = deadline_ns_from(args);
   opts.budget.max_total_boxes = args.get_u64("box-budget", 0);
+  opts.backoff = backoff_from(args, opts.seed);
   opts.checkpoint_path = args.get_string("checkpoint", "");
   opts.checkpoint_every = args.get_u64("checkpoint-every", 256);
   opts.resume = args.has("resume");
@@ -280,6 +326,23 @@ int run_mc_sort(const util::ArgParser& args) {
     plan = robust::FaultPlan::parse_spec(
         fault_spec, args.get_u64("fault-seed", opts.seed ^ 0xFA17ull));
     opts.faults = &plan;
+  }
+  std::optional<robust::FaultyIo> faulty_io;
+  if (opts.faults != nullptr && robust::FaultyIo::plan_arms_io(plan)) {
+    faulty_io.emplace(robust::system_io(), &plan);
+    opts.io = &*faulty_io;
+  }
+
+  // Cooperative deadline enforcement: the watchdog cancels mid-trial,
+  // where the BudgetTracker alone only notices at chunk boundaries.
+  // Created BEFORE the runner below — make_program_runner captures the
+  // options (and so the token pointer) by value. Box budgets stay
+  // boundary-checked: their truncation point must be deterministic.
+  robust::CancelToken cancel_token;
+  std::optional<robust::Watchdog> watchdog;
+  if (opts.budget.deadline_ns != 0) {
+    watchdog.emplace(cancel_token, opts.budget.deadline_ns);
+    opts.cancel = &cancel_token;
   }
 
   // Checkpoint fingerprint: everything that shapes a trial's result.
@@ -295,10 +358,14 @@ int run_mc_sort(const util::ArgParser& args) {
   // Only-when-set, like replay=1: historical checkpoints keep resuming.
   if (!pa.cell.policy.empty()) cfg << " policy=" << pa.cell.policy;
   if (pa.options.tiers.set) cfg << " tiers=" << pa.options.tiers.token();
+  if (opts.backoff.enabled()) {
+    cfg << " backoff_ms=" << (opts.backoff.base_ns / 1'000'000ull);
+  }
   opts.config = cfg.str();
 
   campaign::CellRunOptions cell_options = pa.options;
   cell_options.faults = opts.faults;
+  cell_options.cancel = opts.cancel;
   const engine::McSummary s = engine::run_monte_carlo_robust(
       opts, campaign::make_program_runner(pa.cell, cell_options));
 
@@ -313,7 +380,7 @@ int run_mc_sort(const util::ArgParser& args) {
             << "  trials: " << s.trials_run << " of " << s.trials_requested
             << " (verified " << s.ratio.count() << ", incomplete "
             << s.incomplete << ", failed " << s.failed << ")\n"
-            << "  truncated: " << (s.truncated ? "YES (budget)" : "no")
+            << "  truncated: " << truncated_text(s.truncated, s.truncate_reason)
             << "\n";
   if (s.ratio.count() > 0) {
     std::cout << "  mean I/Os: " << util::format_double(s.ratio.mean(), 2)
@@ -500,8 +567,9 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
   opts.per_box = args.has("per-box");
   opts.max_attempts =
       static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
-  opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
+  opts.budget.deadline_ns = deadline_ns_from(args);
   opts.budget.max_total_boxes = args.get_u64("box-budget", 0);
+  opts.backoff = backoff_from(args, opts.seed);
   opts.checkpoint_path = args.get_string("checkpoint", "");
   opts.checkpoint_every = args.get_u64("checkpoint-every", 256);
   opts.resume = args.has("resume");
@@ -516,6 +584,21 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
         fault_spec, args.get_u64("fault-seed", opts.seed ^ 0xFA17ull));
     opts.faults = &plan;
   }
+  std::optional<robust::FaultyIo> faulty_io;
+  if (opts.faults != nullptr && robust::FaultyIo::plan_arms_io(plan)) {
+    faulty_io.emplace(robust::system_io(), &plan);
+    opts.io = &*faulty_io;
+  }
+
+  // Created BEFORE run_monte_carlo_iid builds its runner from opts (the
+  // runner captures the token pointer by value). Box budgets stay
+  // boundary-checked — no watchdog for them (see run_mc_sort).
+  robust::CancelToken cancel_token;
+  std::optional<robust::Watchdog> watchdog;
+  if (opts.budget.deadline_ns != 0) {
+    watchdog.emplace(cancel_token, opts.budget.deadline_ns);
+    opts.cancel = &cancel_token;
+  }
 
   const auto dist = dist_from(args, p);
   // Campaign fingerprint for the checkpoint header: everything that
@@ -526,6 +609,12 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
       << " sem=" << args.get_string("semantics", "optimistic")
       << " retries=" << (opts.max_attempts - 1) << " fault=" << plan.spec()
       << " fault_seed=" << (opts.faults != nullptr ? plan.seed() : 0);
+  // Only-when-set: historical checkpoints keep resuming. (Backoff never
+  // changes a trial's RESULT, but it changes the persisted backoff_ns
+  // schedule, so blending schedules across resumes is refused.)
+  if (opts.backoff.enabled()) {
+    cfg << " backoff_ms=" << (opts.backoff.base_ns / 1'000'000ull);
+  }
   opts.config = cfg.str();
 
   const engine::McSummary s = engine::run_monte_carlo_iid(p, n, *dist, opts);
@@ -541,8 +630,8 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
     std::cout << "  incomplete breakdown: " << s.capped << " hit the box cap, "
               << (s.incomplete - s.capped) << " exhausted the source\n";
   }
-  std::cout
-            << "  truncated: " << (s.truncated ? "YES (budget)" : "no") << "\n";
+  std::cout << "  truncated: "
+            << truncated_text(s.truncated, s.truncate_reason) << "\n";
   if (s.ratio.count() > 0) {
     std::cout << "  mean ratio: " << util::format_double(s.ratio.mean(), 4)
               << " +- " << util::format_double(s.ratio.ci95(), 4)
@@ -609,9 +698,24 @@ execution flags:
 
 robustness flags (docs/ROBUSTNESS.md):
   --retries R           extra reseeded attempts per failing trial
-  --fault site=rate,... --fault-seed S    deterministic fault injection
-  --deadline-ms D --box-budget B          budget: skip remaining cells,
-                        mark the report truncated — never a silent bias
+  --retry-backoff-ms B  seeded exponential backoff between attempts
+                        (deterministic jitter; attempt 0 never sleeps)
+  --fault site=rate,... --fault-seed S    deterministic fault injection;
+                        the io_* sites (io_write io_short_write io_enospc
+                        io_fsync) hit the durable checkpoint and report
+                        writers — a failed commit exits 3 and leaves the
+                        previous artifact intact
+  --deadline-ms D       wall-clock deadline (>= 1): a watchdog cancels
+                        stuck cells MID-cell, the report says
+                        TRUNCATED (deadline)
+  --box-budget B        total-box budget, checked at cell boundaries:
+                        skip remaining cells, TRUNCATED (budget) — never
+                        a silent bias
+
+Checkpoints and reports are durably committed (write + fsync + atomic
+rename for reports): a kill -9 mid-run loses at most the cells in
+flight, and --resume reproduces the uninterrupted report byte-for-byte
+(tools/chaos_sweep.sh drills exactly this).
 
 baseline gating:
   --baseline F          compare against a stored report of the SAME
@@ -636,6 +740,14 @@ baseline gating:
 int run_sweep_cmd(const util::ArgParser& args) {
   const std::vector<std::string>& pos = args.positionals();
   const std::string out_path = args.get_string("out", "BENCH_sweep.json");
+
+  // Shared by checkpoint writes and the final report commit, so a fault
+  // plan arming the io_* sites exercises both (docs/ROBUSTNESS.md).
+  // Function scope, not branch scope: the FaultyIo borrows the plan and
+  // both must outlive the report commit at the bottom.
+  robust::FaultPlan fault_plan;
+  std::optional<robust::FaultyIo> faulty_io;
+  robust::IoBackend* io = &robust::system_io();
 
   campaign::Report report;
   if (args.has("merge")) {
@@ -683,20 +795,26 @@ int run_sweep_cmd(const util::ArgParser& args) {
     opts.per_access = args.has("per-access");
     opts.max_attempts =
         static_cast<std::uint32_t>(args.get_u64("retries", 0)) + 1;
-    opts.budget.deadline_ns = args.get_u64("deadline-ms", 0) * 1'000'000ull;
+    opts.budget.deadline_ns = deadline_ns_from(args);
     opts.budget.max_total_boxes = args.get_u64("box-budget", 0);
+    opts.backoff = backoff_from(args, manifest.seed);
     opts.checkpoint_path = args.get_string("checkpoint", "");
     opts.resume = args.has("resume");
     if (opts.resume && opts.checkpoint_path.empty()) {
       throw util::UsageError("--resume requires --checkpoint");
     }
 
-    robust::FaultPlan fault_plan;
     const std::string fault_spec = args.get_string("fault", "");
     if (!fault_spec.empty()) {
       fault_plan = robust::FaultPlan::parse_spec(
           fault_spec, args.get_u64("fault-seed", manifest.seed ^ 0xFA17ull));
       opts.faults = &fault_plan;
+    }
+    if (opts.faults != nullptr &&
+        robust::FaultyIo::plan_arms_io(fault_plan)) {
+      faulty_io.emplace(robust::system_io(), &fault_plan);
+      io = &*faulty_io;
+      opts.io = io;
     }
 
     std::ofstream trace_file;
@@ -719,7 +837,15 @@ int run_sweep_cmd(const util::ArgParser& args) {
       std::cout << " (shard " << opts.shard_index << "/" << opts.shards
                 << ")";
     }
-    std::cout << (report.truncated ? ", TRUNCATED (budget)" : "") << "\n";
+    if (report.truncated) {
+      robust::CancelReason reason = report.truncate_reason;
+      if (reason == robust::CancelReason::kNone) {
+        reason = robust::CancelReason::kBudget;
+      }
+      std::cout << ", TRUNCATED (" << robust::cancel_reason_name(reason)
+                << ")";
+    }
+    std::cout << "\n";
   }
 
   std::uint64_t completed = 0, incomplete = 0, capped = 0, failed = 0;
@@ -748,7 +874,7 @@ int run_sweep_cmd(const util::ArgParser& args) {
     std::cout << "power-law fits (mean ~ scale * n^exponent):\n";
     table.print(std::cout);
   }
-  campaign::write_report_file(out_path, report);
+  campaign::write_report_file(out_path, report, *io);
   std::cout << "report written to " << out_path << "\n";
 
   const std::string baseline_path = args.get_string("baseline", "");
@@ -777,6 +903,12 @@ void report(const util::ArgParser& args, const model::RegularParams& p,
 int run(const util::ArgParser& args) {
   if (args.positionals().empty()) return usage();
   const std::string cmd = args.positionals().front();
+  // Hidden chaos-harness flag (tools/chaos_sweep.sh, not in help): raise
+  // SIGKILL at the Nth durable write, after persisting only half of it —
+  // the crash-kill bit-identity drill. Queried unconditionally so the
+  // unknown-flag warning never fires for it.
+  const std::uint64_t crash_after = args.get_u64("crash-after", 0);
+  if (crash_after != 0) robust::CrashPoint::instance().arm(crash_after);
   if (cmd == "help") {
     return args.positionals().size() > 1 ? help_for(args.positionals()[1])
                                          : usage();

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Chaos harness (docs/ROBUSTNESS.md, "Durability & crash safety"): prove
+# the crash-kill bit-identity guarantee by actually killing the process.
+#
+# For N = 1, 2, 3, ... the sweep runs with `--crash-after N`, which arms
+# robust::CrashPoint to persist a TORN PREFIX of the Nth durable write
+# (checkpoint header, per-cell commit, or the report's atomic temp file)
+# and raise SIGKILL — a faithful power cut, no unwinding, no flushes.
+# After every kill, `--resume` from the wounded checkpoint must complete
+# and produce a report byte-identical to the uninterrupted reference.
+# Once N passes the campaign's total durable-write count the run
+# completes cleanly; that run must ALSO match the reference, and the
+# sweep stops — every crash point was covered, none skipped.
+#
+# Wired as the ctest case `cli_chaos_sweep` (label `chaos`, bounded
+# TIMEOUT); run it under the address and thread sanitizer presets too —
+# torn-tail recovery bugs love to hide on the unwind-free kill path.
+#
+# usage:
+#   tools/chaos_sweep.sh <path-to-cadapt> [workdir]
+set -eu
+
+cli=${1:?usage: chaos_sweep.sh <path-to-cadapt> [workdir]}
+workdir=${2:-chaos_work}
+
+repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+manifest="$repo_root/bench/manifests/chaos_gate.manifest"
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+# The uninterrupted reference (--no-timing: the byte-identity contract).
+"$cli" sweep "$manifest" --no-timing --out chaos_ref.json > /dev/null
+
+max=16  # > total durable writes of the manifest; the loop exits early
+n=1
+while [ "$n" -le "$max" ]; do
+  rm -f chaos.ckpt chaos_out.json
+  status=0
+  # --jobs 1 keeps the Nth-write placement deterministic run to run.
+  "$cli" sweep "$manifest" --no-timing --jobs 1 \
+    --checkpoint chaos.ckpt --crash-after "$n" \
+    --out chaos_out.json > /dev/null 2>&1 || status=$?
+
+  if [ "$status" -eq 0 ]; then
+    # N exceeded the campaign's durable writes: a clean completion, and
+    # the coverage stop condition — every earlier N really crashed.
+    cmp chaos_ref.json chaos_out.json
+    echo "chaos sweep: $((n - 1)) crash points survived;" \
+         "clean completion at $n"
+    exit 0
+  fi
+  if [ "$status" -lt 128 ]; then
+    echo "crash point $n: expected SIGKILL (status >= 128) or clean" \
+         "completion, got exit $status" >&2
+    exit 1
+  fi
+
+  # Killed mid-write. Resume from the (possibly torn) checkpoint; the
+  # finished report must match the reference byte for byte.
+  "$cli" sweep "$manifest" --no-timing --checkpoint chaos.ckpt --resume \
+    --out chaos_out.json > /dev/null
+  if ! cmp chaos_ref.json chaos_out.json; then
+    echo "crash point $n: resumed report differs from the reference" >&2
+    exit 1
+  fi
+  n=$((n + 1))
+done
+
+echo "chaos sweep: no clean completion within $max crash points —" \
+     "is --crash-after arming more writes than expected?" >&2
+exit 1
