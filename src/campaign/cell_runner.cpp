@@ -287,7 +287,8 @@ engine::RobustTrialRunner make_program_runner(const Cell& cell,
   const bool per_access = options.per_access;
   const bool capture = options.capture_trace;
   const std::uint64_t cell_seed = cell.seed;
-  const robust::CancelToken* cancel = options.cancel;
+  const robust::CancelToken* cancel =
+      options.cancel_per_box ? options.cancel : nullptr;
   const paging::CaConfig config = ca_config_for(cell, options);
   const bool replayable =
       capture && prog.kind != ProgramSpec::Kind::kAdaptive;

@@ -34,12 +34,18 @@ struct CellRunOptions {
   /// outlive the call.
   const robust::FaultPlan* faults = nullptr;
   /// Cooperative cancellation token (docs/ROBUSTNESS.md); null =
-  /// disabled. Polled at every attempt start, and — for sort cells —
-  /// at every box boundary via the machine's box hook, so a stuck cell
-  /// terminates within one box of the request. Installing the hook
-  /// forces the generic replay path (docs/PAGING.md), which is only paid
-  /// when a deadline is armed. Must outlive the call.
+  /// disabled. Polled at every attempt start, and — for sort cells, when
+  /// cancel_per_box is set — at every box boundary via the machine's box
+  /// hook, so a stuck cell terminates within one box of the request.
+  /// Must outlive the call.
   const robust::CancelToken* cancel = nullptr;
+  /// Install the box-boundary poll hook for sort cells. Installing the
+  /// hook forces the generic replay path (docs/PAGING.md), so drivers
+  /// arm it only when mid-cell latency matters (a deadline watchdog);
+  /// a token armed merely for Ctrl-C (docs/SERVE.md, CLI signal wiring)
+  /// passes false and polls at attempt boundaries instead — the fast
+  /// paths stay live.
+  bool cancel_per_box = true;
   /// Seeded retry backoff shared by every cell; disabled by default
   /// (attempt 0 never sleeps — bit-compatible with pre-backoff runs).
   robust::BackoffPolicy backoff;

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <fstream>
 #include <istream>
+#include <map>
 #include <sstream>
 
 #include "paging/policy.hpp"
@@ -300,6 +301,11 @@ Manifest parse_manifest(std::istream& is) {
   // and profile grammar depends on it.
   std::vector<std::string> profile_tokens;
   std::size_t profiles_line = 0;
+  // key -> the line that first set it. A repeated key is refused, not
+  // last-one-wins: two manifests differing only in a shadowed line would
+  // parse (and hash) identically while READING differently — ambiguity a
+  // submitted campaign must never carry (docs/SWEEPS.md).
+  std::map<std::string, std::size_t> seen_keys;
 
   std::string line;
   std::size_t line_no = 0;
@@ -317,6 +323,11 @@ Manifest parse_manifest(std::istream& is) {
     const auto key_tokens = tokens_of(key);
     if (key_tokens.size() != 1) fail(line_no, "expected a single key");
     key = key_tokens.front();
+    if (const auto [it, fresh] = seen_keys.emplace(key, line_no); !fresh) {
+      fail(line_no, "duplicate key '" + key + "' (first set at line " +
+                        std::to_string(it->second) +
+                        ") — list every value on one line");
+    }
 
     if (key == "name") {
       const auto toks = tokens_of(value);

@@ -20,28 +20,28 @@
 
 namespace cadapt::campaign {
 
-namespace {
-
-obs::Event checkpoint_header(const Plan& plan, const SweepOptions& options) {
+obs::Event sweep_checkpoint_header(const Plan& plan, std::uint64_t shards,
+                                   std::uint64_t shard_index) {
   obs::Event event("sweep_checkpoint");
   event.u64("version", 1)
       .u64("config_hash", plan.config_hash)
-      .u64("shards", options.shards)
-      .u64("shard_index", options.shard_index)
+      .u64("shards", shards)
+      .u64("shard_index", shard_index)
       .u64("cells", plan.cells.size());
   return event;
 }
 
-/// Finished cells recorded by a previous run of this exact shard.
 std::map<std::uint64_t, CellResult> load_sweep_checkpoint(
-    const std::string& path, const Plan& plan, const SweepOptions& options) {
+    const std::string& path, const Plan& plan, std::uint64_t shards,
+    std::uint64_t shard_index) {
   std::ifstream is(path);
   if (!is) return {};  // nothing to resume from — a fresh start
   const std::vector<robust::JsonlLine> lines =
       robust::load_jsonl_tolerant(is, "sweep checkpoint");
   if (lines.empty()) return {};
   const obs::Event& head = lines.front().event;
-  const obs::Event expected = checkpoint_header(plan, options);
+  const obs::Event expected = sweep_checkpoint_header(plan, shards,
+                                                      shard_index);
   if (head != expected) {
     // Name every mismatched field with both values: "does not match"
     // alone sends the user diffing JSONL headers by hand.
@@ -78,6 +78,36 @@ std::map<std::uint64_t, CellResult> load_sweep_checkpoint(
   return finished;
 }
 
+Report assemble_report(const Plan& plan, std::vector<CellResult> cells,
+                       std::uint64_t shards, std::uint64_t shard_index,
+                       bool truncated, robust::CancelReason truncate_reason,
+                       std::uint64_t wall_ms) {
+  Report report;
+  report.name = plan.manifest.name;
+  report.config_hash = plan.config_hash;
+  report.cells_total = plan.cells.size();
+  report.shards = shards;
+  report.shard_index = shard_index;
+  report.truncated = truncated;
+  report.truncate_reason = truncate_reason;
+  report.env = build_provenance();
+  report.cells = std::move(cells);
+  // Index order, not completion order: the report is the deterministic
+  // artifact (cells were filled shard-slot-wise, which is already sorted
+  // by index for round-robin sharding, but don't rely on it).
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.index < b.index;
+            });
+  if (report.cells.size() == report.cells_total) {
+    report.fits = compute_fits(report);
+  }
+  report.wall_ms = wall_ms;
+  return report;
+}
+
+namespace {
+
 void emit_trial_errors(obs::TraceSink& sink, const Cell& cell,
                        const std::vector<robust::TrialRecord>& records) {
   for (const robust::TrialRecord& record : records) {
@@ -102,7 +132,8 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
 
   std::map<std::uint64_t, CellResult> finished;
   if (options.resume && !options.checkpoint_path.empty()) {
-    finished = load_sweep_checkpoint(options.checkpoint_path, plan, options);
+    finished = load_sweep_checkpoint(options.checkpoint_path, plan,
+                                     options.shards, options.shard_index);
   }
 
   robust::IoBackend& io =
@@ -116,7 +147,8 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
     checkpoint = std::make_unique<robust::DurableAppender>(
         options.checkpoint_path, /*truncate=*/fresh, io);
     if (checkpoint->initial_size() == 0) {
-      checkpoint->write(obs::to_jsonl(checkpoint_header(plan, options)));
+      checkpoint->write(obs::to_jsonl(sweep_checkpoint_header(
+          plan, options.shards, options.shard_index)));
       checkpoint->write("\n");
       checkpoint->commit();
     }
@@ -142,6 +174,10 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
   cell_options.max_attempts = options.max_attempts;
   cell_options.faults = options.faults;
   cell_options.cancel = cancel;
+  // The internal watchdog path is always a deadline: keep box-granular
+  // polling there regardless of what the caller set for its own token.
+  cell_options.cancel_per_box =
+      watchdog.has_value() || options.cancel_per_box;
   cell_options.backoff = options.backoff;
   cell_options.timing = options.timing;
 
@@ -208,33 +244,18 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
     note_truncation(e.reason());
   }
 
-  Report report;
-  report.name = plan.manifest.name;
-  report.config_hash = plan.config_hash;
-  report.cells_total = plan.cells.size();
-  report.shards = options.shards;
-  report.shard_index = options.shard_index;
-  report.truncated = truncated.load(std::memory_order_relaxed);
-  report.truncate_reason = static_cast<robust::CancelReason>(
-      reason_raw.load(std::memory_order_relaxed));
-  report.env = build_provenance();
+  std::vector<CellResult> cells;
   for (std::optional<CellResult>& result : results) {
-    if (result.has_value()) report.cells.push_back(std::move(*result));
+    if (result.has_value()) cells.push_back(std::move(*result));
   }
-  // Index order, not completion order: the report is the deterministic
-  // artifact (cells were filled shard-slot-wise, which is already sorted
-  // by index for round-robin sharding, but don't rely on it).
-  std::sort(report.cells.begin(), report.cells.end(),
-            [](const CellResult& a, const CellResult& b) {
-              return a.index < b.index;
-            });
-  if (report.cells.size() == report.cells_total) {
-    report.fits = compute_fits(report);
-  }
-  if (options.timing) {
-    report.wall_ms = (options.clock() - started_ns) / 1000000u;
-  }
-  return report;
+  const std::uint64_t wall_ms =
+      options.timing ? (options.clock() - started_ns) / 1000000u : 0;
+  return assemble_report(plan, std::move(cells), options.shards,
+                         options.shard_index,
+                         truncated.load(std::memory_order_relaxed),
+                         static_cast<robust::CancelReason>(
+                             reason_raw.load(std::memory_order_relaxed)),
+                         wall_ms);
 }
 
 }  // namespace cadapt::campaign

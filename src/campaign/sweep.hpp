@@ -22,7 +22,9 @@
 // in flight, and --resume re-derives exactly the missing ones.
 #pragma once
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "campaign/plan.hpp"
 #include "campaign/report.hpp"
@@ -66,6 +68,13 @@ struct SweepOptions {
   /// deadline watchdog (the caller owns the token's lifecycle). Must
   /// outlive the call.
   const robust::CancelToken* cancel = nullptr;
+  /// Poll `cancel` at every box boundary in sort cells (the machine's
+  /// box hook). True preserves the historical behavior; drivers that arm
+  /// `cancel` only for signal interrupts (no deadline) pass false and
+  /// accept attempt-boundary latency — the hook forces the generic
+  /// replay path (docs/PAGING.md), a perf tax a mere Ctrl-C safety net
+  /// should not impose. See CellRunOptions::cancel_per_box.
+  bool cancel_per_box = true;
   /// Seeded retry backoff for failed trials (docs/ROBUSTNESS.md);
   /// disabled by default — attempt 0 never sleeps, so reports stay
   /// byte-identical for campaigns that never retry.
@@ -94,5 +103,34 @@ struct SweepOptions {
 /// token) discards the in-flight cells and returns a truncated report
 /// carrying the reason — committed checkpoint cells survive for resume.
 Report run_sweep(const Plan& plan, const SweepOptions& options = {});
+
+// The pieces run_sweep is made of, exposed so other drivers of the same
+// checkpoint/report formats — the `cadapt serve` daemon foremost — reuse
+// them instead of re-deriving the encoding. A serve job IS a shards=1
+// sweep of its manifest: same header, same loader, same report assembly,
+// which is what makes "daemon report == one-shot sweep report" a
+// byte-for-byte identity rather than a convention.
+
+/// The checkpoint's header line: version, config_hash, sharding, grid
+/// size. A resume refuses any mismatch (see load_sweep_checkpoint).
+obs::Event sweep_checkpoint_header(const Plan& plan, std::uint64_t shards,
+                                   std::uint64_t shard_index);
+
+/// Finished cells recorded by a previous run of this exact shard, keyed
+/// by cell index. A missing file is an empty map (fresh start). Throws
+/// util::ParseError when the header does not match — every divergent
+/// field is NAMED with both values.
+std::map<std::uint64_t, CellResult> load_sweep_checkpoint(
+    const std::string& path, const Plan& plan, std::uint64_t shards,
+    std::uint64_t shard_index);
+
+/// Assemble the deterministic report exactly as run_sweep does: cells
+/// sorted by index, fits only at full grid coverage, this binary's build
+/// provenance. `wall_ms` is stored verbatim (pass 0 for timing-free
+/// artifacts).
+Report assemble_report(const Plan& plan, std::vector<CellResult> cells,
+                       std::uint64_t shards, std::uint64_t shard_index,
+                       bool truncated, robust::CancelReason truncate_reason,
+                       std::uint64_t wall_ms);
 
 }  // namespace cadapt::campaign

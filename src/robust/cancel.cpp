@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <csignal>
 #include <string>
 
 #include "util/check.hpp"
@@ -42,6 +43,31 @@ void CancelToken::request(CancelReason reason) {
                                   static_cast<std::uint8_t>(reason),
                                   std::memory_order_relaxed,
                                   std::memory_order_relaxed);
+}
+
+namespace {
+
+// Async-signal-safe by construction: process_cancel_token() was already
+// forced through its first-call initialization by install_signal_cancel,
+// and request() is one relaxed CAS (CADAPT_CHECK on a constant that
+// holds). Restoring SIG_DFL makes the SECOND signal fatal — the escape
+// hatch when a run is stuck before its next poll.
+extern "C" void signal_cancel_handler(int sig) {
+  process_cancel_token().request(CancelReason::kExternal);
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+CancelToken& process_cancel_token() {
+  static CancelToken token;
+  return token;
+}
+
+void install_signal_cancel() {
+  process_cancel_token();  // run the static init OUTSIDE any handler
+  std::signal(SIGINT, &signal_cancel_handler);
+  std::signal(SIGTERM, &signal_cancel_handler);
 }
 
 std::uint64_t Watchdog::poll_interval_ns(std::uint64_t deadline_ns) {

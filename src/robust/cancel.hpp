@@ -87,6 +87,23 @@ class CancelToken {
       static_cast<std::uint8_t>(CancelReason::kNone)};
 };
 
+/// The process-wide cancellation token for interactive runs. SIGINT /
+/// SIGTERM handlers installed by install_signal_cancel() request
+/// kExternal on it, so a Ctrl-C'd `cadapt mc`/`sweep`/`serve` unwinds
+/// through the cooperative-cancellation path — checkpoint committed,
+/// truncated summary printed, resume bit-identical — instead of dying
+/// mid-write. Lazily constructed; install_signal_cancel() touches it
+/// before arming the handlers, so the handler itself never runs the
+/// first-call initialization (signal-safety: request() is one relaxed
+/// CAS on an atomic).
+CancelToken& process_cancel_token();
+
+/// Install SIGINT and SIGTERM handlers that request kExternal on
+/// process_cancel_token(). The first signal cancels cooperatively and
+/// restores the default disposition, so a second Ctrl-C force-kills a
+/// process stuck before its next poll. Idempotent.
+void install_signal_cancel();
+
 /// Deadline watchdog: a helper thread that requests kDeadline on `token`
 /// once `deadline_ns` of wall clock have elapsed since construction.
 /// Polls the clock every poll_interval_ns(deadline_ns) — frequent enough

@@ -1,0 +1,65 @@
+#include "serve/protocol.hpp"
+
+#include "campaign/provenance.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::serve {
+
+obs::Event version_event(const std::string& type_tag) {
+  const campaign::Provenance& p = campaign::build_provenance();
+  obs::Event event(type_tag);
+  event.str("version", p.version)
+      .str("git", p.git_hash)
+      .str("build_type", p.build_type)
+      .str("compiler", p.compiler)
+      .str("cxx_flags", p.cxx_flags)
+      .u64("protocol", kProtocolVersion)
+      .u64("report", kReportVersion);
+  return event;
+}
+
+obs::Event submit_event(const SubmitRequest& request) {
+  obs::Event event("submit");
+  event.str("manifest", request.manifest_text).str("client", request.client);
+  if (request.weight != 1) event.u64("weight", request.weight);
+  if (request.deadline_ms != 0) event.u64("deadline_ms", request.deadline_ms);
+  if (request.box_budget != 0) event.u64("box_budget", request.box_budget);
+  if (!request.fault_spec.empty()) {
+    event.str("fault", request.fault_spec);
+    event.u64("fault_seed", request.fault_seed);
+  }
+  if (request.retries != 0) event.u64("retries", request.retries);
+  return event;
+}
+
+SubmitRequest submit_from_event(const obs::Event& event) {
+  SubmitRequest request;
+  request.manifest_text = event.str_or("manifest", "");
+  request.client = event.str_or("client", "anon");
+  request.weight = event.u64_or("weight", 1);
+  if (request.weight == 0) request.weight = 1;
+  request.deadline_ms = event.u64_or("deadline_ms", 0);
+  request.box_budget = event.u64_or("box_budget", 0);
+  request.fault_spec = event.str_or("fault", "");
+  request.fault_seed = event.u64_or("fault_seed", 0);
+  request.retries =
+      static_cast<std::uint32_t>(event.u64_or("retries", 0));
+  return request;
+}
+
+obs::Event error_event(int code, const std::string& message) {
+  obs::Event event("error");
+  event.u64("code", static_cast<std::uint64_t>(code)).str("message", message);
+  return event;
+}
+
+obs::Event parse_line(const std::string& line) {
+  obs::Event event;
+  std::string error;
+  if (!obs::parse_jsonl(line, &event, &error)) {
+    throw util::ParseError("serve protocol: " + error);
+  }
+  return event;
+}
+
+}  // namespace cadapt::serve

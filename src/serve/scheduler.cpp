@@ -1,0 +1,107 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cadapt::serve {
+
+void FairScheduler::add_job(const std::string& job, const std::string& client,
+                            std::uint64_t weight,
+                            std::vector<std::uint64_t> cells) {
+  CADAPT_CHECK_MSG(find_job(job) == nullptr,
+                   "serve scheduler: duplicate job id '" << job << "'");
+  ClientQueue* queue = nullptr;
+  for (ClientQueue& c : clients_) {
+    if (c.id == client) {
+      queue = &c;
+      break;
+    }
+  }
+  if (queue == nullptr) {
+    clients_.push_back(ClientQueue{});
+    queue = &clients_.back();
+    queue->id = client;
+  }
+  queue->weight = std::max<std::uint64_t>(1, weight);
+  JobQueue jq;
+  jq.id = job;
+  jq.cells.assign(cells.begin(), cells.end());
+  queue->jobs.push_back(std::move(jq));
+}
+
+void FairScheduler::remove_job(const std::string& job) {
+  for (ClientQueue& client : clients_) {
+    for (auto it = client.jobs.begin(); it != client.jobs.end(); ++it) {
+      if (it->id == job) {
+        client.jobs.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+void FairScheduler::pause_job(const std::string& job) {
+  if (JobQueue* jq = find_job(job)) jq->paused = true;
+}
+
+void FairScheduler::resume_job(const std::string& job) {
+  if (JobQueue* jq = find_job(job)) jq->paused = false;
+}
+
+bool FairScheduler::empty() const {
+  for (const ClientQueue& client : clients_) {
+    if (client.eligible()) return false;
+  }
+  return true;
+}
+
+std::uint64_t FairScheduler::pending() const {
+  std::uint64_t total = 0;
+  for (const ClientQueue& client : clients_) {
+    for (const JobQueue& job : client.jobs) total += job.cells.size();
+  }
+  return total;
+}
+
+std::optional<SchedulerPick> FairScheduler::next() {
+  // Smooth WRR step. Only ELIGIBLE clients accrue credit: a client that
+  // is paused or drained does not bank entitlement while absent, so it
+  // rejoins at its steady-state share instead of bursting — absence must
+  // not perturb the other tenants' future order any more than it already
+  // did by freeing slots.
+  std::int64_t total_weight = 0;
+  ClientQueue* winner = nullptr;
+  for (ClientQueue& client : clients_) {
+    if (!client.eligible()) continue;
+    total_weight += static_cast<std::int64_t>(client.weight);
+    client.credit += static_cast<std::int64_t>(client.weight);
+    // Strict > keeps ties on the earliest-submitted client.
+    if (winner == nullptr || client.credit > winner->credit) {
+      winner = &client;
+    }
+  }
+  if (winner == nullptr) return std::nullopt;
+  winner->credit -= total_weight;
+  for (JobQueue& job : winner->jobs) {
+    if (job.paused || job.cells.empty()) continue;
+    SchedulerPick pick{job.id, job.cells.front()};
+    job.cells.pop_front();
+    return pick;
+  }
+  CADAPT_CHECK_MSG(false, "serve scheduler: eligible client '"
+                              << winner->id << "' had no dispatchable cell");
+  return std::nullopt;
+}
+
+FairScheduler::JobQueue* FairScheduler::find_job(const std::string& job) {
+  for (ClientQueue& client : clients_) {
+    for (JobQueue& jq : client.jobs) {
+      if (jq.id == job) return &jq;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cadapt::serve

@@ -1,0 +1,170 @@
+// ServeCore: the daemon's multi-tenant job engine, socket-free so tests
+// drive it in-process (docs/SERVE.md).
+//
+// One shared util::ThreadPool executes cells; a FairScheduler decides
+// WHICH cell runs next (weighted round-robin across clients); per-job
+// robust::CancelToken + Watchdog handle cancellation and deadlines;
+// per-client robust::BudgetTracker caps total boxes. Every durable write
+// goes through the PR 7 layer: cell results append to a per-job
+// DurableAppender checkpoint (the sweep format at shards=1), final
+// reports land via atomic_write_file. A SIGKILL'd daemon restarts from
+// the Spool and resumes every unfinished job from its checkpoint.
+//
+// The invariant everything here serves: a job's final report is
+// byte-identical to one-shot `cadapt sweep --no-timing` on the same
+// manifest, regardless of tenant interleaving, restarts, or how slowly
+// its subscriber drains — because cells are pure functions of the plan
+// and the report is assembled by the same campaign::assemble_report.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/cell_runner.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "obs/sink.hpp"
+#include "robust/budget.hpp"
+#include "robust/cancel.hpp"
+#include "robust/fault.hpp"
+#include "robust/io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/spool.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cadapt::serve {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       ///< report written (possibly truncated: deadline/budget)
+  kCancelled = 3,  ///< client-cancelled; truncated report written
+  kFailed = 4,     ///< internal error (message in JobStatus::error)
+};
+const char* job_state_name(JobState state);
+
+struct JobStatus {
+  std::string id;
+  std::string client;
+  JobState state = JobState::kQueued;
+  std::uint64_t config_hash = 0;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_done = 0;
+  bool truncated = false;
+  robust::CancelReason reason = robust::CancelReason::kNone;
+  std::string error;
+};
+
+struct ServeOptions {
+  std::string spool_dir;          ///< required
+  std::uint64_t jobs = 0;         ///< pool threads; 0 = hardware
+  std::uint64_t slots = 0;        ///< max in-flight cells; 0 = pool size
+  /// Stream buffer capacity (lines) per subscribed job; a full buffer
+  /// pauses THAT job's dispatch until the subscriber drains below half.
+  std::uint64_t stream_buffer = 64;
+  bool timing = true;             ///< false = byte-identity artifacts
+  /// false = jobs queue but nothing dispatches until start(); the
+  /// determinism tests use this to fix the submission set first.
+  bool autostart = true;
+  robust::IoBackend* io = nullptr;  ///< null = system_io()
+  /// Server-side telemetry: job_accepted / cell_scheduled / job_done
+  /// events in decision order. Null = disabled.
+  obs::TraceSink* trace = nullptr;
+};
+
+class ServeCore {
+ public:
+  /// Opens (creating) the spool and RESUMES every unfinished job found
+  /// in it — the restart path is the constructor, not a special mode.
+  explicit ServeCore(const ServeOptions& options);
+  ~ServeCore();
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  /// Accept a job: parse + expand the manifest, persist it durably,
+  /// enqueue its cells. Throws util::ParseError on a malformed manifest
+  /// (no job is created). Returns the accepted job's status.
+  JobStatus submit(const SubmitRequest& request);
+
+  /// Begin dispatching (no-op when autostart or already started).
+  void start();
+
+  std::vector<JobStatus> status() const;
+  std::optional<JobStatus> status(const std::string& job) const;
+
+  /// Client cancel: requests kExternal on the job's token, drops its
+  /// undispatched cells, and finalizes a truncated report once in-flight
+  /// cells unwind. False for unknown or already-terminal jobs.
+  bool cancel(const std::string& job);
+
+  /// Block until `job` reaches a terminal state. False if unknown.
+  bool wait_job(const std::string& job);
+  /// Block until no job is queued or running.
+  void wait_idle();
+
+  /// Streaming (one subscriber per job): attach() starts buffering the
+  /// job's sweep_cell report lines in completion order; next_stream_line
+  /// blocks for the next line, returning nullopt once the job is
+  /// terminal and the buffer is drained (or the core shuts down);
+  /// detach() drops the buffer and un-pauses. A subscriber that stops
+  /// draining fills the bounded buffer and pauses ONLY its own job's
+  /// dispatch (docs/SERVE.md, "Backpressure").
+  bool attach(const std::string& job);
+  std::optional<std::string> next_stream_line(const std::string& job);
+  void detach(const std::string& job);
+
+  /// The finished report's bytes (the durable file, verbatim). Throws
+  /// util::IoError when the job has no report (not terminal / failed).
+  std::string report_bytes(const std::string& job) const;
+
+  /// Every dispatch decision in order — the determinism test surface.
+  std::vector<SchedulerPick> dispatch_log() const;
+
+  /// Graceful stop: discard in-flight cells (their checkpoints keep only
+  /// committed results), leave every durable artifact for the next
+  /// ServeCore to resume. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct ClientState {
+    std::unique_ptr<robust::BudgetTracker> tracker;  // null = no budget
+  };
+  struct Job;
+
+  void resume_spool();
+  void init_job(const JobFiles& files, const SubmitRequest& request,
+                bool resuming);
+  void pump();  // dispatch while slots are free (mutex held)
+  void run_one(const std::string& id, std::uint64_t cell_index);
+  void truncate_job(Job& job, robust::CancelReason reason);  // mutex held
+  void maybe_finalize(Job& job);                             // mutex held
+  void fail_job(Job& job, const std::string& what);          // mutex held
+  JobStatus status_of(const Job& job) const;                 // mutex held
+
+  ServeOptions options_;
+  robust::IoBackend& io_;
+  Spool spool_;
+  util::ThreadPool pool_;
+  std::uint64_t slots_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  FairScheduler scheduler_;
+  std::map<std::string, std::unique_ptr<Job>> jobs_;
+  std::map<std::string, ClientState> clients_;
+  std::vector<SchedulerPick> dispatch_log_;
+  std::uint64_t in_flight_ = 0;
+  bool started_ = false;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cadapt::serve

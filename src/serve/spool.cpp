@@ -1,0 +1,132 @@
+#include "serve/spool.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::serve {
+
+namespace {
+
+constexpr const char* kMetaSuffix = ".job";
+
+/// "job-12.job" -> 12; nullopt for anything else.
+std::optional<std::uint64_t> id_number(const std::string& filename) {
+  const std::string prefix = "job-";
+  if (filename.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string suffix = kMetaSuffix;
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), n);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return n;
+}
+
+}  // namespace
+
+Spool::Spool(std::string dir, robust::IoBackend& io)
+    : dir_(std::move(dir)), io_(io) {
+  CADAPT_CHECK(!dir_.empty());
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw util::IoError("cannot create spool directory '" + dir_ +
+                        "': " + std::strerror(errno));
+  }
+  // Start ids past everything on disk — a restart must never reuse an
+  // id (the old job's artifacts would be silently blended with the new).
+  for (const JobFiles& files : scan()) {
+    if (const auto n = id_number(files.id + kMetaSuffix)) {
+      next_id_ = std::max(next_id_, *n + 1);
+    }
+  }
+}
+
+JobFiles Spool::files_for(const std::string& id) const {
+  JobFiles files;
+  files.id = id;
+  const std::string base = dir_ + "/" + id;
+  files.manifest_path = base + ".manifest";
+  files.meta_path = base + kMetaSuffix;
+  files.checkpoint_path = base + ".ckpt";
+  files.report_path = base + ".json";
+  std::error_code ec;
+  files.has_report = std::filesystem::exists(files.report_path, ec);
+  return files;
+}
+
+std::vector<JobFiles> Spool::scan() const {
+  std::vector<std::pair<std::uint64_t, std::string>> ids;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const auto n = id_number(name)) {
+      ids.emplace_back(*n, name.substr(0, name.size() -
+                                              std::strlen(kMetaSuffix)));
+    }
+  }
+  if (ec) {
+    throw util::IoError("cannot read spool directory '" + dir_ +
+                        "': " + ec.message());
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<JobFiles> out;
+  out.reserve(ids.size());
+  for (const auto& [n, id] : ids) out.push_back(files_for(id));
+  return out;
+}
+
+std::string Spool::allocate_id() {
+  return "job-" + std::to_string(next_id_++);
+}
+
+void Spool::persist_job(const JobFiles& files,
+                        const std::string& manifest_text,
+                        const obs::Event& meta) {
+  // Manifest before meta: the scan keys off meta files, so a crash
+  // between the two leaves an invisible orphan, never a job whose
+  // manifest is missing.
+  robust::atomic_write_file(files.manifest_path, manifest_text, io_);
+  robust::atomic_write_file(files.meta_path, obs::to_jsonl(meta) + "\n", io_);
+}
+
+std::string Spool::load_manifest_text(const JobFiles& files) const {
+  std::ifstream is(files.manifest_path, std::ios::binary);
+  if (!is) {
+    throw util::IoError("cannot open job manifest '" + files.manifest_path +
+                        "'");
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+obs::Event Spool::load_meta(const JobFiles& files) const {
+  std::ifstream is(files.meta_path);
+  if (!is) {
+    throw util::IoError("cannot open job meta '" + files.meta_path + "'");
+  }
+  std::string line;
+  std::getline(is, line);
+  return parse_line(line);
+}
+
+}  // namespace cadapt::serve

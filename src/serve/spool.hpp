@@ -1,0 +1,70 @@
+// The daemon's durable state: one spool directory holding, per job,
+//
+//   <id>.manifest   the submitted manifest bytes, verbatim
+//   <id>.job        a serve_job meta line (client, weight, budgets, ...)
+//   <id>.ckpt       the cell-granular checkpoint (sweep format, shards=1)
+//   <id>.json       the final report (atomic commit; exists = finished)
+//
+// manifest and meta are committed via robust::atomic_write_file BEFORE a
+// submit is acknowledged, so every acknowledged job survives SIGKILL.
+// A restarted daemon scans the spool: jobs with a report are terminal
+// history; jobs without one re-enter the scheduler and resume from their
+// checkpoint — the same loader one-shot `cadapt sweep --resume` uses
+// (docs/SERVE.md, "Durability & restart").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "robust/io.hpp"
+
+namespace cadapt::serve {
+
+/// The on-disk locations of one job, plus what the last scan saw.
+struct JobFiles {
+  std::string id;
+  std::string manifest_path;
+  std::string meta_path;
+  std::string checkpoint_path;
+  std::string report_path;
+  bool has_report = false;
+};
+
+class Spool {
+ public:
+  /// Creates `dir` if missing (one level). Throws util::IoError when the
+  /// directory cannot be created or read.
+  Spool(std::string dir, robust::IoBackend& io);
+
+  const std::string& dir() const { return dir_; }
+
+  JobFiles files_for(const std::string& id) const;
+
+  /// Every job with a persisted meta file, ordered by numeric id suffix
+  /// (= submission order, so a restarted daemon re-enqueues in the
+  /// original order — dispatch determinism across restarts).
+  std::vector<JobFiles> scan() const;
+
+  /// Next unused job id ("job-N"); N starts past every id seen on disk.
+  std::string allocate_id();
+
+  /// Durably persist a new job: manifest bytes first, then the meta line
+  /// (atomic commits both). Only after this returns is the job
+  /// acknowledged to the client — a meta file on disk is the job's
+  /// existence proof.
+  void persist_job(const JobFiles& files, const std::string& manifest_text,
+                   const obs::Event& meta);
+
+  /// Load what persist_job wrote. Throws util::IoError / ParseError.
+  std::string load_manifest_text(const JobFiles& files) const;
+  obs::Event load_meta(const JobFiles& files) const;
+
+ private:
+  std::string dir_;
+  robust::IoBackend& io_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace cadapt::serve

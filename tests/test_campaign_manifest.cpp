@@ -90,6 +90,24 @@ TEST(Manifest, RejectsUnknownKeyWithLineNumber) {
   }
 }
 
+TEST(Manifest, RejectsDuplicateKeyNamingBothLines) {
+  // A repeated key is a silent last-one-wins trap (the camouflaged-typo
+  // cousin of algoz=): refuse it, and name BOTH lines so the fix is
+  // obvious. Multi-value axes are one line by design (`k = 1 2 3`).
+  try {
+    parse("name = x\nalgos = 4:2:1\nprofiles = worst\nk = 2\nk = 3\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const util::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'k'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;  // first
+    EXPECT_EQ(e.line(), 5u);                                    // second
+  }
+  EXPECT_THROW(parse("name = x\nname = y\nalgos = 4:2:1\n"
+                     "profiles = worst\nk = 2\n"),
+               util::ParseError);
+}
+
 TEST(Manifest, RejectsMalformedInput) {
   // missing required name
   EXPECT_THROW(parse("algos = 4:2:1\nprofiles = worst\nk = 2\n"),

@@ -25,6 +25,7 @@
 //   bimodal|point|uniform-range, --kdist, --small, --big, --pbig,
 //   --size, --lo, --hi
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -50,6 +51,9 @@
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "robust/io.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 #include "util/args.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -117,7 +121,22 @@ commands:
               [--shards S --shard-index I] [--checkpoint F [--resume]]
               [--baseline report] [--no-timing] ... — run
               'cadapt help sweep' for the full flag list
-  version     build provenance (version, git hash, compiler, flags)
+  serve       long-lived multi-tenant campaign daemon (docs/SERVE.md):
+              cadapt serve --spool DIR --socket PATH [--jobs J]
+              [--slots N] [--stream-buffer L] [--no-timing] [--trace F]
+              — run 'cadapt help serve' for the protocol and flags
+  submit      submit a manifest to a running daemon:
+              cadapt submit <manifest> --socket PATH [--client NAME]
+              [--weight W] [--deadline-ms D] [--box-budget B]
+              [--fault SPEC [--fault-seed S]] [--retries R]
+  status      list daemon jobs: cadapt status --socket PATH [--job ID]
+  cancel      cancel a daemon job: cadapt cancel --socket PATH --job ID
+  results     stream a job's cells and fetch its report:
+              cadapt results --socket PATH --job ID [--out F]
+              [--progress]
+  version     build provenance (version, git hash, compiler, flags);
+              --json emits one machine-readable line (the daemon's
+              hello payload)
   help [cmd]  this text, or detailed help for one command
 
 exit codes:
@@ -333,17 +352,19 @@ int run_mc_sort(const util::ArgParser& args) {
     opts.io = &*faulty_io;
   }
 
-  // Cooperative deadline enforcement: the watchdog cancels mid-trial,
-  // where the BudgetTracker alone only notices at chunk boundaries.
-  // Created BEFORE the runner below — make_program_runner captures the
-  // options (and so the token pointer) by value. Box budgets stay
-  // boundary-checked: their truncation point must be deterministic.
-  robust::CancelToken cancel_token;
+  // Cooperative cancellation: the process-wide token fires on the first
+  // SIGINT/SIGTERM (the second signal falls back to the default kill),
+  // and a --deadline-ms watchdog shares it. Created BEFORE the runner
+  // below — make_program_runner captures the options (and so the token
+  // pointer) by value. Box budgets stay boundary-checked: their
+  // truncation point must be deterministic.
+  robust::install_signal_cancel();
+  robust::CancelToken& cancel_token = robust::process_cancel_token();
   std::optional<robust::Watchdog> watchdog;
   if (opts.budget.deadline_ns != 0) {
     watchdog.emplace(cancel_token, opts.budget.deadline_ns);
-    opts.cancel = &cancel_token;
   }
+  opts.cancel = &cancel_token;
 
   // Checkpoint fingerprint: everything that shapes a trial's result.
   // --per-access is absent by design — it is bit-identical by contract,
@@ -366,6 +387,10 @@ int run_mc_sort(const util::ArgParser& args) {
   campaign::CellRunOptions cell_options = pa.options;
   cell_options.faults = opts.faults;
   cell_options.cancel = opts.cancel;
+  // Box-granular polling only when a deadline needs mid-cell latency; a
+  // token armed merely for Ctrl-C keeps the fast paths live
+  // (CellRunOptions::cancel_per_box).
+  cell_options.cancel_per_box = opts.budget.deadline_ns != 0;
   const engine::McSummary s = engine::run_monte_carlo_robust(
       opts, campaign::make_program_runner(pa.cell, cell_options));
 
@@ -590,15 +615,18 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
     opts.io = &*faulty_io;
   }
 
-  // Created BEFORE run_monte_carlo_iid builds its runner from opts (the
-  // runner captures the token pointer by value). Box budgets stay
-  // boundary-checked — no watchdog for them (see run_mc_sort).
-  robust::CancelToken cancel_token;
+  // The process-wide SIGINT/SIGTERM token, shared with a --deadline-ms
+  // watchdog when one is armed. Created BEFORE run_monte_carlo_iid
+  // builds its runner from opts (the runner captures the token pointer
+  // by value). Box budgets stay boundary-checked — no watchdog for them
+  // (see run_mc_sort).
+  robust::install_signal_cancel();
+  robust::CancelToken& cancel_token = robust::process_cancel_token();
   std::optional<robust::Watchdog> watchdog;
   if (opts.budget.deadline_ns != 0) {
     watchdog.emplace(cancel_token, opts.budget.deadline_ns);
-    opts.cancel = &cancel_token;
   }
+  opts.cancel = &cancel_token;
 
   const auto dist = dist_from(args, p);
   // Campaign fingerprint for the checkpoint header: everything that
@@ -731,7 +759,54 @@ baseline gating:
     std::cout << "cadapt version - print the provenance baked into this "
                  "binary\n\nThe same fields are embedded verbatim in every "
                  "sweep report's sweep_env line,\nso a report always "
-                 "answers \"which build measured this?\".\n";
+                 "answers \"which build measured this?\".\n\n--json emits "
+                 "the fields as one JSONL line plus the serve protocol\n"
+                 "and report versions — the exact payload a running "
+                 "daemon answers `hello`\nwith, so scripts version-gate "
+                 "offline and on-line identically.\n";
+    return 0;
+  }
+  if (cmd == "serve" || cmd == "submit" || cmd == "status" ||
+      cmd == "cancel" || cmd == "results") {
+    std::cout << R"(cadapt serve - long-lived multi-tenant campaign daemon
+
+  cadapt serve --spool DIR --socket PATH [flags]
+
+The daemon accepts sweep manifests over a Unix-domain socket, schedules
+their cells across one shared thread pool with weighted round-robin
+fair-share across clients, and streams results back incrementally
+(docs/SERVE.md). Every accepted job is durably spooled; a SIGKILL'd
+daemon restarted on the same --spool resumes every unfinished job from
+its cell-granular checkpoint, and the final report is byte-identical to
+one-shot `cadapt sweep` on the same manifest (run both with
+--no-timing to zero wall clocks).
+
+serve flags:
+  --spool DIR           durable job state (required; created if missing)
+  --socket PATH         Unix-domain socket to listen on (required)
+  --jobs J              worker threads (default: hardware concurrency)
+  --slots N             max in-flight cells (default: pool size)
+  --stream-buffer L     per-job result buffer before backpressure
+                        pauses that job's dispatch (default 64 lines)
+  --no-timing           zero wall clocks (byte-identity artifacts)
+  --trace F             JSONL telemetry: job_accepted / cell_scheduled /
+                        job_done in decision order
+
+client subcommands (all take --socket PATH):
+  submit <manifest>     [--client NAME] [--weight W] [--deadline-ms D]
+                        [--box-budget B] [--fault SPEC [--fault-seed S]]
+                        [--retries R] — prints the job_accepted line
+  status [--job ID]     one job_status line per job
+  cancel --job ID       cooperative cancel; a truncated report is still
+                        written once in-flight cells unwind
+  results --job ID      stream sweep_cell lines ([--progress] prints
+                        them to stderr), then write the report bytes to
+                        stdout or --out F — cmp-identical to the
+                        daemon's durable artifact
+
+Exit codes mirror the error lines the daemon answers with: 2 usage,
+3 input (unknown job, malformed manifest), 4 internal.
+)";
     return 0;
   }
   return usage();
@@ -803,6 +878,22 @@ int run_sweep_cmd(const util::ArgParser& args) {
     if (opts.resume && opts.checkpoint_path.empty()) {
       throw util::UsageError("--resume requires --checkpoint");
     }
+
+    // First SIGINT/SIGTERM cancels cooperatively: in-flight cells are
+    // discarded, committed checkpoint cells survive, and a --resume
+    // re-run completes bit-identically to an uninterrupted one. An
+    // external token suppresses run_sweep's internal deadline watchdog,
+    // so the CLI owns one on the same token when --deadline-ms is set;
+    // the box-granular poll hook is armed only then (the hook forces
+    // the generic replay path — SweepOptions::cancel_per_box).
+    robust::install_signal_cancel();
+    std::optional<robust::Watchdog> watchdog;
+    if (opts.budget.deadline_ns != 0) {
+      watchdog.emplace(robust::process_cancel_token(),
+                       opts.budget.deadline_ns);
+    }
+    opts.cancel = &robust::process_cancel_token();
+    opts.cancel_per_box = opts.budget.deadline_ns != 0;
 
     const std::string fault_spec = args.get_string("fault", "");
     if (!fault_spec.empty()) {
@@ -892,6 +983,141 @@ int run_sweep_cmd(const util::ArgParser& args) {
   return 0;
 }
 
+// ---- serve family (docs/SERVE.md) ----------------------------------
+
+std::string require_socket(const util::ArgParser& args) {
+  const std::string socket = args.get_string("socket", "");
+  if (socket.empty()) {
+    throw util::UsageError("this command requires --socket PATH");
+  }
+  return socket;
+}
+
+std::string require_job(const util::ArgParser& args) {
+  const std::string job = args.get_string("job", "");
+  if (job.empty()) throw util::UsageError("this command requires --job ID");
+  return job;
+}
+
+/// Print a daemon error line and map its code to the CLI exit code.
+int daemon_error(const obs::Event& response) {
+  std::cerr << "daemon error: " << response.str_or("message", "?") << "\n";
+  const std::uint64_t code = response.u64_or("code", 1);
+  return code != 0 ? static_cast<int>(code) : 1;
+}
+
+int run_serve_cmd(const util::ArgParser& args) {
+  serve::DaemonOptions opts;
+  opts.socket_path = require_socket(args);
+  opts.core.spool_dir = args.get_string("spool", "");
+  if (opts.core.spool_dir.empty()) {
+    throw util::UsageError("serve requires --spool DIR");
+  }
+  opts.core.jobs = args.get_u64("jobs", 0);
+  opts.core.slots = args.get_u64("slots", 0);
+  opts.core.stream_buffer = args.get_u64("stream-buffer", 64);
+  opts.core.timing = !args.has("no-timing");
+
+  std::ofstream trace_file;
+  obs::JsonlSink trace_sink(trace_file);
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) throw util::IoError("cannot open --trace " + trace_path);
+    opts.core.trace = &trace_sink;
+  }
+
+  // First SIGINT/SIGTERM drains gracefully: dispatch stops, in-flight
+  // cells unwind through the cooperative cancel path, checkpoints keep
+  // every committed cell, and the next daemon on this spool resumes.
+  robust::install_signal_cancel();
+  std::cout << "cadapt serve: spool " << opts.core.spool_dir << ", socket "
+            << opts.socket_path << "\n"
+            << std::flush;
+  return serve::run_daemon(opts);
+}
+
+int run_submit_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() != 2) {
+    throw util::UsageError("submit requires exactly one manifest path");
+  }
+  std::ifstream is(pos[1], std::ios::binary);
+  if (!is) throw util::IoError("cannot open manifest '" + pos[1] + "'");
+  std::ostringstream manifest;
+  manifest << is.rdbuf();
+
+  serve::SubmitRequest request;
+  request.manifest_text = manifest.str();
+  request.client = args.get_string("client", "anon");
+  request.weight = args.get_u64("weight", 1);
+  request.deadline_ms = args.get_u64("deadline-ms", 0);
+  request.box_budget = args.get_u64("box-budget", 0);
+  request.fault_spec = args.get_string("fault", "");
+  request.fault_seed = args.get_u64("fault-seed", 0);
+  request.retries = static_cast<std::uint32_t>(args.get_u64("retries", 0));
+
+  const obs::Event response =
+      serve::roundtrip(require_socket(args), serve::submit_event(request));
+  if (response.type == "error") return daemon_error(response);
+  std::cout << obs::to_jsonl(response) << "\n";
+  return 0;
+}
+
+int run_status_cmd(const util::ArgParser& args) {
+  const std::string socket = require_socket(args);
+  obs::Event request("status");
+  const std::string job = args.get_string("job", "");
+  if (!job.empty()) {
+    request.str("job", job);
+    const obs::Event response = serve::roundtrip(socket, request);
+    if (response.type == "error") return daemon_error(response);
+    std::cout << obs::to_jsonl(response) << "\n";
+    return 0;
+  }
+  for (const obs::Event& line : serve::roundtrip_all(socket, request)) {
+    if (line.type == "end") continue;
+    if (line.type == "error") return daemon_error(line);
+    std::cout << obs::to_jsonl(line) << "\n";
+  }
+  return 0;
+}
+
+int run_cancel_cmd(const util::ArgParser& args) {
+  obs::Event request("cancel");
+  request.str("job", require_job(args));
+  const obs::Event response = serve::roundtrip(require_socket(args), request);
+  if (response.type == "error") return daemon_error(response);
+  std::cout << obs::to_jsonl(response) << "\n";
+  return 0;
+}
+
+int run_results_cmd(const util::ArgParser& args) {
+  const std::string out_path = args.get_string("out", "");
+  std::function<void(const std::string&)> on_progress;
+  if (args.has("progress")) {
+    on_progress = [](const std::string& line) { std::cerr << line << "\n"; };
+  }
+  const serve::ResultsEnd end = serve::stream_results(
+      require_socket(args), require_job(args), on_progress);
+  if (end.done.type == "error") return daemon_error(end.done);
+  // The job_done status goes to stderr so stdout carries ONLY the report
+  // bytes — `cadapt results --job J > r.json` is cmp-identical to the
+  // daemon's durable artifact (and so to one-shot `cadapt sweep`).
+  std::cerr << obs::to_jsonl(end.done) << "\n";
+  if (end.done.str_or("state", "") == "failed") return 4;
+  if (out_path.empty()) {
+    std::cout << end.report_bytes;
+  } else {
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os || !(os << end.report_bytes) || !os.flush()) {
+      throw util::IoError("cannot write --out " + out_path);
+    }
+    std::cerr << "report written to " << out_path << "\n";
+  }
+  return 0;
+}
+
 void report(const util::ArgParser& args, const model::RegularParams& p,
             const core::Series& series) {
   core::ReportOptions ropts;
@@ -914,10 +1140,21 @@ int run(const util::ArgParser& args) {
                                          : usage();
   }
   if (cmd == "version") {
+    if (args.has("json")) {
+      // The same line the daemon answers `hello` with (type aside) —
+      // scripts can version-gate offline and on-line identically.
+      std::cout << obs::to_jsonl(serve::version_event()) << "\n";
+      return 0;
+    }
     std::cout << campaign::provenance_text();
     return 0;
   }
   if (cmd == "sweep") return run_sweep_cmd(args);
+  if (cmd == "serve") return run_serve_cmd(args);
+  if (cmd == "submit") return run_submit_cmd(args);
+  if (cmd == "status") return run_status_cmd(args);
+  if (cmd == "cancel") return run_cancel_cmd(args);
+  if (cmd == "results") return run_results_cmd(args);
 
   const model::RegularParams p = params_from(args);
 

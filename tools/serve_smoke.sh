@@ -1,0 +1,140 @@
+#!/bin/sh
+# Serve-lane end-to-end drill (docs/SERVE.md): a real daemon, three
+# concurrent tenants, and the headline invariant checked with cmp — a
+# job's report, fetched over the socket, is byte-identical to one-shot
+# `cadapt sweep --no-timing` on the same manifest. Also exercises the
+# cancel path (truncated report, exit codes) and status/hello.
+#
+# Wired as the ctest case `cli_serve_smoke` (label `serve`); run it
+# under the address and thread sanitizer presets too.
+#
+# usage:
+#   tools/serve_smoke.sh <path-to-cadapt> [workdir]
+set -eu
+
+cli=${1:?usage: serve_smoke.sh <path-to-cadapt> [workdir]}
+workdir=${2:-serve_smoke_work}
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+cd "$workdir"
+
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2> /dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+cat > a.manifest << 'EOF'
+name = smoke_a
+algos = 4:2:1
+profiles = shuffled
+k = 1..6
+trials = 8
+seed = 5
+EOF
+cat > b.manifest << 'EOF'
+name = smoke_b
+algos = 8:2:1
+profiles = shuffled
+k = 1..5
+trials = 6
+seed = 7
+EOF
+cat > c.manifest << 'EOF'
+name = smoke_c
+algos = 4:2:1 8:2:1
+profiles = shuffled
+k = 1..4
+trials = 4
+seed = 9
+EOF
+
+# One-shot references first (the daemon must reproduce these bytes).
+for m in a b c; do
+  "$cli" sweep "$m.manifest" --no-timing --out "ref_$m.json" > /dev/null
+done
+
+"$cli" serve --spool spool --socket serve.sock --no-timing \
+  > daemon.log 2>&1 &
+daemon_pid=$!
+
+# Wait for the socket (the daemon resumes its spool before listening).
+tries=0
+while [ ! -S serve.sock ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && { echo "daemon never listened" >&2; exit 1; }
+  kill -0 "$daemon_pid" 2> /dev/null || {
+    echo "daemon died: $(cat daemon.log)" >&2; exit 1; }
+  sleep 0.1
+done
+
+# Three tenants with distinct weights, submitted concurrently.
+"$cli" submit a.manifest --socket serve.sock --client alice --weight 2 \
+  | grep -q '"job":"job-1"'
+"$cli" submit b.manifest --socket serve.sock --client bob \
+  | grep -q '"job":"job-2"'
+"$cli" submit c.manifest --socket serve.sock --client carol \
+  | grep -q '"job":"job-3"'
+
+# Stream every report; each must be byte-identical to its reference —
+# the shared pool and tenant interleaving must not leak into artifacts.
+"$cli" results --socket serve.sock --job job-1 --out got_a.json \
+  2> /dev/null
+"$cli" results --socket serve.sock --job job-2 --out got_b.json \
+  2> /dev/null
+"$cli" results --socket serve.sock --job job-3 --out got_c.json \
+  2> /dev/null
+cmp ref_a.json got_a.json
+cmp ref_b.json got_b.json
+cmp ref_c.json got_c.json
+
+# results to stdout carries ONLY the report bytes (status goes to
+# stderr) — shell-pipeline byte identity.
+"$cli" results --socket serve.sock --job job-1 2> /dev/null > pipe_a.json
+cmp ref_a.json pipe_a.json
+
+# status: every job done, one line each.
+"$cli" status --socket serve.sock > status.txt
+[ "$(grep -c '"state":"done"' status.txt)" -eq 3 ]
+
+# cancel on a heavy job: accepted, then a truncated report still lands.
+cat > slow.manifest << 'EOF'
+name = smoke_slow
+algos = 4:2:1
+profiles = shuffled
+k = 1..12
+trials = 20000
+seed = 11
+EOF
+"$cli" submit slow.manifest --socket serve.sock --client dave \
+  | grep -q job-4
+"$cli" cancel --socket serve.sock --job job-4 | grep -q '"type":"ok"'
+"$cli" results --socket serve.sock --job job-4 --out got_slow.json \
+  2> /dev/null
+grep -q '"truncated":true' got_slow.json
+grep -q '"truncate_reason":"external"' got_slow.json
+
+# Error taxonomy over the wire: unknown job = input error (exit 3);
+# cancelling a finished job is also 3.
+status=0; "$cli" status --socket serve.sock --job job-99 || status=$?
+[ "$status" -eq 3 ]
+status=0; "$cli" cancel --socket serve.sock --job job-4 || status=$?
+[ "$status" -eq 3 ]
+# A malformed manifest is rejected with exit 3 and creates NO job.
+printf 'name = bad\nalgoz = 4:2:1\n' > bad.manifest
+status=0
+"$cli" submit bad.manifest --socket serve.sock 2> /dev/null || status=$?
+[ "$status" -eq 3 ]
+"$cli" status --socket serve.sock > status2.txt
+if grep -q job-5 status2.txt; then
+  echo "rejected manifest still created a job" >&2
+  exit 1
+fi
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill "$daemon_pid"
+wait "$daemon_pid" || { echo "daemon exited non-zero" >&2; exit 1; }
+daemon_pid=""
+
+echo "serve smoke: 3 tenants byte-identical, cancel + errors OK"
