@@ -21,6 +21,7 @@
 #include "profile/box_source.hpp"
 #include "profile/distributions.hpp"
 #include "profile/worst_case.hpp"
+#include "sched/deque.hpp"
 #include "util/math.hpp"
 #include "util/random.hpp"
 
@@ -369,6 +370,56 @@ void BM_McCellFunnelReplay(benchmark::State& state) {
   run_mc_cell(state, /*capture_trace=*/true);
 }
 BENCHMARK(BM_McCellFunnelReplay);
+
+// The work-stealing deque's serial hot path (docs/PARALLEL.md): the
+// owner's push/pop pair, and push/steal — the two single-element
+// round-trips every scheduling decision is built from. Contention costs
+// are the tsan-lane stress test's concern; this guards the per-op floor
+// the parallel engine pays even when no thief ever shows up.
+void BM_StealDeque(benchmark::State& state) {
+  const bool steal_side = state.range(0) != 0;
+  sched::StealDeque<std::uint64_t> dq(1024);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 512; ++i) dq.push(i);
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      sum += steal_side ? *dq.steal() : *dq.pop();
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_StealDeque)->Arg(0)->Arg(1);
+
+// An adaptive-sort cell — the workload trace replay cannot cover —
+// through campaign::run_cell at workers = 1 (the sequential loop) vs 4
+// (the concurrent trial pool). Items = trials, so items/sec across the
+// two args is the cell-level speedup BENCH_parallel.json reports as
+// cell_wall_speedup. Records land at their trial index either way; the
+// identity tests hold the two byte-equal.
+void BM_ParallelCell(benchmark::State& state) {
+  campaign::Cell cell;
+  cell.sort = "adaptive";
+  cell.profile = campaign::parse_sort_profile_token("uniform:4:64");
+  cell.seed = 42;
+  cell.trials = 8;
+  campaign::CellRunOptions options;
+  options.keys = 4096;
+  options.block = kScanBlock;
+  options.timing = false;
+  options.workers = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t boxes = 0;
+  for (auto _ : state) {
+    for (const robust::TrialRecord& record :
+         campaign::run_cell(cell, options)) {
+      boxes += record.boxes;
+    }
+  }
+  benchmark::DoNotOptimize(boxes);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(cell.trials));
+}
+BENCHMARK(BM_ParallelCell)->Arg(1)->Arg(4);
 
 void BM_AnalyticSolve(benchmark::State& state) {
   const auto k = static_cast<unsigned>(state.range(0));

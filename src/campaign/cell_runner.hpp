@@ -67,6 +67,14 @@ struct CellRunOptions {
   /// Two-tier machine shape shared by every cell (docs/PAGING.md);
   /// default = the historical single-tier machine.
   TiersSpec tiers;
+  /// Intra-cell trial parallelism (docs/PARALLEL.md): >= 2 runs a sort
+  /// cell's trials on a seeded work-stealing pool instead of the
+  /// sequential loop. Records land at their trial index, so reports are
+  /// byte-identical to workers = 1 (the tests hold the two together).
+  /// Ratio cells ignore this — their trial runners share stateful
+  /// profile sources — as do single-trial cells. This is the lever for
+  /// adaptive-sort cells, which trace replay cannot cover.
+  std::uint64_t workers = 1;
 };
 
 /// Options derived from the manifest the plan came from.

@@ -402,6 +402,11 @@ Manifest parse_manifest(std::istream& is) {
       if (toks.size() != 1) fail(line_no, "keys must be a single integer");
       m.keys = parse_u64(toks[0], line_no, "keys");
       if (m.keys < 2) fail(line_no, "keys must be >= 2");
+    } else if (key == "workers") {
+      const auto toks = tokens_of(value);
+      if (toks.size() != 1) fail(line_no, "workers must be a single integer");
+      m.workers = parse_u64(toks[0], line_no, "workers");
+      if (m.workers == 0) fail(line_no, "workers must be >= 1");
     } else if (key == "block") {
       const auto toks = tokens_of(value);
       if (toks.size() != 1) fail(line_no, "block must be a single integer");
@@ -480,6 +485,10 @@ std::string manifest_fingerprint(const Manifest& m) {
     }
     if (m.tiers.set) os << " tiers=" << m.tiers.token();
   }
+  // Only-when-set (>= 2): workers never changes any measured value, but
+  // a parallel campaign still declares itself; workers = 1 is the
+  // historical sequential loop and keeps the fingerprint byte-for-byte.
+  if (m.workers >= 2) os << " workers=" << m.workers;
   return os.str();
 }
 

@@ -24,6 +24,11 @@
 //   semantics = optimistic | budgeted
 //   unit_progress = 0 | 1               # footnote-4 ratio (use for a <= b)
 //   max_boxes = 1099511627776           # per-trial box cap
+//   workers   = 4                       # intra-cell trial parallelism
+//               # (docs/PARALLEL.md): run each cell's trials on a seeded
+//               # work-stealing pool. Reports are byte-identical to the
+//               # sequential run; omitted or 1 = the historical
+//               # sequential cell loop (fingerprint unchanged)
 //
 // Sort-workload manifests (the E16 head-to-head and the real-algorithm
 // E-cells) replace algos/k with:
@@ -157,6 +162,10 @@ struct Manifest {
   /// fingerprint only when set, so pre-existing campaigns keep their
   /// config_hash byte-for-byte.
   bool trace_replay = false;
+  /// Intra-cell trial parallelism (docs/PARALLEL.md). Results never
+  /// depend on it, so it enters the fingerprint only at >= 2; 1 is
+  /// byte-identical to the historical sequential cell loop.
+  std::uint64_t workers = 1;
 };
 
 /// Parse a manifest. Throws util::ParseError (line-numbered) on any

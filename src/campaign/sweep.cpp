@@ -180,6 +180,7 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
       watchdog.has_value() || options.cancel_per_box;
   cell_options.backoff = options.backoff;
   cell_options.timing = options.timing;
+  if (options.workers != 0) cell_options.workers = options.workers;
 
   robust::BudgetTracker tracker(options.budget, options.clock);
   std::vector<std::optional<CellResult>> results(mine.size());

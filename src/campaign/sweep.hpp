@@ -40,6 +40,10 @@ namespace cadapt::campaign {
 
 struct SweepOptions {
   std::uint64_t jobs = 0;  ///< worker threads; 0 = hardware concurrency
+  /// Intra-cell trial parallelism override (docs/PARALLEL.md): 0 = honor
+  /// the manifest's `workers` key; >= 1 replaces it for this run. Never
+  /// changes the report bytes — sort-cell trials land at their index.
+  std::uint64_t workers = 0;
   std::uint64_t shards = 1;
   std::uint64_t shard_index = 0;
   /// false zeroes wall_ms and every cell's wall_ns — bit-identical runs.

@@ -137,6 +137,28 @@ LruCache::AccessResult LruCache::access_tracking(BlockId block) {
   return result;
 }
 
+std::uint64_t LruCache::access_run(const BlockId* blocks, std::uint64_t count,
+                                   BlockId tag_or, AccessResult* last) {
+  CADAPT_CHECK(last != nullptr);
+  *last = AccessResult{};
+  std::uint64_t done = 0;
+  while (done < count) {
+    const BlockId block = tag_or | blocks[done];
+    ++done;
+    // Repeat-hit shortcut: an access to the block already at the head of
+    // the recency list is a hit that moves nothing — take it without the
+    // table probe. Block-run traces make this the common case.
+    if (head_ != kNil && nodes_[head_].key == block) {
+      ++stats_.hits;
+      *last = AccessResult{/*hit=*/true, /*evicted=*/false, /*victim=*/0};
+      continue;
+    }
+    *last = access_tracking(block);
+    if (!last->hit) break;
+  }
+  return done;
+}
+
 void LruCache::set_capacity(std::uint64_t capacity_blocks) {
   capacity_ = capacity_blocks;
   evict_to(capacity_);

@@ -45,6 +45,19 @@ class LruCache {
   /// cache scheduler to maintain per-process occupancy counts.
   AccessResult access_tracking(BlockId block);
 
+  /// Batched until-first-miss walk (docs/PERF.md): touch
+  /// tag_or | blocks[i] in order, stopping AFTER the first miss. Returns
+  /// the number of accesses performed — the leading hits plus the final
+  /// miss, if any (== count when every block hit); `last` receives the
+  /// AccessResult of the final access performed (zeroed when count == 0).
+  /// tag_or is the caller's namespace tag (the shared-cache scheduler's
+  /// pid tag; 0 = untagged). Observably identical — Stats, recency order,
+  /// victim choice — to that many access_tracking(tag_or | blocks[i])
+  /// calls (tests/test_sched_worksteal.cpp holds the two together);
+  /// consecutive hits on the resident MRU block skip the table probe.
+  std::uint64_t access_run(const BlockId* blocks, std::uint64_t count,
+                           BlockId tag_or, AccessResult* last);
+
   /// Change capacity; evicts LRU blocks if shrinking. Capacity 0 is
   /// allowed (every access misses and nothing is retained).
   void set_capacity(std::uint64_t capacity_blocks);

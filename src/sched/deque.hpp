@@ -1,0 +1,122 @@
+// Chase–Lev-style work-stealing deque (Chase & Lev, SPAA 2005; memory
+// orderings after Lê et al., PPoPP 2013).
+//
+// One owner thread pushes and pops at the BOTTOM (LIFO — depth-first,
+// cache-warm work); any number of thief threads steal from the TOP
+// (FIFO — the oldest, typically largest task, the property the
+// work-stealing bounds of Cole–Ramachandran and arXiv:2111.04994 are
+// proved against). The element type must be trivially copyable: slots
+// are std::atomic<T>, which is what keeps the top-slot race between a
+// stealing CAS winner and a concurrent push benign under tsan.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// push() CADAPT_CHECKs against overflow: every user in this repo knows
+// its worst-case occupancy up front (pre-split task count per worker,
+// trials per worker), so the grow-and-leak machinery of the general
+// algorithm would be dead weight. size() is a racy snapshot — exact for
+// the owner between its own operations, advisory for anyone else.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cadapt::sched {
+
+template <typename T>
+class StealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StealDeque slots are std::atomic<T>");
+
+ public:
+  explicit StealDeque(std::size_t capacity = 256)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(static_cast<std::int64_t>(slots_.size()) - 1) {}
+
+  // Movable only before threads share it (the containers holding these
+  // are sized up front); atomics make it otherwise pinned.
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only. Fails a CADAPT_CHECK when the deque is full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    CADAPT_CHECK_MSG(b - t <= mask_, "StealDeque capacity exceeded");
+    slots_[static_cast<std::size_t>(b & mask_)].store(
+        value, std::memory_order_relaxed);
+    // The release fence orders the slot write before the bottom bump, so
+    // a thief that observes the new bottom also observes the value.
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: take the most recently pushed element.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = slots_[static_cast<std::size_t>(b & mask_)].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // A thief won; the deque is empty.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Any thread: take the oldest element. nullopt when empty or when the
+  /// CAS lost to a concurrent pop/steal (callers count either outcome as
+  /// one failed steal attempt and retry elsewhere).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    const T value = slots_[static_cast<std::size_t>(t & mask_)].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Racy snapshot (exact for the owner between its own operations).
+  std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<std::atomic<T>> slots_;
+  std::int64_t mask_;
+  // Owner and thieves index an unbounded logical sequence; the ring mask
+  // maps it into slots_. Separate cache lines keep owner pushes from
+  // false-sharing with thief CAS traffic.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace cadapt::sched

@@ -36,6 +36,12 @@ SimResult simulate_shared_cache(const std::vector<Process>& processes,
   for (std::size_t p = 0; p < k; ++p) {
     result.per_process[p].name = processes[p].name;
     if (!processes[p].blocks.empty()) ++unfinished;
+    // Validated once up front (access_run ORs the pid tag in without
+    // rechecking); the per-access tag() used to pay this every touch.
+    for (const paging::BlockId block : processes[p].blocks) {
+      CADAPT_CHECK_MSG(block < (UINT64_C(1) << 48),
+                       "block id too large to tag");
+    }
   }
 
   // Caches: one global (kGlobalLru / kPeriodicFlush) or one per process
@@ -64,48 +70,46 @@ SimResult simulate_shared_cache(const std::vector<Process>& processes,
     auto& stats = result.per_process[p];
     if (cursor[p] >= proc.blocks.size()) continue;
 
-    // Run until this process faults once; hits are free.
-    while (cursor[p] < proc.blocks.size()) {
-      const paging::BlockId block = proc.blocks[cursor[p]];
-      ++cursor[p];
-      ++stats.accesses;
+    // Run until this process faults once; hits are free. One batched
+    // until-first-miss walk replaces the old per-access loop: the cache
+    // consumes leading hits internally (MRU repeats skip even the table
+    // probe) and hands back only the terminal AccessResult.
+    const std::uint64_t remaining = proc.blocks.size() - cursor[p];
+    paging::LruCache::AccessResult last;
+    std::uint64_t done;
+    if (options.policy == Policy::kStaticEqual) {
+      done = partitions[p]->access_run(proc.blocks.data() + cursor[p],
+                                       remaining, /*tag_or=*/0, &last);
+    } else {
+      done = global->access_run(proc.blocks.data() + cursor[p], remaining,
+                                tag(p, 0), &last);
+    }
+    cursor[p] += done;
+    stats.accesses += done;
 
-      bool hit;
+    if (!last.hit) {
       if (options.policy == Policy::kStaticEqual) {
-        const auto r = partitions[p]->access_tracking(block);
-        hit = r.hit;
-        if (!hit) {
-          // Within a private partition the occupancy is just the cache
-          // fill level.
-          occupancy[p] = partitions[p]->size();
-        }
+        // Within a private partition the occupancy is just the cache
+        // fill level.
+        occupancy[p] = partitions[p]->size();
       } else {
-        const auto r = global->access_tracking(tag(p, block));
-        hit = r.hit;
-        if (!hit) {
-          ++occupancy[p];
-          if (r.evicted) {
-            const std::size_t victim_owner = owner_of(r.victim);
-            CADAPT_CHECK(occupancy[victim_owner] >= 1);
-            --occupancy[victim_owner];
-          }
+        ++occupancy[p];
+        if (last.evicted) {
+          const std::size_t victim_owner = owner_of(last.victim);
+          CADAPT_CHECK(occupancy[victim_owner] >= 1);
+          --occupancy[victim_owner];
         }
       }
-
-      if (!hit) {
-        ++result.total_ios;
-        ++stats.misses;
-        stats.occupancy_profile.push_back(
-            occupancy[p] > 0 ? occupancy[p] : 1);
-        if (options.policy == Policy::kPeriodicFlush) {
-          ++misses_since_flush;
-          if (misses_since_flush >= flush_period) {
-            misses_since_flush = 0;
-            global->clear();
-            for (auto& occ : occupancy) occ = 0;
-          }
+      ++result.total_ios;
+      ++stats.misses;
+      stats.occupancy_profile.push_back(occupancy[p] > 0 ? occupancy[p] : 1);
+      if (options.policy == Policy::kPeriodicFlush) {
+        ++misses_since_flush;
+        if (misses_since_flush >= flush_period) {
+          misses_since_flush = 0;
+          global->clear();
+          for (auto& occ : occupancy) occ = 0;
         }
-        break;  // yield after one fault
       }
     }
 

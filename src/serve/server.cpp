@@ -277,6 +277,16 @@ void ServeCore::run_one(const std::string& id, std::uint64_t cell_index) {
     cell_options = job.cell_options;
     config_hash = job.config_hash;
     unit_progress = job.plan.manifest.unit_progress;
+    // A job asking for intra-cell workers (manifest `workers` key,
+    // docs/PARALLEL.md) gets its fair share of the daemon's pool, not
+    // the full count times every in-flight cell: clamp to pool size /
+    // in-flight cells (>= 1). The clamp is timing-dependent — safe,
+    // because workers never affects a cell's result bytes.
+    const std::uint64_t share =
+        static_cast<std::uint64_t>(pool_.size()) /
+        std::max<std::uint64_t>(1, in_flight_);
+    cell_options.workers =
+        std::min(cell_options.workers, std::max<std::uint64_t>(1, share));
   }
 
   // The cell itself runs OUTSIDE the mutex — this is where the wall

@@ -24,6 +24,8 @@
 // Distribution flags (iid/analytic): --dist geometric|uniform-powers|
 //   bimodal|point|uniform-range, --kdist, --small, --big, --pbig,
 //   --size, --lo, --hi
+#include <charconv>
+#include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -31,6 +33,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/cell_runner.hpp"
@@ -51,6 +54,7 @@
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "robust/io.hpp"
+#include "sched/worksteal.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "serve/protocol.hpp"
@@ -115,9 +119,18 @@ commands:
               default lru — docs/PAGING.md),
               --tiers T2CAP:HIT:MISS[:NUM:DEN] (two-tier machine: tier-2
               capacity + asymmetric costs, optional tier-1 share). Both
-              also apply to trace --sort
+              also apply to trace --sort. --workers N runs the trials on
+              an N-thread pool (docs/PARALLEL.md) — summaries are
+              identical to the sequential run
+  parallel    seeded work-stealing parallel engine (docs/PARALLEL.md):
+              cadapt parallel [--workers P] [--k K] [--carve
+              static|lru|flush [--flush-period F]] [--epoch E] [--seed S]
+              — deterministic P-worker execution with per-worker stats;
+              --scale 1,2,4,8 [--json [--out F]] emits the
+              BENCH_parallel.json scaling artifact — run
+              'cadapt help parallel' for the model and flags
   sweep       declarative campaign from a manifest file (docs/SWEEPS.md):
-              cadapt sweep <manifest> [--jobs J] [--out F]
+              cadapt sweep <manifest> [--jobs J] [--workers W] [--out F]
               [--shards S --shard-index I] [--checkpoint F [--resume]]
               [--baseline report] [--no-timing] ... — run
               'cadapt help sweep' for the full flag list
@@ -188,6 +201,33 @@ std::uint64_t deadline_ns_from(const util::ArgParser& args) {
         "cancel the campaign before the first trial)");
   }
   return ms * 1'000'000ull;
+}
+
+// --workers: intra-cell / trial parallelism (docs/PARALLEL.md). Zero is
+// rejected at parse time like --deadline-ms: "no workers" is never what
+// the caller meant ("unset" is spelled by omitting the flag). Returns 0
+// when absent so sweep can distinguish "honor the manifest" from an
+// explicit override.
+std::uint64_t workers_from(const util::ArgParser& args) {
+  if (!args.has("workers")) return 0;
+  const std::uint64_t workers = args.get_u64("workers", 0);
+  if (workers == 0) {
+    throw util::UsageError(
+        "--workers must be a positive integer (1 = the sequential engine; "
+        "omit the flag to honor the manifest)");
+  }
+  return workers;
+}
+
+// --flush-period for the kPeriodicFlush carve policy (cadapt parallel).
+// Unlike --deadline-ms, ZERO IS VALID and documented: it means "equal to
+// the epoch" — one slice crash per --epoch boxes — the parallel analog
+// of sched::SimOptions::flush_period, whose 0 means "equal to
+// total_cache_blocks" (src/sched/shared_cache.hpp). Garbage and
+// negatives are rejected at parse with the field named in the error
+// (ArgParser::get_u64 throws UsageError -> exit 2).
+std::uint64_t flush_period_from(const util::ArgParser& args) {
+  return args.get_u64("flush-period", 0);
 }
 
 // --retry-backoff-ms: seeded exponential backoff between retry attempts
@@ -383,6 +423,15 @@ int run_mc_sort(const util::ArgParser& args) {
     cfg << " backoff_ms=" << (opts.backoff.base_ns / 1'000'000ull);
   }
   opts.config = cfg.str();
+
+  // --workers N: run the trials on a private N-thread pool (the program
+  // runner is thread-safe by contract). Results are keyed by trial
+  // index, so the summary is identical to the sequential run.
+  std::optional<util::ThreadPool> pool;
+  if (args.has("workers")) {
+    pool.emplace(static_cast<std::size_t>(workers_from(args)));
+    opts.pool = &*pool;
+  }
 
   campaign::CellRunOptions cell_options = pa.options;
   cell_options.faults = opts.faults;
@@ -645,6 +694,14 @@ int run_mc(const util::ArgParser& args, const model::RegularParams& p) {
   }
   opts.config = cfg.str();
 
+  // --workers N: a private N-thread pool for the trials; summaries are
+  // deterministic across pool sizes (trial-index-keyed aggregation).
+  std::optional<util::ThreadPool> pool;
+  if (args.has("workers")) {
+    pool.emplace(static_cast<std::size_t>(workers_from(args)));
+    opts.pool = &*pool;
+  }
+
   const engine::McSummary s = engine::run_monte_carlo_iid(p, n, *dist, opts);
 
   std::cout << p.name() << " Monte-Carlo campaign, n = " << n << ", "
@@ -704,6 +761,10 @@ wall clocks too).
 
 execution flags:
   --jobs J              worker threads (default: hardware concurrency)
+  --workers W           intra-cell trial parallelism for sort cells
+                        (docs/PARALLEL.md): overrides the manifest's
+                        `workers` key; the report bytes never depend on
+                        it (trials land at their index). W >= 1
   --out F               report path (default BENCH_sweep.json)
   --shards S --shard-index I   run only cells with index % S == I;
                         merge the shard reports with --merge afterwards
@@ -752,6 +813,64 @@ baseline gating:
   --gate-rel X          relative slowdown floor (default 0.05)
   --gate-inject X       multiply current samples by X first — a seeded
                         rehearsal proving the gate can fail
+)";
+    return 0;
+  }
+  if (cmd == "parallel") {
+    std::cout <<
+        R"(cadapt parallel - seeded work-stealing parallel engine (docs/PARALLEL.md)
+
+usage:
+  cadapt parallel [flags]                one deterministic P-worker run
+  cadapt parallel --scale 1,2,4,8 [--json [--out F]]   scaling artifact
+
+The recursion tree of an (a,b,c)-regular execution is pre-split into
+subtree + scan tasks on per-worker Chase-Lev deques; each global machine
+box is carved into per-worker cache slices by an E15 allocation policy,
+and every worker feeds its emergent profile through the inner-square
+decomposition into its own local engine. Steals resolve serially at
+epoch barriers with victims drawn from hash(seed, worker, steal_index),
+so the whole result — steal counts included — is a pure function of the
+flags: same seed + same P = bit-identical output, and --workers 1 is
+byte-identical to the sequential engine.
+
+engine flags:
+  --a N --b N --c X     algorithm shape (default 8 4 1.0)
+  --k K                 problem size n = b^K (default 6)
+  --workers P           simulated workers (default 4; P >= 1)
+  --carve static|lru|flush   how each global box is carved into slices
+                        (the E15 shared-cache allocation policies;
+                        default static = equal shares)
+  --flush-period F      carve = flush only: slices crash to 1 block
+                        every F global boxes. 0 (the default) means
+                        "equal to the epoch" — one crash per --epoch
+                        boxes — mirroring the shared-cache simulator,
+                        where flush_period = 0 means "equal to
+                        total_cache_blocks"
+  --epoch E             boxes between steal barriers (default 64, >= 1)
+  --split-depth D       pre-split depth (default 0 = auto: a^D >= 4P)
+  --seed S              steal-schedule + box-stream seed (default 42)
+  --box-lo L --box-hi H i.i.d. uniform global box sizes (default 4..64)
+  --boxes B             global box cap
+  --placement end|interleaved|adversary   scan placement
+  --semantics optimistic|budgeted
+
+--scale mode adds one real adaptive-sort cell (trace replay cannot
+cover it — the access stream depends on the live box profile) run
+through the concurrent trial pool at every P:
+  --scale LIST          worker counts, e.g. 1,2,4,8
+  --sort NAME           program (default adaptive)
+  --sort-profile TOKEN  box profile (default uniform:4:64)
+  --keys K --block B --trials T   cell shape (default 4096, 8, 8)
+  --no-timing           zero the wall-clock fields (deterministic bytes)
+  --json [--out F]      emit JSONL (parallel_env + one parallel_scale
+                        line per P) to stdout or F
+
+Reported per P: sim_speedup = rounds_1/rounds_P (a round — one global
+machine box — is the model's unit of time), steals vs the
+Cole-Ramachandran-style bound P * (split_depth + k), the capacity
+overhead extra_miss_ratio = (P * rounds_P - rounds_1)/rounds_1, and the
+cell's wall-clock speedup with the machine's core count for provenance.
 )";
     return 0;
   }
@@ -812,6 +931,276 @@ Exit codes mirror the error lines the daemon answers with: 2 usage,
   return usage();
 }
 
+// ---- parallel (docs/PARALLEL.md) ------------------------------------
+
+sched::Policy carve_from(const util::ArgParser& args) {
+  const std::string carve = args.get_string("carve", "static");
+  if (carve == "static") return sched::Policy::kStaticEqual;
+  if (carve == "lru") return sched::Policy::kGlobalLru;
+  if (carve == "flush") return sched::Policy::kPeriodicFlush;
+  throw util::UsageError("--carve must be static, lru, or flush");
+}
+
+engine::ScanPlacement placement_from(const util::ArgParser& args) {
+  const std::string placement = args.get_string("placement", "end");
+  if (placement == "end") return engine::ScanPlacement::kEnd;
+  if (placement == "interleaved") return engine::ScanPlacement::kInterleaved;
+  if (placement == "adversary") {
+    return engine::ScanPlacement::kAdversaryMatched;
+  }
+  throw util::UsageError(
+      "--placement must be end, interleaved, or adversary");
+}
+
+std::vector<std::uint64_t> scale_from(const util::ArgParser& args) {
+  std::vector<std::uint64_t> out;
+  const std::string spec = args.get_string("scale", "");
+  if (spec.empty()) return out;
+  std::istringstream is(spec);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    std::uint64_t workers = 0;
+    const auto [ptr, ec] = std::from_chars(
+        token.data(), token.data() + token.size(), workers);
+    if (ec != std::errc{} || ptr != token.data() + token.size() ||
+        workers == 0) {
+      throw util::UsageError(
+          "--scale expects a comma-separated list of positive worker "
+          "counts, got '" + token + "'");
+    }
+    out.push_back(workers);
+  }
+  return out;
+}
+
+// `parallel`: drive the seeded work-stealing engine (docs/PARALLEL.md).
+// Without --scale: one deterministic P-worker execution with per-worker
+// stats and the conservation check. With --scale "1,2,4,8": the
+// BENCH_parallel.json artifact — per-P simulated speedup (rounds_1 /
+// rounds_P; round = one global machine box, the model's unit of time),
+// measured steals against the Cole–Ramachandran-style O(P * depth)
+// bound, the capacity overhead standing in for CR's extra-miss term,
+// and the wall clock of a real adaptive-sort cell (the program trace
+// replay cannot cover) run through the concurrent trial pool.
+int run_parallel_cmd(const util::ArgParser& args) {
+  const model::RegularParams p = params_from(args);
+  const unsigned k = static_cast<unsigned>(args.get_u64("k", 6));
+  const std::uint64_t n = util::ipow(p.b, k);
+
+  sched::ParallelOptions popt;
+  popt.workers = args.has("workers") ? workers_from(args) : 4;
+  popt.seed = args.get_u64("seed", 42);
+  popt.carve = carve_from(args);
+  popt.flush_period = flush_period_from(args);
+  popt.epoch_rounds = args.get_u64("epoch", 64);
+  if (popt.epoch_rounds == 0) throw util::UsageError("--epoch must be >= 1");
+  popt.split_depth = args.get_u64("split-depth", 0);
+  popt.max_boxes = args.get_u64("boxes", UINT64_C(1) << 40);
+  popt.placement = placement_from(args);
+  popt.semantics = semantics_from(args);
+  popt.adversary_seed = args.get_u64("adversary-seed", 0);
+
+  // The box stream: i.i.d. uniform sizes, re-seeded identically for
+  // every worker count so each P sees the same global stream.
+  const std::uint64_t box_lo = args.get_u64("box-lo", 4);
+  const std::uint64_t box_hi = args.get_u64("box-hi", 64);
+  if (box_lo == 0 || box_hi < box_lo) {
+    throw util::UsageError("--box-lo/--box-hi must satisfy 1 <= lo <= hi");
+  }
+  const profile::UniformRange dist(box_lo, box_hi);
+  const auto fresh_source = [&dist, &popt] {
+    return profile::DistributionSource(dist,
+                                       util::Rng(popt.seed ^ 0xB0c5ull));
+  };
+
+  const std::vector<std::uint64_t> scale = scale_from(args);
+  if (scale.empty()) {
+    auto source = fresh_source();
+    const sched::ParallelResult r =
+        sched::parallel_run_to_completion(p, n, source, popt);
+    std::cout << p.name() << ", n = " << n << ", P = " << popt.workers
+              << ", carve = " << args.get_string("carve", "static")
+              << ", seed = " << popt.seed << ":\n"
+              << "  completed: " << (r.merged.completed ? "yes" : "NO")
+              << "  rounds: " << r.rounds << "  epochs: " << r.epochs
+              << "  split depth: " << r.split_depth << "  tasks: "
+              << r.tasks_spawned << "\n"
+              << "  steals: " << r.steals << " (failed " << r.failed_steals
+              << ", splits " << r.splits << ")\n"
+              << "  ratio: " << util::format_double(r.merged.ratio, 3)
+              << "  unit ratio: "
+              << util::format_double(r.merged.unit_ratio, 3) << "\n";
+    util::Table table({"worker", "boxes", "idle", "progress", "scan",
+                       "tasks", "steals", "blocks"});
+    for (std::size_t w = 0; w < r.workers.size(); ++w) {
+      const sched::WorkerStats& s = r.workers[w];
+      table.row()
+          .cell(std::uint64_t{w})
+          .cell(s.boxes)
+          .cell(s.idle_boxes)
+          .cell(s.progress)
+          .cell(s.scan_advance)
+          .cell(s.tasks_run)
+          .cell(s.steals)
+          .cell(s.slice_blocks);
+    }
+    table.print(std::cout);
+    const std::uint64_t units = model::problem_units(p, n);
+    std::cout << "conservation: " << r.units_done() << " of " << units
+              << " units"
+              << (r.merged.completed && r.units_done() == units ? " OK"
+                                                                : "")
+              << "\n";
+    return 0;
+  }
+
+  // --scale mode: the BENCH_parallel.json artifact.
+  const bool timing = !args.has("no-timing");
+  campaign::Cell cell;
+  cell.sort = args.get_string("sort", "adaptive");
+  const std::string cell_profile =
+      args.get_string("sort-profile", "uniform:4:64");
+  try {
+    campaign::validate_program_token(cell.sort, 0);
+    cell.profile = campaign::parse_sort_profile_token(cell_profile);
+  } catch (const util::ParseError& e) {
+    throw util::UsageError(e.what());
+  }
+  cell.seed = popt.seed;
+  cell.trials = args.get_u64("trials", 8);
+  campaign::CellRunOptions cell_options;
+  cell_options.keys = args.get_u64("keys", 4096);
+  cell_options.block = args.get_u64("block", 8);
+  cell_options.timing = timing;
+
+  const auto cell_wall_ns = [&cell, &cell_options,
+                             timing](std::uint64_t workers) -> std::uint64_t {
+    cell_options.workers = workers;
+    if (!timing) {
+      (void)campaign::run_cell(cell, cell_options);
+      return 0;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    (void)campaign::run_cell(cell, cell_options);
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
+  // Baseline: the sequential engine and the sequential cell loop.
+  sched::ParallelOptions base = popt;
+  base.workers = 1;
+  auto base_source = fresh_source();
+  const sched::ParallelResult baseline =
+      sched::parallel_run_to_completion(p, n, base_source, base);
+  const std::uint64_t base_wall = cell_wall_ns(1);
+
+  std::vector<obs::Event> lines;
+  {
+    obs::Event env("parallel_env");
+    env.u64("version", 1)
+        .str("algo", p.name())
+        .u64("n", n)
+        .u64("k", k)
+        .str("carve", args.get_string("carve", "static"))
+        .u64("epoch", popt.epoch_rounds)
+        .u64("seed", popt.seed)
+        .u64("box_lo", box_lo)
+        .u64("box_hi", box_hi)
+        .str("cell_sort", cell.sort)
+        .str("cell_profile", cell_profile)
+        .u64("cell_keys", cell_options.keys)
+        .u64("cell_trials", cell.trials)
+        .u64("cores", std::thread::hardware_concurrency());
+    lines.push_back(env);
+  }
+
+  util::Table table({"P", "rounds", "sim speedup", "steals", "vs bound",
+                     "extra-miss", "cell wall ms", "wall speedup"});
+  for (const std::uint64_t workers : scale) {
+    sched::ParallelOptions o = popt;
+    o.workers = workers;
+    auto source = fresh_source();
+    const sched::ParallelResult r =
+        sched::parallel_run_to_completion(p, n, source, o);
+    CADAPT_CHECK_MSG(r.merged.completed,
+                     "parallel run did not complete at P = " << workers
+                                                             << " — raise "
+                                                                "--boxes");
+    const double sim_speedup = static_cast<double>(baseline.rounds) /
+                               static_cast<double>(r.rounds);
+    // CR-style extra-miss term: the capacity overhead of running on P
+    // slices — worker-rounds consumed beyond the sequential count,
+    // relative to it (docs/PARALLEL.md). Can be negative: the inner-
+    // square decomposition sometimes packs slices better than one big
+    // box.
+    const double extra_miss =
+        (static_cast<double>(workers) * static_cast<double>(r.rounds) -
+         static_cast<double>(baseline.rounds)) /
+        static_cast<double>(baseline.rounds);
+    // Steal bound: O(P * depth) with depth = split depth + tree height.
+    const std::uint64_t steal_bound = workers * (r.split_depth + k);
+    const double vs_bound =
+        steal_bound == 0 ? 0.0
+                         : static_cast<double>(r.steals) /
+                               static_cast<double>(steal_bound);
+    const std::uint64_t wall = cell_wall_ns(workers);
+    const double wall_speedup =
+        (timing && wall != 0)
+            ? static_cast<double>(base_wall) / static_cast<double>(wall)
+            : 0.0;
+
+    obs::Event ev("parallel_scale");
+    ev.u64("workers", workers)
+        .u64("rounds", r.rounds)
+        .u64("epochs", r.epochs)
+        .u64("steals", r.steals)
+        .u64("failed_steals", r.failed_steals)
+        .u64("splits", r.splits)
+        .u64("split_depth", r.split_depth)
+        .u64("tasks", r.tasks_spawned)
+        .f64("sim_speedup", sim_speedup)
+        .f64("extra_miss_ratio", extra_miss)
+        .u64("steal_bound", steal_bound)
+        .f64("steals_vs_bound", vs_bound)
+        .u64("cell_wall_ns", wall)
+        .f64("cell_wall_speedup", wall_speedup);
+    lines.push_back(ev);
+
+    table.row()
+        .cell(workers)
+        .cell(r.rounds)
+        .cell(sim_speedup, 2)
+        .cell(r.steals)
+        .cell(vs_bound, 3)
+        .cell(extra_miss, 3)
+        .cell(static_cast<double>(wall) / 1e6, 1)
+        .cell(wall_speedup, 2);
+  }
+
+  std::cout << p.name() << ", n = " << n << ", scale "
+            << args.get_string("scale", "") << " (cell: " << cell.sort
+            << " on " << cell_profile << ", " << cell_options.keys
+            << " keys x " << cell.trials << " trials):\n";
+  table.print(std::cout);
+
+  if (args.has("json") || args.has("out")) {
+    const std::string out_path = args.get_string("out", "");
+    if (out_path.empty()) {
+      for (const obs::Event& ev : lines) {
+        std::cout << obs::to_jsonl(ev) << "\n";
+      }
+    } else {
+      std::ofstream os(out_path);
+      if (!os) throw util::IoError("cannot open --out " + out_path);
+      for (const obs::Event& ev : lines) os << obs::to_jsonl(ev) << "\n";
+      std::cout << "bench written to " << out_path << "\n";
+    }
+  }
+  return 0;
+}
+
 int run_sweep_cmd(const util::ArgParser& args) {
   const std::vector<std::string>& pos = args.positionals();
   const std::string out_path = args.get_string("out", "BENCH_sweep.json");
@@ -863,6 +1252,7 @@ int run_sweep_cmd(const util::ArgParser& args) {
 
     campaign::SweepOptions opts;
     opts.jobs = args.get_u64("jobs", 0);
+    opts.workers = workers_from(args);
     opts.shards = args.get_u64("shards", 1);
     opts.shard_index = args.get_u64("shard-index", 0);
     opts.timing = !args.has("no-timing");
@@ -1149,6 +1539,7 @@ int run(const util::ArgParser& args) {
     std::cout << campaign::provenance_text();
     return 0;
   }
+  if (cmd == "parallel") return run_parallel_cmd(args);
   if (cmd == "sweep") return run_sweep_cmd(args);
   if (cmd == "serve") return run_serve_cmd(args);
   if (cmd == "submit") return run_submit_cmd(args);

@@ -1,11 +1,15 @@
 #!/bin/sh
-# Regenerate (default) or verify (--check) the committed E2 sweep
-# artifact BENCH_sweep.json at the repo root (docs/SWEEPS.md).
+# Regenerate (default) or verify (--check) the committed sweep
+# artifacts at the repo root (docs/SWEEPS.md):
 #
-# The report is bit-identical across jobs/shards/resume, so the ONLY
-# line allowed to differ between a fresh run and the committed file is
+#   BENCH_sweep.json             <- bench/manifests/e2_log_gap.manifest
+#   BENCH_parallel_baseline.json <- bench/manifests/parallel_gate.manifest
+#
+# Reports are bit-identical across jobs/shards/resume — and, for the
+# parallel gate, across worker counts (docs/PARALLEL.md) — so the ONLY
+# line allowed to differ between a fresh run and a committed file is
 # the sweep_env provenance record (git hash, compiler, flags). --check
-# re-runs the E2 manifest and diffs everything except that line; any
+# re-runs each manifest and diffs everything except that line; any
 # other drift means the committed artifact is stale relative to the
 # engine and the test fails. Wired as the ctest -L sweep case
 # `cli_sweep_regen_check`.
@@ -18,26 +22,32 @@ cli=${1:?usage: regen_bench_sweep.sh <path-to-cadapt> [--check]}
 mode=${2:-update}
 
 repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
-manifest="$repo_root/bench/manifests/e2_log_gap.manifest"
-committed="$repo_root/BENCH_sweep.json"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp" "$tmp.new" "$tmp.old"' EXIT INT TERM
 
-# --no-timing zeroes wall_ms/wall_ns — the byte-identity contract.
-"$cli" sweep "$manifest" --no-timing --out "$tmp" > /dev/null
-
-if [ "$mode" = "--check" ]; then
-  grep -v '"type":"sweep_env"' "$tmp" > "$tmp.new"
-  grep -v '"type":"sweep_env"' "$committed" > "$tmp.old"
-  if ! cmp -s "$tmp.old" "$tmp.new"; then
-    echo "BENCH_sweep.json is stale — refresh it with:" >&2
-    echo "  tools/regen_bench_sweep.sh $cli" >&2
-    diff "$tmp.old" "$tmp.new" >&2 || true
-    exit 1
+check_one() {
+  manifest=$1
+  committed=$2
+  # --no-timing zeroes wall_ms/wall_ns — the byte-identity contract.
+  "$cli" sweep "$manifest" --no-timing --out "$tmp" > /dev/null
+  if [ "$mode" = "--check" ]; then
+    grep -v '"type":"sweep_env"' "$tmp" > "$tmp.new"
+    grep -v '"type":"sweep_env"' "$committed" > "$tmp.old"
+    if ! cmp -s "$tmp.old" "$tmp.new"; then
+      echo "$(basename "$committed") is stale — refresh it with:" >&2
+      echo "  tools/regen_bench_sweep.sh $cli" >&2
+      diff "$tmp.old" "$tmp.new" >&2 || true
+      exit 1
+    fi
+    echo "$(basename "$committed") matches a fresh run (sweep_env excluded)"
+  else
+    cp "$tmp" "$committed"
+    echo "wrote $committed"
   fi
-  echo "BENCH_sweep.json matches a fresh E2 run (sweep_env excluded)"
-else
-  cp "$tmp" "$committed"
-  echo "wrote $committed"
-fi
+}
+
+check_one "$repo_root/bench/manifests/e2_log_gap.manifest" \
+          "$repo_root/BENCH_sweep.json"
+check_one "$repo_root/bench/manifests/parallel_gate.manifest" \
+          "$repo_root/BENCH_parallel_baseline.json"
