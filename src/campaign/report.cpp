@@ -5,8 +5,8 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <iterator>
 #include <map>
-#include <sstream>
 #include <utility>
 
 #include "stats/bootstrap.hpp"
@@ -57,9 +57,11 @@ std::vector<double> split_samples(const std::string& joined,
   return samples;
 }
 
+}  // namespace
+
 /// log_b a from an "a:b:c" token (0 when the token is malformed — fits
 /// still carry the measured exponent).
-double expected_exponent(const std::string& algo_token) {
+double algo_expected_exponent(const std::string& algo_token) {
   std::uint64_t a = 0, b = 0;
   const char* p = algo_token.data();
   const char* end = p + algo_token.size();
@@ -70,7 +72,7 @@ double expected_exponent(const std::string& algo_token) {
   return std::log(static_cast<double>(a)) / std::log(static_cast<double>(b));
 }
 
-obs::Event header_event(const Report& report) {
+obs::Event report_header_event(const Report& report) {
   obs::Event event("sweep_report");
   event.u64("version", report.version)
       .str("name", report.name)
@@ -90,7 +92,7 @@ obs::Event header_event(const Report& report) {
   return event;
 }
 
-obs::Event fit_event(const FitResult& fit) {
+obs::Event report_fit_event(const FitResult& fit) {
   obs::Event event("sweep_fit");
   event.str("algo", fit.algo)
       .str("profile", fit.profile)
@@ -100,6 +102,8 @@ obs::Event fit_event(const FitResult& fit) {
       .f64("expected", fit.expected);
   return event;
 }
+
+namespace {
 
 FitResult fit_from_event(const obs::Event& event) {
   FitResult fit;
@@ -204,7 +208,7 @@ std::vector<FitResult> compute_fits(const Report& report) {
     out.exponent = fit.exponent;
     out.scale = fit.scale;
     out.r2 = fit.r2;
-    out.expected = expected_exponent(key.first);
+    out.expected = algo_expected_exponent(key.first);
     fits.push_back(std::move(out));
   }
   return fits;
@@ -275,22 +279,43 @@ CellResult cell_from_event(const obs::Event& event, std::size_t line_no) {
   return cell;
 }
 
+namespace {
+
+/// Render every report line into `sink` (newline included), reusing one
+/// encode buffer across lines. Both writers below share this, so the
+/// streamed file commit is byte-identical to the ostream path.
+template <typename Sink>
+void render_report(const Report& report, Sink&& sink) {
+  std::string buf;
+  const auto emit = [&](const obs::Event& event) {
+    obs::to_jsonl(event, buf);
+    buf += '\n';
+    sink(std::string_view(buf));
+  };
+  emit(report_header_event(report));
+  emit(provenance_event(report.env));
+  for (const CellResult& cell : report.cells) emit(cell_event(cell));
+  for (const FitResult& fit : report.fits) emit(report_fit_event(fit));
+}
+
+}  // namespace
+
 void write_report(std::ostream& os, const Report& report) {
-  os << obs::to_jsonl(header_event(report)) << '\n';
-  os << obs::to_jsonl(provenance_event(report.env)) << '\n';
-  for (const CellResult& cell : report.cells) {
-    os << obs::to_jsonl(cell_event(cell)) << '\n';
-  }
-  for (const FitResult& fit : report.fits) {
-    os << obs::to_jsonl(fit_event(fit)) << '\n';
-  }
+  render_report(report, [&os](std::string_view line) {
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  });
 }
 
 void write_report_file(const std::string& path, const Report& report,
                        robust::IoBackend& io) {
-  std::ostringstream os;
-  write_report(os, report);
-  robust::atomic_write_file(path, os.str(), io);
+  // Bounded-memory commit: lines stream through chunked durable writes
+  // instead of one report-sized ostringstream. Reports under the chunk
+  // size still cost exactly one durable write, so the chaos lane's
+  // crash-point indexes are unchanged.
+  robust::AtomicFileWriter out(path, io);
+  render_report(report,
+                [&out](std::string_view line) { out.write(line); });
+  out.commit();
 }
 
 Report load_report(std::istream& is) {
@@ -351,7 +376,7 @@ Report load_report_file(const std::string& path) {
   return load_report(is);
 }
 
-Report merge_reports(const std::vector<Report>& parts) {
+Report merge_reports(std::vector<Report> parts) {
   if (parts.empty()) {
     throw util::ParseError("sweep merge: no input reports");
   }
@@ -363,8 +388,14 @@ Report merge_reports(const std::vector<Report>& parts) {
   merged.cells_total = first.cells_total;
   merged.env = first.env;
 
-  std::map<std::uint64_t, CellResult> cells;
-  for (const Report& part : parts) {
+  // Move every shard's cells straight into the merged vector — no map,
+  // no deep copies of samples vectors — then restore index order with
+  // one sort (shards interleave round-robin). Duplicates show up as
+  // adjacent equal indexes after the sort.
+  std::size_t total = 0;
+  for (const Report& part : parts) total += part.cells.size();
+  merged.cells.reserve(total);
+  for (Report& part : parts) {
     if (part.name != merged.name ||
         part.config_hash != merged.config_hash ||
         part.cells_total != merged.cells_total ||
@@ -381,26 +412,27 @@ Report merge_reports(const std::vector<Report>& parts) {
       merged.truncate_reason = part.truncate_reason;
     }
     merged.wall_ms += part.wall_ms;
-    for (const CellResult& cell : part.cells) {
-      const auto [it, inserted] = cells.emplace(cell.index, cell);
-      (void)it;
-      if (!inserted) {
-        throw util::ParseError("sweep merge: cell " +
-                               std::to_string(cell.index) +
-                               " appears in more than one report");
-      }
+    merged.cells.insert(merged.cells.end(),
+                        std::make_move_iterator(part.cells.begin()),
+                        std::make_move_iterator(part.cells.end()));
+    part.cells.clear();
+  }
+  std::sort(merged.cells.begin(), merged.cells.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 1; i < merged.cells.size(); ++i) {
+    if (merged.cells[i].index == merged.cells[i - 1].index) {
+      throw util::ParseError("sweep merge: cell " +
+                             std::to_string(merged.cells[i].index) +
+                             " appears in more than one report");
     }
   }
-  if (cells.size() != merged.cells_total) {
+  if (merged.cells.size() != merged.cells_total) {
     throw util::ParseError(
-        "sweep merge: " + std::to_string(cells.size()) + " cells of " +
+        "sweep merge: " + std::to_string(merged.cells.size()) + " cells of " +
         std::to_string(merged.cells_total) +
         " — the shard set does not cover the grid");
-  }
-  merged.cells.reserve(cells.size());
-  for (auto& [index, cell] : cells) {
-    (void)index;
-    merged.cells.push_back(std::move(cell));
   }
   merged.fits = compute_fits(merged);
   return merged;

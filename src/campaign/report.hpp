@@ -122,6 +122,16 @@ std::vector<FitResult> compute_fits(const Report& report);
 obs::Event cell_event(const CellResult& cell);
 CellResult cell_from_event(const obs::Event& event, std::size_t line_no);
 
+/// Header/fit line encodings, public so the columnar engine's JSONL
+/// export (src/report) renders its bytes through the SAME builders as
+/// write_report — equivalence by construction.
+obs::Event report_header_event(const Report& report);
+obs::Event report_fit_event(const FitResult& fit);
+
+/// log_b a from an "a:b:c" algo token (0 when malformed) — the
+/// "expected" column of a fit line.
+double algo_expected_exponent(const std::string& algo_token);
+
 void write_report(std::ostream& os, const Report& report);
 
 /// Durable commit: the report is rendered in memory and lands via
@@ -141,6 +151,8 @@ Report load_report_file(const std::string& path);
 /// disjoint, and their union must cover the grid. wall_ms is summed
 /// (total compute, not makespan); fits are recomputed over the merged
 /// grid. Mixing reports from different campaigns throws util::ParseError.
-Report merge_reports(const std::vector<Report>& parts);
+/// Takes the parts by value and moves every cell (samples included)
+/// into the result — pass std::move(parts) to skip the deep copy.
+Report merge_reports(std::vector<Report> parts);
 
 }  // namespace cadapt::campaign

@@ -195,6 +195,7 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
                                        std::memory_order_relaxed);
   };
   std::mutex sink_mutex;  // checkpoint + trace share one writer lock
+  std::string checkpoint_line;  // encode buffer reused under sink_mutex
 
   util::ThreadPool pool(static_cast<std::size_t>(options.jobs));
   try {
@@ -227,7 +228,8 @@ Report run_sweep(const Plan& plan, const SweepOptions& options) {
           // One durable commit per cell: a kill between cells loses
           // nothing, a kill mid-commit loses only the torn tail that
           // truncate_torn_tail drops on resume.
-          checkpoint->write(obs::to_jsonl(cell_event(result)));
+          obs::to_jsonl(cell_event(result), checkpoint_line);
+          checkpoint->write(checkpoint_line);
           checkpoint->write("\n");
           checkpoint->commit();
         }

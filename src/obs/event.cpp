@@ -136,7 +136,15 @@ void append_value(std::string& out, const Value& value) {
 
 std::string to_jsonl(const Event& event) {
   std::string out;
-  out.reserve(32 + event.fields.size() * 16);
+  to_jsonl(event, out);
+  return out;
+}
+
+void to_jsonl(const Event& event, std::string& out) {
+  out.clear();
+  if (out.capacity() < 32 + event.fields.size() * 16) {
+    out.reserve(32 + event.fields.size() * 16);
+  }
   out += "{\"type\":\"";
   out += json_escape(event.type);
   out += '"';
@@ -147,7 +155,6 @@ std::string to_jsonl(const Event& event) {
     append_value(out, f.value);
   }
   out += '}';
-  return out;
 }
 
 namespace {

@@ -71,6 +71,12 @@ std::string json_escape(std::string_view s);
 /// newline: {"type":"box","s":4,...}
 std::string to_jsonl(const Event& event);
 
+/// Buffer-reuse encoder for streaming writers: clears `out` and fills
+/// it with the same bytes to_jsonl returns, reusing its capacity so the
+/// per-line hot path (report export, checkpoints, serve streams) stops
+/// allocating a fresh string per event.
+void to_jsonl(const Event& event, std::string& out);
+
 /// Parse one JSONL line produced by to_jsonl (flat object, "type"
 /// required). Returns false and fills *error (if given) on malformed
 /// input; nested objects/arrays and null are rejected by design.

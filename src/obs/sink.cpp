@@ -5,7 +5,9 @@
 namespace cadapt::obs {
 
 void JsonlSink::write(const Event& event) {
-  os_ << to_jsonl(event) << '\n';
+  to_jsonl(event, line_);
+  line_ += '\n';
+  os_.write(line_.data(), static_cast<std::streamsize>(line_.size()));
   ++lines_;
 }
 

@@ -32,7 +32,9 @@ class MemorySink final : public TraceSink {
 };
 
 /// Writes one JSON line per event to an ostream (JSONL). The stream must
-/// outlive the sink; flushing is left to the stream's owner.
+/// outlive the sink; flushing is left to the stream's owner. One encode
+/// buffer is reused across lines (to_jsonl's buffer overload), so the
+/// per-event hot path stops allocating.
 class JsonlSink final : public TraceSink {
  public:
   explicit JsonlSink(std::ostream& os) : os_(os) {}
@@ -42,6 +44,7 @@ class JsonlSink final : public TraceSink {
  private:
   std::ostream& os_;
   std::uint64_t lines_ = 0;
+  std::string line_;
 };
 
 /// Counts and discards — the "tracing attached but pointed nowhere"

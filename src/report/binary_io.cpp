@@ -1,0 +1,548 @@
+#include "report/binary_io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "robust/cancel.hpp"
+#include "util/check.hpp"
+
+namespace cadapt::report {
+
+// Columns are committed as raw little-endian memory; the container is a
+// storage format for one machine family, not a network protocol.
+static_assert(std::endian::native == std::endian::little,
+              "binary report container assumes a little-endian host");
+
+namespace {
+
+enum Section : std::uint32_t {
+  kHeader = 1,
+  kEnv = 2,
+  kDicts = 3,
+  kCells = 4,
+  kSamples = 5,
+  kFits = 6,
+};
+
+constexpr std::uint32_t kSectionIds[] = {kHeader, kEnv,     kDicts,
+                                         kCells,  kSamples, kFits};
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kHeader: return "HEADER";
+    case kEnv: return "ENV";
+    case kDicts: return "DICTS";
+    case kCells: return "CELLS";
+    case kSamples: return "SAMPLES";
+    case kFits: return "FITS";
+    default: return "?";
+  }
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw util::ParseError("binary report: " + what);
+}
+
+// ---- encoding helpers ----------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+template <typename T>
+std::string_view column_bytes(const std::vector<T>& column) {
+  return {reinterpret_cast<const char*>(column.data()),
+          column.size() * sizeof(T)};
+}
+
+// ---- decoding helpers ----------------------------------------------
+
+/// Bounds-checked reader over one section payload; every overrun names
+/// the section it happened in.
+class Cursor {
+ public:
+  Cursor(std::string_view data, std::uint32_t section)
+      : data_(data), section_(section) {}
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+  template <typename T>
+  void column(std::vector<T>& out, std::uint64_t rows) {
+    need(rows * sizeof(T));
+    out.resize(rows);
+    std::memcpy(out.data(), data_.data() + pos_, rows * sizeof(T));
+    pos_ += rows * sizeof(T);
+  }
+  void finish() const {
+    if (pos_ != data_.size()) {
+      bad(std::string("section ") + section_name(section_) +
+          " carries trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::uint64_t bytes) const {
+    if (bytes > data_.size() - pos_) {
+      bad(std::string("section ") + section_name(section_) +
+          " is shorter than its contents claim");
+    }
+  }
+  void raw(void* out, std::size_t bytes) {
+    need(bytes);
+    std::memcpy(out, data_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::uint32_t section_;
+};
+
+// ---- section payloads ----------------------------------------------
+
+std::string header_payload(const CellStore& store) {
+  std::string out;
+  put_u64(out, store.version);
+  put_u64(out, store.config_hash);
+  put_u64(out, store.cells_total);
+  put_u64(out, store.shards);
+  put_u64(out, store.shard_index);
+  put_u64(out, store.wall_ms);
+  put_u32(out, store.truncated ? 1 : 0);
+  put_str(out, store.name);
+  put_str(out, robust::cancel_reason_name(store.truncate_reason));
+  return out;
+}
+
+std::string env_payload(const CellStore& store) {
+  std::string out;
+  put_str(out, store.env.version);
+  put_str(out, store.env.git_hash);
+  put_str(out, store.env.build_type);
+  put_str(out, store.env.compiler);
+  put_str(out, store.env.cxx_flags);
+  return out;
+}
+
+std::string dicts_payload(const CellStore& store) {
+  std::string out;
+  for (const StringDict* dict :
+       {&store.algo_dict, &store.profile_dict, &store.sort_dict,
+        &store.policy_dict}) {
+    put_u32(out, static_cast<std::uint32_t>(dict->size()));
+    for (const std::string& token : dict->tokens()) put_str(out, token);
+  }
+  return out;
+}
+
+std::string fits_payload(const CellStore& store) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(store.fits.size()));
+  for (const FitRow& fit : store.fits) {
+    put_u32(out, fit.algo_id);
+    put_u32(out, fit.profile_id);
+    put_f64(out, fit.exponent);
+    put_f64(out, fit.scale);
+    put_f64(out, fit.r2);
+    put_f64(out, fit.expected);
+  }
+  return out;
+}
+
+/// The CELLS section is the store's columns verbatim; rather than copy
+/// them into a payload string, visit (prefix, column bytes...) spans in
+/// encoding order — save_store_file runs the visitor twice, once to CRC
+/// and size the section, once to write it.
+template <typename Visit>
+void visit_cells_spans(const CellStore& store, std::string& prefix,
+                       Visit&& visit) {
+  prefix.clear();
+  put_u64(prefix, store.cell_count());
+  visit(std::string_view(prefix));
+  visit(column_bytes(store.index));
+  visit(column_bytes(store.algo_id));
+  visit(column_bytes(store.profile_id));
+  visit(column_bytes(store.sort_id));
+  visit(column_bytes(store.policy_id));
+  visit(column_bytes(store.k));
+  visit(column_bytes(store.n));
+  visit(column_bytes(store.trials));
+  visit(column_bytes(store.completed));
+  visit(column_bytes(store.incomplete));
+  visit(column_bytes(store.capped));
+  visit(column_bytes(store.failed));
+  visit(column_bytes(store.mean));
+  visit(column_bytes(store.ci_lo));
+  visit(column_bytes(store.ci_hi));
+  visit(column_bytes(store.q50));
+  visit(column_bytes(store.q90));
+  visit(column_bytes(store.q95));
+  visit(column_bytes(store.boxes_mean));
+  visit(column_bytes(store.wall_ns));
+  visit(column_bytes(store.samples_offset));
+}
+
+template <typename Visit>
+void visit_samples_spans(const CellStore& store, std::string& prefix,
+                         Visit&& visit) {
+  prefix.clear();
+  put_u64(prefix, store.samples.size());
+  visit(std::string_view(prefix));
+  visit(column_bytes(store.samples));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  // Slice-by-8: the byte-at-a-time recurrence caps the checksum near
+  // 1 GB/s, which would dominate loading a multi-GB container. Eight
+  // derived tables let each iteration fold 8 bytes with independent
+  // lookups; the resulting function is the same CRC-32 (seed chaining
+  // still composes: crc32(b, crc32(a)) == crc32(a + b)).
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+    return t;
+  }();
+  std::uint32_t state = seed ^ 0xFFFFFFFFu;
+  const char* p = data.data();
+  std::size_t len = data.size();
+  while (len >= 8) {
+    std::uint32_t lo = 0, hi = 0;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= state;
+    state = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+            tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+            tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+            tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  for (; len != 0; --len, ++p) {
+    state = tables[0][(state ^ static_cast<unsigned char>(*p)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+void save_store_file(const std::string& path, const CellStore& store,
+                     robust::IoBackend& io) {
+  const std::string header = header_payload(store);
+  const std::string env = env_payload(store);
+  const std::string dicts = dicts_payload(store);
+  const std::string fits = fits_payload(store);
+
+  // Size and CRC the two big sections without materializing them.
+  std::string prefix;
+  std::uint64_t cells_len = 0;
+  std::uint32_t cells_crc = 0;
+  visit_cells_spans(store, prefix, [&](std::string_view span) {
+    cells_len += span.size();
+    cells_crc = crc32(span, cells_crc);
+  });
+  std::uint64_t samples_len = 0;
+  std::uint32_t samples_crc = 0;
+  visit_samples_spans(store, prefix, [&](std::string_view span) {
+    samples_len += span.size();
+    samples_crc = crc32(span, samples_crc);
+  });
+
+  struct Entry {
+    std::uint32_t id;
+    std::uint32_t crc;
+    std::uint64_t length;
+  };
+  const Entry entries[] = {
+      {kHeader, crc32(header), header.size()},
+      {kEnv, crc32(env), env.size()},
+      {kDicts, crc32(dicts), dicts.size()},
+      {kCells, cells_crc, cells_len},
+      {kSamples, samples_crc, samples_len},
+      {kFits, crc32(fits), fits.size()},
+  };
+
+  std::string front;
+  front.append(kBinaryReportMagic, sizeof(kBinaryReportMagic));
+  put_u32(front, kBinaryReportVersion);
+  put_u32(front, static_cast<std::uint32_t>(std::size(entries)));
+  std::uint64_t offset =
+      front.size() + std::size(entries) * 24;  // table entry = 24 bytes
+  for (const Entry& entry : entries) {
+    put_u32(front, entry.id);
+    put_u32(front, entry.crc);
+    put_u64(front, offset);
+    put_u64(front, entry.length);
+    offset += entry.length;
+  }
+
+  robust::AtomicFileWriter out(path, io);
+  out.write(front);
+  out.write(header);
+  out.write(env);
+  out.write(dicts);
+  visit_cells_spans(store, prefix,
+                    [&](std::string_view span) { out.write(span); });
+  visit_samples_spans(store, prefix,
+                      [&](std::string_view span) { out.write(span); });
+  out.write(fits);
+  out.commit();
+}
+
+CellStore load_store(std::string_view bytes) {
+  if (bytes.size() < sizeof(kBinaryReportMagic) + 8 ||
+      std::memcmp(bytes.data(), kBinaryReportMagic,
+                  sizeof(kBinaryReportMagic)) != 0) {
+    bad("missing magic — not a binary report");
+  }
+  std::uint32_t container_version = 0;
+  std::uint32_t section_count = 0;
+  std::memcpy(&container_version, bytes.data() + 8, 4);
+  std::memcpy(&section_count, bytes.data() + 12, 4);
+  if (container_version != kBinaryReportVersion) {
+    bad("unsupported container version " + std::to_string(container_version));
+  }
+  if (section_count != std::size(kSectionIds)) {
+    bad("expected " + std::to_string(std::size(kSectionIds)) +
+        " sections, found " + std::to_string(section_count));
+  }
+  const std::uint64_t table_end = 16 + std::uint64_t{section_count} * 24;
+  if (table_end > bytes.size()) {
+    bad("truncated file — the section table extends past end of file");
+  }
+
+  // Locate and integrity-check every section before decoding any.
+  std::string_view payloads[std::size(kSectionIds) + 1];
+  bool seen[std::size(kSectionIds) + 1] = {};
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    std::uint32_t id = 0, crc = 0;
+    std::uint64_t offset = 0, length = 0;
+    const char* entry = bytes.data() + 16 + s * 24;
+    std::memcpy(&id, entry, 4);
+    std::memcpy(&crc, entry + 4, 4);
+    std::memcpy(&offset, entry + 8, 8);
+    std::memcpy(&length, entry + 16, 8);
+    if (id == 0 || id > std::size(kSectionIds)) {
+      bad("unknown section id " + std::to_string(id));
+    }
+    if (seen[id]) {
+      bad(std::string("duplicate section ") + section_name(id));
+    }
+    seen[id] = true;
+    if (offset > bytes.size() || length > bytes.size() - offset) {
+      bad(std::string("truncated file — section ") + section_name(id) +
+          " extends past end of file");
+    }
+    const std::string_view payload = bytes.substr(offset, length);
+    if (crc32(payload) != crc) {
+      bad(std::string("CRC mismatch in section ") + section_name(id));
+    }
+    payloads[id] = payload;
+  }
+  for (const std::uint32_t id : kSectionIds) {
+    if (!seen[id]) bad(std::string("missing section ") + section_name(id));
+  }
+
+  CellStore store;
+
+  {
+    Cursor c(payloads[kHeader], kHeader);
+    store.version = c.u64();
+    if (store.version != 1) {
+      bad("unsupported report version " + std::to_string(store.version));
+    }
+    store.config_hash = c.u64();
+    store.cells_total = c.u64();
+    store.shards = c.u64();
+    store.shard_index = c.u64();
+    store.wall_ms = c.u64();
+    store.truncated = c.u32() != 0;
+    store.name = c.str();
+    if (const auto reason = robust::parse_cancel_reason(c.str());
+        reason.has_value()) {
+      store.truncate_reason = *reason;
+    }
+    c.finish();
+  }
+  {
+    Cursor c(payloads[kEnv], kEnv);
+    store.env.version = c.str();
+    store.env.git_hash = c.str();
+    store.env.build_type = c.str();
+    store.env.compiler = c.str();
+    store.env.cxx_flags = c.str();
+    c.finish();
+  }
+  {
+    Cursor c(payloads[kDicts], kDicts);
+    for (StringDict* dict : {&store.algo_dict, &store.profile_dict,
+                             &store.sort_dict, &store.policy_dict}) {
+      const std::uint32_t count = c.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (dict->intern(c.str()) != i) {
+          bad("section DICTS repeats a token — ids would not round-trip");
+        }
+      }
+    }
+    c.finish();
+  }
+
+  std::uint64_t rows = 0;
+  {
+    Cursor c(payloads[kCells], kCells);
+    rows = c.u64();
+    c.column(store.index, rows);
+    c.column(store.algo_id, rows);
+    c.column(store.profile_id, rows);
+    c.column(store.sort_id, rows);
+    c.column(store.policy_id, rows);
+    c.column(store.k, rows);
+    c.column(store.n, rows);
+    c.column(store.trials, rows);
+    c.column(store.completed, rows);
+    c.column(store.incomplete, rows);
+    c.column(store.capped, rows);
+    c.column(store.failed, rows);
+    c.column(store.mean, rows);
+    c.column(store.ci_lo, rows);
+    c.column(store.ci_hi, rows);
+    c.column(store.q50, rows);
+    c.column(store.q90, rows);
+    c.column(store.q95, rows);
+    c.column(store.boxes_mean, rows);
+    c.column(store.wall_ns, rows);
+    c.column(store.samples_offset, rows);
+    c.finish();
+  }
+  {
+    Cursor c(payloads[kSamples], kSamples);
+    const std::uint64_t count = c.u64();
+    c.column(store.samples, count);
+    c.finish();
+  }
+  {
+    Cursor c(payloads[kFits], kFits);
+    const std::uint32_t count = c.u32();
+    store.fits.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      FitRow fit;
+      fit.algo_id = c.u32();
+      fit.profile_id = c.u32();
+      std::uint64_t raw = c.u64();
+      std::memcpy(&fit.exponent, &raw, 8);
+      raw = c.u64();
+      std::memcpy(&fit.scale, &raw, 8);
+      raw = c.u64();
+      std::memcpy(&fit.r2, &raw, 8);
+      raw = c.u64();
+      std::memcpy(&fit.expected, &raw, 8);
+      store.fits.push_back(fit);
+    }
+    c.finish();
+  }
+
+  // Cross-section consistency: dictionary ids in range, the samples
+  // arena exactly covered by the per-cell (offset, completed) runs.
+  const auto check_ids = [&](const std::vector<std::uint32_t>& column,
+                             const StringDict& dict, const char* what) {
+    for (const std::uint32_t id : column) {
+      if (id >= dict.size()) {
+        bad(std::string("section CELLS references ") + what +
+            " dictionary id " + std::to_string(id) + " of " +
+            std::to_string(dict.size()));
+      }
+    }
+  };
+  check_ids(store.algo_id, store.algo_dict, "algo");
+  check_ids(store.profile_id, store.profile_dict, "profile");
+  check_ids(store.sort_id, store.sort_dict, "sort");
+  check_ids(store.policy_id, store.policy_dict, "policy");
+  std::uint64_t running = 0;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    if (store.samples_offset[row] != running) {
+      bad("section CELLS samples offsets do not tile the arena (cell " +
+          std::to_string(store.index[row]) + ")");
+    }
+    running += store.completed[row];
+  }
+  if (running != store.samples.size()) {
+    bad("section SAMPLES carries " + std::to_string(store.samples.size()) +
+        " samples but cells claim " + std::to_string(running));
+  }
+  return store;
+}
+
+CellStore load_store_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw util::IoError("cannot open report: " + path);
+  const std::streamoff size = is.tellg();
+  if (size < 0) throw util::IoError("cannot read report: " + path);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  is.seekg(0);
+  is.read(bytes.data(), size);
+  if (is.gcount() != size) {
+    throw util::IoError("cannot read report: " + path);
+  }
+  return load_store(bytes);
+}
+
+bool is_binary_report_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[sizeof(kBinaryReportMagic)] = {};
+  is.read(magic, sizeof(magic));
+  return is.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kBinaryReportMagic, sizeof(magic)) == 0;
+}
+
+}  // namespace cadapt::report

@@ -1,0 +1,61 @@
+// On-disk container for the columnar cell store (docs/REPORT.md):
+//
+//   magic "CADAPTCR" | u32 container version | u32 section count
+//   section table: {u32 id, u32 crc32, u64 offset, u64 length} per section
+//   section payloads, in table order
+//
+// Sections: HEADER (report metadata), ENV (provenance), DICTS (the four
+// interning dictionaries), CELLS (row count + one contiguous array per
+// column), SAMPLES (the shared samples arena), FITS. All integers are
+// little-endian fixed width; doubles are raw IEEE-754 bytes, so a
+// loaded store is bit-identical to the saved one (and its JSONL export
+// byte-identical to the original report).
+//
+// Integrity: every section carries a CRC-32 (polynomial 0xEDB88320)
+// checked on load; a mismatch or a file shorter than the table claims
+// throws util::ParseError naming the damaged section — corruption is an
+// input error, never a silent partial load. Commits go through
+// robust::AtomicFileWriter, so the crash-safety contract of the JSONL
+// report carries over verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "report/cell_store.hpp"
+#include "robust/io.hpp"
+
+namespace cadapt::report {
+
+/// First bytes of every binary report (also the format sniff for CLI
+/// paths that accept either encoding).
+inline constexpr char kBinaryReportMagic[8] = {'C', 'A', 'D', 'A',
+                                               'P', 'T', 'C', 'R'};
+inline constexpr std::uint32_t kBinaryReportVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) of `data`, seeded by
+/// `seed` so section CRCs can be accumulated over multiple spans.
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Serialize `store` and commit it atomically to `path`. Streams the
+/// sections through chunked durable writes (robust::AtomicFileWriter) —
+/// peak memory is the store plus one chunk, not a second file-sized
+/// buffer.
+void save_store_file(const std::string& path, const CellStore& store,
+                     robust::IoBackend& io = robust::system_io());
+
+/// Parse a binary report from memory. Throws util::ParseError on bad
+/// magic/version, truncation, CRC mismatch, or inconsistent columns
+/// (the message names the offending section).
+CellStore load_store(std::string_view bytes);
+
+/// Read and parse `path`. Throws util::IoError if unreadable.
+CellStore load_store_file(const std::string& path);
+
+/// True when `path` starts with the binary report magic (false for
+/// unreadable, short, or JSONL files — callers fall back to the JSONL
+/// loader).
+bool is_binary_report_file(const std::string& path);
+
+}  // namespace cadapt::report

@@ -194,8 +194,10 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
 }
 
 void CheckpointWriter::append(const std::vector<TrialRecord>& chunk) {
+  std::string line;
   for (const TrialRecord& record : chunk) {
-    out_.write(obs::to_jsonl(record_event(record)));
+    obs::to_jsonl(record_event(record), line);
+    out_.write(line);
     out_.write("\n");
     ++records_written_;
   }

@@ -178,6 +178,82 @@ void atomic_write_file(const std::string& path, std::string_view content,
   }
 }
 
+AtomicFileWriter::AtomicFileWriter(const std::string& path, IoBackend& io,
+                                   std::size_t chunk_bytes)
+    : path_(path), tmp_(path + ".tmp"), io_(io), chunk_bytes_(chunk_bytes) {
+  CADAPT_CHECK_MSG(chunk_bytes_ > 0, "AtomicFileWriter chunk must be > 0");
+  fd_ = io_.open_trunc(tmp_.c_str());
+  if (fd_ < 0) {
+    throw util::IoError("cannot open '" + tmp_ +
+                        "' for writing: " + errno_detail());
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_ || fd_ < 0) return;
+  // Abandoned mid-stream (an exception above us): same cleanup as a
+  // failed atomic_write_file — close and remove the temp, leave `path_`
+  // untouched.
+  io_.close(fd_);
+  io_.remove(tmp_.c_str());
+}
+
+void AtomicFileWriter::abort_commit(const std::string& what) {
+  io_.close(fd_);
+  fd_ = -1;
+  io_.remove(tmp_.c_str());
+  committed_ = true;  // nothing left to clean up in the destructor
+  throw util::IoError(what + "; '" + path_ + "' left untouched");
+}
+
+void AtomicFileWriter::flush() {
+  if (buffer_.empty()) return;
+  const std::string chunk = std::move(buffer_);
+  buffer_.clear();
+  CrashPoint::instance().visit(io_, fd_, chunk.data(), chunk.size());
+  const std::int64_t wrote = io_.write(fd_, chunk.data(), chunk.size());
+  if (wrote < 0) {
+    abort_commit("write to '" + tmp_ + "' failed: " + errno_detail());
+  }
+  if (static_cast<std::size_t>(wrote) != chunk.size()) {
+    abort_commit("short write to '" + tmp_ + "'");
+  }
+}
+
+void AtomicFileWriter::write(std::string_view data) {
+  CADAPT_CHECK_MSG(!committed_, "AtomicFileWriter used after commit");
+  buffer_.append(data.data(), data.size());
+  if (buffer_.size() >= chunk_bytes_) flush();
+}
+
+void AtomicFileWriter::commit() {
+  CADAPT_CHECK_MSG(!committed_, "AtomicFileWriter committed twice");
+  flush();
+  if (io_.fsync(fd_) != 0) {
+    abort_commit("fsync of '" + tmp_ + "' failed: " + errno_detail());
+  }
+  const int close_rc = io_.close(fd_);
+  fd_ = -1;
+  if (close_rc != 0) {
+    io_.remove(tmp_.c_str());
+    committed_ = true;
+    throw util::IoError("close of '" + tmp_ + "' failed: " + errno_detail() +
+                        "; '" + path_ + "' left untouched");
+  }
+  if (io_.rename(tmp_.c_str(), path_.c_str()) != 0) {
+    const std::string detail = errno_detail();
+    io_.remove(tmp_.c_str());
+    committed_ = true;
+    throw util::IoError("rename of '" + tmp_ + "' failed: " + detail + "; '" +
+                        path_ + "' left untouched");
+  }
+  committed_ = true;
+  if (io_.fsync_parent(path_.c_str()) != 0) {
+    throw util::IoError("fsync of parent directory of '" + path_ +
+                        "' failed: " + errno_detail());
+  }
+}
+
 DurableAppender::DurableAppender(const std::string& path, bool truncate,
                                  IoBackend& io)
     : path_(path), io_(io) {

@@ -128,6 +128,46 @@ class CrashPoint {
 void atomic_write_file(const std::string& path, std::string_view content,
                        IoBackend& io = system_io());
 
+/// Streaming variant of atomic_write_file for artifacts too large to
+/// materialize in one buffer (bounded-memory report commits): write()
+/// buffers into chunks of `chunk_bytes` and flushes full chunks to the
+/// temp file; commit() flushes the tail, fsyncs, closes, renames over
+/// `path`, and fsyncs the parent. The atomicity contract is identical —
+/// until the rename, only `path + ".tmp"` is touched, and any failure
+/// removes it and throws util::IoError with `path` left untouched.
+///
+/// Crash modelling: every flushed chunk is one durable write
+/// (CrashPoint-visited), so a payload under `chunk_bytes` costs exactly
+/// one durable write — the same count as atomic_write_file, which keeps
+/// the chaos lane's crash-point indexes stable for every report the
+/// lane writes. Destroying an uncommitted writer aborts the commit and
+/// removes the temp file.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(const std::string& path,
+                            IoBackend& io = system_io(),
+                            std::size_t chunk_bytes = 4u << 20);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  void write(std::string_view data);
+  void commit();
+
+ private:
+  void flush();
+  [[noreturn]] void abort_commit(const std::string& what);
+
+  std::string path_;
+  std::string tmp_;
+  IoBackend& io_;
+  std::size_t chunk_bytes_;
+  int fd_ = -1;
+  bool committed_ = false;
+  std::string buffer_;
+};
+
 /// Append-only durable writer over an fd. write() buffers; commit()
 /// pushes the batch with one write() + fsync(). Throws util::IoError on
 /// open/write/fsync failure. A failed or crashed commit may leave a torn

@@ -186,8 +186,9 @@ void ServeCore::init_job(const JobFiles& files, const SubmitRequest& request,
                                                    job->plan, 1, 0);
   }
   if (job->checkpoint->initial_size() == 0) {
-    job->checkpoint->write(
-        obs::to_jsonl(campaign::sweep_checkpoint_header(job->plan, 1, 0)));
+    obs::to_jsonl(campaign::sweep_checkpoint_header(job->plan, 1, 0),
+                  line_buf_);
+    job->checkpoint->write(line_buf_);
     job->checkpoint->write("\n");
     job->checkpoint->commit();
   }
@@ -336,14 +337,14 @@ void ServeCore::run_one(const std::string& id, std::uint64_t cell_index) {
             clients_[job.request.client].tracker.get()) {
       tracker->add_boxes(boxes);
     }
-    const std::string line = obs::to_jsonl(campaign::cell_event(result));
+    obs::to_jsonl(campaign::cell_event(result), line_buf_);
     try {
-      job.checkpoint->write(line);
+      job.checkpoint->write(line_buf_);
       job.checkpoint->write("\n");
       job.checkpoint->commit();
       job.results.emplace(cell_index, std::move(result));
       if (job.subscriber) {
-        job.stream.push_back(line);
+        job.stream.push_back(line_buf_);
         if (!job.stream_paused &&
             job.stream.size() >= options_.stream_buffer) {
           // Backpressure: this subscriber stopped draining, so THIS job

@@ -159,6 +159,7 @@ class ServeCore {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   FairScheduler scheduler_;
+  std::string line_buf_;  ///< JSONL encode buffer, reused under mutex_
   std::map<std::string, std::unique_ptr<Job>> jobs_;
   std::map<std::string, ClientState> clients_;
   std::vector<SchedulerPick> dispatch_log_;

@@ -24,8 +24,10 @@
 // Distribution flags (iid/analytic): --dist geometric|uniform-powers|
 //   bimodal|point|uniform-range, --kdist, --small, --big, --pbig,
 //   --size, --lo, --hi
+#include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -36,12 +38,16 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "campaign/cell_runner.hpp"
 #include "campaign/gate.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/provenance.hpp"
 #include "campaign/report.hpp"
 #include "campaign/sweep.hpp"
+#include "report/binary_io.hpp"
+#include "report/cell_store.hpp"
 #include "paging/policy.hpp"
 #include "core/cadapt.hpp"
 #include "core/report.hpp"
@@ -134,6 +140,12 @@ commands:
               [--shards S --shard-index I] [--checkpoint F [--resume]]
               [--baseline report] [--no-timing] ... — run
               'cadapt help sweep' for the full flag list
+  report      columnar report engine (docs/REPORT.md):
+              cadapt report export|import|info|merge|bench ... —
+              convert between the binary columnar container and the
+              JSONL report (byte-identical export), inspect artifacts,
+              merge shards columnar-natively, and benchmark the two
+              encodings — run 'cadapt help report' for subcommands
   serve       long-lived multi-tenant campaign daemon (docs/SERVE.md):
               cadapt serve --spool DIR --socket PATH [--jobs J]
               [--slots N] [--stream-buffer L] [--no-timing] [--trace F]
@@ -766,6 +778,12 @@ execution flags:
                         `workers` key; the report bytes never depend on
                         it (trials land at their index). W >= 1
   --out F               report path (default BENCH_sweep.json)
+  --format jsonl|binary report encoding (default jsonl; binary is the
+                        columnar container of docs/REPORT.md —
+                        `cadapt report export` recovers the exact JSONL
+                        bytes). --merge and --baseline accept either
+                        encoding, sniffed per file; an all-binary merge
+                        stays columnar end to end
   --shards S --shard-index I   run only cells with index % S == I;
                         merge the shard reports with --merge afterwards
   --checkpoint F        record finished cells; a killed sweep resumes
@@ -871,6 +889,46 @@ machine box — is the model's unit of time), steals vs the
 Cole-Ramachandran-style bound P * (split_depth + k), the capacity
 overhead extra_miss_ratio = (P * rounds_P - rounds_1)/rounds_1, and the
 cell's wall-clock speedup with the machine's core count for provenance.
+)";
+    return 0;
+  }
+  if (cmd == "report") {
+    std::cout <<
+        R"(cadapt report - columnar report engine (docs/REPORT.md)
+
+usage:
+  cadapt report export <report> [--out F]     binary -> JSONL (exact bytes)
+  cadapt report import <report> [--out F]     JSONL -> binary (default
+                                              <report>.bin)
+  cadapt report info <report>                 header, dictionary, and
+                                              section summary
+  cadapt report merge <report>... [--out F] [--format jsonl|binary]
+                                              columnar-native shard merge
+                                              (default BENCH_sweep.bin)
+  cadapt report bench [--cells N] [--trials T] [--seed S] [--dir D]
+                      [--out F] [--gate F] [--keep]
+                                              columnar-vs-JSONL benchmark
+
+The binary container (magic CADAPTCR) stores the campaign as
+struct-of-arrays columns: fixed-width numeric columns per cell field,
+interned dictionaries for the four string axes, and one contiguous
+samples arena — with a CRC-32-checked section table committed by the
+same atomic-rename protocol as every other artifact. Loading it is a
+few large reads instead of millions of per-line parses.
+
+The JSONL report stays the interchange format: `export` renders the
+EXACT bytes `cadapt sweep` writes for the same campaign (same event
+encoders), so cmp-based bit-identity gates hold across a binary round
+trip. Every subcommand accepts either encoding, sniffed by magic.
+
+bench: synthesizes a seeded ~N-cell campaign, runs write/load/merge
+through both encodings (columnar first — peak RSS is a process
+high-water mark), prints throughput (cells/s), bytes/cell and peak RSS,
+and emits JSONL (report_bench / report_bench_path / report_bench_summary)
+to --out. --gate F reads a report_bench_gate line
+({"type":"report_bench_gate","merge_load_speedup_min":...,
+"rss_ratio_min":...}) and exits 4 when a ratio falls below its floor
+(tools/regen_bench_report.sh drives this; scratch shards go to --dir).
 )";
     return 0;
   }
@@ -1201,9 +1259,37 @@ int run_parallel_cmd(const util::ArgParser& args) {
   return 0;
 }
 
+// ---- report encodings (docs/REPORT.md) -----------------------------
+
+enum class ReportFormat { kJsonl, kBinary };
+
+ReportFormat report_format_from(const util::ArgParser& args) {
+  const std::string format = args.get_string("format", "jsonl");
+  if (format == "jsonl") return ReportFormat::kJsonl;
+  if (format == "binary") return ReportFormat::kBinary;
+  throw util::UsageError("--format must be jsonl or binary");
+}
+
+/// Load either encoding as a row report (binary sniffed by magic).
+campaign::Report load_report_any(const std::string& path) {
+  if (report::is_binary_report_file(path)) {
+    return report::load_store_file(path).to_report();
+  }
+  return campaign::load_report_file(path);
+}
+
+/// Load either encoding as a columnar store.
+report::CellStore load_store_any(const std::string& path) {
+  if (report::is_binary_report_file(path)) {
+    return report::load_store_file(path);
+  }
+  return report::CellStore::from_report(campaign::load_report_file(path));
+}
+
 int run_sweep_cmd(const util::ArgParser& args) {
   const std::vector<std::string>& pos = args.positionals();
   const std::string out_path = args.get_string("out", "BENCH_sweep.json");
+  const ReportFormat format = report_format_from(args);
 
   // Shared by checkpoint writes and the final report commit, so a fault
   // plan arming the io_* sites exercises both (docs/ROBUSTNESS.md).
@@ -1214,6 +1300,10 @@ int run_sweep_cmd(const util::ArgParser& args) {
   robust::IoBackend* io = &robust::system_io();
 
   campaign::Report report;
+  // Set on the all-binary merge path: cells stay columnar end to end
+  // (load, merge, write) and a row Report is only materialized if the
+  // baseline gate needs one.
+  std::optional<report::CellStore> store;
   if (args.has("merge")) {
     // ArgParser pairs "--merge x.json" as flag + value, so the first
     // report path may arrive as the flag's value rather than a positional.
@@ -1224,13 +1314,32 @@ int run_sweep_cmd(const util::ArgParser& args) {
     if (inputs.empty()) {
       throw util::UsageError("sweep --merge requires shard report paths");
     }
-    std::vector<campaign::Report> parts;
-    for (const std::string& path : inputs) {
-      parts.push_back(campaign::load_report_file(path));
+    const bool all_binary =
+        std::all_of(inputs.begin(), inputs.end(),
+                    [](const std::string& path) {
+                      return report::is_binary_report_file(path);
+                    });
+    if (all_binary) {
+      std::vector<report::CellStore> parts;
+      parts.reserve(inputs.size());
+      for (const std::string& path : inputs) {
+        parts.push_back(report::load_store_file(path));
+      }
+      const std::size_t part_count = parts.size();
+      store = report::CellStore::merge(std::move(parts));
+      std::cout << "merged " << part_count << " shard reports ("
+                << store->cell_count() << " cells)\n";
+    } else {
+      std::vector<campaign::Report> parts;
+      parts.reserve(inputs.size());
+      for (const std::string& path : inputs) {
+        parts.push_back(load_report_any(path));
+      }
+      const std::size_t part_count = parts.size();
+      report = campaign::merge_reports(std::move(parts));
+      std::cout << "merged " << part_count << " shard reports ("
+                << report.cells.size() << " cells)\n";
     }
-    report = campaign::merge_reports(parts);
-    std::cout << "merged " << parts.size() << " shard reports ("
-              << report.cells.size() << " cells)\n";
   } else {
     if (pos.size() != 2) {
       throw util::UsageError(
@@ -1330,11 +1439,20 @@ int run_sweep_cmd(const util::ArgParser& args) {
   }
 
   std::uint64_t completed = 0, incomplete = 0, capped = 0, failed = 0;
-  for (const campaign::CellResult& cell : report.cells) {
-    completed += cell.completed;
-    incomplete += cell.incomplete;
-    capped += cell.capped;
-    failed += cell.failed;
+  if (store.has_value()) {
+    for (std::size_t row = 0; row < store->cell_count(); ++row) {
+      completed += store->completed[row];
+      incomplete += store->incomplete[row];
+      capped += store->capped[row];
+      failed += store->failed[row];
+    }
+  } else {
+    for (const campaign::CellResult& cell : report.cells) {
+      completed += cell.completed;
+      incomplete += cell.incomplete;
+      capped += cell.capped;
+      failed += cell.failed;
+    }
   }
   std::cout << "  trials: " << completed << " completed, " << incomplete
             << " incomplete, " << failed << " failed\n";
@@ -1342,26 +1460,50 @@ int run_sweep_cmd(const util::ArgParser& args) {
     std::cout << "  incomplete breakdown: " << capped << " hit the box cap, "
               << (incomplete - capped) << " exhausted the source\n";
   }
-  if (!report.fits.empty()) {
+  const bool have_fits =
+      store.has_value() ? !store->fits.empty() : !report.fits.empty();
+  if (have_fits) {
     util::Table table({"algo", "profile", "exponent", "expected", "r^2"});
-    for (const campaign::FitResult& fit : report.fits) {
-      table.row()
-          .cell(fit.algo)
-          .cell(fit.profile)
-          .cell(fit.exponent, 3)
-          .cell(fit.expected, 3)
-          .cell(fit.r2, 4);
+    if (store.has_value()) {
+      for (const report::FitRow& fit : store->fits) {
+        table.row()
+            .cell(store->algo_dict.token(fit.algo_id))
+            .cell(store->profile_dict.token(fit.profile_id))
+            .cell(fit.exponent, 3)
+            .cell(fit.expected, 3)
+            .cell(fit.r2, 4);
+      }
+    } else {
+      for (const campaign::FitResult& fit : report.fits) {
+        table.row()
+            .cell(fit.algo)
+            .cell(fit.profile)
+            .cell(fit.exponent, 3)
+            .cell(fit.expected, 3)
+            .cell(fit.r2, 4);
+      }
     }
     std::cout << "power-law fits (mean ~ scale * n^exponent):\n";
     table.print(std::cout);
   }
-  campaign::write_report_file(out_path, report, *io);
+  if (format == ReportFormat::kBinary) {
+    if (store.has_value()) {
+      report::save_store_file(out_path, *store, *io);
+    } else {
+      report::save_store_file(out_path,
+                              report::CellStore::from_report(report), *io);
+    }
+  } else if (store.has_value()) {
+    store->export_report_file(out_path, *io);
+  } else {
+    campaign::write_report_file(out_path, report, *io);
+  }
   std::cout << "report written to " << out_path << "\n";
 
   const std::string baseline_path = args.get_string("baseline", "");
   if (!baseline_path.empty()) {
-    const campaign::Report baseline =
-        campaign::load_report_file(baseline_path);
+    const campaign::Report baseline = load_report_any(baseline_path);
+    if (store.has_value()) report = store->to_report();
     campaign::GateOptions gate_opts;
     gate_opts.rel_threshold = args.get_double("gate-rel", 0.05);
     gate_opts.inject_factor = args.get_double("gate-inject", 1.0);
@@ -1371,6 +1513,387 @@ int run_sweep_cmd(const util::ArgParser& args) {
     if (!verdict.passed()) return 4;
   }
   return 0;
+}
+
+// ---- report family (docs/REPORT.md) --------------------------------
+
+/// High-water RSS of this process, in bytes (ru_maxrss is KiB on Linux).
+/// Monotonic over the process lifetime, so phase peaks must be sampled
+/// in the order the phases run (columnar first in the bench below).
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+int run_report_export_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() != 3) {
+    throw util::UsageError("report export requires exactly one report path");
+  }
+  const report::CellStore store = load_store_any(pos[2]);
+  const std::string out_path = args.get_string("out", "-");
+  if (out_path == "-") {
+    store.export_report_stream(std::cout);
+  } else {
+    store.export_report_file(out_path);
+    std::cout << "exported " << store.cell_count() << " cells to "
+              << out_path << "\n";
+  }
+  return 0;
+}
+
+int run_report_import_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() != 3) {
+    throw util::UsageError("report import requires exactly one report path");
+  }
+  const report::CellStore store = load_store_any(pos[2]);
+  const std::string out_path = args.get_string("out", pos[2] + ".bin");
+  report::save_store_file(out_path, store);
+  std::cout << "imported " << store.cell_count() << " cells ("
+            << store.samples.size() << " samples) to " << out_path << "\n";
+  return 0;
+}
+
+int run_report_info_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() != 3) {
+    throw util::UsageError("report info requires exactly one report path");
+  }
+  const std::string& path = pos[2];
+  const bool binary = report::is_binary_report_file(path);
+  const report::CellStore store = load_store_any(path);
+  std::cout << "format:      " << (binary ? "binary" : "jsonl") << " ("
+            << std::filesystem::file_size(path) << " bytes)\n"
+            << "campaign:    '" << store.name << "' (config "
+            << store.config_hash << ", report version " << store.version
+            << ")\n"
+            << "cells:       " << store.cell_count() << " of "
+            << store.cells_total;
+  if (store.shards > 1) {
+    std::cout << " (shard " << store.shard_index << "/" << store.shards
+              << ")";
+  }
+  if (store.truncated) {
+    std::cout << ", TRUNCATED ("
+              << robust::cancel_reason_name(store.truncate_reason) << ")";
+  }
+  std::cout << "\n"
+            << "samples:     " << store.samples.size() << "\n"
+            << "dicts:       " << store.algo_dict.size() << " algo, "
+            << store.profile_dict.size() << " profile, "
+            << store.sort_dict.size() << " sort, "
+            << store.policy_dict.size() << " policy\n"
+            << "fits:        " << store.fits.size() << "\n"
+            << "wall_ms:     " << store.wall_ms << "\n"
+            << "env:         " << campaign::provenance_text(store.env)
+            << "\n";
+  return 0;
+}
+
+int run_report_merge_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() < 3) {
+    throw util::UsageError("report merge requires shard report paths");
+  }
+  std::vector<report::CellStore> parts;
+  parts.reserve(pos.size() - 2);
+  for (std::size_t i = 2; i < pos.size(); ++i) {
+    parts.push_back(load_store_any(pos[i]));
+  }
+  const std::size_t part_count = parts.size();
+  const report::CellStore merged = report::CellStore::merge(std::move(parts));
+  const std::string out_path = args.get_string("out", "BENCH_sweep.bin");
+  // Unlike sweep, the columnar family defaults to its native container.
+  const std::string fmt = args.get_string("format", "binary");
+  if (fmt == "jsonl") {
+    merged.export_report_file(out_path);
+  } else if (fmt == "binary") {
+    report::save_store_file(out_path, merged);
+  } else {
+    throw util::UsageError("--format must be jsonl or binary");
+  }
+  std::cout << "merged " << part_count << " shard reports ("
+            << merged.cell_count() << " cells) to " << out_path << "\n";
+  return 0;
+}
+
+// ---- report bench (BENCH_report.json) ------------------------------
+
+/// Deterministic synthetic cell for the report bench: a pure function of
+/// (seed, index, trials). Ratio cells only (algo set, sort empty) so the
+/// merge recomputes power-law fits, exercising the full pipeline. The
+/// mean follows ~n^0.585 so the fits converge on something paper-shaped.
+void synth_bench_cell(std::uint64_t seed, std::uint64_t index,
+                      std::uint64_t trials, campaign::CellResult& cell) {
+  static constexpr const char* kAlgos[] = {"8:4:1", "7:4:1", "4:2:1"};
+  static constexpr const char* kProfiles[] = {"worst", "shuffled",
+                                              "iid:geometric:6"};
+  std::uint64_t h = util::hash_combine(seed, index);
+  cell.index = index;
+  cell.algo = kAlgos[h % 3];
+  cell.profile = kProfiles[(h >> 8) % 3];
+  cell.sort.clear();
+  cell.policy.clear();
+  cell.k = static_cast<unsigned>(4 + index % 10);
+  cell.n = std::uint64_t{1} << cell.k;
+  cell.trials = trials;
+  // Some cells lose a trial to the box cap / source exhaustion / a
+  // contained failure, but at least one trial always completes (a fit
+  // series rejects empty cells).
+  cell.incomplete = (trials > 1 && (h >> 16) % 8 == 0) ? 1 : 0;
+  cell.capped = (cell.incomplete != 0 && ((h >> 24) & 1) != 0) ? 1 : 0;
+  cell.failed =
+      (trials > cell.incomplete + 1 && (h >> 32) % 16 == 0) ? 1 : 0;
+  cell.completed = trials - cell.incomplete - cell.failed;
+  const double base = std::pow(static_cast<double>(cell.n), 0.585);
+  cell.samples.clear();
+  double sum = 0;
+  std::uint64_t state = h;
+  for (std::uint64_t t = 0; t < cell.completed; ++t) {
+    const double u = static_cast<double>(util::splitmix64(state) >> 11) *
+                     0x1.0p-53;
+    const double sample = base * (0.95 + 0.1 * u);
+    cell.samples.push_back(sample);
+    sum += sample;
+  }
+  cell.mean = sum / static_cast<double>(cell.completed);
+  cell.ci_lo = cell.mean * 0.98;
+  cell.ci_hi = cell.mean * 1.02;
+  std::vector<double> sorted = cell.samples;
+  std::sort(sorted.begin(), sorted.end());
+  const auto quantile = [&sorted](double q) {
+    const std::size_t at = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[at];
+  };
+  cell.q50 = quantile(0.50);
+  cell.q90 = quantile(0.90);
+  cell.q95 = quantile(0.95);
+  cell.boxes_mean = static_cast<double>(cell.n) * 1.5;
+  cell.wall_ns = 0;
+}
+
+/// Fill the bench campaign's header fields on any report-shaped object
+/// (CellStore and Report share the field names).
+template <typename R>
+void fill_bench_header(R& r, std::uint64_t seed, std::uint64_t cells,
+                       std::uint64_t shard) {
+  r.name = "report_bench";
+  r.config_hash = seed;
+  r.cells_total = cells;
+  r.shards = 2;
+  r.shard_index = shard;
+  r.env = campaign::build_provenance();
+}
+
+struct BenchPath {
+  double write_s = 0;
+  double load_s = 0;
+  double merge_s = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t peak_rss = 0;
+};
+
+int run_report_bench_cmd(const util::ArgParser& args) {
+  const std::uint64_t cells = args.get_u64("cells", 1'000'000);
+  const std::uint64_t trials = args.get_u64("trials", 4);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string dir = args.get_string("dir", ".");
+  if (cells < 2 || trials < 1) {
+    throw util::UsageError("report bench requires --cells >= 2, --trials "
+                           ">= 1");
+  }
+  using clock = std::chrono::steady_clock;
+  const auto secs = [](clock::time_point from) {
+    return std::chrono::duration<double>(clock::now() - from).count();
+  };
+  const std::string bin_paths[2] = {dir + "/report_bench_shard0.bin",
+                                    dir + "/report_bench_shard1.bin"};
+  const std::string json_paths[2] = {dir + "/report_bench_shard0.json",
+                                     dir + "/report_bench_shard1.json"};
+
+  // Phase order matters: ru_maxrss is a process-lifetime high-water
+  // mark, so the light (columnar) pipeline runs first — its sampled
+  // peak is its own, and the JSONL phase's larger working set then
+  // raises the mark to the JSONL peak.
+  BenchPath columnar;
+  std::uint64_t merged_cells = 0;
+  {
+    campaign::CellResult scratch;
+    auto t = clock::now();
+    for (std::uint64_t shard = 0; shard < 2; ++shard) {
+      report::ColumnarWriter writer;
+      fill_bench_header(writer.store(), seed, cells, shard);
+      writer.reserve(cells / 2 + 1, (cells / 2 + 1) * trials);
+      for (std::uint64_t i = shard; i < cells; i += 2) {
+        synth_bench_cell(seed, i, trials, scratch);
+        writer.append(scratch);
+      }
+      report::save_store_file(bin_paths[shard], writer.store());
+    }
+    columnar.write_s = secs(t);
+    t = clock::now();
+    std::vector<report::CellStore> parts;
+    parts.push_back(report::load_store_file(bin_paths[0]));
+    parts.push_back(report::load_store_file(bin_paths[1]));
+    columnar.load_s = secs(t);
+    t = clock::now();
+    const report::CellStore merged =
+        report::CellStore::merge(std::move(parts));
+    columnar.merge_s = secs(t);
+    merged_cells = merged.cell_count();
+    columnar.bytes = std::filesystem::file_size(bin_paths[0]) +
+                     std::filesystem::file_size(bin_paths[1]);
+    columnar.peak_rss = peak_rss_bytes();
+  }
+  if (merged_cells != cells) {
+    throw util::CheckError("report bench: columnar merge produced " +
+                           std::to_string(merged_cells) + " cells, want " +
+                           std::to_string(cells));
+  }
+
+  BenchPath jsonl;
+  {
+    auto t = clock::now();
+    for (std::uint64_t shard = 0; shard < 2; ++shard) {
+      campaign::Report shard_report;
+      fill_bench_header(shard_report, seed, cells, shard);
+      shard_report.cells.reserve(cells / 2 + 1);
+      for (std::uint64_t i = shard; i < cells; i += 2) {
+        campaign::CellResult cell;
+        synth_bench_cell(seed, i, trials, cell);
+        shard_report.cells.push_back(std::move(cell));
+      }
+      campaign::write_report_file(json_paths[shard], shard_report);
+    }
+    jsonl.write_s = secs(t);
+    t = clock::now();
+    std::vector<campaign::Report> parts;
+    parts.push_back(campaign::load_report_file(json_paths[0]));
+    parts.push_back(campaign::load_report_file(json_paths[1]));
+    jsonl.load_s = secs(t);
+    t = clock::now();
+    const campaign::Report merged =
+        campaign::merge_reports(std::move(parts));
+    jsonl.merge_s = secs(t);
+    if (merged.cells.size() != cells) {
+      throw util::CheckError("report bench: jsonl merge produced " +
+                             std::to_string(merged.cells.size()) +
+                             " cells, want " + std::to_string(cells));
+    }
+    jsonl.bytes = std::filesystem::file_size(json_paths[0]) +
+                  std::filesystem::file_size(json_paths[1]);
+    jsonl.peak_rss = peak_rss_bytes();
+  }
+  if (!args.has("keep")) {
+    for (const auto& path : {bin_paths[0], bin_paths[1], json_paths[0],
+                             json_paths[1]}) {
+      std::remove(path.c_str());
+    }
+  }
+
+  const double n = static_cast<double>(cells);
+  const double merge_load_speedup = (jsonl.load_s + jsonl.merge_s) /
+                                    (columnar.load_s + columnar.merge_s);
+  const double rss_ratio = static_cast<double>(jsonl.peak_rss) /
+                           static_cast<double>(columnar.peak_rss);
+
+  util::Table table({"path", "write Mc/s", "load Mc/s", "merge Mc/s",
+                     "bytes/cell", "peak RSS MiB"});
+  const auto emit_row = [&](const char* name, const BenchPath& p) {
+    table.row()
+        .cell(name)
+        .cell(n / p.write_s / 1e6, 2)
+        .cell(n / p.load_s / 1e6, 2)
+        .cell(n / p.merge_s / 1e6, 2)
+        .cell(static_cast<double>(p.bytes) / n, 1)
+        .cell(static_cast<double>(p.peak_rss) / (1024.0 * 1024.0), 1);
+  };
+  emit_row("columnar", columnar);
+  emit_row("jsonl", jsonl);
+  std::cout << "report bench: " << cells << " cells, " << trials
+            << " trials/cell, seed " << seed << "\n";
+  table.print(std::cout);
+  std::cout << "merge+load speedup: " << merge_load_speedup
+            << "x, peak-RSS ratio: " << rss_ratio << "x\n";
+
+  const auto path_event = [&](const char* name, const BenchPath& p) {
+    obs::Event e{"report_bench_path"};
+    e.str("path", name)
+        .f64("write_s", p.write_s)
+        .f64("load_s", p.load_s)
+        .f64("merge_s", p.merge_s)
+        .f64("write_cells_per_s", n / p.write_s)
+        .f64("load_cells_per_s", n / p.load_s)
+        .f64("merge_cells_per_s", n / p.merge_s)
+        .u64("bytes", p.bytes)
+        .u64("peak_rss_bytes", p.peak_rss);
+    return e;
+  };
+  obs::Event head{"report_bench"};
+  head.u64("version", 1)
+      .u64("cells", cells)
+      .u64("trials", trials)
+      .u64("seed", seed)
+      .u64("shards", 2);
+  obs::Event summary{"report_bench_summary"};
+  summary.f64("merge_load_speedup", merge_load_speedup)
+      .f64("rss_ratio", rss_ratio)
+      .f64("bytes_ratio", static_cast<double>(jsonl.bytes) /
+                              static_cast<double>(columnar.bytes));
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    std::string content = obs::to_jsonl(head) + "\n" +
+                          obs::to_jsonl(path_event("columnar", columnar)) +
+                          "\n" + obs::to_jsonl(path_event("jsonl", jsonl)) +
+                          "\n" + obs::to_jsonl(summary) + "\n";
+    robust::atomic_write_file(out_path, content);
+    std::cout << "bench report written to " << out_path << "\n";
+  }
+
+  const std::string gate_path = args.get_string("gate", "");
+  if (!gate_path.empty()) {
+    std::ifstream is(gate_path);
+    if (!is) throw util::IoError("cannot open report bench gate: " +
+                                 gate_path);
+    const std::vector<robust::JsonlLine> lines =
+        robust::load_jsonl_tolerant(is, "report bench gate");
+    const obs::Event* gate = nullptr;
+    for (const robust::JsonlLine& line : lines) {
+      if (line.event.type == "report_bench_gate") gate = &line.event;
+    }
+    if (gate == nullptr) {
+      throw util::ParseError("report bench gate: no report_bench_gate "
+                             "line in " + gate_path);
+    }
+    const double speedup_min = gate->f64_or("merge_load_speedup_min", 0);
+    const double rss_min = gate->f64_or("rss_ratio_min", 0);
+    const bool speedup_ok = merge_load_speedup >= speedup_min;
+    const bool rss_ok = rss_ratio >= rss_min;
+    std::cout << "gate: merge+load " << merge_load_speedup << "x vs min "
+              << speedup_min << " [" << (speedup_ok ? "ok" : "FAIL")
+              << "], RSS " << rss_ratio << "x vs min " << rss_min << " ["
+              << (rss_ok ? "ok" : "FAIL") << "]\n";
+    if (!speedup_ok || !rss_ok) return 4;
+  }
+  return 0;
+}
+
+int run_report_cmd(const util::ArgParser& args) {
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() < 2) {
+    throw util::UsageError(
+        "report requires a subcommand: export|import|info|merge|bench");
+  }
+  const std::string& sub = pos[1];
+  if (sub == "export") return run_report_export_cmd(args);
+  if (sub == "import") return run_report_import_cmd(args);
+  if (sub == "info") return run_report_info_cmd(args);
+  if (sub == "merge") return run_report_merge_cmd(args);
+  if (sub == "bench") return run_report_bench_cmd(args);
+  throw util::UsageError("unknown report subcommand '" + sub + "'");
 }
 
 // ---- serve family (docs/SERVE.md) ----------------------------------
@@ -1541,6 +2064,7 @@ int run(const util::ArgParser& args) {
   }
   if (cmd == "parallel") return run_parallel_cmd(args);
   if (cmd == "sweep") return run_sweep_cmd(args);
+  if (cmd == "report") return run_report_cmd(args);
   if (cmd == "serve") return run_serve_cmd(args);
   if (cmd == "submit") return run_submit_cmd(args);
   if (cmd == "status") return run_status_cmd(args);

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Regenerate (default) or verify (--check) the committed report-engine
+# bench artifact at the repo root (docs/REPORT.md):
+#
+#   BENCH_report.json <- cadapt report bench --cells 10000000 --trials 4
+#
+# BENCH_report_baseline.json holds the gate floors and is
+# hand-maintained, two lines:
+#
+#   {"type":"report_bench_gate_full", ...}  floors for the committed
+#                                           10^7-cell headline run
+#   {"type":"report_bench_gate", ...}       floors for the small live
+#                                           bench below (the CLI's
+#                                           --gate reads this line)
+#
+# Unlike the sweep artifacts, bench output carries wall-clock timings,
+# so it is NOT byte-stable and --check cannot diff bytes. Instead it
+#   1. asserts the committed BENCH_report.json summary still clears the
+#      full-run floors (a pure file check — catches a stale or
+#      regressed committed artifact), and
+#   2. runs a small live bench (~2e5 cells, seconds not minutes) gated
+#      against the small floors — catches a real perf regression in
+#      the columnar engine without the 10^7-cell wall clock.
+# Step 2 is the ctest -L perf case `cli_report_bench_gate`.
+#
+# usage:
+#   tools/regen_bench_report.sh <path-to-cadapt> [--check]
+set -eu
+
+cli=${1:?usage: regen_bench_report.sh <path-to-cadapt> [--check]}
+mode=${2:-update}
+
+repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+committed="$repo_root/BENCH_report.json"
+baseline="$repo_root/BENCH_report_baseline.json"
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT INT TERM
+
+field() { # field <file> <json-key> -> value (last occurrence)
+  sed -n 's/.*"'"$2"'":\([0-9.eE+-]*\).*/\1/p' "$1" | tail -n 1
+}
+
+# The committed summary must clear the full-run floors.
+check_committed() {
+  speedup=$(field "$committed" merge_load_speedup)
+  rss=$(field "$committed" rss_ratio)
+  full=$(grep '"type":"report_bench_gate_full"' "$baseline")
+  speedup_min=$(printf '%s\n' "$full" |
+    sed -n 's/.*"merge_load_speedup_min":\([0-9.eE+-]*\).*/\1/p')
+  rss_min=$(printf '%s\n' "$full" |
+    sed -n 's/.*"rss_ratio_min":\([0-9.eE+-]*\).*/\1/p')
+  awk -v s="$speedup" -v sm="$speedup_min" -v r="$rss" -v rm="$rss_min" \
+    'BEGIN { exit !(s >= sm && r >= rm) }' || {
+    echo "BENCH_report.json summary (speedup ${speedup}x, RSS ${rss}x)" \
+         "is below the gate floors (${speedup_min}x, ${rss_min}x) —" \
+         "refresh it with: tools/regen_bench_report.sh $cli" >&2
+    exit 1
+  }
+  echo "BENCH_report.json clears the full-run floors" \
+       "(${speedup}x >= ${speedup_min}x, ${rss}x >= ${rss_min}x)"
+}
+
+if [ "$mode" = "--check" ]; then
+  check_committed
+  # Small live bench against the small floors (the CLI's --gate reads
+  # the baseline's `report_bench_gate` line; exit 4 on a miss).
+  "$cli" report bench --cells "${CADAPT_BENCH_CELLS:-200000}" --trials 4 \
+    --dir "$scratch" --out "$scratch/report_bench.json" --gate "$baseline"
+else
+  # The headline run: ~10 min on one core, ~19 GB peak RSS (the JSONL
+  # side's row store is the thing being measured).
+  "$cli" report bench --cells 10000000 --trials 4 \
+    --dir "$scratch" --out "$committed"
+  echo "wrote $committed"
+  check_committed
+fi

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Binary <-> JSONL differential (docs/REPORT.md): for EVERY manifest in
+# bench/manifests/, the columnar container must be a lossless encoding —
+# `cadapt report export` of a binary run recovers the EXACT bytes the
+# plain JSONL sweep writes. Three legs per manifest:
+#
+#   1. jobs differential:  --jobs 4 --format binary, exported, vs the
+#      --jobs 1 JSONL reference
+#   2. shard differential: two binary shards, merged columnar by
+#      `cadapt report merge`, exported, vs the same reference
+#   3. import round trip:  the JSONL reference imported to binary and
+#      exported again must be cmp-identical
+#
+# plus one kill + resume leg on the chaos manifest: a sweep SIGKILLed
+# mid-write (--crash-after), resumed with --format binary, must export
+# the reference bytes too (the full crash-point matrix lives in
+# tools/chaos_sweep.sh; this pins the binary writer onto that path).
+#
+# Wired as the ctest -L sweep case `cli_report_equiv` over the fast
+# manifests; run with no manifest arguments for the full differential
+# (every manifest — minutes of wall clock on the heavier grids).
+#
+# usage:
+#   tools/report_equiv.sh <path-to-cadapt> [workdir] [manifest-name...]
+set -eu
+
+cli=${1:?usage: report_equiv.sh <path-to-cadapt> [workdir] [manifest...]}
+workdir=${2:-report_equiv_work}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+
+if [ $# -ge 1 ]; then
+  manifests=""
+  for name in "$@"; do
+    manifests="$manifests $repo_root/bench/manifests/$name.manifest"
+  done
+else
+  manifests=$(ls "$repo_root"/bench/manifests/*.manifest)
+fi
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+for manifest in $manifests; do
+  name=$(basename "$manifest" .manifest)
+  rm -f ref.json run.bin run.json s0.bin s1.bin merged.bin merged.json \
+        imported.bin imported.json
+
+  # The uninterrupted JSONL reference (--no-timing: byte-identity
+  # contract; --jobs 1 so the reference is the simplest possible path).
+  "$cli" sweep "$manifest" --no-timing --jobs 1 --out ref.json > /dev/null
+
+  # Leg 1: parallel binary run -> export.
+  "$cli" sweep "$manifest" --no-timing --jobs 4 --format binary \
+    --out run.bin > /dev/null
+  "$cli" report export run.bin --out run.json
+  cmp ref.json run.json || {
+    echo "$name: binary --jobs 4 export differs from JSONL reference" >&2
+    exit 1
+  }
+
+  # Leg 2: binary shards -> columnar merge -> export.
+  "$cli" sweep "$manifest" --no-timing --shards 2 --shard-index 0 \
+    --format binary --out s0.bin > /dev/null
+  "$cli" sweep "$manifest" --no-timing --shards 2 --shard-index 1 \
+    --format binary --out s1.bin > /dev/null
+  "$cli" report merge s0.bin s1.bin --out merged.bin > /dev/null
+  "$cli" report export merged.bin --out merged.json
+  cmp ref.json merged.json || {
+    echo "$name: columnar shard merge export differs from reference" >&2
+    exit 1
+  }
+
+  # Leg 3: JSONL -> binary -> JSONL round trip.
+  "$cli" report import ref.json --out imported.bin > /dev/null
+  "$cli" report export imported.bin --out imported.json
+  cmp ref.json imported.json || {
+    echo "$name: import/export round trip differs from reference" >&2
+    exit 1
+  }
+
+  echo "$name: binary export, shard merge, round trip all byte-identical"
+done
+
+# Kill + resume leg: crash the 3rd durable write, resume into the
+# binary encoding, export, compare. (--jobs 1 keeps the crash placement
+# deterministic, as in chaos_sweep.sh.)
+manifest="$repo_root/bench/manifests/chaos_gate.manifest"
+rm -f ref.json crash.ckpt crash.bin crash.json
+"$cli" sweep "$manifest" --no-timing --jobs 1 --out ref.json > /dev/null
+status=0
+"$cli" sweep "$manifest" --no-timing --jobs 1 --checkpoint crash.ckpt \
+  --crash-after 3 --out crash.bin > /dev/null 2>&1 || status=$?
+if [ "$status" -lt 128 ]; then
+  echo "kill+resume: expected SIGKILL (status >= 128), got $status" >&2
+  exit 1
+fi
+"$cli" sweep "$manifest" --no-timing --checkpoint crash.ckpt --resume \
+  --format binary --out crash.bin > /dev/null
+"$cli" report export crash.bin --out crash.json
+cmp ref.json crash.json || {
+  echo "kill+resume: resumed binary export differs from reference" >&2
+  exit 1
+}
+echo "chaos_gate: kill + resume into binary exports the reference bytes"
